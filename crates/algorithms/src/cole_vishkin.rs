@@ -1,0 +1,226 @@
+//! Cole–Vishkin colour reduction on directed cycles and paths.
+//!
+//! Starting from the unique identifiers (a proper colouring with a huge
+//! palette), each iteration replaces a node's colour by
+//! `2·i + bit_i(colour)`, where `i` is the lowest bit position at which the
+//! node's colour differs from its successor's colour. After `O(log* n)`
+//! iterations the palette size drops below 6; three final "shift-down" phases
+//! reduce it to 3. The whole procedure is exposed as a pure function of the
+//! ball view so that other algorithms can re-derive the colours of nearby
+//! nodes.
+
+use lcl_local_sim::{log_star, BallView, LocalAlgorithm};
+use lcl_problem::OutLabel;
+
+/// Number of Cole–Vishkin iterations used for networks of `n` nodes.
+///
+/// Identifiers come from a polynomial space, so `O(log* n)` iterations reach a
+/// constant palette; the additive constant absorbs the first iterations on
+/// 64-bit identifiers. Extra iterations are harmless (the palette stays below
+/// 6 once it gets there).
+pub fn cv_iterations(n: usize) -> usize {
+    log_star(n) + 8
+}
+
+/// The view radius needed to compute the final 3-colour of the node itself:
+/// `cv_iterations(n)` hops towards the successor side for the iterations plus
+/// 3 more on each side for the shift-down phases.
+pub fn cv_radius(n: usize) -> usize {
+    cv_iterations(n) + 6
+}
+
+/// The colour of the node at signed `offset` from the view's centre after the
+/// iterated Cole–Vishkin reduction *without* the final shift-down phases;
+/// the result is smaller than 6.
+///
+/// Returns `None` if the view is too small to determine the colour (the
+/// caller asked about a node too far away, or too close to the edge of the
+/// view).
+fn six_color_at(view: &BallView, offset: isize, iterations: usize) -> Option<u64> {
+    // colour after k iterations of node at `offset` depends on ids at
+    // offsets offset .. offset + k.
+    let farthest = offset + iterations as isize;
+    // Make sure every id we may need is available, unless the path ends.
+    // We detect path ends through `view.at` returning None *because of an
+    // endpoint*, which is only trustworthy if the view itself extends far
+    // enough; hence the explicit range check against the view radius.
+    if offset < -(view.radius as isize) || farthest > view.radius as isize {
+        return None;
+    }
+    fn color_rec(view: &BallView, offset: isize, k: usize) -> Option<u64> {
+        if k == 0 {
+            return view.id_at(offset);
+        }
+        let own = color_rec(view, offset, k - 1)?;
+        let succ = match view.at(offset + 1) {
+            Some(_) => color_rec(view, offset + 1, k - 1)?,
+            // Path end: pretend the successor's colour differs at bit 0.
+            None => own ^ 1,
+        };
+        let diff = own ^ succ;
+        debug_assert!(diff != 0, "proper colouring is maintained");
+        let i = diff.trailing_zeros() as u64;
+        Some(2 * i + ((own >> i) & 1))
+    }
+    color_rec(view, offset, iterations)
+}
+
+/// The final 3-colour (in `{0, 1, 2}`) of the node at signed `offset` from the
+/// view's centre.
+///
+/// Returns `None` when the view is too small: the caller needs
+/// `|offset| + cv_radius(n)` within the view radius (less near path
+/// endpoints, where missing neighbours are genuine knowledge).
+pub fn cv_color(view: &BallView, offset: isize, n: usize) -> Option<u64> {
+    let iterations = cv_iterations(n);
+    // Shift-down phases eliminate colours 5, 4, 3 in turn. The colour of a
+    // node at phase p depends on the phase-(p-1) colours of itself and both
+    // neighbours.
+    fn phase_color(
+        view: &BallView,
+        offset: isize,
+        phase: usize,
+        iterations: usize,
+    ) -> Option<u64> {
+        if phase == 0 {
+            return six_color_at(view, offset, iterations);
+        }
+        let own = phase_color(view, offset, phase - 1, iterations)?;
+        let target = 6 - phase as u64; // 5, then 4, then 3
+        if own != target {
+            return Some(own);
+        }
+        let pred = match view.at(offset - 1) {
+            Some(_) => phase_color(view, offset - 1, phase - 1, iterations)?,
+            None => u64::MAX,
+        };
+        let succ = match view.at(offset + 1) {
+            Some(_) => phase_color(view, offset + 1, phase - 1, iterations)?,
+            None => u64::MAX,
+        };
+        // Recolour with the smallest colour not used by either neighbour.
+        Some((0..3).find(|c| *c != pred && *c != succ).unwrap_or(0))
+    }
+    phase_color(view, offset, 3, iterations)
+}
+
+/// A ready-made [`LocalAlgorithm`] computing a proper 3-colouring of a
+/// directed cycle or path; the output label is the colour (`0`, `1`, or `2`).
+#[derive(Clone, Debug, Default)]
+pub struct ThreeColoringAlgorithm;
+
+impl LocalAlgorithm for ThreeColoringAlgorithm {
+    fn radius(&self, n: usize) -> usize {
+        cv_radius(n)
+    }
+
+    fn compute(&self, view: &BallView) -> OutLabel {
+        let c = cv_color(view, 0, view.n).unwrap_or(0);
+        OutLabel(c as u16)
+    }
+
+    fn name(&self) -> &str {
+        "cole-vishkin-3-coloring"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_local_sim::{Network, SyncSimulator};
+    use lcl_problem::{Instance, Topology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_coloring(n: usize, topology: Topology, seed: u64) -> Vec<u16> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Network::new(
+            Instance::from_indices(topology, &vec![0; n]),
+            lcl_local_sim::IdAssignment::RandomFromSpace { multiplier: 8 },
+            &mut rng,
+        )
+        .unwrap();
+        let out = SyncSimulator::new()
+            .run(&net, &ThreeColoringAlgorithm)
+            .unwrap();
+        out.outputs().iter().map(|o| o.0).collect()
+    }
+
+    #[test]
+    fn coloring_is_proper_on_cycles() {
+        for &n in &[3usize, 4, 7, 16, 33, 100] {
+            for seed in 0..3 {
+                let colors = run_coloring(n, Topology::Cycle, seed);
+                assert!(colors.iter().all(|&c| c < 3), "palette of size 3");
+                for i in 0..n {
+                    assert_ne!(
+                        colors[i],
+                        colors[(i + 1) % n],
+                        "n={n} seed={seed} i={i}: adjacent nodes share a colour"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coloring_is_proper_on_paths() {
+        for &n in &[2usize, 5, 17, 64] {
+            let colors = run_coloring(n, Topology::Path, 42);
+            assert!(colors.iter().all(|&c| c < 3));
+            for i in 0..n - 1 {
+                assert_ne!(colors[i], colors[i + 1], "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_grows_like_log_star() {
+        assert!(cv_radius(16) <= cv_radius(1 << 16));
+        assert!(cv_radius(1 << 16) <= 20, "log* stays tiny");
+        assert!(cv_iterations(2) >= 1);
+    }
+
+    #[test]
+    fn out_of_view_requests_return_none() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Network::new(
+            Instance::from_indices(Topology::Cycle, &vec![0; 32]),
+            lcl_local_sim::IdAssignment::RandomFromSpace { multiplier: 4 },
+            &mut rng,
+        )
+        .unwrap();
+        let sim = SyncSimulator::new();
+        let small_view = sim.view(&net, 0, 2);
+        assert_eq!(cv_color(&small_view, 0, 32), None);
+        let big_view = sim.view(&net, 0, cv_radius(32) + 5);
+        assert!(cv_color(&big_view, 0, 32).is_some());
+        assert!(cv_color(&big_view, 3, 32).is_some());
+        assert_eq!(cv_color(&big_view, 1000, 32), None);
+    }
+
+    #[test]
+    fn consistent_across_centres() {
+        // The colour computed for "offset +1 from node i" must equal the
+        // colour computed for "offset 0 from node i+1".
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 24;
+        let net = Network::new(
+            Instance::from_indices(Topology::Cycle, &vec![0; n]),
+            lcl_local_sim::IdAssignment::RandomFromSpace { multiplier: 4 },
+            &mut rng,
+        )
+        .unwrap();
+        let sim = SyncSimulator::new();
+        let r = cv_radius(n) + 2;
+        for i in 0..n {
+            let vi = sim.view(&net, i, r);
+            let vnext = sim.view(&net, (i + 1) % n, r);
+            assert_eq!(
+                cv_color(&vi, 1, n).unwrap(),
+                cv_color(&vnext, 0, n).unwrap(),
+                "node {i}"
+            );
+        }
+    }
+}

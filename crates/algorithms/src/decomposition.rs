@@ -1,0 +1,210 @@
+//! The Lemma 16 decomposition: splitting a cycle into `A`-blocks of an exact
+//! constant size `s` and `B`-blocks of size `k` or `k + 1`.
+//!
+//! The distributed part (finding sufficiently well-spaced anchors in
+//! `O(log* n)` rounds) lives in [`crate::ruling`]; this module implements the
+//! purely local subdivision step from the lemma's proof: given anchor
+//! positions whose consecutive gaps are at least `k·(s + k + 1)`, each segment
+//! between consecutive anchors is cut into pieces
+//! `R_1, R_2, …, R_t` with odd-indexed pieces of size `k` or `k + 1`
+//! (the `B`-blocks) and even-indexed pieces of size exactly `s`
+//! (the `A`-blocks), with `t` odd.
+
+use std::fmt;
+
+/// Whether a position belongs to an `A`-block or a `B`-block.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Member of an `A`-block (size exactly `s`).
+    A,
+    /// Member of a `B`-block (size `k` or `k + 1`).
+    B,
+}
+
+/// A complete decomposition of a cycle: the kind of every position and the
+/// list of blocks as `(start, len, kind)` triples in cyclic order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decomposition {
+    /// Kind of each position.
+    pub kind_of: Vec<BlockKind>,
+    /// Blocks in cyclic order.
+    pub blocks: Vec<(usize, usize, BlockKind)>,
+}
+
+impl fmt::Display for Decomposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} blocks over {} nodes", self.blocks.len(), self.kind_of.len())
+    }
+}
+
+/// Splits one segment of length `z ≥ (s + k + 1)²` into piece sizes
+/// `[b_1, s, b_2, s, …, b_m]` with each `b_i ∈ {k, k+1}` and alternating
+/// `A`/`B` kinds (the `B` pieces are the `b_i`, the `A` pieces have size `s`).
+///
+/// This realizes the same guarantee as the subdivision in the paper's proof of
+/// Lemma 16 — `B`-components of size `k` or `k + 1` separated by `A`-blocks of
+/// size exactly `s` — via a direct search for the number `m` of `B`-pieces:
+/// `m·k + (m−1)·s ≤ z ≤ m·(k+1) + (m−1)·s`. For `z ≥ (s + k + 1)²` such an
+/// `m` always exists because consecutive feasibility intervals overlap once
+/// `m ≥ s + k − 1`.
+///
+/// # Panics
+///
+/// Panics if no feasible `m` exists (i.e. the precondition on `z` is violated).
+fn segment_sizes(z: usize, s: usize, k: usize) -> Vec<usize> {
+    let mut chosen = None;
+    let upper_m = z / k + 1;
+    for m in 1..=upper_m {
+        let lo = m * k + (m - 1) * s;
+        let hi = m * (k + 1) + (m - 1) * s;
+        if lo <= z && z <= hi {
+            chosen = Some(m);
+            break;
+        }
+        if lo > z {
+            break;
+        }
+    }
+    let m = chosen.unwrap_or_else(|| panic!("segment of length {z} cannot be subdivided with s={s}, k={k}"));
+    let extra = z - (m * k + (m - 1) * s); // how many B-pieces get size k + 1
+    let mut sizes = Vec::with_capacity(2 * m - 1);
+    for i in 0..m {
+        sizes.push(if i < extra { k + 1 } else { k });
+        if i + 1 < m {
+            sizes.push(s);
+        }
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), z, "sizes must cover the segment");
+    sizes
+}
+
+/// Builds the Lemma 16 decomposition of a cycle of `n` nodes from anchor
+/// positions (sorted, cyclic) whose consecutive gaps are all at least
+/// `k·(s + k + 1)` and at most some constant.
+///
+/// Each anchor starts an `A`-block of size `s`; the rest of the segment up to
+/// the next anchor is subdivided into alternating `B`- and `A`-blocks.
+///
+/// # Panics
+///
+/// Panics if the anchors are unsorted, out of range, or too close together.
+pub fn decompose_cycle_reference(
+    n: usize,
+    anchors: &[usize],
+    s: usize,
+    k: usize,
+) -> Decomposition {
+    assert!(!anchors.is_empty(), "need at least one anchor");
+    assert!(anchors.windows(2).all(|w| w[0] < w[1]), "anchors must be sorted");
+    assert!(*anchors.last().unwrap() < n, "anchor out of range");
+    let mut kind_of = vec![BlockKind::B; n];
+    let mut blocks = Vec::new();
+    let m = anchors.len();
+    for idx in 0..m {
+        let a = anchors[idx];
+        let next = anchors[(idx + 1) % m];
+        let gap = (next + n - a) % n;
+        let gap = if gap == 0 { n } else { gap };
+        let min_gap = s + (s + k + 1) * (s + k + 1);
+        assert!(
+            gap >= min_gap,
+            "anchors too close: gap {gap} < {min_gap} with s={s}, k={k}"
+        );
+        // A-block of size s starting at the anchor.
+        for d in 0..s {
+            kind_of[(a + d) % n] = BlockKind::A;
+        }
+        blocks.push((a, s, BlockKind::A));
+        // Subdivide the remainder of the segment.
+        let z = gap - s;
+        let sizes = segment_sizes(z, s, k);
+        let mut pos = (a + s) % n;
+        for (i, &sz) in sizes.iter().enumerate() {
+            let kind = if i % 2 == 0 { BlockKind::B } else { BlockKind::A };
+            for d in 0..sz {
+                kind_of[(pos + d) % n] = kind;
+            }
+            blocks.push((pos, sz, kind));
+            pos = (pos + sz) % n;
+        }
+    }
+    Decomposition { kind_of, blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(decomposition: &Decomposition, n: usize, s: usize, k: usize) {
+        // Blocks tile the cycle.
+        let total: usize = decomposition.blocks.iter().map(|b| b.1).sum();
+        assert_eq!(total, n);
+        // Sizes respect the lemma.
+        for &(_, len, kind) in &decomposition.blocks {
+            match kind {
+                BlockKind::A => assert_eq!(len, s, "A-blocks have size exactly s"),
+                BlockKind::B => assert!(
+                    len == k || len == k + 1,
+                    "B-block of size {len}, expected {k} or {}",
+                    k + 1
+                ),
+            }
+        }
+        // Alternation: no two adjacent blocks of the same kind.
+        let m = decomposition.blocks.len();
+        for i in 0..m {
+            let a = decomposition.blocks[i].2;
+            let b = decomposition.blocks[(i + 1) % m].2;
+            assert_ne!(a, b, "adjacent blocks must alternate kinds");
+        }
+    }
+
+    #[test]
+    fn segment_sizes_cover_and_alternate() {
+        for s in 1..4usize {
+            for k in 2..6usize {
+                let start = (s + k + 1) * (s + k + 1);
+                for z in start..(start + 60) {
+                    let sizes = segment_sizes(z, s, k);
+                    assert_eq!(sizes.iter().sum::<usize>(), z);
+                    assert_eq!(sizes.len() % 2, 1, "t must be odd");
+                    for (i, &sz) in sizes.iter().enumerate() {
+                        if i % 2 == 1 {
+                            assert_eq!(sz, s);
+                        } else {
+                            assert!(sz == k || sz == k + 1, "z={z} s={s} k={k} i={i} sz={sz}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_from_regular_anchors() {
+        let n = 240;
+        let s = 2;
+        let k = 4;
+        let spacing = 60; // ≥ s + (s+k+1)² = 2 + 49 = 51
+        let anchors: Vec<usize> = (0..n / spacing).map(|i| i * spacing).collect();
+        let d = decompose_cycle_reference(n, &anchors, s, k);
+        check(&d, n, s, k);
+        assert!(d.to_string().contains("blocks"));
+    }
+
+    #[test]
+    fn decomposition_from_irregular_anchors() {
+        let n = 230;
+        let s = 2;
+        let k = 4;
+        let anchors = vec![0usize, 55, 120, 177];
+        let d = decompose_cycle_reference(n, &anchors, s, k);
+        check(&d, n, s, k);
+    }
+
+    #[test]
+    #[should_panic]
+    fn close_anchors_panic() {
+        let _ = decompose_cycle_reference(40, &[0, 5], 2, 4);
+    }
+}

@@ -1,0 +1,46 @@
+//! # lcl-algorithms
+//!
+//! Classic deterministic LOCAL symmetry-breaking algorithms on directed paths
+//! and cycles, packaged as *view computations*: every routine answers
+//! questions of the form "is the node at offset `d` from me in the MIS?"
+//! given a sufficiently large [`BallView`](lcl_local_sim::BallView). This is
+//! exactly the form the classifier's synthesized algorithms need, because a
+//! node that must fill a gap has to re-derive the decisions of nearby nodes
+//! from its own view.
+//!
+//! Contents:
+//!
+//! * [`cole_vishkin`] — Cole–Vishkin colour reduction: a proper 3-colouring of
+//!   directed cycles/paths in `O(log* n)` rounds \[8, 16 in the paper's
+//!   bibliography\];
+//! * [`mis`] — maximal independent set from a 3-colouring;
+//! * [`ruling`] — distance-`[2^k·2, 3^k·3]` ruling sets by repeated
+//!   contraction (the constructive core of the paper's Lemma 16);
+//! * [`decomposition`] — the Lemma 16 `A ∪ B` decomposition (sequential
+//!   reference + distributed version built on the ruling set);
+//! * [`partition`] — the `(ℓ_width, ℓ_count, ℓ_pattern)`-partition of §4.3
+//!   (Lemmas 19–22): periodic-run detection, irregular stretches, and the
+//!   sequential reference partition used by tests and by the `O(1)` synthesis;
+//! * [`trivial`] — the trivial `O(n)` algorithm (gather everything, output a
+//!   canonical solution), used as the baseline and as the fallback for the
+//!   `Θ(n)` class.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cole_vishkin;
+pub mod decomposition;
+pub mod mis;
+pub mod partition;
+pub mod ruling;
+pub mod trivial;
+
+pub use cole_vishkin::{cv_color, cv_radius, ThreeColoringAlgorithm};
+pub use decomposition::{decompose_cycle_reference, BlockKind, Decomposition};
+pub use mis::{in_mis, mis_radius, MisAlgorithm};
+pub use partition::{
+    classify_position, reference_partition, PartitionParams, PositionClass, ReferencePartition,
+    Segment, SegmentKind,
+};
+pub use ruling::{ruling_set_gap_bounds, ruling_set_radius, RulingSetComputer};
+pub use trivial::{canonical_solution, GatherAndSolve};

@@ -1,0 +1,155 @@
+//! Maximal independent set on directed cycles and paths, derived from the
+//! Cole–Vishkin 3-colouring by the standard colour-class greedy.
+//!
+//! A node joins the MIS iff it has colour 0, or it has colour `c > 0` and no
+//! neighbour of a smaller colour class joined. Because the palette has size 3,
+//! the greedy needs only two more rounds after the colouring.
+
+use crate::cole_vishkin::{cv_color, cv_radius};
+use lcl_local_sim::{BallView, LocalAlgorithm};
+use lcl_problem::OutLabel;
+
+/// The view radius needed to decide MIS membership of the centre node.
+pub fn mis_radius(n: usize) -> usize {
+    cv_radius(n) + 2
+}
+
+/// Decides whether the node at signed `offset` from the view's centre belongs
+/// to the maximal independent set.
+///
+/// Returns `None` when the view is too small to determine membership.
+pub fn in_mis(view: &BallView, offset: isize, n: usize) -> Option<bool> {
+    fn joined(view: &BallView, offset: isize, n: usize, color: u64) -> Option<bool> {
+        // A node of colour c joins iff no neighbour of strictly smaller colour
+        // joined. Recursion is bounded because colours strictly decrease.
+        if color == 0 {
+            return Some(true);
+        }
+        for d in [-1isize, 1] {
+            if view.at(offset + d).is_none() {
+                continue; // path endpoint: no neighbour there
+            }
+            let neighbour_color = cv_color(view, offset + d, n)?;
+            if neighbour_color < color && joined(view, offset + d, n, neighbour_color)? {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+    let color = cv_color(view, offset, n)?;
+    joined(view, offset, n, color)
+}
+
+/// A ready-made [`LocalAlgorithm`] computing an MIS; output `1` means "in the
+/// set", `0` means "not in the set".
+#[derive(Clone, Debug, Default)]
+pub struct MisAlgorithm;
+
+impl LocalAlgorithm for MisAlgorithm {
+    fn radius(&self, n: usize) -> usize {
+        mis_radius(n)
+    }
+
+    fn compute(&self, view: &BallView) -> OutLabel {
+        match in_mis(view, 0, view.n) {
+            Some(true) => OutLabel(1),
+            _ => OutLabel(0),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "mis-from-3-coloring"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_local_sim::{IdAssignment, Network, SyncSimulator};
+    use lcl_problem::{Instance, Topology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_mis(n: usize, topology: Topology, seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Network::new(
+            Instance::from_indices(topology, &vec![0; n]),
+            IdAssignment::RandomFromSpace { multiplier: 8 },
+            &mut rng,
+        )
+        .unwrap();
+        let out = SyncSimulator::new().run(&net, &MisAlgorithm).unwrap();
+        out.outputs().iter().map(|o| o.0 == 1).collect()
+    }
+
+    fn check_mis(selected: &[bool], is_cycle: bool) {
+        let n = selected.len();
+        // Independence.
+        for i in 0..n {
+            let j = (i + 1) % n;
+            if !is_cycle && j == 0 {
+                continue;
+            }
+            assert!(!(selected[i] && selected[j]), "adjacent nodes {i},{j} both selected");
+        }
+        // Maximality: every unselected node has a selected neighbour.
+        for i in 0..n {
+            if selected[i] {
+                continue;
+            }
+            let mut has = false;
+            if is_cycle || i > 0 {
+                has |= selected[(i + n - 1) % n];
+            }
+            if is_cycle || i + 1 < n {
+                has |= selected[(i + 1) % n];
+            }
+            assert!(has, "unselected node {i} has no selected neighbour");
+        }
+    }
+
+    #[test]
+    fn mis_on_cycles() {
+        for &n in &[3usize, 5, 8, 21, 64] {
+            for seed in 0..3 {
+                let sel = run_mis(n, Topology::Cycle, seed);
+                check_mis(&sel, true);
+            }
+        }
+    }
+
+    #[test]
+    fn mis_on_paths() {
+        for &n in &[2usize, 3, 9, 40] {
+            let sel = run_mis(n, Topology::Path, 11);
+            check_mis(&sel, false);
+        }
+    }
+
+    #[test]
+    fn consecutive_mis_nodes_are_two_or_three_apart_on_cycles() {
+        let n = 60;
+        let sel = run_mis(n, Topology::Cycle, 5);
+        let positions: Vec<usize> = (0..n).filter(|&i| sel[i]).collect();
+        assert!(!positions.is_empty());
+        for w in 0..positions.len() {
+            let a = positions[w];
+            let b = positions[(w + 1) % positions.len()];
+            let gap = (b + n - a) % n;
+            assert!((2..=3).contains(&gap), "gap {gap} between MIS nodes");
+        }
+    }
+
+    #[test]
+    fn small_view_returns_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Network::new(
+            Instance::from_indices(Topology::Cycle, &vec![0; 16]),
+            IdAssignment::RandomFromSpace { multiplier: 4 },
+            &mut rng,
+        )
+        .unwrap();
+        let v = SyncSimulator::new().view(&net, 0, 1);
+        assert_eq!(in_mis(&v, 0, 16), None);
+    }
+}

@@ -1,0 +1,412 @@
+//! The `(ℓ_width, ℓ_count, ℓ_pattern)`-partition of §4.3 (Lemmas 19–22):
+//! splitting a labeled cycle into long stretches with a repetitive input
+//! pattern and the remaining irregular stretches.
+//!
+//! Two forms are provided:
+//!
+//! * [`classify_position`] — the local test a node applies to its own input
+//!   window: "am I deep inside a region that is periodic with some primitive
+//!   pattern of length ≤ ℓ_pattern?" This is the `O(1)`-round part used by the
+//!   synthesized constant-time algorithms.
+//! * [`reference_partition`] — a sequential, whole-instance computation of the
+//!   resulting segments, used by tests, by the centralized reference solver
+//!   and by the benchmark workload generators.
+
+use lcl_problem::{InLabel, Instance};
+use lcl_semigroup::{is_primitive, primitive_root, smallest_period};
+
+/// Parameters of the partition, mirroring the paper's
+/// `ℓ_width`, `ℓ_count`, `ℓ_pattern` constants.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PartitionParams {
+    /// Maximum period length considered "repetitive" (`ℓ_pattern`).
+    pub pattern: usize,
+    /// Minimum number of pattern repetitions for a stretch to count as
+    /// periodic (`ℓ_count`).
+    pub count: usize,
+    /// Trim width at the ends of periodic stretches (`ℓ_width`).
+    pub width: usize,
+}
+
+impl PartitionParams {
+    /// Creates parameters; `pattern ≥ 1`, `count ≥ 1`, `width ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(pattern: usize, count: usize, width: usize) -> Self {
+        assert!(pattern >= 1 && count >= 1 && width >= 1, "parameters must be positive");
+        PartitionParams {
+            pattern,
+            count,
+            width,
+        }
+    }
+
+    /// The one-sided radius a node needs in order to classify itself:
+    /// enough to see `count + 2·width` repetitions of the longest pattern.
+    pub fn core_radius(&self) -> usize {
+        self.pattern * (self.count + 2 * self.width)
+    }
+}
+
+/// The outcome of the local classification of one position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PositionClass {
+    /// The position lies deep inside a periodic region: the whole window of
+    /// radius [`PartitionParams::core_radius`] around it repeats a primitive
+    /// pattern of length ≤ `ℓ_pattern`.
+    PeriodicCore {
+        /// The pattern in its canonical (lexicographically least) rotation.
+        pattern: Vec<InLabel>,
+        /// The phase of the centre position within the canonical rotation:
+        /// the centre's input equals `pattern[phase]`, and the canonical
+        /// rotation starts `phase` positions before the centre.
+        phase: usize,
+    },
+    /// The position is not deep inside any short-period region.
+    Other,
+}
+
+/// Returns the lexicographically least rotation of a primitive word and the
+/// rotation offset `s` such that `canonical[i] = word[(i + s) mod |word|]`.
+pub fn canonical_rotation(word: &[InLabel]) -> (Vec<InLabel>, usize) {
+    let n = word.len();
+    let mut best = 0usize;
+    for s in 1..n {
+        for i in 0..n {
+            let a = word[(i + s) % n];
+            let b = word[(i + best) % n];
+            if a != b {
+                if a < b {
+                    best = s;
+                }
+                break;
+            }
+        }
+    }
+    let canonical = (0..n).map(|i| word[(i + best) % n]).collect();
+    (canonical, best)
+}
+
+/// Classifies the centre of an input window.
+///
+/// `window` is a slice of input labels and `center` the index of the node
+/// being classified within it. The node is a periodic core iff the sub-window
+/// of radius [`PartitionParams::core_radius`] around `center` exists entirely
+/// inside `window` and is periodic with its smallest period ≤
+/// `params.pattern`.
+pub fn classify_position(
+    window: &[InLabel],
+    center: usize,
+    params: &PartitionParams,
+) -> PositionClass {
+    let radius = params.core_radius();
+    if center < radius || center + radius >= window.len() {
+        return PositionClass::Other;
+    }
+    let lo = center - radius;
+    let hi = center + radius;
+    let segment = &window[lo..=hi];
+    let period = smallest_period(segment);
+    if period > params.pattern {
+        return PositionClass::Other;
+    }
+    // The primitive pattern starting at the centre.
+    let occurrence: Vec<InLabel> = (0..period).map(|i| window[center + i]).collect();
+    debug_assert!(is_primitive(&occurrence) || period == 1);
+    let (pattern, shift) = canonical_rotation(&occurrence);
+    // canonical[i] = occurrence[(i + shift) mod p]; the centre is occurrence[0]
+    // = canonical[(0 - shift) mod p] = canonical[(p - shift) mod p].
+    let phase = (period - shift) % period;
+    PositionClass::PeriodicCore { pattern, phase }
+}
+
+/// The kind of a segment in the reference partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// A maximal run of positions that are periodic cores of the same
+    /// canonical pattern.
+    Periodic {
+        /// The canonical pattern.
+        pattern: Vec<InLabel>,
+    },
+    /// Everything else.
+    Irregular,
+}
+
+/// One segment of the reference partition: `len` consecutive positions
+/// starting at `start` (cyclically).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// First position of the segment.
+    pub start: usize,
+    /// Number of positions.
+    pub len: usize,
+    /// What the segment is.
+    pub kind: SegmentKind,
+}
+
+/// The whole-instance partition into periodic and irregular segments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReferencePartition {
+    /// Segments in cyclic order, starting from position 0's segment.
+    pub segments: Vec<Segment>,
+    /// For each position, the index of its segment in `segments`.
+    pub segment_of: Vec<usize>,
+}
+
+impl ReferencePartition {
+    /// Total number of positions covered (equals the instance length).
+    pub fn len(&self) -> usize {
+        self.segment_of.len()
+    }
+
+    /// `true` if the partition covers no position.
+    pub fn is_empty(&self) -> bool {
+        self.segment_of.is_empty()
+    }
+
+    /// Number of periodic segments.
+    pub fn periodic_count(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s.kind, SegmentKind::Periodic { .. }))
+            .count()
+    }
+}
+
+/// Computes the reference partition of an instance (path or cycle) by
+/// classifying every position with [`classify_position`] and grouping maximal
+/// runs of identical classifications.
+///
+/// On a cycle the window wraps around; on a path positions near the endpoints
+/// are always classified `Other` (they cannot be "deep inside" anything).
+pub fn reference_partition(instance: &Instance, params: &PartitionParams) -> ReferencePartition {
+    let n = instance.len();
+    if n == 0 {
+        return ReferencePartition {
+            segments: vec![],
+            segment_of: vec![],
+        };
+    }
+    let radius = params.core_radius();
+    let classes: Vec<PositionClass> = (0..n)
+        .map(|i| {
+            // Build the window of radius `radius` around i.
+            match instance.topology() {
+                lcl_problem::Topology::Cycle => {
+                    let window: Vec<InLabel> = (-(radius as isize)..=(radius as isize))
+                        .map(|d| {
+                            let idx = ((i as isize + d).rem_euclid(n as isize)) as usize;
+                            instance.input(idx)
+                        })
+                        .collect();
+                    classify_position(&window, radius, params)
+                }
+                lcl_problem::Topology::Path => {
+                    if i < radius || i + radius >= n {
+                        PositionClass::Other
+                    } else {
+                        let window: Vec<InLabel> =
+                            (i - radius..=i + radius).map(|k| instance.input(k)).collect();
+                        classify_position(&window, radius, params)
+                    }
+                }
+            }
+        })
+        .collect();
+
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut segment_of = vec![0usize; n];
+    let mut start = 0usize;
+    while start < n {
+        let kind = match &classes[start] {
+            PositionClass::PeriodicCore { pattern, .. } => SegmentKind::Periodic {
+                pattern: pattern.clone(),
+            },
+            PositionClass::Other => SegmentKind::Irregular,
+        };
+        let mut len = 1usize;
+        while start + len < n {
+            let same = match (&classes[start + len], &kind) {
+                (PositionClass::PeriodicCore { pattern, .. }, SegmentKind::Periodic { pattern: p }) => {
+                    pattern == p
+                }
+                (PositionClass::Other, SegmentKind::Irregular) => true,
+                _ => false,
+            };
+            if !same {
+                break;
+            }
+            len += 1;
+        }
+        let idx = segments.len();
+        for k in 0..len {
+            segment_of[start + k] = idx;
+        }
+        segments.push(Segment { start, len, kind });
+        start += len;
+    }
+    ReferencePartition {
+        segments,
+        segment_of,
+    }
+}
+
+/// Convenience: the primitive root of a word (re-exported from
+/// `lcl-semigroup` so partition users need one import).
+pub fn primitive_root_of(word: &[InLabel]) -> Vec<InLabel> {
+    primitive_root(word).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_problem::Topology;
+
+    fn w(indices: &[u16]) -> Vec<InLabel> {
+        indices.iter().copied().map(InLabel).collect()
+    }
+
+    #[test]
+    fn canonical_rotation_properties() {
+        let (canon, shift) = canonical_rotation(&w(&[1, 0, 2]));
+        assert_eq!(canon, w(&[0, 2, 1]));
+        assert_eq!(shift, 1);
+        for (word, expect) in [
+            (w(&[0]), w(&[0])),
+            (w(&[1, 0]), w(&[0, 1])),
+            (w(&[2, 1, 0]), w(&[0, 2, 1])),
+        ] {
+            let (canon, shift) = canonical_rotation(&word);
+            assert_eq!(canon, expect);
+            // Verify the rotation equation.
+            let n = word.len();
+            for i in 0..n {
+                assert_eq!(canon[i], word[(i + shift) % n]);
+            }
+        }
+    }
+
+    #[test]
+    fn classify_periodic_core() {
+        let params = PartitionParams::new(2, 2, 1);
+        let radius = params.core_radius();
+        assert_eq!(radius, 8);
+        // A long (1 0)-periodic window.
+        let window: Vec<InLabel> = (0..30).map(|i| InLabel((i % 2) as u16)).collect();
+        let class = classify_position(&window, 15, &params);
+        match class {
+            PositionClass::PeriodicCore { pattern, phase } => {
+                assert_eq!(pattern, w(&[0, 1]));
+                // Position 15 has input 1 = pattern[1].
+                assert_eq!(phase, 1);
+            }
+            PositionClass::Other => panic!("expected a periodic core"),
+        }
+        let class14 = classify_position(&window, 14, &params);
+        match class14 {
+            PositionClass::PeriodicCore { phase, .. } => assert_eq!(phase, 0),
+            PositionClass::Other => panic!("expected a periodic core"),
+        }
+    }
+
+    #[test]
+    fn classify_near_defect_is_other() {
+        let params = PartitionParams::new(2, 2, 1);
+        let mut inputs: Vec<u16> = (0..40).map(|i| (i % 2) as u16).collect();
+        inputs[20] = 1; // defect breaks the (0 1) period locally
+        let window = w(&inputs);
+        assert_eq!(classify_position(&window, 20, &params), PositionClass::Other);
+        assert_eq!(classify_position(&window, 22, &params), PositionClass::Other);
+        // Far from the defect it is periodic again... position 35 is more than
+        // core_radius away from the defect but needs the window to extend to
+        // 35+8 ≤ 39: ok.
+        assert!(matches!(
+            classify_position(&window, 30, &params),
+            PositionClass::PeriodicCore { .. }
+        ));
+    }
+
+    #[test]
+    fn classify_window_too_small() {
+        let params = PartitionParams::new(2, 2, 1);
+        let window = w(&[0, 1, 0, 1]);
+        assert_eq!(classify_position(&window, 1, &params), PositionClass::Other);
+    }
+
+    #[test]
+    fn reference_partition_of_periodic_cycle() {
+        let params = PartitionParams::new(2, 2, 1);
+        let inst = Instance::from_indices(Topology::Cycle, &vec![0, 1].repeat(20));
+        let part = reference_partition(&inst, &params);
+        assert_eq!(part.len(), 40);
+        assert_eq!(part.segments.len(), 1);
+        assert_eq!(part.periodic_count(), 1);
+        assert!(matches!(
+            part.segments[0].kind,
+            SegmentKind::Periodic { .. }
+        ));
+    }
+
+    #[test]
+    fn reference_partition_with_defect() {
+        let params = PartitionParams::new(1, 2, 1);
+        // Unary input with a single defect letter.
+        let mut inputs = vec![0u16; 50];
+        inputs[25] = 1;
+        let inst = Instance::from_indices(Topology::Cycle, &inputs);
+        let part = reference_partition(&inst, &params);
+        // Expect: periodic segment(s) of pattern [0] and one irregular segment
+        // around the defect.
+        assert!(part.periodic_count() >= 1);
+        let irregular: usize = part
+            .segments
+            .iter()
+            .filter(|s| s.kind == SegmentKind::Irregular)
+            .map(|s| s.len)
+            .sum();
+        let radius = params.core_radius();
+        assert!(irregular >= 1 && irregular <= 2 * (2 * radius + 1));
+        // Positions far from the defect are periodic.
+        let far = part.segment_of[0];
+        assert!(matches!(
+            part.segments[far].kind,
+            SegmentKind::Periodic { .. }
+        ));
+    }
+
+    #[test]
+    fn reference_partition_on_paths_marks_ends_irregular() {
+        let params = PartitionParams::new(1, 2, 1);
+        let inst = Instance::from_indices(Topology::Path, &vec![0; 20]);
+        let part = reference_partition(&inst, &params);
+        assert!(matches!(part.segments[0].kind, SegmentKind::Irregular));
+        assert!(matches!(
+            part.segments.last().unwrap().kind,
+            SegmentKind::Irregular
+        ));
+        assert!(part.periodic_count() >= 1);
+        assert!(!part.is_empty());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let params = PartitionParams::new(1, 1, 1);
+        let part = reference_partition(&Instance::cycle(vec![]), &params);
+        assert!(part.is_empty());
+        assert_eq!(part.len(), 0);
+    }
+
+    #[test]
+    fn primitive_root_reexport() {
+        assert_eq!(primitive_root_of(&w(&[0, 1, 0, 1])), w(&[0, 1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_params_panic() {
+        let _ = PartitionParams::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,359 @@
+//! Well-spaced ruling sets on directed cycles and paths in `O(log* n)` rounds.
+//!
+//! This is the constructive engine behind the paper's Lemma 16: starting from
+//! an MIS (consecutive selected nodes 2–3 apart), repeatedly contract the
+//! selected nodes into a virtual cycle, 3-colour it with Cole–Vishkin using the
+//! original identifiers, and take an MIS of the contraction. Each level
+//! multiplies the minimum gap by 2 and the maximum gap by 3, so after `k`
+//! levels consecutive selected nodes are between `2^k` and `3^k` apart — both
+//! constants — while the total round count stays `O(log* n)`.
+//!
+//! Everything is exposed through [`RulingSetComputer`], a per-view memoized
+//! evaluator that can answer membership queries for the centre node *and for
+//! nearby nodes*, which is what the synthesized `O(log* n)` algorithm needs in
+//! order to locate the anchors adjacent to a gap.
+
+use lcl_local_sim::{log_star, BallView};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// The `[min_gap, max_gap]` bounds on the distance between consecutive
+/// ruling-set members at the given level (level 0 is "every node", level 1 is
+/// the MIS).
+pub fn ruling_set_gap_bounds(level: usize) -> (usize, usize) {
+    if level == 0 {
+        (1, 1)
+    } else {
+        (2usize.pow(level as u32), 3usize.pow(level as u32))
+    }
+}
+
+/// Number of Cole–Vishkin iterations used inside the ruling-set construction.
+fn iterations(n: usize) -> usize {
+    log_star(n) + 8
+}
+
+/// A generous upper bound on the view radius needed to decide level-`level`
+/// membership of the centre node (and of nodes within `slack` hops of it).
+pub fn ruling_set_radius(level: usize, n: usize, slack: usize) -> usize {
+    let it = iterations(n);
+    let mut radius = 0usize;
+    for l in 0..level {
+        let (_, max_gap) = ruling_set_gap_bounds(l);
+        // Colouring the level-l contraction needs `it` successor hops plus the
+        // shift-down and MIS phases, each hop costing up to `max_gap` original
+        // edges; finding contracted neighbours costs up to `max_gap + 1` more.
+        radius += (it + 8) * max_gap + 2 * (max_gap + 1);
+    }
+    radius + slack
+}
+
+/// Memoized evaluator of the levelled ruling-set construction over one view.
+pub struct RulingSetComputer<'a> {
+    view: &'a BallView,
+    n: usize,
+    iterations: usize,
+    member_memo: RefCell<HashMap<(usize, isize), Option<bool>>>,
+    six_memo: RefCell<HashMap<(usize, isize, usize), Option<u64>>>,
+    phase_memo: RefCell<HashMap<(usize, isize, usize), Option<u64>>>,
+}
+
+impl<'a> RulingSetComputer<'a> {
+    /// Creates an evaluator over a view of a network with `view.n` nodes.
+    pub fn new(view: &'a BallView) -> Self {
+        RulingSetComputer {
+            view,
+            n: view.n,
+            iterations: iterations(view.n),
+            member_memo: RefCell::new(HashMap::new()),
+            six_memo: RefCell::new(HashMap::new()),
+            phase_memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn in_view(&self, offset: isize) -> bool {
+        self.view.at(offset).is_some()
+    }
+
+    fn exists(&self, offset: isize) -> bool {
+        // A node "exists" if it is inside the view; offsets beyond a path
+        // endpoint return false. Offsets beyond the view radius also return
+        // false, but callers must have checked range before relying on this.
+        self.view.at(offset).is_some()
+    }
+
+    /// Whether the node at `offset` is a member of the level-`level` ruling
+    /// set. Level 0 contains every node; level 1 is the MIS; level `k + 1` is
+    /// the contraction MIS of level `k`. Returns `None` when the view is too
+    /// small to decide.
+    pub fn is_member(&self, level: usize, offset: isize) -> Option<bool> {
+        if !self.in_view(offset) {
+            return None;
+        }
+        if level == 0 {
+            return Some(true);
+        }
+        let key = (level, offset);
+        if let Some(&cached) = self.member_memo.borrow().get(&key) {
+            return cached;
+        }
+        let result = self.compute_membership(level, offset);
+        self.member_memo.borrow_mut().insert(key, result);
+        result
+    }
+
+    fn compute_membership(&self, level: usize, offset: isize) -> Option<bool> {
+        // Must be a member of the previous level.
+        if !self.is_member(level - 1, offset)? {
+            return Some(false);
+        }
+        // Greedy MIS by colour class over the level-(level-1) contraction.
+        let color = self.three_color(level - 1, offset)?;
+        self.joined(level - 1, offset, color)
+    }
+
+    fn joined(&self, color_level: usize, offset: isize, color: u64) -> Option<bool> {
+        if color == 0 {
+            return Some(true);
+        }
+        for next in [
+            self.prev_member(color_level, offset),
+            self.next_member(color_level, offset),
+        ] {
+            let Some(neigh) = next? else { continue };
+            let neigh_color = self.three_color(color_level, neigh)?;
+            if neigh_color < color && self.joined(color_level, neigh, neigh_color)? {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    /// The nearest member of level `level` strictly to the right of `offset`:
+    /// `Ok(Some(offset'))`, or `Ok(None)` if the path ends first.
+    /// Returns `None` (outer) when the view is too small to decide.
+    #[allow(clippy::option_option)]
+    fn next_member(&self, level: usize, offset: isize) -> Option<Option<isize>> {
+        let (_, max_gap) = ruling_set_gap_bounds(level);
+        for d in 1..=(max_gap as isize + 1) {
+            let cand = offset + d;
+            if cand > self.view.radius as isize {
+                return None;
+            }
+            if !self.exists(cand) {
+                return Some(None); // path ended
+            }
+            if self.is_member(level, cand)? {
+                return Some(Some(cand));
+            }
+        }
+        // Gap bound violated would be a bug; treat as undecidable.
+        None
+    }
+
+    /// The nearest member of level `level` strictly to the left of `offset`.
+    #[allow(clippy::option_option)]
+    fn prev_member(&self, level: usize, offset: isize) -> Option<Option<isize>> {
+        let (_, max_gap) = ruling_set_gap_bounds(level);
+        for d in 1..=(max_gap as isize + 1) {
+            let cand = offset - d;
+            if cand < -(self.view.radius as isize) {
+                return None;
+            }
+            if !self.exists(cand) {
+                return Some(None);
+            }
+            if self.is_member(level, cand)? {
+                return Some(Some(cand));
+            }
+        }
+        None
+    }
+
+    /// Cole–Vishkin colour (< 6) of the member at `offset` in the level-`level`
+    /// contraction after `k` iterations.
+    fn six_color(&self, level: usize, offset: isize, k: usize) -> Option<u64> {
+        let key = (level, offset, k);
+        if let Some(&cached) = self.six_memo.borrow().get(&key) {
+            return cached;
+        }
+        let result = (|| {
+            if k == 0 {
+                return self.view.id_at(offset);
+            }
+            let own = self.six_color(level, offset, k - 1)?;
+            let succ_color = match self.next_member(level, offset)? {
+                Some(succ) => self.six_color(level, succ, k - 1)?,
+                None => own ^ 1, // path end: pretend a colour differing at bit 0
+            };
+            let diff = own ^ succ_color;
+            if diff == 0 {
+                // Can only happen on degenerate one-node contractions; fall
+                // back to a fixed colour.
+                return Some(own & 1);
+            }
+            let i = diff.trailing_zeros() as u64;
+            Some(2 * i + ((own >> i) & 1))
+        })();
+        self.six_memo.borrow_mut().insert(key, result);
+        result
+    }
+
+    /// Final 3-colour of the member at `offset` in the level-`level`
+    /// contraction (after the three shift-down phases).
+    fn three_color(&self, level: usize, offset: isize) -> Option<u64> {
+        self.phase_color(level, offset, 3)
+    }
+
+    fn phase_color(&self, level: usize, offset: isize, phase: usize) -> Option<u64> {
+        if phase == 0 {
+            return self.six_color(level, offset, self.iterations);
+        }
+        let key = (level, offset, phase);
+        if let Some(&cached) = self.phase_memo.borrow().get(&key) {
+            return cached;
+        }
+        let result = (|| {
+            let own = self.phase_color(level, offset, phase - 1)?;
+            let target = 6 - phase as u64;
+            if own != target {
+                return Some(own);
+            }
+            let pred = match self.prev_member(level, offset)? {
+                Some(p) => self.phase_color(level, p, phase - 1)?,
+                None => u64::MAX,
+            };
+            let succ = match self.next_member(level, offset)? {
+                Some(s) => self.phase_color(level, s, phase - 1)?,
+                None => u64::MAX,
+            };
+            Some((0..3).find(|c| *c != pred && *c != succ).unwrap_or(0))
+        })();
+        self.phase_memo.borrow_mut().insert(key, result);
+        result
+    }
+
+    /// Number of nodes of the network.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_local_sim::{IdAssignment, Network, SyncSimulator};
+    use lcl_problem::{Instance, Topology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn membership_vector(n: usize, level: usize, seed: u64, topology: Topology) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Network::new(
+            Instance::from_indices(topology, &vec![0; n]),
+            IdAssignment::RandomFromSpace { multiplier: 4 },
+            &mut rng,
+        )
+        .unwrap();
+        let sim = SyncSimulator::new();
+        let radius = ruling_set_radius(level, n, 2);
+        (0..n)
+            .map(|i| {
+                let view = sim.view(&net, i, radius);
+                let rs = RulingSetComputer::new(&view);
+                rs.is_member(level, 0).expect("radius is sufficient")
+            })
+            .collect()
+    }
+
+    fn check_gaps(selected: &[bool], min_gap: usize, max_gap: usize) {
+        let n = selected.len();
+        let positions: Vec<usize> = (0..n).filter(|&i| selected[i]).collect();
+        assert!(!positions.is_empty(), "ruling set must be non-empty");
+        for w in 0..positions.len() {
+            let a = positions[w];
+            let b = positions[(w + 1) % positions.len()];
+            let gap = (b + n - a) % n;
+            let gap = if gap == 0 { n } else { gap };
+            assert!(
+                gap >= min_gap && gap <= max_gap,
+                "gap {gap} outside [{min_gap}, {max_gap}]"
+            );
+        }
+    }
+
+    #[test]
+    fn level_one_is_an_mis() {
+        for seed in 0..2 {
+            let sel = membership_vector(40, 1, seed, Topology::Cycle);
+            let (lo, hi) = ruling_set_gap_bounds(1);
+            check_gaps(&sel, lo, hi);
+        }
+    }
+
+    #[test]
+    fn level_two_gaps_are_bounded() {
+        let sel = membership_vector(60, 2, 3, Topology::Cycle);
+        let (lo, hi) = ruling_set_gap_bounds(2);
+        assert_eq!((lo, hi), (4, 9));
+        check_gaps(&sel, lo, hi);
+    }
+
+    #[test]
+    fn level_three_gaps_are_bounded() {
+        let sel = membership_vector(140, 3, 1, Topology::Cycle);
+        let (lo, hi) = ruling_set_gap_bounds(3);
+        assert_eq!((lo, hi), (8, 27));
+        check_gaps(&sel, lo, hi);
+    }
+
+    #[test]
+    fn members_are_nested_across_levels() {
+        let n = 60;
+        let l1 = membership_vector(n, 1, 9, Topology::Cycle);
+        let l2 = membership_vector(n, 2, 9, Topology::Cycle);
+        for i in 0..n {
+            if l2[i] {
+                assert!(l1[i], "level-2 member {i} must be a level-1 member");
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_paths() {
+        let sel = membership_vector(50, 2, 5, Topology::Path);
+        // On a path we only check consecutive gaps (no wrap-around) and allow
+        // the first/last stretch to be short.
+        let positions: Vec<usize> = (0..50).filter(|&i| sel[i]).collect();
+        assert!(!positions.is_empty());
+        for w in positions.windows(2) {
+            let gap = w[1] - w[0];
+            let (lo, hi) = ruling_set_gap_bounds(2);
+            assert!(gap >= lo && gap <= hi, "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn insufficient_view_returns_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Network::new(
+            Instance::from_indices(Topology::Cycle, &vec![0; 64]),
+            IdAssignment::RandomFromSpace { multiplier: 4 },
+            &mut rng,
+        )
+        .unwrap();
+        let view = SyncSimulator::new().view(&net, 0, 3);
+        let rs = RulingSetComputer::new(&view);
+        assert_eq!(rs.is_member(2, 0), None);
+        assert_eq!(rs.is_member(0, 0), Some(true));
+        assert_eq!(rs.n(), 64);
+    }
+
+    #[test]
+    fn gap_bound_constants() {
+        assert_eq!(ruling_set_gap_bounds(0), (1, 1));
+        assert_eq!(ruling_set_gap_bounds(1), (2, 3));
+        assert_eq!(ruling_set_gap_bounds(4), (16, 81));
+        assert!(ruling_set_radius(2, 100, 0) > ruling_set_radius(1, 100, 0));
+    }
+}

@@ -1,0 +1,28 @@
+//! E-X3 (ablation): the ball-view simulator vs the crossbeam message-passing
+//! actor simulator, running the same Cole–Vishkin 3-colouring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lcl_algorithms::ThreeColoringAlgorithm;
+use lcl_bench::random_cycle_network;
+use lcl_local_sim::{ActorSimulator, SyncSimulator};
+
+fn bench_simulators(c: &mut Criterion) {
+    let net = random_cycle_network(256, 1, 7);
+    let mut group = c.benchmark_group("cole-vishkin-on-256-nodes");
+    group.bench_function("ball-view-simulator", |b| {
+        let sim = SyncSimulator::new();
+        b.iter(|| sim.run(&net, &ThreeColoringAlgorithm).unwrap())
+    });
+    group.bench_function("actor-simulator", |b| {
+        let sim = ActorSimulator::new();
+        b.iter(|| sim.run(&net, &ThreeColoringAlgorithm).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_simulators
+}
+criterion_main!(benches);

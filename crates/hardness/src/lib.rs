@@ -1,0 +1,33 @@
+//! # lcl-hardness
+//!
+//! The PSPACE-hardness machinery of Section 3 of *"The distributed complexity
+//! of locally checkable problems on paths is decidable"* (PODC 2019):
+//!
+//! * [`pi_mb`] — the LCL family `Π_{M_B}` (§3.2): input/output labels, the
+//!   locally checkable constraints 1–12, and the encoding of an LBA execution
+//!   as a path input (Definition 1, Figure 1);
+//! * [`upper_bound`] — the `O(B · T)` solver of §3.3 (the prover/disprover
+//!   case analysis producing `Start(φ)` on good inputs and error chains like
+//!   Figure 2 on corrupted inputs);
+//! * [`normalize`] — β-normalization (§3.5, Lemma 3): binary input encoding
+//!   with the block layout of Figure 3, plus Theorem 4's size accounting;
+//! * [`undirected`] — the lift from directed to undirected paths/cycles
+//!   (§3.7): orientation labels in the input, copied to the output;
+//! * [`tree_encoding`] — encoding input labels as attached trees (§3.8):
+//!   `Enc`/`Dec` of bit strings as degree-3 rooted trees and the construction
+//!   of the modified graph `G*`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod normalize;
+pub mod pi_mb;
+pub mod tree_encoding;
+pub mod undirected;
+pub mod upper_bound;
+
+pub use normalize::{beta_normalize, BetaNormalized};
+pub use pi_mb::{PiInput, PiMb, PiOutput, Secret};
+pub use tree_encoding::{decode_tree, encode_bits, InputTree, LabeledGraph};
+pub use undirected::undirected_lift;
+pub use upper_bound::solve_pi_mb;

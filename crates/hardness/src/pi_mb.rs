@@ -1,0 +1,780 @@
+//! The LCL family `Π_{M_B}` (§3.2): labels, constraints 1–12 and the good
+//! input encoding of Definition 1 / Figure 1.
+
+use lcl_lba::{Lba, Move, Outcome, StateId, TapeSymbol};
+use lcl_problem::{InLabel, Instance, NormalizedLcl, OutLabel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The secret stored at the first node of a good input (`φ ∈ {a, b}`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Secret {
+    /// The symbol `a`.
+    A,
+    /// The symbol `b`.
+    B,
+}
+
+impl fmt::Display for Secret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Secret::A => write!(f, "a"),
+            Secret::B => write!(f, "b"),
+        }
+    }
+}
+
+/// Input labels of `Π_{M_B}` (§3.2.1). Their number does not depend on `B`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PiInput {
+    /// `Start(φ)`: the secret at the first node.
+    Start(Secret),
+    /// `Separator`: separates two consecutive machine steps.
+    Separator,
+    /// `Tape(c, s, h)`: one tape cell of one step — content, state, head flag.
+    Tape {
+        /// Tape content `c ∈ {0, 1, L, R}`.
+        content: TapeSymbol,
+        /// The machine state `s` of the step.
+        state: StateId,
+        /// Whether the head is on this cell.
+        head: bool,
+    },
+    /// `Empty`: a node that takes no part in the encoding.
+    Empty,
+}
+
+impl fmt::Display for PiInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PiInput::Start(s) => write!(f, "Start({s})"),
+            PiInput::Separator => write!(f, "Sep"),
+            PiInput::Tape {
+                content,
+                state,
+                head,
+            } => write!(f, "T({content},{state},{})", if *head { "H" } else { "-" }),
+            PiInput::Empty => write!(f, "·"),
+        }
+    }
+}
+
+/// Output labels of `Π_{M_B}` (§3.2.3). The `Error⁰…Error⁵` families carry
+/// counters bounded by `B + 2`, so their number is `Θ(B)`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PiOutput {
+    /// `Start(φ)`.
+    Start(Secret),
+    /// `Empty`.
+    Empty,
+    /// The generic error label.
+    Error,
+    /// `Error⁰(i)`, `0 ≤ i ≤ B + 1`: the machine is not correctly initialized.
+    Error0(usize),
+    /// `Error¹(i)`, `0 ≤ i ≤ B`: the tape length is wrong.
+    Error1(usize),
+    /// `Error²(x, i)`, `0 ≤ i ≤ B + 1`: the tape was copied incorrectly.
+    Error2(TapeSymbol, usize),
+    /// `Error³`: two adjacent nodes have inconsistent states.
+    Error3,
+    /// `Error⁴(state, content, i)`, `0 ≤ i ≤ B + 2`: the transition is encoded
+    /// incorrectly (also covers the missing-head case).
+    Error4(StateId, TapeSymbol, usize),
+    /// `Error⁵(x)`, `x ∈ {0, 1}`: more than one head.
+    Error5(bool),
+}
+
+impl PiOutput {
+    /// The "error family" of the label: `Some(k)` for `Errorᵏ`, `None` for
+    /// everything else (including the generic `Error`).
+    pub fn error_family(&self) -> Option<usize> {
+        match self {
+            PiOutput::Error0(_) => Some(0),
+            PiOutput::Error1(_) => Some(1),
+            PiOutput::Error2(_, _) => Some(2),
+            PiOutput::Error3 => Some(3),
+            PiOutput::Error4(_, _, _) => Some(4),
+            PiOutput::Error5(_) => Some(5),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PiOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PiOutput::Start(s) => write!(f, "{s}"),
+            PiOutput::Empty => write!(f, "·"),
+            PiOutput::Error => write!(f, "E"),
+            PiOutput::Error0(i) => write!(f, "E0({i})"),
+            PiOutput::Error1(i) => write!(f, "E1({i})"),
+            PiOutput::Error2(x, i) => write!(f, "E2({x},{i})"),
+            PiOutput::Error3 => write!(f, "E3"),
+            PiOutput::Error4(s, c, i) => write!(f, "E4({s},{c},{i})"),
+            PiOutput::Error5(x) => write!(f, "E5({})", usize::from(*x)),
+        }
+    }
+}
+
+/// The LCL problem `Π_{M_B}`: an LBA together with a tape size `B`.
+#[derive(Clone, Debug)]
+pub struct PiMb {
+    machine: Lba,
+    tape_size: usize,
+}
+
+impl PiMb {
+    /// Creates the problem for a machine and tape size `B ≥ 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tape_size < 3`.
+    pub fn new(machine: Lba, tape_size: usize) -> Self {
+        assert!(tape_size >= 3, "the tape needs at least L, one cell, R");
+        PiMb { machine, tape_size }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &Lba {
+        &self.machine
+    }
+
+    /// The tape size `B`.
+    pub fn tape_size(&self) -> usize {
+        self.tape_size
+    }
+
+    // ---------------------------------------------------------------------
+    // Label enumeration (dense indices, for interoperability with `Instance`).
+    // ---------------------------------------------------------------------
+
+    /// All input labels in a fixed order.
+    pub fn input_labels(&self) -> Vec<PiInput> {
+        let mut labels = vec![
+            PiInput::Start(Secret::A),
+            PiInput::Start(Secret::B),
+            PiInput::Separator,
+            PiInput::Empty,
+        ];
+        for s in 0..self.machine.num_states() {
+            for c in TapeSymbol::ALL {
+                for head in [false, true] {
+                    labels.push(PiInput::Tape {
+                        content: c,
+                        state: StateId(s as u16),
+                        head,
+                    });
+                }
+            }
+        }
+        labels
+    }
+
+    /// All output labels in a fixed order.
+    pub fn output_labels(&self) -> Vec<PiOutput> {
+        let b = self.tape_size;
+        let mut labels = vec![
+            PiOutput::Start(Secret::A),
+            PiOutput::Start(Secret::B),
+            PiOutput::Empty,
+            PiOutput::Error,
+            PiOutput::Error3,
+            PiOutput::Error5(false),
+            PiOutput::Error5(true),
+        ];
+        for i in 0..=b + 1 {
+            labels.push(PiOutput::Error0(i));
+        }
+        for i in 0..=b {
+            labels.push(PiOutput::Error1(i));
+        }
+        for x in TapeSymbol::ALL {
+            for i in 0..=b + 1 {
+                labels.push(PiOutput::Error2(x, i));
+            }
+        }
+        for s in 0..self.machine.num_states() {
+            for c in TapeSymbol::ALL {
+                for i in 0..=b + 2 {
+                    labels.push(PiOutput::Error4(StateId(s as u16), c, i));
+                }
+            }
+        }
+        labels
+    }
+
+    /// Dense index of an input label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is not a label of this problem.
+    pub fn input_index(&self, label: PiInput) -> u16 {
+        self.input_labels()
+            .iter()
+            .position(|&l| l == label)
+            .expect("label belongs to the problem") as u16
+    }
+
+    /// Dense index of an output label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is not a label of this problem.
+    pub fn output_index(&self, label: PiOutput) -> u16 {
+        self.output_labels()
+            .iter()
+            .position(|&l| l == label)
+            .expect("label belongs to the problem") as u16
+    }
+
+    /// Converts a sequence of `Π_{M_B}` inputs into an [`Instance`] over the
+    /// dense input alphabet (a directed path).
+    pub fn instance_from_inputs(&self, inputs: &[PiInput]) -> Instance {
+        let table = self.input_labels();
+        let indexed: Vec<InLabel> = inputs
+            .iter()
+            .map(|l| {
+                InLabel::from_index(
+                    table
+                        .iter()
+                        .position(|t| t == l)
+                        .expect("label belongs to the problem"),
+                )
+            })
+            .collect();
+        Instance::path(indexed)
+    }
+
+    // ---------------------------------------------------------------------
+    // Good inputs (Definition 1, Figure 1).
+    // ---------------------------------------------------------------------
+
+    /// Encodes the execution of the machine as a good input with the given
+    /// secret, padded with `empty_padding` trailing `Empty` nodes.
+    ///
+    /// Returns `None` if the machine does not halt on a `B`-cell tape (good
+    /// inputs only exist for halting machines).
+    pub fn good_input(&self, secret: Secret, empty_padding: usize) -> Option<Vec<PiInput>> {
+        let outcome = self
+            .machine
+            .run(self.tape_size, 50_000_000)
+            .ok()?;
+        let Outcome::Halted { trace } = outcome else {
+            return None;
+        };
+        let mut inputs = vec![PiInput::Start(secret)];
+        for config in &trace {
+            inputs.push(PiInput::Separator);
+            for (j, &cell) in config.tape.iter().enumerate() {
+                inputs.push(PiInput::Tape {
+                    content: cell,
+                    state: config.state,
+                    head: config.head == j,
+                });
+            }
+        }
+        inputs.extend(std::iter::repeat(PiInput::Empty).take(empty_padding));
+        Some(inputs)
+    }
+
+    /// The length of a good input (excluding padding): `1 + t·(B + 1)` where
+    /// `t` is the number of configurations in the halting trace.
+    ///
+    /// Returns `None` if the machine loops.
+    pub fn good_input_length(&self) -> Option<usize> {
+        let outcome = self.machine.run(self.tape_size, 50_000_000).ok()?;
+        outcome.steps().map(|t| 1 + t * (self.tape_size + 1))
+    }
+
+    // ---------------------------------------------------------------------
+    // The verifier: constraints 1–12 of §3.2.4.
+    // ---------------------------------------------------------------------
+
+    /// Whether `(state, content, j)` denotes an "Error⁴ final node"
+    /// (constraint 9, second bullet): `j = B` when the transition moves left,
+    /// `j = B + 1` when it stays, `j = B + 2` when it moves right. For a final
+    /// state (whose transition is undefined) we use the convention `j = B + 1`,
+    /// consistently in the verifier and in the §3.3 solver.
+    pub fn is_error4_final(&self, state: StateId, content: TapeSymbol, j: usize) -> bool {
+        let b = self.tape_size;
+        match self.machine.transition(state, content) {
+            None => j == b + 1,
+            Some(t) => match t.movement {
+                Move::Left => j == b,
+                Move::Stay => j == b + 1,
+                Move::Right => j == b + 2,
+            },
+        }
+    }
+
+    /// Checks the constraints of one node given its own `(input, output)` and
+    /// its predecessor's `(input, output)` (or `None` for the first node of
+    /// the path).
+    #[allow(clippy::too_many_lines)]
+    pub fn node_ok(
+        &self,
+        pred: Option<(PiInput, PiOutput)>,
+        own_input: PiInput,
+        own_output: PiOutput,
+    ) -> bool {
+        let b = self.tape_size;
+        let q0 = self.machine.initial_state();
+        // Constraint 12: specific error families never mix.
+        if let (Some(x), Some((_, pred_out))) = (own_output.error_family(), pred) {
+            if let Some(y) = pred_out.error_family() {
+                if x != y {
+                    return false;
+                }
+            }
+        }
+        match own_output {
+            // Constraint 2.
+            PiOutput::Empty => own_input == PiInput::Empty,
+            // Constraints 3 and 4.
+            PiOutput::Start(phi) => {
+                if pred.is_none() && own_input != PiInput::Start(phi) {
+                    return false;
+                }
+                if let Some((_, PiOutput::Start(pred_phi))) = pred {
+                    if pred_phi != phi {
+                        return false;
+                    }
+                }
+                true
+            }
+            // Constraint 5.
+            PiOutput::Error0(j) => {
+                if j > b + 1 {
+                    return false;
+                }
+                if j == 0 {
+                    pred.is_none()
+                } else {
+                    matches!(pred, Some((_, PiOutput::Error0(k))) if k + 1 == j)
+                }
+            }
+            // Constraint 6.
+            PiOutput::Error1(j) => {
+                if j > b {
+                    return false;
+                }
+                if j == 0 {
+                    own_input == PiInput::Separator
+                } else {
+                    own_input != PiInput::Separator
+                        && matches!(pred, Some((_, PiOutput::Error1(k))) if k + 1 == j)
+                }
+            }
+            // Constraint 7.
+            PiOutput::Error2(x, j) => {
+                if j > b + 1 {
+                    return false;
+                }
+                if j == 0 {
+                    matches!(own_input, PiInput::Tape { content, head, .. } if !head && content == x)
+                } else if j == b + 1 {
+                    matches!(own_input, PiInput::Tape { content, .. } if content != x)
+                } else {
+                    matches!(pred, Some((_, PiOutput::Error2(y, k))) if y == x && k + 1 == j)
+                }
+            }
+            // Constraint 8.
+            PiOutput::Error3 => {
+                let own_state = match own_input {
+                    PiInput::Tape { state, .. } => state,
+                    _ => return false,
+                };
+                match pred {
+                    Some((PiInput::Tape { state, .. }, _)) => state != own_state,
+                    _ => false,
+                }
+            }
+            // Constraint 9.
+            PiOutput::Error4(cur_state, tape_content, j) => {
+                if j > b + 2 {
+                    return false;
+                }
+                if j == 0 {
+                    return matches!(
+                        own_input,
+                        PiInput::Tape { content, state, head }
+                            if head && content == tape_content && state == cur_state
+                    );
+                }
+                if self.is_error4_final(cur_state, tape_content, j) {
+                    let transition = self.machine.transition(cur_state, tape_content);
+                    let Some(t) = transition else {
+                        // Final state: the claimed transition cannot exist.
+                        return true;
+                    };
+                    return match own_input {
+                        PiInput::Tape { state, head, .. } => state != t.next_state || !head,
+                        _ => true,
+                    };
+                }
+                matches!(
+                    pred,
+                    Some((_, PiOutput::Error4(s, c, k)))
+                        if s == cur_state && c == tape_content && k + 1 == j
+                )
+            }
+            // Constraint 10.
+            PiOutput::Error5(x) => {
+                let pred_is_error5 = matches!(pred, Some((_, PiOutput::Error5(_))));
+                if !pred_is_error5 {
+                    matches!(own_input, PiInput::Tape { head, .. } if head) && !x
+                } else {
+                    true
+                }
+            }
+            // Constraint 11.
+            PiOutput::Error => {
+                let own_is_start = matches!(own_input, PiInput::Start(_));
+                match pred {
+                    None => !own_is_start,
+                    Some((pred_in, pred_out)) => {
+                        if own_is_start {
+                            return true;
+                        }
+                        if pred_in == PiInput::Empty || pred_out == PiOutput::Empty {
+                            return true;
+                        }
+                        if pred_out == PiOutput::Error {
+                            return true;
+                        }
+                        match pred_out {
+                            PiOutput::Error0(j) if j > 0 => {
+                                if j == 1 {
+                                    return pred_in != PiInput::Separator;
+                                }
+                                // j ≥ 2.
+                                match pred_in {
+                                    PiInput::Tape {
+                                        content,
+                                        state,
+                                        head,
+                                    } => {
+                                        if j == 2 {
+                                            content != TapeSymbol::LeftEnd || state != q0 || !head
+                                        } else if j <= b {
+                                            content != TapeSymbol::Zero || state != q0 || head
+                                        } else {
+                                            // j == b + 1
+                                            content != TapeSymbol::RightEnd || state != q0 || head
+                                        }
+                                    }
+                                    _ => true,
+                                }
+                            }
+                            PiOutput::Error1(x) => {
+                                (own_input == PiInput::Separator && x != b)
+                                    || (own_input != PiInput::Separator && x == b)
+                            }
+                            PiOutput::Error2(_, j) => j == b + 1,
+                            PiOutput::Error3 => true,
+                            PiOutput::Error4(s, c, j) => self.is_error4_final(s, c, j),
+                            PiOutput::Error5(x) => {
+                                x && matches!(pred_in, PiInput::Tape { head, .. } if head)
+                            }
+                            _ => false,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Verifies a complete output labeling of a path against constraints 1–12.
+    /// Returns the indices of the violating nodes (empty = valid).
+    pub fn violations(&self, inputs: &[PiInput], outputs: &[PiOutput]) -> Vec<usize> {
+        let mut bad = Vec::new();
+        if inputs.len() != outputs.len() {
+            return (0..inputs.len().max(outputs.len())).collect();
+        }
+        for i in 0..inputs.len() {
+            let pred = if i == 0 {
+                None
+            } else {
+                Some((inputs[i - 1], outputs[i - 1]))
+            };
+            if !self.node_ok(pred, inputs[i], outputs[i]) {
+                bad.push(i);
+            }
+        }
+        bad
+    }
+
+    /// `true` if the labeling satisfies every constraint.
+    pub fn is_valid(&self, inputs: &[PiInput], outputs: &[PiOutput]) -> bool {
+        self.violations(inputs, outputs).is_empty()
+    }
+
+    // ---------------------------------------------------------------------
+    // Conversion to a normalized problem (Lemma 2 enrichment).
+    // ---------------------------------------------------------------------
+
+    /// Converts `Π_{M_B}` into an equivalent [`NormalizedLcl`] on directed
+    /// paths via the Lemma 2 move: the new output carries a copy of the input,
+    /// the node constraint checks the copy, and the edge constraint evaluates
+    /// the original verifier on the predecessor's carried pair and the node's
+    /// carried pair.
+    ///
+    /// The conversion is exact at every node that has a predecessor: the edge
+    /// constraint evaluates the original verifier on the two carried pairs.
+    /// The "has no predecessor" clauses of constraints 3, 5 and 11 cannot be
+    /// expressed in a node-only constraint, so they are *relaxed* at the first
+    /// node of a path; the paper's §4 opening remark resolves this by encoding
+    /// endpoint constraints next to a special input label (see
+    /// `lcl_problem::lift_path_to_cycle`), and the dedicated verifier
+    /// [`Self::is_valid`] remains the ground truth for `Π_{M_B}` itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-set construction errors.
+    pub fn to_normalized(&self) -> lcl_problem::Result<NormalizedLcl> {
+        let inputs = self.input_labels();
+        let outputs = self.output_labels();
+        let in_names: Vec<String> = inputs.iter().map(|l| l.to_string()).collect();
+        let mut out_names = Vec::with_capacity(inputs.len() * outputs.len());
+        for i in &inputs {
+            for o in &outputs {
+                out_names.push(format!("{i}|{o}"));
+            }
+        }
+        let mut b = NormalizedLcl::builder(format!(
+            "pi-mb({},B={})",
+            self.machine.name(),
+            self.tape_size
+        ));
+        b.input_labels(&in_names);
+        b.output_labels(&out_names);
+        let beta = outputs.len();
+        // Node constraint: the carried input must match the real input and
+        // the node must be acceptable with *some* predecessor or none; the
+        // precise predecessor check happens on the edge. To keep the problem
+        // equivalent we only require the carried copy here.
+        for (ii, _i) in inputs.iter().enumerate() {
+            for oo in 0..beta {
+                b.allow_node_idx(ii as u16, (ii * beta + oo) as u16);
+            }
+        }
+        // Edge constraint: original verifier with the predecessor pair.
+        for (pi, p_in) in inputs.iter().enumerate() {
+            for (po, p_out) in outputs.iter().enumerate() {
+                for (ci, c_in) in inputs.iter().enumerate() {
+                    for (co, c_out) in outputs.iter().enumerate() {
+                        if self.node_ok(Some((*p_in, *p_out)), *c_in, *c_out) {
+                            b.allow_edge_idx((pi * beta + po) as u16, (ci * beta + co) as u16);
+                        }
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Converts a `Π_{M_B}` output sequence into a [`Labeling`] over the
+    /// normalized problem produced by [`Self::to_normalized`].
+    pub fn normalized_labeling(
+        &self,
+        inputs: &[PiInput],
+        outputs: &[PiOutput],
+    ) -> lcl_problem::Labeling {
+        let in_table = self.input_labels();
+        let out_table = self.output_labels();
+        let beta = out_table.len();
+        let labels: Vec<OutLabel> = inputs
+            .iter()
+            .zip(outputs.iter())
+            .map(|(i, o)| {
+                let ii = in_table.iter().position(|t| t == i).expect("known input");
+                let oo = out_table.iter().position(|t| t == o).expect("known output");
+                OutLabel::from_index(ii * beta + oo)
+            })
+            .collect();
+        lcl_problem::Labeling::new(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_lba::machines;
+
+    fn small() -> PiMb {
+        PiMb::new(machines::unary_counter(), 4)
+    }
+
+    #[test]
+    fn label_sets_have_expected_sizes() {
+        let p = small();
+        let inputs = p.input_labels();
+        let outputs = p.output_labels();
+        // 4 fixed + 8·|Q| tape labels.
+        assert_eq!(inputs.len(), 4 + 8 * p.machine().num_states());
+        // Outputs grow linearly with B.
+        let bigger = PiMb::new(machines::unary_counter(), 8);
+        assert!(bigger.output_labels().len() > outputs.len());
+        // Indices round-trip.
+        for (i, &l) in inputs.iter().enumerate() {
+            assert_eq!(p.input_index(l) as usize, i);
+        }
+        assert_eq!(p.output_index(PiOutput::Error) as usize, 3);
+    }
+
+    #[test]
+    fn good_input_has_expected_shape() {
+        let p = small();
+        let input = p.good_input(Secret::A, 3).expect("unary counter halts");
+        assert_eq!(input[0], PiInput::Start(Secret::A));
+        assert_eq!(input[1], PiInput::Separator);
+        // Blocks of B+1 nodes: Separator + B tape cells.
+        let body = &input[1..input.len() - 3];
+        assert_eq!(body.len() % (p.tape_size() + 1), 0);
+        assert_eq!(
+            input.len() - 3,
+            p.good_input_length().expect("halting machine")
+        );
+        // First block encodes the initial configuration (L 0 … 0 R, q0, head on L).
+        match input[2] {
+            PiInput::Tape {
+                content,
+                state,
+                head,
+            } => {
+                assert_eq!(content, TapeSymbol::LeftEnd);
+                assert_eq!(state, p.machine().initial_state());
+                assert!(head);
+            }
+            other => panic!("expected a tape label, got {other}"),
+        }
+        assert_eq!(*input.last().unwrap(), PiInput::Empty);
+    }
+
+    #[test]
+    fn looping_machine_has_no_good_input() {
+        let p = PiMb::new(machines::always_loop(), 4);
+        assert!(p.good_input(Secret::A, 0).is_none());
+        assert!(p.good_input_length().is_none());
+    }
+
+    #[test]
+    fn all_start_output_is_valid_on_good_inputs() {
+        let p = small();
+        let input = p.good_input(Secret::B, 4).unwrap();
+        let output: Vec<PiOutput> = input
+            .iter()
+            .map(|i| match i {
+                PiInput::Empty => PiOutput::Empty,
+                _ => PiOutput::Start(Secret::B),
+            })
+            .collect();
+        assert!(p.is_valid(&input, &output), "{:?}", p.violations(&input, &output));
+    }
+
+    #[test]
+    fn wrong_secret_output_is_rejected() {
+        let p = small();
+        let input = p.good_input(Secret::A, 0).unwrap();
+        let output: Vec<PiOutput> = input.iter().map(|_| PiOutput::Start(Secret::B)).collect();
+        assert!(!p.is_valid(&input, &output));
+        // Mixing a and b along the path is also rejected (constraint 4).
+        let mut mixed: Vec<PiOutput> = input.iter().map(|_| PiOutput::Start(Secret::A)).collect();
+        let last = mixed.len() - 1;
+        mixed[last] = PiOutput::Start(Secret::B);
+        assert!(!p.is_valid(&input, &mixed));
+    }
+
+    #[test]
+    fn empty_output_requires_empty_input() {
+        let p = small();
+        let input = vec![PiInput::Empty, PiInput::Separator];
+        let ok = vec![PiOutput::Empty, PiOutput::Error];
+        // The second node outputs Error with pred input Empty: allowed
+        // (constraint 11, third bullet).
+        assert!(p.is_valid(&input, &ok));
+        let bad = vec![PiOutput::Empty, PiOutput::Empty];
+        assert!(!p.is_valid(&input, &bad));
+    }
+
+    #[test]
+    fn error_chains_are_not_acceptable_on_good_inputs() {
+        // §3.4: on a good input no specific error chain can be completed.
+        // We check a representative family: try to start an Error² chain at
+        // every possible position of a good input and complete it greedily;
+        // the verifier must reject every attempt.
+        let p = small();
+        let input = p.good_input(Secret::A, 0).unwrap();
+        let b = p.tape_size();
+        let n = input.len();
+        for start in 0..n.saturating_sub(b + 2) {
+            // The chain claims content x at its start.
+            let x = match input[start] {
+                PiInput::Tape { content, head, .. } if !head => content,
+                _ => continue,
+            };
+            let mut output: Vec<PiOutput> = (0..n)
+                .map(|i| {
+                    if i < start {
+                        PiOutput::Start(Secret::A)
+                    } else if i <= start + b + 1 {
+                        PiOutput::Error2(x, i - start)
+                    } else {
+                        PiOutput::Error
+                    }
+                })
+                .collect();
+            // Adjust: positions before the chain keep Start(a) which is fine.
+            if start == 0 {
+                output[0] = PiOutput::Error2(x, 0);
+            }
+            assert!(
+                !p.is_valid(&input, &output),
+                "an Error² chain starting at {start} must not be acceptable on a good input"
+            );
+        }
+    }
+
+    #[test]
+    fn error12_constraint_families_do_not_mix() {
+        let p = small();
+        let input = vec![
+            PiInput::Separator,
+            PiInput::Separator,
+        ];
+        let mixed = vec![PiOutput::Error1(0), PiOutput::Error0(1)];
+        assert!(!p.is_valid(&input, &mixed));
+    }
+
+    #[test]
+    fn normalized_problem_accepts_translated_labelings() {
+        let p = small();
+        let normalized = p.to_normalized().unwrap();
+        let input = p.good_input(Secret::A, 2).unwrap();
+        let output: Vec<PiOutput> = input
+            .iter()
+            .map(|i| match i {
+                PiInput::Empty => PiOutput::Empty,
+                _ => PiOutput::Start(Secret::A),
+            })
+            .collect();
+        let instance = p.instance_from_inputs(&input);
+        let labeling = p.normalized_labeling(&input, &output);
+        assert!(normalized.is_valid(&instance, &labeling));
+        // A corrupted translation (wrong carried input) is rejected.
+        let mut wrong = labeling.clone();
+        *wrong.output_mut(1) = OutLabel(0);
+        assert!(!normalized.is_valid(&instance, &wrong));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(PiInput::Separator.to_string(), "Sep");
+        assert_eq!(PiOutput::Error3.to_string(), "E3");
+        assert!(PiOutput::Error2(TapeSymbol::One, 4).to_string().contains("E2"));
+        assert_eq!(Secret::A.to_string(), "a");
+        let p = small();
+        assert_eq!(p.tape_size(), 4);
+        assert_eq!(p.machine().name(), "unary-counter");
+    }
+}

@@ -1,0 +1,257 @@
+//! The lift from consistently oriented paths to undirected paths and cycles
+//! (§3.7): orientation labels `{0, 1, 2}` are added to the input, must be
+//! copied to the output, and nodes may output an error where the orientation
+//! is inconsistent.
+//!
+//! An undirected verifier looks at both neighbours; we therefore express the
+//! lifted problem as a radius-1 [`WindowLcl`] whose windows are unordered in
+//! the sense that the verifier recovers the direction from the copied
+//! orientation labels, exactly as described in the paper.
+
+use lcl_problem::{InLabel, NormalizedLcl, OutLabel, Result, Window, WindowLcl};
+
+/// Index arithmetic for the lifted label sets.
+///
+/// Input `(a, d)` where `a` is the original input and `d ∈ {0,1,2}` the
+/// orientation counter; output `(d, v)` where `v` is either an original output
+/// or the error label `E` (encoded as index `β`).
+fn lifted_input(a: usize, d: usize) -> u16 {
+    (a * 3 + d) as u16
+}
+
+fn lifted_output(d: usize, v: usize, beta: usize) -> u16 {
+    (d * (beta + 1) + v) as u16
+}
+
+/// Lifts a problem on consistently oriented paths to undirected paths/cycles
+/// (§3.7). The new input alphabet is `Σ_in × {0, 1, 2}`, the new output
+/// alphabet is `{0, 1, 2} × (Σ_out ∪ {E})`; the verifier checks that the
+/// orientation counter is copied, and
+///
+/// * where the orientation counters increase consistently (mod 3), the
+///   original node/edge constraints hold between the node and its
+///   predecessor;
+/// * where they do not, the node may output `E` ("treat the place where the
+///   orientation is inconsistent as a place where the path ends").
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn undirected_lift(problem: &NormalizedLcl) -> Result<WindowLcl> {
+    let alpha = problem.num_inputs();
+    let beta = problem.num_outputs();
+    let mut b = WindowLcl::builder(format!("{}-undirected", problem.name()), 1);
+    let mut in_names = Vec::with_capacity(alpha * 3);
+    for a in 0..alpha {
+        for d in 0..3 {
+            in_names.push(format!("{}·{}", problem.input_alphabet().name(a), d));
+        }
+    }
+    let mut out_names = Vec::with_capacity(3 * (beta + 1));
+    for d in 0..3 {
+        for v in 0..beta {
+            out_names.push(format!("{}·{}", d, problem.output_alphabet().name(v)));
+        }
+        out_names.push(format!("{}·E", d));
+    }
+    b.input_labels(&in_names);
+    b.output_labels(&out_names);
+
+    // Decode helpers for window cells.
+    let decode_in = |l: InLabel| (l.index() / 3, l.index() % 3);
+    let decode_out = |l: OutLabel| (l.index() / (beta + 1), l.index() % (beta + 1));
+
+    let cell_ok = |cells: &[(InLabel, OutLabel)], center: usize| -> bool {
+        let (a_c, d_in) = decode_in(cells[center].0);
+        let (d_out, v) = decode_out(cells[center].1);
+        // The orientation counter must be copied from input to output.
+        if d_in != d_out {
+            return false;
+        }
+        // Find the predecessor: the neighbour whose copied counter is one less
+        // (mod 3). With both neighbours visible, at most one qualifies.
+        let mut pred: Option<usize> = None;
+        let mut inconsistent = false;
+        for (idx, cell) in cells.iter().enumerate() {
+            if idx == center {
+                continue;
+            }
+            let (_, nd) = decode_out(cell.1);
+            if (nd + 1) % 3 == d_in {
+                if pred.is_some() {
+                    inconsistent = true;
+                }
+                pred = Some(idx);
+            } else if (d_in + 1) % 3 == nd {
+                // successor: fine
+            } else {
+                inconsistent = true;
+            }
+        }
+        if v == beta {
+            // The error label is allowed only where the orientation really is
+            // inconsistent (or at a window that does not see both neighbours —
+            // handled by the boundary windows below).
+            return inconsistent;
+        }
+        // Original node constraint.
+        if !problem.node_ok(InLabel::from_index(a_c), OutLabel::from_index(v)) {
+            return false;
+        }
+        // Original edge constraint towards the predecessor, if it exists and
+        // did not output the error label.
+        if let Some(p) = pred {
+            let (_, pv) = decode_out(cells[p].1);
+            if pv != beta
+                && !problem.edge_ok(OutLabel::from_index(pv), OutLabel::from_index(v))
+            {
+                return false;
+            }
+        }
+        true
+    };
+
+    b.allow_full_windows_by(|cells| cell_ok(cells, 1));
+    b.allow_boundary_windows_by(|center, cells| {
+        // Endpoint nodes of an undirected path: same rules, with the missing
+        // neighbour imposing no constraint.
+        let (a_c, d_in) = decode_in(cells[center].0);
+        let (d_out, v) = decode_out(cells[center].1);
+        if d_in != d_out {
+            return false;
+        }
+        if v == beta {
+            return true; // an endpoint may always declare the path ended
+        }
+        if !problem.node_ok(InLabel::from_index(a_c), OutLabel::from_index(v)) {
+            return false;
+        }
+        for (idx, cell) in cells.iter().enumerate() {
+            if idx == center {
+                continue;
+            }
+            let (_, nd) = decode_out(cell.1);
+            let (_, nv) = decode_out(cell.1);
+            if (nd + 1) % 3 == d_in && nv != beta {
+                let _ = cell;
+                if !problem.edge_ok(OutLabel::from_index(nv), OutLabel::from_index(v)) {
+                    return false;
+                }
+            }
+        }
+        true
+    });
+    b.build()
+}
+
+/// Encodes an oriented instance (a directed path/cycle over the original
+/// input alphabet) as an undirected-lift instance by attaching the
+/// orientation counters `0, 1, 2, 0, …` (§3.7).
+pub fn orient_instance(problem: &NormalizedLcl, instance: &lcl_problem::Instance) -> lcl_problem::Instance {
+    let _ = problem;
+    let inputs: Vec<InLabel> = instance
+        .inputs()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| InLabel(lifted_input(l.index(), i % 3)))
+        .collect();
+    match instance.topology() {
+        lcl_problem::Topology::Cycle => lcl_problem::Instance::cycle(inputs),
+        lcl_problem::Topology::Path => lcl_problem::Instance::path(inputs),
+    }
+}
+
+/// Encodes a labeling of the oriented instance as a labeling of the lifted
+/// instance (copying the orientation counters).
+pub fn orient_labeling(problem: &NormalizedLcl, labeling: &lcl_problem::Labeling) -> lcl_problem::Labeling {
+    let beta = problem.num_outputs();
+    let outputs: Vec<OutLabel> = labeling
+        .outputs()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| OutLabel(lifted_output(i % 3, l.index(), beta)))
+        .collect();
+    lcl_problem::Labeling::new(outputs)
+}
+
+/// Convenience re-export of the window type for downstream users building
+/// custom lifted windows in tests.
+pub type LiftedWindow = Window;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_problem::{Instance, Labeling, Topology};
+
+    fn three_coloring() -> NormalizedLcl {
+        let mut b = NormalizedLcl::builder("3-coloring");
+        b.input_labels(&["x"]);
+        b.output_labels(&["1", "2", "3"]);
+        b.allow_all_node_pairs();
+        for p in 0..3u16 {
+            for q in 0..3u16 {
+                if p != q {
+                    b.allow_edge_idx(p, q);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lift_has_expected_alphabets() {
+        let p = three_coloring();
+        let lifted = undirected_lift(&p).unwrap();
+        assert_eq!(lifted.input_alphabet().len(), 3);
+        assert_eq!(lifted.output_alphabet().len(), 12);
+        assert_eq!(lifted.radius(), 1);
+        assert!(lifted.num_allowed_windows() > 0);
+    }
+
+    #[test]
+    fn oriented_solutions_remain_valid_after_lifting() {
+        let p = three_coloring();
+        let lifted = undirected_lift(&p).unwrap();
+        // A 6-cycle, consistently oriented; the orientation counters are
+        // 0,1,2,0,1,2 which is consistent all the way around.
+        let inst = Instance::from_indices(Topology::Cycle, &[0; 6]);
+        let coloring = Labeling::from_indices(&[0, 1, 2, 0, 1, 2]);
+        assert!(p.is_valid(&inst, &coloring));
+        let lifted_inst = orient_instance(&p, &inst);
+        let lifted_out = orient_labeling(&p, &coloring);
+        assert!(
+            lifted.is_valid(&lifted_inst, &lifted_out),
+            "{}",
+            lifted.check(&lifted_inst, &lifted_out)
+        );
+        // Dropping the orientation copy breaks validity.
+        let mut bad = lifted_out.clone();
+        *bad.output_mut(0) = OutLabel(lifted_output(1, 0, p.num_outputs()) );
+        assert!(!lifted.is_valid(&lifted_inst, &bad));
+    }
+
+    #[test]
+    fn improper_colorings_stay_invalid() {
+        let p = three_coloring();
+        let lifted = undirected_lift(&p).unwrap();
+        let inst = Instance::from_indices(Topology::Cycle, &[0; 6]);
+        let bad = Labeling::from_indices(&[0, 0, 2, 0, 1, 2]);
+        assert!(!p.is_valid(&inst, &bad));
+        let lifted_inst = orient_instance(&p, &inst);
+        let lifted_bad = orient_labeling(&p, &bad);
+        assert!(!lifted.is_valid(&lifted_inst, &lifted_bad));
+    }
+
+    #[test]
+    fn error_labels_require_inconsistent_orientation() {
+        let p = three_coloring();
+        let lifted = undirected_lift(&p).unwrap();
+        // Consistent orientation: an error output in the middle is rejected.
+        let inst = Instance::from_indices(Topology::Cycle, &[0; 6]);
+        let lifted_inst = orient_instance(&p, &inst);
+        let coloring = Labeling::from_indices(&[0, 1, 2, 0, 1, 2]);
+        let mut with_error = orient_labeling(&p, &coloring);
+        *with_error.output_mut(2) = OutLabel(lifted_output(2, p.num_outputs(), p.num_outputs()));
+        assert!(!lifted.is_valid(&lifted_inst, &with_error));
+    }
+}

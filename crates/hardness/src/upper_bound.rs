@@ -1,0 +1,606 @@
+//! The `O(B · T)` solver for `Π_{M_B}` (§3.3): the prover/disprover case
+//! analysis that outputs `Start(φ)` on good inputs and locally checkable
+//! error chains on corrupted inputs (Figure 2).
+//!
+//! The solver is implemented as a whole-path computation — exactly what every
+//! node computes once it has gathered its `T' = 2 + (B + 1)·T` neighbourhood —
+//! and always produces an output satisfying constraints 1–12. Its case
+//! analysis follows §3.3:
+//!
+//! 1. a `Start` label away from the first node (case 1),
+//! 2. a corrupted initial configuration (`Error⁰`, case 2),
+//! 3. a missing or premature separator (`Error¹`, cases 3–4),
+//! 4. a mis-copied tape cell (`Error²`, case 5, Figure 2),
+//! 5. inconsistent states inside a block (`Error³`, case 6),
+//! 6. a wrongly encoded transition or missing head, including execution
+//!    continuing past the final state (`Error⁴`, case 7),
+//! 7. more than one head in a block (`Error⁵`, case 8).
+//!
+//! When no error is *provable* the solver outputs `Start(φ)` everywhere (and
+//! `Empty` on empty nodes), which is always acceptable.
+
+use crate::pi_mb::{PiInput, PiMb, PiOutput, Secret};
+use lcl_lba::{Move, TapeSymbol};
+
+/// What the solver found and where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Finding {
+    /// No provable error; output `Start(φ)` / `Empty` everywhere.
+    Clean,
+    /// All nodes output the generic `Error` (the first node's input is not a
+    /// `Start` label).
+    AllError,
+    /// `Start(φ)` before `from`, generic `Error` from `from` onwards.
+    ErrorFrom {
+        from: usize,
+    },
+    /// An `Error⁰` chain on `0..=to`, generic `Error` afterwards.
+    Error0 {
+        to: usize,
+    },
+    /// An `Error¹` chain on `from..=to`, `Start` before, `Error` after.
+    Error1 {
+        from: usize,
+        to: usize,
+    },
+    /// An `Error²` chain on `from..=to` claiming content `x`.
+    Error2 {
+        from: usize,
+        to: usize,
+        x: TapeSymbol,
+    },
+    /// A single `Error³` at `at`.
+    Error3 {
+        at: usize,
+    },
+    /// An `Error⁴` chain on `from..=to` carrying the head's `(state, content)`.
+    Error4 {
+        from: usize,
+        to: usize,
+        state: lcl_lba::StateId,
+        content: TapeSymbol,
+    },
+    /// An `Error⁵` pair of markers: `Error⁵(0)` at `first`, `Error⁵(1)` on
+    /// `first+1..=second`, `Error` afterwards.
+    Error5 {
+        first: usize,
+        second: usize,
+    },
+}
+
+/// The ideal initial block of a good input: `Separator`, then the initial
+/// configuration `(L, 0, …, 0, R)` in state `q0` with the head on `L`.
+fn ideal_initial_block(problem: &PiMb) -> Vec<PiInput> {
+    let b = problem.tape_size();
+    let q0 = problem.machine().initial_state();
+    let mut block = vec![PiInput::Separator];
+    for cell in 0..b {
+        let content = if cell == 0 {
+            TapeSymbol::LeftEnd
+        } else if cell == b - 1 {
+            TapeSymbol::RightEnd
+        } else {
+            TapeSymbol::Zero
+        };
+        block.push(PiInput::Tape {
+            content,
+            state: q0,
+            head: cell == 0,
+        });
+    }
+    block
+}
+
+fn find_first_provable_error(problem: &PiMb, inputs: &[PiInput]) -> Finding {
+    let b = problem.tape_size();
+    let n = inputs.len();
+    if n == 0 {
+        return Finding::Clean;
+    }
+    if !matches!(inputs[0], PiInput::Start(_)) {
+        return Finding::AllError;
+    }
+    let initial_block = ideal_initial_block(problem);
+    let mut j = 1usize;
+    while j < n {
+        if inputs[j] == PiInput::Empty {
+            // The encoding stops here; any later non-empty nodes are covered
+            // by generic errors justified by the empty predecessor.
+            let next_non_empty = (j + 1..n).find(|&i| inputs[i] != PiInput::Empty);
+            return match next_non_empty {
+                Some(from) => Finding::ErrorFrom { from },
+                None => Finding::Clean,
+            };
+        }
+        // Case 1: a Start label in the middle.
+        if matches!(inputs[j], PiInput::Start(_)) {
+            return Finding::ErrorFrom { from: j };
+        }
+        // Case 2: deviation inside the initial block.
+        if j <= b + 1 {
+            if inputs[j] != initial_block[j - 1] {
+                return Finding::Error0 { to: j };
+            }
+            j += 1;
+            continue;
+        }
+        let r = (j - 1) % (b + 1); // 0 = separator position, 1..=b = tape cells
+        if r == 0 {
+            // A separator is expected here.
+            if inputs[j] != PiInput::Separator {
+                // Case 3: the tape is too long.
+                return Finding::Error1 {
+                    from: j - (b + 1),
+                    to: j - 1,
+                };
+            }
+            j += 1;
+            continue;
+        }
+        // A tape cell is expected here.
+        match inputs[j] {
+            PiInput::Separator => {
+                // Case 4: the tape is too short.
+                return Finding::Error1 { from: j - r, to: j - 1 };
+            }
+            PiInput::Tape {
+                content,
+                state,
+                head,
+            } => {
+                // Case 5: the cell was copied incorrectly from the previous
+                // block (only cells that were not under the head are copied).
+                if let PiInput::Tape {
+                    content: prev_content,
+                    head: prev_head,
+                    ..
+                } = inputs[j - (b + 1)]
+                {
+                    if !prev_head && prev_content != content {
+                        return Finding::Error2 {
+                            from: j - (b + 1),
+                            to: j,
+                            x: prev_content,
+                        };
+                    }
+                }
+                // Case 6: inconsistent states inside the block.
+                if r >= 2 {
+                    if let PiInput::Tape {
+                        state: prev_state, ..
+                    } = inputs[j - 1]
+                    {
+                        if prev_state != state {
+                            return Finding::Error3 { at: j };
+                        }
+                    }
+                }
+                // Case 8: a second head inside the same block.
+                if head {
+                    let block_start = j - r;
+                    for k in (block_start + 1)..j {
+                        if let PiInput::Tape { head: true, .. } = inputs[k] {
+                            return Finding::Error5 { first: k, second: j };
+                        }
+                    }
+                }
+                // Case 7: the transition is encoded incorrectly — checked at
+                // the position where the previous block's head lands.
+                let prev_block_start = j - r - (b + 1);
+                for cell in 0..b {
+                    let k = prev_block_start + 1 + cell;
+                    let PiInput::Tape {
+                        content: head_content,
+                        state: head_state,
+                        head: true,
+                    } = inputs[k]
+                    else {
+                        continue;
+                    };
+                    let transition = problem.machine().transition(head_state, head_content);
+                    let offset = match transition.map(|t| t.movement) {
+                        Some(Move::Left) => b,
+                        Some(Move::Stay) | None => b + 1,
+                        Some(Move::Right) => b + 2,
+                    };
+                    if k + offset != j {
+                        continue;
+                    }
+                    let provable = match transition {
+                        // Execution continuing past the final state is always
+                        // an error.
+                        None => true,
+                        Some(t) => state != t.next_state || !head,
+                    };
+                    if provable {
+                        return Finding::Error4 {
+                            from: k,
+                            to: j,
+                            state: head_state,
+                            content: head_content,
+                        };
+                    }
+                    break;
+                }
+            }
+            _ => unreachable!("Start and Empty are handled above"),
+        }
+        j += 1;
+    }
+    Finding::Clean
+}
+
+/// Solves `Π_{M_B}` on a directed path with the given inputs: returns an
+/// output labeling satisfying constraints 1–12 (§3.3's algorithm, run
+/// centrally).
+pub fn solve_pi_mb(problem: &PiMb, inputs: &[PiInput]) -> Vec<PiOutput> {
+    let n = inputs.len();
+    let secret = match inputs.first() {
+        Some(PiInput::Start(s)) => *s,
+        _ => Secret::A,
+    };
+    let start_or_empty = |i: usize| {
+        if inputs[i] == PiInput::Empty {
+            PiOutput::Empty
+        } else {
+            PiOutput::Start(secret)
+        }
+    };
+    let error_or_empty = |i: usize| {
+        if inputs[i] == PiInput::Empty {
+            PiOutput::Empty
+        } else {
+            PiOutput::Error
+        }
+    };
+    let finding = find_first_provable_error(problem, inputs);
+    (0..n)
+        .map(|i| match &finding {
+            Finding::Clean => start_or_empty(i),
+            Finding::AllError => error_or_empty(i),
+            Finding::ErrorFrom { from } => {
+                if i < *from {
+                    start_or_empty(i)
+                } else {
+                    error_or_empty(i)
+                }
+            }
+            Finding::Error0 { to } => {
+                if i <= *to {
+                    PiOutput::Error0(i)
+                } else {
+                    error_or_empty(i)
+                }
+            }
+            Finding::Error1 { from, to } => {
+                if i < *from {
+                    start_or_empty(i)
+                } else if i <= *to {
+                    PiOutput::Error1(i - from)
+                } else {
+                    error_or_empty(i)
+                }
+            }
+            Finding::Error2 { from, to, x } => {
+                if i < *from {
+                    start_or_empty(i)
+                } else if i <= *to {
+                    PiOutput::Error2(*x, i - from)
+                } else {
+                    error_or_empty(i)
+                }
+            }
+            Finding::Error3 { at } => {
+                if i < *at {
+                    start_or_empty(i)
+                } else if i == *at {
+                    PiOutput::Error3
+                } else {
+                    error_or_empty(i)
+                }
+            }
+            Finding::Error4 {
+                from,
+                to,
+                state,
+                content,
+            } => {
+                if i < *from {
+                    start_or_empty(i)
+                } else if i <= *to {
+                    PiOutput::Error4(*state, *content, i - from)
+                } else {
+                    error_or_empty(i)
+                }
+            }
+            Finding::Error5 { first, second } => {
+                if i < *first {
+                    start_or_empty(i)
+                } else if i == *first {
+                    PiOutput::Error5(false)
+                } else if i <= *second {
+                    PiOutput::Error5(true)
+                } else {
+                    error_or_empty(i)
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_lba::machines;
+    use lcl_lba::StateId;
+
+    fn problem() -> PiMb {
+        PiMb::new(machines::unary_counter(), 4)
+    }
+
+    fn assert_solved(problem: &PiMb, inputs: &[PiInput]) -> Vec<PiOutput> {
+        let outputs = solve_pi_mb(problem, inputs);
+        assert_eq!(outputs.len(), inputs.len());
+        let violations = problem.violations(inputs, &outputs);
+        assert!(
+            violations.is_empty(),
+            "solver output violates constraints at {violations:?}\ninputs: {}\noutputs: {}",
+            inputs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" "),
+            outputs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" "),
+        );
+        outputs
+    }
+
+    #[test]
+    fn good_input_gets_all_start() {
+        let p = problem();
+        let inputs = p.good_input(Secret::B, 5).unwrap();
+        let outputs = assert_solved(&p, &inputs);
+        assert!(outputs
+            .iter()
+            .zip(&inputs)
+            .all(|(o, i)| match i {
+                PiInput::Empty => *o == PiOutput::Empty,
+                _ => *o == PiOutput::Start(Secret::B),
+            }));
+    }
+
+    #[test]
+    fn non_start_first_node_gets_all_error() {
+        let p = problem();
+        let mut inputs = p.good_input(Secret::A, 0).unwrap();
+        inputs[0] = PiInput::Separator;
+        let outputs = assert_solved(&p, &inputs);
+        assert!(outputs.iter().all(|o| *o == PiOutput::Error));
+    }
+
+    #[test]
+    fn figure_2_tape_copy_error_produces_error2_chain() {
+        let p = problem();
+        let b = p.tape_size();
+        let mut inputs = p.good_input(Secret::A, 0).unwrap();
+        // Corrupt a copied (non-head) cell in the second block: find a cell in
+        // block 2 whose previous-block counterpart has no head and flip it.
+        let second_block_first_cell = 1 + (b + 1) + 1;
+        let mut corrupted_at = None;
+        for j in second_block_first_cell..second_block_first_cell + b {
+            if let PiInput::Tape {
+                content,
+                state,
+                head,
+            } = inputs[j]
+            {
+                let prev = inputs[j - (b + 1)];
+                if let PiInput::Tape { head: false, .. } = prev {
+                    let flipped = if content == TapeSymbol::Zero {
+                        TapeSymbol::One
+                    } else {
+                        TapeSymbol::Zero
+                    };
+                    inputs[j] = PiInput::Tape {
+                        content: flipped,
+                        state,
+                        head,
+                    };
+                    corrupted_at = Some(j);
+                    break;
+                }
+            }
+        }
+        let corrupted_at = corrupted_at.expect("a copyable cell exists");
+        let outputs = assert_solved(&p, &inputs);
+        // The chain ends exactly at the corrupted node with index B+1.
+        assert!(matches!(outputs[corrupted_at], PiOutput::Error2(_, idx) if idx == b + 1));
+        assert!(matches!(outputs[corrupted_at - (b + 1)], PiOutput::Error2(_, 0)));
+        assert_eq!(outputs[corrupted_at + 1], PiOutput::Error);
+    }
+
+    #[test]
+    fn corrupted_initial_block_produces_error0_chain() {
+        let p = problem();
+        let mut inputs = p.good_input(Secret::A, 0).unwrap();
+        // Break the initial configuration: claim the head is missing.
+        inputs[2] = PiInput::Tape {
+            content: TapeSymbol::LeftEnd,
+            state: p.machine().initial_state(),
+            head: false,
+        };
+        let outputs = assert_solved(&p, &inputs);
+        assert_eq!(outputs[0], PiOutput::Error0(0));
+        assert_eq!(outputs[2], PiOutput::Error0(2));
+        assert_eq!(outputs[3], PiOutput::Error);
+    }
+
+    #[test]
+    fn missing_separator_produces_error1_chain() {
+        let p = problem();
+        let b = p.tape_size();
+        let mut inputs = p.good_input(Secret::A, 0).unwrap();
+        // Replace the second separator by a tape cell: the tape looks too long.
+        let second_separator = 1 + (b + 1);
+        inputs[second_separator] = PiInput::Tape {
+            content: TapeSymbol::Zero,
+            state: p.machine().initial_state(),
+            head: false,
+        };
+        let outputs = assert_solved(&p, &inputs);
+        assert!(outputs.iter().any(|o| matches!(o, PiOutput::Error1(_))));
+    }
+
+    #[test]
+    fn premature_separator_produces_error1_chain() {
+        let p = problem();
+        let mut inputs = p.good_input(Secret::A, 0).unwrap();
+        // Replace a mid-block tape cell of the second block by a separator.
+        let b = p.tape_size();
+        let pos = 1 + (b + 1) + 2;
+        inputs[pos] = PiInput::Separator;
+        let outputs = assert_solved(&p, &inputs);
+        assert!(outputs.iter().any(|o| matches!(o, PiOutput::Error1(_))));
+    }
+
+    #[test]
+    fn inconsistent_states_produce_error3() {
+        let p = problem();
+        let b = p.tape_size();
+        let mut inputs = p.good_input(Secret::A, 0).unwrap();
+        // Change the state of the third cell of the second block only.
+        let pos = 1 + (b + 1) + 3;
+        if let PiInput::Tape { content, head, .. } = inputs[pos] {
+            inputs[pos] = PiInput::Tape {
+                content,
+                head,
+                state: StateId(1),
+            };
+        }
+        // Ensure this actually differs from its neighbour's state.
+        let outputs = assert_solved(&p, &inputs);
+        assert!(
+            outputs.iter().any(|o| matches!(o, PiOutput::Error3))
+                || outputs.iter().any(|o| matches!(o, PiOutput::Error4(_, _, _))),
+            "a state corruption is provable via Error3 or Error4: {outputs:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_transition_produces_error4_chain() {
+        let p = problem();
+        let b = p.tape_size();
+        let mut inputs = p.good_input(Secret::A, 0).unwrap();
+        // Remove the head from the whole second block: the transition target
+        // cell then has head = false, which is provable via Error⁴.
+        let start = 1 + (b + 1) + 1;
+        for j in start..start + b {
+            if let PiInput::Tape { content, state, .. } = inputs[j] {
+                inputs[j] = PiInput::Tape {
+                    content,
+                    state,
+                    head: false,
+                };
+            }
+        }
+        let outputs = assert_solved(&p, &inputs);
+        assert!(outputs.iter().any(|o| matches!(o, PiOutput::Error4(_, _, _))));
+    }
+
+    #[test]
+    fn two_heads_produce_error5() {
+        let p = problem();
+        let b = p.tape_size();
+        let mut inputs = p.good_input(Secret::A, 0).unwrap();
+        // Add a second head to the last cell of the second block.
+        let pos = 1 + (b + 1) + b;
+        if let PiInput::Tape { content, state, .. } = inputs[pos] {
+            inputs[pos] = PiInput::Tape {
+                content,
+                state,
+                head: true,
+            };
+        }
+        let outputs = assert_solved(&p, &inputs);
+        assert!(outputs.iter().any(|o| matches!(o, PiOutput::Error5(_))));
+    }
+
+    #[test]
+    fn start_label_in_the_middle_is_an_error() {
+        let p = problem();
+        let mut inputs = p.good_input(Secret::A, 0).unwrap();
+        let pos = inputs.len() / 2;
+        inputs[pos] = PiInput::Start(Secret::B);
+        let outputs = assert_solved(&p, &inputs);
+        assert_eq!(outputs[pos], PiOutput::Error);
+        assert_eq!(outputs[pos - 1], PiOutput::Start(Secret::A));
+    }
+
+    #[test]
+    fn truncated_encodings_and_gaps_are_handled() {
+        let p = problem();
+        let inputs = p.good_input(Secret::A, 0).unwrap();
+        // A prefix of a good input is fine (everyone outputs Start).
+        let prefix = &inputs[..inputs.len() / 2];
+        assert_solved(&p, prefix);
+        // An Empty gap in the middle, followed by more encoding.
+        let mut gapped = inputs.clone();
+        let pos = gapped.len() / 2;
+        gapped[pos] = PiInput::Empty;
+        assert_solved(&p, &gapped);
+    }
+
+    #[test]
+    fn execution_past_the_final_state_is_an_error() {
+        let p = PiMb::new(machines::immediate_halt(), 4);
+        let b = p.tape_size();
+        let mut inputs = p.good_input(Secret::A, 0).unwrap();
+        // Append one more (bogus) block after the halting configuration.
+        inputs.push(PiInput::Separator);
+        for cell in 0..b {
+            let content = if cell == 0 {
+                TapeSymbol::LeftEnd
+            } else if cell == b - 1 {
+                TapeSymbol::RightEnd
+            } else {
+                TapeSymbol::Zero
+            };
+            inputs.push(PiInput::Tape {
+                content,
+                state: p.machine().final_state(),
+                head: cell == 0,
+            });
+        }
+        let outputs = assert_solved(&p, &inputs);
+        assert!(outputs.iter().any(|o| matches!(o, PiOutput::Error4(_, _, _))));
+    }
+
+    #[test]
+    fn randomized_corruptions_always_get_valid_outputs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let p = problem();
+        let base = p.good_input(Secret::A, 3).unwrap();
+        let machine_states = p.machine().num_states();
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..200 {
+            let mut inputs = base.clone();
+            let corruptions = rng.gen_range(1..4);
+            for _ in 0..corruptions {
+                let pos = rng.gen_range(0..inputs.len());
+                inputs[pos] = match rng.gen_range(0..5) {
+                    0 => PiInput::Separator,
+                    1 => PiInput::Empty,
+                    2 => PiInput::Start(Secret::B),
+                    3 => PiInput::Tape {
+                        content: TapeSymbol::ALL[rng.gen_range(0..4)],
+                        state: StateId(rng.gen_range(0..machine_states) as u16),
+                        head: rng.gen_bool(0.3),
+                    },
+                    _ => PiInput::Tape {
+                        content: TapeSymbol::One,
+                        state: StateId(0),
+                        head: true,
+                    },
+                };
+            }
+            assert_solved(&p, &inputs);
+        }
+    }
+}

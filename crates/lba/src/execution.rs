@@ -1,0 +1,288 @@
+//! Executing an LBA on its bounded tape: traces, halting and loop detection.
+
+use crate::machine::{Lba, LbaError, Move, StateId, TapeSymbol};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// One configuration (the paper's `step_i = (state_i, tape_i, head_i)`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Config {
+    /// The machine state.
+    pub state: StateId,
+    /// The whole tape, including the `L`/`R` boundary markers.
+    pub tape: Vec<TapeSymbol>,
+    /// The head position (an index into `tape`).
+    pub head: usize,
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [", self.state)?;
+        for (i, s) in self.tape.iter().enumerate() {
+            if i == self.head {
+                write!(f, "({s})")?;
+            } else {
+                write!(f, "{s}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// The outcome of running an LBA on a tape of a given size.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The machine reached its final state. The trace contains every
+    /// configuration from the initial one to the halting one, in order — the
+    /// paper's execution `(step_1, …, step_t)`.
+    Halted {
+        /// The full execution trace.
+        trace: Vec<Config>,
+    },
+    /// The machine revisited a configuration, hence runs forever.
+    Loops {
+        /// Number of steps executed before the repetition was detected.
+        steps_until_repeat: usize,
+    },
+}
+
+impl Outcome {
+    /// `true` if the machine halted.
+    pub fn halted(&self) -> bool {
+        matches!(self, Outcome::Halted { .. })
+    }
+
+    /// The number of steps `t` of the execution (`trace.len()` for halting
+    /// runs), or `None` for looping runs.
+    pub fn steps(&self) -> Option<usize> {
+        match self {
+            Outcome::Halted { trace } => Some(trace.len()),
+            Outcome::Loops { .. } => None,
+        }
+    }
+}
+
+impl Lba {
+    /// The initial configuration on a tape of `tape_size` cells:
+    /// `(L, 0, …, 0, R)` with the head on the first cell and the machine in
+    /// its initial state (§3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tape_size < 3`.
+    pub fn initial_config(&self, tape_size: usize) -> Result<Config, LbaError> {
+        if tape_size < 3 {
+            return Err(LbaError::TapeTooSmall { tape: tape_size });
+        }
+        let mut tape = vec![TapeSymbol::Zero; tape_size];
+        tape[0] = TapeSymbol::LeftEnd;
+        tape[tape_size - 1] = TapeSymbol::RightEnd;
+        Ok(Config {
+            state: self.initial_state(),
+            tape,
+            head: 0,
+        })
+    }
+
+    /// Performs one step from a configuration.
+    ///
+    /// Returns `Ok(None)` if the configuration is already in the final state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a transition is missing or the head would leave the
+    /// tape.
+    pub fn step(&self, config: &Config, step_index: usize) -> Result<Option<Config>, LbaError> {
+        if config.state == self.final_state() {
+            return Ok(None);
+        }
+        let read = config.tape[config.head];
+        let t = self
+            .transition(config.state, read)
+            .ok_or(LbaError::MissingTransition {
+                state: config.state,
+                symbol: read,
+            })?;
+        let mut tape = config.tape.clone();
+        tape[config.head] = t.write;
+        let head = match t.movement {
+            Move::Stay => config.head,
+            Move::Left => config
+                .head
+                .checked_sub(1)
+                .ok_or(LbaError::HeadOutOfBounds { step: step_index })?,
+            Move::Right => {
+                let h = config.head + 1;
+                if h >= tape.len() {
+                    return Err(LbaError::HeadOutOfBounds { step: step_index });
+                }
+                h
+            }
+        };
+        Ok(Some(Config {
+            state: t.next_state,
+            tape,
+            head,
+        }))
+    }
+
+    /// Runs the machine on a tape of `tape_size` cells, starting from the
+    /// canonical initial tape `(L, 0, …, 0, R)`.
+    ///
+    /// Looping is detected exactly, by recording visited configurations (the
+    /// configuration space of an LBA is finite). `max_steps` bounds the work;
+    /// it should be at least the size of the configuration space to guarantee
+    /// a definite answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LbaError::BudgetExceeded`] if `max_steps` steps were executed
+    /// without halting or repeating, and propagates machine errors.
+    pub fn run(&self, tape_size: usize, max_steps: usize) -> Result<Outcome, LbaError> {
+        let mut config = self.initial_config(tape_size)?;
+        let mut seen: HashSet<Config> = HashSet::new();
+        let mut trace = vec![config.clone()];
+        seen.insert(config.clone());
+        for step_index in 0..max_steps {
+            match self.step(&config, step_index)? {
+                None => return Ok(Outcome::Halted { trace }),
+                Some(next) => {
+                    if seen.contains(&next) {
+                        return Ok(Outcome::Loops {
+                            steps_until_repeat: step_index + 1,
+                        });
+                    }
+                    seen.insert(next.clone());
+                    trace.push(next.clone());
+                    config = next;
+                }
+            }
+        }
+        // One more check: the final configuration may already be halting.
+        if config.state == self.final_state() {
+            return Ok(Outcome::Halted { trace });
+        }
+        Err(LbaError::BudgetExceeded { budget: max_steps })
+    }
+
+    /// Convenience: does the machine halt on a tape of `tape_size` cells?
+    ///
+    /// Uses a step budget proportional to the configuration-space size, so the
+    /// answer is always definite for the machines used in this repository.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine errors; returns [`LbaError::BudgetExceeded`] only if
+    /// the configuration space is astronomically large.
+    pub fn halts(&self, tape_size: usize) -> Result<bool, LbaError> {
+        // |Q| · B · |Γ|^(B-2) bounds the number of configurations reachable
+        // from the canonical initial tape (the boundary markers never change).
+        let configs = self
+            .num_states()
+            .saturating_mul(tape_size)
+            .saturating_mul(4usize.saturating_pow(tape_size.saturating_sub(2) as u32))
+            .saturating_add(16);
+        let budget = configs.min(50_000_000);
+        Ok(self.run(tape_size, budget)?.halted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn initial_config_shape() {
+        let m = machines::immediate_halt();
+        let c = m.initial_config(5).unwrap();
+        assert_eq!(c.tape.len(), 5);
+        assert_eq!(c.tape[0], TapeSymbol::LeftEnd);
+        assert_eq!(c.tape[4], TapeSymbol::RightEnd);
+        assert_eq!(c.tape[2], TapeSymbol::Zero);
+        assert_eq!(c.head, 0);
+        assert!(m.initial_config(2).is_err());
+        assert!(c.to_string().contains("(L)"));
+    }
+
+    #[test]
+    fn immediate_halt_halts_in_one_step() {
+        let m = machines::immediate_halt();
+        let out = m.run(5, 100).unwrap();
+        assert!(out.halted());
+        assert_eq!(out.steps(), Some(2)); // initial config + halting config
+    }
+
+    #[test]
+    fn always_loop_is_detected() {
+        let m = machines::always_loop();
+        let out = m.run(6, 10_000).unwrap();
+        assert!(!out.halted());
+        assert_eq!(out.steps(), None);
+        assert!(matches!(out, Outcome::Loops { steps_until_repeat } if steps_until_repeat <= 20));
+        assert!(!m.halts(6).unwrap());
+    }
+
+    #[test]
+    fn unary_counter_halts_in_quadratic_time() {
+        let m = machines::unary_counter();
+        for tape in 4..9usize {
+            let out = m.run(tape, 100_000).unwrap();
+            let steps = out.steps().expect("unary counter halts");
+            let b = tape - 2; // number of data cells
+            assert!(steps >= b * b / 2, "tape {tape}: {steps} steps");
+            assert!(steps <= 4 * b * b + 8 * b + 8, "tape {tape}: {steps} steps");
+            // The final tape is all ones between the markers.
+            if let Outcome::Halted { trace } = out {
+                let last = trace.last().unwrap();
+                assert!(last.tape[1..tape - 1]
+                    .iter()
+                    .all(|&s| s == TapeSymbol::One));
+            }
+        }
+        assert!(m.halts(5).unwrap());
+    }
+
+    #[test]
+    fn binary_counter_halts_in_exponential_time() {
+        let m = machines::binary_counter();
+        let mut prev_steps = 0usize;
+        for tape in 4..9usize {
+            let out = m.run(tape, 10_000_000).unwrap();
+            let steps = out.steps().expect("binary counter halts");
+            let b = tape - 2;
+            assert!(
+                steps >= (1usize << b),
+                "tape {tape}: only {steps} steps, expected ≥ 2^{b}"
+            );
+            assert!(steps > prev_steps, "steps must grow with the tape");
+            prev_steps = steps;
+        }
+    }
+
+    #[test]
+    fn budget_exceeded_is_reported() {
+        let m = machines::binary_counter();
+        assert!(matches!(
+            m.run(8, 3),
+            Err(LbaError::BudgetExceeded { budget: 3 })
+        ));
+    }
+
+    #[test]
+    fn trace_consistency() {
+        // Every consecutive pair of trace configurations must be related by
+        // one machine step — this is exactly the property the LCL encoding
+        // checks (§3.2.2).
+        let m = machines::unary_counter();
+        if let Outcome::Halted { trace } = m.run(6, 100_000).unwrap() {
+            for (i, pair) in trace.windows(2).enumerate() {
+                let next = m.step(&pair[0], i).unwrap().expect("not yet final");
+                assert_eq!(next, pair[1], "step {i}");
+            }
+        } else {
+            panic!("unary counter halts");
+        }
+    }
+}

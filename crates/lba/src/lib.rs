@@ -1,0 +1,38 @@
+//! # lcl-lba
+//!
+//! Linear bounded automata (LBA), the computational substrate of the paper's
+//! PSPACE-hardness construction (§3.1).
+//!
+//! An LBA is a Turing machine whose tape has a fixed size `B`; the first and
+//! last cells are marked with the special symbols `L` and `R` and the machine
+//! can recognize them. The paper encodes the *execution trace* of an LBA as
+//! the input labeling of a path (§3.2.2), and builds an LCL problem `Π_{M_B}`
+//! whose distributed complexity depends on whether the machine halts — this
+//! crate provides the machines, their execution, and the halting/looping
+//! analysis that the `lcl-hardness` crate builds upon.
+//!
+//! # Example
+//!
+//! ```
+//! use lcl_lba::{machines, Outcome};
+//!
+//! let machine = machines::binary_counter();
+//! let outcome = machine.run(6, 1_000_000).expect("valid machine and tape size");
+//! match outcome {
+//!     Outcome::Halted { trace } => assert!(trace.len() > 16, "2^(B-2) increments"),
+//!     _ => panic!("the binary counter halts"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod execution;
+mod machine;
+pub mod machines;
+
+pub use execution::{Config, Outcome};
+pub use machine::{Lba, LbaBuilder, LbaError, Move, StateId, TapeSymbol, Transition};
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, LbaError>;

@@ -1,0 +1,418 @@
+//! Machine descriptions: states, tape symbols, transition functions.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error as StdError;
+use std::fmt;
+
+/// The tape alphabet `Γ` of the paper's LBAs: the integers 0 and 1 plus the
+/// boundary markers `L` and `R` (§3.1).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum TapeSymbol {
+    /// The integer 0.
+    Zero,
+    /// The integer 1.
+    One,
+    /// The left boundary marker `L`.
+    LeftEnd,
+    /// The right boundary marker `R`.
+    RightEnd,
+}
+
+impl TapeSymbol {
+    /// All four symbols, in a fixed order used for dense indexing.
+    pub const ALL: [TapeSymbol; 4] = [
+        TapeSymbol::Zero,
+        TapeSymbol::One,
+        TapeSymbol::LeftEnd,
+        TapeSymbol::RightEnd,
+    ];
+
+    /// Dense index of the symbol (0..4).
+    pub fn index(self) -> usize {
+        match self {
+            TapeSymbol::Zero => 0,
+            TapeSymbol::One => 1,
+            TapeSymbol::LeftEnd => 2,
+            TapeSymbol::RightEnd => 3,
+        }
+    }
+
+    /// The symbol with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ 4`.
+    pub fn from_index(index: usize) -> Self {
+        TapeSymbol::ALL[index]
+    }
+}
+
+impl fmt::Display for TapeSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TapeSymbol::Zero => "0",
+            TapeSymbol::One => "1",
+            TapeSymbol::LeftEnd => "L",
+            TapeSymbol::RightEnd => "R",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Identifier of a machine state.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct StateId(pub u16);
+
+impl StateId {
+    /// Dense index of the state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Head movement of a transition: the paper's `{−, ←, →}`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Move {
+    /// `−`: the head stays.
+    Stay,
+    /// `←`: the head moves one cell to the left.
+    Left,
+    /// `→`: the head moves one cell to the right.
+    Right,
+}
+
+impl fmt::Display for Move {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Move::Stay => "−",
+            Move::Left => "←",
+            Move::Right => "→",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One entry of the transition function:
+/// `δ(state, symbol) = (next_state, written_symbol, movement)`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Transition {
+    /// The state the machine moves to.
+    pub next_state: StateId,
+    /// The symbol written at the head position.
+    pub write: TapeSymbol,
+    /// How the head moves.
+    pub movement: Move,
+}
+
+/// Errors produced when constructing or running LBAs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum LbaError {
+    /// The machine has no states.
+    NoStates,
+    /// A state index is out of range.
+    BadState {
+        /// The offending state index.
+        state: usize,
+        /// The number of states.
+        num_states: usize,
+    },
+    /// A transition is missing for a non-final state and a reachable symbol.
+    MissingTransition {
+        /// The state whose transition is missing.
+        state: StateId,
+        /// The symbol read.
+        symbol: TapeSymbol,
+    },
+    /// The tape size is too small (at least 3 cells are needed: `L`, one data
+    /// cell, `R`).
+    TapeTooSmall {
+        /// The requested tape size.
+        tape: usize,
+    },
+    /// A transition would move the head off the tape.
+    HeadOutOfBounds {
+        /// The step number at which this happened.
+        step: usize,
+    },
+    /// The execution exceeded the caller-provided step budget without halting
+    /// or provably looping.
+    BudgetExceeded {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for LbaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LbaError::NoStates => write!(f, "machine has no states"),
+            LbaError::BadState { state, num_states } => {
+                write!(f, "state {state} out of range (machine has {num_states})")
+            }
+            LbaError::MissingTransition { state, symbol } => {
+                write!(f, "missing transition for ({state}, {symbol})")
+            }
+            LbaError::TapeTooSmall { tape } => {
+                write!(f, "tape of size {tape} is too small (need at least 3 cells)")
+            }
+            LbaError::HeadOutOfBounds { step } => {
+                write!(f, "head moved off the tape at step {step}")
+            }
+            LbaError::BudgetExceeded { budget } => {
+                write!(f, "execution exceeded the budget of {budget} steps")
+            }
+        }
+    }
+}
+
+impl StdError for LbaError {}
+
+/// A linear bounded automaton `M = (Q, q_0, q_f, Γ, δ)` as in §3.1.
+///
+/// The transition function is total on `(Q \ {q_f}) × Γ`; the tape size `B`
+/// is supplied at execution time (the machine text itself does not depend on
+/// `B`, which is what makes the PSPACE-hardness reduction work).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Lba {
+    name: String,
+    state_names: Vec<String>,
+    initial: StateId,
+    finals: StateId,
+    /// Dense `num_states × 4` table of transitions (entries for the final
+    /// state are `None`).
+    delta: Vec<Option<Transition>>,
+}
+
+impl Lba {
+    /// Starts building a machine.
+    pub fn builder(name: impl Into<String>) -> LbaBuilder {
+        LbaBuilder::new(name)
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of states `|Q|`.
+    pub fn num_states(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// The initial state `q_0`.
+    pub fn initial_state(&self) -> StateId {
+        self.initial
+    }
+
+    /// The final state `q_f`.
+    pub fn final_state(&self) -> StateId {
+        self.finals
+    }
+
+    /// The name of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is out of range.
+    pub fn state_name(&self, state: StateId) -> &str {
+        &self.state_names[state.index()]
+    }
+
+    /// The transition `δ(state, symbol)`, or `None` for the final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is out of range.
+    pub fn transition(&self, state: StateId, symbol: TapeSymbol) -> Option<Transition> {
+        self.delta[state.index() * 4 + symbol.index()]
+    }
+}
+
+impl fmt::Display for Lba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} states)", self.name, self.num_states())
+    }
+}
+
+/// Builder for [`Lba`].
+#[derive(Clone, Debug)]
+pub struct LbaBuilder {
+    name: String,
+    state_names: Vec<String>,
+    initial: Option<usize>,
+    finals: Option<usize>,
+    rules: Vec<(usize, TapeSymbol, usize, TapeSymbol, Move)>,
+}
+
+impl LbaBuilder {
+    /// Creates an empty builder.
+    pub fn new(name: impl Into<String>) -> Self {
+        LbaBuilder {
+            name: name.into(),
+            state_names: Vec::new(),
+            initial: None,
+            finals: None,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a state and returns its index.
+    pub fn state(&mut self, name: impl Into<String>) -> usize {
+        self.state_names.push(name.into());
+        self.state_names.len() - 1
+    }
+
+    /// Marks the initial state.
+    pub fn initial(&mut self, state: usize) -> &mut Self {
+        self.initial = Some(state);
+        self
+    }
+
+    /// Marks the final state.
+    pub fn final_state(&mut self, state: usize) -> &mut Self {
+        self.finals = Some(state);
+        self
+    }
+
+    /// Adds the transition `δ(state, read) = (next, write, movement)`.
+    pub fn rule(
+        &mut self,
+        state: usize,
+        read: TapeSymbol,
+        next: usize,
+        write: TapeSymbol,
+        movement: Move,
+    ) -> &mut Self {
+        self.rules.push((state, read, next, write, movement));
+        self
+    }
+
+    /// Builds and validates the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there are no states, a referenced state is out of
+    /// range, or a non-final state lacks a transition for some symbol.
+    pub fn build(&self) -> Result<Lba, LbaError> {
+        if self.state_names.is_empty() {
+            return Err(LbaError::NoStates);
+        }
+        let n = self.state_names.len();
+        let check = |s: usize| {
+            if s >= n {
+                Err(LbaError::BadState {
+                    state: s,
+                    num_states: n,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        let initial = self.initial.unwrap_or(0);
+        check(initial)?;
+        let finals = self.finals.unwrap_or(n - 1);
+        check(finals)?;
+        let mut delta = vec![None; n * 4];
+        for &(state, read, next, write, movement) in &self.rules {
+            check(state)?;
+            check(next)?;
+            delta[state * 4 + read.index()] = Some(Transition {
+                next_state: StateId(next as u16),
+                write,
+                movement,
+            });
+        }
+        // Totality on non-final states.
+        for s in 0..n {
+            if s == finals {
+                continue;
+            }
+            for sym in TapeSymbol::ALL {
+                if delta[s * 4 + sym.index()].is_none() {
+                    return Err(LbaError::MissingTransition {
+                        state: StateId(s as u16),
+                        symbol: sym,
+                    });
+                }
+            }
+        }
+        Ok(Lba {
+            name: self.name.clone(),
+            state_names: self.state_names.clone(),
+            initial: StateId(initial as u16),
+            finals: StateId(finals as u16),
+            delta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_indexing_roundtrip() {
+        for s in TapeSymbol::ALL {
+            assert_eq!(TapeSymbol::from_index(s.index()), s);
+        }
+        assert_eq!(TapeSymbol::LeftEnd.to_string(), "L");
+        assert_eq!(TapeSymbol::Zero.to_string(), "0");
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(StateId(3).to_string(), "q3");
+        assert_eq!(Move::Left.to_string(), "←");
+        assert_eq!(Move::Stay.to_string(), "−");
+        assert_eq!(Move::Right.to_string(), "→");
+    }
+
+    #[test]
+    fn builder_requires_states_and_totality() {
+        assert_eq!(Lba::builder("empty").build().unwrap_err(), LbaError::NoStates);
+        let mut b = Lba::builder("partial");
+        let q0 = b.state("q0");
+        let qf = b.state("qf");
+        b.initial(q0).final_state(qf);
+        b.rule(q0, TapeSymbol::LeftEnd, qf, TapeSymbol::LeftEnd, Move::Stay);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, LbaError::MissingTransition { .. }));
+        // Complete the machine.
+        for sym in [TapeSymbol::Zero, TapeSymbol::One, TapeSymbol::RightEnd] {
+            b.rule(q0, sym, qf, sym, Move::Stay);
+        }
+        let m = b.build().unwrap();
+        assert_eq!(m.num_states(), 2);
+        assert_eq!(m.initial_state(), StateId(0));
+        assert_eq!(m.final_state(), StateId(1));
+        assert_eq!(m.state_name(StateId(1)), "qf");
+        assert!(m.transition(StateId(1), TapeSymbol::Zero).is_none());
+        assert!(m.transition(StateId(0), TapeSymbol::Zero).is_some());
+        assert!(m.to_string().contains("partial"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_state_indices() {
+        let mut b = Lba::builder("bad");
+        let q0 = b.state("q0");
+        b.initial(q0).final_state(7);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, LbaError::BadState { state: 7, .. }));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(LbaError::TapeTooSmall { tape: 2 }.to_string().contains("2"));
+        assert!(LbaError::BudgetExceeded { budget: 9 }.to_string().contains("9"));
+        assert!(LbaError::HeadOutOfBounds { step: 4 }.to_string().contains("4"));
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<LbaError>();
+    }
+}

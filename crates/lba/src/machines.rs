@@ -1,0 +1,155 @@
+//! Canonical LBAs used throughout the repository.
+//!
+//! * [`unary_counter`] — the machine of the paper's Figure 1: it fills the
+//!   tape with `1`s one cell per sweep, halting after `Θ(B²)` steps.
+//! * [`binary_counter`] — the machine behind Theorem 4: it increments a
+//!   binary counter until overflow, halting after `2^Θ(B)` steps.
+//! * [`always_loop`] — never halts (its `Π_{M_B}` problem has complexity
+//!   `Θ(n)`).
+//! * [`immediate_halt`] — halts in one step (its `Π_{M_B}` problem has the
+//!   smallest possible constant complexity).
+
+use crate::machine::{Lba, Move, TapeSymbol};
+
+use TapeSymbol::{LeftEnd, One, RightEnd, Zero};
+
+/// A machine that halts immediately, whatever it reads.
+pub fn immediate_halt() -> Lba {
+    let mut b = Lba::builder("immediate-halt");
+    let q0 = b.state("q0");
+    let qf = b.state("qf");
+    b.initial(q0).final_state(qf);
+    for sym in TapeSymbol::ALL {
+        b.rule(q0, sym, qf, sym, Move::Stay);
+    }
+    b.build().expect("immediate-halt is well-formed")
+}
+
+/// A machine that loops forever in its initial configuration.
+pub fn always_loop() -> Lba {
+    let mut b = Lba::builder("always-loop");
+    let q0 = b.state("q0");
+    let qf = b.state("qf");
+    b.initial(q0).final_state(qf);
+    for sym in TapeSymbol::ALL {
+        b.rule(q0, sym, q0, sym, Move::Stay);
+    }
+    b.build().expect("always-loop is well-formed")
+}
+
+/// The unary counter of Figure 1: repeatedly sweeps right to the first `0`,
+/// replaces it by `1` and returns to the left marker; halts when the sweep
+/// reaches `R`. Runs for `Θ(B²)` steps on a tape of `B` cells.
+pub fn unary_counter() -> Lba {
+    let mut b = Lba::builder("unary-counter");
+    let q0 = b.state("q0"); // sweep right looking for a 0
+    let q1 = b.state("q1"); // return to the left marker
+    let qf = b.state("qf");
+    b.initial(q0).final_state(qf);
+    b.rule(q0, LeftEnd, q0, LeftEnd, Move::Right);
+    b.rule(q0, One, q0, One, Move::Right);
+    b.rule(q0, Zero, q1, One, Move::Left);
+    b.rule(q0, RightEnd, qf, RightEnd, Move::Stay);
+    b.rule(q1, One, q1, One, Move::Left);
+    b.rule(q1, Zero, q1, Zero, Move::Left);
+    b.rule(q1, LeftEnd, q0, LeftEnd, Move::Right);
+    b.rule(q1, RightEnd, q1, RightEnd, Move::Left);
+    b.build().expect("unary-counter is well-formed")
+}
+
+/// The binary counter behind Theorem 4: the data cells hold a binary number
+/// (least-significant bit next to `L`); the machine increments it until the
+/// carry overflows past `R`, i.e. after `2^{B-2}` increments. Runs for
+/// `2^Θ(B)` steps on a tape of `B` cells.
+pub fn binary_counter() -> Lba {
+    let mut b = Lba::builder("binary-counter");
+    let inc = b.state("inc"); // propagate the increment / carry to the right
+    let ret = b.state("ret"); // walk back to the left marker
+    let qf = b.state("qf");
+    b.initial(inc).final_state(qf);
+    b.rule(inc, LeftEnd, inc, LeftEnd, Move::Right);
+    b.rule(inc, Zero, ret, One, Move::Left);
+    b.rule(inc, One, inc, Zero, Move::Right);
+    b.rule(inc, RightEnd, qf, RightEnd, Move::Stay);
+    b.rule(ret, Zero, ret, Zero, Move::Left);
+    b.rule(ret, One, ret, One, Move::Left);
+    b.rule(ret, LeftEnd, inc, LeftEnd, Move::Right);
+    b.rule(ret, RightEnd, ret, RightEnd, Move::Left);
+    b.build().expect("binary-counter is well-formed")
+}
+
+/// All canonical machines with their names, for data-driven tests and
+/// benchmark sweeps.
+pub fn all_machines() -> Vec<Lba> {
+    vec![
+        immediate_halt(),
+        always_loop(),
+        unary_counter(),
+        binary_counter(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Outcome;
+
+    #[test]
+    fn all_machines_are_well_formed() {
+        let machines = all_machines();
+        assert_eq!(machines.len(), 4);
+        for m in &machines {
+            assert!(m.num_states() >= 2);
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn halting_behaviour_matches_expectations() {
+        assert!(immediate_halt().halts(5).unwrap());
+        assert!(!always_loop().halts(5).unwrap());
+        assert!(unary_counter().halts(6).unwrap());
+        assert!(binary_counter().halts(6).unwrap());
+    }
+
+    #[test]
+    fn binary_counter_counts_through_all_values() {
+        // With 3 data cells the counter must pass through 8 increments; the
+        // trace should contain a configuration whose data cells read 1 0 1
+        // (value 5, LSB first).
+        let m = binary_counter();
+        let out = m.run(5, 1_000_000).unwrap();
+        let Outcome::Halted { trace } = out else {
+            panic!("halts")
+        };
+        let mut seen_five = false;
+        for c in &trace {
+            let bits: Vec<u8> = c.tape[1..4]
+                .iter()
+                .map(|s| match s {
+                    TapeSymbol::One => 1,
+                    _ => 0,
+                })
+                .collect();
+            if bits == vec![1, 0, 1] {
+                seen_five = true;
+            }
+        }
+        assert!(seen_five, "the counter must pass through value 5");
+    }
+
+    #[test]
+    fn unary_counter_monotone_progress() {
+        let m = unary_counter();
+        let Outcome::Halted { trace } = m.run(7, 100_000).unwrap() else {
+            panic!("halts")
+        };
+        let mut last_ones = 0usize;
+        for c in &trace {
+            let ones = c.tape.iter().filter(|&&s| s == TapeSymbol::One).count();
+            assert!(ones >= last_ones, "ones never decrease");
+            last_ones = last_ones.max(ones);
+        }
+        assert_eq!(last_ones, 5, "all data cells end as 1");
+    }
+}

@@ -1,0 +1,291 @@
+//! The message-passing simulator: one thread per node, crossbeam channels on
+//! every edge, explicit synchronous rounds.
+//!
+//! Protocol: in round `t` each node forwards to its successor the information
+//! it learned about its `(t−1)`-th predecessor in the previous round (its own
+//! identifier and input in round 1), and symmetrically towards its
+//! predecessor. Path endpoints forward an explicit "no node there" marker so
+//! that endpoint knowledge propagates exactly as it would in the real LOCAL
+//! model. After `T` rounds each node has assembled precisely its radius-`T`
+//! ball view and applies the algorithm's output function.
+//!
+//! The [`ActorSimulator`] is intentionally literal rather than fast; the
+//! `ablation_simulators` bench and the cross-check tests compare it against
+//! [`crate::SyncSimulator`].
+
+use crate::{BallView, LocalAlgorithm, Network, Result, SimError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lcl_problem::{InLabel, Labeling, OutLabel, Topology};
+use parking_lot::Mutex;
+use std::thread;
+
+/// One hop's worth of gossip: the `(id, input)` of some node, or `None` when
+/// the path ends before that offset.
+type Gossip = Option<(u64, InLabel)>;
+
+/// The explicit message-passing LOCAL simulator.
+#[derive(Clone, Debug)]
+pub struct ActorSimulator {
+    radius_cap: usize,
+    node_cap: usize,
+}
+
+impl Default for ActorSimulator {
+    fn default() -> Self {
+        ActorSimulator {
+            radius_cap: 1 << 14,
+            node_cap: 1 << 14,
+        }
+    }
+}
+
+impl ActorSimulator {
+    /// Creates a simulator with default caps.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a simulator with explicit caps on the view radius and the
+    /// number of nodes (each node is a thread).
+    pub fn with_caps(radius_cap: usize, node_cap: usize) -> Self {
+        ActorSimulator {
+            radius_cap,
+            node_cap,
+        }
+    }
+
+    /// Runs the algorithm by spawning one thread per node and exchanging
+    /// messages for `algorithm.radius(n)` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the radius or node caps are exceeded, or if a node
+    /// thread fails.
+    pub fn run<A>(&self, network: &Network, algorithm: &A) -> Result<Labeling>
+    where
+        A: LocalAlgorithm + Sync + ?Sized,
+    {
+        let n = network.len();
+        if n == 0 {
+            return Ok(Labeling::new(vec![]));
+        }
+        if n > self.node_cap {
+            return Err(SimError::ActorFailure {
+                what: format!("{n} nodes exceed the actor cap of {}", self.node_cap),
+            });
+        }
+        let radius = algorithm.radius(n);
+        if radius > self.radius_cap {
+            return Err(SimError::RadiusTooLarge {
+                radius,
+                cap: self.radius_cap,
+            });
+        }
+
+        let inst = network.instance();
+        let is_cycle = inst.topology() == Topology::Cycle;
+
+        // Channels: to_succ[i] carries messages from node i to node i+1;
+        // to_pred[i] carries messages from node i to node i-1 (indices mod n
+        // on cycles). On paths the channels at the ends exist but are unused.
+        let mut to_succ_tx: Vec<Sender<Gossip>> = Vec::with_capacity(n);
+        let mut to_succ_rx: Vec<Receiver<Gossip>> = Vec::with_capacity(n);
+        let mut to_pred_tx: Vec<Sender<Gossip>> = Vec::with_capacity(n);
+        let mut to_pred_rx: Vec<Receiver<Gossip>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            to_succ_tx.push(tx);
+            to_succ_rx.push(rx);
+            let (tx, rx) = unbounded();
+            to_pred_tx.push(tx);
+            to_pred_rx.push(rx);
+        }
+
+        let outputs = Mutex::new(vec![OutLabel(0); n]);
+        let failures = Mutex::new(Vec::<String>::new());
+
+        thread::scope(|scope| {
+            for i in 0..n {
+                // Node i sends on to_succ_tx[i] and to_pred_tx[i];
+                // it receives from its predecessor's to_succ channel and its
+                // successor's to_pred channel.
+                let send_right = to_succ_tx[i].clone();
+                let send_left = to_pred_tx[i].clone();
+                let pred = if i == 0 {
+                    if is_cycle { Some(n - 1) } else { None }
+                } else {
+                    Some(i - 1)
+                };
+                let succ = if i + 1 == n {
+                    if is_cycle { Some(0) } else { None }
+                } else {
+                    Some(i + 1)
+                };
+                let recv_from_left = pred.map(|p| to_succ_rx[p].clone());
+                let recv_from_right = succ.map(|s| to_pred_rx[s].clone());
+                let my_id = network.id(i);
+                let my_input = inst.input(i);
+                let outputs = &outputs;
+                let failures = &failures;
+                let algorithm = &algorithm;
+
+                scope.spawn(move || {
+                    let mut left: Vec<Gossip> = Vec::with_capacity(radius);
+                    let mut right: Vec<Gossip> = Vec::with_capacity(radius);
+                    for round in 0..radius {
+                        // What do I forward this round?
+                        let rightbound: Gossip = if round == 0 {
+                            Some((my_id, my_input))
+                        } else {
+                            left.get(round - 1).copied().flatten()
+                        };
+                        let leftbound: Gossip = if round == 0 {
+                            Some((my_id, my_input))
+                        } else {
+                            right.get(round - 1).copied().flatten()
+                        };
+                        // Send (ignore send errors to absent neighbours).
+                        if succ.is_some() {
+                            let _ = send_right.send(rightbound);
+                        }
+                        if pred.is_some() {
+                            let _ = send_left.send(leftbound);
+                        }
+                        // Receive.
+                        let from_left: Gossip = match &recv_from_left {
+                            Some(rx) => match rx.recv() {
+                                Ok(msg) => msg,
+                                Err(_) => {
+                                    failures
+                                        .lock()
+                                        .push(format!("node {i}: left channel closed"));
+                                    None
+                                }
+                            },
+                            None => None,
+                        };
+                        let from_right: Gossip = match &recv_from_right {
+                            Some(rx) => match rx.recv() {
+                                Ok(msg) => msg,
+                                Err(_) => {
+                                    failures
+                                        .lock()
+                                        .push(format!("node {i}: right channel closed"));
+                                    None
+                                }
+                            },
+                            None => None,
+                        };
+                        left.push(from_left);
+                        right.push(from_right);
+                    }
+                    let view = BallView {
+                        n,
+                        radius,
+                        center: (my_id, my_input),
+                        left: left.into_iter().map_while(|g| g).collect(),
+                        right: right.into_iter().map_while(|g| g).collect(),
+                    };
+                    let out = algorithm.compute(&view);
+                    outputs.lock()[i] = out;
+                });
+            }
+        });
+
+        let failures = failures.into_inner();
+        if let Some(first) = failures.into_iter().next() {
+            return Err(SimError::ActorFailure { what: first });
+        }
+        Ok(Labeling::new(outputs.into_inner()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FnAlgorithm, SyncSimulator};
+    use lcl_problem::Instance;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_network(n: usize, topology: Topology, alpha: u16, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<u16> = (0..n).map(|_| rng.gen_range(0..alpha)).collect();
+        Network::with_sequential_ids(Instance::from_indices(topology, &inputs))
+    }
+
+    /// An algorithm that serializes its entire view; used to compare the two
+    /// simulators bit by bit.
+    fn view_fingerprint_algorithm(radius: usize) -> impl LocalAlgorithm + Sync {
+        FnAlgorithm::new(
+            "view-fingerprint",
+            move |_| radius,
+            move |v: &BallView| {
+                let mut h: u64 = 17;
+                let mut mix = |x: u64| {
+                    h = h.wrapping_mul(31).wrapping_add(x + 1);
+                };
+                mix(v.center.0);
+                mix(u64::from(v.center.1 .0));
+                for &(id, l) in &v.left {
+                    mix(id);
+                    mix(u64::from(l.0));
+                }
+                mix(999);
+                for &(id, l) in &v.right {
+                    mix(id);
+                    mix(u64::from(l.0));
+                }
+                mix(v.left.len() as u64);
+                mix(v.right.len() as u64);
+                OutLabel((h % 251) as u16)
+            },
+        )
+    }
+
+    #[test]
+    fn agrees_with_sync_simulator_on_cycles() {
+        for radius in [0usize, 1, 2, 3, 5] {
+            let net = random_network(17, Topology::Cycle, 3, radius as u64);
+            let alg = view_fingerprint_algorithm(radius);
+            let sync = SyncSimulator::new().run(&net, &alg).unwrap();
+            let actor = ActorSimulator::new().run(&net, &alg).unwrap();
+            assert_eq!(sync, actor, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_sync_simulator_on_paths() {
+        for radius in [0usize, 1, 2, 4] {
+            let net = random_network(11, Topology::Path, 2, 100 + radius as u64);
+            let alg = view_fingerprint_algorithm(radius);
+            let sync = SyncSimulator::new().run(&net, &alg).unwrap();
+            let actor = ActorSimulator::new().run(&net, &alg).unwrap();
+            assert_eq!(sync, actor, "radius {radius}");
+        }
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = Network::with_sequential_ids(Instance::cycle(vec![]));
+        let alg = view_fingerprint_algorithm(2);
+        let out = ActorSimulator::new().run(&net, &alg).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        let net = random_network(10, Topology::Cycle, 2, 1);
+        let alg = view_fingerprint_algorithm(100);
+        let sim = ActorSimulator::with_caps(10, 1000);
+        assert!(matches!(
+            sim.run(&net, &alg),
+            Err(SimError::RadiusTooLarge { .. })
+        ));
+        let tiny = ActorSimulator::with_caps(1000, 4);
+        assert!(matches!(
+            tiny.run(&net, &alg),
+            Err(SimError::ActorFailure { .. })
+        ));
+    }
+}

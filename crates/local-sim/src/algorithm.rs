@@ -1,0 +1,155 @@
+//! The interface implemented by every distributed algorithm that runs on the
+//! simulators.
+
+use crate::BallView;
+use lcl_problem::OutLabel;
+
+/// A deterministic LOCAL algorithm on directed paths/cycles.
+///
+/// A `T(n)`-round algorithm is a function from radius-`T(n)` ball views to
+/// output labels (paper §2). The trait exposes the radius and the output
+/// function separately so that simulators can gather exactly the required
+/// neighbourhood.
+///
+/// Implementors must be deterministic: two calls with identical views must
+/// return identical outputs. The simulators rely on this when cross-checking.
+pub trait LocalAlgorithm {
+    /// The number of communication rounds (equivalently, the view radius) the
+    /// algorithm uses on networks with `n` nodes.
+    fn radius(&self, n: usize) -> usize;
+
+    /// Computes the node's output from its radius-`radius(n)` view.
+    fn compute(&self, view: &BallView) -> OutLabel;
+
+    /// A human-readable name, used in reports and benchmarks.
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+/// A [`LocalAlgorithm`] built from closures; convenient for tests and for the
+/// "trivial" algorithms of the paper (gather everything, decide locally).
+pub struct FnAlgorithm<R, F>
+where
+    R: Fn(usize) -> usize,
+    F: Fn(&BallView) -> OutLabel,
+{
+    name: String,
+    radius: R,
+    compute: F,
+}
+
+impl<R, F> FnAlgorithm<R, F>
+where
+    R: Fn(usize) -> usize,
+    F: Fn(&BallView) -> OutLabel,
+{
+    /// Creates an algorithm from a radius function and an output function.
+    pub fn new(name: impl Into<String>, radius: R, compute: F) -> Self {
+        FnAlgorithm {
+            name: name.into(),
+            radius,
+            compute,
+        }
+    }
+}
+
+impl<R, F> LocalAlgorithm for FnAlgorithm<R, F>
+where
+    R: Fn(usize) -> usize,
+    F: Fn(&BallView) -> OutLabel,
+{
+    fn radius(&self, n: usize) -> usize {
+        (self.radius)(n)
+    }
+
+    fn compute(&self, view: &BallView) -> OutLabel {
+        (self.compute)(view)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<T: LocalAlgorithm + ?Sized> LocalAlgorithm for &T {
+    fn radius(&self, n: usize) -> usize {
+        (**self).radius(n)
+    }
+
+    fn compute(&self, view: &BallView) -> OutLabel {
+        (**self).compute(view)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: LocalAlgorithm + ?Sized> LocalAlgorithm for Box<T> {
+    fn radius(&self, n: usize) -> usize {
+        (**self).radius(n)
+    }
+
+    fn compute(&self, view: &BallView) -> OutLabel {
+        (**self).compute(view)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_problem::InLabel;
+
+    fn dummy_view() -> BallView {
+        BallView {
+            n: 10,
+            radius: 0,
+            center: (3, InLabel(1)),
+            left: vec![],
+            right: vec![],
+        }
+    }
+
+    #[test]
+    fn fn_algorithm_delegates() {
+        let alg = FnAlgorithm::new("echo-input", |_| 0, |v: &BallView| OutLabel(v.center.1 .0));
+        assert_eq!(alg.radius(100), 0);
+        assert_eq!(alg.name(), "echo-input");
+        assert_eq!(alg.compute(&dummy_view()), OutLabel(1));
+    }
+
+    #[test]
+    fn references_and_boxes_are_algorithms() {
+        let alg = FnAlgorithm::new("zero", |_| 2, |_: &BallView| OutLabel(0));
+        let by_ref: &dyn LocalAlgorithm = &alg;
+        assert_eq!(by_ref.radius(5), 2);
+        assert_eq!((&alg).name(), "zero");
+        let boxed: Box<dyn LocalAlgorithm> = Box::new(FnAlgorithm::new(
+            "one",
+            |n| n,
+            |_: &BallView| OutLabel(1),
+        ));
+        assert_eq!(boxed.radius(7), 7);
+        assert_eq!(boxed.compute(&dummy_view()), OutLabel(1));
+        assert_eq!(boxed.name(), "one");
+    }
+
+    #[test]
+    fn default_name() {
+        struct Anon;
+        impl LocalAlgorithm for Anon {
+            fn radius(&self, _n: usize) -> usize {
+                0
+            }
+            fn compute(&self, _view: &BallView) -> OutLabel {
+                OutLabel(0)
+            }
+        }
+        assert_eq!(Anon.name(), "unnamed");
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for the simulator crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the LOCAL simulators.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The requested ID assignment cannot produce enough distinct identifiers.
+    IdSpaceTooSmall {
+        /// Number of nodes that need identifiers.
+        nodes: usize,
+        /// Size of the identifier space.
+        space: u64,
+    },
+    /// Identifiers are not unique.
+    DuplicateIds,
+    /// The network and another argument disagree on the number of nodes.
+    LengthMismatch {
+        /// Expected number of nodes.
+        expected: usize,
+        /// Number of entries provided.
+        got: usize,
+    },
+    /// The algorithm requested a radius so large the simulation would not
+    /// terminate in reasonable time (guards against runaway `radius()`).
+    RadiusTooLarge {
+        /// The requested radius.
+        radius: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// A worker thread of the actor simulator panicked or disconnected.
+    ActorFailure {
+        /// Description of the failure.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::IdSpaceTooSmall { nodes, space } => {
+                write!(f, "cannot assign {nodes} unique ids from a space of {space}")
+            }
+            SimError::DuplicateIds => write!(f, "node identifiers are not unique"),
+            SimError::LengthMismatch { expected, got } => {
+                write!(f, "expected {expected} entries, got {got}")
+            }
+            SimError::RadiusTooLarge { radius, cap } => {
+                write!(f, "algorithm requested radius {radius}, cap is {cap}")
+            }
+            SimError::ActorFailure { what } => write!(f, "actor simulator failure: {what}"),
+        }
+    }
+}
+
+impl StdError for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SimError::DuplicateIds.to_string().contains("unique"));
+        assert!(SimError::IdSpaceTooSmall { nodes: 5, space: 3 }
+            .to_string()
+            .contains("5"));
+        assert!(SimError::LengthMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("got 3"));
+        assert!(SimError::RadiusTooLarge { radius: 9, cap: 4 }
+            .to_string()
+            .contains("cap is 4"));
+        assert!(SimError::ActorFailure {
+            what: "oops".into()
+        }
+        .to_string()
+        .contains("oops"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

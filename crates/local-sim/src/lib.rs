@@ -1,0 +1,48 @@
+//! # lcl-local-sim
+//!
+//! A simulator for the deterministic LOCAL model of distributed computing on
+//! input-labeled directed paths and cycles (paper §2).
+//!
+//! In the LOCAL model, computation proceeds in synchronous rounds; in each
+//! round every node exchanges arbitrarily large messages with its neighbours
+//! and updates its state. Because messages are unbounded, a `T(n)`-round
+//! algorithm is equivalent to a function from radius-`T(n)` neighbourhood
+//! views to outputs — the paper's own formulation. This crate provides both
+//! operational models:
+//!
+//! * [`SyncSimulator`] — the ball-view formulation: it materializes each
+//!   node's [`BallView`] and applies the algorithm's output function. This is
+//!   the fast simulator used by the benchmarks.
+//! * [`ActorSimulator`] — an explicit message-passing implementation on
+//!   crossbeam channels, one thread per node, exchanging neighbourhood
+//!   knowledge round by round. It exists as an operational cross-check of the
+//!   ball-view simulator (see the `ablation_simulators` bench) and as a more
+//!   faithful rendition of "a computer network that consists of a path".
+//!
+//! Algorithms implement the [`LocalAlgorithm`] trait; [`Network`] couples a
+//! problem [`Instance`](lcl_problem::Instance) with unique node identifiers
+//! from a polynomially-sized ID space.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod actor;
+mod algorithm;
+mod error;
+mod measure;
+mod network;
+mod sync;
+mod view;
+
+pub use actor::ActorSimulator;
+pub use algorithm::{FnAlgorithm, LocalAlgorithm};
+pub use error::SimError;
+pub use measure::{
+    locality_curve, log_star, validate_algorithm, LocalityMeasurement, ValidationOutcome,
+};
+pub use network::{IdAssignment, Network};
+pub use sync::SyncSimulator;
+pub use view::BallView;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, SimError>;

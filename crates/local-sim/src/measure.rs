@@ -1,0 +1,186 @@
+//! Measurement and validation helpers: locality curves and output validation
+//! against a problem's verifier.
+
+use crate::{LocalAlgorithm, Network, Result, SyncSimulator};
+use lcl_problem::{Labeling, NormalizedLcl};
+
+/// The iterated logarithm `log* n`: the number of times `log₂` must be applied
+/// to `n` before the result drops to at most 1.
+///
+/// `log_star(1) = 0`, `log_star(2) = 1`, `log_star(16) = 3`,
+/// `log_star(65536) = 4`.
+pub fn log_star(n: usize) -> usize {
+    let mut x = n as f64;
+    let mut count = 0;
+    while x > 1.0 {
+        x = x.log2();
+        count += 1;
+        if count > 64 {
+            break;
+        }
+    }
+    count
+}
+
+/// One point of a locality curve: on networks of `n` nodes the algorithm used
+/// views of radius `radius`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LocalityMeasurement {
+    /// Number of nodes.
+    pub n: usize,
+    /// View radius (= number of LOCAL rounds) used by the algorithm.
+    pub radius: usize,
+}
+
+/// Records the radius an algorithm requests across a sweep of network sizes.
+/// This regenerates the "complexity landscape" series (`O(1)` stays flat,
+/// `Θ(log* n)` grows with `log*`, `Θ(n)` grows linearly).
+pub fn locality_curve<A: LocalAlgorithm + ?Sized>(
+    algorithm: &A,
+    sizes: &[usize],
+) -> Vec<LocalityMeasurement> {
+    sizes
+        .iter()
+        .map(|&n| LocalityMeasurement {
+            n,
+            radius: algorithm.radius(n),
+        })
+        .collect()
+}
+
+/// The outcome of validating an algorithm against a problem on a batch of
+/// networks.
+#[derive(Clone, Debug)]
+pub enum ValidationOutcome {
+    /// Every produced labeling was valid.
+    AllValid {
+        /// Number of networks checked.
+        networks_checked: usize,
+    },
+    /// Some network received an invalid labeling.
+    CounterExample {
+        /// Index (within the supplied batch) of the offending network.
+        network_index: usize,
+        /// The invalid labeling the algorithm produced.
+        labeling: Labeling,
+        /// The nodes at which constraints were violated.
+        violating_nodes: Vec<usize>,
+    },
+}
+
+impl ValidationOutcome {
+    /// `true` if no counterexample was found.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, ValidationOutcome::AllValid { .. })
+    }
+}
+
+/// Runs `algorithm` on every supplied network with the ball-view simulator and
+/// checks each output against the problem's verifier.
+///
+/// # Errors
+///
+/// Propagates simulator errors (for example, a radius beyond the cap).
+pub fn validate_algorithm<A: LocalAlgorithm + ?Sized>(
+    problem: &NormalizedLcl,
+    algorithm: &A,
+    networks: &[Network],
+) -> Result<ValidationOutcome> {
+    let sim = SyncSimulator::new();
+    for (idx, network) in networks.iter().enumerate() {
+        let labeling = sim.run(network, algorithm)?;
+        let report = problem.check(network.instance(), &labeling);
+        if !report.is_valid() {
+            return Ok(ValidationOutcome::CounterExample {
+                network_index: idx,
+                labeling,
+                violating_nodes: report.violating_nodes(),
+            });
+        }
+    }
+    Ok(ValidationOutcome::AllValid {
+        networks_checked: networks.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BallView, FnAlgorithm};
+    use lcl_problem::{Instance, OutLabel, Topology};
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(0), 0);
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 1);
+        assert_eq!(log_star(4), 2);
+        assert_eq!(log_star(16), 3);
+        assert_eq!(log_star(65536), 4);
+        assert!(log_star(usize::MAX) <= 6);
+    }
+
+    #[test]
+    fn locality_curves() {
+        let constant = FnAlgorithm::new("c", |_| 3, |_: &BallView| OutLabel(0));
+        let linear = FnAlgorithm::new("n", |n| n, |_: &BallView| OutLabel(0));
+        let sizes = [4usize, 16, 256];
+        let c = locality_curve(&constant, &sizes);
+        assert!(c.iter().all(|m| m.radius == 3));
+        let l = locality_curve(&linear, &sizes);
+        assert_eq!(l[2], LocalityMeasurement { n: 256, radius: 256 });
+    }
+
+    fn two_coloring() -> NormalizedLcl {
+        let mut b = NormalizedLcl::builder("2-coloring");
+        b.input_labels(&["x"]);
+        b.output_labels(&["1", "2"]);
+        b.allow_all_node_pairs();
+        b.allow_edge_idx(0, 1);
+        b.allow_edge_idx(1, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn validation_detects_counterexamples() {
+        let p = two_coloring();
+        // "Everyone outputs colour 1" is invalid for 2-coloring.
+        let bad = FnAlgorithm::new("all-one", |_| 0, |_: &BallView| OutLabel(0));
+        let nets = vec![
+            Network::with_sequential_ids(Instance::from_indices(Topology::Cycle, &[0; 4])),
+            Network::with_sequential_ids(Instance::from_indices(Topology::Cycle, &[0; 6])),
+        ];
+        let outcome = validate_algorithm(&p, &bad, &nets).unwrap();
+        assert!(!outcome.is_valid());
+        match outcome {
+            ValidationOutcome::CounterExample {
+                network_index,
+                violating_nodes,
+                ..
+            } => {
+                assert_eq!(network_index, 0);
+                assert!(!violating_nodes.is_empty());
+            }
+            ValidationOutcome::AllValid { .. } => panic!("expected counterexample"),
+        }
+    }
+
+    #[test]
+    fn validation_accepts_correct_algorithm() {
+        let p = two_coloring();
+        // With sequential ids on an even cycle, colouring by id parity is valid.
+        let parity = FnAlgorithm::new("id-parity", |_| 0, |v: &BallView| {
+            OutLabel((v.center.0 % 2) as u16)
+        });
+        let nets = vec![Network::with_sequential_ids(Instance::from_indices(
+            Topology::Cycle,
+            &[0; 6],
+        ))];
+        let outcome = validate_algorithm(&p, &parity, &nets).unwrap();
+        assert!(outcome.is_valid());
+        match outcome {
+            ValidationOutcome::AllValid { networks_checked } => assert_eq!(networks_checked, 1),
+            ValidationOutcome::CounterExample { .. } => panic!("expected valid"),
+        }
+    }
+}

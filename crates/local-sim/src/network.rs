@@ -1,0 +1,179 @@
+//! Communication networks: an instance plus unique node identifiers.
+
+use crate::{Result, SimError};
+use lcl_problem::Instance;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// How node identifiers are assigned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IdAssignment {
+    /// Node `i` gets identifier `i + 1`.
+    Sequential,
+    /// A random permutation of `1..=c·n` restricted to `n` values, matching
+    /// the LOCAL model's polynomially-bounded identifier space (the paper uses
+    /// `O(log n)`-bit identifiers).
+    RandomFromSpace {
+        /// Multiplier `c ≥ 1`: the identifier space is `1..=c·n`.
+        multiplier: u64,
+    },
+    /// Explicit identifiers supplied by the caller.
+    Explicit(Vec<u64>),
+}
+
+/// An input-labeled path or cycle together with unique node identifiers: the
+/// "computer network" of the paper's introduction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Network {
+    instance: Instance,
+    ids: Vec<u64>,
+}
+
+impl Network {
+    /// Creates a network with sequential identifiers `1..=n`.
+    pub fn with_sequential_ids(instance: Instance) -> Self {
+        let ids = (1..=instance.len() as u64).collect();
+        Network { instance, ids }
+    }
+
+    /// Creates a network with identifiers assigned according to `assignment`,
+    /// using `rng` for the random variants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if explicit identifiers are not unique or do not match
+    /// the instance length, or if the identifier space is too small.
+    pub fn new<R: Rng + ?Sized>(
+        instance: Instance,
+        assignment: IdAssignment,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let n = instance.len();
+        let ids = match assignment {
+            IdAssignment::Sequential => (1..=n as u64).collect(),
+            IdAssignment::RandomFromSpace { multiplier } => {
+                let multiplier = multiplier.max(1);
+                let space = (n as u64).saturating_mul(multiplier);
+                if space < n as u64 {
+                    return Err(SimError::IdSpaceTooSmall {
+                        nodes: n,
+                        space,
+                    });
+                }
+                let mut pool: Vec<u64> = (1..=space).collect();
+                pool.shuffle(rng);
+                pool.truncate(n);
+                pool
+            }
+            IdAssignment::Explicit(ids) => {
+                if ids.len() != n {
+                    return Err(SimError::LengthMismatch {
+                        expected: n,
+                        got: ids.len(),
+                    });
+                }
+                ids
+            }
+        };
+        let distinct: HashSet<u64> = ids.iter().copied().collect();
+        if distinct.len() != ids.len() {
+            return Err(SimError::DuplicateIds);
+        }
+        Ok(Network { instance, ids })
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.instance.len()
+    }
+
+    /// `true` if the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.instance.is_empty()
+    }
+
+    /// The identifier of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn id(&self, i: usize) -> u64 {
+        self.ids[i]
+    }
+
+    /// All identifiers in node order.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_problem::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance(n: usize) -> Instance {
+        Instance::from_indices(Topology::Cycle, &vec![0; n])
+    }
+
+    #[test]
+    fn sequential_ids() {
+        let net = Network::with_sequential_ids(instance(4));
+        assert_eq!(net.ids(), &[1, 2, 3, 4]);
+        assert_eq!(net.id(2), 3);
+        assert_eq!(net.len(), 4);
+        assert!(!net.is_empty());
+        assert_eq!(net.instance().topology(), Topology::Cycle);
+    }
+
+    #[test]
+    fn random_ids_are_unique_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = Network::new(
+            instance(50),
+            IdAssignment::RandomFromSpace { multiplier: 10 },
+            &mut rng,
+        )
+        .unwrap();
+        let set: HashSet<u64> = net.ids().iter().copied().collect();
+        assert_eq!(set.len(), 50);
+        assert!(net.ids().iter().all(|&id| id >= 1 && id <= 500));
+    }
+
+    #[test]
+    fn explicit_ids_validation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ok = Network::new(
+            instance(3),
+            IdAssignment::Explicit(vec![10, 20, 30]),
+            &mut rng,
+        );
+        assert!(ok.is_ok());
+        let dup = Network::new(
+            instance(3),
+            IdAssignment::Explicit(vec![10, 10, 30]),
+            &mut rng,
+        );
+        assert_eq!(dup.unwrap_err(), SimError::DuplicateIds);
+        let wrong_len = Network::new(instance(3), IdAssignment::Explicit(vec![1]), &mut rng);
+        assert!(matches!(
+            wrong_len.unwrap_err(),
+            SimError::LengthMismatch { expected: 3, got: 1 }
+        ));
+    }
+
+    #[test]
+    fn sequential_via_new() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = Network::new(instance(5), IdAssignment::Sequential, &mut rng).unwrap();
+        assert_eq!(net.ids(), &[1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,219 @@
+//! The ball-view simulator: materializes each node's view and applies the
+//! algorithm's output function.
+
+use crate::{BallView, LocalAlgorithm, Network, Result, SimError};
+use lcl_problem::{Labeling, Topology};
+
+/// The centralized LOCAL simulator.
+///
+/// Building a radius-`T` view costs `O(T)` per node, so one run costs
+/// `O(n · T)` — matching the information-theoretic content of `T` LOCAL
+/// rounds.
+#[derive(Clone, Debug)]
+pub struct SyncSimulator {
+    radius_cap: usize,
+}
+
+impl Default for SyncSimulator {
+    fn default() -> Self {
+        SyncSimulator {
+            radius_cap: 1 << 22,
+        }
+    }
+}
+
+impl SyncSimulator {
+    /// Creates a simulator with the default safety cap on view radii.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a simulator with an explicit cap on view radii; algorithms
+    /// requesting more are rejected rather than looping for hours.
+    pub fn with_radius_cap(radius_cap: usize) -> Self {
+        SyncSimulator { radius_cap }
+    }
+
+    /// Builds the radius-`radius` ball view of node `i`.
+    ///
+    /// On cycles the view wraps; if the radius exceeds the cycle length the
+    /// view simply contains every node (possibly more than once on tiny
+    /// cycles, mirroring what a node would actually see when messages travel
+    /// around the cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn view(&self, network: &Network, i: usize, radius: usize) -> BallView {
+        let inst = network.instance();
+        let n = inst.len();
+        assert!(i < n, "node index out of range");
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        match inst.topology() {
+            Topology::Cycle => {
+                let reach = radius.min(n.saturating_sub(1));
+                let mut p = i;
+                for _ in 0..reach {
+                    p = (p + n - 1) % n;
+                    left.push((network.id(p), inst.input(p)));
+                }
+                let mut s = i;
+                for _ in 0..reach {
+                    s = (s + 1) % n;
+                    right.push((network.id(s), inst.input(s)));
+                }
+                // On cycles, pad to the full radius by continuing around; a
+                // node that has seen the whole cycle knows everything, so the
+                // padded entries are genuine knowledge, not fabrication.
+                let mut p2 = p;
+                while left.len() < radius && n > 0 {
+                    p2 = (p2 + n - 1) % n;
+                    left.push((network.id(p2), inst.input(p2)));
+                }
+                let mut s2 = s;
+                while right.len() < radius && n > 0 {
+                    s2 = (s2 + 1) % n;
+                    right.push((network.id(s2), inst.input(s2)));
+                }
+            }
+            Topology::Path => {
+                let mut p = i;
+                while left.len() < radius && p > 0 {
+                    p -= 1;
+                    left.push((network.id(p), inst.input(p)));
+                }
+                let mut s = i;
+                while right.len() < radius && s + 1 < n {
+                    s += 1;
+                    right.push((network.id(s), inst.input(s)));
+                }
+            }
+        }
+        BallView {
+            n,
+            radius,
+            center: (network.id(i), inst.input(i)),
+            left,
+            right,
+        }
+    }
+
+    /// Runs the algorithm on every node of the network and collects the
+    /// outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RadiusTooLarge`] if the algorithm requests a view
+    /// radius beyond the simulator's cap.
+    pub fn run<A: LocalAlgorithm + ?Sized>(
+        &self,
+        network: &Network,
+        algorithm: &A,
+    ) -> Result<Labeling> {
+        let n = network.len();
+        let radius = algorithm.radius(n);
+        if radius > self.radius_cap {
+            return Err(SimError::RadiusTooLarge {
+                radius,
+                cap: self.radius_cap,
+            });
+        }
+        let mut outputs = Vec::with_capacity(n);
+        for i in 0..n {
+            let view = self.view(network, i, radius);
+            outputs.push(algorithm.compute(&view));
+        }
+        Ok(Labeling::new(outputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnAlgorithm;
+    use lcl_problem::{InLabel, Instance, OutLabel};
+
+    fn cycle_net(inputs: &[u16]) -> Network {
+        Network::with_sequential_ids(Instance::from_indices(Topology::Cycle, inputs))
+    }
+
+    fn path_net(inputs: &[u16]) -> Network {
+        Network::with_sequential_ids(Instance::from_indices(Topology::Path, inputs))
+    }
+
+    #[test]
+    fn views_wrap_on_cycles() {
+        let net = cycle_net(&[0, 1, 2, 3]);
+        let sim = SyncSimulator::new();
+        let v = sim.view(&net, 0, 2);
+        assert_eq!(v.input_at(-1), Some(InLabel(3)));
+        assert_eq!(v.input_at(-2), Some(InLabel(2)));
+        assert_eq!(v.input_at(1), Some(InLabel(1)));
+        assert_eq!(v.input_at(2), Some(InLabel(2)));
+        assert!(!v.sees_path_start());
+        assert!(!v.sees_path_end());
+    }
+
+    #[test]
+    fn views_clip_on_paths() {
+        let net = path_net(&[0, 1, 2, 3]);
+        let sim = SyncSimulator::new();
+        let v = sim.view(&net, 1, 3);
+        assert_eq!(v.left.len(), 1);
+        assert_eq!(v.right.len(), 2);
+        assert!(v.sees_path_start());
+        assert!(v.sees_path_end());
+        assert_eq!(v.distance_to_start(), Some(1));
+        assert_eq!(v.distance_to_end(), Some(2));
+    }
+
+    #[test]
+    fn huge_radius_on_cycle_sees_everything() {
+        let net = cycle_net(&[0, 1, 2]);
+        let sim = SyncSimulator::new();
+        let v = sim.view(&net, 0, 10);
+        assert_eq!(v.left.len(), 10);
+        assert_eq!(v.right.len(), 10);
+        // The wrap repeats the cycle content.
+        assert_eq!(v.input_at(3), Some(InLabel(0)));
+        assert_eq!(v.input_at(4), Some(InLabel(1)));
+    }
+
+    #[test]
+    fn run_applies_algorithm_at_every_node() {
+        let net = cycle_net(&[0, 1, 0, 1]);
+        let sim = SyncSimulator::new();
+        // Output = predecessor's input.
+        let alg = FnAlgorithm::new(
+            "pred-input",
+            |_| 1,
+            |v: &BallView| OutLabel(v.input_at(-1).map(|l| l.0).unwrap_or(9)),
+        );
+        let out = sim.run(&net, &alg).unwrap();
+        assert_eq!(out.outputs(), &[OutLabel(1), OutLabel(0), OutLabel(1), OutLabel(0)]);
+    }
+
+    #[test]
+    fn radius_cap_enforced() {
+        let net = cycle_net(&[0; 8]);
+        let sim = SyncSimulator::with_radius_cap(4);
+        let alg = FnAlgorithm::new("greedy", |n| n * 10, |_: &BallView| OutLabel(0));
+        assert!(matches!(
+            sim.run(&net, &alg),
+            Err(SimError::RadiusTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn path_endpoint_views() {
+        let net = path_net(&[5, 6, 7]);
+        let sim = SyncSimulator::new();
+        let v0 = sim.view(&net, 0, 2);
+        assert_eq!(v0.distance_to_start(), Some(0));
+        assert_eq!(v0.left.len(), 0);
+        let v2 = sim.view(&net, 2, 2);
+        assert_eq!(v2.distance_to_end(), Some(0));
+        assert_eq!(v2.input_at(-2), Some(InLabel(5)));
+    }
+}

@@ -1,0 +1,185 @@
+//! Ball views: everything a node learns after `T` communication rounds.
+
+use lcl_problem::InLabel;
+
+/// The radius-`T` view of one node: its own identifier and input, the
+/// identifiers and inputs of up to `T` predecessors and up to `T` successors,
+/// the total number of nodes `n` (global knowledge in the LOCAL model), and
+/// whether either endpoint of a path became visible.
+///
+/// Offsets are directed: offset `-k` is the `k`-th predecessor, offset `+k`
+/// the `k`-th successor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BallView {
+    /// Total number of nodes in the network.
+    pub n: usize,
+    /// The radius that was collected.
+    pub radius: usize,
+    /// `(id, input)` of the node itself.
+    pub center: (u64, InLabel),
+    /// `(id, input)` of predecessors, nearest first (`left[0]` is offset −1).
+    /// Shorter than `radius` only if the start of a path was reached.
+    pub left: Vec<(u64, InLabel)>,
+    /// `(id, input)` of successors, nearest first (`right[0]` is offset +1).
+    /// Shorter than `radius` only if the end of a path was reached.
+    pub right: Vec<(u64, InLabel)>,
+}
+
+impl BallView {
+    /// `(id, input)` at the given signed offset from the centre, if visible.
+    pub fn at(&self, offset: isize) -> Option<(u64, InLabel)> {
+        if offset == 0 {
+            Some(self.center)
+        } else if offset < 0 {
+            self.left.get((-offset - 1) as usize).copied()
+        } else {
+            self.right.get((offset - 1) as usize).copied()
+        }
+    }
+
+    /// The input label at the given offset, if visible.
+    pub fn input_at(&self, offset: isize) -> Option<InLabel> {
+        self.at(offset).map(|(_, l)| l)
+    }
+
+    /// The identifier at the given offset, if visible.
+    pub fn id_at(&self, offset: isize) -> Option<u64> {
+        self.at(offset).map(|(id, _)| id)
+    }
+
+    /// `true` if the view reaches the first node of a path (the node itself
+    /// may be that first node).
+    pub fn sees_path_start(&self) -> bool {
+        self.left.len() < self.radius
+    }
+
+    /// `true` if the view reaches the last node of a path.
+    pub fn sees_path_end(&self) -> bool {
+        self.right.len() < self.radius
+    }
+
+    /// Distance to the first node of the path if visible: `Some(k)` means the
+    /// centre is the `k`-th node (0-based) of the path.
+    pub fn distance_to_start(&self) -> Option<usize> {
+        if self.sees_path_start() {
+            Some(self.left.len())
+        } else {
+            None
+        }
+    }
+
+    /// Distance to the last node of the path if visible.
+    pub fn distance_to_end(&self) -> Option<usize> {
+        if self.sees_path_end() {
+            Some(self.right.len())
+        } else {
+            None
+        }
+    }
+
+    /// The window of inputs from offset `-k` to offset `+k` (clipped at path
+    /// endpoints), together with the index of the centre within that window.
+    pub fn input_window(&self, k: usize) -> (usize, Vec<InLabel>) {
+        let left_take = k.min(self.left.len());
+        let mut inputs = Vec::with_capacity(2 * k + 1);
+        for i in (0..left_take).rev() {
+            inputs.push(self.left[i].1);
+        }
+        let center_pos = left_take;
+        inputs.push(self.center.1);
+        for i in 0..k.min(self.right.len()) {
+            inputs.push(self.right[i].1);
+        }
+        (center_pos, inputs)
+    }
+
+    /// Restricts the view to a smaller radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` exceeds the view's radius.
+    pub fn shrink(&self, radius: usize) -> BallView {
+        assert!(radius <= self.radius, "cannot grow a view by shrinking");
+        BallView {
+            n: self.n,
+            radius,
+            center: self.center,
+            left: self.left.iter().copied().take(radius).collect(),
+            right: self.right.iter().copied().take(radius).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> BallView {
+        BallView {
+            n: 100,
+            radius: 3,
+            center: (50, InLabel(5)),
+            left: vec![(40, InLabel(4)), (30, InLabel(3))],
+            right: vec![(60, InLabel(6)), (70, InLabel(7)), (80, InLabel(8))],
+        }
+    }
+
+    #[test]
+    fn offsets() {
+        let v = view();
+        assert_eq!(v.at(0), Some((50, InLabel(5))));
+        assert_eq!(v.at(-1), Some((40, InLabel(4))));
+        assert_eq!(v.at(-2), Some((30, InLabel(3))));
+        assert_eq!(v.at(-3), None);
+        assert_eq!(v.at(3), Some((80, InLabel(8))));
+        assert_eq!(v.input_at(1), Some(InLabel(6)));
+        assert_eq!(v.id_at(2), Some(70));
+        assert_eq!(v.id_at(9), None);
+    }
+
+    #[test]
+    fn endpoint_detection() {
+        let v = view();
+        assert!(v.sees_path_start());
+        assert!(!v.sees_path_end());
+        assert_eq!(v.distance_to_start(), Some(2));
+        assert_eq!(v.distance_to_end(), None);
+    }
+
+    #[test]
+    fn input_window_clips() {
+        let v = view();
+        let (center, inputs) = v.input_window(3);
+        assert_eq!(center, 2);
+        assert_eq!(
+            inputs,
+            vec![
+                InLabel(3),
+                InLabel(4),
+                InLabel(5),
+                InLabel(6),
+                InLabel(7),
+                InLabel(8)
+            ]
+        );
+        let (center1, inputs1) = v.input_window(1);
+        assert_eq!(center1, 1);
+        assert_eq!(inputs1, vec![InLabel(4), InLabel(5), InLabel(6)]);
+    }
+
+    #[test]
+    fn shrink_view() {
+        let v = view();
+        let s = v.shrink(1);
+        assert_eq!(s.left.len(), 1);
+        assert_eq!(s.right.len(), 1);
+        assert_eq!(s.radius, 1);
+        assert!(!s.sees_path_start());
+    }
+
+    #[test]
+    #[should_panic]
+    fn shrink_beyond_radius_panics() {
+        let _ = view().shrink(9);
+    }
+}

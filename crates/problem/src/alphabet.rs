@@ -1,0 +1,222 @@
+//! Label alphabets and typed label indices.
+//!
+//! The paper works with constant-sized input and output label sets `Σ_in` and
+//! `Σ_out`. We represent labels as dense indices into an [`Alphabet`], and use
+//! two distinct newtypes — [`InLabel`] and [`OutLabel`] — so that input and
+//! output labels cannot be confused at compile time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An input label: an index into the input alphabet `Σ_in` of a problem.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct InLabel(pub u16);
+
+/// An output label: an index into the output alphabet `Σ_out` of a problem.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct OutLabel(pub u16);
+
+macro_rules! impl_label {
+    ($ty:ident) => {
+        impl $ty {
+            /// Returns the dense index of this label.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Creates a label from a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u16`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                assert!(index <= u16::MAX as usize, "label index out of range");
+                $ty(index as u16)
+            }
+        }
+
+        impl From<u16> for $ty {
+            fn from(v: u16) -> Self {
+                $ty(v)
+            }
+        }
+
+        impl From<$ty> for u16 {
+            fn from(v: $ty) -> Self {
+                v.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+impl_label!(InLabel);
+impl_label!(OutLabel);
+
+/// A finite, ordered set of named labels.
+///
+/// Alphabets are immutable once constructed. Labels are referred to by their
+/// dense index (`0..len()`); the stored names exist for display, debugging and
+/// serialization purposes only.
+///
+/// # Example
+///
+/// ```
+/// use lcl_problem::Alphabet;
+///
+/// let sigma = Alphabet::new(["a", "b", "c"]);
+/// assert_eq!(sigma.len(), 3);
+/// assert_eq!(sigma.index_of("b"), Some(1));
+/// assert_eq!(sigma.name(2), "c");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Alphabet {
+    names: Vec<String>,
+}
+
+impl Alphabet {
+    /// Creates an alphabet from an ordered list of label names.
+    ///
+    /// Duplicate names are allowed (they denote distinct labels that merely
+    /// display identically), but most callers will want unique names.
+    pub fn new<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Alphabet {
+            names: names.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Creates an alphabet of `n` labels named `prefix0`, `prefix1`, ….
+    pub fn numbered(prefix: &str, n: usize) -> Self {
+        Alphabet {
+            names: (0..n).map(|i| format!("{prefix}{i}")).collect(),
+        }
+    }
+
+    /// Number of labels in the alphabet.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if the alphabet has no labels.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of the label with the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn name(&self, index: usize) -> &str {
+        &self.names[index]
+    }
+
+    /// Looks up the dense index of the first label with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Iterates over `(index, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i, n.as_str()))
+    }
+
+    /// All names, in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Extends the alphabet with a new label, returning its index.
+    ///
+    /// Mainly useful when deriving a problem's alphabet from another one (for
+    /// example when adding escape or marker labels in a transformation).
+    pub fn push(&mut self, name: impl Into<String>) -> usize {
+        self.names.push(name.into());
+        self.names.len() - 1
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.names.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_roundtrip() {
+        let l = InLabel::from_index(7);
+        assert_eq!(l.index(), 7);
+        assert_eq!(u16::from(l), 7);
+        let o: OutLabel = 3u16.into();
+        assert_eq!(o.index(), 3);
+    }
+
+    #[test]
+    fn display_is_index() {
+        assert_eq!(InLabel(4).to_string(), "4");
+        assert_eq!(OutLabel(9).to_string(), "9");
+    }
+
+    #[test]
+    fn alphabet_basic() {
+        let a = Alphabet::new(["L", "R", "0", "1"]);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert_eq!(a.index_of("R"), Some(1));
+        assert_eq!(a.index_of("missing"), None);
+        assert_eq!(a.name(3), "1");
+        let collected: Vec<_> = a.iter().collect();
+        assert_eq!(collected[0], (0, "L"));
+        assert_eq!(collected.len(), 4);
+    }
+
+    #[test]
+    fn numbered_alphabet() {
+        let a = Alphabet::numbered("q", 3);
+        assert_eq!(a.names(), &["q0".to_string(), "q1".into(), "q2".into()]);
+        assert_eq!(a.to_string(), "{q0, q1, q2}");
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let a = Alphabet::new(Vec::<String>::new());
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut a = Alphabet::new(["a"]);
+        let idx = a.push("b");
+        assert_eq!(idx, 1);
+        assert_eq!(a.name(1), "b");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_label_index_panics() {
+        let _ = InLabel::from_index(usize::from(u16::MAX) + 1);
+    }
+}

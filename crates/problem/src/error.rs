@@ -1,0 +1,101 @@
+//! Error type shared by all fallible operations in the crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced when constructing or manipulating LCL problems.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ProblemError {
+    /// The input alphabet is empty.
+    EmptyInputAlphabet,
+    /// The output alphabet is empty.
+    EmptyOutputAlphabet,
+    /// A label index referenced a label outside its alphabet.
+    LabelOutOfRange {
+        /// Human-readable description of which label set was violated.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Size of the alphabet it was checked against.
+        alphabet_len: usize,
+    },
+    /// An instance and a labeling (or problem) have mismatching lengths or alphabets.
+    Mismatch {
+        /// Description of the mismatch.
+        what: String,
+    },
+    /// A transformation was asked to operate on an unsupported shape
+    /// (for example, an empty instance or a radius of zero where one is required).
+    Unsupported {
+        /// Description of the unsupported request.
+        what: String,
+    },
+}
+
+impl fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemError::EmptyInputAlphabet => write!(f, "input alphabet is empty"),
+            ProblemError::EmptyOutputAlphabet => write!(f, "output alphabet is empty"),
+            ProblemError::LabelOutOfRange {
+                what,
+                index,
+                alphabet_len,
+            } => write!(
+                f,
+                "{what} label index {index} is out of range for alphabet of size {alphabet_len}"
+            ),
+            ProblemError::Mismatch { what } => write!(f, "mismatch: {what}"),
+            ProblemError::Unsupported { what } => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl StdError for ProblemError {}
+
+impl ProblemError {
+    /// Convenience constructor for [`ProblemError::Mismatch`].
+    pub fn mismatch(what: impl Into<String>) -> Self {
+        ProblemError::Mismatch { what: what.into() }
+    }
+
+    /// Convenience constructor for [`ProblemError::Unsupported`].
+    pub fn unsupported(what: impl Into<String>) -> Self {
+        ProblemError::Unsupported { what: what.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ProblemError::EmptyInputAlphabet.to_string(),
+            "input alphabet is empty"
+        );
+        assert_eq!(
+            ProblemError::LabelOutOfRange {
+                what: "output",
+                index: 9,
+                alphabet_len: 3
+            }
+            .to_string(),
+            "output label index 9 is out of range for alphabet of size 3"
+        );
+        assert!(ProblemError::mismatch("lengths differ")
+            .to_string()
+            .contains("lengths differ"));
+        assert!(ProblemError::unsupported("radius 0")
+            .to_string()
+            .contains("radius 0"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: StdError + Send + Sync + 'static>() {}
+        assert_err::<ProblemError>();
+    }
+}

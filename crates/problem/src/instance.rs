@@ -1,0 +1,352 @@
+//! Concrete problem instances: input-labeled paths and cycles, and output labelings.
+
+use crate::{InLabel, OutLabel, ProblemError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The topology of an instance: a path with two endpoints, or a cycle.
+///
+/// In both cases the nodes are consistently (globally) oriented: node `i+1`
+/// is the *successor* of node `i` and node `i-1` its *predecessor*; on a cycle
+/// the indices wrap around. The undirected variants of the paper's results are
+/// obtained through the problem transformation of §3.7 rather than through a
+/// separate topology.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Topology {
+    /// A directed path `p_0 → p_1 → … → p_{n-1}`.
+    Path,
+    /// A directed cycle on `n` nodes.
+    Cycle,
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Path => write!(f, "path"),
+            Topology::Cycle => write!(f, "cycle"),
+        }
+    }
+}
+
+/// An input-labeled path or cycle.
+///
+/// The instance stores only the topology and the per-node input labels; node
+/// identifiers live in the LOCAL simulator (`lcl-local-sim`), because the
+/// validity of an output labeling never depends on identifiers.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Instance {
+    topology: Topology,
+    inputs: Vec<InLabel>,
+}
+
+impl Instance {
+    /// Creates a path instance from its input labels (in path order).
+    pub fn path(inputs: Vec<InLabel>) -> Self {
+        Instance {
+            topology: Topology::Path,
+            inputs,
+        }
+    }
+
+    /// Creates a cycle instance from its input labels (in cyclic order).
+    pub fn cycle(inputs: Vec<InLabel>) -> Self {
+        Instance {
+            topology: Topology::Cycle,
+            inputs,
+        }
+    }
+
+    /// Creates an instance from raw `u16` label indices.
+    pub fn from_indices(topology: Topology, inputs: &[u16]) -> Self {
+        Instance {
+            topology,
+            inputs: inputs.iter().copied().map(InLabel).collect(),
+        }
+    }
+
+    /// The topology of this instance.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns `true` if the instance has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// The input labels in node order.
+    pub fn inputs(&self) -> &[InLabel] {
+        &self.inputs
+    }
+
+    /// The input label of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn input(&self, i: usize) -> InLabel {
+        self.inputs[i]
+    }
+
+    /// Index of the predecessor of node `i`, if it has one.
+    ///
+    /// On a cycle every node has a predecessor; on a path node `0` has none.
+    pub fn predecessor(&self, i: usize) -> Option<usize> {
+        match self.topology {
+            Topology::Path => i.checked_sub(1),
+            Topology::Cycle => {
+                if self.inputs.is_empty() {
+                    None
+                } else {
+                    Some((i + self.inputs.len() - 1) % self.inputs.len())
+                }
+            }
+        }
+    }
+
+    /// Index of the successor of node `i`, if it has one.
+    pub fn successor(&self, i: usize) -> Option<usize> {
+        match self.topology {
+            Topology::Path => {
+                if i + 1 < self.inputs.len() {
+                    Some(i + 1)
+                } else {
+                    None
+                }
+            }
+            Topology::Cycle => {
+                if self.inputs.is_empty() {
+                    None
+                } else {
+                    Some((i + 1) % self.inputs.len())
+                }
+            }
+        }
+    }
+
+    /// Checks that every input label index is smaller than `alphabet_len`.
+    pub fn check_alphabet(&self, alphabet_len: usize) -> Result<()> {
+        for &l in &self.inputs {
+            if l.index() >= alphabet_len {
+                return Err(ProblemError::LabelOutOfRange {
+                    what: "input",
+                    index: l.index(),
+                    alphabet_len,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the input labels of the directed subpath `[from, to]`
+    /// (inclusive, walking successor-wise, wrapping on cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range, or if `from > to` on a path.
+    pub fn subpath(&self, from: usize, to: usize) -> Vec<InLabel> {
+        let n = self.inputs.len();
+        assert!(from < n && to < n, "subpath index out of range");
+        match self.topology {
+            Topology::Path => {
+                assert!(from <= to, "subpath reversed on a path");
+                self.inputs[from..=to].to_vec()
+            }
+            Topology::Cycle => {
+                let mut out = Vec::new();
+                let mut i = from;
+                loop {
+                    out.push(self.inputs[i]);
+                    if i == to {
+                        break;
+                    }
+                    i = (i + 1) % n;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// An output labeling: one output label per node, in node order.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Labeling {
+    outputs: Vec<OutLabel>,
+}
+
+impl Labeling {
+    /// Creates a labeling from output labels.
+    pub fn new(outputs: Vec<OutLabel>) -> Self {
+        Labeling { outputs }
+    }
+
+    /// Creates a labeling from raw `u16` indices.
+    pub fn from_indices(outputs: &[u16]) -> Self {
+        Labeling {
+            outputs: outputs.iter().copied().map(OutLabel).collect(),
+        }
+    }
+
+    /// Creates a labeling in which every node gets the same output label.
+    pub fn uniform(label: OutLabel, n: usize) -> Self {
+        Labeling {
+            outputs: vec![label; n],
+        }
+    }
+
+    /// Number of labeled nodes.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Returns `true` if no node is labeled.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// The output labels, in node order.
+    pub fn outputs(&self) -> &[OutLabel] {
+        &self.outputs
+    }
+
+    /// The output label of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn output(&self, i: usize) -> OutLabel {
+        self.outputs[i]
+    }
+
+    /// Mutable access to the output label of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn output_mut(&mut self, i: usize) -> &mut OutLabel {
+        &mut self.outputs[i]
+    }
+
+    /// Checks that every output label index is smaller than `alphabet_len`.
+    pub fn check_alphabet(&self, alphabet_len: usize) -> Result<()> {
+        for &l in &self.outputs {
+            if l.index() >= alphabet_len {
+                return Err(ProblemError::LabelOutOfRange {
+                    what: "output",
+                    index: l.index(),
+                    alphabet_len,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<OutLabel> for Labeling {
+    fn from_iter<T: IntoIterator<Item = OutLabel>>(iter: T) -> Self {
+        Labeling {
+            outputs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<OutLabel> for Labeling {
+    fn extend<T: IntoIterator<Item = OutLabel>>(&mut self, iter: T) {
+        self.outputs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Instance {
+        Instance::from_indices(Topology::Path, &[0, 1, 2])
+    }
+
+    fn cycle4() -> Instance {
+        Instance::from_indices(Topology::Cycle, &[0, 1, 2, 3])
+    }
+
+    #[test]
+    fn path_neighbors() {
+        let p = path3();
+        assert_eq!(p.predecessor(0), None);
+        assert_eq!(p.predecessor(2), Some(1));
+        assert_eq!(p.successor(2), None);
+        assert_eq!(p.successor(0), Some(1));
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn cycle_neighbors_wrap() {
+        let c = cycle4();
+        assert_eq!(c.predecessor(0), Some(3));
+        assert_eq!(c.successor(3), Some(0));
+        assert_eq!(c.topology(), Topology::Cycle);
+    }
+
+    #[test]
+    fn subpath_on_path_and_cycle() {
+        let p = path3();
+        assert_eq!(
+            p.subpath(1, 2),
+            vec![InLabel(1), InLabel(2)],
+            "path subpath"
+        );
+        let c = cycle4();
+        assert_eq!(
+            c.subpath(3, 1),
+            vec![InLabel(3), InLabel(0), InLabel(1)],
+            "cycle subpath wraps"
+        );
+    }
+
+    #[test]
+    fn alphabet_bounds() {
+        let p = path3();
+        assert!(p.check_alphabet(3).is_ok());
+        assert!(matches!(
+            p.check_alphabet(2),
+            Err(ProblemError::LabelOutOfRange { .. })
+        ));
+        let l = Labeling::from_indices(&[0, 5]);
+        assert!(l.check_alphabet(6).is_ok());
+        assert!(l.check_alphabet(5).is_err());
+    }
+
+    #[test]
+    fn labeling_accessors() {
+        let mut l = Labeling::uniform(OutLabel(2), 4);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.output(3), OutLabel(2));
+        *l.output_mut(1) = OutLabel(0);
+        assert_eq!(l.outputs(), &[OutLabel(2), OutLabel(0), OutLabel(2), OutLabel(2)]);
+        let collected: Labeling = vec![OutLabel(1), OutLabel(2)].into_iter().collect();
+        assert_eq!(collected.len(), 2);
+        let mut ext = Labeling::new(vec![]);
+        ext.extend([OutLabel(7)]);
+        assert_eq!(ext.output(0), OutLabel(7));
+        assert!(!ext.is_empty());
+    }
+
+    #[test]
+    fn empty_cycle_has_no_neighbors() {
+        let c = Instance::cycle(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.predecessor(0), None);
+        assert_eq!(c.successor(0), None);
+    }
+
+    #[test]
+    fn topology_display() {
+        assert_eq!(Topology::Path.to_string(), "path");
+        assert_eq!(Topology::Cycle.to_string(), "cycle");
+    }
+}

@@ -1,0 +1,409 @@
+//! Complexity-preserving transformations between LCL problems.
+//!
+//! These are the generic building blocks used by the hardness constructions
+//! (§3.5, §3.7 of the paper) and by the classifier:
+//!
+//! * [`lift_path_to_cycle`] — encodes "degree-1 endpoint" constraints as
+//!   constraints adjacent to a special input label, so that path problems can
+//!   be analysed on cycles (paper §4, opening remark);
+//! * [`product_output_with_input`] — makes every output carry a copy of the
+//!   node's input (the core move of Lemma 2);
+//! * [`reverse_direction`], [`restrict_inputs`], [`relabel_outputs`] — small
+//!   structural rewrites used in tests and ablations.
+
+use crate::{Alphabet, InLabel, Instance, Labeling, NormalizedLcl, OutLabel, ProblemError, Result};
+
+/// Name of the special input label that marks the "virtual endpoint" node
+/// inserted by [`lift_path_to_cycle`].
+pub const ENDPOINT_LABEL_NAME: &str = "$endpoint";
+
+/// Name of the output label that the virtual endpoint node must produce.
+pub const ENDPOINT_OUTPUT_NAME: &str = "$end";
+
+/// Lifts a problem on directed *paths* to an equivalent problem on directed
+/// *cycles*.
+///
+/// A path instance `p_0 … p_{n-1}` of the original problem corresponds to the
+/// cycle instance `p_0 … p_{n-1} e` of the lifted problem, where `e` is a
+/// single extra node carrying the special input label
+/// [`ENDPOINT_LABEL_NAME`]. The node `e` must output the special label
+/// [`ENDPOINT_OUTPUT_NAME`], real nodes must not, and the edge constraints
+/// around `e` are unconstrained — exactly reflecting that the first node of a
+/// path has no predecessor constraint and the last node no successor
+/// constraint.
+///
+/// The lifted problem has the same deterministic LOCAL complexity class as the
+/// original (the reduction is local and changes distances by at most one), so
+/// classifying the lifted problem on cycles classifies the original on paths.
+///
+/// # Errors
+///
+/// Returns an error if the original problem already uses the reserved label
+/// names.
+pub fn lift_path_to_cycle(problem: &NormalizedLcl) -> Result<NormalizedLcl> {
+    if problem.input_alphabet().index_of(ENDPOINT_LABEL_NAME).is_some() {
+        return Err(ProblemError::unsupported(format!(
+            "input alphabet already contains reserved label {ENDPOINT_LABEL_NAME}"
+        )));
+    }
+    if problem.output_alphabet().index_of(ENDPOINT_OUTPUT_NAME).is_some() {
+        return Err(ProblemError::unsupported(format!(
+            "output alphabet already contains reserved label {ENDPOINT_OUTPUT_NAME}"
+        )));
+    }
+    let alpha = problem.num_inputs();
+    let beta = problem.num_outputs();
+
+    let mut in_names: Vec<String> = problem.input_alphabet().names().to_vec();
+    in_names.push(ENDPOINT_LABEL_NAME.to_string());
+    let mut out_names: Vec<String> = problem.output_alphabet().names().to_vec();
+    out_names.push(ENDPOINT_OUTPUT_NAME.to_string());
+
+    let mut b = NormalizedLcl::builder(format!("{}@cycle", problem.name()));
+    b.input_alphabet(Alphabet::new(in_names));
+    b.output_alphabet(Alphabet::new(out_names));
+    // Real nodes keep their node constraint and cannot output the end marker.
+    for a in 0..alpha {
+        for o in 0..beta {
+            if problem.node_ok(InLabel::from_index(a), OutLabel::from_index(o)) {
+                b.allow_node_idx(a as u16, o as u16);
+            }
+        }
+    }
+    // The endpoint node must output the end marker.
+    b.allow_node_idx(alpha as u16, beta as u16);
+    // Original edge constraints between real outputs.
+    for p in 0..beta {
+        for q in 0..beta {
+            if problem.edge_ok(OutLabel::from_index(p), OutLabel::from_index(q)) {
+                b.allow_edge_idx(p as u16, q as u16);
+            }
+        }
+    }
+    // Around the endpoint everything is allowed: the end marker may follow any
+    // real output (the last path node has no successor constraint) and any real
+    // output may follow the end marker (the first path node has no predecessor
+    // constraint). Two adjacent end markers are also fine (a path of length 0).
+    for o in 0..=beta {
+        b.allow_edge_idx(o as u16, beta as u16);
+        b.allow_edge_idx(beta as u16, o as u16);
+    }
+    b.build()
+}
+
+/// Converts a path instance into the corresponding cycle instance of the
+/// lifted problem: appends one node with the endpoint input label.
+pub fn lift_path_instance(problem: &NormalizedLcl, instance: &Instance) -> Instance {
+    let mut inputs: Vec<InLabel> = instance.inputs().to_vec();
+    inputs.push(InLabel::from_index(problem.num_inputs()));
+    Instance::cycle(inputs)
+}
+
+/// Projects a labeling of the lifted cycle instance back onto the path
+/// (drops the virtual endpoint's output).
+pub fn project_lifted_labeling(labeling: &Labeling) -> Labeling {
+    let mut outputs = labeling.outputs().to_vec();
+    outputs.pop();
+    Labeling::new(outputs)
+}
+
+/// Produces an equivalent problem in which every output label carries a copy
+/// of the node's input label (paper Lemma 2's output enrichment).
+///
+/// The new output alphabet is `Σ_in × Σ_out`; the node constraint requires the
+/// carried input to equal the real input and the original node constraint to
+/// hold; the edge constraint ignores the carried inputs.
+pub fn product_output_with_input(problem: &NormalizedLcl) -> Result<NormalizedLcl> {
+    let alpha = problem.num_inputs();
+    let beta = problem.num_outputs();
+    let mut out_names = Vec::with_capacity(alpha * beta);
+    for a in 0..alpha {
+        for o in 0..beta {
+            out_names.push(format!(
+                "({},{})",
+                problem.input_alphabet().name(a),
+                problem.output_alphabet().name(o)
+            ));
+        }
+    }
+    let mut b = NormalizedLcl::builder(format!("{}×in", problem.name()));
+    b.input_alphabet(problem.input_alphabet().clone());
+    b.output_labels(&out_names);
+    for a in 0..alpha {
+        for o in 0..beta {
+            if problem.node_ok(InLabel::from_index(a), OutLabel::from_index(o)) {
+                b.allow_node_idx(a as u16, (a * beta + o) as u16);
+            }
+        }
+    }
+    for a1 in 0..alpha {
+        for o1 in 0..beta {
+            for a2 in 0..alpha {
+                for o2 in 0..beta {
+                    if problem.edge_ok(OutLabel::from_index(o1), OutLabel::from_index(o2)) {
+                        b.allow_edge_idx((a1 * beta + o1) as u16, (a2 * beta + o2) as u16);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Reverses the direction of the problem: the edge constraint is transposed,
+/// so a valid labeling of the reversed problem on the reversed path is exactly
+/// a valid labeling of the original problem on the original path.
+pub fn reverse_direction(problem: &NormalizedLcl) -> Result<NormalizedLcl> {
+    let beta = problem.num_outputs();
+    let alpha = problem.num_inputs();
+    let mut b = NormalizedLcl::builder(format!("{}ᴿ", problem.name()));
+    b.input_alphabet(problem.input_alphabet().clone());
+    b.output_alphabet(problem.output_alphabet().clone());
+    for a in 0..alpha {
+        for o in 0..beta {
+            if problem.node_ok(InLabel::from_index(a), OutLabel::from_index(o)) {
+                b.allow_node_idx(a as u16, o as u16);
+            }
+        }
+    }
+    for p in 0..beta {
+        for q in 0..beta {
+            if problem.edge_ok(OutLabel::from_index(p), OutLabel::from_index(q)) {
+                b.allow_edge_idx(q as u16, p as u16);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Restricts the input alphabet to the given labels (in the given order).
+///
+/// # Errors
+///
+/// Returns an error if `keep` is empty or references an unknown label.
+pub fn restrict_inputs(problem: &NormalizedLcl, keep: &[InLabel]) -> Result<NormalizedLcl> {
+    if keep.is_empty() {
+        return Err(ProblemError::EmptyInputAlphabet);
+    }
+    let alpha = problem.num_inputs();
+    for &k in keep {
+        if k.index() >= alpha {
+            return Err(ProblemError::LabelOutOfRange {
+                what: "restricted input",
+                index: k.index(),
+                alphabet_len: alpha,
+            });
+        }
+    }
+    let beta = problem.num_outputs();
+    let names: Vec<String> = keep
+        .iter()
+        .map(|&k| problem.input_alphabet().name(k.index()).to_string())
+        .collect();
+    let mut b = NormalizedLcl::builder(format!("{}|in", problem.name()));
+    b.input_labels(&names);
+    b.output_alphabet(problem.output_alphabet().clone());
+    for (new_a, &old_a) in keep.iter().enumerate() {
+        for o in 0..beta {
+            if problem.node_ok(old_a, OutLabel::from_index(o)) {
+                b.allow_node_idx(new_a as u16, o as u16);
+            }
+        }
+    }
+    for p in 0..beta {
+        for q in 0..beta {
+            if problem.edge_ok(OutLabel::from_index(p), OutLabel::from_index(q)) {
+                b.allow_edge_idx(p as u16, q as u16);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Renames/merges output labels according to `map`, where `map[o]` is the new
+/// label index of old label `o`. Constraint pairs are transported through the
+/// map (a merged label is allowed wherever *any* of its pre-images was).
+///
+/// Merging outputs can only make a problem easier; this helper is used by the
+/// classifier's monotonicity property tests.
+///
+/// # Errors
+///
+/// Returns an error if `map` has the wrong length or `new_output_names` is
+/// empty.
+pub fn relabel_outputs(
+    problem: &NormalizedLcl,
+    map: &[usize],
+    new_output_names: &[&str],
+) -> Result<NormalizedLcl> {
+    if map.len() != problem.num_outputs() {
+        return Err(ProblemError::mismatch(format!(
+            "relabel map has {} entries but problem has {} outputs",
+            map.len(),
+            problem.num_outputs()
+        )));
+    }
+    if new_output_names.is_empty() {
+        return Err(ProblemError::EmptyOutputAlphabet);
+    }
+    for &m in map {
+        if m >= new_output_names.len() {
+            return Err(ProblemError::LabelOutOfRange {
+                what: "relabel target",
+                index: m,
+                alphabet_len: new_output_names.len(),
+            });
+        }
+    }
+    let alpha = problem.num_inputs();
+    let beta = problem.num_outputs();
+    let mut b = NormalizedLcl::builder(format!("{}/relabel", problem.name()));
+    b.input_alphabet(problem.input_alphabet().clone());
+    b.output_labels(new_output_names);
+    for a in 0..alpha {
+        for o in 0..beta {
+            if problem.node_ok(InLabel::from_index(a), OutLabel::from_index(o)) {
+                b.allow_node_idx(a as u16, map[o] as u16);
+            }
+        }
+    }
+    for p in 0..beta {
+        for q in 0..beta {
+            if problem.edge_ok(OutLabel::from_index(p), OutLabel::from_index(q)) {
+                b.allow_edge_idx(map[p] as u16, map[q] as u16);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    fn copy_input() -> NormalizedLcl {
+        let mut b = NormalizedLcl::builder("copy-input");
+        b.input_labels(&["a", "b"]);
+        b.output_labels(&["a", "b"]);
+        b.allow_node_idx(0, 0);
+        b.allow_node_idx(1, 1);
+        b.allow_all_edge_pairs();
+        b.build().unwrap()
+    }
+
+    fn three_coloring() -> NormalizedLcl {
+        let mut b = NormalizedLcl::builder("3-coloring");
+        b.input_labels(&["x"]);
+        b.output_labels(&["1", "2", "3"]);
+        b.allow_all_node_pairs();
+        for p in 0..3u16 {
+            for q in 0..3u16 {
+                if p != q {
+                    b.allow_edge_idx(p, q);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lift_path_problem_roundtrip() {
+        let p = three_coloring();
+        let lifted = lift_path_to_cycle(&p).unwrap();
+        assert_eq!(lifted.num_inputs(), 2);
+        assert_eq!(lifted.num_outputs(), 4);
+        // A path coloring 1,2,1 maps to a cycle with the endpoint node appended.
+        let path = Instance::from_indices(Topology::Path, &[0, 0, 0]);
+        let cycle = lift_path_instance(&p, &path);
+        assert_eq!(cycle.topology(), Topology::Cycle);
+        assert_eq!(cycle.len(), 4);
+        let cycle_labeling = Labeling::from_indices(&[0, 1, 0, 3]);
+        assert!(lifted.is_valid(&cycle, &cycle_labeling));
+        let projected = project_lifted_labeling(&cycle_labeling);
+        assert!(p.is_valid(&path, &projected));
+        // A real node outputting the end marker is rejected.
+        let bad = Labeling::from_indices(&[3, 1, 0, 3]);
+        assert!(!lifted.is_valid(&cycle, &bad));
+        // The endpoint node must output the marker.
+        let bad2 = Labeling::from_indices(&[0, 1, 0, 1]);
+        assert!(!lifted.is_valid(&cycle, &bad2));
+    }
+
+    #[test]
+    fn lift_rejects_reserved_names() {
+        let mut b = NormalizedLcl::builder("reserved");
+        b.input_labels(&[ENDPOINT_LABEL_NAME]);
+        b.output_labels(&["o"]);
+        b.allow_all_node_pairs();
+        b.allow_all_edge_pairs();
+        let p = b.build().unwrap();
+        assert!(lift_path_to_cycle(&p).is_err());
+    }
+
+    #[test]
+    fn product_output_with_input_preserves_validity() {
+        let p = copy_input();
+        let q = product_output_with_input(&p).unwrap();
+        assert_eq!(q.num_outputs(), 4);
+        let inst = Instance::from_indices(Topology::Cycle, &[0, 1, 1, 0]);
+        // Original solution: copy the input. Enriched: (input, copy).
+        let orig = Labeling::from_indices(&[0, 1, 1, 0]);
+        assert!(p.is_valid(&inst, &orig));
+        let enriched = Labeling::from_indices(&[0, 3, 3, 0]); // (a,a)=0, (b,b)=3
+        assert!(q.is_valid(&inst, &enriched));
+        // Claiming the wrong input is rejected.
+        let lying = Labeling::from_indices(&[2, 3, 3, 0]); // node 0 claims input b
+        assert!(!q.is_valid(&inst, &lying));
+    }
+
+    #[test]
+    fn reverse_direction_transposes_edges() {
+        let mut b = NormalizedLcl::builder("ordered");
+        b.input_labels(&["x"]);
+        b.output_labels(&["lo", "hi"]);
+        b.allow_all_node_pairs();
+        b.allow_edge_idx(0, 1); // lo may be followed by hi only
+        b.allow_edge_idx(0, 0);
+        b.allow_edge_idx(1, 1);
+        let p = b.build().unwrap();
+        let r = reverse_direction(&p).unwrap();
+        assert!(r.edge_ok(OutLabel(1), OutLabel(0)));
+        assert!(!r.edge_ok(OutLabel(0), OutLabel(1)) || p.edge_ok(OutLabel(1), OutLabel(0)));
+        // Reversing twice gives back the original tables.
+        let rr = reverse_direction(&r).unwrap();
+        for a in 0..2u16 {
+            for o in 0..2u16 {
+                assert_eq!(
+                    rr.edge_ok(OutLabel(a), OutLabel(o)),
+                    p.edge_ok(OutLabel(a), OutLabel(o))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restrict_inputs_drops_labels() {
+        let p = copy_input();
+        let r = restrict_inputs(&p, &[InLabel(1)]).unwrap();
+        assert_eq!(r.num_inputs(), 1);
+        assert!(r.node_ok(InLabel(0), OutLabel(1)));
+        assert!(!r.node_ok(InLabel(0), OutLabel(0)));
+        assert!(restrict_inputs(&p, &[]).is_err());
+        assert!(restrict_inputs(&p, &[InLabel(9)]).is_err());
+    }
+
+    #[test]
+    fn relabel_outputs_merges() {
+        let p = three_coloring();
+        // Merge colors 2 and 3.
+        let merged = relabel_outputs(&p, &[0, 1, 1], &["1", "2"]).unwrap();
+        assert_eq!(merged.num_outputs(), 2);
+        assert!(merged.edge_ok(OutLabel(0), OutLabel(1)));
+        // The merged color keeps the (2,3) allowance, so (2',2') is now allowed.
+        assert!(merged.edge_ok(OutLabel(1), OutLabel(1)));
+        assert!(relabel_outputs(&p, &[0, 1], &["1", "2"]).is_err());
+        assert!(relabel_outputs(&p, &[0, 1, 5], &["1", "2"]).is_err());
+        assert!(relabel_outputs(&p, &[0, 0, 0], &[]).is_err());
+    }
+}

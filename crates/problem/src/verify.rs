@@ -1,0 +1,183 @@
+//! Verifier output: structured reports of constraint violations.
+
+use crate::{InLabel, OutLabel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of constraint a node violated.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ViolationKind {
+    /// The `(input, output)` pair of the node is not in `C_in-out`.
+    NodeConstraint {
+        /// Input label of the node.
+        input: InLabel,
+        /// Output label of the node.
+        output: OutLabel,
+    },
+    /// The `(pred output, output)` pair is not in `C_out-out`.
+    EdgeConstraint {
+        /// Output label of the predecessor.
+        pred_output: OutLabel,
+        /// Output label of the node.
+        output: OutLabel,
+    },
+    /// A radius-`r` window around the node is not in the allowed window set.
+    WindowConstraint {
+        /// The checkability radius of the problem.
+        radius: usize,
+    },
+    /// A label index fell outside the problem's alphabets.
+    LabelOutOfRange,
+    /// The instance and the labeling have different lengths.
+    LengthMismatch {
+        /// Number of nodes of the instance.
+        instance_len: usize,
+        /// Number of labels of the labeling.
+        labeling_len: usize,
+    },
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::NodeConstraint { input, output } => {
+                write!(f, "node constraint violated: (in={input}, out={output})")
+            }
+            ViolationKind::EdgeConstraint {
+                pred_output,
+                output,
+            } => write!(
+                f,
+                "edge constraint violated: (pred out={pred_output}, out={output})"
+            ),
+            ViolationKind::WindowConstraint { radius } => {
+                write!(f, "radius-{radius} window not allowed")
+            }
+            ViolationKind::LabelOutOfRange => write!(f, "label index out of range"),
+            ViolationKind::LengthMismatch {
+                instance_len,
+                labeling_len,
+            } => write!(
+                f,
+                "labeling has {labeling_len} labels but instance has {instance_len} nodes"
+            ),
+        }
+    }
+}
+
+/// One violated constraint at one node.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Violation {
+    /// Index of the node at which the violation was detected.
+    pub node: usize,
+    /// The violated constraint.
+    pub kind: ViolationKind,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {}: {}", self.node, self.kind)
+    }
+}
+
+/// Outcome of verifying a labeling against a problem: the (possibly empty)
+/// list of violations found.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct ConsistencyReport {
+    violations: Vec<Violation>,
+}
+
+impl ConsistencyReport {
+    /// Creates a report from a list of violations.
+    pub fn new(violations: Vec<Violation>) -> Self {
+        ConsistencyReport { violations }
+    }
+
+    /// `true` if no constraint was violated.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// All detected violations.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Indices of the nodes with at least one violation, deduplicated, sorted.
+    pub fn violating_nodes(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self.violations.iter().map(|v| v.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+}
+
+impl fmt::Display for ConsistencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.violations.is_empty() {
+            write!(f, "valid")
+        } else {
+            writeln!(f, "{} violation(s):", self.violations.len())?;
+            for v in &self.violations {
+                writeln!(f, "  {v}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accessors() {
+        let report = ConsistencyReport::new(vec![
+            Violation {
+                node: 3,
+                kind: ViolationKind::LabelOutOfRange,
+            },
+            Violation {
+                node: 1,
+                kind: ViolationKind::NodeConstraint {
+                    input: InLabel(0),
+                    output: OutLabel(2),
+                },
+            },
+            Violation {
+                node: 3,
+                kind: ViolationKind::EdgeConstraint {
+                    pred_output: OutLabel(0),
+                    output: OutLabel(0),
+                },
+            },
+        ]);
+        assert!(!report.is_valid());
+        assert_eq!(report.violating_nodes(), vec![1, 3]);
+        assert_eq!(report.violations().len(), 3);
+        let shown = report.to_string();
+        assert!(shown.contains("3 violation(s)"));
+        assert!(shown.contains("node 1"));
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let report = ConsistencyReport::default();
+        assert!(report.is_valid());
+        assert_eq!(report.to_string(), "valid");
+    }
+
+    #[test]
+    fn violation_kind_display() {
+        assert!(ViolationKind::WindowConstraint { radius: 2 }
+            .to_string()
+            .contains("radius-2"));
+        assert!(ViolationKind::LengthMismatch {
+            instance_len: 5,
+            labeling_len: 4
+        }
+        .to_string()
+        .contains("5 nodes"));
+    }
+}

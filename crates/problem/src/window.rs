@@ -1,0 +1,596 @@
+//! General radius-`r` LCL problems described by their allowed windows, and the
+//! complexity-preserving conversion to the normalized (radius-1) form.
+//!
+//! An LCL of checkability radius `r` on directed paths/cycles accepts an
+//! output labeling if, around every node, the sequence of `(input, output)`
+//! pairs in its radius-`r` neighbourhood belongs to a finite allowed set
+//! (paper §2). [`WindowLcl`] stores that allowed set explicitly.
+//!
+//! [`WindowLcl::to_normalized`] implements the classic "window alphabet"
+//! construction: the new output of a node is its entire allowed window, the
+//! node constraint checks the centre input, and the edge constraint checks
+//! that consecutive windows overlap consistently. On cycles (and in the
+//! interior of long paths) the construction preserves the set of valid
+//! labelings up to projection, and changes the time complexity by at most an
+//! additive `r` — hence it preserves the paper's complexity classes
+//! `O(1) / Θ(log* n) / Θ(n)`.
+
+use crate::verify::{ConsistencyReport, Violation, ViolationKind};
+use crate::{
+    Alphabet, InLabel, Instance, Labeling, NormalizedLcl, OutLabel, ProblemError, Result, Topology,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A radius-`r` window: the `(input, output)` pairs of the nodes
+/// `v_{i-r}, …, v_{i+r}` around a centre node `v_i`, clipped at path
+/// endpoints.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Window {
+    /// Offset of the centre node within `cells` (equals `r` for interior
+    /// nodes, less near the start of a path).
+    pub center: usize,
+    /// `(input, output)` pairs in path order.
+    pub cells: Vec<(InLabel, OutLabel)>,
+}
+
+impl Window {
+    /// Creates a window.
+    pub fn new(center: usize, cells: Vec<(InLabel, OutLabel)>) -> Self {
+        Window { center, cells }
+    }
+
+    /// The `(input, output)` pair of the centre node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` is out of range (malformed window).
+    pub fn center_cell(&self) -> (InLabel, OutLabel) {
+        self.cells[self.center]
+    }
+
+    /// Number of nodes covered by the window.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the window covers no node.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Returns `true` if this window covers the full `2r + 1` nodes.
+    pub fn is_full(&self, radius: usize) -> bool {
+        self.center == radius && self.cells.len() == 2 * radius + 1
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, (a, o)) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            if i == self.center {
+                write!(f, "({a}/{o})*")?;
+            } else {
+                write!(f, "({a}/{o})")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// An LCL problem of checkability radius `r ≥ 1` on directed paths and cycles,
+/// given by its finite set of allowed windows.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WindowLcl {
+    name: String,
+    input: Alphabet,
+    output: Alphabet,
+    radius: usize,
+    allowed: HashSet<Window>,
+}
+
+impl WindowLcl {
+    /// Starts building a window LCL.
+    pub fn builder(name: impl Into<String>, radius: usize) -> WindowLclBuilder {
+        WindowLclBuilder::new(name, radius)
+    }
+
+    /// The problem name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The checkability radius `r`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// The input alphabet.
+    pub fn input_alphabet(&self) -> &Alphabet {
+        &self.input
+    }
+
+    /// The output alphabet.
+    pub fn output_alphabet(&self) -> &Alphabet {
+        &self.output
+    }
+
+    /// Number of allowed windows.
+    pub fn num_allowed_windows(&self) -> usize {
+        self.allowed.len()
+    }
+
+    /// Returns `true` if the given window is allowed.
+    pub fn window_ok(&self, window: &Window) -> bool {
+        self.allowed.contains(window)
+    }
+
+    /// Extracts the window centred at `node` from an instance/labeling pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or the labeling length differs from
+    /// the instance length.
+    pub fn window_at(&self, instance: &Instance, labeling: &Labeling, node: usize) -> Window {
+        assert_eq!(instance.len(), labeling.len(), "length mismatch");
+        assert!(node < instance.len(), "node out of range");
+        let n = instance.len();
+        let r = self.radius;
+        match instance.topology() {
+            Topology::Cycle => {
+                let take = (2 * r + 1).min(n);
+                let start = (node + n - r.min(n - 1).min(r)) % n;
+                // On very short cycles the window wraps onto itself; we cap the
+                // window length at n and keep the centre position consistent.
+                let mut cells = Vec::with_capacity(take);
+                let mut i = if n >= 2 * r + 1 { (node + n - r) % n } else { start };
+                for _ in 0..take {
+                    cells.push((instance.input(i), labeling.output(i)));
+                    i = (i + 1) % n;
+                }
+                let center = if n >= 2 * r + 1 { r } else { node.min(take - 1) };
+                Window::new(center, cells)
+            }
+            Topology::Path => {
+                let lo = node.saturating_sub(r);
+                let hi = (node + r).min(n - 1);
+                let cells = (lo..=hi)
+                    .map(|i| (instance.input(i), labeling.output(i)))
+                    .collect();
+                Window::new(node - lo, cells)
+            }
+        }
+    }
+
+    /// Returns `true` if the labeling is valid: every node's window is allowed.
+    pub fn is_valid(&self, instance: &Instance, labeling: &Labeling) -> bool {
+        self.check(instance, labeling).is_valid()
+    }
+
+    /// Verifies the labeling, reporting each node whose window is not allowed.
+    pub fn check(&self, instance: &Instance, labeling: &Labeling) -> ConsistencyReport {
+        let mut violations = Vec::new();
+        if instance.len() != labeling.len() {
+            violations.push(Violation {
+                node: 0,
+                kind: ViolationKind::LengthMismatch {
+                    instance_len: instance.len(),
+                    labeling_len: labeling.len(),
+                },
+            });
+            return ConsistencyReport::new(violations);
+        }
+        for i in 0..instance.len() {
+            let w = self.window_at(instance, labeling, i);
+            if !self.window_ok(&w) {
+                violations.push(Violation {
+                    node: i,
+                    kind: ViolationKind::WindowConstraint {
+                        radius: self.radius,
+                    },
+                });
+            }
+        }
+        ConsistencyReport::new(violations)
+    }
+
+    /// Converts the problem to an equivalent [`NormalizedLcl`] on cycles.
+    ///
+    /// The new output alphabet consists of the allowed *full* windows; the
+    /// output of a node encodes its window, the node constraint checks that
+    /// the centre input of the claimed window matches the node's real input,
+    /// and the edge constraint checks that adjacent windows overlap (the
+    /// predecessor's window shifted by one equals the successor's window on
+    /// the shared `2r` nodes).
+    ///
+    /// Validity correspondence (on cycles of length `≥ 2r + 1`): a labeling of
+    /// the original problem is valid iff the labeling that assigns each node
+    /// its window is valid for the converted problem; conversely projecting a
+    /// valid converted labeling to the centre output yields a valid original
+    /// labeling. Time complexity changes by at most an additive `r`, so the
+    /// complexity class is preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the problem allows no full window (the converted
+    /// problem would have an empty output alphabet).
+    pub fn to_normalized(&self) -> Result<NormalizedLcl> {
+        let r = self.radius;
+        let mut full: Vec<&Window> = self
+            .allowed
+            .iter()
+            .filter(|w| w.is_full(r))
+            .collect();
+        if full.is_empty() {
+            return Err(ProblemError::unsupported(
+                "window LCL allows no full window; cannot normalize",
+            ));
+        }
+        // Deterministic order for reproducible label indices.
+        full.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+
+        let mut b = NormalizedLcl::builder(format!("{}(normalized)", self.name));
+        b.input_alphabet(self.input.clone());
+        let names: Vec<String> = full.iter().map(|w| w.to_string()).collect();
+        b.output_labels(&names);
+        for (wi, w) in full.iter().enumerate() {
+            let (center_in, _) = w.center_cell();
+            b.allow_node_idx(u16::from(center_in), wi as u16);
+        }
+        for (pi, p) in full.iter().enumerate() {
+            for (qi, q) in full.iter().enumerate() {
+                if p.cells[1..] == q.cells[..2 * r] {
+                    b.allow_edge_idx(pi as u16, qi as u16);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Projects a labeling of the normalized problem produced by
+    /// [`Self::to_normalized`] back to a labeling of this problem.
+    ///
+    /// The `normalized` problem must be the one returned by
+    /// [`Self::to_normalized`]; the projection picks the centre output of the
+    /// window each label denotes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a label of `labeling` is not a label of
+    /// `normalized`.
+    pub fn project_normalized_labeling(
+        &self,
+        normalized: &NormalizedLcl,
+        labeling: &Labeling,
+    ) -> Result<Labeling> {
+        let r = self.radius;
+        let mut full: Vec<&Window> = self.allowed.iter().filter(|w| w.is_full(r)).collect();
+        full.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+        let mut outputs = Vec::with_capacity(labeling.len());
+        for &l in labeling.outputs() {
+            if l.index() >= normalized.num_outputs() || l.index() >= full.len() {
+                return Err(ProblemError::LabelOutOfRange {
+                    what: "normalized output",
+                    index: l.index(),
+                    alphabet_len: full.len(),
+                });
+            }
+            outputs.push(full[l.index()].center_cell().1);
+        }
+        Ok(Labeling::new(outputs))
+    }
+}
+
+impl fmt::Display for WindowLcl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (r={}, |Σ_in|={}, |Σ_out|={}, {} windows)",
+            self.name,
+            self.radius,
+            self.input.len(),
+            self.output.len(),
+            self.allowed.len()
+        )
+    }
+}
+
+/// Builder for [`WindowLcl`].
+#[derive(Clone)]
+pub struct WindowLclBuilder {
+    name: String,
+    input: Alphabet,
+    output: Alphabet,
+    radius: usize,
+    allowed: HashSet<Window>,
+}
+
+impl fmt::Debug for WindowLclBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WindowLclBuilder")
+            .field("name", &self.name)
+            .field("radius", &self.radius)
+            .field("allowed", &self.allowed.len())
+            .finish()
+    }
+}
+
+impl WindowLclBuilder {
+    /// Creates a builder for a radius-`radius` problem.
+    pub fn new(name: impl Into<String>, radius: usize) -> Self {
+        WindowLclBuilder {
+            name: name.into(),
+            input: Alphabet::new(Vec::<String>::new()),
+            output: Alphabet::new(Vec::<String>::new()),
+            radius,
+            allowed: HashSet::new(),
+        }
+    }
+
+    /// Sets the input alphabet from names.
+    pub fn input_labels<S: AsRef<str>>(&mut self, names: &[S]) -> &mut Self {
+        self.input = Alphabet::new(names.iter().map(|s| s.as_ref().to_string()));
+        self
+    }
+
+    /// Sets the output alphabet from names.
+    pub fn output_labels<S: AsRef<str>>(&mut self, names: &[S]) -> &mut Self {
+        self.output = Alphabet::new(names.iter().map(|s| s.as_ref().to_string()));
+        self
+    }
+
+    /// Allows one explicit window.
+    pub fn allow_window(&mut self, window: Window) -> &mut Self {
+        self.allowed.insert(window);
+        self
+    }
+
+    /// Allows every *full* (interior) window satisfying `predicate`.
+    ///
+    /// The predicate receives the `2r + 1` cells in path order. All
+    /// `(|Σ_in| · |Σ_out|)^{2r+1}` candidate windows are enumerated, so this
+    /// is intended for small alphabets and radii.
+    pub fn allow_full_windows_by<F>(&mut self, predicate: F) -> &mut Self
+    where
+        F: Fn(&[(InLabel, OutLabel)]) -> bool,
+    {
+        let width = 2 * self.radius + 1;
+        let alpha = self.input.len();
+        let beta = self.output.len();
+        let cell_count = alpha * beta;
+        if cell_count == 0 {
+            return self;
+        }
+        let total = cell_count.checked_pow(width as u32).unwrap_or(usize::MAX);
+        for code in 0..total {
+            let mut c = code;
+            let mut cells = Vec::with_capacity(width);
+            for _ in 0..width {
+                let cell = c % cell_count;
+                c /= cell_count;
+                cells.push((
+                    InLabel::from_index(cell / beta),
+                    OutLabel::from_index(cell % beta),
+                ));
+            }
+            if predicate(&cells) {
+                self.allowed.insert(Window::new(self.radius, cells));
+            }
+        }
+        self
+    }
+
+    /// Allows every boundary (clipped) window satisfying `predicate`.
+    ///
+    /// Boundary windows occur only on paths: near the first node the window
+    /// has fewer than `r` predecessors, near the last node fewer than `r`
+    /// successors. The predicate receives `(center, cells)`.
+    pub fn allow_boundary_windows_by<F>(&mut self, predicate: F) -> &mut Self
+    where
+        F: Fn(usize, &[(InLabel, OutLabel)]) -> bool,
+    {
+        let alpha = self.input.len();
+        let beta = self.output.len();
+        let cell_count = alpha * beta;
+        if cell_count == 0 {
+            return self;
+        }
+        let full = 2 * self.radius + 1;
+        for width in 1..full {
+            let total = cell_count.checked_pow(width as u32).unwrap_or(usize::MAX);
+            for code in 0..total {
+                let mut c = code;
+                let mut cells = Vec::with_capacity(width);
+                for _ in 0..width {
+                    let cell = c % cell_count;
+                    c /= cell_count;
+                    cells.push((
+                        InLabel::from_index(cell / beta),
+                        OutLabel::from_index(cell % beta),
+                    ));
+                }
+                for center in 0..width {
+                    // A clipped window must still be "as wide as possible":
+                    // either the centre is near the left end (center < r) or
+                    // near the right end (width - 1 - center < r).
+                    if center >= self.radius && (width - 1 - center) >= self.radius {
+                        continue;
+                    }
+                    if predicate(center, &cells) {
+                        self.allowed.insert(Window::new(center, cells.clone()));
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Builds the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the radius is zero or either alphabet is empty.
+    pub fn build(&self) -> Result<WindowLcl> {
+        if self.radius == 0 {
+            return Err(ProblemError::unsupported("window LCL radius must be ≥ 1"));
+        }
+        if self.input.is_empty() {
+            return Err(ProblemError::EmptyInputAlphabet);
+        }
+        if self.output.is_empty() {
+            return Err(ProblemError::EmptyOutputAlphabet);
+        }
+        Ok(WindowLcl {
+            name: self.name.clone(),
+            input: self.input.clone(),
+            output: self.output.clone(),
+            radius: self.radius,
+            allowed: self.allowed.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Radius-1 window formulation of proper 2-coloring (inputs irrelevant).
+    fn window_two_coloring() -> WindowLcl {
+        let mut b = WindowLcl::builder("2-coloring-window", 1);
+        b.input_labels(&["x"]);
+        b.output_labels(&["1", "2"]);
+        b.allow_full_windows_by(|cells| {
+            cells[0].1 != cells[1].1 && cells[1].1 != cells[2].1
+        });
+        b.allow_boundary_windows_by(|_, cells| {
+            cells.windows(2).all(|w| w[0].1 != w[1].1)
+        });
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn window_accessors() {
+        let w = Window::new(1, vec![
+            (InLabel(0), OutLabel(0)),
+            (InLabel(0), OutLabel(1)),
+            (InLabel(0), OutLabel(0)),
+        ]);
+        assert_eq!(w.center_cell(), (InLabel(0), OutLabel(1)));
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        assert!(w.is_full(1));
+        assert!(!w.is_full(2));
+        assert!(w.to_string().contains("*"));
+    }
+
+    #[test]
+    fn verifies_two_coloring_on_cycle() {
+        let p = window_two_coloring();
+        let inst = Instance::from_indices(Topology::Cycle, &[0; 6]);
+        let good = Labeling::from_indices(&[0, 1, 0, 1, 0, 1]);
+        let bad = Labeling::from_indices(&[0, 1, 0, 1, 0, 0]);
+        assert!(p.is_valid(&inst, &good));
+        assert!(!p.is_valid(&inst, &bad));
+        let report = p.check(&inst, &bad);
+        assert!(!report.violating_nodes().is_empty());
+    }
+
+    #[test]
+    fn verifies_two_coloring_on_path_with_boundaries() {
+        let p = window_two_coloring();
+        let inst = Instance::from_indices(Topology::Path, &[0; 4]);
+        let good = Labeling::from_indices(&[1, 0, 1, 0]);
+        assert!(p.is_valid(&inst, &good));
+        let bad = Labeling::from_indices(&[1, 1, 0, 1]);
+        assert!(!p.is_valid(&inst, &bad));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let p = window_two_coloring();
+        let inst = Instance::from_indices(Topology::Path, &[0; 4]);
+        let short = Labeling::from_indices(&[0, 1]);
+        assert!(!p.is_valid(&inst, &short));
+    }
+
+    #[test]
+    fn normalization_preserves_validity() {
+        let p = window_two_coloring();
+        let norm = p.to_normalized().expect("normalizable");
+        assert!(norm.num_outputs() > 0);
+        // Build the window-labeling corresponding to the alternating coloring
+        // and check it against the normalized problem.
+        let inst = Instance::from_indices(Topology::Cycle, &[0; 6]);
+        let coloring = Labeling::from_indices(&[0, 1, 0, 1, 0, 1]);
+        assert!(p.is_valid(&inst, &coloring));
+        // For each node, find its window's index in the normalized alphabet.
+        let mut windows: Vec<Window> = Vec::new();
+        for i in 0..6 {
+            windows.push(p.window_at(&inst, &coloring, i));
+        }
+        let mut norm_labels = Vec::new();
+        for w in &windows {
+            let name = w.to_string();
+            let idx = norm
+                .output_alphabet()
+                .index_of(&name)
+                .expect("window present in normalized alphabet");
+            norm_labels.push(idx as u16);
+        }
+        let norm_labeling = Labeling::from_indices(&norm_labels);
+        assert!(norm.is_valid(&inst, &norm_labeling));
+        // Project back and compare.
+        let projected = p
+            .project_normalized_labeling(&norm, &norm_labeling)
+            .unwrap();
+        assert_eq!(projected, coloring);
+    }
+
+    #[test]
+    fn normalization_rejects_invalid_overlaps() {
+        let p = window_two_coloring();
+        let norm = p.to_normalized().unwrap();
+        let inst = Instance::from_indices(Topology::Cycle, &[0; 6]);
+        // All nodes claim the same window: overlaps are inconsistent for 2-coloring.
+        let labeling = Labeling::from_indices(&[0; 6]);
+        assert!(!norm.is_valid(&inst, &labeling));
+    }
+
+    #[test]
+    fn builder_errors() {
+        assert!(WindowLcl::builder("r0", 0).build().is_err());
+        let mut b = WindowLcl::builder("no-alpha", 1);
+        assert!(b.build().is_err());
+        b.input_labels(&["a"]);
+        assert!(b.build().is_err());
+        b.output_labels(&["o"]);
+        assert!(b.build().is_ok());
+        assert!(format!("{b:?}").contains("WindowLclBuilder"));
+    }
+
+    #[test]
+    fn to_normalized_requires_full_windows() {
+        let mut b = WindowLcl::builder("empty", 1);
+        b.input_labels(&["a"]);
+        b.output_labels(&["o"]);
+        let p = b.build().unwrap();
+        assert!(p.to_normalized().is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = window_two_coloring();
+        let shown = p.to_string();
+        assert!(shown.contains("r=1"));
+        assert!(p.num_allowed_windows() > 0);
+        assert_eq!(p.radius(), 1);
+        assert_eq!(p.input_alphabet().len(), 1);
+        assert_eq!(p.output_alphabet().len(), 2);
+        assert_eq!(p.name(), "2-coloring-window");
+    }
+}

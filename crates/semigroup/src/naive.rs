@@ -1,0 +1,273 @@
+//! Paper-literal path types: the `⋆∼` equivalence of Section 4.1, computed by
+//! brute force.
+//!
+//! The type of a directed path `P` (of length ≥ 4r) consists of
+//!
+//! 1. the input labels of the boundary region `D1 ∪ D2` of the tripartition
+//!    `ξ(P)`, and
+//! 2. for every assignment `𝓛` of output labels to `D1 ∪ D2`, a bit saying
+//!    whether `𝓛` is *extendible* w.r.t. `P`: some complete labeling of `P`
+//!    agrees with `𝓛` on `D1 ∪ D2` and is locally consistent at all nodes of
+//!    `D2 ∪ D3`.
+//!
+//! Paths shorter than `4r` are their own type (compared verbatim).
+//!
+//! This module exists as the ground truth against which the transfer-relation
+//! engine is validated (`ablation_type_engines` bench, cross-check tests); the
+//! classifier itself uses [`crate::TypeSemigroup`].
+
+use lcl_problem::{InLabel, NormalizedLcl, OutLabel};
+
+use crate::tripartition;
+
+/// A paper-literal path type for a normalized (radius-1) problem.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum NaiveType {
+    /// Paths shorter than `4r` are compared verbatim.
+    Short(Vec<InLabel>),
+    /// Longer paths: boundary inputs plus the extendability table.
+    Long {
+        /// Input labels of `D1 ∪ D2`, in index order (first `2r` then last `2r`).
+        boundary_inputs: Vec<InLabel>,
+        /// One bit per assignment of outputs to `D1 ∪ D2`, in mixed-radix
+        /// order (first boundary node varies slowest).
+        extendible: Vec<bool>,
+    },
+}
+
+/// Computes boundary-labeling extendability by brute force for radius-1
+/// problems.
+#[derive(Clone, Debug)]
+pub struct NaiveTypeEngine {
+    problem: NormalizedLcl,
+}
+
+impl NaiveTypeEngine {
+    /// Creates an engine for a normalized problem (checkability radius 1).
+    pub fn new(problem: &NormalizedLcl) -> Self {
+        NaiveTypeEngine {
+            problem: problem.clone(),
+        }
+    }
+
+    /// The number of boundary nodes for radius 1: `min(4, len)`.
+    fn boundary_nodes(len: usize) -> Vec<usize> {
+        tripartition(len, 1).boundary()
+    }
+
+    /// Decides whether the boundary assignment `assignment` (outputs for the
+    /// nodes returned by the tripartition boundary, in sorted node order) is
+    /// extendible w.r.t. the word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length does not match the boundary size.
+    pub fn extendible(&self, word: &[InLabel], assignment: &[OutLabel]) -> bool {
+        let len = word.len();
+        let boundary = Self::boundary_nodes(len);
+        assert_eq!(
+            boundary.len(),
+            assignment.len(),
+            "assignment must cover exactly the boundary"
+        );
+        let beta = self.problem.num_outputs();
+        // fixed[i] = Some(label) for boundary nodes.
+        let mut fixed: Vec<Option<OutLabel>> = vec![None; len];
+        for (&node, &label) in boundary.iter().zip(assignment.iter()) {
+            fixed[node] = Some(label);
+        }
+        // Consistency must hold at all nodes of D2 ∪ D3, i.e. all nodes except
+        // the first and last (r = 1).
+        let consistency_required = |i: usize| i > 0 && i + 1 < len;
+        // DP over positions, tracking the label of the previous node.
+        // states[q] = reachable with previous node labeled q.
+        let mut states: Vec<bool> = vec![false; beta];
+        for (i, &input) in word.iter().enumerate() {
+            let candidates: Vec<OutLabel> = match fixed[i] {
+                Some(l) => vec![l],
+                None => (0..beta).map(OutLabel::from_index).collect(),
+            };
+            let mut next = vec![false; beta];
+            if i == 0 {
+                for &c in &candidates {
+                    if consistency_required(0) && !self.problem.node_ok(input, c) {
+                        continue;
+                    }
+                    next[c.index()] = true;
+                }
+            } else {
+                for &c in &candidates {
+                    if consistency_required(i) && !self.problem.node_ok(input, c) {
+                        continue;
+                    }
+                    for p in 0..beta {
+                        if !states[p] {
+                            continue;
+                        }
+                        if consistency_required(i)
+                            && !self.problem.edge_ok(OutLabel::from_index(p), c)
+                        {
+                            continue;
+                        }
+                        next[c.index()] = true;
+                        break;
+                    }
+                }
+            }
+            states = next;
+            if states.iter().all(|&b| !b) {
+                return false;
+            }
+        }
+        states.iter().any(|&b| b)
+    }
+
+    /// Computes the paper-literal type of a word.
+    pub fn type_of(&self, word: &[InLabel]) -> NaiveType {
+        let len = word.len();
+        if len < 4 {
+            return NaiveType::Short(word.to_vec());
+        }
+        let boundary = Self::boundary_nodes(len);
+        let boundary_inputs: Vec<InLabel> = boundary.iter().map(|&i| word[i]).collect();
+        let beta = self.problem.num_outputs();
+        let total = beta.pow(boundary.len() as u32);
+        let mut extendible = Vec::with_capacity(total);
+        for code in 0..total {
+            let mut c = code;
+            let mut assignment = vec![OutLabel(0); boundary.len()];
+            for slot in (0..boundary.len()).rev() {
+                assignment[slot] = OutLabel::from_index(c % beta);
+                c /= beta;
+            }
+            extendible.push(self.extendible(word, &assignment));
+        }
+        NaiveType::Long {
+            boundary_inputs,
+            extendible,
+        }
+    }
+
+    /// Returns `true` if the two words have the same paper-literal type.
+    pub fn same_type(&self, left: &[InLabel], right: &[InLabel]) -> bool {
+        self.type_of(left) == self.type_of(right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_problem::{Instance, Labeling};
+
+    fn two_coloring() -> NormalizedLcl {
+        let mut b = NormalizedLcl::builder("2-coloring");
+        b.input_labels(&["x"]);
+        b.output_labels(&["1", "2"]);
+        b.allow_all_node_pairs();
+        b.allow_edge_idx(0, 1);
+        b.allow_edge_idx(1, 0);
+        b.build().unwrap()
+    }
+
+    fn w(indices: &[u16]) -> Vec<InLabel> {
+        indices.iter().copied().map(InLabel).collect()
+    }
+
+    /// Exhaustive reference implementation of extendability: enumerate every
+    /// complete labeling and check the paper's condition directly.
+    fn extendible_reference(
+        problem: &NormalizedLcl,
+        word: &[InLabel],
+        assignment: &[OutLabel],
+    ) -> bool {
+        let len = word.len();
+        let boundary = tripartition(len, 1).boundary();
+        let beta = problem.num_outputs();
+        let total = beta.pow(len as u32);
+        let instance = Instance::path(word.to_vec());
+        'outer: for code in 0..total {
+            let mut c = code;
+            let mut outputs = vec![0u16; len];
+            for slot in 0..len {
+                outputs[slot] = (c % beta) as u16;
+                c /= beta;
+            }
+            let labeling = Labeling::from_indices(&outputs);
+            for (&node, &label) in boundary.iter().zip(assignment.iter()) {
+                if labeling.output(node) != label {
+                    continue 'outer;
+                }
+            }
+            // locally consistent at all nodes of D2 ∪ D3 = all except ends.
+            let ok = (1..len.saturating_sub(1))
+                .all(|i| problem.locally_consistent_at(&instance, &labeling, i));
+            if ok {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn extendibility_matches_reference() {
+        let p = two_coloring();
+        let engine = NaiveTypeEngine::new(&p);
+        for len in 4..8usize {
+            let word = w(&vec![0; len]);
+            let boundary_size = 4;
+            for code in 0..(2u32.pow(boundary_size)) {
+                let assignment: Vec<OutLabel> = (0..boundary_size)
+                    .map(|i| OutLabel(((code >> i) & 1) as u16))
+                    .collect();
+                assert_eq!(
+                    engine.extendible(&word, &assignment),
+                    extendible_reference(&p, &word, &assignment),
+                    "len={len} code={code:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn types_distinguish_parity_for_two_coloring() {
+        let p = two_coloring();
+        let engine = NaiveTypeEngine::new(&p);
+        assert!(engine.same_type(&w(&[0; 6]), &w(&[0; 8])));
+        assert!(engine.same_type(&w(&[0; 5]), &w(&[0; 7])));
+        assert!(!engine.same_type(&w(&[0; 6]), &w(&[0; 7])));
+    }
+
+    #[test]
+    fn short_words_compared_verbatim() {
+        let p = two_coloring();
+        let engine = NaiveTypeEngine::new(&p);
+        assert_eq!(engine.type_of(&w(&[0])), NaiveType::Short(w(&[0])));
+        assert!(engine.same_type(&w(&[0, 0]), &w(&[0, 0])));
+        assert!(!engine.same_type(&w(&[0, 0]), &w(&[0, 0, 0])));
+    }
+
+    #[test]
+    fn semigroup_equality_refines_naive_types_on_equal_boundaries() {
+        // If two words have the same transfer relation, the same length parity
+        // of boundaries and identical boundary inputs, their paper-literal
+        // types coincide. (The converse need not hold.)
+        use crate::{TransferSystem, TypeSemigroup};
+        let p = two_coloring();
+        let engine = NaiveTypeEngine::new(&p);
+        let ts = TransferSystem::new(&p);
+        let sg = TypeSemigroup::compute(&ts, 1000).unwrap();
+        let words = [w(&[0; 4]), w(&[0; 5]), w(&[0; 6]), w(&[0; 7]), w(&[0; 8])];
+        for a in &words {
+            for b in &words {
+                if sg.type_of_word(a).unwrap() == sg.type_of_word(b).unwrap() {
+                    assert!(
+                        engine.same_type(a, b),
+                        "transfer-equal words must be paper-type-equal: {} vs {}",
+                        a.len(),
+                        b.len()
+                    );
+                }
+            }
+        }
+    }
+}

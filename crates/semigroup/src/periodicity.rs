@@ -1,0 +1,165 @@
+//! String combinatorics used by the `(ℓ_width, ℓ_count, ℓ_pattern)`-partition
+//! (paper §4.3): primitivity, smallest periods, maximal runs and enumeration
+//! of primitive patterns.
+
+use lcl_problem::InLabel;
+
+/// The smallest period of a non-empty word: the least `p ≥ 1` such that
+/// `w[i] = w[i + p]` for all valid `i`.
+///
+/// # Panics
+///
+/// Panics if the word is empty.
+pub fn smallest_period(word: &[InLabel]) -> usize {
+    assert!(!word.is_empty(), "period of the empty word is undefined");
+    // Failure function of KMP gives the smallest period as n - border.
+    let n = word.len();
+    let mut fail = vec![0usize; n];
+    let mut k = 0usize;
+    for i in 1..n {
+        while k > 0 && word[i] != word[k] {
+            k = fail[k - 1];
+        }
+        if word[i] == word[k] {
+            k += 1;
+        }
+        fail[i] = k;
+    }
+    n - fail[n - 1]
+}
+
+/// Returns `true` if the word is *primitive*: it is not a repetition `x^i`
+/// with `i ≥ 2` of a shorter word (paper §4.3).
+///
+/// # Panics
+///
+/// Panics if the word is empty.
+pub fn is_primitive(word: &[InLabel]) -> bool {
+    let p = smallest_period(word);
+    // A word is a proper power iff its smallest period divides its length and
+    // is strictly shorter.
+    p == word.len() || word.len() % p != 0
+}
+
+/// The primitive root of a word: the shortest `x` such that `w = x^k`.
+///
+/// # Panics
+///
+/// Panics if the word is empty.
+pub fn primitive_root(word: &[InLabel]) -> &[InLabel] {
+    let p = smallest_period(word);
+    if word.len() % p == 0 {
+        &word[..p]
+    } else {
+        word
+    }
+}
+
+/// Enumerates all primitive words over an alphabet of `alpha` letters with
+/// length between 1 and `max_len`, in length-then-lexicographic order.
+///
+/// The count grows as `alpha^max_len`; intended for the small constants used
+/// by the classifier.
+pub fn primitive_strings_up_to(alpha: usize, max_len: usize) -> Vec<Vec<InLabel>> {
+    let mut out = Vec::new();
+    for len in 1..=max_len {
+        let total = alpha.checked_pow(len as u32).unwrap_or(0);
+        for code in 0..total {
+            let mut c = code;
+            let mut word = Vec::with_capacity(len);
+            for _ in 0..len {
+                word.push(InLabel::from_index(c % alpha));
+                c /= alpha;
+            }
+            word.reverse();
+            if is_primitive(&word) {
+                out.push(word);
+            }
+        }
+    }
+    out
+}
+
+/// Length of the maximal run of the pattern `pattern` starting at position
+/// `start` of `word`: the largest `x` such that `word[start .. start + x·|pattern|]`
+/// equals `pattern^x`.
+///
+/// # Panics
+///
+/// Panics if `pattern` is empty or `start > word.len()`.
+pub fn maximal_run_at(word: &[InLabel], start: usize, pattern: &[InLabel]) -> usize {
+    assert!(!pattern.is_empty(), "pattern must be non-empty");
+    assert!(start <= word.len(), "start out of range");
+    let mut x = 0;
+    let mut pos = start;
+    while pos + pattern.len() <= word.len() && word[pos..pos + pattern.len()] == *pattern {
+        x += 1;
+        pos += pattern.len();
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(indices: &[u16]) -> Vec<InLabel> {
+        indices.iter().copied().map(InLabel).collect()
+    }
+
+    #[test]
+    fn periods() {
+        assert_eq!(smallest_period(&w(&[0])), 1);
+        assert_eq!(smallest_period(&w(&[0, 0, 0])), 1);
+        assert_eq!(smallest_period(&w(&[0, 1, 0, 1])), 2);
+        assert_eq!(smallest_period(&w(&[0, 1, 0])), 2);
+        assert_eq!(smallest_period(&w(&[0, 1, 2])), 3);
+        assert_eq!(smallest_period(&w(&[0, 1, 1, 0])), 3);
+    }
+
+    #[test]
+    fn primitivity() {
+        assert!(is_primitive(&w(&[0])));
+        assert!(is_primitive(&w(&[0, 1])));
+        assert!(!is_primitive(&w(&[0, 0])));
+        assert!(!is_primitive(&w(&[0, 1, 0, 1])));
+        assert!(is_primitive(&w(&[0, 1, 0])));
+        assert!(is_primitive(&w(&[0, 0, 1])));
+    }
+
+    #[test]
+    fn primitive_roots() {
+        assert_eq!(primitive_root(&w(&[0, 1, 0, 1])), &w(&[0, 1])[..]);
+        assert_eq!(primitive_root(&w(&[0, 1, 0])), &w(&[0, 1, 0])[..]);
+        assert_eq!(primitive_root(&w(&[2, 2, 2])), &w(&[2])[..]);
+    }
+
+    #[test]
+    fn enumerate_primitive_strings() {
+        let ps = primitive_strings_up_to(2, 3);
+        // length 1: [0], [1]; length 2: [0,1], [1,0]; length 3: all except 000, 111.
+        assert_eq!(ps.iter().filter(|p| p.len() == 1).count(), 2);
+        assert_eq!(ps.iter().filter(|p| p.len() == 2).count(), 2);
+        assert_eq!(ps.iter().filter(|p| p.len() == 3).count(), 6);
+        assert!(ps.iter().all(|p| is_primitive(p)));
+        // Unary alphabet: only the single-letter word is primitive.
+        let unary = primitive_strings_up_to(1, 4);
+        assert_eq!(unary, vec![w(&[0])]);
+    }
+
+    #[test]
+    fn runs() {
+        let word = w(&[0, 1, 0, 1, 0, 1, 1]);
+        assert_eq!(maximal_run_at(&word, 0, &w(&[0, 1])), 3);
+        assert_eq!(maximal_run_at(&word, 1, &w(&[1, 0])), 2);
+        assert_eq!(maximal_run_at(&word, 0, &w(&[1])), 0);
+        assert_eq!(maximal_run_at(&word, 6, &w(&[1])), 1);
+        assert_eq!(maximal_run_at(&word, 7, &w(&[1])), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_word_period_panics() {
+        let _ = smallest_period(&[]);
+    }
+}

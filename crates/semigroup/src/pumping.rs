@@ -1,0 +1,237 @@
+//! Pumping lemmas for path types (paper Lemmas 14 and 15), instantiated on
+//! the computed type semigroup.
+//!
+//! * [`pump_decomposition`] is Lemma 14: every sufficiently long word `w`
+//!   factors as `x ◦ y ◦ z` with `|xy|` bounded, `|y| ≥ 1`, and
+//!   `Type(x ◦ y^i ◦ z) = Type(w)` for every `i ≥ 0`.
+//! * [`pump_exponent`] is Lemma 15: for every word `w` there are `a, b` with
+//!   `a + b` bounded such that `Type(w^{a·i + b})` is the same for every
+//!   `i ≥ 0`.
+//!
+//! Both bounds use the tight constant derived from the actual semigroup
+//! (number of elements + 1) instead of the paper's worst-case `ℓ_pump`; the
+//! statements and proofs are otherwise identical.
+
+use crate::{Result, SemigroupError, TypeId, TypeSemigroup};
+use lcl_problem::InLabel;
+
+/// Result of Lemma 14: a factorization `w = x ◦ y ◦ z` that can be pumped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PumpDecomposition {
+    /// Length of the prefix `x` (may be zero).
+    pub x_len: usize,
+    /// Length of the pumpable factor `y` (at least one).
+    pub y_len: usize,
+    /// The type of the whole word, preserved by pumping.
+    pub word_type: TypeId,
+}
+
+impl PumpDecomposition {
+    /// Builds the pumped word `x ◦ y^i ◦ z` for a given exponent `i ≥ 0`.
+    pub fn pumped(&self, word: &[InLabel], i: usize) -> Vec<InLabel> {
+        let x = &word[..self.x_len];
+        let y = &word[self.x_len..self.x_len + self.y_len];
+        let z = &word[self.x_len + self.y_len..];
+        let mut out = Vec::with_capacity(x.len() + y.len() * i + z.len());
+        out.extend_from_slice(x);
+        for _ in 0..i {
+            out.extend_from_slice(y);
+        }
+        out.extend_from_slice(z);
+        out
+    }
+}
+
+/// Result of Lemma 15: exponents `a·i + b` along which the type of `w^k`
+/// stabilizes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PumpExponent {
+    /// The period `a ≥ 1` of the exponent progression.
+    pub a: usize,
+    /// The offset `b ≥ 1`.
+    pub b: usize,
+    /// The common type of `w^{a·i + b}` for every `i ≥ 0`.
+    pub power_type: TypeId,
+}
+
+/// Lemma 14. Finds a pumpable factorization of `word`.
+///
+/// Requires `|word| ≥ semigroup.pump_threshold()`; by the pigeonhole principle
+/// two prefixes then share a type, and the factor between them can be pumped
+/// (including pumped away, `i = 0`) without changing the type of the word.
+///
+/// # Errors
+///
+/// Returns [`SemigroupError::EmptyWord`] if the word is shorter than the
+/// pump threshold, or an error if the word contains unknown labels.
+pub fn pump_decomposition(
+    semigroup: &TypeSemigroup,
+    word: &[InLabel],
+) -> Result<PumpDecomposition> {
+    if word.len() < semigroup.pump_threshold() {
+        return Err(SemigroupError::EmptyWord);
+    }
+    // Types of prefixes word[..k] for k = 1 ..= min(len, |types| + 1).
+    let horizon = (semigroup.len() + 1).min(word.len());
+    let mut seen: Vec<(TypeId, usize)> = Vec::with_capacity(horizon);
+    let mut t = semigroup.type_of_word(&word[..1])?;
+    seen.push((t, 1));
+    let mut found: Option<(usize, usize)> = None;
+    for k in 2..=horizon {
+        t = semigroup.step(t, word[k - 1]);
+        if let Some(&(_, prev)) = seen.iter().find(|&&(pt, _)| pt == t) {
+            found = Some((prev, k));
+            break;
+        }
+        seen.push((t, k));
+    }
+    // Also consider the empty prefix sharing a "type" with a later prefix is
+    // not expressible (types of non-empty words only); the pigeonhole over
+    // horizon = |types| + 1 non-empty prefixes always succeeds.
+    let (i, j) = found.ok_or(SemigroupError::EmptyWord)?;
+    let word_type = semigroup.type_of_word(word)?;
+    Ok(PumpDecomposition {
+        x_len: i,
+        y_len: j - i,
+        word_type,
+    })
+}
+
+/// Lemma 15. Finds exponents along which the type of `w^k` is invariant.
+///
+/// # Errors
+///
+/// Returns an error if the word is empty or contains unknown labels.
+pub fn pump_exponent(semigroup: &TypeSemigroup, word: &[InLabel]) -> Result<PumpExponent> {
+    let base = semigroup.type_of_word(word)?;
+    // The sequence base, base², base³, … (under join) over a finite semigroup
+    // is eventually periodic; find the first repetition.
+    let mut seen: Vec<TypeId> = vec![base];
+    let mut current = base;
+    loop {
+        current = semigroup.join(current, base)?;
+        if let Some(pos) = seen.iter().position(|&t| t == current) {
+            // seen[k] is the type of w^{k+1}; the repetition is
+            // w^{seen.len() + 1} == w^{pos + 1}.
+            let b = pos + 1;
+            let a = seen.len() + 1 - b;
+            return Ok(PumpExponent {
+                a,
+                b,
+                power_type: current,
+            });
+        }
+        seen.push(current);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TransferSystem, TypeSemigroup};
+    use lcl_problem::NormalizedLcl;
+
+    fn two_coloring() -> TypeSemigroup {
+        let mut b = NormalizedLcl::builder("2-coloring");
+        b.input_labels(&["x"]);
+        b.output_labels(&["1", "2"]);
+        b.allow_all_node_pairs();
+        b.allow_edge_idx(0, 1);
+        b.allow_edge_idx(1, 0);
+        let p = b.build().unwrap();
+        TypeSemigroup::compute(&TransferSystem::new(&p), 1000).unwrap()
+    }
+
+    fn copy_input() -> TypeSemigroup {
+        let mut b = NormalizedLcl::builder("copy-input");
+        b.input_labels(&["a", "b"]);
+        b.output_labels(&["a", "b"]);
+        b.allow_node_idx(0, 0);
+        b.allow_node_idx(1, 1);
+        b.allow_all_edge_pairs();
+        let p = b.build().unwrap();
+        TypeSemigroup::compute(&TransferSystem::new(&p), 1000).unwrap()
+    }
+
+    fn w(indices: &[u16]) -> Vec<InLabel> {
+        indices.iter().copied().map(InLabel).collect()
+    }
+
+    #[test]
+    fn decomposition_preserves_type() {
+        let sg = two_coloring();
+        let word = w(&[0; 9]);
+        let d = pump_decomposition(&sg, &word).unwrap();
+        assert!(d.y_len >= 1);
+        assert!(d.x_len + d.y_len <= sg.pump_threshold());
+        for i in 0..5 {
+            let pumped = d.pumped(&word, i);
+            assert_eq!(
+                sg.type_of_word(&pumped).unwrap(),
+                d.word_type,
+                "pumping with i={i} must preserve the type"
+            );
+        }
+        // i = 1 reproduces the original word.
+        assert_eq!(d.pumped(&word, 1), word);
+    }
+
+    #[test]
+    fn decomposition_preserves_type_multi_letter() {
+        let sg = copy_input();
+        let word = w(&[0, 1, 1, 0, 1, 0, 0, 1, 1, 0]);
+        let d = pump_decomposition(&sg, &word).unwrap();
+        let original_type = sg.type_of_word(&word).unwrap();
+        assert_eq!(d.word_type, original_type);
+        for i in [0usize, 2, 3, 7] {
+            let pumped = d.pumped(&word, i);
+            if pumped.is_empty() {
+                continue;
+            }
+            assert_eq!(sg.type_of_word(&pumped).unwrap(), original_type);
+        }
+    }
+
+    #[test]
+    fn decomposition_rejects_short_words() {
+        let sg = two_coloring();
+        assert!(pump_decomposition(&sg, &w(&[0])).is_err());
+    }
+
+    #[test]
+    fn exponent_pumping_two_coloring() {
+        let sg = two_coloring();
+        let word = w(&[0]);
+        let e = pump_exponent(&sg, &word).unwrap();
+        // For 2-coloring the powers of the single-letter type alternate, so
+        // the period is 2.
+        assert_eq!(e.a, 2);
+        for i in 0..4 {
+            let k = e.a * i + e.b;
+            let long = w(&vec![0; k]);
+            assert_eq!(sg.type_of_word(&long).unwrap(), e.power_type);
+        }
+        assert!(e.a + e.b <= sg.pump_threshold() + 1);
+    }
+
+    #[test]
+    fn exponent_pumping_word_pattern() {
+        let sg = copy_input();
+        let word = w(&[0, 1]);
+        let e = pump_exponent(&sg, &word).unwrap();
+        for i in 0..4 {
+            let k = e.a * i + e.b;
+            let mut long = Vec::new();
+            for _ in 0..k {
+                long.extend_from_slice(&word);
+            }
+            assert_eq!(sg.type_of_word(&long).unwrap(), e.power_type);
+        }
+    }
+
+    #[test]
+    fn exponent_pumping_rejects_empty() {
+        let sg = two_coloring();
+        assert!(pump_exponent(&sg, &[]).is_err());
+    }
+}

@@ -1,0 +1,510 @@
+//! Enumeration of the finite semigroup of transfer relations ("types").
+//!
+//! The paper's Lemma 12 shows that the type of a path can be computed by a
+//! finite automaton whose states are the types themselves, and Lemma 13 bounds
+//! their number. [`TypeSemigroup`] materializes that automaton for a concrete
+//! problem: it enumerates every transfer relation reachable from the
+//! single-letter relations under the join `R(u)·E·R(v)`, stores a shortest
+//! witness word for each, the full letter-transition table, and the exact
+//! eventual periodicity of *which types are realized by words of length n*.
+//!
+//! The derived constants replace the paper's astronomically large worst-case
+//! pumping constant `ℓ_pump` with the tight value for the problem at hand (see
+//! DESIGN.md §2, substitution 1).
+
+use crate::{OutRelation, Result, SemigroupError, TransferSystem};
+use lcl_problem::InLabel;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Identifier of a type (an index into [`TypeSemigroup::elements`]).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TypeId(pub usize);
+
+impl TypeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Eventual periodicity of the map `n ↦ { types realized by length-n words }`.
+///
+/// Because the set of types of length-`(n+1)` words is a function of the set
+/// of types of length-`n` words, the sequence of sets is eventually periodic;
+/// `sets[i]` is the set for length `i + 1`, recorded up to one full period
+/// past the pre-period.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LengthProfile {
+    /// Smallest `t ≥ 1` such that the set for length `t` re-occurs later.
+    pub preperiod: usize,
+    /// Period `p ≥ 1` of the repetition.
+    pub period: usize,
+    /// `sets[i]` = types realized by some word of length `i + 1`, for
+    /// `i + 1 ≤ preperiod + period`.
+    pub sets: Vec<BTreeSet<TypeId>>,
+}
+
+impl LengthProfile {
+    /// The set of types realized by words of length `n ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn types_of_length(&self, n: usize) -> &BTreeSet<TypeId> {
+        assert!(n >= 1, "words have length at least 1");
+        if n <= self.sets.len() {
+            &self.sets[n - 1]
+        } else {
+            // For n beyond the recorded prefix, S_n = S_{preperiod + ((n - preperiod) mod period)}.
+            let idx = (self.preperiod - 1) + (n - self.preperiod) % self.period;
+            &self.sets[idx]
+        }
+    }
+
+    /// All types realized by words of length `≥ n` (union over one full
+    /// period starting at `max(n, preperiod)` plus the finitely many lengths
+    /// in between).
+    pub fn types_of_length_at_least(&self, n: usize) -> BTreeSet<TypeId> {
+        let n = n.max(1);
+        let mut out = BTreeSet::new();
+        let horizon = self.preperiod + self.period;
+        for len in n..=horizon.max(n + self.period) {
+            out.extend(self.types_of_length(len).iter().copied());
+        }
+        out
+    }
+}
+
+/// The finite semigroup of transfer relations of a problem.
+#[derive(Clone, Debug)]
+pub struct TypeSemigroup {
+    system: TransferSystem,
+    elements: Vec<OutRelation>,
+    index: HashMap<OutRelation, TypeId>,
+    witness: Vec<Vec<InLabel>>,
+    /// `letter_step[t][a]` = type of `witness(t) · a`.
+    letter_step: Vec<Vec<TypeId>>,
+    profile: LengthProfile,
+}
+
+impl TypeSemigroup {
+    /// Enumerates the semigroup of the given transfer system.
+    ///
+    /// `budget` caps the number of elements; the enumeration aborts with
+    /// [`SemigroupError::TooManyTypes`] if exceeded. The number of elements is
+    /// bounded by `2^{|Σ_out|²}` in the worst case, but is small for typical
+    /// problems.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SemigroupError::TooManyTypes`] if the budget is exceeded.
+    pub fn compute(system: &TransferSystem, budget: usize) -> Result<Self> {
+        let mut elements: Vec<OutRelation> = Vec::new();
+        let mut index: HashMap<OutRelation, TypeId> = HashMap::new();
+        let mut witness: Vec<Vec<InLabel>> = Vec::new();
+        let mut queue: VecDeque<TypeId> = VecDeque::new();
+
+        let mut intern = |rel: OutRelation,
+                          wit: Vec<InLabel>,
+                          elements: &mut Vec<OutRelation>,
+                          index: &mut HashMap<OutRelation, TypeId>,
+                          witness: &mut Vec<Vec<InLabel>>,
+                          queue: &mut VecDeque<TypeId>|
+         -> Result<TypeId> {
+            if let Some(&id) = index.get(&rel) {
+                return Ok(id);
+            }
+            if elements.len() >= budget {
+                return Err(SemigroupError::TooManyTypes { budget });
+            }
+            let id = TypeId(elements.len());
+            index.insert(rel.clone(), id);
+            elements.push(rel);
+            witness.push(wit);
+            queue.push_back(id);
+            Ok(id)
+        };
+
+        for a in 0..system.num_letters() {
+            let a = InLabel::from_index(a);
+            let rel = system.letter_relation(a)?.clone();
+            intern(
+                rel,
+                vec![a],
+                &mut elements,
+                &mut index,
+                &mut witness,
+                &mut queue,
+            )?;
+        }
+
+        // BFS by appending single letters: every element of the generated
+        // semigroup is reachable this way, and BFS order yields shortest
+        // witnesses.
+        let mut letter_step: Vec<Vec<TypeId>> = Vec::new();
+        while let Some(t) = queue.pop_front() {
+            let rel = elements[t.index()].clone();
+            let wit = witness[t.index()].clone();
+            let mut steps = Vec::with_capacity(system.num_letters());
+            for a in 0..system.num_letters() {
+                let a = InLabel::from_index(a);
+                let next = system.join(&rel, system.letter_relation(a)?)?;
+                let mut next_wit = wit.clone();
+                next_wit.push(a);
+                let id = intern(
+                    next,
+                    next_wit,
+                    &mut elements,
+                    &mut index,
+                    &mut witness,
+                    &mut queue,
+                )?;
+                steps.push(id);
+            }
+            // letter_step rows are pushed in BFS (= TypeId) order.
+            if letter_step.len() == t.index() {
+                letter_step.push(steps);
+            } else {
+                // Should not happen: BFS pops in id order.
+                while letter_step.len() < t.index() {
+                    letter_step.push(Vec::new());
+                }
+                letter_step.push(steps);
+            }
+        }
+
+        let profile = Self::compute_profile(system, &index, &letter_step)?;
+
+        Ok(TypeSemigroup {
+            system: system.clone(),
+            elements,
+            index,
+            witness,
+            letter_step,
+            profile,
+        })
+    }
+
+    fn compute_profile(
+        system: &TransferSystem,
+        index: &HashMap<OutRelation, TypeId>,
+        letter_step: &[Vec<TypeId>],
+    ) -> Result<LengthProfile> {
+        // S_1 = types of single letters; S_{n+1} = { step(t, a) }.
+        let mut s: BTreeSet<TypeId> = BTreeSet::new();
+        for a in 0..system.num_letters() {
+            let rel = system.letter_relation(InLabel::from_index(a))?;
+            s.insert(*index.get(rel).expect("letters are interned"));
+        }
+        let mut seen: HashMap<BTreeSet<TypeId>, usize> = HashMap::new();
+        let mut sets: Vec<BTreeSet<TypeId>> = Vec::new();
+        let mut current = s;
+        loop {
+            if let Some(&first) = seen.get(&current) {
+                let preperiod = first + 1;
+                let period = sets.len() - first;
+                return Ok(LengthProfile {
+                    preperiod,
+                    period,
+                    sets,
+                });
+            }
+            seen.insert(current.clone(), sets.len());
+            sets.push(current.clone());
+            let mut next = BTreeSet::new();
+            for &t in &current {
+                for a in 0..system.num_letters() {
+                    next.insert(letter_step[t.index()][a]);
+                }
+            }
+            current = next;
+        }
+    }
+
+    /// The transfer system the semigroup was computed from.
+    pub fn system(&self) -> &TransferSystem {
+        &self.system
+    }
+
+    /// Number of distinct types.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Returns `true` if the semigroup has no elements (empty input alphabet —
+    /// cannot happen for well-formed problems).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// The transfer relation of a type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn relation(&self, id: TypeId) -> &OutRelation {
+        &self.elements[id.index()]
+    }
+
+    /// A shortest word whose transfer relation is the given type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn witness(&self, id: TypeId) -> &[InLabel] {
+        &self.witness[id.index()]
+    }
+
+    /// All types, in enumeration order.
+    pub fn iter(&self) -> impl Iterator<Item = TypeId> + '_ {
+        (0..self.elements.len()).map(TypeId)
+    }
+
+    /// Looks up the type of a relation, if it belongs to the semigroup.
+    pub fn id_of(&self, relation: &OutRelation) -> Option<TypeId> {
+        self.index.get(relation).copied()
+    }
+
+    /// The type of a non-empty word.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty words or unknown labels.
+    pub fn type_of_word(&self, word: &[InLabel]) -> Result<TypeId> {
+        let (&first, rest) = word.split_first().ok_or(SemigroupError::EmptyWord)?;
+        let rel = self.system.letter_relation(first)?;
+        let mut t = *self.index.get(rel).expect("letters are interned");
+        for &a in rest {
+            if a.index() >= self.system.num_letters() {
+                return Err(SemigroupError::UnknownInputLabel {
+                    index: a.index(),
+                    alphabet_len: self.system.num_letters(),
+                });
+            }
+            t = self.letter_step[t.index()][a.index()];
+        }
+        Ok(t)
+    }
+
+    /// The type obtained by appending letter `a` to a word of type `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` or `a` is out of range.
+    pub fn step(&self, t: TypeId, a: InLabel) -> TypeId {
+        self.letter_step[t.index()][a.index()]
+    }
+
+    /// The type of the concatenation of a word of type `left` and a word of
+    /// type `right`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the joined relation leaves the semigroup (cannot
+    /// happen for types produced by this semigroup).
+    pub fn join(&self, left: TypeId, right: TypeId) -> Result<TypeId> {
+        let rel = self
+            .system
+            .join(self.relation(left), self.relation(right))?;
+        Ok(*self
+            .index
+            .get(&rel)
+            .expect("semigroup is closed under join"))
+    }
+
+    /// The type of `w^k` for a word of type `t` (`k ≥ 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SemigroupError::EmptyWord`] if `k == 0`.
+    pub fn power(&self, t: TypeId, k: usize) -> Result<TypeId> {
+        if k == 0 {
+            return Err(SemigroupError::EmptyWord);
+        }
+        let rel = self.system.power(self.relation(t), k)?;
+        Ok(*self
+            .index
+            .get(&rel)
+            .expect("semigroup is closed under powers"))
+    }
+
+    /// The eventual periodicity of type-reachability by word length.
+    pub fn length_profile(&self) -> &LengthProfile {
+        &self.profile
+    }
+
+    /// The crate's stand-in for the paper's pumping constant `ℓ_pump`: a
+    /// length such that every word of at least this length contains a pumpable
+    /// factor (Lemma 14 with the tight constant `|types| + 1`), and beyond
+    /// which the set of reachable types is governed by
+    /// [`Self::length_profile`].
+    pub fn pump_threshold(&self) -> usize {
+        (self.len() + 1).max(self.profile.preperiod + self.profile.period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::word_from_indices;
+    use lcl_problem::NormalizedLcl;
+
+    fn two_coloring() -> NormalizedLcl {
+        let mut b = NormalizedLcl::builder("2-coloring");
+        b.input_labels(&["x"]);
+        b.output_labels(&["1", "2"]);
+        b.allow_all_node_pairs();
+        b.allow_edge_idx(0, 1);
+        b.allow_edge_idx(1, 0);
+        b.build().unwrap()
+    }
+
+    fn copy_pred() -> NormalizedLcl {
+        // Output must equal the predecessor's output; all outputs allowed at
+        // every node. The transfer semigroup collapses quickly.
+        let mut b = NormalizedLcl::builder("agree");
+        b.input_labels(&["x"]);
+        b.output_labels(&["a", "b"]);
+        b.allow_all_node_pairs();
+        b.allow_edge_idx(0, 0);
+        b.allow_edge_idx(1, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn two_coloring_semigroup_has_two_elements() {
+        // Words of even/odd length have different transfer relations
+        // (anti-diagonal vs diagonal patterns), and that's all.
+        let ts = TransferSystem::new(&two_coloring());
+        let sg = TypeSemigroup::compute(&ts, 1000).unwrap();
+        assert_eq!(sg.len(), 2);
+        let odd = sg.type_of_word(&word_from_indices(&[0])).unwrap();
+        let even = sg.type_of_word(&word_from_indices(&[0, 0])).unwrap();
+        assert_ne!(odd, even);
+        assert_eq!(sg.type_of_word(&word_from_indices(&[0, 0, 0])).unwrap(), odd);
+        assert_eq!(sg.join(odd, odd).unwrap(), even);
+        assert_eq!(sg.power(odd, 4).unwrap(), even);
+        assert_eq!(sg.power(odd, 5).unwrap(), odd);
+        assert!(sg.power(odd, 0).is_err());
+    }
+
+    #[test]
+    fn witnesses_have_matching_types() {
+        let ts = TransferSystem::new(&two_coloring());
+        let sg = TypeSemigroup::compute(&ts, 1000).unwrap();
+        for t in sg.iter() {
+            let w = sg.witness(t);
+            assert_eq!(sg.type_of_word(w).unwrap(), t);
+            assert_eq!(
+                ts.relation_of_word(w).unwrap(),
+                *sg.relation(t),
+                "witness relation matches stored relation"
+            );
+        }
+        assert!(!sg.is_empty());
+    }
+
+    #[test]
+    fn type_of_word_agrees_with_relation_of_word() {
+        let ts = TransferSystem::new(&copy_pred());
+        let sg = TypeSemigroup::compute(&ts, 1000).unwrap();
+        let words: Vec<Vec<u16>> = vec![vec![0], vec![0, 0], vec![0, 0, 0, 0, 0]];
+        for w in words {
+            let word = word_from_indices(&w);
+            let t = sg.type_of_word(&word).unwrap();
+            let rel = ts.relation_of_word(&word).unwrap();
+            assert_eq!(sg.id_of(&rel), Some(t));
+        }
+    }
+
+    #[test]
+    fn length_profile_two_coloring_alternates() {
+        let ts = TransferSystem::new(&two_coloring());
+        let sg = TypeSemigroup::compute(&ts, 1000).unwrap();
+        let profile = sg.length_profile();
+        assert_eq!(profile.period, 2);
+        let odd = sg.type_of_word(&word_from_indices(&[0])).unwrap();
+        let even = sg.type_of_word(&word_from_indices(&[0, 0])).unwrap();
+        assert_eq!(
+            profile.types_of_length(1),
+            &[odd].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(
+            profile.types_of_length(2),
+            &[even].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(
+            profile.types_of_length(101),
+            &[odd].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(
+            profile.types_of_length(100),
+            &[even].into_iter().collect::<BTreeSet<_>>()
+        );
+        let all = profile.types_of_length_at_least(5);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn budget_exceeded() {
+        let ts = TransferSystem::new(&two_coloring());
+        assert!(matches!(
+            TypeSemigroup::compute(&ts, 1),
+            Err(SemigroupError::TooManyTypes { budget: 1 })
+        ));
+    }
+
+    #[test]
+    fn step_matches_concatenation() {
+        let p = copy_pred();
+        let ts = TransferSystem::new(&p);
+        let sg = TypeSemigroup::compute(&ts, 1000).unwrap();
+        let t = sg.type_of_word(&word_from_indices(&[0, 0])).unwrap();
+        let stepped = sg.step(t, InLabel(0));
+        let direct = sg.type_of_word(&word_from_indices(&[0, 0, 0])).unwrap();
+        assert_eq!(stepped, direct);
+    }
+
+    #[test]
+    fn errors_on_bad_words() {
+        let ts = TransferSystem::new(&two_coloring());
+        let sg = TypeSemigroup::compute(&ts, 1000).unwrap();
+        assert!(sg.type_of_word(&[]).is_err());
+        assert!(sg.type_of_word(&[InLabel(3)]).is_err());
+        assert!(sg
+            .type_of_word(&[InLabel(0), InLabel(3)])
+            .is_err());
+    }
+
+    #[test]
+    fn pump_threshold_reasonable() {
+        let ts = TransferSystem::new(&two_coloring());
+        let sg = TypeSemigroup::compute(&ts, 1000).unwrap();
+        assert!(sg.pump_threshold() >= sg.len());
+        assert!(sg.pump_threshold() <= 10);
+    }
+
+    #[test]
+    fn bigger_alphabet_semigroup() {
+        // Input-dependent problem: output must equal input of the node
+        // ("copy input"); with two inputs the semigroup distinguishes last
+        // letters but stays small.
+        let mut b = NormalizedLcl::builder("copy-input");
+        b.input_labels(&["a", "b"]);
+        b.output_labels(&["a", "b"]);
+        b.allow_node_idx(0, 0);
+        b.allow_node_idx(1, 1);
+        b.allow_all_edge_pairs();
+        let p = b.build().unwrap();
+        let ts = TransferSystem::new(&p);
+        let sg = TypeSemigroup::compute(&ts, 1000).unwrap();
+        assert!(sg.len() >= 2);
+        assert!(sg.len() <= 16);
+        // Types depend only on (first letter, last letter) here.
+        let t1 = sg.type_of_word(&word_from_indices(&[0, 1, 0])).unwrap();
+        let t2 = sg.type_of_word(&word_from_indices(&[0, 0, 0])).unwrap();
+        assert_eq!(t1, t2);
+        let t3 = sg.type_of_word(&word_from_indices(&[0, 0, 1])).unwrap();
+        assert_ne!(t1, t3);
+    }
+}

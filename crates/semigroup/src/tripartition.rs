@@ -1,0 +1,135 @@
+//! The tripartition `ξ(P) = (D1, D2, D3)` of a directed path (paper §4.1,
+//! Figure 4).
+//!
+//! For a path `P = (u_1, …, u_k)` and checkability radius `r`:
+//!
+//! * `u_i ∈ D1` iff `i ∈ [1, r] ∪ [k − r + 1, k]`,
+//! * `u_i ∈ D2` iff `i ∈ [r + 1, 2r] ∪ [k − 2r + 1, k − r]`,
+//! * `u_i ∈ D3` otherwise.
+//!
+//! (Indices here are 0-based; the paper uses 1-based positions.)
+
+/// The tripartition of a path of a given length, as index sets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tripartition {
+    /// Nodes within distance `r − 1` of either endpoint.
+    pub d1: Vec<usize>,
+    /// Nodes within distance `2r − 1` of either endpoint but not in `D1`.
+    pub d2: Vec<usize>,
+    /// Everything else.
+    pub d3: Vec<usize>,
+}
+
+impl Tripartition {
+    /// All nodes of `D1 ∪ D2`, sorted.
+    pub fn boundary(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.d1.iter().chain(self.d2.iter()).copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All nodes of `D2 ∪ D3`, sorted — the nodes at which the paper requires
+    /// local consistency when extending a boundary labeling.
+    pub fn interior_consistency_nodes(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.d2.iter().chain(self.d3.iter()).copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Computes the tripartition of a path with `len` nodes for checkability
+/// radius `r ≥ 1`.
+///
+/// For short paths (`len < 4r`) the regions overlap in the paper's 1-based
+/// index arithmetic; we resolve the overlap by assigning each node to the
+/// innermost region it qualifies for, scanning `D1` before `D2` before `D3`,
+/// which matches the paper's convention that such short paths are compared
+/// verbatim anyway.
+///
+/// # Panics
+///
+/// Panics if `r == 0`.
+pub fn tripartition(len: usize, r: usize) -> Tripartition {
+    assert!(r >= 1, "checkability radius must be at least 1");
+    let mut d1 = Vec::new();
+    let mut d2 = Vec::new();
+    let mut d3 = Vec::new();
+    for i in 0..len {
+        let pos = i + 1; // 1-based position as in the paper
+        let from_end = len - i; // 1-based distance from the far end
+        if pos <= r || from_end <= r {
+            d1.push(i);
+        } else if pos <= 2 * r || from_end <= 2 * r {
+            d2.push(i);
+        } else {
+            d3.push(i);
+        }
+    }
+    Tripartition { d1, d2, d3 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_shape_r3() {
+        // Figure 4: with r = 3 a long path has 3 D1 nodes and 3 D2 nodes at
+        // each end.
+        let t = tripartition(20, 3);
+        assert_eq!(t.d1, vec![0, 1, 2, 17, 18, 19]);
+        assert_eq!(t.d2, vec![3, 4, 5, 14, 15, 16]);
+        assert_eq!(t.d3.len(), 20 - 12);
+        assert_eq!(t.boundary().len(), 12);
+        assert_eq!(t.interior_consistency_nodes().len(), 14);
+    }
+
+    #[test]
+    fn radius_one_partition() {
+        let t = tripartition(6, 1);
+        assert_eq!(t.d1, vec![0, 5]);
+        assert_eq!(t.d2, vec![1, 4]);
+        assert_eq!(t.d3, vec![2, 3]);
+    }
+
+    #[test]
+    fn short_paths_have_no_d3() {
+        let t = tripartition(4, 1);
+        assert_eq!(t.d1, vec![0, 3]);
+        assert_eq!(t.d2, vec![1, 2]);
+        assert!(t.d3.is_empty());
+        let t = tripartition(3, 1);
+        assert_eq!(t.d1, vec![0, 2]);
+        assert_eq!(t.d2, vec![1]);
+        let t = tripartition(2, 1);
+        assert_eq!(t.d1, vec![0, 1]);
+        assert!(t.d2.is_empty());
+        let t = tripartition(1, 2);
+        assert_eq!(t.d1, vec![0]);
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        for len in 1..30 {
+            for r in 1..4 {
+                let t = tripartition(len, r);
+                let mut all: Vec<usize> = t
+                    .d1
+                    .iter()
+                    .chain(t.d2.iter())
+                    .chain(t.d3.iter())
+                    .copied()
+                    .collect();
+                all.sort_unstable();
+                let expected: Vec<usize> = (0..len).collect();
+                assert_eq!(all, expected, "len={len}, r={r}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_radius_panics() {
+        let _ = tripartition(5, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Classify the whole problem corpus and compare the verdicts against the
+//! known ground-truth complexities (the decidability result of Theorems 8–9
+//! in action).
+//!
+//! Run with `cargo run --example classify_corpus`.
+
+use lcl_paths::classifier::{classify, Complexity};
+use lcl_paths::problems::{corpus, KnownComplexity};
+use std::time::Instant;
+
+fn agrees(expected: KnownComplexity, got: &Complexity) -> bool {
+    matches!(
+        (expected, got),
+        (KnownComplexity::Unsolvable, Complexity::Unsolvable)
+            | (KnownComplexity::Constant, Complexity::Constant)
+            | (KnownComplexity::LogStar, Complexity::LogStar)
+            | (KnownComplexity::Linear, Complexity::Linear)
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<22} {:>12} {:>12} {:>7} {:>9} {:>9}",
+        "problem", "expected", "classified", "types", "pump", "time"
+    );
+    let mut all_agree = true;
+    for entry in corpus() {
+        let start = Instant::now();
+        let verdict = classify(&entry.problem)?;
+        let elapsed = start.elapsed();
+        let ok = agrees(entry.expected, &verdict.complexity());
+        all_agree &= ok;
+        println!(
+            "{:<22} {:>12} {:>12} {:>7} {:>9} {:>8.2?} {}",
+            entry.problem.name(),
+            format!("{:?}", entry.expected),
+            verdict.complexity().to_string(),
+            verdict.num_types(),
+            verdict.pump_threshold(),
+            elapsed,
+            if ok { "" } else { "  <-- MISMATCH" }
+        );
+    }
+    println!();
+    if all_agree {
+        println!("every verdict matches the known complexity ✓");
+    } else {
+        println!("MISMATCHES FOUND — see above");
+    }
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! The complexity landscape on labeled cycles: classify three representative
+//! problems (one per class), run their synthesized algorithms across a sweep
+//! of network sizes, and print the locality (view radius) each one needs —
+//! flat for `O(1)`, barely growing for `Θ(log* n)`, linear for `Θ(n)`.
+//!
+//! Run with `cargo run --release --example complexity_landscape`.
+
+use lcl_paths::classifier::classify;
+use lcl_paths::problem::{Instance, Topology};
+use lcl_paths::problems;
+use lcl_paths::sim::{IdAssignment, LocalAlgorithm, Network, SyncSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sizes = [64usize, 256, 1024, 4096, 16384];
+    let suite = [
+        problems::copy_input(),
+        problems::coloring(3),
+        problems::secret_broadcast(),
+    ];
+    println!("{:<18} {:>12} {}", "problem", "class", "radius at n = 64, 256, 1024, 4096, 16384");
+    for problem in suite {
+        let verdict = classify(&problem)?;
+        let radii: Vec<usize> = sizes
+            .iter()
+            .map(|&n| verdict.algorithm().radius(n))
+            .collect();
+        println!(
+            "{:<18} {:>12} {:?}",
+            problem.name(),
+            verdict.complexity().to_string(),
+            radii
+        );
+    }
+
+    // Also actually execute the Θ(log* n) algorithm once at a non-trivial size
+    // to show the whole pipeline end to end.
+    let problem = problems::coloring(3);
+    let verdict = classify(&problem)?;
+    let n = 512;
+    let mut rng = StdRng::seed_from_u64(7);
+    let network = Network::new(
+        Instance::from_indices(Topology::Cycle, &vec![0; n]),
+        IdAssignment::RandomFromSpace { multiplier: 8 },
+        &mut rng,
+    )?;
+    let labeling = SyncSimulator::new().run(&network, verdict.algorithm())?;
+    println!(
+        "\nran {} on a {n}-node cycle: {}",
+        verdict.algorithm().name(),
+        if problem.is_valid(network.instance(), &labeling) {
+            "valid 3-coloring"
+        } else {
+            "INVALID OUTPUT"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quick start: define an LCL problem on labeled directed cycles, ask the
+//! classifier for its distributed complexity, and run the synthesized
+//! algorithm in the LOCAL simulator.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use lcl_paths::classifier::classify;
+use lcl_paths::problem::{Instance, NormalizedLcl, Topology};
+use lcl_paths::sim::{IdAssignment, Network, SyncSimulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Proper 3-coloring of a directed cycle: the classic Θ(log* n) problem.
+    let mut builder = NormalizedLcl::builder("3-coloring");
+    builder.input_labels(&["x"]);
+    builder.output_labels(&["1", "2", "3"]);
+    builder.allow_all_node_pairs();
+    for p in 0..3u16 {
+        for q in 0..3u16 {
+            if p != q {
+                builder.allow_edge_idx(p, q);
+            }
+        }
+    }
+    let problem = builder.build()?;
+
+    // Ask the decision procedure (paper, Section 4) for the complexity class.
+    let verdict = classify(&problem)?;
+    println!("problem:        {problem}");
+    println!("complexity:     {}", verdict.complexity());
+    println!("path types:     {}", verdict.num_types());
+    println!("pump threshold: {}", verdict.pump_threshold());
+    println!("algorithm:      {}", lcl_paths::sim::LocalAlgorithm::name(verdict.algorithm()));
+
+    // Run the synthesized algorithm on a 150-node cycle and verify the output.
+    let n = 150;
+    let mut rng = StdRng::seed_from_u64(42);
+    let network = Network::new(
+        Instance::from_indices(Topology::Cycle, &vec![0; n]),
+        IdAssignment::RandomFromSpace { multiplier: 8 },
+        &mut rng,
+    )?;
+    let simulator = SyncSimulator::new();
+    let labeling = simulator.run(&network, verdict.algorithm())?;
+    let report = problem.check(network.instance(), &labeling);
+    println!(
+        "ran on a {n}-node cycle with radius {}: {}",
+        lcl_paths::sim::LocalAlgorithm::radius(verdict.algorithm(), n),
+        if report.is_valid() { "output valid" } else { "OUTPUT INVALID" }
+    );
+    let colors: Vec<u16> = labeling.outputs().iter().take(12).map(|o| o.0 + 1).collect();
+    println!("first twelve colours: {colors:?} ...");
+    Ok(())
+}

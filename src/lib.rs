@@ -1,0 +1,55 @@
+//! # lcl-paths
+//!
+//! Umbrella crate for the reproduction of *"The distributed complexity of
+//! locally checkable problems on paths is decidable"* (Balliu, Brandt, Chang,
+//! Olivetti, Rabie, Suomela — PODC 2019).
+//!
+//! The workspace is organised as one crate per subsystem; this crate simply
+//! re-exports them under stable module names so that examples, integration
+//! tests and downstream users need a single dependency:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`problem`] | `lcl-problem` | LCL problems, instances, verifiers |
+//! | [`semigroup`] | `lcl-semigroup` | transfer relations, types, pumping |
+//! | [`sim`] | `lcl-local-sim` | the LOCAL model simulators |
+//! | [`algorithms`] | `lcl-algorithms` | Cole–Vishkin, MIS, ruling sets, partitions |
+//! | [`lba`] | `lcl-lba` | linear bounded automata |
+//! | [`hardness`] | `lcl-hardness` | the `Π_{M_B}` construction and §3 machinery |
+//! | [`classifier`] | `lcl-classifier` | the decision procedure and synthesis (§4) |
+//! | [`problems`] | `lcl-problems` | the problem corpus with ground truths |
+//!
+//! # Quick start
+//!
+//! ```
+//! use lcl_paths::classifier::{classify, Complexity};
+//! use lcl_paths::problems;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let verdict = classify(&problems::coloring(3))?;
+//! assert_eq!(verdict.complexity(), Complexity::LogStar);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use lcl_algorithms as algorithms;
+pub use lcl_classifier as classifier;
+pub use lcl_hardness as hardness;
+pub use lcl_lba as lba;
+pub use lcl_local_sim as sim;
+pub use lcl_problem as problem;
+pub use lcl_problems as problems;
+pub use lcl_semigroup as semigroup;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_are_wired() {
+        let p = crate::problems::copy_input();
+        assert_eq!(p.num_outputs(), 2);
+        assert_eq!(crate::sim::log_star(16), 3);
+    }
+}

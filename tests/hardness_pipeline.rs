@@ -1,0 +1,111 @@
+//! Integration tests of the Section 3 machinery: LBA → `Π_{M_B}` → solver →
+//! verifier, β-normalization, the undirected lift and the tree encoding.
+
+use lcl_paths::hardness::{
+    beta_normalize, solve_pi_mb, undirected_lift, LabeledGraph, PiInput, PiMb, Secret,
+};
+use lcl_paths::lba::{machines, Outcome};
+use lcl_paths::problem::{Instance, Labeling, Topology};
+use lcl_paths::problems;
+
+#[test]
+fn pi_mb_complexity_tracks_machine_termination() {
+    // For halting machines the good input exists and has length 1 + t(B+1);
+    // for looping machines it does not — this is exactly the dichotomy behind
+    // Theorem 5 (deciding between O(1) and Ω(n) decides LBA termination).
+    for b in 4..7usize {
+        let halting = PiMb::new(machines::unary_counter(), b);
+        let steps = match machines::unary_counter().run(b, 1_000_000).unwrap() {
+            Outcome::Halted { trace } => trace.len(),
+            Outcome::Loops { .. } => panic!("unary counter halts"),
+        };
+        assert_eq!(halting.good_input_length(), Some(1 + steps * (b + 1)));
+        let looping = PiMb::new(machines::always_loop(), b);
+        assert_eq!(looping.good_input_length(), None);
+    }
+}
+
+#[test]
+fn solver_and_verifier_agree_on_many_corruptions() {
+    let problem = PiMb::new(machines::binary_counter(), 4);
+    let base = problem.good_input(Secret::B, 2).expect("halting machine");
+    // Sweep single-position corruptions over the whole input.
+    for pos in 0..base.len() {
+        let mut corrupted = base.clone();
+        corrupted[pos] = match corrupted[pos] {
+            PiInput::Separator => PiInput::Empty,
+            PiInput::Empty => PiInput::Separator,
+            PiInput::Start(_) => PiInput::Separator,
+            PiInput::Tape { content, state, head } => PiInput::Tape {
+                content,
+                state,
+                head: !head,
+            },
+        };
+        let output = solve_pi_mb(&problem, &corrupted);
+        assert!(
+            problem.is_valid(&corrupted, &output),
+            "corruption at position {pos} produced an invalid solver output"
+        );
+    }
+}
+
+#[test]
+fn good_inputs_force_the_secret() {
+    // §3.4: on a good input, the only accepted outputs for encoding nodes are
+    // Start(φ); the solver indeed outputs the secret everywhere.
+    let problem = PiMb::new(machines::immediate_halt(), 4);
+    for secret in [Secret::A, Secret::B] {
+        let input = problem.good_input(secret, 3).unwrap();
+        let output = solve_pi_mb(&problem, &input);
+        for (i, o) in output.iter().enumerate() {
+            match input[i] {
+                PiInput::Empty => assert_eq!(*o, lcl_paths::hardness::PiOutput::Empty),
+                _ => assert_eq!(*o, lcl_paths::hardness::PiOutput::Start(secret), "node {i}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn beta_normalization_preserves_validity_on_corpus_problem() {
+    let problem = problems::copy_input();
+    let normalized = beta_normalize(&problem).expect("normalization succeeds");
+    assert_eq!(normalized.normalized.num_inputs(), 2);
+    let instance = Instance::from_indices(Topology::Cycle, &[0, 1, 1, 0, 1, 0]);
+    let labeling = Labeling::from_indices(&[0, 1, 1, 0, 1, 0]);
+    assert!(problem.is_valid(&instance, &labeling));
+    let encoded_instance = normalized.encode_instance(&instance);
+    let encoded_labeling = normalized
+        .encode_labeling(&instance, &labeling)
+        .expect("encoding succeeds");
+    assert!(normalized
+        .normalized
+        .is_valid(&encoded_instance, &encoded_labeling));
+    assert_eq!(normalized.decode_labeling(&encoded_labeling), labeling);
+    assert_eq!(encoded_instance.len(), instance.len() * normalized.gamma);
+}
+
+#[test]
+fn undirected_lift_keeps_solutions() {
+    let problem = problems::coloring(3);
+    let lifted = undirected_lift(&problem).expect("lift succeeds");
+    assert_eq!(lifted.radius(), 1);
+    assert!(lifted.num_allowed_windows() > 0);
+}
+
+#[test]
+fn tree_encoding_recovers_labels_of_a_labeled_cycle() {
+    // §3.8: attach label trees to a 6-cycle with labels from an alphabet of
+    // size 8 and recover them.
+    let labels = vec![0usize, 7, 3, 5, 1, 6];
+    let mut g = LabeledGraph::new(labels.clone());
+    for i in 0..6 {
+        g.add_edge(i, (i + 1) % 6);
+    }
+    let (gstar, roots) = g.attach_label_trees(8);
+    assert!(gstar.max_degree() <= 3);
+    let recovered = LabeledGraph::recover_labels(6, &gstar, &roots);
+    let recovered: Vec<usize> = recovered.into_iter().map(|r| r.expect("decodable")).collect();
+    assert_eq!(recovered, labels);
+}

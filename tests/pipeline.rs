@@ -1,0 +1,131 @@
+//! End-to-end integration tests: corpus → classifier → synthesized algorithm →
+//! LOCAL simulator → verifier, across all complexity classes, plus the
+//! path-to-cycle lift and the agreement between the two simulators.
+
+use lcl_paths::classifier::{classify, Complexity};
+use lcl_paths::problem::{lift_path_to_cycle, Instance, Topology};
+use lcl_paths::problems::{self, corpus, KnownComplexity};
+use lcl_paths::sim::{
+    validate_algorithm, ActorSimulator, IdAssignment, LocalAlgorithm, Network, SyncSimulator,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_cycle(n: usize, alpha: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs: Vec<u16> = (0..n).map(|_| rng.gen_range(0..alpha as u16)).collect();
+    let mut rng2 = StdRng::seed_from_u64(seed ^ 0x5a5a);
+    Network::new(
+        Instance::from_indices(Topology::Cycle, &inputs),
+        IdAssignment::RandomFromSpace { multiplier: 4 },
+        &mut rng2,
+    )
+    .expect("network construction")
+}
+
+#[test]
+fn corpus_verdicts_match_ground_truth() {
+    for entry in corpus() {
+        let verdict = classify(&entry.problem).expect("classification succeeds");
+        let expected = match entry.expected {
+            KnownComplexity::Unsolvable => Complexity::Unsolvable,
+            KnownComplexity::Constant => Complexity::Constant,
+            KnownComplexity::LogStar => Complexity::LogStar,
+            KnownComplexity::Linear => Complexity::Linear,
+        };
+        assert_eq!(
+            verdict.complexity(),
+            expected,
+            "problem {} ({})",
+            entry.problem.name(),
+            entry.why
+        );
+    }
+}
+
+#[test]
+fn synthesized_algorithms_are_valid_for_every_solvable_corpus_problem() {
+    for entry in corpus() {
+        if entry.expected == KnownComplexity::Unsolvable {
+            continue;
+        }
+        let verdict = classify(&entry.problem).expect("classification succeeds");
+        let nets: Vec<Network> = [7usize, 24, 61, 130]
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| random_cycle(n, entry.problem.num_inputs(), 31 * i as u64 + 1))
+            .collect();
+        let outcome = validate_algorithm(&entry.problem, verdict.algorithm(), &nets)
+            .expect("simulation succeeds");
+        assert!(
+            outcome.is_valid(),
+            "problem {}: {:?}",
+            entry.problem.name(),
+            outcome
+        );
+    }
+}
+
+#[test]
+fn simulators_agree_on_the_synthesized_logstar_algorithm() {
+    let problem = problems::coloring(3);
+    let verdict = classify(&problem).expect("classification succeeds");
+    assert_eq!(verdict.complexity(), Complexity::LogStar);
+    let net = random_cycle(140, 1, 9);
+    let sync = SyncSimulator::new()
+        .run(&net, verdict.algorithm())
+        .expect("sync run");
+    let actor = ActorSimulator::new()
+        .run(&net, verdict.algorithm())
+        .expect("actor run");
+    assert_eq!(sync, actor, "the two LOCAL simulators must agree");
+    assert!(problem.is_valid(net.instance(), &sync));
+}
+
+#[test]
+fn path_problems_classify_through_the_endpoint_lift() {
+    // 3-coloring of paths: the lifted cycle problem stays Θ(log* n).
+    let lifted = lift_path_to_cycle(&problems::coloring(3)).expect("lift");
+    let verdict = classify(&lifted).expect("classification succeeds");
+    assert_eq!(verdict.complexity(), Complexity::LogStar);
+    // Copy-input on paths stays O(1).
+    let lifted = lift_path_to_cycle(&problems::copy_input()).expect("lift");
+    let verdict = classify(&lifted).expect("classification succeeds");
+    assert_eq!(verdict.complexity(), Complexity::Constant);
+}
+
+#[test]
+fn logstar_radius_scales_like_log_star_not_linearly() {
+    let verdict = classify(&problems::coloring(3)).expect("classification succeeds");
+    let algo = verdict.algorithm();
+    let r16k = algo.radius(1 << 14);
+    let r1m = algo.radius(1 << 20);
+    assert!(r1m < 2_000, "Θ(log* n) radius stays tiny, got {r1m}");
+    assert!(r1m.saturating_sub(r16k) <= 200);
+    let linear = classify(&problems::secret_broadcast()).expect("classification succeeds");
+    assert_eq!(linear.algorithm().radius(1 << 20), 1 << 20, "Θ(n) gathers everything");
+}
+
+#[test]
+fn constant_class_algorithm_handles_periodic_inputs_with_defects() {
+    let problem = problems::copy_input();
+    let verdict = classify(&problem).expect("classification succeeds");
+    assert_eq!(verdict.complexity(), Complexity::Constant);
+    let algo = verdict.algorithm();
+    // Build a large cycle: (a b) periodic with two defects.
+    let constant_radius = algo.radius(usize::MAX / 2);
+    let n = 2 * constant_radius + 50;
+    let mut inputs: Vec<u16> = (0..n).map(|i| (i % 2) as u16).collect();
+    inputs[10] = 1 - inputs[10];
+    inputs[n / 2] = 1 - inputs[n / 2];
+    let mut rng = StdRng::seed_from_u64(4);
+    let net = Network::new(
+        Instance::from_indices(Topology::Cycle, &inputs),
+        IdAssignment::RandomFromSpace { multiplier: 4 },
+        &mut rng,
+    )
+    .expect("network");
+    assert!(algo.radius(n) < n, "the constant algorithm must not gather everything");
+    let out = SyncSimulator::new().run(&net, algo).expect("run");
+    assert!(problem.is_valid(net.instance(), &out));
+}

@@ -1,0 +1,172 @@
+//! Property-based tests (proptest) on the core invariants: the transfer
+//! relation is a semigroup morphism, brute-force solutions verify, type-equal
+//! words are interchangeable for gap completion, and the Π_{M_B} solver is
+//! total and sound under random corruptions.
+
+use lcl_paths::hardness::{solve_pi_mb, PiInput, PiMb, Secret};
+use lcl_paths::lba::{machines, StateId, TapeSymbol};
+use lcl_paths::problem::{InLabel, Instance, NormalizedLcl, OutLabel, Topology};
+use lcl_paths::problems;
+use lcl_paths::semigroup::{
+    is_primitive, primitive_root, smallest_period, TransferSystem, TypeSemigroup,
+};
+use proptest::prelude::*;
+
+/// A small random normalized problem over fixed alphabet sizes.
+fn arb_problem(alpha: usize, beta: usize) -> impl Strategy<Value = NormalizedLcl> {
+    let node_bits = proptest::collection::vec(any::<bool>(), alpha * beta);
+    let edge_bits = proptest::collection::vec(any::<bool>(), beta * beta);
+    (node_bits, edge_bits).prop_map(move |(node, edge)| {
+        let mut b = NormalizedLcl::builder("random");
+        b.input_labels(&(0..alpha).map(|i| format!("i{i}")).collect::<Vec<_>>());
+        b.output_labels(&(0..beta).map(|i| format!("o{i}")).collect::<Vec<_>>());
+        for a in 0..alpha {
+            // Guarantee at least one allowed output per input so instances are
+            // not vacuously unsolvable at the node level.
+            b.allow_node_idx(a as u16, (a % beta) as u16);
+            for o in 0..beta {
+                if node[a * beta + o] {
+                    b.allow_node_idx(a as u16, o as u16);
+                }
+            }
+        }
+        b.allow_edge_idx(0, 0);
+        for p in 0..beta {
+            for q in 0..beta {
+                if edge[p * beta + q] {
+                    b.allow_edge_idx(p as u16, q as u16);
+                }
+            }
+        }
+        b.build().expect("random problem is well-formed")
+    })
+}
+
+fn word(max_len: usize, alpha: usize) -> impl Strategy<Value = Vec<InLabel>> {
+    proptest::collection::vec(0..alpha as u16, 1..=max_len)
+        .prop_map(|v| v.into_iter().map(InLabel).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `R(uv) = R(u) · E · R(v)` for random problems and random words.
+    #[test]
+    fn transfer_relation_is_a_morphism(
+        problem in arb_problem(2, 3),
+        u in word(6, 2),
+        v in word(6, 2),
+    ) {
+        let ts = TransferSystem::new(&problem);
+        let mut uv = u.clone();
+        uv.extend_from_slice(&v);
+        let direct = ts.relation_of_word(&uv).unwrap();
+        let joined = ts
+            .join(&ts.relation_of_word(&u).unwrap(), &ts.relation_of_word(&v).unwrap())
+            .unwrap();
+        prop_assert_eq!(direct, joined);
+    }
+
+    /// Whatever the brute-force solver returns is accepted by the verifier,
+    /// and when it returns nothing the transfer-relation solvability check
+    /// agrees.
+    #[test]
+    fn brute_force_solutions_verify(
+        problem in arb_problem(2, 3),
+        inputs in proptest::collection::vec(0..2u16, 3..20),
+        cycle in any::<bool>(),
+    ) {
+        let topology = if cycle { Topology::Cycle } else { Topology::Path };
+        let instance = Instance::from_indices(topology, &inputs);
+        let ts = TransferSystem::new(&problem);
+        match problem.solve_brute_force(&instance) {
+            Some(labeling) => {
+                prop_assert!(problem.is_valid(&instance, &labeling));
+                prop_assert!(ts.instance_solvable(&instance).unwrap());
+            }
+            None => prop_assert!(!ts.instance_solvable(&instance).unwrap()),
+        }
+    }
+
+    /// Two words with the same type are interchangeable as gaps: for every
+    /// pair of boundary labels, the gap is completable through one word iff it
+    /// is completable through the other (the computational content of the
+    /// paper's Lemma 11).
+    #[test]
+    fn type_equal_words_complete_the_same_boundaries(
+        problem in arb_problem(2, 3),
+        u in word(8, 2),
+        v in word(8, 2),
+    ) {
+        let ts = TransferSystem::new(&problem);
+        let sg = TypeSemigroup::compute(&ts, 100_000).unwrap();
+        prop_assume!(sg.type_of_word(&u).unwrap() == sg.type_of_word(&v).unwrap());
+        let cu = ts.connection_of_word(&u).unwrap();
+        let cv = ts.connection_of_word(&v).unwrap();
+        prop_assert_eq!(cu, cv);
+    }
+
+    /// Period / primitivity invariants used by the O(1) partition.
+    #[test]
+    fn periodicity_invariants(w in word(12, 3)) {
+        let p = smallest_period(&w);
+        prop_assert!(p >= 1 && p <= w.len());
+        for i in 0..w.len() - p {
+            prop_assert_eq!(w[i], w[i + p]);
+        }
+        let root = primitive_root(&w);
+        prop_assert!(is_primitive(root));
+        prop_assert_eq!(w.len() % root.len(), 0usize);
+    }
+
+    /// The §3.3 solver always returns a constraint-satisfying output, for
+    /// arbitrary (not just good) Π_{M_B} inputs.
+    #[test]
+    fn pi_mb_solver_is_total_and_sound(
+        seed_positions in proptest::collection::vec((0usize..40, 0usize..6), 0..5),
+    ) {
+        let problem = PiMb::new(machines::unary_counter(), 4);
+        let mut inputs = problem.good_input(Secret::A, 4).expect("halting machine");
+        for (pos, kind) in seed_positions {
+            let pos = pos % inputs.len();
+            inputs[pos] = match kind {
+                0 => PiInput::Separator,
+                1 => PiInput::Empty,
+                2 => PiInput::Start(Secret::B),
+                3 => PiInput::Tape { content: TapeSymbol::One, state: StateId(0), head: false },
+                4 => PiInput::Tape { content: TapeSymbol::Zero, state: StateId(1), head: true },
+                _ => PiInput::Tape { content: TapeSymbol::RightEnd, state: StateId(2), head: false },
+            };
+        }
+        let output = solve_pi_mb(&problem, &inputs);
+        prop_assert!(problem.is_valid(&inputs, &output));
+    }
+
+    /// Merging output labels never makes a solvable instance unsolvable
+    /// (monotonicity used throughout the classifier's reasoning).
+    #[test]
+    fn merging_outputs_preserves_solvability(
+        inputs in proptest::collection::vec(0..1u16, 3..12),
+    ) {
+        let strict = problems::coloring(3);
+        let merged = lcl_paths::problem::relabel_outputs(&strict, &[0, 1, 1], &["1", "2"]).unwrap();
+        let instance = Instance::from_indices(Topology::Cycle, &inputs);
+        if let Some(labeling) = strict.solve_brute_force(&instance) {
+            // Transport the labeling through the merge and check validity.
+            let transported: Vec<u16> = labeling
+                .outputs()
+                .iter()
+                .map(|o| if o.index() == 0 { 0 } else { 1 })
+                .collect();
+            let transported = lcl_paths::problem::Labeling::from_indices(&transported);
+            prop_assert!(merged.is_valid(&instance, &transported));
+        }
+    }
+}
+
+#[test]
+fn out_label_ordering_is_consistent() {
+    // Small non-proptest sanity check used by the property tests above.
+    assert!(OutLabel(0) < OutLabel(1));
+    assert_eq!(InLabel(2).index(), 2);
+}
