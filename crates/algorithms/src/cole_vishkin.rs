@@ -76,12 +76,7 @@ pub fn cv_color(view: &BallView, offset: isize, n: usize) -> Option<u64> {
     // Shift-down phases eliminate colours 5, 4, 3 in turn. The colour of a
     // node at phase p depends on the phase-(p-1) colours of itself and both
     // neighbours.
-    fn phase_color(
-        view: &BallView,
-        offset: isize,
-        phase: usize,
-        iterations: usize,
-    ) -> Option<u64> {
+    fn phase_color(view: &BallView, offset: isize, phase: usize, iterations: usize) -> Option<u64> {
         if phase == 0 {
             return six_color_at(view, offset, iterations);
         }
@@ -185,7 +180,7 @@ mod tests {
     fn out_of_view_requests_return_none() {
         let mut rng = StdRng::seed_from_u64(3);
         let net = Network::new(
-            Instance::from_indices(Topology::Cycle, &vec![0; 32]),
+            Instance::from_indices(Topology::Cycle, &[0; 32]),
             lcl_local_sim::IdAssignment::RandomFromSpace { multiplier: 4 },
             &mut rng,
         )

@@ -33,7 +33,12 @@ pub struct Decomposition {
 
 impl fmt::Display for Decomposition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} blocks over {} nodes", self.blocks.len(), self.kind_of.len())
+        write!(
+            f,
+            "{} blocks over {} nodes",
+            self.blocks.len(),
+            self.kind_of.len()
+        )
     }
 }
 
@@ -65,7 +70,8 @@ fn segment_sizes(z: usize, s: usize, k: usize) -> Vec<usize> {
             break;
         }
     }
-    let m = chosen.unwrap_or_else(|| panic!("segment of length {z} cannot be subdivided with s={s}, k={k}"));
+    let m = chosen
+        .unwrap_or_else(|| panic!("segment of length {z} cannot be subdivided with s={s}, k={k}"));
     let extra = z - (m * k + (m - 1) * s); // how many B-pieces get size k + 1
     let mut sizes = Vec::with_capacity(2 * m - 1);
     for i in 0..m {
@@ -74,7 +80,11 @@ fn segment_sizes(z: usize, s: usize, k: usize) -> Vec<usize> {
             sizes.push(s);
         }
     }
-    debug_assert_eq!(sizes.iter().sum::<usize>(), z, "sizes must cover the segment");
+    debug_assert_eq!(
+        sizes.iter().sum::<usize>(),
+        z,
+        "sizes must cover the segment"
+    );
     sizes
 }
 
@@ -88,14 +98,12 @@ fn segment_sizes(z: usize, s: usize, k: usize) -> Vec<usize> {
 /// # Panics
 ///
 /// Panics if the anchors are unsorted, out of range, or too close together.
-pub fn decompose_cycle_reference(
-    n: usize,
-    anchors: &[usize],
-    s: usize,
-    k: usize,
-) -> Decomposition {
+pub fn decompose_cycle_reference(n: usize, anchors: &[usize], s: usize, k: usize) -> Decomposition {
     assert!(!anchors.is_empty(), "need at least one anchor");
-    assert!(anchors.windows(2).all(|w| w[0] < w[1]), "anchors must be sorted");
+    assert!(
+        anchors.windows(2).all(|w| w[0] < w[1]),
+        "anchors must be sorted"
+    );
     assert!(*anchors.last().unwrap() < n, "anchor out of range");
     let mut kind_of = vec![BlockKind::B; n];
     let mut blocks = Vec::new();
@@ -120,7 +128,11 @@ pub fn decompose_cycle_reference(
         let sizes = segment_sizes(z, s, k);
         let mut pos = (a + s) % n;
         for (i, &sz) in sizes.iter().enumerate() {
-            let kind = if i % 2 == 0 { BlockKind::B } else { BlockKind::A };
+            let kind = if i % 2 == 0 {
+                BlockKind::B
+            } else {
+                BlockKind::A
+            };
             for d in 0..sz {
                 kind_of[(pos + d) % n] = kind;
             }

@@ -90,7 +90,10 @@ mod tests {
             if !is_cycle && j == 0 {
                 continue;
             }
-            assert!(!(selected[i] && selected[j]), "adjacent nodes {i},{j} both selected");
+            assert!(
+                !(selected[i] && selected[j]),
+                "adjacent nodes {i},{j} both selected"
+            );
         }
         // Maximality: every unselected node has a selected neighbour.
         for i in 0..n {
@@ -144,7 +147,7 @@ mod tests {
     fn small_view_returns_none() {
         let mut rng = StdRng::seed_from_u64(1);
         let net = Network::new(
-            Instance::from_indices(Topology::Cycle, &vec![0; 16]),
+            Instance::from_indices(Topology::Cycle, &[0; 16]),
             IdAssignment::RandomFromSpace { multiplier: 4 },
             &mut rng,
         )

@@ -35,7 +35,10 @@ impl PartitionParams {
     ///
     /// Panics if any parameter is zero.
     pub fn new(pattern: usize, count: usize, width: usize) -> Self {
-        assert!(pattern >= 1 && count >= 1 && width >= 1, "parameters must be positive");
+        assert!(
+            pattern >= 1 && count >= 1 && width >= 1,
+            "parameters must be positive"
+        );
         PartitionParams {
             pattern,
             count,
@@ -208,8 +211,9 @@ pub fn reference_partition(instance: &Instance, params: &PartitionParams) -> Ref
                     if i < radius || i + radius >= n {
                         PositionClass::Other
                     } else {
-                        let window: Vec<InLabel> =
-                            (i - radius..=i + radius).map(|k| instance.input(k)).collect();
+                        let window: Vec<InLabel> = (i - radius..=i + radius)
+                            .map(|k| instance.input(k))
+                            .collect();
                         classify_position(&window, radius, params)
                     }
                 }
@@ -230,9 +234,10 @@ pub fn reference_partition(instance: &Instance, params: &PartitionParams) -> Ref
         let mut len = 1usize;
         while start + len < n {
             let same = match (&classes[start + len], &kind) {
-                (PositionClass::PeriodicCore { pattern, .. }, SegmentKind::Periodic { pattern: p }) => {
-                    pattern == p
-                }
+                (
+                    PositionClass::PeriodicCore { pattern, .. },
+                    SegmentKind::Periodic { pattern: p },
+                ) => pattern == p,
                 (PositionClass::Other, SegmentKind::Irregular) => true,
                 _ => false,
             };
@@ -318,8 +323,14 @@ mod tests {
         let mut inputs: Vec<u16> = (0..40).map(|i| (i % 2) as u16).collect();
         inputs[20] = 1; // defect breaks the (0 1) period locally
         let window = w(&inputs);
-        assert_eq!(classify_position(&window, 20, &params), PositionClass::Other);
-        assert_eq!(classify_position(&window, 22, &params), PositionClass::Other);
+        assert_eq!(
+            classify_position(&window, 20, &params),
+            PositionClass::Other
+        );
+        assert_eq!(
+            classify_position(&window, 22, &params),
+            PositionClass::Other
+        );
         // Far from the defect it is periodic again... position 35 is more than
         // core_radius away from the defect but needs the window to extend to
         // 35+8 ≤ 39: ok.
@@ -339,7 +350,7 @@ mod tests {
     #[test]
     fn reference_partition_of_periodic_cycle() {
         let params = PartitionParams::new(2, 2, 1);
-        let inst = Instance::from_indices(Topology::Cycle, &vec![0, 1].repeat(20));
+        let inst = Instance::from_indices(Topology::Cycle, &[0, 1].repeat(20));
         let part = reference_partition(&inst, &params);
         assert_eq!(part.len(), 40);
         assert_eq!(part.segments.len(), 1);
@@ -380,7 +391,7 @@ mod tests {
     #[test]
     fn reference_partition_on_paths_marks_ends_irregular() {
         let params = PartitionParams::new(1, 2, 1);
-        let inst = Instance::from_indices(Topology::Path, &vec![0; 20]);
+        let inst = Instance::from_indices(Topology::Path, &[0; 20]);
         let part = reference_partition(&inst, &params);
         assert!(matches!(part.segments[0].kind, SegmentKind::Irregular));
         assert!(matches!(

@@ -337,7 +337,7 @@ mod tests {
     fn insufficient_view_returns_none() {
         let mut rng = StdRng::seed_from_u64(1);
         let net = Network::new(
-            Instance::from_indices(Topology::Cycle, &vec![0; 64]),
+            Instance::from_indices(Topology::Cycle, &[0; 64]),
             IdAssignment::RandomFromSpace { multiplier: 4 },
             &mut rng,
         )

@@ -83,7 +83,10 @@ impl LocalAlgorithm for GatherAndSolve {
             .map(|d| view.id_at(d as isize).expect("radius n covers the cycle"))
             .collect();
         let inputs: Vec<InLabel> = (0..n)
-            .map(|d| view.input_at(d as isize).expect("radius n covers the cycle"))
+            .map(|d| {
+                view.input_at(d as isize)
+                    .expect("radius n covers the cycle")
+            })
             .collect();
         // Rotate so the minimum id comes first.
         let min_pos = (0..n).min_by_key(|&d| ids[d]).unwrap_or(0);
@@ -163,10 +166,8 @@ mod tests {
     fn solves_on_paths_and_copies_inputs() {
         let p = copy_input();
         let alg = GatherAndSolve::new(&p);
-        let net = Network::with_sequential_ids(Instance::from_indices(
-            Topology::Path,
-            &[0, 1, 1, 0, 1],
-        ));
+        let net =
+            Network::with_sequential_ids(Instance::from_indices(Topology::Path, &[0, 1, 1, 0, 1]));
         let out = SyncSimulator::new().run(&net, &alg).unwrap();
         assert!(p.is_valid(net.instance(), &out));
         assert_eq!(
@@ -182,7 +183,7 @@ mod tests {
         let alg = GatherAndSolve::new(&p);
         let mut rng = StdRng::seed_from_u64(11);
         let net = Network::new(
-            Instance::from_indices(Topology::Cycle, &vec![0; 7]),
+            Instance::from_indices(Topology::Cycle, &[0; 7]),
             IdAssignment::RandomFromSpace { multiplier: 10 },
             &mut rng,
         )

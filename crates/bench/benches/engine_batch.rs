@@ -1,0 +1,81 @@
+//! E-ENGINE: `Engine::classify_many` throughput over the corpus at 1/4/8
+//! worker threads, against the sequential uncached baseline.
+//!
+//! Each configuration classifies the full corpus from a cold cache; the
+//! sequential baseline calls `classify_with_options` per problem with no
+//! engine at all. This records the scaling trajectory that later
+//! batching/sharding PRs need to beat. A final warm-cache pass shows what the
+//! memo cache is worth on repeated traffic.
+
+use lcl_bench::banner;
+use lcl_classifier::{classify_with_options, ClassifierOptions, Engine};
+use lcl_problems::corpus;
+use std::time::{Duration, Instant};
+
+const REPS: usize = 5;
+
+fn main() {
+    banner(
+        "E-ENGINE",
+        "the Engine service API (this repository's addition)",
+        "classify_many over the corpus: sequential baseline vs 1/4/8 threads, cold and warm cache",
+    );
+
+    let problems: Vec<_> = corpus().into_iter().map(|e| e.problem).collect();
+    println!(
+        "corpus: {} problems, {REPS} repetitions per configuration\n",
+        problems.len()
+    );
+
+    // Sequential baseline: no engine, no cache.
+    let options = ClassifierOptions::default();
+    let baseline = measure(|| {
+        for problem in &problems {
+            classify_with_options(problem, &options).expect("classification");
+        }
+    });
+    report("sequential (no engine)", baseline, baseline);
+
+    // Cold-cache batches: a fresh engine per repetition.
+    for workers in [1usize, 4, 8] {
+        let elapsed = measure(|| {
+            let engine = Engine::builder().parallelism(workers).build();
+            let results = engine.classify_many(&problems);
+            assert!(results.iter().all(Result::is_ok));
+        });
+        report(
+            &format!("classify_many, {workers} thread(s), cold cache"),
+            elapsed,
+            baseline,
+        );
+    }
+
+    // Warm cache: the steady state of a long-lived service.
+    let engine = Engine::new();
+    let _ = engine.classify_many(&problems);
+    let warm = measure(|| {
+        let results = engine.classify_many(&problems);
+        assert!(results.iter().all(Result::is_ok));
+    });
+    report("classify_many, warm cache", warm, baseline);
+    let stats = engine.cache_stats();
+    println!(
+        "\nwarm-cache stats: {} hits / {} misses / {} entries",
+        stats.hits, stats.misses, stats.entries
+    );
+}
+
+fn measure(mut run: impl FnMut()) -> Duration {
+    // One untimed warm-up repetition.
+    run();
+    let start = Instant::now();
+    for _ in 0..REPS {
+        run();
+    }
+    start.elapsed() / REPS as u32
+}
+
+fn report(label: &str, elapsed: Duration, baseline: Duration) {
+    let speedup = baseline.as_secs_f64() / elapsed.as_secs_f64().max(1e-12);
+    println!("{label:<45} {elapsed:>10.2?}   {speedup:>6.2}x vs baseline");
+}

@@ -12,7 +12,10 @@ fn main() {
         "Figure 1 (correct LBA encoding on a path)",
         "good-input length and verification time of the all-Start labeling, per tape size B",
     );
-    println!("{:>3} {:>10} {:>14} {:>14}", "B", "path len", "encode time", "verify time");
+    println!(
+        "{:>3} {:>10} {:>14} {:>14}",
+        "B", "path len", "encode time", "verify time"
+    );
     for b in 3..=8usize {
         let problem = PiMb::new(machines::unary_counter(), b);
         let t0 = Instant::now();
@@ -31,7 +34,13 @@ fn main() {
         assert!(ok, "Figure 1 labeling must be accepted");
         // The §3.3 solver reproduces exactly this labeling on good inputs.
         assert_eq!(solve_pi_mb(&problem, &input), output);
-        println!("{:>3} {:>10} {:>14.2?} {:>14.2?}", b, input.len(), encode, verify);
+        println!(
+            "{:>3} {:>10} {:>14.2?} {:>14.2?}",
+            b,
+            input.len(),
+            encode,
+            verify
+        );
     }
     println!("all good-input labelings accepted ✓ (see EXPERIMENTS.md, E-F1)");
 }

@@ -13,7 +13,10 @@ fn main() {
         "Figure 2 (incorrect encoding, Error² chain)",
         "corruption-site sweep: every corrupted input gets a valid error-chain output",
     );
-    println!("{:>3} {:>10} {:>12} {:>14}", "B", "sites", "E2 chains", "solve time");
+    println!(
+        "{:>3} {:>10} {:>12} {:>14}",
+        "B", "sites", "E2 chains", "solve time"
+    );
     for b in 3..=7usize {
         let problem = PiMb::new(machines::unary_counter(), b);
         let base = problem.good_input(Secret::A, 0).expect("halting machine");
@@ -21,21 +24,42 @@ fn main() {
         let mut sites = 0usize;
         let t0 = Instant::now();
         for pos in 0..base.len() {
-            let PiInput::Tape { content, state, head } = base[pos] else { continue };
+            let PiInput::Tape {
+                content,
+                state,
+                head,
+            } = base[pos]
+            else {
+                continue;
+            };
             if head {
                 continue;
             }
             sites += 1;
             let mut corrupted = base.clone();
-            let flipped = if content == TapeSymbol::Zero { TapeSymbol::One } else { TapeSymbol::Zero };
-            corrupted[pos] = PiInput::Tape { content: flipped, state, head };
+            let flipped = if content == TapeSymbol::Zero {
+                TapeSymbol::One
+            } else {
+                TapeSymbol::Zero
+            };
+            corrupted[pos] = PiInput::Tape {
+                content: flipped,
+                state,
+                head,
+            };
             let output = solve_pi_mb(&problem, &corrupted);
             assert!(problem.is_valid(&corrupted, &output), "B={b} pos={pos}");
             if output.iter().any(|o| o.error_family() == Some(2)) {
                 chains += 1;
             }
         }
-        println!("{:>3} {:>10} {:>12} {:>14.2?}", b, sites, chains, t0.elapsed());
+        println!(
+            "{:>3} {:>10} {:>12} {:>14.2?}",
+            b,
+            sites,
+            chains,
+            t0.elapsed()
+        );
     }
     println!("every corrupted input admits a locally checkable disproof ✓");
 }

@@ -23,7 +23,10 @@ fn main() {
         "Figure 3 (normalizing an LCL)",
         "block length γ = 2⌈log α⌉ + 3 and description size of the β-normalized problem",
     );
-    println!("{:>6} {:>6} {:>6} {:>12} {:>14}", "alpha", "bits", "gamma", "|Σ'_out|", "descr. size");
+    println!(
+        "{:>6} {:>6} {:>6} {:>12} {:>14}",
+        "alpha", "bits", "gamma", "|Σ'_out|", "descr. size"
+    );
     for alpha in [2usize, 3, 4, 6, 8, 12, 16] {
         let p = copy_input(alpha);
         let norm = beta_normalize(&p).expect("normalization succeeds");

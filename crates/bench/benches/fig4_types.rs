@@ -15,7 +15,10 @@ fn main() {
         "Figure 4 (tripartition ξ(P) and the type machinery of §4.1)",
         "types per corpus problem; cross-check of the two type engines",
     );
-    println!("{:>22} {:>8} {:>8} {:>12}", "problem", "types", "pump", "enum time");
+    println!(
+        "{:>22} {:>8} {:>8} {:>12}",
+        "problem", "types", "pump", "enum time"
+    );
     let mut rng = StdRng::seed_from_u64(11);
     for entry in corpus() {
         let ts = TransferSystem::new(&entry.problem);
@@ -34,15 +37,27 @@ fn main() {
         let alpha = entry.problem.num_inputs() as u16;
         for _ in 0..20 {
             let len = rng.gen_range(4..9);
-            let w1: Vec<lcl_problem::InLabel> =
-                (0..len).map(|_| lcl_problem::InLabel(rng.gen_range(0..alpha))).collect();
-            let w2: Vec<lcl_problem::InLabel> =
-                (0..len).map(|_| lcl_problem::InLabel(rng.gen_range(0..alpha))).collect();
+            let w1: Vec<lcl_problem::InLabel> = (0..len)
+                .map(|_| lcl_problem::InLabel(rng.gen_range(0..alpha)))
+                .collect();
+            let w2: Vec<lcl_problem::InLabel> = (0..len)
+                .map(|_| lcl_problem::InLabel(rng.gen_range(0..alpha)))
+                .collect();
             if w1.iter().zip(&w2).take(2).all(|(a, b)| a == b)
-                && w1.iter().rev().zip(w2.iter().rev()).take(2).all(|(a, b)| a == b)
+                && w1
+                    .iter()
+                    .rev()
+                    .zip(w2.iter().rev())
+                    .take(2)
+                    .all(|(a, b)| a == b)
                 && sg.type_of_word(&w1).unwrap() == sg.type_of_word(&w2).unwrap()
             {
-                assert!(naive.same_type(&w1, &w2), "engines disagree on {:?} vs {:?}", w1, w2);
+                assert!(
+                    naive.same_type(&w1, &w2),
+                    "engines disagree on {:?} vs {:?}",
+                    w1,
+                    w2
+                );
             }
         }
     }

@@ -20,7 +20,10 @@ fn main() {
     let algo = verdict.algorithm();
     let constant = algo.radius(usize::MAX / 4);
     println!("constant radius of the synthesized algorithm: {constant}");
-    println!("{:>8} {:>8} {:>10} {:>12} {:>8}", "n", "defects", "radius", "sim time", "valid");
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>8}",
+        "n", "defects", "radius", "sim time", "valid"
+    );
     let sim = SyncSimulator::new();
     for (n, defects) in [(2_000usize, 2usize), (4_000, 4), (8_000, 6), (16_000, 8)] {
         let n = n.max(2 * constant + 64);
@@ -30,7 +33,14 @@ fn main() {
         let elapsed = t0.elapsed();
         let valid = problem.is_valid(net.instance(), &labeling);
         assert!(valid);
-        println!("{:>8} {:>8} {:>10} {:>12.2?} {:>8}", n, defects, algo.radius(n), elapsed, valid);
+        println!(
+            "{:>8} {:>8} {:>10} {:>12.2?} {:>8}",
+            n,
+            defects,
+            algo.radius(n),
+            elapsed,
+            valid
+        );
     }
     println!("the radius column stays constant while n grows ✓");
 }

@@ -6,7 +6,6 @@
 use lcl_bench::banner;
 use lcl_classifier::classify;
 use lcl_local_sim::LocalAlgorithm;
-use lcl_problems;
 
 fn main() {
     banner(
@@ -29,7 +28,11 @@ fn main() {
     println!();
     for problem in suite {
         let verdict = classify(&problem).expect("classification succeeds");
-        print!("{:<22} {:>12}", problem.name(), verdict.complexity().to_string());
+        print!(
+            "{:<22} {:>12}",
+            problem.name(),
+            verdict.complexity().to_string()
+        );
         for &n in &sizes {
             print!(" {:>9}", verdict.algorithm().radius(n));
         }

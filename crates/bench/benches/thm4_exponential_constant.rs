@@ -13,7 +13,10 @@ fn main() {
         "Theorem 4 (2^Ω(β) constant-time horizon)",
         "good-input length (the constant-time horizon) vs tape size for the binary counter",
     );
-    println!("{:>3} {:>10} {:>14} {:>14}", "B", "T (steps)", "T' horizon", "|Σ_out(Π)|");
+    println!(
+        "{:>3} {:>10} {:>14} {:>14}",
+        "B", "T (steps)", "T' horizon", "|Σ_out(Π)|"
+    );
     let mut prev = 0usize;
     for b in 3..=9usize {
         let problem = PiMb::new(machines::binary_counter(), b);

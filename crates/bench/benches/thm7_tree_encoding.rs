@@ -40,8 +40,15 @@ fn main() {
         let (gstar, roots) = g.attach_label_trees(8);
         assert!(gstar.max_degree() <= 3);
         let rec = LabeledGraph::recover_labels(n, &gstar, &roots);
-        assert_eq!(rec.into_iter().map(Option::unwrap).collect::<Vec<_>>(), labels, "trial {trial}");
+        assert_eq!(
+            rec.into_iter().map(Option::unwrap).collect::<Vec<_>>(),
+            labels,
+            "trial {trial}"
+        );
         recovered_ok += 1;
     }
-    println!("G* label recovery on {recovered_ok}/20 random labeled cycles in {:.2?} ✓", t0.elapsed());
+    println!(
+        "G* label recovery on {recovered_ok}/20 random labeled cycles in {:.2?} ✓",
+        t0.elapsed()
+    );
 }

@@ -14,7 +14,10 @@ fn main() {
         "Theorem 8 (decidability of the log*-vs-n gap)",
         "decision time per corpus problem; locality of synthesized Θ(log* n) algorithms",
     );
-    println!("{:>22} {:>12} {:>8} {:>12}", "problem", "class", "types", "decide time");
+    println!(
+        "{:>22} {:>12} {:>8} {:>12}",
+        "problem", "class", "types", "decide time"
+    );
     let mut logstar_algos = Vec::new();
     for entry in corpus() {
         let t0 = Instant::now();
@@ -32,7 +35,10 @@ fn main() {
         }
     }
     println!("\nlocality (view radius) of synthesized Θ(log* n) algorithms:");
-    println!("{:>22} {:>8} {:>8} {:>8} {:>8}", "problem", "n=2^8", "n=2^12", "n=2^16", "n=2^20");
+    println!(
+        "{:>22} {:>8} {:>8} {:>8} {:>8}",
+        "problem", "n=2^8", "n=2^12", "n=2^16", "n=2^20"
+    );
     for (problem, verdict) in &logstar_algos {
         let radii: Vec<usize> = [8u32, 12, 16, 20]
             .iter()
@@ -51,8 +57,14 @@ fn main() {
     if let Some((problem, verdict)) = logstar_algos.first() {
         let net = random_cycle_network(300, problem.num_inputs(), 5);
         let t0 = Instant::now();
-        let out = SyncSimulator::new().run(&net, verdict.algorithm()).expect("run");
+        let out = SyncSimulator::new()
+            .run(&net, verdict.algorithm())
+            .expect("run");
         assert!(problem.is_valid(net.instance(), &out));
-        println!("\nran {} on a 300-node cycle in {:.2?}: valid ✓", problem.name(), t0.elapsed());
+        println!(
+            "\nran {} on a 300-node cycle in {:.2?}: valid ✓",
+            problem.name(),
+            t0.elapsed()
+        );
     }
 }

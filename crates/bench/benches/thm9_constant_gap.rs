@@ -14,7 +14,10 @@ fn main() {
         "Theorem 9 (decidability of the 1-vs-log* gap)",
         "constant-class verdicts, their synthesized radii, and end-to-end validation",
     );
-    println!("{:>22} {:>12} {:>16}", "problem", "class", "radius (large n)");
+    println!(
+        "{:>22} {:>12} {:>16}",
+        "problem", "class", "radius (large n)"
+    );
     for entry in corpus() {
         let verdict = classify(&entry.problem).expect("classification succeeds");
         let radius = if verdict.complexity() == Complexity::Constant {
@@ -29,7 +32,10 @@ fn main() {
             radius
         );
         let expected_constant = entry.expected == KnownComplexity::Constant;
-        assert_eq!(verdict.complexity() == Complexity::Constant, expected_constant);
+        assert_eq!(
+            verdict.complexity() == Complexity::Constant,
+            expected_constant
+        );
     }
     // Run one constant-class algorithm on growing periodic workloads: the
     // radius stays flat.
@@ -44,6 +50,11 @@ fn main() {
         let t0 = Instant::now();
         let out = sim.run(&net, algo).expect("run");
         assert!(problem.is_valid(net.instance(), &out));
-        println!("  n = {:>7}: radius {:>4}, simulated in {:.2?} ✓", n, algo.radius(n), t0.elapsed());
+        println!(
+            "  n = {:>7}: radius {:>4}, simulated in {:.2?} ✓",
+            n,
+            algo.radius(n),
+            t0.elapsed()
+        );
     }
 }

@@ -9,8 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use lcl_problem::{Instance, Topology};
 use lcl_local_sim::{IdAssignment, Network};
+use lcl_problem::{Instance, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

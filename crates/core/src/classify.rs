@@ -50,11 +50,19 @@ fn canonical_patterns(alpha: usize, max_len: usize) -> Vec<Vec<InLabel>> {
 
 /// Classifies a problem with default options.
 ///
+/// This is a thin wrapper over the process-wide default [`crate::Engine`]:
+/// repeated classifications of structurally identical problems are served
+/// from its memo cache. Long-lived services should construct their own
+/// engine (see [`crate::EngineBuilder`]) to control options and observe
+/// cache statistics.
+///
 /// # Errors
 ///
 /// See [`classify_with_options`].
 pub fn classify(problem: &NormalizedLcl) -> Result<Classification> {
-    classify_with_options(problem, &ClassifierOptions::default())
+    crate::engine::default_engine()
+        .classify(problem)
+        .map(|classification| (*classification).clone())
 }
 
 /// Classifies an LCL problem on input-labeled directed cycles into
@@ -208,7 +216,10 @@ mod tests {
         let c = classify(&two_coloring()).unwrap();
         assert_eq!(c.complexity(), Complexity::Unsolvable);
         let witness = c.unsolvability_witness().expect("witness instance");
-        assert!(witness.len() % 2 == 1, "an odd cycle witnesses unsolvability");
+        assert!(
+            witness.len() % 2 == 1,
+            "an odd cycle witnesses unsolvability"
+        );
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! The service-ready classification engine.
+//!
+//! [`Engine`] is the long-lived entry point this crate exposes to servers,
+//! batch jobs and tools. Where the free function [`crate::classify`] performs
+//! one classification from scratch, an engine
+//!
+//! * **memoizes**: classifications are cached under the problem's exact
+//!   [`structural key`](lcl_problem::NormalizedLcl::structural_key) (name-
+//!   and label-name-insensitive, collision-free), so once a problem is
+//!   cached, the expensive type-semigroup and feasibility work is never
+//!   repeated for that structure. Threads that miss a *cold* cache
+//!   concurrently may duplicate the computation (one result wins; each such
+//!   computation counts as a miss) — [`Engine::classify_many`] avoids this by
+//!   deduplicating its batch up front. The cache is bounded
+//!   ([`EngineBuilder::cache_capacity`], FIFO eviction), and
+//!   [`Engine::cache_stats`] exposes hit/miss counters;
+//! * **batches**: [`Engine::classify_many`] classifies a whole workload in
+//!   parallel on a scoped thread pool (structurally identical problems are
+//!   deduplicated first), returning verdicts in deterministic input order;
+//! * **solves end-to-end**: [`Engine::solve`] classifies, synthesizes the
+//!   optimal LOCAL algorithm and runs it on a concrete
+//!   [`Instance`] in the ball-view simulator, returning the labeling together
+//!   with the round count;
+//! * **speaks the wire format**: [`Engine::verdict`] produces a serializable
+//!   [`Verdict`] summary, and problems enter the engine through
+//!   [`lcl_problem::ProblemSpec`] just as well as through built values.
+//!
+//! Parallelism note: the batch path uses `std::thread::scope` with a
+//! work-stealing index rather than rayon — the offline build environment
+//! cannot fetch rayon, and a scoped pool over an atomic cursor gives the same
+//! deterministic-order guarantee for this fan-out shape.
+//!
+//! # Example
+//!
+//! ```
+//! use lcl_classifier::{Complexity, Engine};
+//! use lcl_problem::NormalizedLcl;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NormalizedLcl::builder("3-coloring");
+//! b.input_labels(&["x"]);
+//! b.output_labels(&["1", "2", "3"]);
+//! b.allow_all_node_pairs();
+//! for p in 0..3u16 {
+//!     for q in 0..3u16 {
+//!         if p != q {
+//!             b.allow_edge_idx(p, q);
+//!         }
+//!     }
+//! }
+//! let problem = b.build()?;
+//!
+//! let engine = Engine::new();
+//! let first = engine.classify(&problem)?;
+//! let second = engine.classify(&problem)?; // served from the memo cache
+//! assert_eq!(first.complexity(), Complexity::LogStar);
+//! assert_eq!(second.complexity(), Complexity::LogStar);
+//! assert_eq!(engine.cache_stats().hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::classify::{classify_with_options, ClassifierOptions};
+use crate::verdict::{Classification, Complexity, Verdict};
+use crate::Result;
+use lcl_local_sim::{LocalAlgorithm, Network, SyncSimulator};
+use lcl_problem::{Instance, Labeling, NormalizedLcl};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, OnceLock, RwLock};
+use std::thread;
+
+/// Builder for [`Engine`].
+///
+/// Wraps [`ClassifierOptions`] and adds engine-level knobs (parallelism).
+#[derive(Clone, Debug, Default)]
+pub struct EngineBuilder {
+    options: ClassifierOptions,
+    parallelism: Option<usize>,
+    cache_capacity: Option<usize>,
+}
+
+/// Default bound on the number of cached classifications per engine.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+impl EngineBuilder {
+    /// Starts from default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the classifier options wholesale.
+    pub fn options(mut self, options: ClassifierOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Caps the number of types (transfer relations) enumerated per problem.
+    pub fn type_budget(mut self, budget: usize) -> Self {
+        self.options.type_budget = budget;
+        self
+    }
+
+    /// Caps the number of backtracking nodes in the feasibility search.
+    pub fn search_budget(mut self, budget: usize) -> Self {
+        self.options.search_budget = budget;
+        self
+    }
+
+    /// Caps the primitive-pattern length used by the `O(1)` conditions.
+    pub fn pattern_length_cap(mut self, cap: usize) -> Self {
+        self.options.pattern_length_cap = cap;
+        self
+    }
+
+    /// Sets the number of worker threads [`Engine::classify_many`] uses.
+    /// Defaults to the machine's available parallelism.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Bounds the number of cached classifications; when full, the oldest
+    /// entry is evicted. Defaults to [`DEFAULT_CACHE_CAPACITY`].
+    pub fn cache_capacity(mut self, entries: usize) -> Self {
+        self.cache_capacity = Some(entries.max(1));
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Engine {
+        let parallelism = self
+            .parallelism
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |p| p.get()));
+        Engine {
+            options: self.options,
+            parallelism,
+            cache_capacity: self.cache_capacity.unwrap_or(DEFAULT_CACHE_CAPACITY),
+            cache: RwLock::new(Cache::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The memo store: classifications keyed by the problem's exact
+/// [`structural key`](NormalizedLcl::structural_key) (collision-free, unlike
+/// the 64-bit canonical hash), with insertion order tracked for FIFO
+/// eviction at capacity.
+#[derive(Debug, Default)]
+struct Cache {
+    map: HashMap<Vec<u8>, Arc<Classification>>,
+    order: VecDeque<Vec<u8>>,
+}
+
+/// Cache-effectiveness counters of an [`Engine`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    /// Classifications served from the memo cache.
+    pub hits: u64,
+    /// Classifications that had to be computed.
+    pub misses: u64,
+    /// Distinct problems currently cached.
+    pub entries: usize,
+}
+
+/// The result of [`Engine::solve`]: the classification together with the
+/// labeling the synthesized algorithm produced on the given instance and the
+/// number of LOCAL rounds it used.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    classification: Arc<Classification>,
+    labeling: Labeling,
+    rounds: usize,
+}
+
+impl Solution {
+    /// The classification backing the run.
+    pub fn classification(&self) -> &Classification {
+        &self.classification
+    }
+
+    /// The complexity class of the problem.
+    pub fn complexity(&self) -> Complexity {
+        self.classification.complexity()
+    }
+
+    /// The valid labeling produced by the synthesized algorithm.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// The number of LOCAL rounds (= view radius) the algorithm used on this
+    /// instance.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+/// A long-lived, concurrency-safe classification service.
+///
+/// See the [module documentation](self) for the design and an example. An
+/// engine is cheap to share: all methods take `&self`, and the memo cache is
+/// guarded by a reader–writer lock, so concurrent classifications of cached
+/// problems do not contend.
+#[derive(Debug)]
+pub struct Engine {
+    options: ClassifierOptions,
+    parallelism: usize,
+    cache_capacity: usize,
+    cache: RwLock<Cache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        EngineBuilder::new().build()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts building an engine with custom options.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// The classifier options this engine runs with.
+    pub fn options(&self) -> &ClassifierOptions {
+        &self.options
+    }
+
+    /// The number of worker threads [`Engine::classify_many`] uses.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Classifies a problem, serving repeated requests for structurally
+    /// identical problems from the memo cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::classify_with_options`]. Errors are not cached; a retry
+    /// with the same engine recomputes.
+    pub fn classify(&self, problem: &NormalizedLcl) -> Result<Arc<Classification>> {
+        let key = problem.structural_key();
+        if let Some(cached) = self.cache.read().expect("cache lock").map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(cached));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(classify_with_options(problem, &self.options)?);
+        let mut cache = self.cache.write().expect("cache lock");
+        // Another thread may have raced us to the same problem; keep the
+        // first entry so every caller shares one allocation.
+        if let Some(existing) = cache.map.get(&key) {
+            return Ok(Arc::clone(existing));
+        }
+        while cache.map.len() >= self.cache_capacity {
+            let Some(oldest) = cache.order.pop_front() else {
+                break;
+            };
+            cache.map.remove(&oldest);
+        }
+        cache.map.insert(key.clone(), Arc::clone(&computed));
+        cache.order.push_back(key);
+        Ok(computed)
+    }
+
+    /// Classifies a batch of problems in parallel, returning verdicts in the
+    /// order of the input slice.
+    ///
+    /// Structurally identical problems (equal structural key) are classified
+    /// once and share the resulting `Arc`. The work runs on
+    /// [`Engine::parallelism`] scoped threads; the output order is
+    /// deterministic regardless of scheduling.
+    pub fn classify_many(&self, problems: &[NormalizedLcl]) -> Vec<Result<Arc<Classification>>> {
+        if problems.is_empty() {
+            return Vec::new();
+        }
+        // Deduplicate by structure: owners[i] is the index of the first
+        // problem with the same structural key.
+        let mut first_of: HashMap<Vec<u8>, usize> = HashMap::new();
+        let mut owners = Vec::with_capacity(problems.len());
+        let mut unique = Vec::new();
+        for (i, problem) in problems.iter().enumerate() {
+            let rep = *first_of.entry(problem.structural_key()).or_insert_with(|| {
+                unique.push(i);
+                i
+            });
+            owners.push(rep);
+        }
+
+        let workers = self.parallelism.min(unique.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let unique = &unique;
+                scope.spawn(move || loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&index) = unique.get(k) else { break };
+                    let result = self.classify(&problems[index]);
+                    if tx.send((index, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut by_rep: HashMap<usize, Result<Arc<Classification>>> = rx.into_iter().collect();
+        debug_assert_eq!(by_rep.len(), unique.len());
+        owners
+            .iter()
+            .map(|rep| {
+                by_rep
+                    .get_mut(rep)
+                    .expect("every representative was classified")
+                    .clone()
+            })
+            .collect()
+    }
+
+    /// Classifies the problem, then runs the synthesized optimal algorithm on
+    /// the instance (sequential identifiers, ball-view simulator) and verifies
+    /// the output: classify → synthesize → execute in one call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ClassifierError::Problem`] when the instance carries
+    /// input labels outside the problem's alphabet (wire payloads are not
+    /// validated before this point), [`crate::ClassifierError::Solve`] when
+    /// the problem is unsolvable (globally, or on this specific instance),
+    /// propagates classification errors, and wraps simulator failures in
+    /// [`crate::ClassifierError::Sim`].
+    pub fn solve(&self, problem: &NormalizedLcl, instance: &Instance) -> Result<Solution> {
+        // Instances can arrive straight off the wire; validate against the
+        // problem's alphabet before the verifier's assertions would panic.
+        instance.check_alphabet(problem.num_inputs())?;
+        let classification = self.classify(problem)?;
+        if classification.complexity() == Complexity::Unsolvable {
+            return Err(crate::ClassifierError::Solve {
+                what: format!(
+                    "problem {} is unsolvable (witness of length {})",
+                    problem.name(),
+                    classification
+                        .unsolvability_witness()
+                        .map_or(0, Instance::len),
+                ),
+            });
+        }
+        let network = Network::with_sequential_ids(instance.clone());
+        let algorithm = classification.algorithm();
+        let rounds = algorithm.radius(instance.len());
+        let labeling = SyncSimulator::new().run(&network, algorithm)?;
+        let report = problem.check(instance, &labeling);
+        if !report.is_valid() {
+            // Asymptotically solvable problems can still have degenerate
+            // instances with no valid labeling at all (e.g. a 1-node cycle
+            // for 3-coloring); diagnose that before blaming the synthesizer.
+            let solvable =
+                lcl_semigroup::TransferSystem::new(problem).instance_solvable(instance)?;
+            if !solvable {
+                return Err(crate::ClassifierError::Solve {
+                    what: format!(
+                        "this {}-node {} instance admits no valid labeling for problem {}",
+                        instance.len(),
+                        instance.topology(),
+                        problem.name(),
+                    ),
+                });
+            }
+            return Err(crate::ClassifierError::Solve {
+                what: format!(
+                    "synthesized {} algorithm produced an invalid labeling on a {}-node {} ({} violations)",
+                    classification.complexity(),
+                    instance.len(),
+                    instance.topology(),
+                    report.violations().len(),
+                ),
+            });
+        }
+        Ok(Solution {
+            classification,
+            labeling,
+            rounds,
+        })
+    }
+
+    /// Classifies the problem and returns the serializable [`Verdict`]
+    /// summary (the wire-format view of a [`Classification`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::classify`].
+    pub fn verdict(&self, problem: &NormalizedLcl) -> Result<Verdict> {
+        let classification = self.classify(problem)?;
+        Ok(Verdict::new(problem, &classification))
+    }
+
+    /// Current cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.read().expect("cache lock").map.len(),
+        }
+    }
+
+    /// Drops every cached classification (counters are kept).
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.write().expect("cache lock");
+        cache.map.clear();
+        cache.order.clear();
+    }
+}
+
+/// The process-wide engine backing the legacy free functions
+/// ([`crate::classify`]). Built on first use with default options.
+pub fn default_engine() -> &'static Engine {
+    static DEFAULT: OnceLock<Engine> = OnceLock::new();
+    DEFAULT.get_or_init(Engine::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_problem::Topology;
+
+    fn three_coloring() -> NormalizedLcl {
+        let mut b = NormalizedLcl::builder("3-coloring");
+        b.input_labels(&["x"]);
+        b.output_labels(&["1", "2", "3"]);
+        b.allow_all_node_pairs();
+        for p in 0..3u16 {
+            for q in 0..3u16 {
+                if p != q {
+                    b.allow_edge_idx(p, q);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn two_coloring() -> NormalizedLcl {
+        let mut b = NormalizedLcl::builder("2-coloring");
+        b.input_labels(&["x"]);
+        b.output_labels(&["1", "2"]);
+        b.allow_all_node_pairs();
+        b.allow_edge_idx(0, 1);
+        b.allow_edge_idx(1, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cache_hits_skip_recomputation() {
+        let engine = Engine::new();
+        let first = engine.classify(&three_coloring()).unwrap();
+        assert_eq!(
+            engine.cache_stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                entries: 1
+            }
+        );
+        let second = engine.classify(&three_coloring()).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "served from cache");
+        assert_eq!(engine.cache_stats().hits, 1);
+        engine.clear_cache();
+        assert_eq!(engine.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_dedupes() {
+        let problems = vec![three_coloring(), two_coloring(), three_coloring()];
+        let engine = Engine::builder().parallelism(2).build();
+        let batch = engine.classify_many(&problems);
+        assert_eq!(batch.len(), 3);
+        // Duplicates are classified once and share the Arc.
+        let first = batch[0].as_ref().unwrap();
+        let third = batch[2].as_ref().unwrap();
+        assert!(Arc::ptr_eq(first, third));
+        assert_eq!(engine.cache_stats().misses, 2);
+        for (problem, result) in problems.iter().zip(&batch) {
+            let fresh = Engine::new().classify(problem).unwrap();
+            assert_eq!(
+                fresh.complexity(),
+                result.as_ref().unwrap().complexity(),
+                "batch and sequential disagree on {}",
+                problem.name()
+            );
+        }
+        assert!(engine.classify_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn solve_runs_the_synthesized_algorithm() {
+        let engine = Engine::new();
+        let problem = three_coloring();
+        let instance = Instance::from_indices(Topology::Cycle, &[0; 60]);
+        let solution = engine.solve(&problem, &instance).unwrap();
+        assert_eq!(solution.complexity(), Complexity::LogStar);
+        assert_eq!(solution.labeling().len(), 60);
+        assert!(solution.rounds() > 0);
+        assert!(problem.is_valid(&instance, solution.labeling()));
+        assert!(solution.classification().num_types() >= 1);
+    }
+
+    #[test]
+    fn solve_reports_unsolvable_problems() {
+        let engine = Engine::new();
+        let instance = Instance::from_indices(Topology::Cycle, &[0; 5]);
+        let err = engine.solve(&two_coloring(), &instance).unwrap_err();
+        assert!(matches!(err, crate::ClassifierError::Solve { .. }));
+        assert!(err.to_string().contains("unsolvable"));
+    }
+
+    #[test]
+    fn builder_knobs_are_applied() {
+        let engine = Engine::builder()
+            .type_budget(1)
+            .search_budget(10)
+            .pattern_length_cap(2)
+            .parallelism(3)
+            .build();
+        assert_eq!(engine.options().type_budget, 1);
+        assert_eq!(engine.options().search_budget, 10);
+        assert_eq!(engine.options().pattern_length_cap, 2);
+        assert_eq!(engine.parallelism(), 3);
+        // A budget of one type is too small for any real problem.
+        assert!(engine.classify(&three_coloring()).is_err());
+        // Errors are not cached.
+        assert_eq!(engine.cache_stats().entries, 0);
+        assert_eq!(engine.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn solve_diagnoses_unsolvable_instances_of_solvable_problems() {
+        // 3-coloring is Θ(log* n) on long cycles, but a 1-node cycle admits
+        // no valid labeling; the error must blame the instance, not the
+        // synthesized algorithm.
+        let engine = Engine::new();
+        let singleton = Instance::from_indices(Topology::Cycle, &[0]);
+        let err = engine.solve(&three_coloring(), &singleton).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("admits no valid labeling"),
+            "wrong diagnosis: {message}"
+        );
+    }
+
+    #[test]
+    fn solve_rejects_out_of_alphabet_instances() {
+        // Wire payloads only guarantee labels fit in u16; solve must reject
+        // labels outside the problem's alphabet instead of panicking.
+        let engine = Engine::new();
+        let instance = Instance::from_indices(Topology::Cycle, &[5; 10]);
+        let err = engine.solve(&three_coloring(), &instance).unwrap_err();
+        assert!(matches!(err, crate::ClassifierError::Problem(_)));
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn cache_capacity_evicts_oldest() {
+        let engine = Engine::builder().cache_capacity(1).build();
+        engine.classify(&three_coloring()).unwrap();
+        assert_eq!(engine.cache_stats().entries, 1);
+        engine.classify(&two_coloring()).unwrap();
+        // Capacity 1: three-coloring was evicted, two-coloring remains.
+        assert_eq!(engine.cache_stats().entries, 1);
+        engine.classify(&three_coloring()).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits, 0, "evicted entry cannot hit");
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn default_engine_is_shared() {
+        let a = default_engine();
+        let b = default_engine();
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -25,6 +25,16 @@ pub enum ClassifierError {
         /// Description of the limit that was exceeded.
         what: String,
     },
+    /// The LOCAL simulator failed while the engine was running a synthesized
+    /// algorithm (see [`crate::Engine::solve`]).
+    Sim(lcl_local_sim::SimError),
+    /// The engine's end-to-end solve produced no valid labeling: the problem
+    /// is unsolvable on the given instance, or the synthesized algorithm's
+    /// output failed verification.
+    Solve {
+        /// Description of the failure.
+        what: String,
+    },
 }
 
 impl fmt::Display for ClassifierError {
@@ -36,6 +46,8 @@ impl fmt::Display for ClassifierError {
                 write!(f, "feasibility search exceeded {budget} nodes")
             }
             ClassifierError::TooLarge { what } => write!(f, "problem too large: {what}"),
+            ClassifierError::Sim(e) => write!(f, "simulator error: {e}"),
+            ClassifierError::Solve { what } => write!(f, "solve failed: {what}"),
         }
     }
 }
@@ -45,8 +57,15 @@ impl StdError for ClassifierError {
         match self {
             ClassifierError::Semigroup(e) => Some(e),
             ClassifierError::Problem(e) => Some(e),
+            ClassifierError::Sim(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<lcl_local_sim::SimError> for ClassifierError {
+    fn from(e: lcl_local_sim::SimError) -> Self {
+        ClassifierError::Sim(e)
     }
 }
 
@@ -74,7 +93,9 @@ mod tests {
         let e = ClassifierError::SearchBudgetExceeded { budget: 10 };
         assert!(e.to_string().contains("10"));
         assert!(e.source().is_none());
-        let e = ClassifierError::TooLarge { what: "outputs".into() };
+        let e = ClassifierError::TooLarge {
+            what: "outputs".into(),
+        };
         assert!(e.to_string().contains("outputs"));
         let e = ClassifierError::from(lcl_problem::ProblemError::EmptyInputAlphabet);
         assert!(e.to_string().contains("problem"));

@@ -134,7 +134,11 @@ fn mask_to_labels(mask: u64, beta: usize) -> Vec<OutLabel> {
 
 /// Enumerates all valid periodic labelings of a pattern (labelings `y` with
 /// `node_ok(w_i, y_i)`, `edge_ok(y_i, y_{i+1})` and `edge_ok(y_last, y_0)`).
-fn periodic_labelings(problem: &NormalizedLcl, pattern: &[InLabel], cap: usize) -> Vec<Vec<OutLabel>> {
+fn periodic_labelings(
+    problem: &NormalizedLcl,
+    pattern: &[InLabel],
+    cap: usize,
+) -> Vec<Vec<OutLabel>> {
     let beta = problem.num_outputs();
     let mut out = Vec::new();
     let mut stack: Vec<Vec<OutLabel>> = (0..beta)
@@ -211,11 +215,7 @@ fn choose_pattern_labelings(
     // bridge(i, fi, j, fj): can a labeled w_i-region (ending with fi's last
     // label) be followed, across any middle, by a labeled w_j-region
     // (starting with fj's first label)?
-    let bridge = |i: usize,
-                  fi: &[OutLabel],
-                  j: usize,
-                  fj: &[OutLabel]|
-     -> Result<bool> {
+    let bridge = |i: usize, fi: &[OutLabel], j: usize, fj: &[OutLabel]| -> Result<bool> {
         let last = fi[fi.len() - 1];
         let first = fj[0];
         for left in &paddings[i] {
@@ -234,12 +234,17 @@ fn choose_pattern_labelings(
         Ok(true)
     };
 
+    /// Checks that the labeling of one pattern can bridge into another's
+    /// across an arbitrary middle: `(left index, left labeling, right index,
+    /// right labeling)`.
+    type BridgeCheck<'a> = dyn Fn(usize, &[OutLabel], usize, &[OutLabel]) -> Result<bool> + 'a;
+
     fn solve(
         idx: usize,
         patterns: &[Vec<InLabel>],
         candidates: &[Vec<Vec<OutLabel>>],
         chosen: &mut Vec<Vec<OutLabel>>,
-        bridge: &dyn Fn(usize, &[OutLabel], usize, &[OutLabel]) -> Result<bool>,
+        bridge: &BridgeCheck<'_>,
     ) -> Result<bool> {
         if idx == patterns.len() {
             return Ok(true);
@@ -441,7 +446,12 @@ pub fn find_feasible(
     let assignment: Vec<Biclique> = search
         .assignment
         .iter()
-        .map(|a| a.unwrap_or(Biclique { a: (1 << beta) - 1, b: (1 << beta) - 1 }))
+        .map(|a| {
+            a.unwrap_or(Biclique {
+                a: (1 << beta) - 1,
+                b: (1 << beta) - 1,
+            })
+        })
         .collect();
 
     // Choose periodic labelings so that any two labeled periodic regions can
@@ -586,7 +596,9 @@ mod tests {
         let feasible = find_feasible(&info, &patterns, 1_000_000).unwrap();
         let structure = feasible.expect("the unconstrained problem is O(1)");
         assert!(!structure.patterns.is_empty());
-        assert!(structure.pattern_labeling(&structure.patterns[0].pattern).is_some());
+        assert!(structure
+            .pattern_labeling(&structure.patterns[0].pattern)
+            .is_some());
         assert!(!structure.blocks.is_empty());
         let (first, last) = structure
             .block(0, lcl_problem::InLabel(0), lcl_problem::InLabel(0), 0)

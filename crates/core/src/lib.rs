@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 mod classify;
+pub mod engine;
 mod error;
 pub mod feasibility;
 pub mod synthesis;
@@ -67,11 +68,14 @@ mod types_info;
 mod verdict;
 
 pub use classify::{classify, classify_with_options, ClassifierOptions};
+pub use engine::{
+    default_engine, CacheStats, Engine, EngineBuilder, Solution, DEFAULT_CACHE_CAPACITY,
+};
 pub use error::ClassifierError;
 pub use feasibility::{FeasibleStructure, PatternLabeling};
 pub use synthesis::{ConstantAlgorithm, LogStarAlgorithm, SynthesizedAlgorithm};
 pub use types_info::GapTypes;
-pub use verdict::{Classification, Complexity};
+pub use verdict::{Classification, Complexity, Verdict};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, ClassifierError>;

@@ -339,8 +339,9 @@ impl ConstantAlgorithm {
     /// radius-`D` window is periodic with period ≤ κ.
     fn deep_pattern(&self, view: &BallView, offset: isize) -> Option<(Vec<InLabel>, usize)> {
         let d = self.params.core_radius() as isize;
-        let window: Option<Vec<InLabel>> =
-            ((offset - d)..=(offset + d)).map(|o| view.input_at(o)).collect();
+        let window: Option<Vec<InLabel>> = ((offset - d)..=(offset + d))
+            .map(|o| view.input_at(o))
+            .collect();
         let window = window?;
         match classify_position(&window, d as usize, &self.params) {
             PositionClass::PeriodicCore { pattern, phase } => Some((pattern, phase)),
@@ -493,15 +494,14 @@ mod tests {
     fn constant_algorithm_phase_locked_is_valid() {
         let p = phase_locked();
         let info = GapTypes::compute(&p, 10_000).unwrap();
-        let kappa = info.min_gap().min(3).max(1);
+        let kappa = info.min_gap().clamp(1, 3);
         let patterns: Vec<Vec<InLabel>> = primitive_strings_up_to(2, kappa)
             .into_iter()
             .filter(|w| {
                 // canonical rotations only
                 let mut best = w.clone();
                 for s in 1..w.len() {
-                    let rot: Vec<InLabel> =
-                        (0..w.len()).map(|i| w[(i + s) % w.len()]).collect();
+                    let rot: Vec<InLabel> = (0..w.len()).map(|i| w[(i + s) % w.len()]).collect();
                     if rot < best {
                         best = rot;
                     }

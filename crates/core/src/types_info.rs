@@ -204,7 +204,7 @@ mod tests {
         }
         let t = info.quantified()[0];
         assert_eq!(info.position(t), Some(0));
-        assert!(info.semigroup().len() >= 1);
+        assert!(!info.semigroup().is_empty());
         assert_eq!(info.system().dim(), 3);
     }
 }

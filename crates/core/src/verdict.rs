@@ -1,6 +1,9 @@
-//! Classification verdicts.
+//! Classification verdicts, including the serializable wire-format summary.
 
-use lcl_problem::Instance;
+use crate::Result;
+use lcl_local_sim::LocalAlgorithm;
+use lcl_problem::json::JsonValue;
+use lcl_problem::{Instance, NormalizedLcl, ProblemError};
 use std::fmt;
 
 /// The deterministic LOCAL complexity class of an LCL problem on labeled
@@ -20,6 +23,31 @@ pub enum Complexity {
     LogStar,
     /// Requires `Θ(n)` rounds.
     Linear,
+}
+
+impl Complexity {
+    /// The stable ASCII identifier used by the wire format (as opposed to the
+    /// human-oriented [`fmt::Display`] form, which uses mathematical
+    /// notation).
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Complexity::Unsolvable => "unsolvable",
+            Complexity::Constant => "constant",
+            Complexity::LogStar => "log-star",
+            Complexity::Linear => "linear",
+        }
+    }
+
+    /// Parses a wire identifier produced by [`Complexity::wire_name`].
+    pub fn from_wire_name(name: &str) -> Option<Self> {
+        match name {
+            "unsolvable" => Some(Complexity::Unsolvable),
+            "constant" => Some(Complexity::Constant),
+            "log-star" => Some(Complexity::LogStar),
+            "linear" => Some(Complexity::Linear),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Complexity {
@@ -83,9 +111,145 @@ impl fmt::Display for Classification {
     }
 }
 
+/// The serializable summary of a classification: everything a service client
+/// needs to know about a verdict, without the (non-serializable) synthesized
+/// algorithm. Produced by [`crate::Engine::verdict`] or [`Verdict::new`];
+/// round-trips through JSON.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Verdict {
+    /// The complexity class.
+    pub complexity: Complexity,
+    /// Number of path types of the problem.
+    pub num_types: usize,
+    /// The computed pumping threshold.
+    pub pump_threshold: usize,
+    /// Name of the classified problem.
+    pub problem_name: String,
+    /// The problem's canonical structural hash
+    /// ([`NormalizedLcl::canonical_hash`]).
+    pub problem_hash: u64,
+    /// Name of the synthesized algorithm.
+    pub algorithm: String,
+    /// Witness instance with no valid labeling, for unsolvable problems.
+    pub witness: Option<Instance>,
+}
+
+impl Verdict {
+    /// Summarizes a classification of `problem`.
+    pub fn new(problem: &NormalizedLcl, classification: &Classification) -> Self {
+        Verdict {
+            complexity: classification.complexity(),
+            num_types: classification.num_types(),
+            pump_threshold: classification.pump_threshold(),
+            problem_name: problem.name().to_string(),
+            problem_hash: problem.canonical_hash(),
+            algorithm: classification.algorithm().name().to_string(),
+            witness: classification.unsolvability_witness().cloned(),
+        }
+    }
+
+    /// Serializes to a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "complexity",
+                JsonValue::Str(self.complexity.wire_name().into()),
+            ),
+            ("num_types", JsonValue::Int(self.num_types as i64)),
+            ("pump_threshold", JsonValue::Int(self.pump_threshold as i64)),
+            ("problem_name", JsonValue::Str(self.problem_name.clone())),
+            (
+                "problem_hash",
+                JsonValue::Str(format!("{:016x}", self.problem_hash)),
+            ),
+            ("algorithm", JsonValue::Str(self.algorithm.clone())),
+            (
+                "witness",
+                match &self.witness {
+                    Some(instance) => instance.to_json(),
+                    None => JsonValue::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Serializes to a compact JSON string with canonical field order.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// Parses a verdict from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire-format error on malformed JSON, unknown complexity
+    /// identifiers, or invalid hash/witness fields.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        let wire = |what: String| crate::ClassifierError::Problem(ProblemError::Wire { what });
+        let value = JsonValue::parse(text).map_err(|e| wire(e.to_string()))?;
+        let json_err = |e: lcl_problem::json::JsonError| wire(e.to_string());
+        let complexity_name = value.require("complexity").map_err(json_err)?;
+        let complexity = Complexity::from_wire_name(complexity_name.as_str().map_err(json_err)?)
+            .ok_or_else(|| wire(format!("unknown complexity {complexity_name:?}")))?;
+        let count = |field: &str| -> Result<usize> {
+            let v = value
+                .require(field)
+                .and_then(|v| v.as_int())
+                .map_err(json_err)?;
+            usize::try_from(v)
+                .map_err(|_| wire(format!("field `{field}` must be non-negative, got {v}")))
+        };
+        let num_types = count("num_types")?;
+        let pump_threshold = count("pump_threshold")?;
+        let problem_name = value
+            .require("problem_name")
+            .and_then(|v| v.as_str())
+            .map_err(json_err)?
+            .to_string();
+        let hash_text = value
+            .require("problem_hash")
+            .and_then(|v| v.as_str())
+            .map_err(json_err)?;
+        if hash_text.is_empty() || !hash_text.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(wire(format!("invalid problem hash `{hash_text}`")));
+        }
+        let problem_hash = u64::from_str_radix(hash_text, 16)
+            .map_err(|_| wire(format!("invalid problem hash `{hash_text}`")))?;
+        let algorithm = value
+            .require("algorithm")
+            .and_then(|v| v.as_str())
+            .map_err(json_err)?
+            .to_string();
+        let witness = match value.require("witness").map_err(json_err)? {
+            JsonValue::Null => None,
+            instance => Some(Instance::from_json(instance)?),
+        };
+        Ok(Verdict {
+            complexity,
+            num_types,
+            pump_threshold,
+            problem_name,
+            problem_hash,
+            algorithm,
+            witness,
+        })
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({} types, pump threshold {}, via {})",
+            self.problem_name, self.complexity, self.num_types, self.pump_threshold, self.algorithm
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classify;
 
     #[test]
     fn display() {
@@ -93,5 +257,58 @@ mod tests {
         assert_eq!(Complexity::LogStar.to_string(), "Θ(log* n)");
         assert_eq!(Complexity::Linear.to_string(), "Θ(n)");
         assert_eq!(Complexity::Unsolvable.to_string(), "unsolvable");
+    }
+
+    #[test]
+    fn wire_names_roundtrip() {
+        for c in [
+            Complexity::Unsolvable,
+            Complexity::Constant,
+            Complexity::LogStar,
+            Complexity::Linear,
+        ] {
+            assert_eq!(Complexity::from_wire_name(c.wire_name()), Some(c));
+        }
+        assert_eq!(Complexity::from_wire_name("O(1)"), None);
+    }
+
+    fn two_coloring() -> NormalizedLcl {
+        let mut b = NormalizedLcl::builder("2-coloring");
+        b.input_labels(&["x"]);
+        b.output_labels(&["1", "2"]);
+        b.allow_all_node_pairs();
+        b.allow_edge_idx(0, 1);
+        b.allow_edge_idx(1, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn verdict_roundtrips_through_json() {
+        let problem = two_coloring();
+        let classification = classify(&problem).unwrap();
+        let verdict = Verdict::new(&problem, &classification);
+        assert_eq!(verdict.complexity, Complexity::Unsolvable);
+        assert!(
+            verdict.witness.is_some(),
+            "unsolvable verdicts carry witnesses"
+        );
+        let text = verdict.to_json_string();
+        let back = Verdict::from_json_str(&text).unwrap();
+        assert_eq!(back, verdict);
+        assert!(verdict.to_string().contains("2-coloring"));
+    }
+
+    #[test]
+    fn malformed_verdicts_are_rejected() {
+        assert!(Verdict::from_json_str("{").is_err());
+        assert!(Verdict::from_json_str("{}").is_err());
+        let bad_complexity = r#"{"algorithm":"a","complexity":"sublinear","num_types":1,"problem_hash":"00","problem_name":"p","pump_threshold":1,"witness":null}"#;
+        assert!(Verdict::from_json_str(bad_complexity).is_err());
+        let bad_hash = r#"{"algorithm":"a","complexity":"linear","num_types":1,"problem_hash":"zz","problem_name":"p","pump_threshold":1,"witness":null}"#;
+        assert!(Verdict::from_json_str(bad_hash).is_err());
+        let plus_hash = r#"{"algorithm":"a","complexity":"linear","num_types":1,"problem_hash":"+ff","problem_name":"p","pump_threshold":1,"witness":null}"#;
+        assert!(Verdict::from_json_str(plus_hash).is_err());
+        let negative_count = r#"{"algorithm":"a","complexity":"linear","num_types":-1,"problem_hash":"00","problem_name":"p","pump_threshold":1,"witness":null}"#;
+        assert!(Verdict::from_json_str(negative_count).is_err());
     }
 }

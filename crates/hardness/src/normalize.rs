@@ -255,10 +255,7 @@ mod tests {
         let first: Vec<u16> = enc.inputs()[..7].iter().map(|l| l.0).collect();
         assert_eq!(first, vec![1, 1, 1, 0, 1, 0, 0]);
         // Round trip.
-        assert_eq!(
-            norm.decode_instance(&enc),
-            vec![InLabel(2), InLabel(0)]
-        );
+        assert_eq!(norm.decode_instance(&enc), vec![InLabel(2), InLabel(0)]);
         assert!(norm.description_size() > p.num_outputs() * p.num_outputs());
     }
 

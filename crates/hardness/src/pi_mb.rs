@@ -3,11 +3,10 @@
 
 use lcl_lba::{Lba, Move, Outcome, StateId, TapeSymbol};
 use lcl_problem::{InLabel, Instance, NormalizedLcl, OutLabel};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The secret stored at the first node of a good input (`φ ∈ {a, b}`).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Secret {
     /// The symbol `a`.
     A,
@@ -25,7 +24,7 @@ impl fmt::Display for Secret {
 }
 
 /// Input labels of `Π_{M_B}` (§3.2.1). Their number does not depend on `B`.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum PiInput {
     /// `Start(φ)`: the secret at the first node.
     Start(Secret),
@@ -61,7 +60,7 @@ impl fmt::Display for PiInput {
 
 /// Output labels of `Π_{M_B}` (§3.2.3). The `Error⁰…Error⁵` families carry
 /// counters bounded by `B + 2`, so their number is `Θ(B)`.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum PiOutput {
     /// `Start(φ)`.
     Start(Secret),
@@ -255,10 +254,7 @@ impl PiMb {
     /// Returns `None` if the machine does not halt on a `B`-cell tape (good
     /// inputs only exist for halting machines).
     pub fn good_input(&self, secret: Secret, empty_padding: usize) -> Option<Vec<PiInput>> {
-        let outcome = self
-            .machine
-            .run(self.tape_size, 50_000_000)
-            .ok()?;
+        let outcome = self.machine.run(self.tape_size, 50_000_000).ok()?;
         let Outcome::Halted { trace } = outcome else {
             return None;
         };
@@ -273,7 +269,7 @@ impl PiMb {
                 });
             }
         }
-        inputs.extend(std::iter::repeat(PiInput::Empty).take(empty_padding));
+        inputs.extend(std::iter::repeat_n(PiInput::Empty, empty_padding));
         Some(inputs)
     }
 
@@ -669,7 +665,11 @@ mod tests {
                 _ => PiOutput::Start(Secret::B),
             })
             .collect();
-        assert!(p.is_valid(&input, &output), "{:?}", p.violations(&input, &output));
+        assert!(
+            p.is_valid(&input, &output),
+            "{:?}",
+            p.violations(&input, &output)
+        );
     }
 
     #[test]
@@ -738,10 +738,7 @@ mod tests {
     #[test]
     fn error12_constraint_families_do_not_mix() {
         let p = small();
-        let input = vec![
-            PiInput::Separator,
-            PiInput::Separator,
-        ];
+        let input = vec![PiInput::Separator, PiInput::Separator];
         let mixed = vec![PiOutput::Error1(0), PiOutput::Error0(1)];
         assert!(!p.is_valid(&input, &mixed));
     }
@@ -771,7 +768,9 @@ mod tests {
     fn display_impls() {
         assert_eq!(PiInput::Separator.to_string(), "Sep");
         assert_eq!(PiOutput::Error3.to_string(), "E3");
-        assert!(PiOutput::Error2(TapeSymbol::One, 4).to_string().contains("E2"));
+        assert!(PiOutput::Error2(TapeSymbol::One, 4)
+            .to_string()
+            .contains("E2"));
         assert_eq!(Secret::A.to_string(), "a");
         let p = small();
         assert_eq!(p.tape_size(), 4);

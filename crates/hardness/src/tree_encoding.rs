@@ -48,7 +48,11 @@ impl InputTree {
     /// Depth of the deepest node.
     pub fn depth(&self) -> usize {
         fn rec(t: &InputTree, v: usize) -> usize {
-            t.children[v].iter().map(|&c| 1 + rec(t, c)).max().unwrap_or(0)
+            t.children[v]
+                .iter()
+                .map(|&c| 1 + rec(t, c))
+                .max()
+                .unwrap_or(0)
         }
         rec(self, 0)
     }
@@ -109,13 +113,19 @@ pub fn decode_tree(tree: &InputTree) -> Option<Vec<bool>> {
         let a_kids = tree.children[a].len();
         let b_kids = tree.children[b].len();
         // Bit leaf: both children are the x/y gadget nodes with 0 or 1 children.
-        let is_gadget = |c: usize| tree.children[c].len() <= 1
-            && tree.children[c].iter().all(|&g| tree.children[g].is_empty());
-        if is_gadget(a) && is_gadget(b) && a_kids == b_kids && tree
-            .children[a]
-            .iter()
-            .chain(tree.children[b].iter())
-            .all(|&g| tree.children[g].is_empty())
+        let is_gadget = |c: usize| {
+            tree.children[c].len() <= 1
+                && tree.children[c]
+                    .iter()
+                    .all(|&g| tree.children[g].is_empty())
+        };
+        if is_gadget(a)
+            && is_gadget(b)
+            && a_kids == b_kids
+            && tree.children[a]
+                .iter()
+                .chain(tree.children[b].iter())
+                .all(|&g| tree.children[g].is_empty())
         {
             // Could still be an internal node whose subtrees look tiny; the
             // construction guarantees internal nodes have a subdivision child
@@ -253,7 +263,8 @@ impl LabeledGraph {
                     }
                 }
                 decode_tree(&tree).map(|bits| {
-                    bits.iter().fold(0usize, |acc, &b| (acc << 1) | usize::from(b))
+                    bits.iter()
+                        .fold(0usize, |acc, &b| (acc << 1) | usize::from(b))
                 })
             })
             .collect()

@@ -102,9 +102,7 @@ pub fn undirected_lift(problem: &NormalizedLcl) -> Result<WindowLcl> {
         // did not output the error label.
         if let Some(p) = pred {
             let (_, pv) = decode_out(cells[p].1);
-            if pv != beta
-                && !problem.edge_ok(OutLabel::from_index(pv), OutLabel::from_index(v))
-            {
+            if pv != beta && !problem.edge_ok(OutLabel::from_index(pv), OutLabel::from_index(v)) {
                 return false;
             }
         }
@@ -147,7 +145,10 @@ pub fn undirected_lift(problem: &NormalizedLcl) -> Result<WindowLcl> {
 /// Encodes an oriented instance (a directed path/cycle over the original
 /// input alphabet) as an undirected-lift instance by attaching the
 /// orientation counters `0, 1, 2, 0, …` (§3.7).
-pub fn orient_instance(problem: &NormalizedLcl, instance: &lcl_problem::Instance) -> lcl_problem::Instance {
+pub fn orient_instance(
+    problem: &NormalizedLcl,
+    instance: &lcl_problem::Instance,
+) -> lcl_problem::Instance {
     let _ = problem;
     let inputs: Vec<InLabel> = instance
         .inputs()
@@ -163,7 +164,10 @@ pub fn orient_instance(problem: &NormalizedLcl, instance: &lcl_problem::Instance
 
 /// Encodes a labeling of the oriented instance as a labeling of the lifted
 /// instance (copying the orientation counters).
-pub fn orient_labeling(problem: &NormalizedLcl, labeling: &lcl_problem::Labeling) -> lcl_problem::Labeling {
+pub fn orient_labeling(
+    problem: &NormalizedLcl,
+    labeling: &lcl_problem::Labeling,
+) -> lcl_problem::Labeling {
     let beta = problem.num_outputs();
     let outputs: Vec<OutLabel> = labeling
         .outputs()
@@ -226,7 +230,7 @@ mod tests {
         );
         // Dropping the orientation copy breaks validity.
         let mut bad = lifted_out.clone();
-        *bad.output_mut(0) = OutLabel(lifted_output(1, 0, p.num_outputs()) );
+        *bad.output_mut(0) = OutLabel(lifted_output(1, 0, p.num_outputs()));
         assert!(!lifted.is_valid(&lifted_inst, &bad));
     }
 

@@ -31,18 +31,11 @@ enum Finding {
     /// `Start` label).
     AllError,
     /// `Start(φ)` before `from`, generic `Error` from `from` onwards.
-    ErrorFrom {
-        from: usize,
-    },
+    ErrorFrom { from: usize },
     /// An `Error⁰` chain on `0..=to`, generic `Error` afterwards.
-    Error0 {
-        to: usize,
-    },
+    Error0 { to: usize },
     /// An `Error¹` chain on `from..=to`, `Start` before, `Error` after.
-    Error1 {
-        from: usize,
-        to: usize,
-    },
+    Error1 { from: usize, to: usize },
     /// An `Error²` chain on `from..=to` claiming content `x`.
     Error2 {
         from: usize,
@@ -50,9 +43,7 @@ enum Finding {
         x: TapeSymbol,
     },
     /// A single `Error³` at `at`.
-    Error3 {
-        at: usize,
-    },
+    Error3 { at: usize },
     /// An `Error⁴` chain on `from..=to` carrying the head's `(state, content)`.
     Error4 {
         from: usize,
@@ -62,10 +53,7 @@ enum Finding {
     },
     /// An `Error⁵` pair of markers: `Error⁵(0)` at `first`, `Error⁵(1)` on
     /// `first+1..=second`, `Error` afterwards.
-    Error5 {
-        first: usize,
-        second: usize,
-    },
+    Error5 { first: usize, second: usize },
 }
 
 /// The ideal initial block of a good input: `Separator`, then the initial
@@ -91,6 +79,7 @@ fn ideal_initial_block(problem: &PiMb) -> Vec<PiInput> {
     block
 }
 
+#[allow(clippy::needless_range_loop)] // dense index tables
 fn find_first_provable_error(problem: &PiMb, inputs: &[PiInput]) -> Finding {
     let b = problem.tape_size();
     let n = inputs.len();
@@ -141,7 +130,10 @@ fn find_first_provable_error(problem: &PiMb, inputs: &[PiInput]) -> Finding {
         match inputs[j] {
             PiInput::Separator => {
                 // Case 4: the tape is too short.
-                return Finding::Error1 { from: j - r, to: j - 1 };
+                return Finding::Error1 {
+                    from: j - r,
+                    to: j - 1,
+                };
             }
             PiInput::Tape {
                 content,
@@ -180,7 +172,10 @@ fn find_first_provable_error(problem: &PiMb, inputs: &[PiInput]) -> Finding {
                     let block_start = j - r;
                     for k in (block_start + 1)..j {
                         if let PiInput::Tape { head: true, .. } = inputs[k] {
-                            return Finding::Error5 { first: k, second: j };
+                            return Finding::Error5 {
+                                first: k,
+                                second: j,
+                            };
                         }
                     }
                 }
@@ -345,8 +340,16 @@ mod tests {
         assert!(
             violations.is_empty(),
             "solver output violates constraints at {violations:?}\ninputs: {}\noutputs: {}",
-            inputs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" "),
-            outputs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(" "),
+            inputs
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+            outputs
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
         );
         outputs
     }
@@ -356,13 +359,10 @@ mod tests {
         let p = problem();
         let inputs = p.good_input(Secret::B, 5).unwrap();
         let outputs = assert_solved(&p, &inputs);
-        assert!(outputs
-            .iter()
-            .zip(&inputs)
-            .all(|(o, i)| match i {
-                PiInput::Empty => *o == PiOutput::Empty,
-                _ => *o == PiOutput::Start(Secret::B),
-            }));
+        assert!(outputs.iter().zip(&inputs).all(|(o, i)| match i {
+            PiInput::Empty => *o == PiOutput::Empty,
+            _ => *o == PiOutput::Start(Secret::B),
+        }));
     }
 
     #[test]
@@ -411,7 +411,10 @@ mod tests {
         let outputs = assert_solved(&p, &inputs);
         // The chain ends exactly at the corrupted node with index B+1.
         assert!(matches!(outputs[corrupted_at], PiOutput::Error2(_, idx) if idx == b + 1));
-        assert!(matches!(outputs[corrupted_at - (b + 1)], PiOutput::Error2(_, 0)));
+        assert!(matches!(
+            outputs[corrupted_at - (b + 1)],
+            PiOutput::Error2(_, 0)
+        ));
         assert_eq!(outputs[corrupted_at + 1], PiOutput::Error);
     }
 
@@ -477,12 +480,15 @@ mod tests {
         let outputs = assert_solved(&p, &inputs);
         assert!(
             outputs.iter().any(|o| matches!(o, PiOutput::Error3))
-                || outputs.iter().any(|o| matches!(o, PiOutput::Error4(_, _, _))),
+                || outputs
+                    .iter()
+                    .any(|o| matches!(o, PiOutput::Error4(_, _, _))),
             "a state corruption is provable via Error3 or Error4: {outputs:?}"
         );
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // dense index tables
     fn wrong_transition_produces_error4_chain() {
         let p = problem();
         let b = p.tape_size();
@@ -500,7 +506,9 @@ mod tests {
             }
         }
         let outputs = assert_solved(&p, &inputs);
-        assert!(outputs.iter().any(|o| matches!(o, PiOutput::Error4(_, _, _))));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, PiOutput::Error4(_, _, _))));
     }
 
     #[test]
@@ -568,7 +576,9 @@ mod tests {
             });
         }
         let outputs = assert_solved(&p, &inputs);
-        assert!(outputs.iter().any(|o| matches!(o, PiOutput::Error4(_, _, _))));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, PiOutput::Error4(_, _, _))));
     }
 
     #[test]

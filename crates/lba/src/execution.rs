@@ -1,12 +1,11 @@
 //! Executing an LBA on its bounded tape: traces, halting and loop detection.
 
 use crate::machine::{Lba, LbaError, Move, StateId, TapeSymbol};
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// One configuration (the paper's `step_i = (state_i, tape_i, head_i)`).
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Config {
     /// The machine state.
     pub state: StateId,
@@ -236,9 +235,7 @@ mod tests {
             // The final tape is all ones between the markers.
             if let Outcome::Halted { trace } = out {
                 let last = trace.last().unwrap();
-                assert!(last.tape[1..tape - 1]
-                    .iter()
-                    .all(|&s| s == TapeSymbol::One));
+                assert!(last.tape[1..tape - 1].iter().all(|&s| s == TapeSymbol::One));
             }
         }
         assert!(m.halts(5).unwrap());

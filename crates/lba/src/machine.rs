@@ -1,12 +1,11 @@
 //! Machine descriptions: states, tape symbols, transition functions.
 
-use serde::{Deserialize, Serialize};
 use std::error::Error as StdError;
 use std::fmt;
 
 /// The tape alphabet `Γ` of the paper's LBAs: the integers 0 and 1 plus the
 /// boundary markers `L` and `R` (§3.1).
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum TapeSymbol {
     /// The integer 0.
     Zero,
@@ -60,7 +59,7 @@ impl fmt::Display for TapeSymbol {
 }
 
 /// Identifier of a machine state.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct StateId(pub u16);
 
 impl StateId {
@@ -77,7 +76,7 @@ impl fmt::Display for StateId {
 }
 
 /// Head movement of a transition: the paper's `{−, ←, →}`.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Move {
     /// `−`: the head stays.
     Stay,
@@ -100,7 +99,7 @@ impl fmt::Display for Move {
 
 /// One entry of the transition function:
 /// `δ(state, symbol) = (next_state, written_symbol, movement)`.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct Transition {
     /// The state the machine moves to.
     pub next_state: StateId,
@@ -160,7 +159,10 @@ impl fmt::Display for LbaError {
                 write!(f, "missing transition for ({state}, {symbol})")
             }
             LbaError::TapeTooSmall { tape } => {
-                write!(f, "tape of size {tape} is too small (need at least 3 cells)")
+                write!(
+                    f,
+                    "tape of size {tape} is too small (need at least 3 cells)"
+                )
             }
             LbaError::HeadOutOfBounds { step } => {
                 write!(f, "head moved off the tape at step {step}")
@@ -179,7 +181,7 @@ impl StdError for LbaError {}
 /// The transition function is total on `(Q \ {q_f}) × Γ`; the tape size `B`
 /// is supplied at execution time (the machine text itself does not depend on
 /// `B`, which is what makes the PSPACE-hardness reduction work).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Lba {
     name: String,
     state_names: Vec<String>,
@@ -376,7 +378,10 @@ mod tests {
 
     #[test]
     fn builder_requires_states_and_totality() {
-        assert_eq!(Lba::builder("empty").build().unwrap_err(), LbaError::NoStates);
+        assert_eq!(
+            Lba::builder("empty").build().unwrap_err(),
+            LbaError::NoStates
+        );
         let mut b = Lba::builder("partial");
         let q0 = b.state("q0");
         let qf = b.state("qf");
@@ -410,8 +415,12 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(LbaError::TapeTooSmall { tape: 2 }.to_string().contains("2"));
-        assert!(LbaError::BudgetExceeded { budget: 9 }.to_string().contains("9"));
-        assert!(LbaError::HeadOutOfBounds { step: 4 }.to_string().contains("4"));
+        assert!(LbaError::BudgetExceeded { budget: 9 }
+            .to_string()
+            .contains("9"));
+        assert!(LbaError::HeadOutOfBounds { step: 4 }
+            .to_string()
+            .contains("4"));
         fn assert_err<E: StdError + Send + Sync + 'static>() {}
         assert_err::<LbaError>();
     }

@@ -112,12 +112,20 @@ impl ActorSimulator {
                 let send_right = to_succ_tx[i].clone();
                 let send_left = to_pred_tx[i].clone();
                 let pred = if i == 0 {
-                    if is_cycle { Some(n - 1) } else { None }
+                    if is_cycle {
+                        Some(n - 1)
+                    } else {
+                        None
+                    }
                 } else {
                     Some(i - 1)
                 };
                 let succ = if i + 1 == n {
-                    if is_cycle { Some(0) } else { None }
+                    if is_cycle {
+                        Some(0)
+                    } else {
+                        None
+                    }
                 } else {
                     Some(i + 1)
                 };

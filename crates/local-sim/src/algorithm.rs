@@ -128,12 +128,9 @@ mod tests {
         let alg = FnAlgorithm::new("zero", |_| 2, |_: &BallView| OutLabel(0));
         let by_ref: &dyn LocalAlgorithm = &alg;
         assert_eq!(by_ref.radius(5), 2);
-        assert_eq!((&alg).name(), "zero");
-        let boxed: Box<dyn LocalAlgorithm> = Box::new(FnAlgorithm::new(
-            "one",
-            |n| n,
-            |_: &BallView| OutLabel(1),
-        ));
+        assert_eq!(alg.name(), "zero");
+        let boxed: Box<dyn LocalAlgorithm> =
+            Box::new(FnAlgorithm::new("one", |n| n, |_: &BallView| OutLabel(1)));
         assert_eq!(boxed.radius(7), 7);
         assert_eq!(boxed.compute(&dummy_view()), OutLabel(1));
         assert_eq!(boxed.name(), "one");

@@ -42,7 +42,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::IdSpaceTooSmall { nodes, space } => {
-                write!(f, "cannot assign {nodes} unique ids from a space of {space}")
+                write!(
+                    f,
+                    "cannot assign {nodes} unique ids from a space of {space}"
+                )
             }
             SimError::DuplicateIds => write!(f, "node identifiers are not unique"),
             SimError::LengthMismatch { expected, got } => {

@@ -128,7 +128,13 @@ mod tests {
         let c = locality_curve(&constant, &sizes);
         assert!(c.iter().all(|m| m.radius == 3));
         let l = locality_curve(&linear, &sizes);
-        assert_eq!(l[2], LocalityMeasurement { n: 256, radius: 256 });
+        assert_eq!(
+            l[2],
+            LocalityMeasurement {
+                n: 256,
+                radius: 256
+            }
+        );
     }
 
     fn two_coloring() -> NormalizedLcl {
@@ -169,9 +175,11 @@ mod tests {
     fn validation_accepts_correct_algorithm() {
         let p = two_coloring();
         // With sequential ids on an even cycle, colouring by id parity is valid.
-        let parity = FnAlgorithm::new("id-parity", |_| 0, |v: &BallView| {
-            OutLabel((v.center.0 % 2) as u16)
-        });
+        let parity = FnAlgorithm::new(
+            "id-parity",
+            |_| 0,
+            |v: &BallView| OutLabel((v.center.0 % 2) as u16),
+        );
         let nets = vec![Network::with_sequential_ids(Instance::from_indices(
             Topology::Cycle,
             &[0; 6],

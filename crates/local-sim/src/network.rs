@@ -56,10 +56,7 @@ impl Network {
                 let multiplier = multiplier.max(1);
                 let space = (n as u64).saturating_mul(multiplier);
                 if space < n as u64 {
-                    return Err(SimError::IdSpaceTooSmall {
-                        nodes: n,
-                        space,
-                    });
+                    return Err(SimError::IdSpaceTooSmall { nodes: n, space });
                 }
                 let mut pool: Vec<u64> = (1..=space).collect();
                 pool.shuffle(rng);
@@ -145,7 +142,7 @@ mod tests {
         .unwrap();
         let set: HashSet<u64> = net.ids().iter().copied().collect();
         assert_eq!(set.len(), 50);
-        assert!(net.ids().iter().all(|&id| id >= 1 && id <= 500));
+        assert!(net.ids().iter().all(|&id| (1..=500).contains(&id)));
     }
 
     #[test]
@@ -166,7 +163,10 @@ mod tests {
         let wrong_len = Network::new(instance(3), IdAssignment::Explicit(vec![1]), &mut rng);
         assert!(matches!(
             wrong_len.unwrap_err(),
-            SimError::LengthMismatch { expected: 3, got: 1 }
+            SimError::LengthMismatch {
+                expected: 3,
+                got: 1
+            }
         ));
     }
 

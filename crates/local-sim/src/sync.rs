@@ -191,7 +191,10 @@ mod tests {
             |v: &BallView| OutLabel(v.input_at(-1).map(|l| l.0).unwrap_or(9)),
         );
         let out = sim.run(&net, &alg).unwrap();
-        assert_eq!(out.outputs(), &[OutLabel(1), OutLabel(0), OutLabel(1), OutLabel(0)]);
+        assert_eq!(
+            out.outputs(),
+            &[OutLabel(1), OutLabel(0), OutLabel(1), OutLabel(0)]
+        );
     }
 
     #[test]

@@ -5,15 +5,14 @@
 //! two distinct newtypes — [`InLabel`] and [`OutLabel`] — so that input and
 //! output labels cannot be confused at compile time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An input label: an index into the input alphabet `Σ_in` of a problem.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct InLabel(pub u16);
 
 /// An output label: an index into the output alphabet `Σ_out` of a problem.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct OutLabel(pub u16);
 
 macro_rules! impl_label {
@@ -76,7 +75,7 @@ impl_label!(OutLabel);
 /// assert_eq!(sigma.index_of("b"), Some(1));
 /// assert_eq!(sigma.name(2), "c");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Alphabet {
     names: Vec<String>,
 }

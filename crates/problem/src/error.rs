@@ -31,6 +31,12 @@ pub enum ProblemError {
         /// Description of the unsupported request.
         what: String,
     },
+    /// A wire-format payload could not be parsed or interpreted
+    /// (malformed JSON, unknown version, out-of-range indices).
+    Wire {
+        /// Description of the wire-format problem.
+        what: String,
+    },
 }
 
 impl fmt::Display for ProblemError {
@@ -48,6 +54,7 @@ impl fmt::Display for ProblemError {
             ),
             ProblemError::Mismatch { what } => write!(f, "mismatch: {what}"),
             ProblemError::Unsupported { what } => write!(f, "unsupported: {what}"),
+            ProblemError::Wire { what } => write!(f, "wire format: {what}"),
         }
     }
 }

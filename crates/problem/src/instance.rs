@@ -1,7 +1,6 @@
 //! Concrete problem instances: input-labeled paths and cycles, and output labelings.
 
 use crate::{InLabel, OutLabel, ProblemError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The topology of an instance: a path with two endpoints, or a cycle.
@@ -11,7 +10,7 @@ use std::fmt;
 /// the indices wrap around. The undirected variants of the paper's results are
 /// obtained through the problem transformation of §3.7 rather than through a
 /// separate topology.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Topology {
     /// A directed path `p_0 → p_1 → … → p_{n-1}`.
     Path,
@@ -33,7 +32,7 @@ impl fmt::Display for Topology {
 /// The instance stores only the topology and the per-node input labels; node
 /// identifiers live in the LOCAL simulator (`lcl-local-sim`), because the
 /// validity of an output labeling never depends on identifiers.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Instance {
     topology: Topology,
     inputs: Vec<InLabel>,
@@ -174,7 +173,7 @@ impl Instance {
 }
 
 /// An output labeling: one output label per node, in node order.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Labeling {
     outputs: Vec<OutLabel>,
 }
@@ -327,7 +326,10 @@ mod tests {
         assert_eq!(l.len(), 4);
         assert_eq!(l.output(3), OutLabel(2));
         *l.output_mut(1) = OutLabel(0);
-        assert_eq!(l.outputs(), &[OutLabel(2), OutLabel(0), OutLabel(2), OutLabel(2)]);
+        assert_eq!(
+            l.outputs(),
+            &[OutLabel(2), OutLabel(0), OutLabel(2), OutLabel(2)]
+        );
         let collected: Labeling = vec![OutLabel(1), OutLabel(2)].into_iter().collect();
         assert_eq!(collected.len(), 2);
         let mut ext = Labeling::new(vec![]);

@@ -1,0 +1,552 @@
+//! A minimal, dependency-free JSON document model with an exact parser and
+//! compact writer.
+//!
+//! This is the wire substrate for [`crate::ProblemSpec`] and the serializable
+//! domain types. The build environment cannot fetch `serde`/`serde_json`, so
+//! the workspace ships its own small implementation; the subset implemented
+//! (null, booleans, 64-bit integers, strings with full escape handling,
+//! arrays, objects) is exactly what the LCL wire format needs, and integers
+//! are kept exact rather than routed through floating point.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+///
+/// Objects use a [`BTreeMap`] so that serialization is canonical: two equal
+/// documents always print to the same string, which the engine's cache keys
+/// and the round-trip tests rely on.
+#[derive(Clone, PartialEq, Debug)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer. The wire format never needs fractions; fractional input is
+    /// rejected by the parser with a clear error.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object with canonically ordered keys.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+/// Error produced when parsing or interpreting a JSON document.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JsonError {
+    /// Byte offset the error was detected at (0 for semantic errors).
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Builds an object from key/value pairs.
+    pub fn object<I: IntoIterator<Item = (&'static str, JsonValue)>>(pairs: I) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array of integers.
+    pub fn int_array<I: IntoIterator<Item = i64>>(values: I) -> JsonValue {
+        JsonValue::Array(values.into_iter().map(JsonValue::Int).collect())
+    }
+
+    /// Builds an array of strings.
+    pub fn str_array<I, S>(values: I) -> JsonValue
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        JsonValue::Array(
+            values
+                .into_iter()
+                .map(|s| JsonValue::Str(s.into()))
+                .collect(),
+        )
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Looks up a required field, with a descriptive error.
+    pub fn require(&self, key: &str) -> Result<&JsonValue, JsonError> {
+        self.get(key).ok_or_else(|| JsonError {
+            offset: 0,
+            message: format!("missing required field `{key}`"),
+        })
+    }
+
+    /// Interprets this value as an integer.
+    pub fn as_int(&self) -> Result<i64, JsonError> {
+        match self {
+            JsonValue::Int(v) => Ok(*v),
+            other => Err(type_error("integer", other)),
+        }
+    }
+
+    /// Interprets this value as a string.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            other => Err(type_error("string", other)),
+        }
+    }
+
+    /// Interprets this value as an array.
+    pub fn as_array(&self) -> Result<&[JsonValue], JsonError> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            other => Err(type_error("array", other)),
+        }
+    }
+
+    /// Serializes to a compact JSON string with canonical key order.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(v) => out.push_str(&v.to_string()),
+            JsonValue::Str(s) => write_string(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document, requiring the whole input to be consumed.
+    pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn type_error(expected: &str, got: &JsonValue) -> JsonError {
+    let kind = match got {
+        JsonValue::Null => "null",
+        JsonValue::Bool(_) => "boolean",
+        JsonValue::Int(_) => "integer",
+        JsonValue::Str(_) => "string",
+        JsonValue::Array(_) => "array",
+        JsonValue::Object(_) => "object",
+    };
+    JsonError {
+        offset: 0,
+        message: format!("expected {expected}, found {kind}"),
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error("document nests too deeply"));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(format!("unexpected character `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(self.error("fractional numbers are not part of the wire format"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits and minus are valid UTF-8");
+        let digits = text.strip_prefix('-').unwrap_or(text);
+        // RFC 8259: no leading zeros ("01" is invalid; "0" and "-0" are fine).
+        if digits.len() > 1 && digits.starts_with('0') {
+            return Err(self.error(format!("leading zero in number `{text}`")));
+        }
+        text.parse::<i64>()
+            .map(JsonValue::Int)
+            .map_err(|_| self.error(format!("invalid integer `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xd800..0xdc00).contains(&code) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    if !(0xdc00..0xe000).contains(&low) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                        }
+                        other => {
+                            return Err(self.error(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // RFC 8259: control characters must be escaped.
+                    if b < 0x20 {
+                        return Err(
+                            self.error(format!("unescaped control character 0x{b:02x} in string"))
+                        );
+                    }
+                    // Consume the full UTF-8 sequence starting at b.
+                    let char_start = self.pos - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.error("invalid UTF-8 in string"))?;
+                    self.pos = char_start + len;
+                    if self.pos > self.bytes.len() {
+                        return Err(self.error("truncated UTF-8 sequence"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[char_start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        let digits = &self.bytes[self.pos..self.pos + 4];
+        // from_str_radix would also accept a leading `+`; JSON requires pure
+        // hex digits.
+        if !digits.iter().all(u8::is_ascii_hexdigit) {
+            return Err(self.error("invalid unicode escape"));
+        }
+        let text = std::str::from_utf8(digits).expect("hex digits are UTF-8");
+        let code =
+            u32::from_str_radix(text, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut map = BTreeMap::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            if map.insert(key.clone(), value).is_some() {
+                // Last-one-wins would let a duplicate silently override an
+                // already-validated field; the wire format rejects it.
+                return Err(self.error(format!("duplicate object key `{key}`")));
+            }
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> Option<usize> {
+    match first_byte {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "-12", "9007199254740993"] {
+            let v = JsonValue::parse(text).unwrap();
+            assert_eq!(v.to_json_string(), text);
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_roundtrip() {
+        let original = JsonValue::Str("a\"b\\c\nd\te\u{1f600}π".to_string());
+        let text = original.to_json_string();
+        assert_eq!(JsonValue::parse(&text).unwrap(), original);
+        // Escapes and surrogate pairs parse.
+        let parsed = JsonValue::parse(r#""\u00e9\ud83d\ude00\/""#).unwrap();
+        assert_eq!(parsed, JsonValue::Str("é😀/".to_string()));
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let doc = JsonValue::object([
+            ("b", JsonValue::int_array([1, 2, 3])),
+            ("a", JsonValue::str_array(["x", "y"])),
+            (
+                "c",
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::Bool(true)]),
+            ),
+        ]);
+        let text = doc.to_json_string();
+        // Canonical key order regardless of insertion order.
+        assert_eq!(text, r#"{"a":["x","y"],"b":[1,2,3],"c":[null,true]}"#);
+        assert_eq!(JsonValue::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = JsonValue::parse(" { \"k\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("k").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "nul",
+            "[1,",
+            "{\"a\":}",
+            "\"unterminated",
+            "1.5",
+            "1e3",
+            "[1] trailing",
+            "{\"a\" 1}",
+            "\"\\q\"",
+            "--1",
+            r#""\u+0ab""#,
+            r#""\ud83d\u+e00""#,
+            r#"{"a":1,"a":2}"#,
+            "01",
+            "-01",
+            "\"raw\ncontrol\"",
+            "\"tab\there\"",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_capped() {
+        let mut text = String::new();
+        for _ in 0..200 {
+            text.push('[');
+        }
+        for _ in 0..200 {
+            text.push(']');
+        }
+        assert!(JsonValue::parse(&text).is_err());
+    }
+
+    #[test]
+    fn accessors_report_type_errors() {
+        let v = JsonValue::parse(r#"{"n":3,"s":"x"}"#).unwrap();
+        assert_eq!(v.require("n").unwrap().as_int().unwrap(), 3);
+        assert_eq!(v.require("s").unwrap().as_str().unwrap(), "x");
+        assert!(v.require("missing").is_err());
+        assert!(v.require("n").unwrap().as_str().is_err());
+        assert!(v.as_int().is_err());
+        let err = v.require("missing").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+    }
+}

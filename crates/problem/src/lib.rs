@@ -51,7 +51,9 @@
 mod alphabet;
 mod error;
 mod instance;
+pub mod json;
 mod normalized;
+mod spec;
 mod transform;
 mod verify;
 mod window;
@@ -60,10 +62,10 @@ pub use alphabet::{Alphabet, InLabel, OutLabel};
 pub use error::ProblemError;
 pub use instance::{Instance, Labeling, Topology};
 pub use normalized::{NormalizedLcl, NormalizedLclBuilder};
+pub use spec::{ProblemSpec, PROBLEM_SPEC_VERSION};
 pub use transform::{
     lift_path_instance, lift_path_to_cycle, product_output_with_input, project_lifted_labeling,
-    relabel_outputs, restrict_inputs, reverse_direction, ENDPOINT_LABEL_NAME,
-    ENDPOINT_OUTPUT_NAME,
+    relabel_outputs, restrict_inputs, reverse_direction, ENDPOINT_LABEL_NAME, ENDPOINT_OUTPUT_NAME,
 };
 pub use verify::{ConsistencyReport, Violation, ViolationKind};
 pub use window::{Window, WindowLcl, WindowLclBuilder};

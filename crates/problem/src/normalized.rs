@@ -15,14 +15,13 @@
 
 use crate::verify::{ConsistencyReport, Violation, ViolationKind};
 use crate::{Alphabet, InLabel, Instance, Labeling, OutLabel, ProblemError, Result, Topology};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A normalized LCL problem on consistently oriented paths and cycles.
 ///
 /// See the [module documentation](self) for the semantics. Instances of this
 /// type are immutable; use [`NormalizedLcl::builder`] to construct them.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct NormalizedLcl {
     name: String,
     input: Alphabet,
@@ -171,9 +170,7 @@ impl NormalizedLcl {
             }
             if let Some(p) = instance.predecessor(i) {
                 let pred_output = labeling.output(p);
-                if pred_output.index() < self.output.len()
-                    && !self.edge_ok(pred_output, output)
-                {
+                if pred_output.index() < self.output.len() && !self.edge_ok(pred_output, output) {
                     violations.push(Violation {
                         node: i,
                         kind: ViolationKind::EdgeConstraint {
@@ -238,6 +235,7 @@ impl NormalizedLcl {
     /// Used both by [`Self::solve_brute_force`] and by the classifier's
     /// synthesized algorithms when they fill in the "middle parts" between
     /// anchored blocks.
+    #[allow(clippy::needless_range_loop)] // DP over dense label indices
     pub fn solve_path_between(
         &self,
         instance: &Instance,
@@ -614,7 +612,10 @@ mod tests {
         let odd = Instance::from_indices(Topology::Cycle, &[0; 5]);
         let sol = p.solve_brute_force(&even).expect("even cycle 2-colorable");
         assert!(p.is_valid(&even, &sol));
-        assert!(p.solve_brute_force(&odd).is_none(), "odd cycle not 2-colorable");
+        assert!(
+            p.solve_brute_force(&odd).is_none(),
+            "odd cycle not 2-colorable"
+        );
     }
 
     #[test]
@@ -641,8 +642,6 @@ mod tests {
         assert!(p.edge_ok(OutLabel(0), sol.output(0)));
         assert!(p.edge_ok(sol.output(2), OutLabel(0)));
         // Degenerate interval.
-        assert!(p
-            .solve_path_between(&inst, 3, 1, None, None)
-            .is_none());
+        assert!(p.solve_path_between(&inst, 3, 1, None, None).is_none());
     }
 }

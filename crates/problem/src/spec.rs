@@ -1,0 +1,525 @@
+//! The versioned wire format for problems and instances, and canonical
+//! problem hashing.
+//!
+//! [`ProblemSpec`] is the service-boundary representation of a
+//! [`NormalizedLcl`]: a flat, versioned description (alphabets as name lists,
+//! constraints as explicit index pairs) that serializes to canonical JSON and
+//! round-trips losslessly. The spec exists so that problems can cross process
+//! boundaries — request payloads, corpus files, cache manifests — without
+//! exposing the in-memory table layout, and the `version` field lets future
+//! revisions evolve the format without breaking old payloads.
+//!
+//! [`NormalizedLcl::structural_key`] is the exact byte encoding of the fields
+//! that determine a problem's complexity (alphabet sizes and constraint
+//! tables) — it deliberately ignores display-only data (the problem name and
+//! label names), so renamed copies of the same problem share cache entries in
+//! the classifier engine, which keys its memo cache by this exact key.
+//! [`NormalizedLcl::canonical_hash`] is the compact 64-bit digest of the same
+//! bytes, used where a fixed-width fingerprint is wanted (wire verdicts,
+//! logs); being a digest it can collide, so it is not used as a cache key.
+
+use crate::json::{JsonError, JsonValue};
+use crate::{
+    Alphabet, InLabel, Instance, Labeling, NormalizedLcl, OutLabel, ProblemError, Result, Topology,
+};
+
+/// The current [`ProblemSpec`] wire-format version.
+pub const PROBLEM_SPEC_VERSION: i64 = 1;
+
+/// A flat, versioned, serializable description of a [`NormalizedLcl`].
+///
+/// # Example
+///
+/// ```
+/// use lcl_problem::{NormalizedLcl, ProblemSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NormalizedLcl::builder("copy");
+/// b.input_labels(&["a"]);
+/// b.output_labels(&["a"]);
+/// b.allow_all_node_pairs();
+/// b.allow_all_edge_pairs();
+/// let problem = b.build()?;
+///
+/// let json = ProblemSpec::from_problem(&problem).to_json_string();
+/// let back = ProblemSpec::from_json_str(&json)?.to_problem()?;
+/// assert_eq!(back, problem);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProblemSpec {
+    /// Wire-format version; currently always [`PROBLEM_SPEC_VERSION`].
+    pub version: i64,
+    /// Human-readable problem name.
+    pub name: String,
+    /// Input alphabet names, in index order.
+    pub input_labels: Vec<String>,
+    /// Output alphabet names, in index order.
+    pub output_labels: Vec<String>,
+    /// Allowed `(input, output)` node pairs, as label indices.
+    pub node_pairs: Vec<(u16, u16)>,
+    /// Allowed `(pred, succ)` edge pairs, as output label indices.
+    pub edge_pairs: Vec<(u16, u16)>,
+}
+
+impl ProblemSpec {
+    /// Extracts the spec of a problem. Lossless: `spec.to_problem()` rebuilds
+    /// an equal [`NormalizedLcl`].
+    pub fn from_problem(problem: &NormalizedLcl) -> Self {
+        ProblemSpec {
+            version: PROBLEM_SPEC_VERSION,
+            name: problem.name().to_string(),
+            input_labels: problem.input_alphabet().names().to_vec(),
+            output_labels: problem.output_alphabet().names().to_vec(),
+            node_pairs: problem.allowed_node_pairs().collect(),
+            edge_pairs: problem.allowed_edge_pairs().collect(),
+        }
+    }
+
+    /// Builds the in-memory problem this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec's version is unknown, an alphabet is
+    /// empty, or a constraint pair references a label outside its alphabet.
+    pub fn to_problem(&self) -> Result<NormalizedLcl> {
+        if self.version != PROBLEM_SPEC_VERSION {
+            return Err(ProblemError::Wire {
+                what: format!(
+                    "unsupported problem spec version {} (supported: {PROBLEM_SPEC_VERSION})",
+                    self.version
+                ),
+            });
+        }
+        let mut builder = NormalizedLcl::builder(self.name.clone());
+        builder.input_alphabet(Alphabet::new(self.input_labels.iter().cloned()));
+        builder.output_alphabet(Alphabet::new(self.output_labels.iter().cloned()));
+        for &(i, o) in &self.node_pairs {
+            builder.allow_node_idx(i, o);
+        }
+        for &(p, q) in &self.edge_pairs {
+            builder.allow_edge_idx(p, q);
+        }
+        builder.build()
+    }
+
+    /// Serializes to a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("version", JsonValue::Int(self.version)),
+            ("name", JsonValue::Str(self.name.clone())),
+            (
+                "input_labels",
+                JsonValue::str_array(self.input_labels.iter().cloned()),
+            ),
+            (
+                "output_labels",
+                JsonValue::str_array(self.output_labels.iter().cloned()),
+            ),
+            ("node_pairs", pairs_to_json(&self.node_pairs)),
+            ("edge_pairs", pairs_to_json(&self.edge_pairs)),
+        ])
+    }
+
+    /// Serializes to a compact JSON string with canonical field order.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// Reads a spec back from a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on missing fields, wrong types, or out-of-range label
+    /// indices.
+    pub fn from_json(value: &JsonValue) -> Result<Self> {
+        let version = value.require("version")?.as_int().map_err(wire)?;
+        let name = value.require("name")?.as_str().map_err(wire)?.to_string();
+        let input_labels = string_list(value.require("input_labels")?)?;
+        let output_labels = string_list(value.require("output_labels")?)?;
+        let node_pairs = pairs_from_json(value.require("node_pairs")?)?;
+        let edge_pairs = pairs_from_json(value.require("edge_pairs")?)?;
+        Ok(ProblemSpec {
+            version,
+            name,
+            input_labels,
+            output_labels,
+            node_pairs,
+            edge_pairs,
+        })
+    }
+
+    /// Parses a spec from its JSON string form.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProblemSpec::from_json`]; additionally reports JSON syntax errors.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        Self::from_json(&JsonValue::parse(text).map_err(wire)?)
+    }
+}
+
+fn wire(e: JsonError) -> ProblemError {
+    ProblemError::Wire {
+        what: e.to_string(),
+    }
+}
+
+impl From<JsonError> for ProblemError {
+    fn from(e: JsonError) -> Self {
+        wire(e)
+    }
+}
+
+fn pairs_to_json(pairs: &[(u16, u16)]) -> JsonValue {
+    JsonValue::Array(
+        pairs
+            .iter()
+            .map(|&(a, b)| JsonValue::int_array([i64::from(a), i64::from(b)]))
+            .collect(),
+    )
+}
+
+fn pairs_from_json(value: &JsonValue) -> Result<Vec<(u16, u16)>> {
+    let mut out = Vec::new();
+    for item in value.as_array().map_err(wire)? {
+        let pair = item.as_array().map_err(wire)?;
+        if pair.len() != 2 {
+            return Err(ProblemError::Wire {
+                what: format!("constraint pair has {} entries, expected 2", pair.len()),
+            });
+        }
+        let a = int_as_u16(pair[0].as_int().map_err(wire)?)?;
+        let b = int_as_u16(pair[1].as_int().map_err(wire)?)?;
+        out.push((a, b));
+    }
+    Ok(out)
+}
+
+fn int_as_u16(v: i64) -> Result<u16> {
+    u16::try_from(v).map_err(|_| ProblemError::Wire {
+        what: format!("label index {v} does not fit in u16"),
+    })
+}
+
+fn string_list(value: &JsonValue) -> Result<Vec<String>> {
+    value
+        .as_array()
+        .map_err(wire)?
+        .iter()
+        .map(|v| Ok(v.as_str().map_err(wire)?.to_string()))
+        .collect()
+}
+
+impl NormalizedLcl {
+    /// Iterates over the allowed `(input, output)` node pairs, in row-major
+    /// index order.
+    pub fn allowed_node_pairs(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
+        (0..self.num_inputs()).flat_map(move |i| {
+            (0..self.num_outputs()).filter_map(move |o| {
+                self.node_ok(InLabel::from_index(i), OutLabel::from_index(o))
+                    .then_some((i as u16, o as u16))
+            })
+        })
+    }
+
+    /// Iterates over the allowed `(pred, succ)` edge pairs, in row-major
+    /// index order.
+    pub fn allowed_edge_pairs(&self) -> impl Iterator<Item = (u16, u16)> + '_ {
+        (0..self.num_outputs()).flat_map(move |p| {
+            (0..self.num_outputs()).filter_map(move |q| {
+                self.edge_ok(OutLabel::from_index(p), OutLabel::from_index(q))
+                    .then_some((p as u16, q as u16))
+            })
+        })
+    }
+
+    /// Extracts the problem's wire spec. Shorthand for
+    /// [`ProblemSpec::from_problem`].
+    pub fn to_spec(&self) -> ProblemSpec {
+        ProblemSpec::from_problem(self)
+    }
+
+    /// Serializes the problem to its canonical JSON wire form.
+    pub fn to_json_string(&self) -> String {
+        self.to_spec().to_json_string()
+    }
+
+    /// Parses a problem from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProblemSpec::from_json_str`] and [`ProblemSpec::to_problem`].
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        ProblemSpec::from_json_str(text)?.to_problem()
+    }
+
+    /// The exact byte encoding of the problem's structure: the alphabet sizes
+    /// followed by the bit-packed node and edge constraint tables.
+    ///
+    /// Two problems have equal keys exactly when they have the same alphabet
+    /// sizes and identical constraint tables; the name and label names do not
+    /// participate, because they never influence the complexity
+    /// classification. The layout is fixed (sizes, then the row-major node
+    /// table, then the row-major edge table), so keys are stable across
+    /// processes. The classifier engine uses this as its collision-free memo
+    /// key; [`Self::canonical_hash`] is the compact 64-bit digest of the same
+    /// bytes.
+    pub fn structural_key(&self) -> Vec<u8> {
+        let alpha = self.num_inputs();
+        let beta = self.num_outputs();
+        let table_bits = alpha * beta + beta * beta;
+        let mut key = Vec::with_capacity(16 + table_bits.div_ceil(8));
+        key.extend_from_slice(&(alpha as u64).to_le_bytes());
+        key.extend_from_slice(&(beta as u64).to_le_bytes());
+        // Pack the boolean tables into bits so the key is layout-independent.
+        let mut acc: u8 = 0;
+        let mut bits = 0u32;
+        let node = (0..alpha).flat_map(|i| {
+            (0..beta).map(move |o| (InLabel::from_index(i), OutLabel::from_index(o)))
+        });
+        for (i, o) in node {
+            acc = (acc << 1) | u8::from(self.node_ok(i, o));
+            bits += 1;
+            if bits == 8 {
+                key.push(acc);
+                acc = 0;
+                bits = 0;
+            }
+        }
+        let edge = (0..beta).flat_map(|p| {
+            (0..beta).map(move |q| (OutLabel::from_index(p), OutLabel::from_index(q)))
+        });
+        for (p, q) in edge {
+            acc = (acc << 1) | u8::from(self.edge_ok(p, q));
+            bits += 1;
+            if bits == 8 {
+                key.push(acc);
+                acc = 0;
+                bits = 0;
+            }
+        }
+        if bits > 0 {
+            key.push(acc << (8 - bits));
+        }
+        key
+    }
+
+    /// A 64-bit structural fingerprint of the problem: FNV-1a over
+    /// [`Self::structural_key`].
+    ///
+    /// The name and label names do not participate (see `structural_key`).
+    /// Being a 64-bit digest this can collide; use `structural_key` where an
+    /// exact identity is required (the engine's memo cache does).
+    pub fn canonical_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.structural_key() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        hash
+    }
+}
+
+impl Instance {
+    /// Serializes the instance to a JSON document:
+    /// `{"topology":"cycle","inputs":[0,1,…]}`.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("topology", JsonValue::Str(self.topology().to_string())),
+            (
+                "inputs",
+                JsonValue::int_array(self.inputs().iter().map(|l| i64::from(l.0))),
+            ),
+        ])
+    }
+
+    /// Serializes the instance to its JSON wire form.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// Reads an instance back from a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an unknown topology or label indices that do not
+    /// fit in `u16`.
+    pub fn from_json(value: &JsonValue) -> Result<Self> {
+        let topology = match value.require("topology")?.as_str().map_err(wire)? {
+            "path" => Topology::Path,
+            "cycle" => Topology::Cycle,
+            other => {
+                return Err(ProblemError::Wire {
+                    what: format!("unknown topology `{other}`"),
+                })
+            }
+        };
+        let mut inputs = Vec::new();
+        for v in value.require("inputs")?.as_array().map_err(wire)? {
+            inputs.push(InLabel(int_as_u16(v.as_int().map_err(wire)?)?));
+        }
+        Ok(match topology {
+            Topology::Path => Instance::path(inputs),
+            Topology::Cycle => Instance::cycle(inputs),
+        })
+    }
+
+    /// Parses an instance from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// See [`Instance::from_json`]; additionally reports JSON syntax errors.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        Self::from_json(&JsonValue::parse(text).map_err(wire)?)
+    }
+}
+
+impl Labeling {
+    /// Serializes the labeling to its JSON wire form: `{"outputs":[…]}`.
+    pub fn to_json_string(&self) -> String {
+        JsonValue::object([(
+            "outputs",
+            JsonValue::int_array(self.outputs().iter().map(|l| i64::from(l.0))),
+        )])
+        .to_json_string()
+    }
+
+    /// Parses a labeling from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed JSON or out-of-range label indices.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        let value = JsonValue::parse(text).map_err(wire)?;
+        let mut outputs = Vec::new();
+        for v in value.require("outputs")?.as_array().map_err(wire)? {
+            outputs.push(OutLabel(int_as_u16(v.as_int().map_err(wire)?)?));
+        }
+        Ok(Labeling::new(outputs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_coloring() -> NormalizedLcl {
+        let mut b = NormalizedLcl::builder("3-coloring");
+        b.input_labels(&["x"]);
+        b.output_labels(&["1", "2", "3"]);
+        b.allow_all_node_pairs();
+        for p in 0..3u16 {
+            for q in 0..3u16 {
+                if p != q {
+                    b.allow_edge_idx(p, q);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let p = three_coloring();
+        let spec = p.to_spec();
+        assert_eq!(spec.version, PROBLEM_SPEC_VERSION);
+        assert_eq!(spec.node_pairs.len(), 3);
+        assert_eq!(spec.edge_pairs.len(), 6);
+        let text = spec.to_json_string();
+        let back = ProblemSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, spec);
+        let rebuilt = back.to_problem().unwrap();
+        assert_eq!(rebuilt, p);
+        assert_eq!(
+            NormalizedLcl::from_json_str(&p.to_json_string()).unwrap(),
+            p
+        );
+    }
+
+    #[test]
+    fn canonical_hash_ignores_names_but_not_structure() {
+        let p = three_coloring();
+        let mut renamed = NormalizedLcl::builder("same-problem-other-name");
+        renamed.input_labels(&["in"]);
+        renamed.output_labels(&["r", "g", "b"]);
+        renamed.allow_all_node_pairs();
+        for q in 0..3u16 {
+            for r in 0..3u16 {
+                if q != r {
+                    renamed.allow_edge_idx(q, r);
+                }
+            }
+        }
+        let renamed = renamed.build().unwrap();
+        assert_eq!(p.canonical_hash(), renamed.canonical_hash());
+
+        let mut different = NormalizedLcl::builder("3-coloring");
+        different.input_labels(&["x"]);
+        different.output_labels(&["1", "2", "3"]);
+        different.allow_all_node_pairs();
+        different.allow_all_edge_pairs();
+        let different = different.build().unwrap();
+        assert_ne!(p.canonical_hash(), different.canonical_hash());
+    }
+
+    #[test]
+    fn hash_is_stable_across_serialization() {
+        let p = three_coloring();
+        let back = NormalizedLcl::from_json_str(&p.to_json_string()).unwrap();
+        assert_eq!(p.canonical_hash(), back.canonical_hash());
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut spec = three_coloring().to_spec();
+        spec.version = 999;
+        assert!(matches!(spec.to_problem(), Err(ProblemError::Wire { .. })));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(ProblemSpec::from_json_str("{").is_err());
+        assert!(ProblemSpec::from_json_str("{}").is_err());
+        assert!(ProblemSpec::from_json_str(
+            r#"{"version":1,"name":"x","input_labels":["a"],"output_labels":["o"],"node_pairs":[[0]],"edge_pairs":[]}"#
+        )
+        .is_err());
+        assert!(ProblemSpec::from_json_str(
+            r#"{"version":1,"name":"x","input_labels":["a"],"output_labels":["o"],"node_pairs":[[0,70000]],"edge_pairs":[]}"#
+        )
+        .is_err());
+        // Out-of-alphabet pair: caught at build time.
+        let spec = ProblemSpec {
+            version: PROBLEM_SPEC_VERSION,
+            name: "bad".into(),
+            input_labels: vec!["a".into()],
+            output_labels: vec!["o".into()],
+            node_pairs: vec![(0, 5)],
+            edge_pairs: vec![],
+        };
+        assert!(spec.to_problem().is_err());
+    }
+
+    #[test]
+    fn instance_and_labeling_roundtrip() {
+        let inst = Instance::from_indices(Topology::Cycle, &[0, 2, 1]);
+        let back = Instance::from_json_str(&inst.to_json_string()).unwrap();
+        assert_eq!(back, inst);
+        let path = Instance::from_indices(Topology::Path, &[1, 0]);
+        assert_eq!(
+            Instance::from_json_str(&path.to_json_string()).unwrap(),
+            path
+        );
+        assert!(Instance::from_json_str(r#"{"topology":"star","inputs":[]}"#).is_err());
+
+        let labeling = Labeling::from_indices(&[2, 0, 1]);
+        assert_eq!(
+            Labeling::from_json_str(&labeling.to_json_string()).unwrap(),
+            labeling
+        );
+    }
+}

@@ -41,12 +41,20 @@ pub const ENDPOINT_OUTPUT_NAME: &str = "$end";
 /// Returns an error if the original problem already uses the reserved label
 /// names.
 pub fn lift_path_to_cycle(problem: &NormalizedLcl) -> Result<NormalizedLcl> {
-    if problem.input_alphabet().index_of(ENDPOINT_LABEL_NAME).is_some() {
+    if problem
+        .input_alphabet()
+        .index_of(ENDPOINT_LABEL_NAME)
+        .is_some()
+    {
         return Err(ProblemError::unsupported(format!(
             "input alphabet already contains reserved label {ENDPOINT_LABEL_NAME}"
         )));
     }
-    if problem.output_alphabet().index_of(ENDPOINT_OUTPUT_NAME).is_some() {
+    if problem
+        .output_alphabet()
+        .index_of(ENDPOINT_OUTPUT_NAME)
+        .is_some()
+    {
         return Err(ProblemError::unsupported(format!(
             "output alphabet already contains reserved label {ENDPOINT_OUTPUT_NAME}"
         )));
@@ -231,6 +239,7 @@ pub fn restrict_inputs(problem: &NormalizedLcl, keep: &[InLabel]) -> Result<Norm
 ///
 /// Returns an error if `map` has the wrong length or `new_output_names` is
 /// empty.
+#[allow(clippy::needless_range_loop)] // dense index tables
 pub fn relabel_outputs(
     problem: &NormalizedLcl,
     map: &[usize],

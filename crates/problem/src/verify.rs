@@ -1,11 +1,10 @@
 //! Verifier output: structured reports of constraint violations.
 
 use crate::{InLabel, OutLabel};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What kind of constraint a node violated.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 #[non_exhaustive]
 pub enum ViolationKind {
     /// The `(input, output)` pair of the node is not in `C_in-out`.
@@ -67,7 +66,7 @@ impl fmt::Display for ViolationKind {
 }
 
 /// One violated constraint at one node.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Violation {
     /// Index of the node at which the violation was detected.
     pub node: usize,
@@ -83,7 +82,7 @@ impl fmt::Display for Violation {
 
 /// Outcome of verifying a labeling against a problem: the (possibly empty)
 /// list of violations found.
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct ConsistencyReport {
     violations: Vec<Violation>,
 }

@@ -19,14 +19,13 @@ use crate::verify::{ConsistencyReport, Violation, ViolationKind};
 use crate::{
     Alphabet, InLabel, Instance, Labeling, NormalizedLcl, OutLabel, ProblemError, Result, Topology,
 };
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// A radius-`r` window: the `(input, output)` pairs of the nodes
 /// `v_{i-r}, …, v_{i+r}` around a centre node `v_i`, clipped at path
 /// endpoints.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Window {
     /// Offset of the centre node within `cells` (equals `r` for interior
     /// nodes, less near the start of a path).
@@ -85,7 +84,7 @@ impl fmt::Display for Window {
 
 /// An LCL problem of checkability radius `r ≥ 1` on directed paths and cycles,
 /// given by its finite set of allowed windows.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WindowLcl {
     name: String,
     input: Alphabet,
@@ -148,12 +147,12 @@ impl WindowLcl {
                 // On very short cycles the window wraps onto itself; we cap the
                 // window length at n and keep the centre position consistent.
                 let mut cells = Vec::with_capacity(take);
-                let mut i = if n >= 2 * r + 1 { (node + n - r) % n } else { start };
+                let mut i = if n > 2 * r { (node + n - r) % n } else { start };
                 for _ in 0..take {
                     cells.push((instance.input(i), labeling.output(i)));
                     i = (i + 1) % n;
                 }
-                let center = if n >= 2 * r + 1 { r } else { node.min(take - 1) };
+                let center = if n > 2 * r { r } else { node.min(take - 1) };
                 Window::new(center, cells)
             }
             Topology::Path => {
@@ -221,11 +220,7 @@ impl WindowLcl {
     /// problem would have an empty output alphabet).
     pub fn to_normalized(&self) -> Result<NormalizedLcl> {
         let r = self.radius;
-        let mut full: Vec<&Window> = self
-            .allowed
-            .iter()
-            .filter(|w| w.is_full(r))
-            .collect();
+        let mut full: Vec<&Window> = self.allowed.iter().filter(|w| w.is_full(r)).collect();
         if full.is_empty() {
             return Err(ProblemError::unsupported(
                 "window LCL allows no full window; cannot normalize",
@@ -464,22 +459,21 @@ mod tests {
         let mut b = WindowLcl::builder("2-coloring-window", 1);
         b.input_labels(&["x"]);
         b.output_labels(&["1", "2"]);
-        b.allow_full_windows_by(|cells| {
-            cells[0].1 != cells[1].1 && cells[1].1 != cells[2].1
-        });
-        b.allow_boundary_windows_by(|_, cells| {
-            cells.windows(2).all(|w| w[0].1 != w[1].1)
-        });
+        b.allow_full_windows_by(|cells| cells[0].1 != cells[1].1 && cells[1].1 != cells[2].1);
+        b.allow_boundary_windows_by(|_, cells| cells.windows(2).all(|w| w[0].1 != w[1].1));
         b.build().unwrap()
     }
 
     #[test]
     fn window_accessors() {
-        let w = Window::new(1, vec![
-            (InLabel(0), OutLabel(0)),
-            (InLabel(0), OutLabel(1)),
-            (InLabel(0), OutLabel(0)),
-        ]);
+        let w = Window::new(
+            1,
+            vec![
+                (InLabel(0), OutLabel(0)),
+                (InLabel(0), OutLabel(1)),
+                (InLabel(0), OutLabel(0)),
+            ],
+        );
         assert_eq!(w.center_cell(), (InLabel(0), OutLabel(1)));
         assert_eq!(w.len(), 3);
         assert!(!w.is_empty());

@@ -201,7 +201,11 @@ pub fn pi_mb_for(machine_name: &str, tape_size: usize) -> PiMb {
 /// Convenience: a good input (paper Definition 1) for a halting machine, or a
 /// long prefix-like corrupted-free input for looping machines (which have no
 /// good input).
-pub fn pi_mb_good_input(problem: &PiMb, secret: Secret, padding: usize) -> Option<Vec<lcl_hardness::PiInput>> {
+pub fn pi_mb_good_input(
+    problem: &PiMb,
+    secret: Secret,
+    padding: usize,
+) -> Option<Vec<lcl_hardness::PiInput>> {
     problem.good_input(secret, padding)
 }
 

@@ -51,7 +51,7 @@ pub use periodicity::{
 pub use pumping::{pump_decomposition, pump_exponent, PumpDecomposition, PumpExponent};
 pub use relation::OutRelation;
 pub use semigroup::{LengthProfile, TypeId, TypeSemigroup};
-pub use transfer::TransferSystem;
+pub use transfer::{word_from_indices, TransferSystem};
 pub use tripartition::{tripartition, Tripartition};
 
 /// Convenience result alias for this crate.

@@ -62,6 +62,7 @@ impl NaiveTypeEngine {
     /// # Panics
     ///
     /// Panics if the assignment length does not match the boundary size.
+    #[allow(clippy::needless_range_loop)] // dense index tables
     pub fn extendible(&self, word: &[InLabel], assignment: &[OutLabel]) -> bool {
         let len = word.len();
         let boundary = Self::boundary_nodes(len);
@@ -175,6 +176,7 @@ mod tests {
 
     /// Exhaustive reference implementation of extendability: enumerate every
     /// complete labeling and check the paper's condition directly.
+    #[allow(clippy::needless_range_loop)] // dense index tables
     fn extendible_reference(
         problem: &NormalizedLcl,
         word: &[InLabel],

@@ -38,7 +38,7 @@ pub fn is_primitive(word: &[InLabel]) -> bool {
     let p = smallest_period(word);
     // A word is a proper power iff its smallest period divides its length and
     // is strictly shorter.
-    p == word.len() || word.len() % p != 0
+    p == word.len() || !word.len().is_multiple_of(p)
 }
 
 /// The primitive root of a word: the shortest `x` such that `w = x^k`.
@@ -48,7 +48,7 @@ pub fn is_primitive(word: &[InLabel]) -> bool {
 /// Panics if the word is empty.
 pub fn primitive_root(word: &[InLabel]) -> &[InLabel] {
     let p = smallest_period(word);
-    if word.len() % p == 0 {
+    if word.len().is_multiple_of(p) {
         &word[..p]
     } else {
         word

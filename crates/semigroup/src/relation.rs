@@ -2,7 +2,6 @@
 
 use crate::{Result, SemigroupError};
 use lcl_problem::OutLabel;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A boolean relation over `Σ_out × Σ_out`, stored row-major as bitsets.
@@ -15,7 +14,7 @@ use std::fmt;
 /// multiplication* ([`OutRelation::compose`]); the semigroup operation on
 /// transfer relations interleaves the problem's edge relation between the two
 /// operands and lives in [`crate::TransferSystem::join`].
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct OutRelation {
     n: usize,
     words_per_row: usize,
@@ -129,8 +128,8 @@ impl OutRelation {
         }
         let mut result = OutRelation::empty(self.n);
         for i in 0..self.n {
-            let out_row = &mut result.bits
-                [i * result.words_per_row..(i + 1) * result.words_per_row];
+            let out_row =
+                &mut result.bits[i * result.words_per_row..(i + 1) * result.words_per_row];
             for k in 0..self.n {
                 if self.get(i, k) {
                     let other_row =

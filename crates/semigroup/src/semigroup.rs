@@ -104,12 +104,12 @@ impl TypeSemigroup {
         let mut witness: Vec<Vec<InLabel>> = Vec::new();
         let mut queue: VecDeque<TypeId> = VecDeque::new();
 
-        let mut intern = |rel: OutRelation,
-                          wit: Vec<InLabel>,
-                          elements: &mut Vec<OutRelation>,
-                          index: &mut HashMap<OutRelation, TypeId>,
-                          witness: &mut Vec<Vec<InLabel>>,
-                          queue: &mut VecDeque<TypeId>|
+        let intern = |rel: OutRelation,
+                      wit: Vec<InLabel>,
+                      elements: &mut Vec<OutRelation>,
+                      index: &mut HashMap<OutRelation, TypeId>,
+                      witness: &mut Vec<Vec<InLabel>>,
+                      queue: &mut VecDeque<TypeId>|
          -> Result<TypeId> {
             if let Some(&id) = index.get(&rel) {
                 return Ok(id);
@@ -185,6 +185,7 @@ impl TypeSemigroup {
         })
     }
 
+    #[allow(clippy::needless_range_loop)] // dense index tables
     fn compute_profile(
         system: &TransferSystem,
         index: &HashMap<OutRelation, TypeId>,
@@ -381,7 +382,10 @@ mod tests {
         let odd = sg.type_of_word(&word_from_indices(&[0])).unwrap();
         let even = sg.type_of_word(&word_from_indices(&[0, 0])).unwrap();
         assert_ne!(odd, even);
-        assert_eq!(sg.type_of_word(&word_from_indices(&[0, 0, 0])).unwrap(), odd);
+        assert_eq!(
+            sg.type_of_word(&word_from_indices(&[0, 0, 0])).unwrap(),
+            odd
+        );
         assert_eq!(sg.join(odd, odd).unwrap(), even);
         assert_eq!(sg.power(odd, 4).unwrap(), even);
         assert_eq!(sg.power(odd, 5).unwrap(), odd);
@@ -471,9 +475,7 @@ mod tests {
         let sg = TypeSemigroup::compute(&ts, 1000).unwrap();
         assert!(sg.type_of_word(&[]).is_err());
         assert!(sg.type_of_word(&[InLabel(3)]).is_err());
-        assert!(sg
-            .type_of_word(&[InLabel(0), InLabel(3)])
-            .is_err());
+        assert!(sg.type_of_word(&[InLabel(0), InLabel(3)]).is_err());
     }
 
     #[test]

@@ -215,6 +215,7 @@ impl TransferSystem {
     ///
     /// Returns [`SemigroupError::EmptyWord`] for the empty word or an error if
     /// the word contains unknown labels.
+    #[allow(clippy::needless_range_loop)] // dense index tables
     pub fn periodic_labeling(&self, word: &[InLabel]) -> Result<Option<Vec<OutLabel>>> {
         if word.is_empty() {
             return Err(SemigroupError::EmptyWord);
@@ -329,8 +330,7 @@ mod tests {
                     // brute force: enumerate all labelings
                     let mut found = false;
                     for code in 0..(2u32.pow(len as u32)) {
-                        let labels: Vec<u16> =
-                            (0..len).map(|i| ((code >> i) & 1) as u16).collect();
+                        let labels: Vec<u16> = (0..len).map(|i| ((code >> i) & 1) as u16).collect();
                         if labels[0] != a || labels[len - 1] != b {
                             continue;
                         }
@@ -373,9 +373,7 @@ mod tests {
         let ts = TransferSystem::new(&p);
         let w = word_from_indices(&[0, 0, 0]);
         let r = ts.relation_of_word(&w).unwrap();
-        let direct = ts
-            .relation_of_word(&vec![InLabel(0); 12])
-            .unwrap();
+        let direct = ts.relation_of_word(&[InLabel(0); 12]).unwrap();
         let powered = ts.power(&r, 4).unwrap();
         assert_eq!(direct, powered);
         assert!(ts.power(&r, 0).is_err());
@@ -385,16 +383,14 @@ mod tests {
     fn cycle_and_path_solvability() {
         let p = two_coloring();
         let ts = TransferSystem::new(&p);
-        assert!(ts.path_solvable(&vec![InLabel(0); 5]).unwrap());
-        assert!(ts.cycle_solvable(&vec![InLabel(0); 6]).unwrap());
-        assert!(!ts.cycle_solvable(&vec![InLabel(0); 7]).unwrap());
+        assert!(ts.path_solvable(&[InLabel(0); 5]).unwrap());
+        assert!(ts.cycle_solvable(&[InLabel(0); 6]).unwrap());
+        assert!(!ts.cycle_solvable(&[InLabel(0); 7]).unwrap());
         let even = Instance::from_indices(Topology::Cycle, &[0; 4]);
         let odd = Instance::from_indices(Topology::Cycle, &[0; 3]);
         assert!(ts.instance_solvable(&even).unwrap());
         assert!(!ts.instance_solvable(&odd).unwrap());
-        assert!(ts
-            .instance_solvable(&Instance::cycle(vec![]))
-            .unwrap());
+        assert!(ts.instance_solvable(&Instance::cycle(vec![])).unwrap());
     }
 
     #[test]

@@ -113,13 +113,12 @@ mod tests {
         for len in 1..30 {
             for r in 1..4 {
                 let t = tripartition(len, r);
-                let mut all: Vec<usize> = t
-                    .d1
-                    .iter()
-                    .chain(t.d2.iter())
-                    .chain(t.d3.iter())
-                    .copied()
-                    .collect();
+                let mut all: Vec<usize> =
+                    t.d1.iter()
+                        .chain(t.d2.iter())
+                        .chain(t.d3.iter())
+                        .copied()
+                        .collect();
                 all.sort_unstable();
                 let expected: Vec<usize> = (0..len).collect();
                 assert_eq!(all, expected, "len={len}, r={r}");

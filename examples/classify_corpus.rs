@@ -1,11 +1,12 @@
-//! Classify the whole problem corpus and compare the verdicts against the
-//! known ground-truth complexities (the decidability result of Theorems 8–9
-//! in action).
+//! Classify the whole problem corpus with one parallel `classify_many` batch
+//! and compare the verdicts against the known ground-truth complexities (the
+//! decidability result of Theorems 8–9 in action).
 //!
 //! Run with `cargo run --example classify_corpus`.
 
-use lcl_paths::classifier::{classify, Complexity};
+use lcl_paths::classifier::Complexity;
 use lcl_paths::problems::{corpus, KnownComplexity};
+use lcl_paths::Engine;
 use std::time::Instant;
 
 fn agrees(expected: KnownComplexity, got: &Complexity) -> bool {
@@ -19,28 +20,57 @@ fn agrees(expected: KnownComplexity, got: &Complexity) -> bool {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::new();
+    let entries = corpus();
+    let problems: Vec<_> = entries.iter().map(|e| e.problem.clone()).collect();
+
+    // One batch: the engine fans the corpus out over its worker threads and
+    // returns verdicts in input order.
+    let start = Instant::now();
+    let verdicts = engine.classify_many(&problems);
+    let batch_time = start.elapsed();
+
     println!(
-        "{:<22} {:>12} {:>12} {:>7} {:>9} {:>9}",
-        "problem", "expected", "classified", "types", "pump", "time"
+        "{:<22} {:>12} {:>12} {:>7} {:>9}",
+        "problem", "expected", "classified", "types", "pump"
     );
     let mut all_agree = true;
-    for entry in corpus() {
-        let start = Instant::now();
-        let verdict = classify(&entry.problem)?;
-        let elapsed = start.elapsed();
+    for (entry, result) in entries.iter().zip(&verdicts) {
+        let verdict = result.clone()?;
         let ok = agrees(entry.expected, &verdict.complexity());
         all_agree &= ok;
         println!(
-            "{:<22} {:>12} {:>12} {:>7} {:>9} {:>8.2?} {}",
+            "{:<22} {:>12} {:>12} {:>7} {:>9} {}",
             entry.problem.name(),
             format!("{:?}", entry.expected),
             verdict.complexity().to_string(),
             verdict.num_types(),
             verdict.pump_threshold(),
-            elapsed,
             if ok { "" } else { "  <-- MISMATCH" }
         );
     }
+
+    let stats = engine.cache_stats();
+    println!();
+    println!(
+        "classified {} problems in {batch_time:.2?} on {} threads ({} cache entries)",
+        problems.len(),
+        engine.parallelism(),
+        stats.entries
+    );
+
+    // A second pass over the same corpus is pure cache hits.
+    let before = engine.cache_stats();
+    let start = Instant::now();
+    let _ = engine.classify_many(&problems);
+    let cached_time = start.elapsed();
+    let after = engine.cache_stats();
+    println!(
+        "second pass in {cached_time:.2?} ({} hits / {} misses)",
+        after.hits - before.hits,
+        after.misses - before.misses
+    );
+
     println!();
     if all_agree {
         println!("every verdict matches the known complexity ✓");

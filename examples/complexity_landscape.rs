@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         problems::coloring(3),
         problems::secret_broadcast(),
     ];
-    println!("{:<18} {:>12} {}", "problem", "class", "radius at n = 64, 256, 1024, 4096, 16384");
+    println!(
+        "{:<18} {:>12} radius at n = 64, 256, 1024, 4096, 16384",
+        "problem", "class"
+    );
     for problem in suite {
         let verdict = classify(&problem)?;
         let radii: Vec<usize> = sizes

@@ -25,10 +25,7 @@ fn main() {
     let good = problem
         .good_input(Secret::A, 4)
         .expect("the unary counter halts");
-    println!(
-        "good input ({} nodes = 1 + t·(B+1) + padding):",
-        good.len()
-    );
+    println!("good input ({} nodes = 1 + t·(B+1) + padding):", good.len());
     println!("  {}", render(&good, 26));
 
     let output = solve_pi_mb(&problem, &good);

@@ -1,16 +1,14 @@
 //! Quick start: define an LCL problem on labeled directed cycles, ask the
-//! classifier for its distributed complexity, and run the synthesized
-//! algorithm in the LOCAL simulator.
+//! [`Engine`] for its distributed complexity, run the synthesized algorithm
+//! end-to-end with `solve`, and ship the problem/verdict over the JSON wire
+//! format.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use lcl_paths::classifier::classify;
-use lcl_paths::problem::{Instance, NormalizedLcl, Topology};
-use lcl_paths::sim::{IdAssignment, Network, SyncSimulator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lcl_paths::problem::{Instance, NormalizedLcl, ProblemSpec, Topology};
+use lcl_paths::{Engine, Error};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Error> {
     // Proper 3-coloring of a directed cycle: the classic Θ(log* n) problem.
     let mut builder = NormalizedLcl::builder("3-coloring");
     builder.input_labels(&["x"]);
@@ -25,31 +23,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let problem = builder.build()?;
 
-    // Ask the decision procedure (paper, Section 4) for the complexity class.
-    let verdict = classify(&problem)?;
-    println!("problem:        {problem}");
-    println!("complexity:     {}", verdict.complexity());
-    println!("path types:     {}", verdict.num_types());
-    println!("pump threshold: {}", verdict.pump_threshold());
-    println!("algorithm:      {}", lcl_paths::sim::LocalAlgorithm::name(verdict.algorithm()));
+    // The engine is the long-lived entry point: it memoizes the expensive
+    // per-problem artifacts, so repeated and batched requests are cheap.
+    let engine = Engine::new();
 
-    // Run the synthesized algorithm on a 150-node cycle and verify the output.
+    // Ask the decision procedure (paper, Section 4) for the complexity class.
+    let verdict = engine.verdict(&problem)?;
+    println!("problem:        {problem}");
+    println!("complexity:     {}", verdict.complexity);
+    println!("path types:     {}", verdict.num_types);
+    println!("pump threshold: {}", verdict.pump_threshold);
+    println!("algorithm:      {}", verdict.algorithm);
+
+    // classify → synthesize → execute, in one call: run the synthesized
+    // algorithm on a 150-node cycle. The labeling comes back verified.
     let n = 150;
-    let mut rng = StdRng::seed_from_u64(42);
-    let network = Network::new(
-        Instance::from_indices(Topology::Cycle, &vec![0; n]),
-        IdAssignment::RandomFromSpace { multiplier: 8 },
-        &mut rng,
-    )?;
-    let simulator = SyncSimulator::new();
-    let labeling = simulator.run(&network, verdict.algorithm())?;
-    let report = problem.check(network.instance(), &labeling);
+    let instance = Instance::from_indices(Topology::Cycle, &vec![0; n]);
+    let solution = engine.solve(&problem, &instance)?;
     println!(
-        "ran on a {n}-node cycle with radius {}: {}",
-        lcl_paths::sim::LocalAlgorithm::radius(verdict.algorithm(), n),
-        if report.is_valid() { "output valid" } else { "OUTPUT INVALID" }
+        "ran on a {n}-node cycle in {} rounds: output valid",
+        solution.rounds()
     );
-    let colors: Vec<u16> = labeling.outputs().iter().take(12).map(|o| o.0 + 1).collect();
+    let colors: Vec<u16> = solution
+        .labeling()
+        .outputs()
+        .iter()
+        .take(12)
+        .map(|o| o.0 + 1)
+        .collect();
     println!("first twelve colours: {colors:?} ...");
+
+    // This classification was a cache hit: `solve` reused the verdict.
+    let stats = engine.cache_stats();
+    println!(
+        "engine cache:   {} hits / {} misses",
+        stats.hits, stats.misses
+    );
+
+    // The wire format: problems and verdicts serialize to versioned JSON, so
+    // the engine can sit behind a service boundary.
+    let request = problem.to_json_string();
+    let parsed = ProblemSpec::from_json_str(&request)?.to_problem()?;
+    let response = engine.verdict(&parsed)?.to_json_string();
+    println!("wire request:   {} bytes of JSON", request.len());
+    println!("wire response:  {response}");
     Ok(())
 }

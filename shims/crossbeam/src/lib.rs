@@ -1,0 +1,193 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` — the only
+//! surface this workspace uses — on top of a `Mutex<VecDeque>` + `Condvar`
+//! queue. Unlike `std::sync::mpsc`, both endpoints are cloneable, matching
+//! crossbeam's multi-producer multi-consumer semantics that the actor
+//! simulator relies on.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and all
+    /// senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender gone: wake blocked receivers so they observe
+                // disconnection. The notify must happen while holding the
+                // queue lock — otherwise a receiver that has checked the
+                // sender count but not yet parked would miss the wakeup and
+                // block forever.
+                let _guard = self
+                    .inner
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.inner.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message, failing only if every receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .push_back(value);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next message, blocking while the channel is empty.
+        /// Fails once the channel is empty and every sender was dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .inner
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+
+        /// Dequeues the next message if one is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner
+                .queue
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .pop_front()
+        }
+    }
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn fifo_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn cross_thread_blocking_recv() {
+            let (tx, rx) = unbounded();
+            let handle = thread::spawn(move || rx.recv());
+            tx.send(42u32).unwrap();
+            assert_eq!(handle.join().unwrap(), Ok(42));
+        }
+
+        #[test]
+        fn disconnect_is_observed() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx2, rx2) = unbounded::<u8>();
+            drop(rx2);
+            assert_eq!(tx2.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn cloned_endpoints_share_the_queue() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            let rx2 = rx.clone();
+            tx2.send(7).unwrap();
+            assert_eq!(rx2.try_recv(), Some(7));
+            assert_eq!(rx.try_recv(), None);
+        }
+    }
+}

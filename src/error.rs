@@ -1,0 +1,116 @@
+//! The unified error type of the umbrella crate.
+//!
+//! Every subsystem crate ships its own error enum; this module folds them
+//! into a single [`Error`] with `From` conversions, so application code can
+//! use `?` across subsystem boundaries with one error type in its signatures.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Any error produced by the `lcl-paths` workspace.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Problem construction or wire-format error (`lcl-problem`).
+    Problem(crate::problem::ProblemError),
+    /// Type-semigroup error (`lcl-semigroup`).
+    Semigroup(crate::semigroup::SemigroupError),
+    /// LOCAL simulator error (`lcl-local-sim`).
+    Sim(crate::sim::SimError),
+    /// Linear-bounded-automaton error (`lcl-lba`).
+    Lba(crate::lba::LbaError),
+    /// Classifier or engine error (`lcl-classifier`).
+    Classifier(crate::classifier::ClassifierError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Problem(e) => write!(f, "problem: {e}"),
+            Error::Semigroup(e) => write!(f, "semigroup: {e}"),
+            Error::Sim(e) => write!(f, "simulator: {e}"),
+            Error::Lba(e) => write!(f, "lba: {e}"),
+            Error::Classifier(e) => write!(f, "classifier: {e}"),
+        }
+    }
+}
+
+impl StdError for Error {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Error::Problem(e) => Some(e),
+            Error::Semigroup(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Lba(e) => Some(e),
+            Error::Classifier(e) => Some(e),
+        }
+    }
+}
+
+impl From<crate::problem::ProblemError> for Error {
+    fn from(e: crate::problem::ProblemError) -> Self {
+        Error::Problem(e)
+    }
+}
+
+impl From<crate::semigroup::SemigroupError> for Error {
+    fn from(e: crate::semigroup::SemigroupError) -> Self {
+        Error::Semigroup(e)
+    }
+}
+
+impl From<crate::sim::SimError> for Error {
+    fn from(e: crate::sim::SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<crate::lba::LbaError> for Error {
+    fn from(e: crate::lba::LbaError) -> Self {
+        Error::Lba(e)
+    }
+}
+
+impl From<crate::classifier::ClassifierError> for Error {
+    fn from(e: crate::classifier::ClassifierError) -> Self {
+        Error::Classifier(e)
+    }
+}
+
+/// Convenience result alias using the unified [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn returns_unified() -> Result<crate::problem::NormalizedLcl> {
+        // `?` converts both subsystem error types transparently.
+        let mut b = crate::problem::NormalizedLcl::builder("p");
+        b.input_labels(&["x"]);
+        b.output_labels(&["o"]);
+        b.allow_all_node_pairs();
+        b.allow_all_edge_pairs();
+        let problem = b.build()?;
+        let _ = crate::classifier::classify(&problem)?;
+        Ok(problem)
+    }
+
+    #[test]
+    fn conversions_compose_with_question_mark() {
+        assert!(returns_unified().is_ok());
+    }
+
+    #[test]
+    fn display_prefixes_subsystem() {
+        let e = Error::from(crate::problem::ProblemError::EmptyInputAlphabet);
+        assert!(e.to_string().starts_with("problem: "));
+        assert!(e.source().is_some());
+        let e = Error::from(crate::sim::SimError::DuplicateIds);
+        assert!(e.to_string().starts_with("simulator: "));
+        let e = Error::from(crate::classifier::ClassifierError::SearchBudgetExceeded { budget: 1 });
+        assert!(e.to_string().starts_with("classifier: "));
+        let e = Error::from(crate::semigroup::SemigroupError::EmptyWord);
+        assert!(e.to_string().starts_with("semigroup: "));
+    }
+}

@@ -1,0 +1,219 @@
+//! Integration tests for the service-ready API: the `Engine` (memo cache,
+//! parallel batch, end-to-end solve), the `ProblemSpec` wire format over the
+//! whole corpus, and the unified error type.
+
+use lcl_paths::classifier::{classify, Complexity, Verdict};
+use lcl_paths::problem::{Instance, NormalizedLcl, ProblemSpec, Topology, PROBLEM_SPEC_VERSION};
+use lcl_paths::problems::{corpus, KnownComplexity};
+use lcl_paths::{Engine, Error};
+use std::sync::Arc;
+
+/// Every corpus problem survives the spec → JSON → spec → problem round trip
+/// losslessly, with a stable canonical hash and the current format version.
+#[test]
+fn problem_spec_roundtrips_every_corpus_entry() {
+    for entry in corpus() {
+        let problem = &entry.problem;
+        let spec = ProblemSpec::from_problem(problem);
+        assert_eq!(spec.version, PROBLEM_SPEC_VERSION, "{}", problem.name());
+
+        let json = spec.to_json_string();
+        let parsed_spec = ProblemSpec::from_json_str(&json)
+            .unwrap_or_else(|e| panic!("{}: spec parse failed: {e}", problem.name()));
+        assert_eq!(parsed_spec, spec, "{}", problem.name());
+
+        let rebuilt = parsed_spec
+            .to_problem()
+            .unwrap_or_else(|e| panic!("{}: rebuild failed: {e}", problem.name()));
+        assert_eq!(
+            &rebuilt,
+            problem,
+            "{}: round trip not lossless",
+            problem.name()
+        );
+        assert_eq!(
+            rebuilt.canonical_hash(),
+            problem.canonical_hash(),
+            "{}: canonical hash not stable across serialization",
+            problem.name()
+        );
+
+        // Serializing the rebuilt problem reproduces the same canonical JSON.
+        assert_eq!(rebuilt.to_json_string(), json, "{}", problem.name());
+    }
+}
+
+/// Corpus problems are pairwise structurally distinct, so the canonical hash
+/// must separate all of them.
+#[test]
+fn corpus_canonical_hashes_are_distinct() {
+    let entries = corpus();
+    for (i, a) in entries.iter().enumerate() {
+        for b in entries.iter().skip(i + 1) {
+            assert_ne!(
+                a.problem.canonical_hash(),
+                b.problem.canonical_hash(),
+                "hash collision between {} and {}",
+                a.problem.name(),
+                b.problem.name()
+            );
+        }
+    }
+}
+
+/// A second classification of the same problem must be served from the memo
+/// cache: the miss counter stays put, the hit counter moves, and both calls
+/// share one allocation (so no semigroup recomputation can have happened).
+#[test]
+fn second_classification_is_a_cache_hit() {
+    let engine = Engine::new();
+    let problem = corpus()[0].problem.clone();
+
+    let first = engine.classify(&problem).expect("classification");
+    let after_first = engine.cache_stats();
+    assert_eq!(after_first.misses, 1);
+    assert_eq!(after_first.hits, 0);
+    assert_eq!(after_first.entries, 1);
+
+    let second = engine.classify(&problem).expect("classification");
+    let after_second = engine.cache_stats();
+    assert_eq!(after_second.misses, 1, "second call recomputed the problem");
+    assert_eq!(after_second.hits, 1);
+    assert!(
+        Arc::ptr_eq(&first, &second),
+        "cache hit must return the identical classification"
+    );
+
+    // A structurally identical problem under a different name also hits.
+    let mut renamed = NormalizedLcl::builder("renamed-copy");
+    renamed.input_alphabet(problem.input_alphabet().clone());
+    renamed.output_alphabet(problem.output_alphabet().clone());
+    for (i, o) in problem.allowed_node_pairs() {
+        renamed.allow_node_idx(i, o);
+    }
+    for (p, q) in problem.allowed_edge_pairs() {
+        renamed.allow_edge_idx(p, q);
+    }
+    let renamed = renamed.build().expect("renamed copy builds");
+    engine.classify(&renamed).expect("classification");
+    assert_eq!(engine.cache_stats().hits, 2);
+    assert_eq!(engine.cache_stats().misses, 1);
+}
+
+/// `classify_many` over the full corpus agrees verdict-for-verdict with
+/// sequential `classify`, in input order, at several parallelism levels.
+#[test]
+fn classify_many_agrees_with_sequential_classify() {
+    let entries = corpus();
+    let problems: Vec<NormalizedLcl> = entries.iter().map(|e| e.problem.clone()).collect();
+
+    let sequential: Vec<Complexity> = problems
+        .iter()
+        .map(|p| classify(p).expect("sequential classification").complexity())
+        .collect();
+
+    for workers in [1, 4, 8] {
+        let engine = Engine::builder().parallelism(workers).build();
+        let batch = engine.classify_many(&problems);
+        assert_eq!(batch.len(), problems.len());
+        for ((problem, result), expected) in problems.iter().zip(&batch).zip(&sequential) {
+            let classification = result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}: batch classification failed: {e}", problem.name()));
+            assert_eq!(
+                &classification.complexity(),
+                expected,
+                "{} disagrees at parallelism {workers}",
+                problem.name()
+            );
+        }
+        // The batch populated the cache: every distinct problem was a miss,
+        // and a re-run is all hits.
+        let before = engine.cache_stats();
+        assert_eq!(before.misses as usize, problems.len());
+        let _ = engine.classify_many(&problems);
+        let after = engine.cache_stats();
+        assert_eq!(after.misses, before.misses, "re-run must not recompute");
+        assert_eq!(after.hits, before.hits + problems.len() as u64);
+    }
+}
+
+/// The batch verdicts also match the corpus ground truths.
+#[test]
+fn classify_many_matches_ground_truth() {
+    let entries = corpus();
+    let problems: Vec<NormalizedLcl> = entries.iter().map(|e| e.problem.clone()).collect();
+    let engine = Engine::new();
+    for (entry, result) in entries.iter().zip(engine.classify_many(&problems)) {
+        let got = result.expect("classification").complexity();
+        let expected = match entry.expected {
+            KnownComplexity::Unsolvable => Complexity::Unsolvable,
+            KnownComplexity::Constant => Complexity::Constant,
+            KnownComplexity::LogStar => Complexity::LogStar,
+            KnownComplexity::Linear => Complexity::Linear,
+        };
+        assert_eq!(got, expected, "{}", entry.problem.name());
+    }
+}
+
+/// End-to-end solve on a solvable corpus problem returns a verified labeling
+/// and a plausible round count.
+#[test]
+fn solve_returns_valid_labeling_and_rounds() {
+    let engine = Engine::new();
+    for entry in corpus() {
+        if entry.expected == KnownComplexity::Unsolvable {
+            continue;
+        }
+        let n = 48;
+        let inputs: Vec<u16> = (0..n)
+            .map(|i| (i % entry.problem.num_inputs()) as u16)
+            .collect();
+        let instance = Instance::from_indices(Topology::Cycle, &inputs);
+        let solution = engine
+            .solve(&entry.problem, &instance)
+            .unwrap_or_else(|e| panic!("{}: solve failed: {e}", entry.problem.name()));
+        assert!(
+            entry.problem.is_valid(&instance, solution.labeling()),
+            "{}: invalid labeling",
+            entry.problem.name()
+        );
+        assert!(
+            solution.rounds() <= n,
+            "{}: round count {} exceeds n",
+            entry.problem.name(),
+            solution.rounds()
+        );
+    }
+}
+
+/// Engine verdicts serialize to JSON and round-trip, for every corpus entry.
+#[test]
+fn verdicts_roundtrip_over_the_corpus() {
+    let engine = Engine::new();
+    for entry in corpus() {
+        let verdict = engine
+            .verdict(&entry.problem)
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.problem.name()));
+        assert_eq!(verdict.problem_hash, entry.problem.canonical_hash());
+        let back = Verdict::from_json_str(&verdict.to_json_string())
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.problem.name()));
+        assert_eq!(back, verdict, "{}", entry.problem.name());
+    }
+}
+
+/// The unified error type accepts errors from any subsystem through `?`.
+#[test]
+fn unified_error_spans_subsystems() {
+    fn fails_in_problem() -> Result<(), Error> {
+        NormalizedLcl::builder("empty").build()?;
+        Ok(())
+    }
+    fn fails_in_classifier() -> Result<(), Error> {
+        let engine = Engine::builder().type_budget(1).build();
+        engine.classify(&corpus()[0].problem)?;
+        Ok(())
+    }
+    assert!(matches!(fails_in_problem(), Err(Error::Problem(_))));
+    assert!(matches!(fails_in_classifier(), Err(Error::Classifier(_))));
+}

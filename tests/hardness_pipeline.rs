@@ -36,7 +36,11 @@ fn solver_and_verifier_agree_on_many_corruptions() {
             PiInput::Separator => PiInput::Empty,
             PiInput::Empty => PiInput::Separator,
             PiInput::Start(_) => PiInput::Separator,
-            PiInput::Tape { content, state, head } => PiInput::Tape {
+            PiInput::Tape {
+                content,
+                state,
+                head,
+            } => PiInput::Tape {
                 content,
                 state,
                 head: !head,
@@ -106,6 +110,9 @@ fn tree_encoding_recovers_labels_of_a_labeled_cycle() {
     let (gstar, roots) = g.attach_label_trees(8);
     assert!(gstar.max_degree() <= 3);
     let recovered = LabeledGraph::recover_labels(6, &gstar, &roots);
-    let recovered: Vec<usize> = recovered.into_iter().map(|r| r.expect("decodable")).collect();
+    let recovered: Vec<usize> = recovered
+        .into_iter()
+        .map(|r| r.expect("decodable"))
+        .collect();
     assert_eq!(recovered, labels);
 }

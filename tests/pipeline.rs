@@ -103,7 +103,11 @@ fn logstar_radius_scales_like_log_star_not_linearly() {
     assert!(r1m < 2_000, "Θ(log* n) radius stays tiny, got {r1m}");
     assert!(r1m.saturating_sub(r16k) <= 200);
     let linear = classify(&problems::secret_broadcast()).expect("classification succeeds");
-    assert_eq!(linear.algorithm().radius(1 << 20), 1 << 20, "Θ(n) gathers everything");
+    assert_eq!(
+        linear.algorithm().radius(1 << 20),
+        1 << 20,
+        "Θ(n) gathers everything"
+    );
 }
 
 #[test]
@@ -125,7 +129,10 @@ fn constant_class_algorithm_handles_periodic_inputs_with_defects() {
         &mut rng,
     )
     .expect("network");
-    assert!(algo.radius(n) < n, "the constant algorithm must not gather everything");
+    assert!(
+        algo.radius(n) < n,
+        "the constant algorithm must not gather everything"
+    );
     let out = SyncSimulator::new().run(&net, algo).expect("run");
     assert!(problem.is_valid(net.instance(), &out));
 }

@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) on the core invariants: the transfer
-//! relation is a semigroup morphism, brute-force solutions verify, type-equal
-//! words are interchangeable for gap completion, and the Π_{M_B} solver is
-//! total and sound under random corruptions.
+//! Randomized property tests on the core invariants: the transfer relation is
+//! a semigroup morphism, brute-force solutions verify, type-equal words are
+//! interchangeable for gap completion, and the Π_{M_B} solver is total and
+//! sound under random corruptions.
+//!
+//! Originally written with proptest; rewritten onto deterministic seeded
+//! generators because the offline build environment cannot fetch proptest.
+//! Each property runs a fixed number of independently seeded cases, so
+//! failures are exactly reproducible from the case index.
 
 use lcl_paths::hardness::{solve_pi_mb, PiInput, PiMb, Secret};
 use lcl_paths::lba::{machines, StateId, TapeSymbol};
@@ -10,144 +15,179 @@ use lcl_paths::problems;
 use lcl_paths::semigroup::{
     is_primitive, primitive_root, smallest_period, TransferSystem, TypeSemigroup,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// A small random normalized problem over fixed alphabet sizes.
-fn arb_problem(alpha: usize, beta: usize) -> impl Strategy<Value = NormalizedLcl> {
-    let node_bits = proptest::collection::vec(any::<bool>(), alpha * beta);
-    let edge_bits = proptest::collection::vec(any::<bool>(), beta * beta);
-    (node_bits, edge_bits).prop_map(move |(node, edge)| {
-        let mut b = NormalizedLcl::builder("random");
-        b.input_labels(&(0..alpha).map(|i| format!("i{i}")).collect::<Vec<_>>());
-        b.output_labels(&(0..beta).map(|i| format!("o{i}")).collect::<Vec<_>>());
-        for a in 0..alpha {
-            // Guarantee at least one allowed output per input so instances are
-            // not vacuously unsolvable at the node level.
-            b.allow_node_idx(a as u16, (a % beta) as u16);
-            for o in 0..beta {
-                if node[a * beta + o] {
-                    b.allow_node_idx(a as u16, o as u16);
-                }
+const CASES: u64 = 48;
+
+/// A small random normalized problem over fixed alphabet sizes, with at least
+/// one allowed output per input and the `(0, 0)` edge pair, so instances are
+/// not vacuously unsolvable at the node level.
+fn random_problem(rng: &mut StdRng, alpha: usize, beta: usize) -> NormalizedLcl {
+    let mut b = NormalizedLcl::builder("random");
+    b.input_labels(&(0..alpha).map(|i| format!("i{i}")).collect::<Vec<_>>());
+    b.output_labels(&(0..beta).map(|i| format!("o{i}")).collect::<Vec<_>>());
+    for a in 0..alpha {
+        b.allow_node_idx(a as u16, (a % beta) as u16);
+        for o in 0..beta {
+            if rng.gen_range(0..2u16) == 1 {
+                b.allow_node_idx(a as u16, o as u16);
             }
         }
-        b.allow_edge_idx(0, 0);
-        for p in 0..beta {
-            for q in 0..beta {
-                if edge[p * beta + q] {
-                    b.allow_edge_idx(p as u16, q as u16);
-                }
+    }
+    b.allow_edge_idx(0, 0);
+    for p in 0..beta {
+        for q in 0..beta {
+            if rng.gen_range(0..2u16) == 1 {
+                b.allow_edge_idx(p as u16, q as u16);
             }
         }
-        b.build().expect("random problem is well-formed")
-    })
+    }
+    b.build().expect("random problem is well-formed")
 }
 
-fn word(max_len: usize, alpha: usize) -> impl Strategy<Value = Vec<InLabel>> {
-    proptest::collection::vec(0..alpha as u16, 1..=max_len)
-        .prop_map(|v| v.into_iter().map(InLabel).collect())
+fn random_word(rng: &mut StdRng, max_len: usize, alpha: usize) -> Vec<InLabel> {
+    let len = rng.gen_range(1..max_len + 1);
+    (0..len)
+        .map(|_| InLabel(rng.gen_range(0..alpha as u16)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// `R(uv) = R(u) · E · R(v)` for random problems and random words.
-    #[test]
-    fn transfer_relation_is_a_morphism(
-        problem in arb_problem(2, 3),
-        u in word(6, 2),
-        v in word(6, 2),
-    ) {
+/// `R(uv) = R(u) · E · R(v)` for random problems and random words.
+#[test]
+fn transfer_relation_is_a_morphism() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let problem = random_problem(&mut rng, 2, 3);
+        let u = random_word(&mut rng, 6, 2);
+        let v = random_word(&mut rng, 6, 2);
         let ts = TransferSystem::new(&problem);
         let mut uv = u.clone();
         uv.extend_from_slice(&v);
         let direct = ts.relation_of_word(&uv).unwrap();
         let joined = ts
-            .join(&ts.relation_of_word(&u).unwrap(), &ts.relation_of_word(&v).unwrap())
+            .join(
+                &ts.relation_of_word(&u).unwrap(),
+                &ts.relation_of_word(&v).unwrap(),
+            )
             .unwrap();
-        prop_assert_eq!(direct, joined);
+        assert_eq!(direct, joined, "case {case}");
     }
+}
 
-    /// Whatever the brute-force solver returns is accepted by the verifier,
-    /// and when it returns nothing the transfer-relation solvability check
-    /// agrees.
-    #[test]
-    fn brute_force_solutions_verify(
-        problem in arb_problem(2, 3),
-        inputs in proptest::collection::vec(0..2u16, 3..20),
-        cycle in any::<bool>(),
-    ) {
-        let topology = if cycle { Topology::Cycle } else { Topology::Path };
+/// Whatever the brute-force solver returns is accepted by the verifier, and
+/// when it returns nothing the transfer-relation solvability check agrees.
+#[test]
+fn brute_force_solutions_verify() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let problem = random_problem(&mut rng, 2, 3);
+        let n = rng.gen_range(3..20usize);
+        let inputs: Vec<u16> = (0..n).map(|_| rng.gen_range(0..2u16)).collect();
+        let topology = if rng.gen_range(0..2u16) == 1 {
+            Topology::Cycle
+        } else {
+            Topology::Path
+        };
         let instance = Instance::from_indices(topology, &inputs);
         let ts = TransferSystem::new(&problem);
         match problem.solve_brute_force(&instance) {
             Some(labeling) => {
-                prop_assert!(problem.is_valid(&instance, &labeling));
-                prop_assert!(ts.instance_solvable(&instance).unwrap());
+                assert!(problem.is_valid(&instance, &labeling), "case {case}");
+                assert!(ts.instance_solvable(&instance).unwrap(), "case {case}");
             }
-            None => prop_assert!(!ts.instance_solvable(&instance).unwrap()),
+            None => assert!(!ts.instance_solvable(&instance).unwrap(), "case {case}"),
         }
     }
+}
 
-    /// Two words with the same type are interchangeable as gaps: for every
-    /// pair of boundary labels, the gap is completable through one word iff it
-    /// is completable through the other (the computational content of the
-    /// paper's Lemma 11).
-    #[test]
-    fn type_equal_words_complete_the_same_boundaries(
-        problem in arb_problem(2, 3),
-        u in word(8, 2),
-        v in word(8, 2),
-    ) {
+/// Two words with the same type are interchangeable as gaps: for every pair of
+/// boundary labels, the gap is completable through one word iff it is
+/// completable through the other (the computational content of the paper's
+/// Lemma 11).
+#[test]
+fn type_equal_words_complete_the_same_boundaries() {
+    let mut checked = 0;
+    for case in 0..CASES * 4 {
+        let mut rng = StdRng::seed_from_u64(3000 + case);
+        let problem = random_problem(&mut rng, 2, 3);
+        let u = random_word(&mut rng, 8, 2);
+        let v = random_word(&mut rng, 8, 2);
         let ts = TransferSystem::new(&problem);
         let sg = TypeSemigroup::compute(&ts, 100_000).unwrap();
-        prop_assume!(sg.type_of_word(&u).unwrap() == sg.type_of_word(&v).unwrap());
+        if sg.type_of_word(&u).unwrap() != sg.type_of_word(&v).unwrap() {
+            continue; // the property only quantifies over type-equal pairs
+        }
+        checked += 1;
         let cu = ts.connection_of_word(&u).unwrap();
         let cv = ts.connection_of_word(&v).unwrap();
-        prop_assert_eq!(cu, cv);
+        assert_eq!(cu, cv, "case {case}");
     }
+    assert!(checked >= 8, "too few type-equal pairs sampled: {checked}");
+}
 
-    /// Period / primitivity invariants used by the O(1) partition.
-    #[test]
-    fn periodicity_invariants(w in word(12, 3)) {
+/// Period / primitivity invariants used by the O(1) partition.
+#[test]
+fn periodicity_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + case);
+        let w = random_word(&mut rng, 12, 3);
         let p = smallest_period(&w);
-        prop_assert!(p >= 1 && p <= w.len());
+        assert!(p >= 1 && p <= w.len(), "case {case}");
         for i in 0..w.len() - p {
-            prop_assert_eq!(w[i], w[i + p]);
+            assert_eq!(w[i], w[i + p], "case {case}");
         }
         let root = primitive_root(&w);
-        prop_assert!(is_primitive(root));
-        prop_assert_eq!(w.len() % root.len(), 0usize);
+        assert!(is_primitive(root), "case {case}");
+        assert_eq!(w.len() % root.len(), 0, "case {case}");
     }
+}
 
-    /// The §3.3 solver always returns a constraint-satisfying output, for
-    /// arbitrary (not just good) Π_{M_B} inputs.
-    #[test]
-    fn pi_mb_solver_is_total_and_sound(
-        seed_positions in proptest::collection::vec((0usize..40, 0usize..6), 0..5),
-    ) {
+/// The §3.3 solver always returns a constraint-satisfying output, for
+/// arbitrary (not just good) Π_{M_B} inputs.
+#[test]
+fn pi_mb_solver_is_total_and_sound() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5000 + case);
         let problem = PiMb::new(machines::unary_counter(), 4);
         let mut inputs = problem.good_input(Secret::A, 4).expect("halting machine");
-        for (pos, kind) in seed_positions {
-            let pos = pos % inputs.len();
-            inputs[pos] = match kind {
+        let corruptions = rng.gen_range(0..5usize);
+        for _ in 0..corruptions {
+            let pos = rng.gen_range(0..inputs.len());
+            inputs[pos] = match rng.gen_range(0..6u16) {
                 0 => PiInput::Separator,
                 1 => PiInput::Empty,
                 2 => PiInput::Start(Secret::B),
-                3 => PiInput::Tape { content: TapeSymbol::One, state: StateId(0), head: false },
-                4 => PiInput::Tape { content: TapeSymbol::Zero, state: StateId(1), head: true },
-                _ => PiInput::Tape { content: TapeSymbol::RightEnd, state: StateId(2), head: false },
+                3 => PiInput::Tape {
+                    content: TapeSymbol::One,
+                    state: StateId(0),
+                    head: false,
+                },
+                4 => PiInput::Tape {
+                    content: TapeSymbol::Zero,
+                    state: StateId(1),
+                    head: true,
+                },
+                _ => PiInput::Tape {
+                    content: TapeSymbol::RightEnd,
+                    state: StateId(2),
+                    head: false,
+                },
             };
         }
         let output = solve_pi_mb(&problem, &inputs);
-        prop_assert!(problem.is_valid(&inputs, &output));
+        assert!(problem.is_valid(&inputs, &output), "case {case}");
     }
+}
 
-    /// Merging output labels never makes a solvable instance unsolvable
-    /// (monotonicity used throughout the classifier's reasoning).
-    #[test]
-    fn merging_outputs_preserves_solvability(
-        inputs in proptest::collection::vec(0..1u16, 3..12),
-    ) {
+/// Merging output labels never makes a solvable instance unsolvable
+/// (monotonicity used throughout the classifier's reasoning).
+#[test]
+fn merging_outputs_preserves_solvability() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(6000 + case);
+        let n = rng.gen_range(3..12usize);
+        let inputs: Vec<u16> = (0..n).map(|_| 0).collect();
         let strict = problems::coloring(3);
         let merged = lcl_paths::problem::relabel_outputs(&strict, &[0, 1, 1], &["1", "2"]).unwrap();
         let instance = Instance::from_indices(Topology::Cycle, &inputs);
@@ -159,14 +199,14 @@ proptest! {
                 .map(|o| if o.index() == 0 { 0 } else { 1 })
                 .collect();
             let transported = lcl_paths::problem::Labeling::from_indices(&transported);
-            prop_assert!(merged.is_valid(&instance, &transported));
+            assert!(merged.is_valid(&instance, &transported), "case {case}");
         }
     }
 }
 
 #[test]
 fn out_label_ordering_is_consistent() {
-    // Small non-proptest sanity check used by the property tests above.
+    // Small sanity check used by the property tests above.
     assert!(OutLabel(0) < OutLabel(1));
     assert_eq!(InLabel(2).index(), 2);
 }
