@@ -1,0 +1,167 @@
+//! E-SERVER: the persistent worker pool against the PR 1 scoped-thread
+//! baseline, and end-to-end NDJSON service throughput over loopback TCP.
+//!
+//! Three experiments, each at 1/4/8 pool workers:
+//!
+//! 1. **cold batch** — `classify_many` over the corpus from a cold cache,
+//!    vs the original design (replicated below) that spawned a fresh
+//!    `std::thread::scope` per call;
+//! 2. **warm batch** — the same comparison with a warm cache, where real
+//!    work is ~zero and per-call thread churn dominates: this isolates what
+//!    the persistent pool buys a long-lived service;
+//! 3. **end-to-end TCP** — requests/sec for single `classify` round-trips
+//!    through `lcl-server` on a loopback socket (warm cache, so the wire +
+//!    dispatch + pool path is what's measured).
+//!
+//! The acceptance bar is experiment 1/2: the pool must be no slower than the
+//! scoped-thread baseline (it contains strictly less per-call work — no
+//! thread spawns on the request path).
+
+use lcl_bench::banner;
+use lcl_classifier::{Classification, Engine};
+use lcl_problem::NormalizedLcl;
+use lcl_problems::corpus;
+use lcl_server::{Client, Server, Service};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+const REPS: usize = 3;
+const WARM_BATCHES: usize = 50;
+
+/// The PR 1 `classify_many`: spawn `workers` scoped threads per call over a
+/// work-stealing cursor. Kept here as the baseline after the engine moved to
+/// a persistent pool.
+fn classify_many_scoped(
+    engine: &Engine,
+    problems: &[NormalizedLcl],
+    workers: usize,
+) -> Vec<lcl_classifier::Result<Arc<Classification>>> {
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    thread::scope(|scope| {
+        for _ in 0..workers.min(problems.len()).max(1) {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            scope.spawn(move || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(problem) = problems.get(k) else {
+                    break;
+                };
+                let result = engine.classify(problem);
+                if tx.send((k, result)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut results: Vec<_> = rx.into_iter().collect();
+    results.sort_by_key(|(k, _)| *k);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+fn main() {
+    banner(
+        "E-SERVER",
+        "the lcl-server service + persistent engine pool (this repository's addition)",
+        "pool vs scoped-thread classify_many, and end-to-end NDJSON requests/sec over TCP",
+    );
+
+    let problems: Vec<_> = corpus().into_iter().map(|e| e.problem).collect();
+    let specs: Vec<_> = problems.iter().map(NormalizedLcl::to_spec).collect();
+    println!(
+        "corpus: {} problems, {REPS} repetitions per configuration\n",
+        problems.len()
+    );
+
+    println!("-- cold cache: full corpus batch ------------------------------");
+    for workers in [1usize, 4, 8] {
+        let scoped = measure(|| {
+            let engine = Engine::builder().parallelism(1).build();
+            let results = classify_many_scoped(&engine, &problems, workers);
+            assert!(results.iter().all(Result::is_ok));
+        });
+        let pooled = measure(|| {
+            let engine = Engine::builder().parallelism(workers).build();
+            let results = engine.classify_many(&problems);
+            assert!(results.iter().all(Result::is_ok));
+        });
+        compare(workers, "cold corpus batch", scoped, pooled);
+    }
+
+    println!("\n-- warm cache: {WARM_BATCHES} repeated batches (spawn churn isolated) ----");
+    for workers in [1usize, 4, 8] {
+        let engine = Engine::builder().parallelism(workers).build();
+        let _ = engine.classify_many(&problems); // warm up the cache
+        let scoped = measure(|| {
+            for _ in 0..WARM_BATCHES {
+                let results = classify_many_scoped(&engine, &problems, workers);
+                assert!(results.iter().all(Result::is_ok));
+            }
+        });
+        let pooled = measure(|| {
+            for _ in 0..WARM_BATCHES {
+                let results = engine.classify_many(&problems);
+                assert!(results.iter().all(Result::is_ok));
+            }
+        });
+        compare(workers, "warm repeated batches", scoped, pooled);
+    }
+
+    println!("\n-- end-to-end TCP: single-classify round-trips (warm) ---------");
+    for workers in [1usize, 4, 8] {
+        let service = Arc::new(Service::new(Engine::builder().parallelism(workers).build()));
+        let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+        let handle = server.start().expect("start server");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        // Warm both the cache and the connection.
+        for spec in &specs {
+            client.classify(spec).expect("warm-up classify");
+        }
+        let mut requests = 0u64;
+        let elapsed = measure(|| {
+            for spec in &specs {
+                client.classify(spec).expect("classify round-trip");
+                requests += 1;
+            }
+        });
+        let per_rep = specs.len() as f64;
+        let rps = per_rep / elapsed.as_secs_f64().max(1e-12);
+        println!(
+            "{workers} pool worker(s): {:>10.2?} per corpus sweep   {rps:>9.0} req/s",
+            elapsed
+        );
+        drop(client);
+        handle.shutdown();
+        let pool = service.engine().pool_stats();
+        assert_eq!(
+            pool.workers, workers,
+            "pool width must match the configuration"
+        );
+    }
+    println!("\n(no thread is spawned on any per-request path above: all classification runs on the engines' persistent pools)");
+}
+
+fn measure(mut run: impl FnMut()) -> Duration {
+    // One untimed warm-up repetition.
+    run();
+    let start = Instant::now();
+    for _ in 0..REPS {
+        run();
+    }
+    start.elapsed() / REPS as u32
+}
+
+fn compare(workers: usize, what: &str, scoped: Duration, pooled: Duration) {
+    let speedup = scoped.as_secs_f64() / pooled.as_secs_f64().max(1e-12);
+    let verdict = if speedup >= 1.0 {
+        "pool wins"
+    } else {
+        "scoped wins"
+    };
+    println!(
+        "{workers} worker(s), {what:<24} scoped {scoped:>10.2?}   pool {pooled:>10.2?}   {speedup:>5.2}x ({verdict})"
+    );
+}

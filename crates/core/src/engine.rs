@@ -12,11 +12,17 @@
 //!   concurrently may duplicate the computation (one result wins; each such
 //!   computation counts as a miss) — [`Engine::classify_many`] avoids this by
 //!   deduplicating its batch up front. The cache is bounded
-//!   ([`EngineBuilder::cache_capacity`], FIFO eviction), and
-//!   [`Engine::cache_stats`] exposes hit/miss counters;
-//! * **batches**: [`Engine::classify_many`] classifies a whole workload in
-//!   parallel on a scoped thread pool (structurally identical problems are
-//!   deduplicated first), returning verdicts in deterministic input order;
+//!   ([`EngineBuilder::cache_capacity`], LRU eviction with touch-on-hit
+//!   recency), and [`Engine::cache_stats`] exposes hit/miss/eviction
+//!   counters;
+//! * **owns a persistent worker pool**: [`EngineBuilder::build`] spawns
+//!   [`Engine::parallelism`] long-lived worker threads once; batch
+//!   classification and server request dispatch inject jobs into the pool's
+//!   MPMC queue, so no thread is ever spawned on the per-request path
+//!   ([`Engine::pool_stats`] exposes queue depth and completed-job counters);
+//! * **batches**: [`Engine::classify_many`] classifies a whole workload on
+//!   the pool (structurally identical problems are deduplicated first),
+//!   returning verdicts in deterministic input order;
 //! * **solves end-to-end**: [`Engine::solve`] classifies, synthesizes the
 //!   optimal LOCAL algorithm and runs it on a concrete
 //!   [`Instance`] in the ball-view simulator, returning the labeling together
@@ -25,9 +31,9 @@
 //!   [`Verdict`] summary, and problems enter the engine through
 //!   [`lcl_problem::ProblemSpec`] just as well as through built values.
 //!
-//! Parallelism note: the batch path uses `std::thread::scope` with a
-//! work-stealing index rather than rayon — the offline build environment
-//! cannot fetch rayon, and a scoped pool over an atomic cursor gives the same
+//! Parallelism note: the pool uses plain `std::thread` workers over an MPMC
+//! channel rather than rayon — the offline build environment cannot fetch
+//! rayon, and per-job reply channels with slot indices give the same
 //! deterministic-order guarantee for this fan-out shape.
 //!
 //! # Example
@@ -61,12 +67,14 @@
 //! ```
 
 use crate::classify::{classify_with_options, ClassifierOptions};
+use crate::pool::{PoolStats, WorkerPool};
 use crate::verdict::{Classification, Complexity, Verdict};
 use crate::Result;
 use lcl_local_sim::{LocalAlgorithm, Network, SyncSimulator};
 use lcl_problem::{Instance, Labeling, NormalizedLcl};
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, OnceLock, RwLock};
 use std::thread;
 
@@ -113,44 +121,57 @@ impl EngineBuilder {
         self
     }
 
-    /// Sets the number of worker threads [`Engine::classify_many`] uses.
+    /// Sets the number of persistent worker threads the engine's pool spawns.
     /// Defaults to the machine's available parallelism.
     pub fn parallelism(mut self, workers: usize) -> Self {
         self.parallelism = Some(workers.max(1));
         self
     }
 
-    /// Bounds the number of cached classifications; when full, the oldest
-    /// entry is evicted. Defaults to [`DEFAULT_CACHE_CAPACITY`].
+    /// Bounds the number of cached classifications; when full, the least
+    /// recently used entry is evicted. Defaults to
+    /// [`DEFAULT_CACHE_CAPACITY`].
     pub fn cache_capacity(mut self, entries: usize) -> Self {
         self.cache_capacity = Some(entries.max(1));
         self
     }
 
-    /// Builds the engine.
+    /// Builds the engine, spawning its persistent worker pool.
     pub fn build(self) -> Engine {
         let parallelism = self
             .parallelism
             .unwrap_or_else(|| thread::available_parallelism().map_or(1, |p| p.get()));
-        Engine {
+        let core = Arc::new(EngineCore {
             options: self.options,
-            parallelism,
             cache_capacity: self.cache_capacity.unwrap_or(DEFAULT_CACHE_CAPACITY),
             cache: RwLock::new(Cache::default()),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        });
+        Engine {
+            core,
+            pool: WorkerPool::new(parallelism),
         }
     }
 }
 
+/// One memoized classification, stamped with its last-use tick for LRU
+/// eviction. The stamp is atomic so cache hits can refresh recency under the
+/// shared read lock.
+#[derive(Debug)]
+struct CacheEntry {
+    value: Arc<Classification>,
+    last_used: AtomicU64,
+}
+
 /// The memo store: classifications keyed by the problem's exact
 /// [`structural key`](NormalizedLcl::structural_key) (collision-free, unlike
-/// the 64-bit canonical hash), with insertion order tracked for FIFO
-/// eviction at capacity.
+/// the 64-bit canonical hash).
 #[derive(Debug, Default)]
 struct Cache {
-    map: HashMap<Vec<u8>, Arc<Classification>>,
-    order: VecDeque<Vec<u8>>,
+    map: HashMap<Vec<u8>, CacheEntry>,
 }
 
 /// Cache-effectiveness counters of an [`Engine`].
@@ -162,6 +183,35 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct problems currently cached.
     pub entries: usize,
+    /// Entries evicted to stay within the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// The fraction of lookups served from the cache, in `[0, 1]`
+    /// (`0.0` before any lookup happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache: {} hits / {} misses ({:.1}% hit ratio), {} entries, {} evictions",
+            self.hits,
+            self.misses,
+            self.hit_ratio() * 100.0,
+            self.entries,
+            self.evictions
+        )
+    }
 }
 
 /// The result of [`Engine::solve`]: the classification together with the
@@ -197,20 +247,121 @@ impl Solution {
     }
 }
 
+/// The sharable inner state of an [`Engine`]: options, memo cache and
+/// counters. Pool workers hold an `Arc` to this, never to the `Engine`
+/// itself, so the engine can own (and on drop, join) its pool.
+#[derive(Debug)]
+struct EngineCore {
+    options: ClassifierOptions,
+    cache_capacity: usize,
+    cache: RwLock<Cache>,
+    /// Monotonic LRU clock; every cache touch takes a fresh tick.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl EngineCore {
+    /// Stamps the entry with a fresh recency tick.
+    fn touch(&self, entry: &CacheEntry) {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(tick, Ordering::Relaxed);
+    }
+
+    /// Read access to the cache. The map is never left mid-mutation (all
+    /// writes go through `write_cache` holders that only insert/remove whole
+    /// entries), so a panic-poisoned lock is safe to see through.
+    fn read_cache(&self) -> std::sync::RwLockReadGuard<'_, Cache> {
+        self.cache
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Write access to the cache (see `read_cache` on poisoning).
+    fn write_cache(&self) -> std::sync::RwLockWriteGuard<'_, Cache> {
+        self.cache
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Probes the cache, refreshing recency and counting a hit on success.
+    /// A miss is *not* counted here — only actual computations count as
+    /// misses (see `classify`).
+    fn lookup(&self, key: &[u8]) -> Option<Arc<Classification>> {
+        let cache = self.read_cache();
+        let entry = cache.map.get(key)?;
+        self.touch(entry);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.value))
+    }
+
+    /// Memoized classification on the calling thread.
+    fn classify(&self, problem: &NormalizedLcl) -> Result<Arc<Classification>> {
+        let key = problem.structural_key();
+        if let Some(cached) = self.lookup(&key) {
+            return Ok(cached);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let computed = Arc::new(classify_with_options(problem, &self.options)?);
+        let mut cache = self.write_cache();
+        // Another thread may have raced us to the same problem; keep the
+        // first entry so every caller shares one allocation.
+        if let Some(existing) = cache.map.get(&key) {
+            self.touch(existing);
+            return Ok(Arc::clone(&existing.value));
+        }
+        while cache.map.len() >= self.cache_capacity {
+            // LRU victim: the smallest recency stamp. The scan is linear but
+            // only runs on insertion into a full cache, never on hits.
+            let victim = cache
+                .map
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            cache.map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let entry = CacheEntry {
+            value: Arc::clone(&computed),
+            last_used: AtomicU64::new(0),
+        };
+        self.touch(&entry);
+        cache.map.insert(key, entry);
+        Ok(computed)
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.read_cache().map.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The error reported when a pool job died (panicked) before sending its
+    /// reply; the engine and its pool remain usable.
+    fn dropped_reply() -> crate::ClassifierError {
+        crate::ClassifierError::Internal {
+            what: "worker-pool job dropped its reply (the job panicked); retry the request"
+                .to_string(),
+        }
+    }
+}
+
 /// A long-lived, concurrency-safe classification service.
 ///
 /// See the [module documentation](self) for the design and an example. An
 /// engine is cheap to share: all methods take `&self`, and the memo cache is
 /// guarded by a reader–writer lock, so concurrent classifications of cached
-/// problems do not contend.
+/// problems do not contend. Construction spawns the persistent worker pool;
+/// dropping the engine closes the pool's queue and joins every worker.
 #[derive(Debug)]
 pub struct Engine {
-    options: ClassifierOptions,
-    parallelism: usize,
-    cache_capacity: usize,
-    cache: RwLock<Cache>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    core: Arc<EngineCore>,
+    pool: WorkerPool,
 }
 
 impl Default for Engine {
@@ -232,53 +383,63 @@ impl Engine {
 
     /// The classifier options this engine runs with.
     pub fn options(&self) -> &ClassifierOptions {
-        &self.options
+        &self.core.options
     }
 
-    /// The number of worker threads [`Engine::classify_many`] uses.
+    /// The number of persistent worker threads in the engine's pool.
     pub fn parallelism(&self) -> usize {
-        self.parallelism
+        self.pool.workers()
     }
 
-    /// Classifies a problem, serving repeated requests for structurally
-    /// identical problems from the memo cache.
+    /// Classifies a problem on the calling thread, serving repeated requests
+    /// for structurally identical problems from the memo cache.
     ///
     /// # Errors
     ///
     /// See [`crate::classify_with_options`]. Errors are not cached; a retry
     /// with the same engine recomputes.
     pub fn classify(&self, problem: &NormalizedLcl) -> Result<Arc<Classification>> {
-        let key = problem.structural_key();
-        if let Some(cached) = self.cache.read().expect("cache lock").map.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(cached));
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let computed = Arc::new(classify_with_options(problem, &self.options)?);
-        let mut cache = self.cache.write().expect("cache lock");
-        // Another thread may have raced us to the same problem; keep the
-        // first entry so every caller shares one allocation.
-        if let Some(existing) = cache.map.get(&key) {
-            return Ok(Arc::clone(existing));
-        }
-        while cache.map.len() >= self.cache_capacity {
-            let Some(oldest) = cache.order.pop_front() else {
-                break;
-            };
-            cache.map.remove(&oldest);
-        }
-        cache.map.insert(key.clone(), Arc::clone(&computed));
-        cache.order.push_back(key);
-        Ok(computed)
+        self.core.classify(problem)
     }
 
-    /// Classifies a batch of problems in parallel, returning verdicts in the
-    /// order of the input slice.
+    /// Classifies a problem on the worker pool: cache hits are served
+    /// directly on the calling thread, misses are computed by a pool worker
+    /// while the caller blocks on the reply.
+    ///
+    /// This is the request-dispatch path of the network service: connection
+    /// threads stay I/O-bound and all classification CPU burns on the
+    /// engine's persistent workers, without spawning any thread. Must not be
+    /// called from a pool worker itself (a single-worker pool would
+    /// deadlock); the engine never does this internally.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::classify`].
+    pub fn classify_pooled(&self, problem: &NormalizedLcl) -> Result<Arc<Classification>> {
+        let key = problem.structural_key();
+        if let Some(cached) = self.core.lookup(&key) {
+            return Ok(cached);
+        }
+        let (tx, rx) = mpsc::channel();
+        let core = Arc::clone(&self.core);
+        let problem = problem.clone();
+        self.pool.submit(move || {
+            let _ = tx.send(core.classify(&problem));
+        });
+        // A disconnected reply means the job died (panicked) on the worker;
+        // surface that as a typed error instead of poisoning the caller.
+        rx.recv()
+            .unwrap_or_else(|_| Err(EngineCore::dropped_reply()))
+    }
+
+    /// Classifies a batch of problems on the persistent worker pool,
+    /// returning verdicts in the order of the input slice.
     ///
     /// Structurally identical problems (equal structural key) are classified
-    /// once and share the resulting `Arc`. The work runs on
-    /// [`Engine::parallelism`] scoped threads; the output order is
-    /// deterministic regardless of scheduling.
+    /// once and share the resulting `Arc`. Each unique problem becomes one
+    /// pool job carrying a slot index and a reply channel, so the output
+    /// order is deterministic regardless of scheduling — and no thread is
+    /// spawned, however large the batch.
     pub fn classify_many(&self, problems: &[NormalizedLcl]) -> Vec<Result<Arc<Classification>>> {
         if problems.is_empty() {
             return Vec::new();
@@ -296,41 +457,35 @@ impl Engine {
             owners.push(rep);
         }
 
-        let workers = self.parallelism.min(unique.len()).max(1);
-        let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel();
-        thread::scope(|scope| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let unique = &unique;
-                scope.spawn(move || loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&index) = unique.get(k) else { break };
-                    let result = self.classify(&problems[index]);
-                    if tx.send((index, result)).is_err() {
-                        break;
-                    }
-                });
-            }
-        });
+        for &index in &unique {
+            let tx = tx.clone();
+            let core = Arc::clone(&self.core);
+            let problem = problems[index].clone();
+            self.pool.submit(move || {
+                let _ = tx.send((index, core.classify(&problem)));
+            });
+        }
         drop(tx);
-        let mut by_rep: HashMap<usize, Result<Arc<Classification>>> = rx.into_iter().collect();
-        debug_assert_eq!(by_rep.len(), unique.len());
+        let by_rep: HashMap<usize, Result<Arc<Classification>>> = rx.into_iter().collect();
         owners
             .iter()
             .map(|rep| {
+                // A missing representative means its job died (panicked) on
+                // the worker without sending; report it per item.
                 by_rep
-                    .get_mut(rep)
-                    .expect("every representative was classified")
-                    .clone()
+                    .get(rep)
+                    .cloned()
+                    .unwrap_or_else(|| Err(EngineCore::dropped_reply()))
             })
             .collect()
     }
 
     /// Classifies the problem, then runs the synthesized optimal algorithm on
     /// the instance (sequential identifiers, ball-view simulator) and verifies
-    /// the output: classify → synthesize → execute in one call.
+    /// the output: classify → synthesize → execute in one call. The
+    /// classification itself runs on the worker pool (cache hits short-cut on
+    /// the calling thread); the simulation runs on the calling thread.
     ///
     /// # Errors
     ///
@@ -344,7 +499,7 @@ impl Engine {
         // Instances can arrive straight off the wire; validate against the
         // problem's alphabet before the verifier's assertions would panic.
         instance.check_alphabet(problem.num_inputs())?;
-        let classification = self.classify(problem)?;
+        let classification = self.classify_pooled(problem)?;
         if classification.complexity() == Complexity::Unsolvable {
             return Err(crate::ClassifierError::Solve {
                 what: format!(
@@ -407,18 +562,17 @@ impl Engine {
 
     /// Current cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.cache.read().expect("cache lock").map.len(),
-        }
+        self.core.stats()
+    }
+
+    /// Current worker-pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Drops every cached classification (counters are kept).
     pub fn clear_cache(&self) {
-        let mut cache = self.cache.write().expect("cache lock");
-        cache.map.clear();
-        cache.order.clear();
+        self.core.write_cache().map.clear();
     }
 }
 
@@ -434,13 +588,14 @@ mod tests {
     use super::*;
     use lcl_problem::Topology;
 
-    fn three_coloring() -> NormalizedLcl {
-        let mut b = NormalizedLcl::builder("3-coloring");
+    fn coloring(k: u16) -> NormalizedLcl {
+        let mut b = NormalizedLcl::builder(format!("{k}-coloring"));
         b.input_labels(&["x"]);
-        b.output_labels(&["1", "2", "3"]);
+        let names: Vec<String> = (1..=k).map(|i| i.to_string()).collect();
+        b.output_labels(&names);
         b.allow_all_node_pairs();
-        for p in 0..3u16 {
-            for q in 0..3u16 {
+        for p in 0..k {
+            for q in 0..k {
                 if p != q {
                     b.allow_edge_idx(p, q);
                 }
@@ -449,14 +604,12 @@ mod tests {
         b.build().unwrap()
     }
 
+    fn three_coloring() -> NormalizedLcl {
+        coloring(3)
+    }
+
     fn two_coloring() -> NormalizedLcl {
-        let mut b = NormalizedLcl::builder("2-coloring");
-        b.input_labels(&["x"]);
-        b.output_labels(&["1", "2"]);
-        b.allow_all_node_pairs();
-        b.allow_edge_idx(0, 1);
-        b.allow_edge_idx(1, 0);
-        b.build().unwrap()
+        coloring(2)
     }
 
     #[test]
@@ -468,7 +621,8 @@ mod tests {
             CacheStats {
                 hits: 0,
                 misses: 1,
-                entries: 1
+                entries: 1,
+                evictions: 0,
             }
         );
         let second = engine.classify(&three_coloring()).unwrap();
@@ -499,6 +653,41 @@ mod tests {
             );
         }
         assert!(engine.classify_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn batches_run_on_the_persistent_pool() {
+        let engine = Engine::builder().parallelism(2).build();
+        assert_eq!(engine.pool_stats().workers, 2);
+        let problems = vec![three_coloring(), two_coloring(), coloring(4)];
+        let batch = engine.classify_many(&problems);
+        assert!(batch.iter().all(Result::is_ok));
+        // The pool's completion counter is incremented just after each job
+        // body finishes; poll briefly for the bookkeeping to settle.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while engine.pool_stats().jobs_completed < 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pool never recorded the batch: {:?}",
+                engine.pool_stats()
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(engine.pool_stats().queue_depth, 0);
+        let shown = engine.pool_stats().to_string();
+        assert!(shown.contains("2 workers"), "{shown}");
+    }
+
+    #[test]
+    fn classify_pooled_agrees_with_classify() {
+        let engine = Engine::builder().parallelism(1).build();
+        let problem = three_coloring();
+        let pooled = engine.classify_pooled(&problem).unwrap();
+        assert_eq!(engine.cache_stats().misses, 1);
+        // Warm path: served on the calling thread straight from the cache.
+        let direct = engine.classify(&problem).unwrap();
+        assert!(Arc::ptr_eq(&pooled, &direct));
+        assert_eq!(engine.cache_stats().hits, 1);
     }
 
     #[test]
@@ -569,7 +758,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_capacity_evicts_oldest() {
+    fn full_cache_evicts_somebody() {
         let engine = Engine::builder().cache_capacity(1).build();
         engine.classify(&three_coloring()).unwrap();
         assert_eq!(engine.cache_stats().entries, 1);
@@ -581,6 +770,56 @@ mod tests {
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.hits, 0, "evicted entry cannot hit");
         assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 2);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recently_used() {
+        // Regression test for the FIFO → LRU upgrade: a hit must refresh an
+        // entry's recency, so insertion order alone no longer picks victims.
+        let engine = Engine::builder().cache_capacity(2).parallelism(1).build();
+        let a = three_coloring();
+        let b = two_coloring();
+        let c = coloring(4);
+
+        engine.classify(&a).unwrap(); // cache: [a]
+        engine.classify(&b).unwrap(); // cache: [a, b]
+        engine.classify(&a).unwrap(); // hit: a becomes most recent
+        engine.classify(&c).unwrap(); // full → evicts b (LRU), NOT a (FIFO)
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 3, 1));
+        assert_eq!(stats.entries, 2);
+
+        engine.classify(&a).unwrap(); // still cached: hit
+        assert_eq!(engine.cache_stats().hits, 2, "a must have survived");
+        engine.classify(&b).unwrap(); // recompute: b was the victim
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 4, "b must have been evicted");
+        assert_eq!(stats.evictions, 2, "inserting b evicted c (the new LRU)");
+
+        engine.classify(&a).unwrap(); // a outlived both evictions
+        assert_eq!(engine.cache_stats().hits, 3);
+    }
+
+    #[test]
+    fn cache_stats_hit_ratio_and_display() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+            evictions: 0,
+        };
+        assert!((stats.hit_ratio() - 0.75).abs() < 1e-12);
+        let shown = stats.to_string();
+        assert!(shown.contains("3 hits"), "{shown}");
+        assert!(shown.contains("75.0%"), "{shown}");
+        let empty = CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+            evictions: 0,
+        };
+        assert_eq!(empty.hit_ratio(), 0.0);
     }
 
     #[test]

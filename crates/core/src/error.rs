@@ -35,6 +35,12 @@ pub enum ClassifierError {
         /// Description of the failure.
         what: String,
     },
+    /// An engine-internal failure: a worker-pool job died (panicked) before
+    /// delivering its result. The engine itself stays usable.
+    Internal {
+        /// Description of the failure.
+        what: String,
+    },
 }
 
 impl fmt::Display for ClassifierError {
@@ -48,6 +54,7 @@ impl fmt::Display for ClassifierError {
             ClassifierError::TooLarge { what } => write!(f, "problem too large: {what}"),
             ClassifierError::Sim(e) => write!(f, "simulator error: {e}"),
             ClassifierError::Solve { what } => write!(f, "solve failed: {what}"),
+            ClassifierError::Internal { what } => write!(f, "engine internal error: {what}"),
         }
     }
 }
@@ -99,5 +106,10 @@ mod tests {
         assert!(e.to_string().contains("outputs"));
         let e = ClassifierError::from(lcl_problem::ProblemError::EmptyInputAlphabet);
         assert!(e.to_string().contains("problem"));
+        let e = ClassifierError::Internal {
+            what: "reply dropped".into(),
+        };
+        assert!(e.to_string().contains("reply dropped"));
+        assert!(e.source().is_none());
     }
 }

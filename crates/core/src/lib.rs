@@ -63,6 +63,7 @@ mod classify;
 pub mod engine;
 mod error;
 pub mod feasibility;
+mod pool;
 pub mod synthesis;
 mod types_info;
 mod verdict;
@@ -73,6 +74,7 @@ pub use engine::{
 };
 pub use error::ClassifierError;
 pub use feasibility::{FeasibleStructure, PatternLabeling};
+pub use pool::PoolStats;
 pub use synthesis::{ConstantAlgorithm, LogStarAlgorithm, SynthesizedAlgorithm};
 pub use types_info::GapTypes;
 pub use verdict::{Classification, Complexity, Verdict};

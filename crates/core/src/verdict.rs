@@ -187,6 +187,18 @@ impl Verdict {
     pub fn from_json_str(text: &str) -> Result<Self> {
         let wire = |what: String| crate::ClassifierError::Problem(ProblemError::Wire { what });
         let value = JsonValue::parse(text).map_err(|e| wire(e.to_string()))?;
+        Self::from_json(&value)
+    }
+
+    /// Reads a verdict back from a parsed JSON document
+    /// (see [`Verdict::from_json_str`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire-format error on missing fields, unknown complexity
+    /// identifiers, or invalid hash/witness fields.
+    pub fn from_json(value: &JsonValue) -> Result<Self> {
+        let wire = |what: String| crate::ClassifierError::Problem(ProblemError::Wire { what });
         let json_err = |e: lcl_problem::json::JsonError| wire(e.to_string());
         let complexity_name = value.require("complexity").map_err(json_err)?;
         let complexity = Complexity::from_wire_name(complexity_name.as_str().map_err(json_err)?)

@@ -1,0 +1,327 @@
+//! The versioned NDJSON request/response envelope of the classification
+//! service.
+//!
+//! Where [`crate::ProblemSpec`] is the wire form of one *problem*, the
+//! envelope types here are the wire form of one *exchange*: every frame the
+//! `lcl-server` crate reads or writes is a single line of JSON shaped as a
+//! [`RequestEnvelope`] or a [`ResponseEnvelope`]. The envelope lives in this
+//! crate (next to the rest of the wire format) so that clients, servers and
+//! test harnesses share one strict parser and one canonical serializer —
+//! equal envelopes always print byte-identically.
+//!
+//! A request carries the protocol version (`"v"`), a caller-chosen integer
+//! request id (`"id"`, echoed back verbatim), a request kind (`"kind"`) and
+//! an optional kind-specific `"payload"` object. A response echoes the id and
+//! kind and carries either `"ok": true` with a `"payload"`, or `"ok": false`
+//! with a structured [`ErrorReply`] (`category` + `message`). The request
+//! kinds themselves (`classify`, `classify_many`, `solve`, `stats`,
+//! `health`) are interpreted by the server crate; this module only fixes the
+//! frame shape. See `docs/PROTOCOL.md` at the repository root for the full
+//! protocol specification with examples.
+
+use crate::json::JsonValue;
+use crate::{ProblemError, Result};
+use std::fmt;
+
+/// The current version of the service protocol. Requests carrying any other
+/// version are rejected before their payload is interpreted.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// One parsed request frame: `{"v":1,"id":7,"kind":"classify","payload":…}`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RequestEnvelope {
+    /// Caller-chosen request id; the response echoes it, which lets a client
+    /// detect desynchronized streams.
+    pub id: i64,
+    /// The request kind (e.g. `classify`); interpreted by the server.
+    pub kind: String,
+    /// Kind-specific payload document; [`JsonValue::Null`] when absent.
+    pub payload: JsonValue,
+}
+
+impl RequestEnvelope {
+    /// Builds a request envelope for the current protocol version.
+    pub fn new(id: i64, kind: impl Into<String>, payload: JsonValue) -> Self {
+        RequestEnvelope {
+            id,
+            kind: kind.into(),
+            payload,
+        }
+    }
+
+    /// Serializes to a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("v", JsonValue::Int(PROTOCOL_VERSION)),
+            ("id", JsonValue::Int(self.id)),
+            ("kind", JsonValue::Str(self.kind.clone())),
+            ("payload", self.payload.clone()),
+        ])
+    }
+
+    /// Serializes to a compact single-line JSON string (one NDJSON frame).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// Reads a request back from a parsed JSON document, enforcing the
+    /// protocol version and field types.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire-format error on a missing/unsupported `v`, a missing or
+    /// non-integer `id`, or a missing/empty `kind`. The payload is *not*
+    /// validated here — its shape depends on the kind.
+    pub fn from_json(value: &JsonValue) -> Result<Self> {
+        let version = value.require("v")?.as_int()?;
+        if version != PROTOCOL_VERSION {
+            return Err(ProblemError::Wire {
+                what: format!(
+                    "unsupported protocol version {version} (supported: {PROTOCOL_VERSION})"
+                ),
+            });
+        }
+        let id = value.require("id")?.as_int()?;
+        let kind = value.require("kind")?.as_str()?.to_string();
+        if kind.is_empty() {
+            return Err(ProblemError::Wire {
+                what: "request kind must not be empty".to_string(),
+            });
+        }
+        let payload = value.get("payload").cloned().unwrap_or(JsonValue::Null);
+        Ok(RequestEnvelope { id, kind, payload })
+    }
+
+    /// Parses a request from one NDJSON frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`RequestEnvelope::from_json`]; additionally reports JSON syntax
+    /// errors.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+/// A structured error carried by a failed response: a stable machine-readable
+/// `category` (which subsystem produced the error — `problem`, `semigroup`,
+/// `simulator`, `lba`, `classifier` — or `protocol` for malformed frames)
+/// and a human-readable `message`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ErrorReply {
+    /// Stable error category identifier.
+    pub category: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ErrorReply {
+    /// Builds an error reply.
+    pub fn new(category: impl Into<String>, message: impl Into<String>) -> Self {
+        ErrorReply {
+            category: category.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Serializes to a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("category", JsonValue::Str(self.category.clone())),
+            ("message", JsonValue::Str(self.message.clone())),
+        ])
+    }
+
+    /// Reads an error reply back from a parsed JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire-format error on missing or non-string fields.
+    pub fn from_json(value: &JsonValue) -> Result<Self> {
+        Ok(ErrorReply {
+            category: value.require("category")?.as_str()?.to_string(),
+            message: value.require("message")?.as_str()?.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for ErrorReply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.category, self.message)
+    }
+}
+
+/// One response frame: either
+/// `{"id":7,"kind":"classify","ok":true,"payload":…}` or
+/// `{"id":7,"kind":"classify","ok":false,"error":{…}}`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ResponseEnvelope {
+    /// The echoed request id; `None` when the request was so malformed that
+    /// no id could be recovered (serialized as JSON `null`).
+    pub id: Option<i64>,
+    /// The echoed request kind (the literal `invalid` when unknown).
+    pub kind: String,
+    /// The outcome: a kind-specific payload, or a structured error.
+    pub result: std::result::Result<JsonValue, ErrorReply>,
+}
+
+impl ResponseEnvelope {
+    /// Builds a success response.
+    pub fn ok(id: i64, kind: impl Into<String>, payload: JsonValue) -> Self {
+        ResponseEnvelope {
+            id: Some(id),
+            kind: kind.into(),
+            result: Ok(payload),
+        }
+    }
+
+    /// Builds an error response.
+    pub fn error(id: Option<i64>, kind: impl Into<String>, error: ErrorReply) -> Self {
+        ResponseEnvelope {
+            id,
+            kind: kind.into(),
+            result: Err(error),
+        }
+    }
+
+    /// Whether this is a success response.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// Serializes to a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        let id = match self.id {
+            Some(id) => JsonValue::Int(id),
+            None => JsonValue::Null,
+        };
+        match &self.result {
+            Ok(payload) => JsonValue::object([
+                ("id", id),
+                ("kind", JsonValue::Str(self.kind.clone())),
+                ("ok", JsonValue::Bool(true)),
+                ("payload", payload.clone()),
+            ]),
+            Err(error) => JsonValue::object([
+                ("id", id),
+                ("kind", JsonValue::Str(self.kind.clone())),
+                ("ok", JsonValue::Bool(false)),
+                ("error", error.to_json()),
+            ]),
+        }
+    }
+
+    /// Serializes to a compact single-line JSON string (one NDJSON frame).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// Reads a response back from a parsed JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire-format error on missing fields or a non-boolean `ok`.
+    pub fn from_json(value: &JsonValue) -> Result<Self> {
+        let id = match value.require("id")? {
+            JsonValue::Null => None,
+            other => Some(other.as_int()?),
+        };
+        let kind = value.require("kind")?.as_str()?.to_string();
+        let result = if value.require("ok")?.as_bool()? {
+            Ok(value.require("payload")?.clone())
+        } else {
+            Err(ErrorReply::from_json(value.require("error")?)?)
+        };
+        Ok(ResponseEnvelope { id, kind, result })
+    }
+
+    /// Parses a response from one NDJSON frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`ResponseEnvelope::from_json`]; additionally reports JSON syntax
+    /// errors.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips() {
+        let payload = JsonValue::object([("x", JsonValue::Int(1))]);
+        let request = RequestEnvelope::new(7, "classify", payload);
+        let text = request.to_json_string();
+        assert_eq!(
+            text,
+            r#"{"id":7,"kind":"classify","payload":{"x":1},"v":1}"#
+        );
+        assert_eq!(RequestEnvelope::from_json_str(&text).unwrap(), request);
+    }
+
+    #[test]
+    fn request_payload_defaults_to_null() {
+        let request = RequestEnvelope::from_json_str(r#"{"v":1,"id":1,"kind":"health"}"#).unwrap();
+        assert_eq!(request.payload, JsonValue::Null);
+        assert_eq!(request.kind, "health");
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        // Syntax error.
+        assert!(RequestEnvelope::from_json_str("{").is_err());
+        // Missing version.
+        assert!(RequestEnvelope::from_json_str(r#"{"id":1,"kind":"health"}"#).is_err());
+        // Unsupported version.
+        let err = RequestEnvelope::from_json_str(r#"{"v":2,"id":1,"kind":"health"}"#).unwrap_err();
+        assert!(err.to_string().contains("unsupported protocol version 2"));
+        // Missing / non-integer id.
+        assert!(RequestEnvelope::from_json_str(r#"{"v":1,"kind":"health"}"#).is_err());
+        assert!(RequestEnvelope::from_json_str(r#"{"v":1,"id":"x","kind":"health"}"#).is_err());
+        // Missing / empty kind.
+        assert!(RequestEnvelope::from_json_str(r#"{"v":1,"id":1}"#).is_err());
+        assert!(RequestEnvelope::from_json_str(r#"{"v":1,"id":1,"kind":""}"#).is_err());
+    }
+
+    #[test]
+    fn ok_response_roundtrips() {
+        let response = ResponseEnvelope::ok(3, "stats", JsonValue::object([]));
+        assert!(response.is_ok());
+        let text = response.to_json_string();
+        assert_eq!(text, r#"{"id":3,"kind":"stats","ok":true,"payload":{}}"#);
+        assert_eq!(ResponseEnvelope::from_json_str(&text).unwrap(), response);
+    }
+
+    #[test]
+    fn error_response_roundtrips_with_null_id() {
+        let response = ResponseEnvelope::error(
+            None,
+            "invalid",
+            ErrorReply::new("protocol", "malformed request frame"),
+        );
+        assert!(!response.is_ok());
+        let text = response.to_json_string();
+        assert_eq!(
+            text,
+            r#"{"error":{"category":"protocol","message":"malformed request frame"},"id":null,"kind":"invalid","ok":false}"#
+        );
+        let back = ResponseEnvelope::from_json_str(&text).unwrap();
+        assert_eq!(back, response);
+        assert_eq!(
+            back.result.unwrap_err().to_string(),
+            "protocol: malformed request frame"
+        );
+    }
+
+    #[test]
+    fn bad_responses_are_rejected() {
+        assert!(ResponseEnvelope::from_json_str(r#"{"id":1,"kind":"x"}"#).is_err());
+        assert!(ResponseEnvelope::from_json_str(r#"{"id":1,"kind":"x","ok":1}"#).is_err());
+        // ok:true without payload / ok:false without error.
+        assert!(ResponseEnvelope::from_json_str(r#"{"id":1,"kind":"x","ok":true}"#).is_err());
+        assert!(ResponseEnvelope::from_json_str(r#"{"id":1,"kind":"x","ok":false}"#).is_err());
+    }
+}

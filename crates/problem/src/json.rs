@@ -99,6 +99,14 @@ impl JsonValue {
         }
     }
 
+    /// Interprets this value as a boolean.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(type_error("boolean", other)),
+        }
+    }
+
     /// Interprets this value as a string.
     pub fn as_str(&self) -> Result<&str, JsonError> {
         match self {

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod alphabet;
+mod envelope;
 mod error;
 mod instance;
 pub mod json;
@@ -59,6 +60,7 @@ mod verify;
 mod window;
 
 pub use alphabet::{Alphabet, InLabel, OutLabel};
+pub use envelope::{ErrorReply, RequestEnvelope, ResponseEnvelope, PROTOCOL_VERSION};
 pub use error::ProblemError;
 pub use instance::{Instance, Labeling, Topology};
 pub use normalized::{NormalizedLcl, NormalizedLclBuilder};

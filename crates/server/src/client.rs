@@ -1,0 +1,270 @@
+//! A blocking NDJSON client for the classification service.
+//!
+//! [`Client`] speaks the same envelope types the server does, over one TCP
+//! connection, with monotonically increasing request ids that are checked
+//! against the echoed response ids. It is deliberately simple — one
+//! request in flight at a time — because it exists for the integration
+//! tests, the CI smoke step, the `server_throughput` bench and small tools,
+//! not as a production SDK.
+
+use lcl_paths::classifier::{Complexity, Verdict};
+use lcl_paths::problem::json::JsonValue;
+use lcl_paths::problem::{
+    ErrorReply, Instance, Labeling, ProblemSpec, RequestEnvelope, ResponseEnvelope,
+};
+use std::error::Error as StdError;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors produced by [`Client`] calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed (or was closed mid-call).
+    Io(io::Error),
+    /// The server's reply violated the protocol (unparseable frame,
+    /// mismatched id, missing payload field).
+    Protocol(String),
+    /// The server replied with a structured error.
+    Remote(ErrorReply),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::Remote(reply) => write!(f, "server error: {reply}"),
+        }
+    }
+}
+
+impl StdError for ClientError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The reply to a `solve` request: complexity class, round count and the
+/// labeling the synthesized algorithm produced.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SolveReply {
+    /// The problem's complexity class.
+    pub complexity: Complexity,
+    /// LOCAL rounds the synthesized algorithm used on this instance.
+    pub rounds: usize,
+    /// The produced (verified) labeling.
+    pub labeling: Labeling,
+}
+
+/// A blocking client holding one connection to an `lcl-server`.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: i64,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Small request frames: disable Nagle so round-trips don't stall
+        // against delayed ACKs.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one raw frame (a line, without its newline) — no envelope is
+    /// added. Exposed for protocol-robustness harnesses that need to send
+    /// deliberately malformed frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_frame(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads one raw response frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors or a closed connection.
+    pub fn recv_frame(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Performs one request/response exchange, returning the response
+    /// payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, protocol violations (including a response id
+    /// that does not echo the request id), or a structured server error.
+    pub fn call(&mut self, kind: &str, payload: JsonValue) -> Result<JsonValue, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_frame(&RequestEnvelope::new(id, kind, payload).to_json_string())?;
+        let line = self.recv_frame()?;
+        let response = ResponseEnvelope::from_json_str(&line)
+            .map_err(|e| ClientError::Protocol(format!("bad response envelope: {e}")))?;
+        if response.id != Some(id) {
+            return Err(ClientError::Protocol(format!(
+                "response id {:?} does not echo request id {id}",
+                response.id
+            )));
+        }
+        response.result.map_err(ClientError::Remote)
+    }
+
+    /// Classifies one problem, returning its wire verdict.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn classify(&mut self, spec: &ProblemSpec) -> Result<Verdict, ClientError> {
+        let payload = JsonValue::object([("problem", spec.to_json())]);
+        let reply = self.call("classify", payload)?;
+        let verdict = require(&reply, "verdict")?;
+        Verdict::from_json(verdict)
+            .map_err(|e| ClientError::Protocol(format!("bad verdict in reply: {e}")))
+    }
+
+    /// Classifies a batch in one request, returning per-item outcomes in
+    /// input order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`]; per-item classification failures are returned
+    /// inside the vector, not as a call error.
+    pub fn classify_many(
+        &mut self,
+        specs: &[ProblemSpec],
+    ) -> Result<Vec<Result<Verdict, ErrorReply>>, ClientError> {
+        let payload = JsonValue::object([(
+            "problems",
+            JsonValue::Array(specs.iter().map(ProblemSpec::to_json).collect()),
+        )]);
+        let reply = self.call("classify_many", payload)?;
+        let items = require(&reply, "verdicts")?
+            .as_array()
+            .map_err(|e| ClientError::Protocol(e.to_string()))?;
+        items
+            .iter()
+            .map(|item| {
+                let ok = require(item, "ok")?
+                    .as_bool()
+                    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                if ok {
+                    Verdict::from_json(require(item, "verdict")?)
+                        .map(Ok)
+                        .map_err(|e| ClientError::Protocol(format!("bad verdict in reply: {e}")))
+                } else {
+                    ErrorReply::from_json(require(item, "error")?)
+                        .map(Err)
+                        .map_err(|e| ClientError::Protocol(format!("bad error in reply: {e}")))
+                }
+            })
+            .collect()
+    }
+
+    /// Classifies, synthesizes and runs the problem on a concrete instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn solve(
+        &mut self,
+        spec: &ProblemSpec,
+        instance: &Instance,
+    ) -> Result<SolveReply, ClientError> {
+        let payload = JsonValue::object([
+            ("problem", spec.to_json()),
+            ("instance", instance.to_json()),
+        ]);
+        let reply = self.call("solve", payload)?;
+        let protocol = |what: String| ClientError::Protocol(what);
+        let complexity_name = require(&reply, "complexity")?
+            .as_str()
+            .map_err(|e| protocol(e.to_string()))?;
+        let complexity = Complexity::from_wire_name(complexity_name)
+            .ok_or_else(|| protocol(format!("unknown complexity `{complexity_name}`")))?;
+        let rounds = require(&reply, "rounds")?
+            .as_int()
+            .ok()
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or_else(|| protocol("invalid round count".to_string()))?;
+        let mut outputs = Vec::new();
+        for value in require(require(&reply, "labeling")?, "outputs")?
+            .as_array()
+            .map_err(|e| protocol(e.to_string()))?
+        {
+            let index = value
+                .as_int()
+                .ok()
+                .and_then(|v| u16::try_from(v).ok())
+                .ok_or_else(|| protocol("invalid output label".to_string()))?;
+            outputs.push(index);
+        }
+        Ok(SolveReply {
+            complexity,
+            rounds,
+            labeling: Labeling::from_indices(&outputs),
+        })
+    }
+
+    /// Fetches the server's cache/pool/latency statistics payload.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn stats(&mut self) -> Result<JsonValue, ClientError> {
+        self.call("stats", JsonValue::Null)
+    }
+
+    /// Probes liveness, returning the health payload.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn health(&mut self) -> Result<JsonValue, ClientError> {
+        self.call("health", JsonValue::Null)
+    }
+}
+
+fn require<'a>(value: &'a JsonValue, field: &str) -> Result<&'a JsonValue, ClientError> {
+    value
+        .require(field)
+        .map_err(|e| ClientError::Protocol(e.to_string()))
+}

@@ -1,0 +1,163 @@
+//! Bounded NDJSON frame reading.
+//!
+//! Both the TCP connection handler and the stdio loop read frames through
+//! [`read_frame`], which enforces [`MAX_FRAME_BYTES`]: an oversized line is
+//! consumed (and discarded) up to its terminating newline, so the connection
+//! stays usable and the offender gets a structured error reply instead of
+//! unbounded buffering or a dropped stream.
+
+use std::io::{self, BufRead};
+
+/// Hard bound on the length of one NDJSON frame (request line), in bytes.
+/// Frames beyond this are rejected with a `protocol` error reply but do not
+/// terminate the connection.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Outcome of reading one frame.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Frame {
+    /// A complete line (without its newline). Invalid UTF-8 is replaced
+    /// lossily — the JSON parser then rejects the frame with a structured
+    /// error rather than the reader killing the connection.
+    Line(String),
+    /// The line exceeded the limit; it was consumed and dropped.
+    Oversized {
+        /// How many bytes the peer sent in the rejected frame (lower bound
+        /// if the stream ended mid-frame).
+        discarded: usize,
+    },
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated frame of at most `max` bytes.
+///
+/// A final unterminated line at EOF is returned as a normal line (pipes often
+/// omit the trailing newline). I/O errors abort the read.
+pub(crate) fn read_frame(reader: &mut impl BufRead, max: usize) -> io::Result<Frame> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    let mut discarded = 0usize;
+    loop {
+        let (done, used, eof) = {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                (true, 0, true)
+            } else if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+                if overflowed {
+                    discarded += pos;
+                } else if buf.len() + pos > max {
+                    overflowed = true;
+                    discarded = buf.len() + pos;
+                } else {
+                    buf.extend_from_slice(&available[..pos]);
+                }
+                (true, pos + 1, false)
+            } else {
+                if overflowed {
+                    discarded += available.len();
+                } else if buf.len() + available.len() > max {
+                    overflowed = true;
+                    discarded = buf.len() + available.len();
+                    buf.clear();
+                } else {
+                    buf.extend_from_slice(available);
+                }
+                (false, available.len(), false)
+            }
+        };
+        reader.consume(used);
+        if done {
+            return Ok(if overflowed {
+                Frame::Oversized { discarded }
+            } else if eof && buf.is_empty() {
+                Frame::Eof
+            } else {
+                Frame::Line(into_string(buf))
+            });
+        }
+    }
+}
+
+fn into_string(bytes: Vec<u8>) -> String {
+    String::from_utf8(bytes).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn frames(input: &[u8], max: usize) -> Vec<Frame> {
+        let mut reader = BufReader::with_capacity(7, input); // tiny buffer: force refills
+        let mut out = Vec::new();
+        loop {
+            let frame = read_frame(&mut reader, max).unwrap();
+            let eof = frame == Frame::Eof;
+            out.push(frame);
+            if eof {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn splits_lines_and_reports_eof() {
+        let got = frames(b"one\ntwo\n", 100);
+        assert_eq!(
+            got,
+            vec![
+                Frame::Line("one".into()),
+                Frame::Line("two".into()),
+                Frame::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn final_unterminated_line_is_returned() {
+        let got = frames(b"tail-no-newline", 100);
+        assert_eq!(got[0], Frame::Line("tail-no-newline".into()));
+        assert_eq!(got[1], Frame::Eof);
+    }
+
+    #[test]
+    fn oversized_line_is_discarded_but_stream_continues() {
+        let mut input = vec![b'a'; 50];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let got = frames(&input, 10);
+        assert_eq!(
+            got,
+            vec![
+                Frame::Oversized { discarded: 50 },
+                Frame::Line("ok".into()),
+                Frame::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_line_at_eof_is_reported() {
+        let got = frames(&[b'x'; 40], 10);
+        assert_eq!(got[0], Frame::Oversized { discarded: 40 });
+        assert_eq!(got[1], Frame::Eof);
+    }
+
+    #[test]
+    fn invalid_utf8_is_replaced_not_fatal() {
+        let got = frames(b"\xff\xfe{\n", 100);
+        match &got[0] {
+            Frame::Line(line) => assert!(line.contains('{')),
+            other => panic!("expected a line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_max_is_allowed() {
+        let mut input = vec![b'a'; 10];
+        input.push(b'\n');
+        let got = frames(&input, 10);
+        assert_eq!(got[0], Frame::Line("a".repeat(10)));
+    }
+}

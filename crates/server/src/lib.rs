@@ -1,0 +1,66 @@
+//! # lcl-server
+//!
+//! A dependency-free (`std::net` + `std::thread`) network service exposing
+//! the LCL classification pipeline — the `Engine` of `lcl-classifier` — over
+//! a newline-delimited JSON (NDJSON) protocol.
+//!
+//! Every frame is one line of JSON: requests are
+//! [`RequestEnvelope`](lcl_paths::problem::RequestEnvelope)s
+//! (`{"v":1,"id":7,"kind":"classify","payload":{…}}`), responses are
+//! [`ResponseEnvelope`](lcl_paths::problem::ResponseEnvelope)s echoing the
+//! request id and carrying either a payload or a structured error reply
+//! derived from [`lcl_paths::Error`]. Five request kinds are served:
+//! `classify`, `classify_many`, `solve`, `stats` and `health` (see
+//! `docs/PROTOCOL.md` at the repository root for the full specification).
+//!
+//! The same [`Service`] dispatch runs over two framings:
+//!
+//! * **TCP** ([`Server`]) — one handler thread per connection; all
+//!   classification CPU burns on the engine's *persistent worker pool*, so
+//!   nothing is spawned on the per-request path, and [`ServerHandle`]
+//!   shuts the listener and every open connection down gracefully;
+//! * **stdio** ([`serve_stdio`]) — the `lcl-serve --stdio` pipe mode, same
+//!   frames over stdin/stdout.
+//!
+//! [`Client`] is the matching blocking client helper used by the integration
+//! tests, the CI smoke step and the `server_throughput` bench.
+//!
+//! # Example
+//!
+//! ```
+//! use lcl_paths::{problems, Engine};
+//! use lcl_server::{Client, Server, Service};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = Arc::new(Service::new(Engine::builder().parallelism(2).build()));
+//! let server = Server::bind(service, "127.0.0.1:0")?; // ephemeral port
+//! let handle = server.start()?;
+//!
+//! let mut client = Client::connect(handle.addr())?;
+//! let verdict = client.classify(&problems::coloring(3).to_spec())?;
+//! assert_eq!(verdict.complexity.wire_name(), "log-star");
+//! assert_eq!(client.health()?.require("status")?.as_str()?, "ok");
+//!
+//! drop(client);
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+mod frame;
+mod metrics;
+mod service;
+mod stdio;
+mod tcp;
+
+pub use client::{Client, ClientError, SolveReply};
+pub use frame::MAX_FRAME_BYTES;
+pub use metrics::{KindStats, ServerMetrics};
+pub use service::{error_reply, RequestKind, Service};
+pub use stdio::serve_stdio;
+pub use tcp::{Server, ServerHandle};

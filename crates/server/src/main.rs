@@ -1,0 +1,177 @@
+//! `lcl-serve` — serve the LCL classification engine over TCP or stdio.
+//!
+//! ```text
+//! lcl-serve --addr 127.0.0.1:7171            # NDJSON over TCP
+//! echo '{"v":1,"id":1,"kind":"health"}' | lcl-serve --stdio
+//! lcl-serve --smoke                          # self-check: serve + round-trip
+//! ```
+
+use lcl_paths::{problems, Engine};
+use lcl_server::{serve_stdio, Client, Server, Service};
+use std::io::{stdin, stdout};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+lcl-serve: serve the LCL classification engine over NDJSON
+
+USAGE:
+    lcl-serve --addr HOST:PORT [OPTIONS]   serve over TCP (foreground)
+    lcl-serve --stdio [OPTIONS]            serve stdin/stdout until EOF
+    lcl-serve --smoke [OPTIONS]            start on a loopback port, drive one
+                                           classify and one health round-trip
+                                           through the client, then exit
+
+OPTIONS:
+    --workers N           persistent pool workers (default: available cores)
+    --cache-capacity N    memo cache bound (default: 4096)
+    --help                print this help
+";
+
+#[derive(Default)]
+struct Options {
+    addr: Option<String>,
+    stdio: bool,
+    smoke: bool,
+    workers: Option<usize>,
+    cache_capacity: Option<usize>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let value = iter.next().ok_or("--addr requires HOST:PORT")?;
+                options.addr = Some(value.clone());
+            }
+            "--stdio" => options.stdio = true,
+            "--smoke" => options.smoke = true,
+            "--workers" => {
+                let value = iter.next().ok_or("--workers requires a count")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid --workers value `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+                options.workers = Some(parsed);
+            }
+            "--cache-capacity" => {
+                let value = iter.next().ok_or("--cache-capacity requires a count")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid --cache-capacity value `{value}`"))?;
+                options.cache_capacity = Some(parsed);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let modes = usize::from(options.addr.is_some())
+        + usize::from(options.stdio)
+        + usize::from(options.smoke);
+    if modes != 1 {
+        return Err("exactly one of --addr, --stdio or --smoke is required".to_string());
+    }
+    Ok(options)
+}
+
+fn build_service(options: &Options) -> Arc<Service> {
+    let mut builder = Engine::builder();
+    if let Some(workers) = options.workers {
+        builder = builder.parallelism(workers);
+    }
+    if let Some(capacity) = options.cache_capacity {
+        builder = builder.cache_capacity(capacity);
+    }
+    Arc::new(Service::new(builder.build()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let service = build_service(&options);
+
+    let outcome = if options.smoke {
+        run_smoke(service)
+    } else if options.stdio {
+        run_stdio(&service)
+    } else {
+        run_tcp(service, options.addr.as_deref().unwrap_or_default())
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_tcp(service: Arc<Service>, addr: &str) -> Result<(), String> {
+    let server = Server::bind(service, addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("lcl-serve listening on {bound}");
+    server.run();
+    Ok(())
+}
+
+fn run_stdio(service: &Service) -> Result<(), String> {
+    serve_stdio(service, stdin().lock(), stdout().lock()).map_err(|e| e.to_string())?;
+    // One summary line on exit; CacheStats and PoolStats do the formatting.
+    eprintln!(
+        "lcl-serve stdio session done: {}; {}",
+        service.engine().cache_stats(),
+        service.engine().pool_stats()
+    );
+    Ok(())
+}
+
+/// The CI smoke mode: start on an ephemeral loopback port, drive one
+/// `classify` and one `health` round-trip through the client helper, verify
+/// both, shut down gracefully.
+fn run_smoke(service: Arc<Service>) -> Result<(), String> {
+    let server = Server::bind(service, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
+    let handle = server.start().map_err(|e| format!("start server: {e}"))?;
+    let addr = handle.addr();
+
+    let result = (|| -> Result<(), String> {
+        let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let problem = problems::coloring(3);
+        let verdict = client
+            .classify(&problem.to_spec())
+            .map_err(|e| format!("classify round-trip: {e}"))?;
+        if verdict.complexity.wire_name() != "log-star" {
+            return Err(format!(
+                "unexpected verdict for 3-coloring: {}",
+                verdict.complexity
+            ));
+        }
+        let health = client
+            .health()
+            .map_err(|e| format!("health round-trip: {e}"))?;
+        let status = health
+            .require("status")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .map_err(|e| format!("malformed health payload: {e}"))?;
+        if status != "ok" {
+            return Err(format!("unexpected health status `{status}`"));
+        }
+        println!("smoke ok @ {addr}: {verdict}");
+        Ok(())
+    })();
+    handle.shutdown();
+    result
+}

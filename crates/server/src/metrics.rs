@@ -1,0 +1,181 @@
+//! Per-kind request counters and latency metrics of a running [`Service`].
+//!
+//! Every dispatched frame — including unparseable ones, which are accounted
+//! under the `invalid` pseudo-kind — bumps one [`KindStats`] bucket: request
+//! count, error count, cumulative and maximum latency. The `stats` request
+//! kind surfaces a snapshot of these counters next to the engine's cache and
+//! pool statistics.
+//!
+//! [`Service`]: crate::Service
+
+use crate::service::RequestKind;
+use lcl_paths::problem::json::JsonValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lock-free counters for one request kind.
+#[derive(Debug, Default)]
+struct KindCounters {
+    count: AtomicU64,
+    errors: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl KindCounters {
+    fn record(&self, elapsed: Duration, ok: bool) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> KindStats {
+        KindStats {
+            count: self.count.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            total_micros: self.total_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one request kind's counters.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct KindStats {
+    /// Requests of this kind handled (successful or not).
+    pub count: u64,
+    /// Requests of this kind that produced an error reply.
+    pub errors: u64,
+    /// Cumulative handling latency, in microseconds.
+    pub total_micros: u64,
+    /// Largest single-request handling latency, in microseconds.
+    pub max_micros: u64,
+}
+
+impl KindStats {
+    /// Mean handling latency in microseconds (0 before any request).
+    pub fn mean_micros(&self) -> u64 {
+        self.total_micros.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Per-kind request counters of a running service. All methods are lock-free
+/// and safe to call from any connection thread.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    classify: KindCounters,
+    classify_many: KindCounters,
+    solve: KindCounters,
+    stats: KindCounters,
+    health: KindCounters,
+    /// Frames that never resolved to a known request kind.
+    invalid: KindCounters,
+}
+
+impl ServerMetrics {
+    fn counters(&self, kind: Option<RequestKind>) -> &KindCounters {
+        match kind {
+            Some(RequestKind::Classify) => &self.classify,
+            Some(RequestKind::ClassifyMany) => &self.classify_many,
+            Some(RequestKind::Solve) => &self.solve,
+            Some(RequestKind::Stats) => &self.stats,
+            Some(RequestKind::Health) => &self.health,
+            None => &self.invalid,
+        }
+    }
+
+    /// Records one handled frame (`None` = unparseable / unknown kind).
+    pub(crate) fn record(&self, kind: Option<RequestKind>, elapsed: Duration, ok: bool) {
+        self.counters(kind).record(elapsed, ok);
+    }
+
+    /// Snapshot of one kind's counters (`None` = the `invalid` pseudo-kind).
+    pub fn snapshot(&self, kind: Option<RequestKind>) -> KindStats {
+        self.counters(kind).snapshot()
+    }
+
+    /// Total number of frames handled, across all kinds (including invalid
+    /// ones).
+    pub fn requests_served(&self) -> u64 {
+        RequestKind::ALL
+            .iter()
+            .map(|&k| self.snapshot(Some(k)).count)
+            .sum::<u64>()
+            + self.snapshot(None).count
+    }
+
+    /// Serializes all counters for the `stats` response payload.
+    pub fn to_json(&self) -> JsonValue {
+        let kind_json = |stats: KindStats| {
+            JsonValue::object([
+                ("count", JsonValue::Int(stats.count as i64)),
+                ("errors", JsonValue::Int(stats.errors as i64)),
+                ("total_micros", JsonValue::Int(stats.total_micros as i64)),
+                ("max_micros", JsonValue::Int(stats.max_micros as i64)),
+                ("mean_micros", JsonValue::Int(stats.mean_micros() as i64)),
+            ])
+        };
+        JsonValue::object([
+            (
+                "requests_served",
+                JsonValue::Int(self.requests_served() as i64),
+            ),
+            (
+                "kinds",
+                JsonValue::object([
+                    (
+                        "classify",
+                        kind_json(self.snapshot(Some(RequestKind::Classify))),
+                    ),
+                    (
+                        "classify_many",
+                        kind_json(self.snapshot(Some(RequestKind::ClassifyMany))),
+                    ),
+                    ("solve", kind_json(self.snapshot(Some(RequestKind::Solve)))),
+                    ("stats", kind_json(self.snapshot(Some(RequestKind::Stats)))),
+                    (
+                        "health",
+                        kind_json(self.snapshot(Some(RequestKind::Health))),
+                    ),
+                    ("invalid", kind_json(self.snapshot(None))),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_kind() {
+        let metrics = ServerMetrics::default();
+        metrics.record(Some(RequestKind::Classify), Duration::from_micros(10), true);
+        metrics.record(
+            Some(RequestKind::Classify),
+            Duration::from_micros(30),
+            false,
+        );
+        metrics.record(None, Duration::from_micros(5), false);
+
+        let classify = metrics.snapshot(Some(RequestKind::Classify));
+        assert_eq!(classify.count, 2);
+        assert_eq!(classify.errors, 1);
+        assert_eq!(classify.total_micros, 40);
+        assert_eq!(classify.max_micros, 30);
+        assert_eq!(classify.mean_micros(), 20);
+
+        assert_eq!(metrics.snapshot(Some(RequestKind::Solve)).count, 0);
+        assert_eq!(metrics.snapshot(None).errors, 1);
+        assert_eq!(metrics.requests_served(), 3);
+
+        let json = metrics.to_json().to_json_string();
+        assert!(json.contains("\"requests_served\":3"), "{json}");
+        assert!(json.contains("\"invalid\""), "{json}");
+    }
+}

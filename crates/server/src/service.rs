@@ -1,0 +1,492 @@
+//! Framing-independent request dispatch: one NDJSON line in, one line out.
+//!
+//! [`Service`] owns the [`Engine`] and the server metrics; the TCP and stdio
+//! front-ends only move frames. Dispatch never panics on wire input and never
+//! kills the stream: every frame — however malformed — produces exactly one
+//! [`ResponseEnvelope`], with errors mapped to structured
+//! [`ErrorReply`]s whose category identifies the failing subsystem of
+//! [`lcl_paths::Error`].
+//!
+//! Classification work is submitted to the engine's persistent worker pool
+//! ([`Engine::classify_pooled`] / [`Engine::classify_many`]); the dispatching
+//! thread only parses, waits and serializes, so no thread is spawned per
+//! request.
+
+use crate::frame::MAX_FRAME_BYTES;
+use crate::metrics::ServerMetrics;
+use lcl_paths::classifier::Verdict;
+use lcl_paths::problem::json::JsonValue;
+use lcl_paths::problem::{
+    ErrorReply, Instance, ProblemError, ProblemSpec, RequestEnvelope, ResponseEnvelope,
+    PROTOCOL_VERSION,
+};
+use lcl_paths::{Engine, Error};
+use std::fmt;
+use std::time::Instant;
+
+/// The request kinds the service dispatches.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RequestKind {
+    /// Classify one problem; reply with its wire verdict.
+    Classify,
+    /// Classify a batch on the worker pool; reply with per-item outcomes.
+    ClassifyMany,
+    /// Classify, synthesize and run on a concrete instance.
+    Solve,
+    /// Cache / pool / per-kind latency counters.
+    Stats,
+    /// Liveness probe.
+    Health,
+}
+
+impl RequestKind {
+    /// All request kinds, in protocol order.
+    pub const ALL: [RequestKind; 5] = [
+        RequestKind::Classify,
+        RequestKind::ClassifyMany,
+        RequestKind::Solve,
+        RequestKind::Stats,
+        RequestKind::Health,
+    ];
+
+    /// The stable ASCII identifier used on the wire.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            RequestKind::Classify => "classify",
+            RequestKind::ClassifyMany => "classify_many",
+            RequestKind::Solve => "solve",
+            RequestKind::Stats => "stats",
+            RequestKind::Health => "health",
+        }
+    }
+
+    /// Parses a wire identifier produced by [`RequestKind::wire_name`].
+    pub fn from_wire_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.wire_name() == name)
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+/// Maps a unified error to its structured wire reply; the category names the
+/// subsystem that failed.
+pub fn error_reply(error: &Error) -> ErrorReply {
+    let category = match error {
+        Error::Problem(_) => "problem",
+        Error::Semigroup(_) => "semigroup",
+        Error::Sim(_) => "simulator",
+        Error::Lba(_) => "lba",
+        Error::Classifier(_) => "classifier",
+        _ => "internal",
+    };
+    ErrorReply::new(category, error.to_string())
+}
+
+fn protocol_error(id: Option<i64>, message: String) -> ResponseEnvelope {
+    ResponseEnvelope::error(id, "invalid", ErrorReply::new("protocol", message))
+}
+
+/// The framing-independent request handler: an [`Engine`] plus metrics.
+///
+/// Shared across connection threads behind an `Arc`; all methods take
+/// `&self`.
+#[derive(Debug)]
+pub struct Service {
+    engine: Engine,
+    metrics: ServerMetrics,
+    started: Instant,
+}
+
+impl Service {
+    /// Wraps an engine for serving.
+    pub fn new(engine: Engine) -> Self {
+        Service {
+            engine,
+            metrics: ServerMetrics::default(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The engine behind this service.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The per-kind request counters.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Handles one request frame, returning exactly one response envelope.
+    /// Never panics on wire input.
+    pub fn handle_line(&self, line: &str) -> ResponseEnvelope {
+        let started = Instant::now();
+        let (kind, response) = self.dispatch(line);
+        self.metrics
+            .record(kind, started.elapsed(), response.is_ok());
+        response
+    }
+
+    /// [`Service::handle_line`], serialized to one NDJSON frame (without the
+    /// trailing newline).
+    pub fn handle_line_string(&self, line: &str) -> String {
+        self.handle_line(line).to_json_string()
+    }
+
+    /// Builds (and accounts) the structured reply for a frame that exceeded
+    /// [`MAX_FRAME_BYTES`]; the framing layer has already discarded the line.
+    pub fn reject_oversized(&self, discarded: usize) -> ResponseEnvelope {
+        let started = Instant::now();
+        let response = protocol_error(
+            None,
+            format!("frame exceeds {MAX_FRAME_BYTES} bytes ({discarded} bytes discarded)"),
+        );
+        self.metrics.record(None, started.elapsed(), false);
+        response
+    }
+
+    fn dispatch(&self, line: &str) -> (Option<RequestKind>, ResponseEnvelope) {
+        let value = match JsonValue::parse(line) {
+            Ok(value) => value,
+            Err(e) => {
+                return (
+                    None,
+                    protocol_error(None, format!("malformed request frame: {e}")),
+                )
+            }
+        };
+        // Salvage the request id if the envelope itself is broken, so the
+        // client can still correlate the error.
+        let salvaged_id = value.get("id").and_then(|v| v.as_int().ok());
+        let envelope = match RequestEnvelope::from_json(&value) {
+            Ok(envelope) => envelope,
+            Err(e) => return (None, protocol_error(salvaged_id, e.to_string())),
+        };
+        let Some(kind) = RequestKind::from_wire_name(&envelope.kind) else {
+            return (
+                None,
+                ResponseEnvelope::error(
+                    Some(envelope.id),
+                    envelope.kind.clone(),
+                    ErrorReply::new(
+                        "protocol",
+                        format!(
+                            "unknown request kind `{}` (expected classify, classify_many, \
+                             solve, stats or health)",
+                            envelope.kind
+                        ),
+                    ),
+                ),
+            );
+        };
+        let response = match self.run(kind, &envelope.payload) {
+            Ok(payload) => ResponseEnvelope::ok(envelope.id, kind.wire_name(), payload),
+            Err(e) => ResponseEnvelope::error(Some(envelope.id), kind.wire_name(), error_reply(&e)),
+        };
+        (Some(kind), response)
+    }
+
+    fn run(&self, kind: RequestKind, payload: &JsonValue) -> Result<JsonValue, Error> {
+        match kind {
+            RequestKind::Classify => self.classify(payload),
+            RequestKind::ClassifyMany => self.classify_many(payload),
+            RequestKind::Solve => self.solve(payload),
+            RequestKind::Stats => self.stats(),
+            RequestKind::Health => self.health(),
+        }
+    }
+
+    fn parse_problem(payload: &JsonValue) -> Result<lcl_paths::problem::NormalizedLcl, Error> {
+        let spec = payload.require("problem").map_err(ProblemError::from)?;
+        Ok(ProblemSpec::from_json(spec)?.to_problem()?)
+    }
+
+    fn classify(&self, payload: &JsonValue) -> Result<JsonValue, Error> {
+        let problem = Self::parse_problem(payload)?;
+        let classification = self.engine.classify_pooled(&problem)?;
+        let verdict = Verdict::new(&problem, &classification);
+        Ok(JsonValue::object([("verdict", verdict.to_json())]))
+    }
+
+    fn classify_many(&self, payload: &JsonValue) -> Result<JsonValue, Error> {
+        let items = payload
+            .require("problems")
+            .and_then(|v| v.as_array())
+            .map_err(ProblemError::from)?;
+        // One malformed spec must not fail the batch: parse per item, batch
+        // only the well-formed problems, then reassemble in input order.
+        let parsed: Vec<Result<lcl_paths::problem::NormalizedLcl, Error>> = items
+            .iter()
+            .map(|item| Ok(ProblemSpec::from_json(item)?.to_problem()?))
+            .collect();
+        let problems: Vec<_> = parsed
+            .iter()
+            .filter_map(|p| p.as_ref().ok().cloned())
+            .collect();
+        let mut classified = self.engine.classify_many(&problems).into_iter();
+        let error_item = |e: &Error| {
+            JsonValue::object([
+                ("ok", JsonValue::Bool(false)),
+                ("error", error_reply(e).to_json()),
+            ])
+        };
+        let verdicts: Vec<JsonValue> = parsed
+            .iter()
+            .map(|item| match item {
+                Err(e) => error_item(e),
+                Ok(problem) => {
+                    let result = classified.next().expect("one result per parsed problem");
+                    match result {
+                        Ok(classification) => JsonValue::object([
+                            ("ok", JsonValue::Bool(true)),
+                            ("verdict", Verdict::new(problem, &classification).to_json()),
+                        ]),
+                        Err(e) => error_item(&e.into()),
+                    }
+                }
+            })
+            .collect();
+        Ok(JsonValue::object([
+            ("count", JsonValue::Int(verdicts.len() as i64)),
+            ("verdicts", JsonValue::Array(verdicts)),
+        ]))
+    }
+
+    fn solve(&self, payload: &JsonValue) -> Result<JsonValue, Error> {
+        let problem = Self::parse_problem(payload)?;
+        let instance =
+            Instance::from_json(payload.require("instance").map_err(ProblemError::from)?)?;
+        let solution = self.engine.solve(&problem, &instance)?;
+        Ok(JsonValue::object([
+            (
+                "complexity",
+                JsonValue::Str(solution.complexity().wire_name().to_string()),
+            ),
+            ("rounds", JsonValue::Int(solution.rounds() as i64)),
+            (
+                "labeling",
+                JsonValue::object([(
+                    "outputs",
+                    JsonValue::int_array(
+                        solution.labeling().outputs().iter().map(|l| i64::from(l.0)),
+                    ),
+                )]),
+            ),
+        ]))
+    }
+
+    fn stats(&self) -> Result<JsonValue, Error> {
+        let cache = self.engine.cache_stats();
+        let pool = self.engine.pool_stats();
+        Ok(JsonValue::object([
+            (
+                "cache",
+                JsonValue::object([
+                    ("hits", JsonValue::Int(cache.hits as i64)),
+                    ("misses", JsonValue::Int(cache.misses as i64)),
+                    ("entries", JsonValue::Int(cache.entries as i64)),
+                    ("evictions", JsonValue::Int(cache.evictions as i64)),
+                    (
+                        "hit_ratio",
+                        JsonValue::Str(format!("{:.4}", cache.hit_ratio())),
+                    ),
+                    // The human-oriented summary comes straight from the
+                    // CacheStats Display impl — no hand-formatting here.
+                    ("summary", JsonValue::Str(cache.to_string())),
+                ]),
+            ),
+            (
+                "pool",
+                JsonValue::object([
+                    ("workers", JsonValue::Int(pool.workers as i64)),
+                    ("queue_depth", JsonValue::Int(pool.queue_depth as i64)),
+                    ("jobs_completed", JsonValue::Int(pool.jobs_completed as i64)),
+                    ("summary", JsonValue::Str(pool.to_string())),
+                ]),
+            ),
+            ("server", self.metrics.to_json()),
+            (
+                "uptime_ms",
+                JsonValue::Int(
+                    i64::try_from(self.started.elapsed().as_millis()).unwrap_or(i64::MAX),
+                ),
+            ),
+        ]))
+    }
+
+    fn health(&self) -> Result<JsonValue, Error> {
+        Ok(JsonValue::object([
+            ("status", JsonValue::Str("ok".to_string())),
+            ("protocol", JsonValue::Int(PROTOCOL_VERSION)),
+            ("workers", JsonValue::Int(self.engine.parallelism() as i64)),
+            (
+                "requests_served",
+                JsonValue::Int(self.metrics.requests_served() as i64),
+            ),
+        ]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_paths::problems;
+
+    fn service() -> Service {
+        Service::new(Engine::builder().parallelism(2).build())
+    }
+
+    fn classify_line(id: i64) -> String {
+        let payload = JsonValue::object([("problem", problems::coloring(3).to_spec().to_json())]);
+        RequestEnvelope::new(id, "classify", payload).to_json_string()
+    }
+
+    #[test]
+    fn classify_roundtrip_matches_in_process_verdict() {
+        let service = service();
+        let response = service.handle_line(&classify_line(7));
+        assert_eq!(response.id, Some(7));
+        assert_eq!(response.kind, "classify");
+        let payload = response.result.expect("classification succeeds");
+        let wire = payload.require("verdict").unwrap().to_json_string();
+        let local = Engine::new()
+            .verdict(&problems::coloring(3))
+            .unwrap()
+            .to_json_string();
+        assert_eq!(wire, local, "wire verdict must be byte-identical");
+    }
+
+    #[test]
+    fn unknown_kind_and_bad_frames_get_structured_errors() {
+        let service = service();
+
+        let garbage = service.handle_line("not json at all");
+        assert!(!garbage.is_ok());
+        assert_eq!(garbage.id, None);
+        assert_eq!(garbage.result.unwrap_err().category, "protocol");
+
+        let wrong_version = service.handle_line(r#"{"v":9,"id":4,"kind":"health"}"#);
+        assert_eq!(wrong_version.id, Some(4), "id salvaged from bad envelope");
+        assert!(!wrong_version.is_ok());
+
+        let unknown = service.handle_line(r#"{"v":1,"id":5,"kind":"shutdown"}"#);
+        assert_eq!(unknown.id, Some(5));
+        let error = unknown.result.unwrap_err();
+        assert_eq!(error.category, "protocol");
+        assert!(error.message.contains("shutdown"), "{}", error.message);
+
+        // Domain errors carry the failing subsystem's category.
+        let bad_payload = service.handle_line(r#"{"v":1,"id":6,"kind":"classify","payload":{}}"#);
+        assert_eq!(bad_payload.result.unwrap_err().category, "problem");
+
+        // The invalid frames were accounted, and the service still works.
+        assert!(service.metrics().snapshot(None).errors >= 2);
+        assert!(service.handle_line(&classify_line(8)).is_ok());
+    }
+
+    #[test]
+    fn stats_and_health_report_engine_state() {
+        let service = service();
+        assert!(service.handle_line(&classify_line(1)).is_ok());
+        assert!(service.handle_line(&classify_line(2)).is_ok()); // cache hit
+
+        let health = service.handle_line(r#"{"v":1,"id":3,"kind":"health"}"#);
+        let payload = health.result.expect("health is ok");
+        assert_eq!(payload.require("status").unwrap().as_str().unwrap(), "ok");
+        assert_eq!(
+            payload.require("protocol").unwrap().as_int().unwrap(),
+            PROTOCOL_VERSION
+        );
+
+        let stats = service.handle_line(r#"{"v":1,"id":4,"kind":"stats"}"#);
+        let payload = stats.result.expect("stats is ok");
+        let cache = payload.require("cache").unwrap();
+        assert_eq!(cache.require("hits").unwrap().as_int().unwrap(), 1);
+        assert_eq!(cache.require("misses").unwrap().as_int().unwrap(), 1);
+        let summary = cache.require("summary").unwrap().as_str().unwrap();
+        assert!(summary.contains("1 hits"), "{summary}");
+        let pool = payload.require("pool").unwrap();
+        assert_eq!(pool.require("workers").unwrap().as_int().unwrap(), 2);
+        let server = payload.require("server").unwrap();
+        assert!(server.require("requests_served").unwrap().as_int().unwrap() >= 3);
+    }
+
+    #[test]
+    fn solve_executes_on_the_instance() {
+        let service = service();
+        let payload = JsonValue::object([
+            ("problem", problems::coloring(3).to_spec().to_json()),
+            (
+                "instance",
+                Instance::from_indices(lcl_paths::problem::Topology::Cycle, &[0; 24]).to_json(),
+            ),
+        ]);
+        let line = RequestEnvelope::new(9, "solve", payload).to_json_string();
+        let response = service.handle_line(&line);
+        let payload = response.result.expect("solve succeeds");
+        assert_eq!(
+            payload.require("complexity").unwrap().as_str().unwrap(),
+            "log-star"
+        );
+        let outputs = payload
+            .require("labeling")
+            .unwrap()
+            .require("outputs")
+            .unwrap();
+        assert_eq!(outputs.as_array().unwrap().len(), 24);
+    }
+
+    #[test]
+    fn classify_many_reports_per_item_outcomes() {
+        let service = service();
+        let good = problems::coloring(3).to_spec().to_json();
+        let payload = JsonValue::object([(
+            "problems",
+            JsonValue::Array(vec![good.clone(), good.clone(), good]),
+        )]);
+        let line = RequestEnvelope::new(11, "classify_many", payload).to_json_string();
+        let response = service.handle_line(&line);
+        let payload = response.result.expect("batch succeeds");
+        assert_eq!(payload.require("count").unwrap().as_int().unwrap(), 3);
+        for item in payload.require("verdicts").unwrap().as_array().unwrap() {
+            assert!(item.require("ok").unwrap().as_bool().unwrap());
+        }
+        // The three duplicates were deduplicated into one classification.
+        assert_eq!(service.engine().cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn one_malformed_spec_does_not_fail_the_batch() {
+        let service = service();
+        let good = problems::coloring(3).to_spec().to_json();
+        let payload = JsonValue::object([(
+            "problems",
+            JsonValue::Array(vec![
+                good.clone(),
+                JsonValue::object([("version", JsonValue::Int(1))]), // missing fields
+                good,
+            ]),
+        )]);
+        let line = RequestEnvelope::new(12, "classify_many", payload).to_json_string();
+        let payload = service.handle_line(&line).result.expect("batch succeeds");
+        assert_eq!(payload.require("count").unwrap().as_int().unwrap(), 3);
+        let items = payload.require("verdicts").unwrap().as_array().unwrap();
+        assert!(items[0].require("ok").unwrap().as_bool().unwrap());
+        assert!(!items[1].require("ok").unwrap().as_bool().unwrap());
+        assert_eq!(
+            items[1]
+                .require("error")
+                .unwrap()
+                .require("category")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "problem"
+        );
+        assert!(items[2].require("ok").unwrap().as_bool().unwrap());
+    }
+}

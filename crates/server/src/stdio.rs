@@ -1,0 +1,69 @@
+//! The stdio front-end: the same NDJSON frames over any reader/writer pair.
+//!
+//! This is the `lcl-serve --stdio` pipe mode
+//! (`echo '{"v":1,…}' | lcl-serve --stdio`), and doubles as the in-memory
+//! harness the protocol-robustness tests drive with `io::Cursor`.
+
+use crate::frame::{read_frame, Frame, MAX_FRAME_BYTES};
+use crate::service::Service;
+use std::io::{self, BufRead, Write};
+
+/// Serves frames from `input` until EOF, writing one response line per
+/// frame to `output`. Oversized and malformed frames get structured error
+/// replies; only I/O errors abort the loop.
+///
+/// # Errors
+///
+/// Propagates read/write failures on the underlying streams.
+pub fn serve_stdio(
+    service: &Service,
+    mut input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()> {
+    loop {
+        let reply = match read_frame(&mut input, MAX_FRAME_BYTES)? {
+            Frame::Eof => return Ok(()),
+            Frame::Oversized { discarded } => service.reject_oversized(discarded).to_json_string(),
+            Frame::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                service.handle_line_string(&line)
+            }
+        };
+        output.write_all(reply.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_paths::problem::json::JsonValue;
+    use lcl_paths::problem::{RequestEnvelope, ResponseEnvelope};
+    use lcl_paths::{problems, Engine};
+
+    #[test]
+    fn stdio_round_trips_frames() {
+        let service = Service::new(Engine::builder().parallelism(1).build());
+        let classify = RequestEnvelope::new(
+            1,
+            "classify",
+            JsonValue::object([("problem", problems::coloring(3).to_spec().to_json())]),
+        )
+        .to_json_string();
+        let input = format!("{classify}\n\n{{\"v\":1,\"id\":2,\"kind\":\"health\"}}\n");
+        let mut output = Vec::new();
+        serve_stdio(&service, input.as_bytes(), &mut output).unwrap();
+
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "blank frame produces no reply");
+        let first = ResponseEnvelope::from_json_str(lines[0]).unwrap();
+        assert_eq!(first.id, Some(1));
+        assert!(first.is_ok());
+        let second = ResponseEnvelope::from_json_str(lines[1]).unwrap();
+        assert_eq!(second.id, Some(2));
+        assert!(second.is_ok());
+    }
+}

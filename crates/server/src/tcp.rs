@@ -1,0 +1,269 @@
+//! The TCP front-end: a listener with one handler thread per connection and
+//! graceful shutdown.
+//!
+//! Threads are per-*connection*, never per-*request*: each accepted socket
+//! gets one long-lived handler that reads NDJSON frames in a loop and writes
+//! one response line per frame, while all classification CPU runs on the
+//! engine's persistent worker pool. [`ServerHandle::shutdown`] stops the
+//! accept loop, unblocks every open connection (by shutting its socket down)
+//! and joins all threads before returning.
+
+use crate::frame::{read_frame, Frame, MAX_FRAME_BYTES};
+use crate::service::Service;
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Shared shutdown/bookkeeping state of a running server.
+#[derive(Debug)]
+struct ServerState {
+    shutdown: AtomicBool,
+    /// Clones of every open connection's stream, so shutdown can unblock
+    /// readers; handlers deregister themselves on exit (keyed by a
+    /// connection sequence number).
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    connection_seq: AtomicU64,
+    handlers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl ServerState {
+    fn new() -> Self {
+        ServerState {
+            shutdown: AtomicBool::new(false),
+            connections: Mutex::new(HashMap::new()),
+            connection_seq: AtomicU64::new(0),
+            handlers: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// A bound TCP server, not yet accepting connections.
+///
+/// Bind to port `0` for an ephemeral loopback port (tests, benches, the
+/// `--smoke` mode); then either [`Server::start`] a background accept loop
+/// with a graceful-shutdown handle, or [`Server::run`] it on the calling
+/// thread (the `lcl-serve --addr` path).
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+}
+
+impl Server {
+    /// Binds the listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, …).
+    pub fn bind(service: Arc<Service>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service,
+        })
+    }
+
+    /// The actually bound address (resolves port `0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-name lookup failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawns the accept loop on a background thread and returns the handle
+    /// used for graceful shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates thread-spawn and socket-name failures.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let state = Arc::new(ServerState::new());
+        let accept_state = Arc::clone(&state);
+        let accept = thread::Builder::new()
+            .name("lcl-server-accept".into())
+            .spawn(move || accept_loop(self.listener, self.service, accept_state))?;
+        Ok(ServerHandle {
+            addr,
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// Runs the accept loop on the calling thread; returns only once the
+    /// process-external side closes the listener (never, in practice — this
+    /// is the foreground `lcl-serve --addr` mode, ended by killing the
+    /// process).
+    pub fn run(self) {
+        accept_loop(self.listener, self.service, Arc::new(ServerState::new()));
+    }
+}
+
+/// Handle to a server started with [`Server::start`]: exposes the bound
+/// address and performs graceful shutdown (on [`ServerHandle::shutdown`] or
+/// drop).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Gracefully shuts the server down: stops accepting, unblocks and joins
+    /// every connection handler, joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        // Unblock handlers parked in read().
+        for (_, stream) in self
+            .state
+            .connections
+            .lock()
+            .expect("connections lock")
+            .drain()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let _ = accept.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(listener: TcpListener, service: Arc<Service>, state: Arc<ServerState>) {
+    for incoming in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = incoming else {
+            // Transient accept failures (fd exhaustion, aborted handshakes)
+            // must not busy-spin the loop at 100% CPU.
+            thread::sleep(std::time::Duration::from_millis(10));
+            continue;
+        };
+        // One small response frame per request: Nagle would stall every
+        // round-trip against delayed ACKs.
+        let _ = stream.set_nodelay(true);
+        let id = state.connection_seq.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            state
+                .connections
+                .lock()
+                .expect("connections lock")
+                .insert(id, clone);
+        }
+        // Shutdown may have raced us between accept() and the registration
+        // above — it set the flag, then drained a registry we were not in
+        // yet. Re-checking after registering closes that window: if the flag
+        // is set now, the drain either already closed our entry or never
+        // will, so close the socket ourselves and stop.
+        if state.shutdown.load(Ordering::SeqCst) {
+            if let Some(conn) = state
+                .connections
+                .lock()
+                .expect("connections lock")
+                .remove(&id)
+            {
+                let _ = conn.shutdown(Shutdown::Both);
+            }
+            let _ = stream.shutdown(Shutdown::Both);
+            break;
+        }
+        let service = Arc::clone(&service);
+        let conn_state = Arc::clone(&state);
+        let spawned = thread::Builder::new()
+            .name(format!("lcl-server-conn-{id}"))
+            .spawn(move || {
+                handle_connection(stream, &service);
+                // Deregister so the registry does not grow (and hold fds)
+                // for the server's whole lifetime.
+                conn_state
+                    .connections
+                    .lock()
+                    .expect("connections lock")
+                    .remove(&id);
+            });
+        let mut handlers = state.handlers.lock().expect("handlers lock");
+        if let Ok(handle) = spawned {
+            handlers.push(handle);
+        }
+        // Reap finished handlers so the list stays bounded by the number of
+        // concurrently open connections.
+        let mut live = Vec::with_capacity(handlers.len());
+        for handle in handlers.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                live.push(handle);
+            }
+        }
+        *handlers = live;
+    }
+    let handlers: Vec<_> = state
+        .handlers
+        .lock()
+        .expect("handlers lock")
+        .drain(..)
+        .collect();
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one connection: one response line per request frame, until EOF or
+/// an I/O error. Oversized and malformed frames get structured error replies
+/// and do NOT close the connection.
+fn handle_connection(stream: TcpStream, service: &Service) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame(&mut reader, MAX_FRAME_BYTES) {
+            Err(_) | Ok(Frame::Eof) => break,
+            Ok(Frame::Oversized { discarded }) => {
+                let reply = service.reject_oversized(discarded).to_json_string();
+                if write_line(&mut writer, &reply).is_err() {
+                    break;
+                }
+            }
+            Ok(Frame::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let reply = service.handle_line_string(&line);
+                if write_line(&mut writer, &reply).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}

@@ -1,0 +1,60 @@
+//! Start the NDJSON classification service in-process on a loopback port,
+//! classify the whole corpus through the blocking client, and print the
+//! verdicts plus the server's own statistics.
+//!
+//! ```sh
+//! cargo run --example service_roundtrip
+//! ```
+
+use lcl_paths::problems::corpus;
+use lcl_paths::Engine;
+use lcl_server::{Client, Server, Service};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A 4-worker engine: the pool threads are spawned once, here.
+    let service = Arc::new(Service::new(Engine::builder().parallelism(4).build()));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0")?;
+    let handle = server.start()?;
+    println!("serving on {}\n", handle.addr());
+
+    let mut client = Client::connect(handle.addr())?;
+
+    // One classify_many request carries the whole corpus; verdicts come
+    // back in input order.
+    let specs: Vec<_> = corpus().iter().map(|e| e.problem.to_spec()).collect();
+    for verdict in client.classify_many(&specs)? {
+        match verdict {
+            Ok(verdict) => println!("  {verdict}"),
+            Err(error) => println!("  error: {error}"),
+        }
+    }
+
+    // A second sweep, one problem per request: all cache hits now.
+    for spec in &specs {
+        client.classify(spec)?;
+    }
+
+    let stats = client.stats()?;
+    println!(
+        "\nserver cache: {}",
+        stats.require("cache")?.require("summary")?.as_str()?
+    );
+    println!(
+        "server pool:  {}",
+        stats.require("pool")?.require("summary")?.as_str()?
+    );
+    println!(
+        "requests served: {}",
+        stats
+            .require("server")?
+            .require("requests_served")?
+            .as_int()?
+    );
+
+    drop(client);
+    handle.shutdown();
+    println!("\nserver shut down cleanly");
+    Ok(())
+}

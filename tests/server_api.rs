@@ -1,0 +1,230 @@
+//! End-to-end tests for the `lcl-server` subsystem: the full corpus served
+//! over real loopback TCP through the engine's persistent worker pool, the
+//! stdio framing, request-id echoing, structured errors and graceful
+//! shutdown.
+
+use lcl_paths::problem::json::JsonValue;
+use lcl_paths::problem::{Instance, RequestEnvelope, ResponseEnvelope, Topology};
+use lcl_paths::problems::{corpus, KnownComplexity};
+use lcl_paths::Engine;
+use lcl_server::{serve_stdio, Client, ClientError, Server, ServerHandle, Service};
+use std::sync::Arc;
+
+fn start_server(workers: usize) -> (ServerHandle, Arc<Service>) {
+    let engine = Engine::builder().parallelism(workers).build();
+    let service = Arc::new(Service::new(engine));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+    let handle = server.start().expect("start accept loop");
+    (handle, service)
+}
+
+/// The acceptance bar of this PR: every corpus problem round-trips over TCP
+/// through the persistent pool with verdict JSON byte-identical to the
+/// in-process engine, at several pool widths.
+#[test]
+fn corpus_verdicts_over_tcp_are_byte_identical_to_in_process() {
+    let reference = Engine::new();
+    for workers in [1, 4] {
+        let (handle, service) = start_server(workers);
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for entry in corpus() {
+            let payload = JsonValue::object([("problem", entry.problem.to_spec().to_json())]);
+            let reply = client
+                .call("classify", payload)
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.problem.name()));
+            let wire = reply
+                .require("verdict")
+                .expect("verdict field")
+                .to_json_string();
+            let local = reference
+                .verdict(&entry.problem)
+                .expect("in-process verdict")
+                .to_json_string();
+            assert_eq!(
+                wire,
+                local,
+                "{}: wire and in-process verdict JSON differ at {workers} workers",
+                entry.problem.name()
+            );
+        }
+        // All classification ran as pool jobs, none on scoped threads.
+        let pool = service.engine().pool_stats();
+        assert_eq!(pool.workers, workers);
+        assert!(
+            pool.jobs_completed > 0,
+            "dispatch must go through the pool: {pool:?}"
+        );
+        drop(client);
+        handle.shutdown();
+    }
+}
+
+/// One `classify_many` request over TCP agrees with the corpus ground truth
+/// and with the typed client decoding.
+#[test]
+fn classify_many_over_tcp_matches_ground_truth() {
+    let (handle, _service) = start_server(4);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let entries = corpus();
+    let specs: Vec<_> = entries.iter().map(|e| e.problem.to_spec()).collect();
+    let verdicts = client.classify_many(&specs).expect("batch round-trip");
+    assert_eq!(verdicts.len(), entries.len());
+    for (entry, verdict) in entries.iter().zip(verdicts) {
+        let verdict = verdict.unwrap_or_else(|e| panic!("{}: {e}", entry.problem.name()));
+        let expected = match entry.expected {
+            KnownComplexity::Unsolvable => "unsolvable",
+            KnownComplexity::Constant => "constant",
+            KnownComplexity::LogStar => "log-star",
+            KnownComplexity::Linear => "linear",
+        };
+        assert_eq!(
+            verdict.complexity.wire_name(),
+            expected,
+            "{}",
+            entry.problem.name()
+        );
+        assert_eq!(verdict.problem_hash, entry.problem.canonical_hash());
+    }
+    drop(client);
+    handle.shutdown();
+}
+
+/// `solve` over TCP returns a labeling the problem verifier accepts.
+#[test]
+fn solve_over_tcp_returns_a_valid_labeling() {
+    let (handle, _service) = start_server(2);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let problem = lcl_paths::problems::coloring(3);
+    let instance = Instance::from_indices(Topology::Cycle, &[0; 30]);
+    let reply = client
+        .solve(&problem.to_spec(), &instance)
+        .expect("solve round-trip");
+    assert_eq!(reply.labeling.len(), 30);
+    assert!(reply.rounds > 0);
+    assert!(
+        problem.is_valid(&instance, &reply.labeling),
+        "server-produced labeling must verify locally"
+    );
+
+    // Unsolvable-on-instance errors come back structured, not as hangups.
+    let err = client
+        .solve(
+            &problem.to_spec(),
+            &Instance::from_indices(Topology::Cycle, &[0]),
+        )
+        .expect_err("1-node cycle is not 3-colorable");
+    match err {
+        ClientError::Remote(reply) => {
+            assert_eq!(reply.category, "classifier");
+            assert!(
+                reply.message.contains("admits no valid labeling"),
+                "{}",
+                reply.message
+            );
+        }
+        other => panic!("expected a structured server error, got {other}"),
+    }
+    drop(client);
+    handle.shutdown();
+}
+
+/// Request ids are echoed per connection; malformed frames produce structured
+/// `protocol` errors and never kill the connection.
+#[test]
+fn ids_echo_and_errors_are_structured_over_tcp() {
+    let (handle, _service) = start_server(1);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    client.send_frame("this is not json").expect("send");
+    let reply = ResponseEnvelope::from_json_str(&client.recv_frame().expect("recv")).unwrap();
+    assert_eq!(reply.id, None);
+    assert_eq!(reply.result.unwrap_err().category, "protocol");
+
+    client
+        .send_frame(r#"{"v":99,"id":41,"kind":"health"}"#)
+        .expect("send");
+    let reply = ResponseEnvelope::from_json_str(&client.recv_frame().expect("recv")).unwrap();
+    assert_eq!(reply.id, Some(41), "id salvaged from a bad envelope");
+    assert!(!reply.is_ok());
+
+    // The connection survived both; a well-formed request still works and
+    // echoes its id.
+    let health = client.health().expect("health after malformed frames");
+    assert_eq!(health.require("status").unwrap().as_str().unwrap(), "ok");
+
+    // stats reflects the traffic this connection produced.
+    let stats = client.stats().expect("stats");
+    let server = stats.require("server").unwrap();
+    let kinds = server.require("kinds").unwrap();
+    assert_eq!(
+        kinds
+            .require("invalid")
+            .unwrap()
+            .require("errors")
+            .unwrap()
+            .as_int()
+            .unwrap(),
+        2
+    );
+    drop(client);
+    handle.shutdown();
+}
+
+/// The same dispatch runs over the stdio framing: frames in, frames out,
+/// terminated by EOF.
+#[test]
+fn stdio_framing_serves_the_same_protocol() {
+    let service = Service::new(Engine::builder().parallelism(1).build());
+    let problem = lcl_paths::problems::coloring(3);
+    let classify = RequestEnvelope::new(
+        10,
+        "classify",
+        JsonValue::object([("problem", problem.to_spec().to_json())]),
+    )
+    .to_json_string();
+    let input = format!("{classify}\n{{\"v\":1,\"id\":11,\"kind\":\"stats\"}}\n");
+    let mut output = Vec::new();
+    serve_stdio(&service, input.as_bytes(), &mut output).expect("stdio serve");
+
+    let text = String::from_utf8(output).expect("utf-8 output");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    let classify_reply = ResponseEnvelope::from_json_str(lines[0]).unwrap();
+    assert_eq!(classify_reply.id, Some(10));
+    let wire = classify_reply
+        .result
+        .expect("classification ok")
+        .require("verdict")
+        .unwrap()
+        .to_json_string();
+    let local = Engine::new().verdict(&problem).unwrap().to_json_string();
+    assert_eq!(wire, local, "stdio and in-process verdicts must agree");
+    let stats_reply = ResponseEnvelope::from_json_str(lines[1]).unwrap();
+    assert!(stats_reply.is_ok());
+}
+
+/// Graceful shutdown: the handle returns with connections open, and the
+/// port stops accepting afterwards.
+#[test]
+fn shutdown_is_graceful_and_closes_the_listener() {
+    let (handle, _service) = start_server(1);
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.health().expect("health");
+
+    // Shut down while the client connection is still open and idle; this
+    // must not hang.
+    handle.shutdown();
+
+    // The old connection is dead…
+    assert!(
+        client.health().is_err(),
+        "connection must be closed by shutdown"
+    );
+    // …and the listener is gone (give the OS a moment to tear it down).
+    let refused = (0..50).any(|_| {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        std::net::TcpStream::connect(addr).is_err()
+    });
+    assert!(refused, "listener must stop accepting after shutdown");
+}
