@@ -1,7 +1,7 @@
 //! E-SERVER: the persistent worker pool against the PR 1 scoped-thread
 //! baseline, and end-to-end NDJSON service throughput over loopback TCP.
 //!
-//! Three experiments, each at 1/4/8 pool workers:
+//! Four experiments, each at 1/4/8 pool workers:
 //!
 //! 1. **cold batch** — `classify_many` over the corpus from a cold cache,
 //!    vs the original design (replicated below) that spawned a fresh
@@ -11,11 +11,17 @@
 //!    the persistent pool buys a long-lived service;
 //! 3. **end-to-end TCP** — requests/sec for single `classify` round-trips
 //!    through `lcl-server` on a loopback socket (warm cache, so the wire +
-//!    dispatch + pool path is what's measured).
+//!    dispatch + pool path is what's measured);
+//! 4. **single-connection pipelining** — the PR 3 addition: one connection
+//!    sweeping the corpus lock-step (read each reply before the next
+//!    request) vs pipelined (`Client::classify_many_pipelined`, a window of
+//!    requests in flight). Lock-step pays a full round-trip of latency per
+//!    request; pipelining overlaps wire, dispatch, pool and write stages,
+//!    so one client pipe can finally keep the pool busy.
 //!
-//! The acceptance bar is experiment 1/2: the pool must be no slower than the
-//! scoped-thread baseline (it contains strictly less per-call work — no
-//! thread spawns on the request path).
+//! The acceptance bar is experiment 1/2 (the pool must be no slower than
+//! the scoped-thread baseline) and experiment 4 (pipelined must beat
+//! lock-step clearly — the PR targets ≥ 2x on warm sweeps).
 
 use lcl_bench::banner;
 use lcl_classifier::{Classification, Engine};
@@ -141,7 +147,127 @@ fn main() {
             "pool width must match the configuration"
         );
     }
+    println!("\n-- single connection: lock-step vs pipelined (warm) -----------");
+    // Context first: on a single-core host the two sides of one connection
+    // cannot actually run concurrently, so even a zero-work echo server
+    // caps the pipelined/lock-step ratio well below what the design reaches
+    // on real hardware (where N workers parse/classify N frames at once).
+    let cores = thread::available_parallelism().map_or(1, |p| p.get());
+    let (echo_lockstep, echo_pipelined) = wire_ceiling();
+    println!(
+        "host: {cores} core(s); bare TCP line-echo ceiling: lock-step {echo_lockstep:.0} req/s, \
+         pipelined {echo_pipelined:.0} req/s ({:.2}x)",
+        echo_pipelined / echo_lockstep.max(1e-12)
+    );
+    const SWEEPS: usize = 20;
+    for workers in [1usize, 4, 8] {
+        let service = Arc::new(Service::new(Engine::builder().parallelism(workers).build()));
+        let server = Server::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind loopback");
+        let handle = server.start().expect("start server");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        for spec in &specs {
+            client.classify(spec).expect("warm-up classify");
+        }
+        let lockstep = measure(|| {
+            for _ in 0..SWEEPS {
+                for spec in &specs {
+                    client.classify(spec).expect("lock-step classify");
+                }
+            }
+        });
+        let pipelined = measure(|| {
+            for _ in 0..SWEEPS {
+                let outcomes = client
+                    .classify_many_pipelined(&specs, 0)
+                    .expect("pipelined sweep");
+                assert!(outcomes.iter().all(Result::is_ok));
+            }
+        });
+        let per_sweep = (specs.len() * SWEEPS) as f64;
+        let lockstep_rps = per_sweep / lockstep.as_secs_f64().max(1e-12);
+        let pipelined_rps = per_sweep / pipelined.as_secs_f64().max(1e-12);
+        let speedup = lockstep.as_secs_f64() / pipelined.as_secs_f64().max(1e-12);
+        println!(
+            "{workers} pool worker(s): lock-step {lockstep_rps:>9.0} req/s   pipelined {pipelined_rps:>9.0} req/s   {speedup:>5.2}x"
+        );
+        drop(client);
+        handle.shutdown();
+    }
+
     println!("\n(no thread is spawned on any per-request path above: all classification runs on the engines' persistent pools)");
+}
+
+/// Measures the host's single-connection ceiling with a trivial line-echo
+/// server: requests/sec for 230-byte lines, lock-step and with a 32-deep
+/// window. No parsing, no classification — any gap between these two
+/// numbers is pure wire/scheduling behavior, the upper bound on what
+/// pipelining a *real* server can gain on this host.
+fn wire_ceiling() -> (f64, f64) {
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+    let addr = listener.local_addr().expect("echo addr");
+    let echo = thread::spawn(move || {
+        let Ok((stream, _)) = listener.accept() else {
+            return;
+        };
+        let _ = stream.set_nodelay(true);
+        let Ok(writer) = stream.try_clone() else {
+            return;
+        };
+        let mut writer = BufWriter::new(writer);
+        let reader = BufReader::new(stream);
+        for line in reader.split(b'\n') {
+            let Ok(line) = line else { break };
+            if writer
+                .write_all(&line)
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    });
+
+    let stream = TcpStream::connect(addr).expect("connect echo");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone echo stream");
+    let mut reader = BufReader::new(stream);
+    let frame = [b'x'; 230];
+    let mut line = Vec::new();
+    let mut read_reply = |reader: &mut BufReader<TcpStream>| {
+        line.clear();
+        reader.read_until(b'\n', &mut line).expect("echo reply")
+    };
+    const N: usize = 20_000;
+
+    let start = Instant::now();
+    for _ in 0..N {
+        writer.write_all(&frame).expect("echo send");
+        writer.write_all(b"\n").expect("echo send");
+        read_reply(&mut reader);
+    }
+    let lockstep = N as f64 / start.elapsed().as_secs_f64().max(1e-12);
+
+    let start = Instant::now();
+    let (mut sent, mut received) = (0usize, 0usize);
+    while received < N {
+        while sent < N && sent - received < 32 {
+            writer.write_all(&frame).expect("echo send");
+            writer.write_all(b"\n").expect("echo send");
+            sent += 1;
+        }
+        read_reply(&mut reader);
+        received += 1;
+    }
+    let pipelined = N as f64 / start.elapsed().as_secs_f64().max(1e-12);
+
+    drop(writer);
+    drop(reader); // closes the socket; the echo thread sees EOF
+    let _ = echo.join();
+    (lockstep, pipelined)
 }
 
 fn measure(mut run: impl FnMut()) -> Duration {

@@ -80,7 +80,31 @@ use std::thread;
 
 /// Builder for [`Engine`].
 ///
-/// Wraps [`ClassifierOptions`] and adds engine-level knobs (parallelism).
+/// Wraps [`ClassifierOptions`] and adds engine-level knobs: worker-pool
+/// width ([`EngineBuilder::parallelism`]) and memo-cache bound
+/// ([`EngineBuilder::cache_capacity`]). Building spawns the persistent
+/// worker pool, so construct one engine and share it.
+///
+/// ```
+/// use lcl_classifier::{Complexity, Engine};
+/// use lcl_problems::coloring;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = Engine::builder()
+///     .parallelism(2)       // two persistent pool workers
+///     .cache_capacity(64)   // LRU-bounded memo cache
+///     .build();
+/// assert_eq!(engine.parallelism(), 2);
+///
+/// let verdicts = engine.classify_many(&[coloring(3), coloring(2)]);
+/// assert_eq!(verdicts[0].as_ref().unwrap().complexity(), Complexity::LogStar);
+/// assert_eq!(
+///     verdicts[1].as_ref().unwrap().complexity(),
+///     Complexity::Unsolvable, // odd cycles are not 2-colorable
+/// );
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct EngineBuilder {
     options: ClassifierOptions,
@@ -391,6 +415,19 @@ impl Engine {
         self.pool.workers()
     }
 
+    /// Peeks the memo cache: returns the cached classification without
+    /// computing anything on a miss.
+    ///
+    /// A hit refreshes the entry's LRU recency and counts as a cache hit; a
+    /// miss counts nothing (misses are only counted when a classification
+    /// is actually computed). Use this when a thread must never block on
+    /// classification work — e.g. to answer memoized requests on a
+    /// latency-sensitive thread and route only the misses to
+    /// [`Engine::dispatch`].
+    pub fn cached(&self, problem: &NormalizedLcl) -> Option<Arc<Classification>> {
+        self.core.lookup(&problem.structural_key())
+    }
+
     /// Classifies a problem on the calling thread, serving repeated requests
     /// for structurally identical problems from the memo cache.
     ///
@@ -420,16 +457,37 @@ impl Engine {
         if let Some(cached) = self.core.lookup(&key) {
             return Ok(cached);
         }
-        let (tx, rx) = mpsc::channel();
         let core = Arc::clone(&self.core);
         let problem = problem.clone();
-        self.pool.submit(move || {
-            let _ = tx.send(core.classify(&problem));
-        });
+        let rx = self.pool.submit_with_reply(move || core.classify(&problem));
         // A disconnected reply means the job died (panicked) on the worker;
         // surface that as a typed error instead of poisoning the caller.
         rx.recv()
             .unwrap_or_else(|_| Err(EngineCore::dropped_reply()))
+    }
+
+    /// Submits an arbitrary task to the worker pool **without blocking** and
+    /// returns the receiver its result will arrive on.
+    ///
+    /// This is the dispatch primitive of the server's *pipelined* connection
+    /// path: the connection's reader thread submits one task per request
+    /// frame and immediately goes back to reading, while the writer thread
+    /// later parks on each receiver in request order. Submission never
+    /// blocks (the pool queue is unbounded); the receiver disconnects
+    /// without a value if the task panics on its worker.
+    ///
+    /// Deadlock warning: the task runs *on* a pool worker, so it must not
+    /// itself park on other pool jobs ([`Engine::classify_pooled`],
+    /// [`Engine::classify_many`], [`Engine::solve`]) — with a single-worker
+    /// pool that self-wait can never be served. Inside a dispatched task,
+    /// classify with [`Engine::classify`] and solve with
+    /// [`Engine::solve_inline`], which do all work on the worker itself.
+    pub fn dispatch<T, F>(&self, task: F) -> mpsc::Receiver<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.pool.submit_with_reply(task)
     }
 
     /// Classifies a batch of problems on the persistent worker pool,
@@ -500,6 +558,35 @@ impl Engine {
         // problem's alphabet before the verifier's assertions would panic.
         instance.check_alphabet(problem.num_inputs())?;
         let classification = self.classify_pooled(problem)?;
+        self.solve_classified(problem, instance, classification)
+    }
+
+    /// [`Engine::solve`], with the classification done on the calling thread
+    /// instead of the worker pool.
+    ///
+    /// This exists for callers that are *already running on a pool worker*
+    /// (tasks submitted through [`Engine::dispatch`], such as the server's
+    /// pipelined request jobs): parking a worker on another pool job can
+    /// deadlock a narrow pool, so such callers must burn the classification
+    /// CPU in place.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::solve`].
+    pub fn solve_inline(&self, problem: &NormalizedLcl, instance: &Instance) -> Result<Solution> {
+        instance.check_alphabet(problem.num_inputs())?;
+        let classification = self.classify(problem)?;
+        self.solve_classified(problem, instance, classification)
+    }
+
+    /// The shared tail of [`Engine::solve`] / [`Engine::solve_inline`]:
+    /// synthesize, simulate, verify, diagnose.
+    fn solve_classified(
+        &self,
+        problem: &NormalizedLcl,
+        instance: &Instance,
+        classification: Arc<Classification>,
+    ) -> Result<Solution> {
         if classification.complexity() == Complexity::Unsolvable {
             return Err(crate::ClassifierError::Solve {
                 what: format!(
@@ -679,6 +766,19 @@ mod tests {
     }
 
     #[test]
+    fn cached_peeks_without_computing() {
+        let engine = Engine::new();
+        let problem = three_coloring();
+        assert!(engine.cached(&problem).is_none());
+        // A peek miss is not a cache miss: nothing was computed.
+        assert_eq!(engine.cache_stats().misses, 0);
+        let computed = engine.classify(&problem).unwrap();
+        let peeked = engine.cached(&problem).expect("memoized now");
+        assert!(Arc::ptr_eq(&computed, &peeked));
+        assert_eq!(engine.cache_stats().hits, 1, "a peek hit counts as a hit");
+    }
+
+    #[test]
     fn classify_pooled_agrees_with_classify() {
         let engine = Engine::builder().parallelism(1).build();
         let problem = three_coloring();
@@ -688,6 +788,47 @@ mod tests {
         let direct = engine.classify(&problem).unwrap();
         assert!(Arc::ptr_eq(&pooled, &direct));
         assert_eq!(engine.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn dispatch_returns_before_the_task_runs() {
+        let engine = Engine::builder().parallelism(1).build();
+        // Park the only worker: dispatch must still return immediately.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate = engine.dispatch(move || {
+            let _ = gate_rx.recv();
+        });
+        let problem = three_coloring();
+        let core_engine = Engine::builder().parallelism(1).build();
+        let rx = engine.dispatch(move || core_engine.classify(&problem).map(|c| c.complexity()));
+        gate_tx.send(()).expect("worker parked on the gate");
+        assert_eq!(rx.recv().unwrap().unwrap(), Complexity::LogStar);
+        gate.recv().expect("gate task completed");
+    }
+
+    #[test]
+    fn solve_inline_matches_solve() {
+        let engine = Engine::builder().parallelism(1).build();
+        let problem = three_coloring();
+        let instance = Instance::from_indices(Topology::Cycle, &[0; 30]);
+        let inline = engine.solve_inline(&problem, &instance).unwrap();
+        let pooled = engine.solve(&problem, &instance).unwrap();
+        assert_eq!(inline.complexity(), pooled.complexity());
+        assert_eq!(inline.labeling(), pooled.labeling());
+        assert_eq!(inline.rounds(), pooled.rounds());
+        // solve_inline classifies on the calling thread, so it is safe from
+        // a dispatched task even on this single-worker pool. The Arc must
+        // outlive the task: an engine dropped on its own worker would
+        // self-join.
+        let inner = std::sync::Arc::new(Engine::builder().parallelism(1).build());
+        let inner_for_task = std::sync::Arc::clone(&inner);
+        let rx = inner.dispatch(move || {
+            inner_for_task
+                .solve_inline(&problem, &instance)
+                .map(|s| s.rounds())
+        });
+        assert_eq!(rx.recv().unwrap().unwrap(), pooled.rounds());
+        drop(inner);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use crossbeam::channel::{self, Receiver, Sender};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread;
 
 /// A unit of work executed on a pool worker.
@@ -104,6 +104,27 @@ impl WorkerPool {
         }
     }
 
+    /// Injects `task` and hands back the receiver its result will arrive on.
+    ///
+    /// This is the reply-channel dispatch primitive behind both the blocking
+    /// request path ([`Engine::classify_pooled`](crate::Engine::classify_pooled)
+    /// parks on the receiver) and the server's pipelined connection reader,
+    /// which must *not* park: submission itself never blocks, so the caller
+    /// is free to stash the receiver and keep reading frames while a worker
+    /// computes. If the task panics on the worker, the sender is dropped by
+    /// the unwind and the receiver observes disconnection instead of a value.
+    pub(crate) fn submit_with_reply<T, F>(&self, task: F) -> mpsc::Receiver<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        self.submit(move || {
+            let _ = tx.send(task());
+        });
+        rx
+    }
+
     /// The number of worker threads.
     pub(crate) fn workers(&self) -> usize {
         self.workers.len()
@@ -124,7 +145,17 @@ impl Drop for WorkerPool {
         // Closing the injector lets workers drain the queue and observe
         // disconnection; then join them so no worker outlives the engine.
         self.injector = None;
+        let this_thread = thread::current().id();
         for handle in self.workers.drain(..) {
+            // The pool can be dropped *from one of its own workers*: jobs may
+            // capture the last `Arc` holding the engine (the server's
+            // pipelined request jobs capture `Arc<Service>`), and whichever
+            // thread drops that Arc last runs this destructor. Joining our
+            // own thread would park the worker forever; detach it instead —
+            // it exits on its own once `recv` observes the closed channel.
+            if handle.thread().id() == this_thread {
+                continue;
+            }
             let _ = handle.join();
         }
     }
@@ -176,6 +207,33 @@ mod tests {
     }
 
     #[test]
+    fn submit_with_reply_returns_without_blocking_and_delivers() {
+        let pool = WorkerPool::new(1);
+        // Park the only worker so the submissions below cannot have run yet
+        // when submit_with_reply returns: returning at all proves the call
+        // does not wait for a worker.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            let _ = gate_rx.recv();
+        });
+        let replies: Vec<mpsc::Receiver<u64>> = (0..4u64)
+            .map(|i| pool.submit_with_reply(move || i * i))
+            .collect();
+        gate_tx.send(()).expect("worker parked on the gate");
+        let got: Vec<u64> = replies.iter().map(|rx| rx.recv().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn submit_with_reply_panic_drops_the_sender() {
+        let pool = WorkerPool::new(1);
+        let rx = pool.submit_with_reply(|| -> u32 { panic!("job blew up") });
+        assert!(rx.recv().is_err(), "panicked job must disconnect its reply");
+        // The worker survived the panic.
+        assert_eq!(pool.submit_with_reply(|| 3u32).recv(), Ok(3));
+    }
+
+    #[test]
     fn zero_requested_workers_still_yields_one() {
         let pool = WorkerPool::new(0);
         assert_eq!(pool.workers(), 1);
@@ -189,6 +247,29 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         pool.submit(move || tx.send(7u32).expect("collector alive"));
         assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn drop_from_a_worker_does_not_self_join() {
+        // A job may own the last handle to its own pool (via an Arc); the
+        // pool destructor then runs on the worker, which must detach rather
+        // than join itself. Without the detach this leaks a permanently
+        // parked worker thread (and the reply below would still arrive, so
+        // the leak is only visible to this ordering guard).
+        let pool = Arc::new(WorkerPool::new(1));
+        let pool_for_job = Arc::clone(&pool);
+        let (tx, rx) = mpsc::channel();
+        let (dropped_main_tx, dropped_main_rx) = mpsc::channel::<()>();
+        pool.submit(move || {
+            // Wait until the main thread has dropped its Arc, so this job's
+            // clone is provably the last one.
+            dropped_main_rx.recv().expect("main signals its drop");
+            drop(pool_for_job); // runs WorkerPool::drop on this worker
+            tx.send(42u8).expect("collector alive");
+        });
+        drop(pool);
+        dropped_main_tx.send(()).expect("worker waiting");
+        assert_eq!(rx.recv(), Ok(42));
     }
 
     #[test]

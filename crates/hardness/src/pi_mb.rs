@@ -569,8 +569,9 @@ impl PiMb {
         b.build()
     }
 
-    /// Converts a `Π_{M_B}` output sequence into a [`Labeling`] over the
-    /// normalized problem produced by [`Self::to_normalized`].
+    /// Converts a `Π_{M_B}` output sequence into a
+    /// [`Labeling`](lcl_problem::Labeling) over the normalized problem
+    /// produced by [`Self::to_normalized`].
     pub fn normalized_labeling(
         &self,
         inputs: &[PiInput],

@@ -51,17 +51,30 @@ impl RequestEnvelope {
 
     /// Serializes to a JSON document.
     pub fn to_json(&self) -> JsonValue {
+        self.clone().into_json()
+    }
+
+    /// Serializes to a JSON document, consuming the envelope. Unlike
+    /// [`RequestEnvelope::to_json`] this does not deep-copy the payload
+    /// tree — the difference matters to pipelining clients serializing
+    /// thousands of frames per second.
+    pub fn into_json(self) -> JsonValue {
         JsonValue::object([
             ("v", JsonValue::Int(PROTOCOL_VERSION)),
             ("id", JsonValue::Int(self.id)),
-            ("kind", JsonValue::Str(self.kind.clone())),
-            ("payload", self.payload.clone()),
+            ("kind", JsonValue::Str(self.kind)),
+            ("payload", self.payload),
         ])
     }
 
     /// Serializes to a compact single-line JSON string (one NDJSON frame).
     pub fn to_json_string(&self) -> String {
         self.to_json().to_json_string()
+    }
+
+    /// [`RequestEnvelope::into_json`], serialized to one NDJSON frame.
+    pub fn into_json_string(self) -> String {
+        self.into_json().to_json_string()
     }
 
     /// Reads a request back from a parsed JSON document, enforcing the
@@ -191,20 +204,27 @@ impl ResponseEnvelope {
 
     /// Serializes to a JSON document.
     pub fn to_json(&self) -> JsonValue {
+        self.clone().into_json()
+    }
+
+    /// Serializes to a JSON document, consuming the envelope. Unlike
+    /// [`ResponseEnvelope::to_json`] this does not deep-copy the payload
+    /// tree; the server serializes every reply through this.
+    pub fn into_json(self) -> JsonValue {
         let id = match self.id {
             Some(id) => JsonValue::Int(id),
             None => JsonValue::Null,
         };
-        match &self.result {
+        match self.result {
             Ok(payload) => JsonValue::object([
                 ("id", id),
-                ("kind", JsonValue::Str(self.kind.clone())),
+                ("kind", JsonValue::Str(self.kind)),
                 ("ok", JsonValue::Bool(true)),
-                ("payload", payload.clone()),
+                ("payload", payload),
             ]),
             Err(error) => JsonValue::object([
                 ("id", id),
-                ("kind", JsonValue::Str(self.kind.clone())),
+                ("kind", JsonValue::Str(self.kind)),
                 ("ok", JsonValue::Bool(false)),
                 ("error", error.to_json()),
             ]),
@@ -214,6 +234,11 @@ impl ResponseEnvelope {
     /// Serializes to a compact single-line JSON string (one NDJSON frame).
     pub fn to_json_string(&self) -> String {
         self.to_json().to_json_string()
+    }
+
+    /// [`ResponseEnvelope::into_json`], serialized to one NDJSON frame.
+    pub fn into_json_string(self) -> String {
+        self.into_json().to_json_string()
     }
 
     /// Reads a response back from a parsed JSON document.

@@ -19,7 +19,7 @@ use std::fmt;
 
 /// A normalized LCL problem on consistently oriented paths and cycles.
 ///
-/// See the [module documentation](self) for the semantics. Instances of this
+/// See the [crate documentation](crate) for the semantics. Instances of this
 /// type are immutable; use [`NormalizedLcl::builder`] to construct them.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct NormalizedLcl {

@@ -16,7 +16,8 @@ use crate::{OutRelation, Result, SemigroupError, TransferSystem};
 use lcl_problem::InLabel;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-/// Identifier of a type (an index into [`TypeSemigroup::elements`]).
+/// Identifier of a type (an index into the [`TypeSemigroup`]'s element
+/// table, resolvable with [`TypeSemigroup::relation`]).
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TypeId(pub usize);
 

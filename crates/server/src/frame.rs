@@ -1,12 +1,15 @@
-//! Bounded NDJSON frame reading.
+//! Bounded NDJSON frame reading and writing.
 //!
 //! Both the TCP connection handler and the stdio loop read frames through
 //! [`read_frame`], which enforces [`MAX_FRAME_BYTES`]: an oversized line is
 //! consumed (and discarded) up to its terminating newline, so the connection
 //! stays usable and the offender gets a structured error reply instead of
-//! unbounded buffering or a dropped stream.
+//! unbounded buffering or a dropped stream. Responses leave through
+//! [`write_frame`], which appends the newline terminator but deliberately
+//! does **not** flush — the TCP writer thread batches several pipelined
+//! replies per flush, while the stdio loop flushes after every frame.
 
-use std::io::{self, BufRead};
+use std::io::{self, BufRead, Write};
 
 /// Hard bound on the length of one NDJSON frame (request line), in bytes.
 /// Frames beyond this are rejected with a `protocol` error reply but do not
@@ -81,6 +84,13 @@ pub(crate) fn read_frame(reader: &mut impl BufRead, max: usize) -> io::Result<Fr
 
 fn into_string(bytes: Vec<u8>) -> String {
     String::from_utf8(bytes).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// Writes one response frame (`line` must not contain a newline) and its
+/// `\n` terminator. Flushing is the caller's policy.
+pub(crate) fn write_frame(writer: &mut impl Write, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")
 }
 
 #[cfg(test)]

@@ -15,15 +15,22 @@
 //!
 //! The same [`Service`] dispatch runs over two framings:
 //!
-//! * **TCP** ([`Server`]) — one handler thread per connection; all
-//!   classification CPU burns on the engine's *persistent worker pool*, so
+//! * **TCP** ([`Server`]) — *pipelined* connections: each accepted socket
+//!   gets a reader that dispatches every frame into the engine's
+//!   *persistent worker pool* immediately (bounded per-connection window,
+//!   [`Server::max_inflight`]) and a writer that emits the replies **in
+//!   request order**, so a single connection can keep the whole pool busy;
 //!   nothing is spawned on the per-request path, and [`ServerHandle`]
 //!   shuts the listener and every open connection down gracefully;
 //! * **stdio** ([`serve_stdio`]) — the `lcl-serve --stdio` pipe mode, same
-//!   frames over stdin/stdout.
+//!   frames over stdin/stdout, lock-step.
 //!
 //! [`Client`] is the matching blocking client helper used by the integration
-//! tests, the CI smoke step and the `server_throughput` bench.
+//! tests, the CI smoke step and the `server_throughput` bench;
+//! [`Client::classify_many_pipelined`] floods the server's window instead of
+//! lock-stepping round-trips. See `docs/ARCHITECTURE.md` at the repository
+//! root for how the crates fit together, and `docs/PROTOCOL.md` for the
+//! ordering guarantees a pipelined client may rely on.
 //!
 //! # Example
 //!
@@ -58,9 +65,9 @@ mod service;
 mod stdio;
 mod tcp;
 
-pub use client::{Client, ClientError, SolveReply};
+pub use client::{Client, ClientError, SolveReply, DEFAULT_PIPELINE_WINDOW};
 pub use frame::MAX_FRAME_BYTES;
 pub use metrics::{KindStats, ServerMetrics};
-pub use service::{error_reply, RequestKind, Service};
+pub use service::{error_reply, PendingResponse, RequestKind, Service};
 pub use stdio::serve_stdio;
-pub use tcp::{Server, ServerHandle};
+pub use tcp::{Server, ServerHandle, DEFAULT_MAX_INFLIGHT};

@@ -25,6 +25,8 @@ USAGE:
 OPTIONS:
     --workers N           persistent pool workers (default: available cores)
     --cache-capacity N    memo cache bound (default: 4096)
+    --max-inflight N      per-connection pipelined request window for TCP
+                          connections (default: 32; 1 = lock-step)
     --help                print this help
 ";
 
@@ -35,6 +37,7 @@ struct Options {
     smoke: bool,
     workers: Option<usize>,
     cache_capacity: Option<usize>,
+    max_inflight: Option<usize>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -64,6 +67,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("invalid --cache-capacity value `{value}`"))?;
                 options.cache_capacity = Some(parsed);
+            }
+            "--max-inflight" => {
+                let value = iter.next().ok_or("--max-inflight requires a count")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid --max-inflight value `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--max-inflight must be at least 1".to_string());
+                }
+                options.max_inflight = Some(parsed);
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -105,11 +118,15 @@ fn main() -> ExitCode {
     let service = build_service(&options);
 
     let outcome = if options.smoke {
-        run_smoke(service)
+        run_smoke(service, &options)
     } else if options.stdio {
         run_stdio(&service)
     } else {
-        run_tcp(service, options.addr.as_deref().unwrap_or_default())
+        run_tcp(
+            service,
+            options.addr.as_deref().unwrap_or_default(),
+            &options,
+        )
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
@@ -120,8 +137,11 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_tcp(service: Arc<Service>, addr: &str) -> Result<(), String> {
-    let server = Server::bind(service, addr).map_err(|e| format!("bind {addr}: {e}"))?;
+fn run_tcp(service: Arc<Service>, addr: &str, options: &Options) -> Result<(), String> {
+    let mut server = Server::bind(service, addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    if let Some(window) = options.max_inflight {
+        server = server.max_inflight(window);
+    }
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!("lcl-serve listening on {bound}");
     server.run();
@@ -140,10 +160,14 @@ fn run_stdio(service: &Service) -> Result<(), String> {
 }
 
 /// The CI smoke mode: start on an ephemeral loopback port, drive one
-/// `classify` and one `health` round-trip through the client helper, verify
-/// both, shut down gracefully.
-fn run_smoke(service: Arc<Service>) -> Result<(), String> {
-    let server = Server::bind(service, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
+/// `classify` round-trip, a pipelined burst and one `health` round-trip
+/// through the client helper, verify all three, shut down gracefully.
+fn run_smoke(service: Arc<Service>, options: &Options) -> Result<(), String> {
+    let mut server =
+        Server::bind(service, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
+    if let Some(window) = options.max_inflight {
+        server = server.max_inflight(window);
+    }
     let handle = server.start().map_err(|e| format!("start server: {e}"))?;
     let addr = handle.addr();
 
@@ -158,6 +182,15 @@ fn run_smoke(service: Arc<Service>) -> Result<(), String> {
                 "unexpected verdict for 3-coloring: {}",
                 verdict.complexity
             ));
+        }
+        // A pipelined burst over the same connection: several requests in
+        // flight at once, replies required in request order.
+        let specs: Vec<_> = (2..=5).map(|k| problems::coloring(k).to_spec()).collect();
+        let outcomes = client
+            .classify_many_pipelined(&specs, 0)
+            .map_err(|e| format!("pipelined burst: {e}"))?;
+        if outcomes.len() != specs.len() || outcomes.iter().any(Result::is_err) {
+            return Err(format!("pipelined burst returned {outcomes:?}"));
         }
         let health = client
             .health()

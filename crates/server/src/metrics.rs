@@ -74,6 +74,11 @@ pub struct ServerMetrics {
     health: KindCounters,
     /// Frames that never resolved to a known request kind.
     invalid: KindCounters,
+    /// Requests currently dispatched to the worker pool by pipelined
+    /// connections and not yet answered (a gauge, not a counter).
+    pipelined_inflight: AtomicU64,
+    /// High-water mark of `pipelined_inflight` since the service started.
+    pipelined_peak: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -89,8 +94,38 @@ impl ServerMetrics {
     }
 
     /// Records one handled frame (`None` = unparseable / unknown kind).
+    ///
+    /// For requests dispatched through the pipelined path the elapsed time
+    /// is measured from frame parse to reply production, so it *includes*
+    /// the time the job spent queued behind the worker pool — the latency a
+    /// pipelined client observes, not just the compute time.
     pub(crate) fn record(&self, kind: Option<RequestKind>, elapsed: Duration, ok: bool) {
         self.counters(kind).record(elapsed, ok);
+    }
+
+    /// Accounts one request entering the pipelined in-flight window,
+    /// updating the high-water mark.
+    pub(crate) fn pipeline_enter(&self) {
+        let now = self.pipelined_inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.pipelined_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Accounts one pipelined request leaving the window (its reply was
+    /// produced — successfully or not).
+    pub(crate) fn pipeline_exit(&self) {
+        self.pipelined_inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently dispatched by pipelined connections and not yet
+    /// answered.
+    pub fn pipelined_inflight(&self) -> u64 {
+        self.pipelined_inflight.load(Ordering::Relaxed)
+    }
+
+    /// The largest number of simultaneously in-flight pipelined requests
+    /// observed since the service started.
+    pub fn pipelined_peak(&self) -> u64 {
+        self.pipelined_peak.load(Ordering::Relaxed)
     }
 
     /// Snapshot of one kind's counters (`None` = the `invalid` pseudo-kind).
@@ -123,6 +158,16 @@ impl ServerMetrics {
             (
                 "requests_served",
                 JsonValue::Int(self.requests_served() as i64),
+            ),
+            (
+                "pipeline",
+                JsonValue::object([
+                    ("inflight", JsonValue::Int(self.pipelined_inflight() as i64)),
+                    (
+                        "peak_inflight",
+                        JsonValue::Int(self.pipelined_peak() as i64),
+                    ),
+                ]),
             ),
             (
                 "kinds",
@@ -177,5 +222,26 @@ mod tests {
         let json = metrics.to_json().to_json_string();
         assert!(json.contains("\"requests_served\":3"), "{json}");
         assert!(json.contains("\"invalid\""), "{json}");
+    }
+
+    #[test]
+    fn pipeline_gauges_track_inflight_and_peak() {
+        let metrics = ServerMetrics::default();
+        assert_eq!(metrics.pipelined_inflight(), 0);
+        metrics.pipeline_enter();
+        metrics.pipeline_enter();
+        metrics.pipeline_enter();
+        assert_eq!(metrics.pipelined_inflight(), 3);
+        assert_eq!(metrics.pipelined_peak(), 3);
+        metrics.pipeline_exit();
+        metrics.pipeline_exit();
+        assert_eq!(metrics.pipelined_inflight(), 1);
+        assert_eq!(metrics.pipelined_peak(), 3, "peak is a high-water mark");
+        metrics.pipeline_enter();
+        assert_eq!(metrics.pipelined_peak(), 3, "returning below peak keeps it");
+
+        let json = metrics.to_json().to_json_string();
+        assert!(json.contains("\"pipeline\""), "{json}");
+        assert!(json.contains("\"peak_inflight\":3"), "{json}");
     }
 }

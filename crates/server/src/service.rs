@@ -7,10 +7,23 @@
 //! [`ErrorReply`]s whose category identifies the failing subsystem of
 //! [`lcl_paths::Error`].
 //!
-//! Classification work is submitted to the engine's persistent worker pool
-//! ([`Engine::classify_pooled`] / [`Engine::classify_many`]); the dispatching
-//! thread only parses, waits and serializes, so no thread is spawned per
-//! request.
+//! Two dispatch shapes are offered:
+//!
+//! * [`Service::handle_line`] — **lock-step**: parse, execute, reply, all
+//!   before the caller reads the next frame. Classification misses still run
+//!   on the engine's persistent worker pool
+//!   ([`Engine::classify_pooled`] / [`Engine::classify_many`]), but the
+//!   calling thread parks until the reply exists. This is the stdio path.
+//! * [`Service::dispatch_line`] — **pipelined**: the whole frame (JSON
+//!   parse, execution, serialization) becomes one worker-pool job
+//!   ([`Engine::dispatch`]) and a [`PendingResponse`] handle returns
+//!   immediately, so a connection reader stays pure I/O and N requests
+//!   from one connection progress concurrently on an N-worker pool. Jobs
+//!   run their classification on the worker itself ([`Engine::classify`],
+//!   [`Engine::solve_inline`]) — a worker parked on *another* pool job
+//!   could deadlock a narrow pool.
+//!
+//! Neither shape ever spawns a thread on the request path.
 
 use crate::frame::MAX_FRAME_BYTES;
 use crate::metrics::ServerMetrics;
@@ -22,6 +35,7 @@ use lcl_paths::problem::{
 };
 use lcl_paths::{Engine, Error};
 use std::fmt;
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 /// The request kinds the service dispatches.
@@ -90,6 +104,110 @@ fn protocol_error(id: Option<i64>, message: String) -> ResponseEnvelope {
     ResponseEnvelope::error(id, "invalid", ErrorReply::new("protocol", message))
 }
 
+/// Where a request body executes, which decides how classification work is
+/// placed on the engine.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum ExecContext {
+    /// On the dispatching thread (lock-step [`Service::handle_line`]):
+    /// classification misses are handed to the worker pool and awaited.
+    Caller,
+    /// On a pool worker (a job submitted by [`Service::dispatch_line`]):
+    /// classification runs on this thread — parking a worker on another
+    /// pool job could deadlock a narrow pool.
+    PoolWorker,
+}
+
+/// The in-flight result of [`Service::dispatch_line`]: a handle on one
+/// request whose parse + execution + serialization is running as a
+/// worker-pool job. The connection writer resolves these **in request
+/// order** ([`PendingResponse::wait`]), which is what turns out-of-order
+/// pool completion into the protocol's in-order reply guarantee.
+#[derive(Debug)]
+pub struct PendingResponse {
+    /// Best-effort salvaged request id, used only for the synthesized reply
+    /// when the job dies without delivering one.
+    id: Option<i64>,
+    /// Best-effort salvaged request kind (`invalid` when unrecognizable),
+    /// for the same synthesized reply.
+    kind: String,
+    /// Delivers the serialized reply frame.
+    rx: mpsc::Receiver<String>,
+}
+
+impl PendingResponse {
+    /// Blocks until the reply frame is available and returns it (without
+    /// its newline terminator).
+    ///
+    /// A job that died (panicked) on its worker dropped the sending half;
+    /// that is observed here and answered with a synthesized structured
+    /// `internal` error, so every dispatched frame still yields exactly one
+    /// reply.
+    pub fn wait(self) -> String {
+        match self.rx.recv() {
+            Ok(line) => line,
+            Err(_) => self.synthesize_dropped(),
+        }
+    }
+
+    /// Non-blocking probe: the reply frame if it is already available (or
+    /// the job already died — then the synthesized error), `None` while the
+    /// job is still running. A connection writer checks this before parking
+    /// in [`PendingResponse::wait`], so replies it has already buffered can
+    /// be flushed to the peer instead of stalling behind a slow job.
+    pub fn try_wait(&mut self) -> Option<String> {
+        match self.rx.try_recv() {
+            Ok(line) => Some(line),
+            Err(mpsc::TryRecvError::Disconnected) => Some(self.synthesize_dropped()),
+            Err(mpsc::TryRecvError::Empty) => None,
+        }
+    }
+
+    /// The reply for a job whose sender disconnected without a value.
+    fn synthesize_dropped(&self) -> String {
+        ResponseEnvelope::error(
+            self.id,
+            self.kind.clone(),
+            ErrorReply::new(
+                "internal",
+                "request job dropped its reply (the job panicked); retry the request",
+            ),
+        )
+        .into_json_string()
+    }
+}
+
+/// Best-effort scan for the frame's `"id":<int>` field without a JSON
+/// parse. Only used to label the synthesized reply after a job panic, so a
+/// wrong match on pathological input (the literal `"id":` inside a string
+/// value) costs nothing but a mislabeled error frame.
+fn salvage_id(line: &str) -> Option<i64> {
+    let rest = line[line.find("\"id\":")? + 5..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Best-effort scan for `"kind":"…"`; `invalid` when unrecognizable (the
+/// same pseudo-kind unparseable frames report).
+fn salvage_kind(line: &str) -> String {
+    line.find("\"kind\":\"")
+        .and_then(|at| {
+            let rest = &line[at + 8..];
+            rest.find('"').map(|end| rest[..end].to_string())
+        })
+        .unwrap_or_else(|| "invalid".to_string())
+}
+
+/// Decrements the pipelined-in-flight gauge even if the job panics.
+struct PipelineGuard<'a>(&'a ServerMetrics);
+
+impl Drop for PipelineGuard<'_> {
+    fn drop(&mut self) {
+        self.0.pipeline_exit();
+    }
+}
+
 /// The framing-independent request handler: an [`Engine`] plus metrics.
 ///
 /// Shared across connection threads behind an `Arc`; all methods take
@@ -121,20 +239,87 @@ impl Service {
         &self.metrics
     }
 
-    /// Handles one request frame, returning exactly one response envelope.
-    /// Never panics on wire input.
+    /// Handles one request frame in lock-step, returning exactly one
+    /// response envelope. Never panics on wire input.
     pub fn handle_line(&self, line: &str) -> ResponseEnvelope {
         let started = Instant::now();
-        let (kind, response) = self.dispatch(line);
+        match self.parse(line) {
+            Err(response) => {
+                self.metrics.record(None, started.elapsed(), false);
+                response
+            }
+            Ok((kind, envelope)) => self.finish(kind, &envelope, started, ExecContext::Caller),
+        }
+    }
+
+    /// Handles one request frame for a *pipelined* connection: the whole
+    /// frame — JSON parse, execution, serialization — becomes one
+    /// worker-pool job, and the handle comes back without blocking, so a
+    /// connection reader stays pure I/O and keeps pulling frames while
+    /// every stage of earlier requests runs on the pool. With N workers, N
+    /// requests from one connection parse and classify concurrently.
+    ///
+    /// The caller must resolve the returned handles in dispatch order
+    /// ([`PendingResponse::wait`]) to uphold the protocol's per-connection
+    /// reply-ordering guarantee.
+    pub fn dispatch_line(self: &Arc<Self>, line: String) -> PendingResponse {
+        let started = Instant::now();
+        let id = salvage_id(&line);
+        let kind = salvage_kind(&line);
+        let service = Arc::clone(self);
+        self.metrics.pipeline_enter();
+        let rx = self.engine.dispatch(move || {
+            let _guard = PipelineGuard(service.metrics());
+            let response = match service.parse(&line) {
+                Err(response) => {
+                    service.metrics.record(None, started.elapsed(), false);
+                    response
+                }
+                Ok((kind, envelope)) => {
+                    service.finish(kind, &envelope, started, ExecContext::PoolWorker)
+                }
+            };
+            response.into_json_string()
+        });
+        PendingResponse { id, kind, rx }
+    }
+
+    /// Executes a parsed request and wraps the outcome in its response
+    /// envelope, recording latency metrics (from `started`, so deferred
+    /// requests account their pool-queue wait too).
+    fn finish(
+        &self,
+        kind: RequestKind,
+        envelope: &RequestEnvelope,
+        started: Instant,
+        ctx: ExecContext,
+    ) -> ResponseEnvelope {
+        let result = self.run(kind, &envelope.payload, ctx);
+        self.respond(kind, envelope.id, started, result)
+    }
+
+    /// Wraps a request outcome in its response envelope and records the
+    /// latency metrics.
+    fn respond(
+        &self,
+        kind: RequestKind,
+        id: i64,
+        started: Instant,
+        result: Result<JsonValue, Error>,
+    ) -> ResponseEnvelope {
+        let response = match result {
+            Ok(payload) => ResponseEnvelope::ok(id, kind.wire_name(), payload),
+            Err(e) => ResponseEnvelope::error(Some(id), kind.wire_name(), error_reply(&e)),
+        };
         self.metrics
-            .record(kind, started.elapsed(), response.is_ok());
+            .record(Some(kind), started.elapsed(), response.is_ok());
         response
     }
 
     /// [`Service::handle_line`], serialized to one NDJSON frame (without the
     /// trailing newline).
     pub fn handle_line_string(&self, line: &str) -> String {
-        self.handle_line(line).to_json_string()
+        self.handle_line(line).into_json_string()
     }
 
     /// Builds (and accounts) the structured reply for a frame that exceeded
@@ -149,52 +334,43 @@ impl Service {
         response
     }
 
-    fn dispatch(&self, line: &str) -> (Option<RequestKind>, ResponseEnvelope) {
-        let value = match JsonValue::parse(line) {
-            Ok(value) => value,
-            Err(e) => {
-                return (
-                    None,
-                    protocol_error(None, format!("malformed request frame: {e}")),
-                )
-            }
-        };
+    /// Parses one frame up to (but not including) payload interpretation.
+    /// Any failure comes back as the ready-to-send error response.
+    fn parse(&self, line: &str) -> Result<(RequestKind, RequestEnvelope), ResponseEnvelope> {
+        let value = JsonValue::parse(line)
+            .map_err(|e| protocol_error(None, format!("malformed request frame: {e}")))?;
         // Salvage the request id if the envelope itself is broken, so the
         // client can still correlate the error.
         let salvaged_id = value.get("id").and_then(|v| v.as_int().ok());
-        let envelope = match RequestEnvelope::from_json(&value) {
-            Ok(envelope) => envelope,
-            Err(e) => return (None, protocol_error(salvaged_id, e.to_string())),
-        };
+        let envelope = RequestEnvelope::from_json(&value)
+            .map_err(|e| protocol_error(salvaged_id, e.to_string()))?;
         let Some(kind) = RequestKind::from_wire_name(&envelope.kind) else {
-            return (
-                None,
-                ResponseEnvelope::error(
-                    Some(envelope.id),
-                    envelope.kind.clone(),
-                    ErrorReply::new(
-                        "protocol",
-                        format!(
-                            "unknown request kind `{}` (expected classify, classify_many, \
-                             solve, stats or health)",
-                            envelope.kind
-                        ),
+            return Err(ResponseEnvelope::error(
+                Some(envelope.id),
+                envelope.kind.clone(),
+                ErrorReply::new(
+                    "protocol",
+                    format!(
+                        "unknown request kind `{}` (expected classify, classify_many, \
+                         solve, stats or health)",
+                        envelope.kind
                     ),
                 ),
-            );
+            ));
         };
-        let response = match self.run(kind, &envelope.payload) {
-            Ok(payload) => ResponseEnvelope::ok(envelope.id, kind.wire_name(), payload),
-            Err(e) => ResponseEnvelope::error(Some(envelope.id), kind.wire_name(), error_reply(&e)),
-        };
-        (Some(kind), response)
+        Ok((kind, envelope))
     }
 
-    fn run(&self, kind: RequestKind, payload: &JsonValue) -> Result<JsonValue, Error> {
+    fn run(
+        &self,
+        kind: RequestKind,
+        payload: &JsonValue,
+        ctx: ExecContext,
+    ) -> Result<JsonValue, Error> {
         match kind {
-            RequestKind::Classify => self.classify(payload),
-            RequestKind::ClassifyMany => self.classify_many(payload),
-            RequestKind::Solve => self.solve(payload),
+            RequestKind::Classify => self.classify(payload, ctx),
+            RequestKind::ClassifyMany => self.classify_many(payload, ctx),
+            RequestKind::Solve => self.solve(payload, ctx),
             RequestKind::Stats => self.stats(),
             RequestKind::Health => self.health(),
         }
@@ -205,14 +381,24 @@ impl Service {
         Ok(ProblemSpec::from_json(spec)?.to_problem()?)
     }
 
-    fn classify(&self, payload: &JsonValue) -> Result<JsonValue, Error> {
-        let problem = Self::parse_problem(payload)?;
-        let classification = self.engine.classify_pooled(&problem)?;
-        let verdict = Verdict::new(&problem, &classification);
-        Ok(JsonValue::object([("verdict", verdict.to_json())]))
+    /// The `{"verdict": …}` response payload shared by every classify path.
+    fn verdict_payload(
+        problem: &lcl_paths::problem::NormalizedLcl,
+        classification: &lcl_paths::classifier::Classification,
+    ) -> JsonValue {
+        JsonValue::object([("verdict", Verdict::new(problem, classification).to_json())])
     }
 
-    fn classify_many(&self, payload: &JsonValue) -> Result<JsonValue, Error> {
+    fn classify(&self, payload: &JsonValue, ctx: ExecContext) -> Result<JsonValue, Error> {
+        let problem = Self::parse_problem(payload)?;
+        let classification = match ctx {
+            ExecContext::Caller => self.engine.classify_pooled(&problem)?,
+            ExecContext::PoolWorker => self.engine.classify(&problem)?,
+        };
+        Ok(Self::verdict_payload(&problem, &classification))
+    }
+
+    fn classify_many(&self, payload: &JsonValue, ctx: ExecContext) -> Result<JsonValue, Error> {
         let items = payload
             .require("problems")
             .and_then(|v| v.as_array())
@@ -227,7 +413,23 @@ impl Service {
             .iter()
             .filter_map(|p| p.as_ref().ok().cloned())
             .collect();
-        let mut classified = self.engine.classify_many(&problems).into_iter();
+        // On a pool worker the batch runs sequentially on this thread (the
+        // memo cache still deduplicates repeats); fanning it back out onto
+        // the pool from a worker could deadlock a narrow pool, and under
+        // pipelining the parallelism comes from concurrent requests instead.
+        let results: Vec<Result<_, Error>> = match ctx {
+            ExecContext::Caller => self
+                .engine
+                .classify_many(&problems)
+                .into_iter()
+                .map(|r| r.map_err(Error::from))
+                .collect(),
+            ExecContext::PoolWorker => problems
+                .iter()
+                .map(|p| self.engine.classify(p).map_err(Error::from))
+                .collect(),
+        };
+        let mut classified = results.into_iter();
         let error_item = |e: &Error| {
             JsonValue::object([
                 ("ok", JsonValue::Bool(false)),
@@ -245,7 +447,7 @@ impl Service {
                             ("ok", JsonValue::Bool(true)),
                             ("verdict", Verdict::new(problem, &classification).to_json()),
                         ]),
-                        Err(e) => error_item(&e.into()),
+                        Err(e) => error_item(&e),
                     }
                 }
             })
@@ -256,11 +458,14 @@ impl Service {
         ]))
     }
 
-    fn solve(&self, payload: &JsonValue) -> Result<JsonValue, Error> {
+    fn solve(&self, payload: &JsonValue, ctx: ExecContext) -> Result<JsonValue, Error> {
         let problem = Self::parse_problem(payload)?;
         let instance =
             Instance::from_json(payload.require("instance").map_err(ProblemError::from)?)?;
-        let solution = self.engine.solve(&problem, &instance)?;
+        let solution = match ctx {
+            ExecContext::Caller => self.engine.solve(&problem, &instance)?,
+            ExecContext::PoolWorker => self.engine.solve_inline(&problem, &instance)?,
+        };
         Ok(JsonValue::object([
             (
                 "complexity",
@@ -343,6 +548,75 @@ mod tests {
     fn classify_line(id: i64) -> String {
         let payload = JsonValue::object([("problem", problems::coloring(3).to_spec().to_json())]);
         RequestEnvelope::new(id, "classify", payload).to_json_string()
+    }
+
+    #[test]
+    fn dispatch_line_resolves_every_frame_to_one_reply() {
+        let service = Arc::new(service());
+
+        // Well-formed cheap kind.
+        let health = service
+            .dispatch_line(r#"{"v":1,"id":1,"kind":"health"}"#.to_string())
+            .wait();
+        let health = ResponseEnvelope::from_json_str(&health).expect("reply parses");
+        assert_eq!(health.id, Some(1));
+        assert!(health.is_ok());
+
+        // Unparseable frames still get their structured reply through the
+        // same deferred path.
+        let garbage = service.dispatch_line("not json at all".to_string()).wait();
+        let garbage = ResponseEnvelope::from_json_str(&garbage).expect("reply parses");
+        assert_eq!(garbage.id, None);
+        assert_eq!(garbage.result.unwrap_err().category, "protocol");
+
+        // A classify runs parse + classification + serialization on the
+        // pool and is byte-identical to the lock-step reply.
+        let deferred = service.dispatch_line(classify_line(5)).wait();
+        let parsed = ResponseEnvelope::from_json_str(&deferred).expect("reply parses");
+        assert_eq!(parsed.id, Some(5), "request id echoed");
+        assert!(parsed.is_ok());
+        assert_eq!(
+            deferred,
+            service.handle_line_string(&classify_line(5)),
+            "deferred and lock-step replies must serialize identically"
+        );
+
+        // The window gauge drained and recorded its high-water mark.
+        assert_eq!(service.metrics().pipelined_inflight(), 0);
+        assert!(service.metrics().pipelined_peak() >= 1);
+    }
+
+    #[test]
+    fn pending_response_synthesizes_an_error_when_the_job_dies() {
+        // Build the handle by hand with a dropped sender: exactly what the
+        // writer observes after a job panic.
+        let (tx, rx) = mpsc::channel::<String>();
+        drop(tx);
+        let pending = PendingResponse {
+            id: Some(77),
+            kind: "classify".to_string(),
+            rx,
+        };
+        let reply = ResponseEnvelope::from_json_str(&pending.wait()).expect("reply parses");
+        assert_eq!(
+            reply.id,
+            Some(77),
+            "salvaged id labels the synthesized reply"
+        );
+        assert_eq!(reply.kind, "classify");
+        let error = reply.result.unwrap_err();
+        assert_eq!(error.category, "internal");
+        assert!(error.message.contains("panicked"), "{}", error.message);
+    }
+
+    #[test]
+    fn salvage_scans_are_best_effort_but_robust() {
+        assert_eq!(salvage_id(r#"{"v":1,"id":42,"kind":"solve"}"#), Some(42));
+        assert_eq!(salvage_id(r#"{"id": -7}"#), Some(-7));
+        assert_eq!(salvage_id("not json"), None);
+        assert_eq!(salvage_id(r#"{"id":"text"}"#), None);
+        assert_eq!(salvage_kind(r#"{"kind":"classify_many"}"#), "classify_many");
+        assert_eq!(salvage_kind("garbage"), "invalid");
     }
 
     #[test]

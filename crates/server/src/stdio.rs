@@ -4,7 +4,7 @@
 //! (`echo '{"v":1,…}' | lcl-serve --stdio`), and doubles as the in-memory
 //! harness the protocol-robustness tests drive with `io::Cursor`.
 
-use crate::frame::{read_frame, Frame, MAX_FRAME_BYTES};
+use crate::frame::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};
 use crate::service::Service;
 use std::io::{self, BufRead, Write};
 
@@ -31,8 +31,7 @@ pub fn serve_stdio(
                 service.handle_line_string(&line)
             }
         };
-        output.write_all(reply.as_bytes())?;
-        output.write_all(b"\n")?;
+        write_frame(&mut output, &reply)?;
         output.flush()?;
     }
 }

@@ -1,21 +1,37 @@
-//! The TCP front-end: a listener with one handler thread per connection and
+//! The TCP front-end: a listener with pipelined per-connection handlers and
 //! graceful shutdown.
 //!
 //! Threads are per-*connection*, never per-*request*: each accepted socket
-//! gets one long-lived handler that reads NDJSON frames in a loop and writes
-//! one response line per frame, while all classification CPU runs on the
-//! engine's persistent worker pool. [`ServerHandle::shutdown`] stops the
-//! accept loop, unblocks every open connection (by shutting its socket down)
-//! and joins all threads before returning.
+//! gets a **reader** (the handler thread itself) and a **writer** thread.
+//! The reader parses NDJSON frames and dispatches each request into the
+//! engine's worker pool immediately ([`Service::dispatch_line`]), without
+//! waiting for the reply — so one connection can keep up to
+//! [`Server::max_inflight`] requests in flight at once (an exact bound: the
+//! reader takes an `InflightWindow` slot before dispatching, the writer
+//! returns it after writing the reply back). Replies may complete out of
+//! order on the pool, but the writer resolves them **in request order**
+//! through the in-order queue between the two threads, which is the
+//! protocol's per-connection ordering guarantee. When the window is full
+//! the reader blocks before dispatching the next frame, turning the bound
+//! into plain TCP backpressure.
+//!
+//! [`ServerHandle::shutdown`] stops the accept loop, unblocks every open
+//! connection (by shutting its socket down) and joins all threads before
+//! returning.
 
-use crate::frame::{read_frame, Frame, MAX_FRAME_BYTES};
-use crate::service::Service;
+use crate::frame::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};
+use crate::service::{PendingResponse, Service};
 use std::collections::HashMap;
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
+
+/// Default bound on a connection's pipelined in-flight window (requests
+/// dispatched but not yet written back), tunable per server with
+/// [`Server::max_inflight`] / `lcl-serve --max-inflight`.
+pub const DEFAULT_MAX_INFLIGHT: usize = 32;
 
 /// Shared shutdown/bookkeeping state of a running server.
 #[derive(Debug)]
@@ -50,10 +66,12 @@ impl ServerState {
 pub struct Server {
     listener: TcpListener,
     service: Arc<Service>,
+    max_inflight: usize,
 }
 
 impl Server {
-    /// Binds the listener.
+    /// Binds the listener. The pipelined in-flight window defaults to
+    /// [`DEFAULT_MAX_INFLIGHT`]; see [`Server::max_inflight`].
     ///
     /// # Errors
     ///
@@ -62,7 +80,18 @@ impl Server {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             service,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
         })
+    }
+
+    /// Sets the per-connection in-flight window: how many requests one
+    /// connection may have dispatched (queued or computing on the pool, or
+    /// awaiting their turn at the writer) before its reader stops pulling
+    /// frames. Clamped to at least 1; `1` degenerates to lock-step
+    /// dispatch. Applies to connections accepted after the call.
+    pub fn max_inflight(mut self, window: usize) -> Server {
+        self.max_inflight = window.max(1);
+        self
     }
 
     /// The actually bound address (resolves port `0`).
@@ -84,9 +113,10 @@ impl Server {
         let addr = self.listener.local_addr()?;
         let state = Arc::new(ServerState::new());
         let accept_state = Arc::clone(&state);
+        let max_inflight = self.max_inflight;
         let accept = thread::Builder::new()
             .name("lcl-server-accept".into())
-            .spawn(move || accept_loop(self.listener, self.service, accept_state))?;
+            .spawn(move || accept_loop(self.listener, self.service, accept_state, max_inflight))?;
         Ok(ServerHandle {
             addr,
             state,
@@ -99,7 +129,12 @@ impl Server {
     /// is the foreground `lcl-serve --addr` mode, ended by killing the
     /// process).
     pub fn run(self) {
-        accept_loop(self.listener, self.service, Arc::new(ServerState::new()));
+        accept_loop(
+            self.listener,
+            self.service,
+            Arc::new(ServerState::new()),
+            self.max_inflight,
+        );
     }
 }
 
@@ -152,7 +187,12 @@ impl Drop for ServerHandle {
     }
 }
 
-fn accept_loop(listener: TcpListener, service: Arc<Service>, state: Arc<ServerState>) {
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<Service>,
+    state: Arc<ServerState>,
+    max_inflight: usize,
+) {
     for incoming in listener.incoming() {
         if state.shutdown.load(Ordering::SeqCst) {
             break;
@@ -196,7 +236,7 @@ fn accept_loop(listener: TcpListener, service: Arc<Service>, state: Arc<ServerSt
         let spawned = thread::Builder::new()
             .name(format!("lcl-server-conn-{id}"))
             .spawn(move || {
-                handle_connection(stream, &service);
+                handle_connection(stream, &service, id, max_inflight);
                 // Deregister so the registry does not grow (and hold fds)
                 // for the server's whole lifetime.
                 conn_state
@@ -232,38 +272,191 @@ fn accept_loop(listener: TcpListener, service: Arc<Service>, state: Arc<ServerSt
     }
 }
 
-/// Serves one connection: one response line per request frame, until EOF or
-/// an I/O error. Oversized and malformed frames get structured error replies
-/// and do NOT close the connection.
-fn handle_connection(stream: TcpStream, service: &Service) {
-    let Ok(mut writer) = stream.try_clone() else {
+/// One entry in a connection's in-order reply queue: the reply itself, or
+/// the handle it will arrive on once its pool job finishes.
+enum PendingReply {
+    /// Produced on the reader thread (only oversized-frame rejections).
+    Ready(String),
+    /// Parsing/computing on the worker pool.
+    Deferred(PendingResponse),
+}
+
+/// The exact per-connection in-flight accounting: one slot per request that
+/// has been dispatched (or enqueued as a ready reply) and not yet *written*
+/// back. The reader acquires before dispatching, the writer releases after
+/// writing, so at no instant do more than `capacity` requests of one
+/// connection exist anywhere in the pipeline — which is precisely the
+/// `--max-inflight` contract in `docs/PROTOCOL.md`, and what makes
+/// `--max-inflight 1` genuine lock-step.
+struct InflightWindow {
+    used: Mutex<WindowState>,
+    changed: Condvar,
+    capacity: usize,
+}
+
+struct WindowState {
+    used: usize,
+    /// Set by the writer on exit so a reader parked in `acquire` wakes up
+    /// instead of waiting on slots that will never be released.
+    closed: bool,
+}
+
+impl InflightWindow {
+    fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(InflightWindow {
+            used: Mutex::new(WindowState {
+                used: 0,
+                closed: false,
+            }),
+            changed: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WindowState> {
+        self.used
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Blocks until a slot is free and takes it; `false` once the window is
+    /// closed (the writer is gone, so the connection is over).
+    fn acquire(&self) -> bool {
+        let mut state = self.lock();
+        while state.used >= self.capacity && !state.closed {
+            state = self
+                .changed
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        if state.closed {
+            return false;
+        }
+        state.used += 1;
+        true
+    }
+
+    /// Returns a slot (the reply was written back).
+    fn release(&self) {
+        self.lock().used -= 1;
+        self.changed.notify_one();
+    }
+
+    /// Wakes any parked reader permanently; slots stop mattering.
+    fn close(&self) {
+        self.lock().closed = true;
+        self.changed.notify_all();
+    }
+}
+
+/// Serves one connection, pipelined: this thread reads frames and
+/// dispatches each into the worker pool, a paired writer thread emits the
+/// replies in request order, and an [`InflightWindow`] bounds how many
+/// requests are dispatched-but-unwritten — when the window is full the
+/// reader stops pulling frames, which backpressures the peer through TCP.
+/// Oversized and malformed frames get structured error replies and do NOT
+/// close the connection; the stream ends on EOF or an I/O error, after the
+/// window drains.
+fn handle_connection(stream: TcpStream, service: &Arc<Service>, id: u64, max_inflight: usize) {
+    let Ok(writer_stream) = stream.try_clone() else {
+        return;
+    };
+    let window = InflightWindow::new(max_inflight);
+    let (ordered_tx, ordered_rx) = mpsc::channel::<PendingReply>();
+    let writer_window = Arc::clone(&window);
+    let Ok(writer) = thread::Builder::new()
+        .name(format!("lcl-server-conn-{id}-writer"))
+        .spawn(move || write_loop(writer_stream, ordered_rx, &writer_window))
+    else {
         return;
     };
     let mut reader = BufReader::new(stream);
     loop {
-        match read_frame(&mut reader, MAX_FRAME_BYTES) {
+        let frame = match read_frame(&mut reader, MAX_FRAME_BYTES) {
             Err(_) | Ok(Frame::Eof) => break,
-            Ok(Frame::Oversized { discarded }) => {
-                let reply = service.reject_oversized(discarded).to_json_string();
-                if write_line(&mut writer, &reply).is_err() {
+            Ok(frame) => frame,
+        };
+        if matches!(&frame, Frame::Line(line) if line.trim().is_empty()) {
+            continue;
+        }
+        // Take a window slot BEFORE dispatching, so the bound holds exactly;
+        // blocks while the window is full (that is the backpressure), wakes
+        // as the writer drains it, gives up when the writer died.
+        if !window.acquire() {
+            break;
+        }
+        let pending = match frame {
+            Frame::Oversized { discarded } => {
+                PendingReply::Ready(service.reject_oversized(discarded).into_json_string())
+            }
+            Frame::Line(line) => PendingReply::Deferred(service.dispatch_line(line)),
+            Frame::Eof => unreachable!("handled above"),
+        };
+        // The queue itself is unbounded (the window is the bound) and only
+        // disconnects when the writer died; then the read side ends too.
+        if ordered_tx.send(pending).is_err() {
+            break;
+        }
+    }
+    // Closing the queue lets the writer drain the remaining window and exit;
+    // join it so the connection's registry entry outlives all its I/O.
+    drop(ordered_tx);
+    let _ = writer.join();
+}
+
+/// The writer half of a pipelined connection: resolves queued replies in
+/// request order, writes one frame each and releases the reply's window
+/// slot. Flushes when no further reply is instantly available — so bursts
+/// of ready replies coalesce into few syscalls, but an already-written
+/// reply is never held back while the next request is still computing.
+fn write_loop(
+    stream: TcpStream,
+    ordered_rx: mpsc::Receiver<PendingReply>,
+    window: &InflightWindow,
+) {
+    let mut writer = BufWriter::new(stream);
+    let mut lookahead: Option<PendingReply> = None;
+    loop {
+        let pending = match lookahead.take() {
+            Some(pending) => pending,
+            None => match ordered_rx.recv() {
+                Ok(pending) => pending,
+                Err(_) => break, // reader closed the queue and nothing is left
+            },
+        };
+        let line = match pending {
+            PendingReply::Ready(line) => line,
+            PendingReply::Deferred(mut pending) => match pending.try_wait() {
+                Some(line) => line,
+                None => {
+                    // The head-of-line job is still computing: everything
+                    // written so far must reach the peer before we park.
+                    if writer.flush().is_err() {
+                        break;
+                    }
+                    pending.wait()
+                }
+            },
+        };
+        if write_frame(&mut writer, &line).is_err() {
+            break;
+        }
+        window.release();
+        match ordered_rx.try_recv() {
+            Ok(next) => lookahead = Some(next), // more to write: delay the flush
+            Err(mpsc::TryRecvError::Empty) => {
+                if writer.flush().is_err() {
                     break;
                 }
             }
-            Ok(Frame::Line(line)) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let reply = service.handle_line_string(&line);
-                if write_line(&mut writer, &reply).is_err() {
-                    break;
-                }
+            Err(mpsc::TryRecvError::Disconnected) => {
+                break;
             }
         }
     }
-}
-
-fn write_line(writer: &mut TcpStream, line: &str) -> io::Result<()> {
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
+    // Final flush for whatever the break left buffered, then wake a reader
+    // parked on a full window; with the queue disconnected it exits instead
+    // of waiting for slots that will never free.
+    let _ = writer.flush();
+    window.close();
 }

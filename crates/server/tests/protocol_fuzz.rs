@@ -148,6 +148,89 @@ fn oversized_frames_are_rejected_but_not_fatal() {
     assert!(health.is_ok(), "stream must survive the oversized frame");
 }
 
+/// Malformed frames *inside a pipelined burst*: the whole mixed burst is
+/// written before any reply is read, over a deliberately small in-flight
+/// window. Every non-blank frame must get exactly one reply, in frame
+/// order; the known-good frames must succeed with their ids echoed; and the
+/// connection and window must survive and drain.
+#[test]
+fn pipelined_burst_interleaving_malformed_frames_survives() {
+    let service = Arc::new(Service::new(Engine::builder().parallelism(2).build()));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0")
+        .expect("bind")
+        .max_inflight(4);
+    let handle = server.start().expect("start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let seeds = seed_frames();
+    let mut rng = StdRng::seed_from_u64(0x10_aded_c0de);
+    // Some(id): a known-good classify that must succeed with this id echoed.
+    // None: hostile (mutated or oversized) — only "one parseable reply" is
+    // guaranteed (a mutation can coincidentally stay well-formed).
+    let mut frames: Vec<(String, Option<i64>)> = Vec::new();
+    for round in 0..60i64 {
+        match round % 3 {
+            0 => {
+                let k = 2 + (round % 4) as usize;
+                let payload =
+                    JsonValue::object([("problem", problems::coloring(k).to_spec().to_json())]);
+                let id = 7000 + round;
+                frames.push((
+                    RequestEnvelope::new(id, "classify", payload).to_json_string(),
+                    Some(id),
+                ));
+            }
+            1 if round == 31 => {
+                // One oversized line mid-burst: rejected, not fatal.
+                frames.push(("x".repeat(MAX_FRAME_BYTES + 17), None));
+            }
+            _ => {
+                let base = &seeds[rng.gen_range(0..seeds.len())];
+                let frame = mutate(&mut rng, base);
+                if frame.trim().is_empty() {
+                    continue; // blank frames get no reply by design
+                }
+                frames.push((frame, None));
+            }
+        }
+    }
+
+    // Flood the entire mixed burst before reading anything.
+    for (frame, _) in &frames {
+        client.send_frame(frame).expect("send burst frame");
+    }
+    let mut rejects = 0u32;
+    for (frame, expectation) in &frames {
+        let reply = client.recv_frame().expect("every frame gets a reply");
+        let parsed = ResponseEnvelope::from_json_str(&reply)
+            .unwrap_or_else(|e| panic!("unparseable reply ({e}) for {frame:?}"));
+        match expectation {
+            Some(id) => {
+                assert_eq!(parsed.id, Some(*id), "good frames echo ids in order");
+                assert!(parsed.is_ok(), "good frame rejected: {reply}");
+            }
+            None => {
+                if !parsed.is_ok() {
+                    rejects += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        rejects > 10,
+        "the mutator should produce rejects: {rejects}"
+    );
+
+    // The window drained and the connection still classifies.
+    let verdict = client
+        .classify(&problems::coloring(3).to_spec())
+        .expect("connection survives the mixed burst");
+    assert_eq!(verdict.complexity.wire_name(), "log-star");
+    assert_eq!(service.metrics().pipelined_inflight(), 0, "window drained");
+    drop(client);
+    handle.shutdown();
+}
+
 /// The same robustness over a real TCP connection: garbage frames, then a
 /// well-formed request on the very same socket.
 #[test]

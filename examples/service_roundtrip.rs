@@ -31,10 +31,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
     }
 
-    // A second sweep, one problem per request: all cache hits now.
-    for spec in &specs {
-        client.classify(spec)?;
-    }
+    // A second sweep, one problem per request — but pipelined: a window of
+    // requests in flight on the one connection (0 = the default window),
+    // replies in request order. All cache hits now.
+    let outcomes = client.classify_many_pipelined(&specs, 0)?;
+    assert!(outcomes.iter().all(Result::is_ok));
 
     let stats = client.stats()?;
     println!(

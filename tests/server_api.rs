@@ -59,6 +59,149 @@ fn corpus_verdicts_over_tcp_are_byte_identical_to_in_process() {
     }
 }
 
+/// The pipelining acceptance bar: every corpus classify frame is written
+/// before a single reply is read, and the replies still arrive in request
+/// order, echo the right ids, and are byte-identical to the in-process
+/// verdict JSON.
+#[test]
+fn pipelined_burst_replies_in_order_and_byte_identical() {
+    let reference = Engine::new();
+    let (handle, service) = start_server(4);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let entries = corpus();
+
+    // Flood the connection: N frames out, zero replies consumed so far.
+    for (i, entry) in entries.iter().enumerate() {
+        let payload = JsonValue::object([("problem", entry.problem.to_spec().to_json())]);
+        let frame = RequestEnvelope::new(100 + i as i64, "classify", payload).to_json_string();
+        client.send_frame(&frame).expect("send burst frame");
+    }
+    for (i, entry) in entries.iter().enumerate() {
+        let reply = ResponseEnvelope::from_json_str(&client.recv_frame().expect("recv"))
+            .expect("reply parses");
+        assert_eq!(
+            reply.id,
+            Some(100 + i as i64),
+            "replies must arrive in request order ({})",
+            entry.problem.name()
+        );
+        let wire = reply
+            .result
+            .expect("classification succeeds")
+            .require("verdict")
+            .expect("verdict field")
+            .to_json_string();
+        let local = reference
+            .verdict(&entry.problem)
+            .expect("in-process verdict")
+            .to_json_string();
+        assert_eq!(
+            wire,
+            local,
+            "{}: pipelined wire verdict differs from in-process",
+            entry.problem.name()
+        );
+    }
+
+    // The window fully drained and the gauges saw the burst.
+    let stats = client.stats().expect("stats");
+    let pipeline = stats
+        .require("server")
+        .unwrap()
+        .require("pipeline")
+        .expect("pipeline gauges in stats");
+    // The stats request itself runs as a pipelined job, so the snapshot it
+    // reports may count itself — but nothing else from the drained burst.
+    assert!(
+        pipeline.require("inflight").unwrap().as_int().unwrap() <= 1,
+        "window must drain once all replies are read"
+    );
+    assert!(pipeline.require("peak_inflight").unwrap().as_int().unwrap() >= 1);
+    // Once the stats reply has been received its own job has exited the
+    // window too: the gauge must read exactly zero now.
+    assert_eq!(service.metrics().pipelined_inflight(), 0);
+    drop(client);
+    handle.shutdown();
+}
+
+/// A tiny in-flight window (2) against a much larger burst: the reader-side
+/// backpressure must delay frame consumption, never drop, reorder or
+/// deadlock.
+#[test]
+fn small_inflight_window_backpressures_without_reordering() {
+    let engine = Engine::builder().parallelism(2).build();
+    let service = Arc::new(Service::new(engine));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0")
+        .expect("bind loopback")
+        .max_inflight(2);
+    let handle = server.start().expect("start accept loop");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let spec = lcl_paths::problems::coloring(3).to_spec();
+    const BURST: i64 = 24;
+    for id in 0..BURST {
+        let payload = JsonValue::object([("problem", spec.to_json())]);
+        let frame = RequestEnvelope::new(id, "classify", payload).to_json_string();
+        client.send_frame(&frame).expect("send");
+    }
+    for id in 0..BURST {
+        let reply = ResponseEnvelope::from_json_str(&client.recv_frame().expect("recv"))
+            .expect("reply parses");
+        assert_eq!(reply.id, Some(id), "strict request order under window 2");
+        assert!(reply.is_ok());
+    }
+    // The window bound is exact: at no instant were more than 2 requests of
+    // this connection dispatched-but-unwritten (the reader takes a slot
+    // before dispatching, the writer frees it after writing).
+    assert!(
+        service.metrics().pipelined_peak() <= 2,
+        "window 2 must cap concurrent dispatches at 2, saw peak {}",
+        service.metrics().pipelined_peak()
+    );
+    drop(client);
+    handle.shutdown();
+}
+
+/// `Client::classify_many_pipelined` agrees with the ground truth and with
+/// the lock-step `classify_many` decoding.
+#[test]
+fn classify_many_pipelined_matches_ground_truth() {
+    let (handle, _service) = start_server(4);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let entries = corpus();
+    let specs: Vec<_> = entries.iter().map(|e| e.problem.to_spec()).collect();
+    let pipelined = client
+        .classify_many_pipelined(&specs, 8)
+        .expect("pipelined sweep");
+    let batched = client.classify_many(&specs).expect("batched sweep");
+    assert_eq!(pipelined.len(), entries.len());
+    for ((entry, pipelined), batched) in entries.iter().zip(&pipelined).zip(&batched) {
+        let verdict = pipelined
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{}: {e}", entry.problem.name()));
+        let expected = match entry.expected {
+            KnownComplexity::Unsolvable => "unsolvable",
+            KnownComplexity::Constant => "constant",
+            KnownComplexity::LogStar => "log-star",
+            KnownComplexity::Linear => "linear",
+        };
+        assert_eq!(
+            verdict.complexity.wire_name(),
+            expected,
+            "{}",
+            entry.problem.name()
+        );
+        assert_eq!(
+            verdict,
+            batched.as_ref().expect("batched verdict"),
+            "{}: pipelined and batched verdicts must agree",
+            entry.problem.name()
+        );
+    }
+    drop(client);
+    handle.shutdown();
+}
+
 /// One `classify_many` request over TCP agrees with the corpus ground truth
 /// and with the typed client decoding.
 #[test]
