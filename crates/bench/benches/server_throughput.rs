@@ -1,7 +1,7 @@
 //! E-SERVER: the persistent worker pool against the PR 1 scoped-thread
 //! baseline, and end-to-end NDJSON service throughput over loopback TCP.
 //!
-//! Four experiments, each at 1/4/8 pool workers:
+//! Five experiments, the first four at 1/4/8 pool workers:
 //!
 //! 1. **cold batch** — `classify_many` over the corpus from a cold cache,
 //!    vs the original design (replicated below) that spawned a fresh
@@ -17,17 +17,27 @@
 //!    request) vs pipelined (`Client::classify_many_pipelined`, a window of
 //!    requests in flight). Lock-step pays a full round-trip of latency per
 //!    request; pipelining overlaps wire, dispatch, pool and write stages,
-//!    so one client pipe can finally keep the pool busy.
+//!    so one client pipe can finally keep the pool busy;
+//! 5. **many connections** — the reactor addition: 512 simultaneously open
+//!    pipelined connections sweeping the corpus, served by the epoll
+//!    reactor backend vs the thread-per-connection backend. Printed for
+//!    each: requests/sec and the **process thread count** while all 512
+//!    connections were open — the reactor holds it at
+//!    `constant + pool workers` where the thread backend pays
+//!    `2 × connections`. The reply frames of the two backends are asserted
+//!    byte-identical.
 //!
 //! The acceptance bar is experiment 1/2 (the pool must be no slower than
-//! the scoped-thread baseline) and experiment 4 (pipelined must beat
-//! lock-step clearly — the PR targets ≥ 2x on warm sweeps).
+//! the scoped-thread baseline), experiment 4 (pipelined must beat
+//! lock-step clearly — the PR targets ≥ 2x on warm sweeps) and experiment 5
+//! (the reactor must complete the 512-connection run on its fixed thread
+//! budget with byte-identical replies).
 
 use lcl_bench::banner;
 use lcl_classifier::{Classification, Engine};
 use lcl_problem::NormalizedLcl;
 use lcl_problems::corpus;
-use lcl_server::{Client, Server, Service};
+use lcl_server::{Backend, Client, Server, Service};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -194,7 +204,145 @@ fn main() {
         handle.shutdown();
     }
 
+    println!("\n-- many connections: {MANY_CONNS} pipelined conns, reactor vs threads --");
+    let backends: Vec<Backend> = [Backend::Reactor, Backend::Threads]
+        .into_iter()
+        .filter(|b| b.available())
+        .collect();
+    let mut reply_sets: Vec<(Backend, Vec<String>)> = Vec::new();
+    for &backend in &backends {
+        let outcome = many_connections(backend, &specs);
+        let threads = outcome
+            .threads
+            .map_or_else(|| "n/a".to_string(), |t| t.to_string());
+        println!(
+            "{:>7} backend: {MANY_CONNS} conns x {FRAMES_PER_CONN} reqs   {:>10.2?} total   {:>9.0} req/s   {threads:>5} process threads",
+            backend.name(),
+            outcome.elapsed,
+            outcome.rps,
+        );
+        reply_sets.push((backend, outcome.replies));
+    }
+    if let [(_, first), (_, second)] = reply_sets.as_slice() {
+        assert_eq!(
+            first, second,
+            "reactor and thread backends must produce byte-identical reply frames"
+        );
+        println!(
+            "         both backends produced byte-identical reply frames ({} replies)",
+            reply_sets[0].1.len()
+        );
+    }
+
     println!("\n(no thread is spawned on any per-request path above: all classification runs on the engines' persistent pools)");
+}
+
+/// Experiment 5 configuration: how many simultaneously open connections,
+/// and how many pipelined classify requests each sends.
+const MANY_CONNS: usize = 512;
+const FRAMES_PER_CONN: usize = 8;
+
+struct ManyConnOutcome {
+    elapsed: Duration,
+    rps: f64,
+    /// Process thread count sampled while all connections were open.
+    threads: Option<usize>,
+    /// Every raw reply frame, sorted (ids are deterministic, so the two
+    /// backends must agree byte-for-byte).
+    replies: Vec<String>,
+}
+
+/// Opens [`MANY_CONNS`] connections against a server on the given backend,
+/// floods [`FRAMES_PER_CONN`] pipelined classify frames down each, then
+/// drains and verifies every reply (id echo + success).
+fn many_connections(backend: Backend, specs: &[lcl_problem::ProblemSpec]) -> ManyConnOutcome {
+    use lcl_problem::json::JsonValue;
+    use lcl_problem::{RequestEnvelope, ResponseEnvelope};
+
+    let service = Arc::new(Service::new(Engine::builder().parallelism(4).build()));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0")
+        .expect("bind loopback")
+        .backend(backend);
+    let handle = server.start().expect("start server");
+    let addr = handle.addr();
+
+    // Warm the cache so the run measures the connection machinery, not
+    // first-time classification.
+    let mut warm = Client::connect(addr).expect("connect warm-up");
+    for spec in specs {
+        warm.classify(spec).expect("warm-up classify");
+    }
+    drop(warm);
+
+    let mut conns: Vec<Client> = (0..MANY_CONNS)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("connect {i}: {e}")))
+        .collect();
+    // Both backends account connections asynchronously; sample the thread
+    // count only once every connection is actually being served.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.metrics().open_connections() < MANY_CONNS as u64 {
+        assert!(Instant::now() < deadline, "connections never all opened");
+        thread::yield_now();
+    }
+    let threads = process_threads();
+
+    // Serialize all request frames up front (ids deterministic across
+    // backends), so the timed section is wire + dispatch + pool + write.
+    let frames: Vec<Vec<String>> = (0..MANY_CONNS)
+        .map(|i| {
+            (0..FRAMES_PER_CONN)
+                .map(|j| {
+                    let slot = i * FRAMES_PER_CONN + j;
+                    let spec = &specs[slot % specs.len()];
+                    let payload = JsonValue::object([("problem", spec.to_json())]);
+                    RequestEnvelope::new(slot as i64, "classify", payload).to_json_string()
+                })
+                .collect()
+        })
+        .collect();
+
+    let start = Instant::now();
+    for (conn, conn_frames) in conns.iter_mut().zip(&frames) {
+        for frame in conn_frames {
+            conn.send_frame(frame).expect("send frame");
+        }
+    }
+    let mut replies: Vec<String> = Vec::with_capacity(MANY_CONNS * FRAMES_PER_CONN);
+    for (i, conn) in conns.iter_mut().enumerate() {
+        for j in 0..FRAMES_PER_CONN {
+            let raw = conn.recv_frame().expect("reply arrives");
+            let reply = ResponseEnvelope::from_json_str(&raw).expect("reply parses");
+            assert_eq!(
+                reply.id,
+                Some((i * FRAMES_PER_CONN + j) as i64),
+                "replies echo ids in request order"
+            );
+            assert!(reply.is_ok(), "classification succeeds");
+            replies.push(raw);
+        }
+    }
+    let elapsed = start.elapsed();
+    let rps = (MANY_CONNS * FRAMES_PER_CONN) as f64 / elapsed.as_secs_f64().max(1e-12);
+
+    drop(conns);
+    handle.shutdown();
+    replies.sort();
+    ManyConnOutcome {
+        elapsed,
+        rps,
+        threads,
+        replies,
+    }
+}
+
+/// The current process's thread count from `/proc/self/status` (Linux; the
+/// experiment prints `n/a` elsewhere).
+fn process_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|value| value.trim().parse().ok())
 }
 
 /// Measures the host's single-connection ceiling with a trivial line-echo

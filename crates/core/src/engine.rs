@@ -490,6 +490,27 @@ impl Engine {
         self.pool.submit_with_reply(task)
     }
 
+    /// [`Engine::dispatch`] with a completion hook: `notify` runs on the
+    /// worker after the task's reply became observable on the returned
+    /// receiver — the value was sent, or, if the task panicked, the sender
+    /// was already dropped by the unwind. Either way, a `try_recv` performed
+    /// from inside (or after) the notification is guaranteed to see the
+    /// outcome rather than `Empty`.
+    ///
+    /// This is the waker half of a readiness-based server: instead of a
+    /// writer thread parked per connection, a single reactor thread sleeps in
+    /// `epoll_wait` and `notify` signals its eventfd when a reply completes.
+    /// The same deadlock rules as [`Engine::dispatch`] apply to `task`;
+    /// `notify` must be cheap and must not touch the pool.
+    pub fn dispatch_notify<T, F, N>(&self, task: F, notify: N) -> mpsc::Receiver<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        N: FnOnce() + Send + 'static,
+    {
+        self.pool.submit_with_reply_notify(task, notify)
+    }
+
     /// Classifies a batch of problems on the persistent worker pool,
     /// returning verdicts in the order of the input slice.
     ///
@@ -804,6 +825,22 @@ mod tests {
         gate_tx.send(()).expect("worker parked on the gate");
         assert_eq!(rx.recv().unwrap().unwrap(), Complexity::LogStar);
         gate.recv().expect("gate task completed");
+    }
+
+    #[test]
+    fn dispatch_notify_signals_after_the_reply_exists() {
+        let engine = Engine::builder().parallelism(1).build();
+        let (notified_tx, notified_rx) = mpsc::channel::<()>();
+        let rx = engine.dispatch_notify(
+            || 7u32,
+            move || {
+                let _ = notified_tx.send(());
+            },
+        );
+        notified_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("notify fires");
+        assert_eq!(rx.try_recv(), Ok(7), "reply observable at notify time");
     }
 
     #[test]

@@ -25,6 +25,19 @@ use std::thread;
 /// A unit of work executed on a pool worker.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Runs the wrapped hook when dropped — including during a panic unwind, so
+/// completion notifications fire for jobs that died as well as jobs that
+/// delivered (see [`WorkerPool::submit_with_reply_notify`]).
+struct NotifyOnDrop<N: FnOnce()>(Option<N>);
+
+impl<N: FnOnce()> Drop for NotifyOnDrop<N> {
+    fn drop(&mut self) {
+        if let Some(notify) = self.0.take() {
+            notify();
+        }
+    }
+}
+
 /// Point-in-time counters of an engine's worker pool
 /// (see [`Engine::pool_stats`](crate::Engine::pool_stats)).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -118,9 +131,35 @@ impl WorkerPool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        self.submit_with_reply_notify(task, || {})
+    }
+
+    /// [`WorkerPool::submit_with_reply`] with a completion hook: `notify`
+    /// runs on the worker *after* the reply has been made observable — the
+    /// value was sent, or (on a panic) the sender was dropped by the unwind —
+    /// so a receiver probed from the notification always sees the outcome.
+    ///
+    /// This is what lets a readiness-based consumer (the server's reactor
+    /// thread, parked in `epoll_wait`) learn that a reply is ready without
+    /// dedicating a parked thread per connection: the hook signals an eventfd
+    /// instead.
+    pub(crate) fn submit_with_reply_notify<T, F, N>(&self, task: F, notify: N) -> mpsc::Receiver<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+        N: FnOnce() + Send + 'static,
+    {
         let (tx, rx) = mpsc::channel();
         self.submit(move || {
+            // Drop order is load-bearing: on a panic in `task`, locals unwind
+            // in reverse declaration order, so `tx` (declared last) drops
+            // before `guard` fires `notify` — the receiver is guaranteed to
+            // observe disconnection, never a pending-but-unnotified state.
+            let guard = NotifyOnDrop(Some(notify));
+            let tx = tx;
             let _ = tx.send(task());
+            drop(tx);
+            drop(guard);
         });
         rx
     }
@@ -222,6 +261,41 @@ mod tests {
         gate_tx.send(()).expect("worker parked on the gate");
         let got: Vec<u64> = replies.iter().map(|rx| rx.recv().unwrap()).collect();
         assert_eq!(got, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn notify_fires_after_the_reply_is_observable() {
+        let pool = WorkerPool::new(1);
+        let (notified_tx, notified_rx) = mpsc::channel::<()>();
+        let rx = pool.submit_with_reply_notify(
+            || 41u32,
+            move || {
+                let _ = notified_tx.send(());
+            },
+        );
+        notified_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("notify must fire");
+        // The notification promises the reply is already observable: no
+        // blocking recv needed.
+        assert_eq!(rx.try_recv(), Ok(41));
+    }
+
+    #[test]
+    fn notify_fires_even_when_the_job_panics() {
+        let pool = WorkerPool::new(1);
+        let (notified_tx, notified_rx) = mpsc::channel::<()>();
+        let rx = pool.submit_with_reply_notify(
+            || -> u32 { panic!("job blew up") },
+            move || {
+                let _ = notified_tx.send(());
+            },
+        );
+        notified_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("notify must fire on panic too");
+        // By notification time the unwind has already dropped the sender.
+        assert_eq!(rx.try_recv(), Err(mpsc::TryRecvError::Disconnected));
     }
 
     #[test]

@@ -82,7 +82,10 @@ pub(crate) fn read_frame(reader: &mut impl BufRead, max: usize) -> io::Result<Fr
     }
 }
 
-fn into_string(bytes: Vec<u8>) -> String {
+/// Bytes to text, replacing invalid UTF-8 lossily — the JSON parser then
+/// rejects the frame with a structured error rather than the reader killing
+/// the connection. Shared with the reactor's frame scanner.
+pub(crate) fn into_string(bytes: Vec<u8>) -> String {
     String::from_utf8(bytes).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
 }
 

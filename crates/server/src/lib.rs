@@ -15,13 +15,18 @@
 //!
 //! The same [`Service`] dispatch runs over two framings:
 //!
-//! * **TCP** ([`Server`]) — *pipelined* connections: each accepted socket
-//!   gets a reader that dispatches every frame into the engine's
-//!   *persistent worker pool* immediately (bounded per-connection window,
-//!   [`Server::max_inflight`]) and a writer that emits the replies **in
-//!   request order**, so a single connection can keep the whole pool busy;
-//!   nothing is spawned on the per-request path, and [`ServerHandle`]
-//!   shuts the listener and every open connection down gracefully;
+//! * **TCP** ([`Server`]) — *pipelined* connections: every frame is
+//!   dispatched into the engine's *persistent worker pool* immediately
+//!   (bounded per-connection window, [`Server::max_inflight`]) and replies
+//!   are emitted **in request order**, so a single connection can keep the
+//!   whole pool busy; nothing is spawned on the per-request path, and
+//!   [`ServerHandle`] shuts the listener and every open connection down
+//!   gracefully. Two interchangeable connection [`Backend`]s implement the
+//!   identical wire contract: an epoll **reactor** (Linux, default there)
+//!   that serves *all* connections on one event-loop thread — thousands of
+//!   sockets on a fixed thread budget — and the portable **threads**
+//!   backend (a reader/writer thread pair per connection).
+//!   [`Server::max_conns`] caps the accepted-connection count either way;
 //! * **stdio** ([`serve_stdio`]) — the `lcl-serve --stdio` pipe mode, same
 //!   frames over stdin/stdout, lock-step.
 //!
@@ -55,12 +60,18 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor backend's epoll binding
+// (`reactor/sys.rs`) is the one module allowed to contain `unsafe` — raw
+// `extern "C"` declarations in the spirit of the workspace's offline
+// `shims/`. Everything else in the crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 mod frame;
 mod metrics;
+#[cfg(target_os = "linux")]
+mod reactor;
 mod service;
 mod stdio;
 mod tcp;
@@ -70,4 +81,4 @@ pub use frame::MAX_FRAME_BYTES;
 pub use metrics::{KindStats, ServerMetrics};
 pub use service::{error_reply, PendingResponse, RequestKind, Service};
 pub use stdio::serve_stdio;
-pub use tcp::{Server, ServerHandle, DEFAULT_MAX_INFLIGHT};
+pub use tcp::{Backend, Server, ServerHandle, BACKEND_ENV_VAR, DEFAULT_MAX_INFLIGHT};

@@ -7,7 +7,7 @@
 //! ```
 
 use lcl_paths::{problems, Engine};
-use lcl_server::{serve_stdio, Client, Server, Service};
+use lcl_server::{serve_stdio, Backend, Client, Server, Service};
 use std::io::{stdin, stdout};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -27,6 +27,13 @@ OPTIONS:
     --cache-capacity N    memo cache bound (default: 4096)
     --max-inflight N      per-connection pipelined request window for TCP
                           connections (default: 32; 1 = lock-step)
+    --max-conns N         cap on simultaneously served TCP connections;
+                          the excess is closed at accept (default: unbounded)
+    --backend NAME        connection backend: `reactor` (one epoll event
+                          loop for all connections; Linux only, the default
+                          there) or `threads` (reader+writer thread pair per
+                          connection; portable). The LCL_SERVER_BACKEND
+                          environment variable sets the default.
     --help                print this help
 ";
 
@@ -38,6 +45,8 @@ struct Options {
     workers: Option<usize>,
     cache_capacity: Option<usize>,
     max_inflight: Option<usize>,
+    max_conns: Option<usize>,
+    backend: Option<Backend>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -77,6 +86,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--max-inflight must be at least 1".to_string());
                 }
                 options.max_inflight = Some(parsed);
+            }
+            "--max-conns" => {
+                let value = iter.next().ok_or("--max-conns requires a count")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid --max-conns value `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--max-conns must be at least 1".to_string());
+                }
+                options.max_conns = Some(parsed);
+            }
+            "--backend" => {
+                let value = iter
+                    .next()
+                    .ok_or("--backend requires `reactor` or `threads`")?;
+                let backend = Backend::from_name(value).ok_or_else(|| {
+                    format!("unknown backend `{value}` (expected reactor or threads)")
+                })?;
+                if !backend.available() {
+                    return Err(format!(
+                        "backend `{backend}` is not available on this platform"
+                    ));
+                }
+                options.backend = Some(backend);
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -137,15 +170,30 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_tcp(service: Arc<Service>, addr: &str, options: &Options) -> Result<(), String> {
-    let mut server = Server::bind(service, addr).map_err(|e| format!("bind {addr}: {e}"))?;
+/// Applies the shared TCP options (window, connection cap, backend) to a
+/// bound server.
+fn configure(mut server: Server, options: &Options) -> Server {
     if let Some(window) = options.max_inflight {
         server = server.max_inflight(window);
     }
+    if let Some(cap) = options.max_conns {
+        server = server.max_conns(cap);
+    }
+    if let Some(backend) = options.backend {
+        server = server.backend(backend);
+    }
+    server
+}
+
+fn run_tcp(service: Arc<Service>, addr: &str, options: &Options) -> Result<(), String> {
+    let server = Server::bind(service, addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let server = configure(server, options);
     let bound = server.local_addr().map_err(|e| e.to_string())?;
-    eprintln!("lcl-serve listening on {bound}");
-    server.run();
-    Ok(())
+    let backend = options
+        .backend
+        .unwrap_or_else(Backend::from_env_or_platform);
+    eprintln!("lcl-serve listening on {bound} ({backend} backend)");
+    server.run().map_err(|e| format!("serve {bound}: {e}"))
 }
 
 fn run_stdio(service: &Service) -> Result<(), String> {
@@ -159,16 +207,34 @@ fn run_stdio(service: &Service) -> Result<(), String> {
     Ok(())
 }
 
-/// The CI smoke mode: start on an ephemeral loopback port, drive one
-/// `classify` round-trip, a pipelined burst and one `health` round-trip
-/// through the client helper, verify all three, shut down gracefully.
+/// The CI smoke mode: for **every** backend available on this platform (or
+/// just the one `--backend` names), start on an ephemeral loopback port,
+/// drive one `classify` round-trip, a pipelined burst and one `health`
+/// round-trip through the client helper, verify all three, shut down
+/// gracefully. On Linux this exercises the reactor path and the thread
+/// fallback in one invocation.
 fn run_smoke(service: Arc<Service>, options: &Options) -> Result<(), String> {
-    let mut server =
-        Server::bind(service, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
-    if let Some(window) = options.max_inflight {
-        server = server.max_inflight(window);
+    let backends: Vec<Backend> = match options.backend {
+        Some(backend) => vec![backend],
+        None => [Backend::Reactor, Backend::Threads]
+            .into_iter()
+            .filter(|b| b.available())
+            .collect(),
+    };
+    for backend in backends {
+        smoke_backend(Arc::clone(&service), options, backend)?;
     }
-    let handle = server.start().map_err(|e| format!("start server: {e}"))?;
+    Ok(())
+}
+
+fn smoke_backend(service: Arc<Service>, options: &Options, backend: Backend) -> Result<(), String> {
+    let server = Server::bind(service, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
+    // configure() applies any --backend too, but the smoke loop iterates
+    // explicitly: pin this round's backend last.
+    let server = configure(server, options).backend(backend);
+    let handle = server
+        .start()
+        .map_err(|e| format!("start {backend} server: {e}"))?;
     let addr = handle.addr();
 
     let result = (|| -> Result<(), String> {
@@ -176,10 +242,10 @@ fn run_smoke(service: Arc<Service>, options: &Options) -> Result<(), String> {
         let problem = problems::coloring(3);
         let verdict = client
             .classify(&problem.to_spec())
-            .map_err(|e| format!("classify round-trip: {e}"))?;
+            .map_err(|e| format!("[{backend}] classify round-trip: {e}"))?;
         if verdict.complexity.wire_name() != "log-star" {
             return Err(format!(
-                "unexpected verdict for 3-coloring: {}",
+                "[{backend}] unexpected verdict for 3-coloring: {}",
                 verdict.complexity
             ));
         }
@@ -188,21 +254,21 @@ fn run_smoke(service: Arc<Service>, options: &Options) -> Result<(), String> {
         let specs: Vec<_> = (2..=5).map(|k| problems::coloring(k).to_spec()).collect();
         let outcomes = client
             .classify_many_pipelined(&specs, 0)
-            .map_err(|e| format!("pipelined burst: {e}"))?;
+            .map_err(|e| format!("[{backend}] pipelined burst: {e}"))?;
         if outcomes.len() != specs.len() || outcomes.iter().any(Result::is_err) {
-            return Err(format!("pipelined burst returned {outcomes:?}"));
+            return Err(format!("[{backend}] pipelined burst returned {outcomes:?}"));
         }
         let health = client
             .health()
-            .map_err(|e| format!("health round-trip: {e}"))?;
+            .map_err(|e| format!("[{backend}] health round-trip: {e}"))?;
         let status = health
             .require("status")
             .and_then(|v| v.as_str().map(str::to_string))
-            .map_err(|e| format!("malformed health payload: {e}"))?;
+            .map_err(|e| format!("[{backend}] malformed health payload: {e}"))?;
         if status != "ok" {
-            return Err(format!("unexpected health status `{status}`"));
+            return Err(format!("[{backend}] unexpected health status `{status}`"));
         }
-        println!("smoke ok @ {addr}: {verdict}");
+        println!("smoke ok @ {addr} ({backend} backend): {verdict}");
         Ok(())
     })();
     handle.shutdown();

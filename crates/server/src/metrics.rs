@@ -79,6 +79,19 @@ pub struct ServerMetrics {
     pipelined_inflight: AtomicU64,
     /// High-water mark of `pipelined_inflight` since the service started.
     pipelined_peak: AtomicU64,
+    /// Currently open connections (a gauge; both backends maintain it).
+    open_connections: AtomicU64,
+    /// High-water mark of `open_connections` since the service started.
+    peak_connections: AtomicU64,
+    /// Connections accepted and served since the service started.
+    total_accepted: AtomicU64,
+    /// Connections closed at accept time by the `--max-conns` cap.
+    total_rejected: AtomicU64,
+    /// Reactor backend only: times the event loop woke from `epoll_wait`.
+    reactor_wakeups: AtomicU64,
+    /// Reactor backend only: completed worker-pool jobs whose eventfd
+    /// notification the reactor consumed.
+    reactor_completions: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -114,6 +127,57 @@ impl ServerMetrics {
     /// produced — successfully or not).
     pub(crate) fn pipeline_exit(&self) {
         self.pipelined_inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one accepted connection entering service, updating the
+    /// open-connection gauge and its high-water mark.
+    pub(crate) fn connection_opened(&self) {
+        self.total_accepted.fetch_add(1, Ordering::Relaxed);
+        let now = self.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_connections.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Accounts one connection leaving service (EOF, error or shutdown).
+    pub(crate) fn connection_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one connection closed at accept time by the `--max-conns`
+    /// cap.
+    pub(crate) fn connection_rejected(&self) {
+        self.total_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one return from the reactor's `epoll_wait`.
+    pub(crate) fn reactor_wakeup(&self) {
+        self.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts `n` job-completion notifications consumed by the reactor.
+    pub(crate) fn reactor_completions(&self, n: u64) {
+        self.reactor_completions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Currently open connections.
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// The largest number of simultaneously open connections observed since
+    /// the service started.
+    pub fn peak_connections(&self) -> u64 {
+        self.peak_connections.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted and served since the service started (rejected
+    /// ones are counted separately).
+    pub fn total_accepted(&self) -> u64 {
+        self.total_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed at accept time by the `--max-conns` cap.
+    pub fn total_rejected(&self) -> u64 {
+        self.total_rejected.load(Ordering::Relaxed)
     }
 
     /// Requests currently dispatched by pipelined connections and not yet
@@ -170,6 +234,28 @@ impl ServerMetrics {
                 ]),
             ),
             (
+                "connections",
+                JsonValue::object([
+                    ("open", JsonValue::Int(self.open_connections() as i64)),
+                    ("peak", JsonValue::Int(self.peak_connections() as i64)),
+                    ("accepted", JsonValue::Int(self.total_accepted() as i64)),
+                    ("rejected", JsonValue::Int(self.total_rejected() as i64)),
+                ]),
+            ),
+            (
+                "reactor",
+                JsonValue::object([
+                    (
+                        "wakeups",
+                        JsonValue::Int(self.reactor_wakeups.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "completions",
+                        JsonValue::Int(self.reactor_completions.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            (
                 "kinds",
                 JsonValue::object([
                     (
@@ -222,6 +308,38 @@ mod tests {
         let json = metrics.to_json().to_json_string();
         assert!(json.contains("\"requests_served\":3"), "{json}");
         assert!(json.contains("\"invalid\""), "{json}");
+    }
+
+    #[test]
+    fn connection_gauges_track_open_peak_accepted_rejected() {
+        let metrics = ServerMetrics::default();
+        metrics.connection_opened();
+        metrics.connection_opened();
+        metrics.connection_opened();
+        assert_eq!(metrics.open_connections(), 3);
+        assert_eq!(metrics.peak_connections(), 3);
+        assert_eq!(metrics.total_accepted(), 3);
+        metrics.connection_closed();
+        metrics.connection_closed();
+        assert_eq!(metrics.open_connections(), 1);
+        assert_eq!(metrics.peak_connections(), 3, "peak is a high-water mark");
+        metrics.connection_rejected();
+        assert_eq!(metrics.total_rejected(), 1);
+        assert_eq!(
+            metrics.total_accepted(),
+            3,
+            "rejected connections are not accepted ones"
+        );
+
+        metrics.reactor_wakeup();
+        metrics.reactor_completions(5);
+
+        let json = metrics.to_json().to_json_string();
+        assert!(json.contains("\"connections\""), "{json}");
+        assert!(json.contains("\"peak\":3"), "{json}");
+        assert!(json.contains("\"rejected\":1"), "{json}");
+        assert!(json.contains("\"reactor\""), "{json}");
+        assert!(json.contains("\"completions\":5"), "{json}");
     }
 
     #[test]

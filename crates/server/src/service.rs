@@ -263,24 +263,40 @@ impl Service {
     /// ([`PendingResponse::wait`]) to uphold the protocol's per-connection
     /// reply-ordering guarantee.
     pub fn dispatch_line(self: &Arc<Self>, line: String) -> PendingResponse {
+        self.dispatch_line_notify(line, || {})
+    }
+
+    /// [`Service::dispatch_line`] with a completion hook: `notify` runs on
+    /// the worker once the reply is observable on the returned handle — the
+    /// frame was answered, or the job died and [`PendingResponse::try_wait`]
+    /// will synthesize its error. This is the reactor backend's wakeup path:
+    /// instead of a writer thread parked per connection, `notify` signals the
+    /// reactor's eventfd ([`Engine::dispatch_notify`]).
+    pub fn dispatch_line_notify<N>(self: &Arc<Self>, line: String, notify: N) -> PendingResponse
+    where
+        N: FnOnce() + Send + 'static,
+    {
         let started = Instant::now();
         let id = salvage_id(&line);
         let kind = salvage_kind(&line);
         let service = Arc::clone(self);
         self.metrics.pipeline_enter();
-        let rx = self.engine.dispatch(move || {
-            let _guard = PipelineGuard(service.metrics());
-            let response = match service.parse(&line) {
-                Err(response) => {
-                    service.metrics.record(None, started.elapsed(), false);
-                    response
-                }
-                Ok((kind, envelope)) => {
-                    service.finish(kind, &envelope, started, ExecContext::PoolWorker)
-                }
-            };
-            response.into_json_string()
-        });
+        let rx = self.engine.dispatch_notify(
+            move || {
+                let _guard = PipelineGuard(service.metrics());
+                let response = match service.parse(&line) {
+                    Err(response) => {
+                        service.metrics.record(None, started.elapsed(), false);
+                        response
+                    }
+                    Ok((kind, envelope)) => {
+                        service.finish(kind, &envelope, started, ExecContext::PoolWorker)
+                    }
+                };
+                response.into_json_string()
+            },
+            notify,
+        );
         PendingResponse { id, kind, rx }
     }
 

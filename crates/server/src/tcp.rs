@@ -1,57 +1,180 @@
-//! The TCP front-end: a listener with pipelined per-connection handlers and
-//! graceful shutdown.
+//! The TCP front-end: a listener with two interchangeable connection
+//! backends and graceful shutdown.
 //!
-//! Threads are per-*connection*, never per-*request*: each accepted socket
-//! gets a **reader** (the handler thread itself) and a **writer** thread.
-//! The reader parses NDJSON frames and dispatches each request into the
-//! engine's worker pool immediately ([`Service::dispatch_line`]), without
-//! waiting for the reply — so one connection can keep up to
-//! [`Server::max_inflight`] requests in flight at once (an exact bound: the
-//! reader takes an `InflightWindow` slot before dispatching, the writer
-//! returns it after writing the reply back). Replies may complete out of
-//! order on the pool, but the writer resolves them **in request order**
-//! through the in-order queue between the two threads, which is the
-//! protocol's per-connection ordering guarantee. When the window is full
-//! the reader blocks before dispatching the next frame, turning the bound
-//! into plain TCP backpressure.
+//! * [`Backend::Reactor`] (Linux, the default there) — a single
+//!   epoll-driven event loop serves **every** connection on a fixed thread
+//!   budget: one reactor thread plus the engine's worker pool, whatever the
+//!   connection count (see [`crate::reactor`](self)'s module docs in
+//!   `reactor/mod.rs`).
+//! * [`Backend::Threads`] (portable fallback) — each accepted socket gets a
+//!   **reader** thread (parses NDJSON frames and dispatches each into the
+//!   worker pool immediately) and a **writer** thread (resolves replies in
+//!   request order). Two OS threads per connection: fine for hundreds of
+//!   sockets, the reason the reactor exists for thousands.
 //!
-//! [`ServerHandle::shutdown`] stops the accept loop, unblocks every open
-//! connection (by shutting its socket down) and joins all threads before
-//! returning.
+//! Both backends implement the identical `docs/PROTOCOL.md` v1.1 contract:
+//! every frame produces one reply, replies arrive in request order per
+//! connection, at most [`Server::max_inflight`] requests per connection are
+//! dispatched-but-unwritten at once (a full window stops the reads — plain
+//! TCP backpressure), and [`Server::max_conns`] bounds how many connections
+//! are served at all (the excess is closed at accept).
+//!
+//! [`ServerHandle::shutdown`] stops the accept loop **via an eventfd
+//! wakeup** — not by dialing its own listen address, so shutdown works even
+//! when the listener's address is not connectable from here — then unblocks
+//! every open connection and joins all threads before returning.
 
 use crate::frame::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};
 use crate::service::{PendingResponse, Service};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+use crate::reactor::{Control, Reactor};
 
 /// Default bound on a connection's pipelined in-flight window (requests
 /// dispatched but not yet written back), tunable per server with
 /// [`Server::max_inflight`] / `lcl-serve --max-inflight`.
 pub const DEFAULT_MAX_INFLIGHT: usize = 32;
 
-/// Shared shutdown/bookkeeping state of a running server.
+/// Environment variable consulted by [`Backend::from_env_or_platform`] (and
+/// therefore by [`Server::bind`]'s default): set it to `reactor` or
+/// `threads` to pick the connection backend without touching code — this is
+/// how CI runs the server test suites once per backend.
+pub const BACKEND_ENV_VAR: &str = "LCL_SERVER_BACKEND";
+
+/// How a server multiplexes its connections onto OS threads. The wire
+/// protocol is identical either way; see the module docs for the trade-off.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// One epoll event loop for all connections (Linux only). Thread budget:
+    /// 1 reactor thread + the worker pool, independent of connection count.
+    Reactor,
+    /// Two threads (reader + writer) per connection. Portable, but caps the
+    /// practical connection count at hundreds.
+    Threads,
+}
+
+impl Backend {
+    /// The stable name used by `--backend` and [`BACKEND_ENV_VAR`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Reactor => "reactor",
+            Backend::Threads => "threads",
+        }
+    }
+
+    /// Parses a [`Backend::name`].
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name {
+            "reactor" => Some(Backend::Reactor),
+            "threads" => Some(Backend::Threads),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run on the current platform.
+    pub fn available(self) -> bool {
+        match self {
+            Backend::Reactor => cfg!(target_os = "linux"),
+            Backend::Threads => true,
+        }
+    }
+
+    /// The platform default: the reactor where epoll exists (Linux), the
+    /// thread backend everywhere else.
+    pub fn platform_default() -> Backend {
+        if Backend::Reactor.available() {
+            Backend::Reactor
+        } else {
+            Backend::Threads
+        }
+    }
+
+    /// The default backend honoring the [`BACKEND_ENV_VAR`] override when it
+    /// names an available backend; [`Backend::platform_default`] otherwise.
+    pub fn from_env_or_platform() -> Backend {
+        if let Ok(name) = std::env::var(BACKEND_ENV_VAR) {
+            if let Some(backend) = Backend::from_name(name.trim()) {
+                if backend.available() {
+                    return backend;
+                }
+            }
+        }
+        Backend::platform_default()
+    }
+
+    /// This backend when available on the current platform, the portable
+    /// thread backend otherwise.
+    fn resolve(self) -> Backend {
+        if self.available() {
+            self
+        } else {
+            Backend::Threads
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The portable stand-in for [`crate::reactor::Control`] on platforms
+/// without eventfd: the shutdown flag alone. The nonblocking accept loop
+/// polls it on a short interval instead of being woken.
+#[cfg(not(target_os = "linux"))]
+#[derive(Debug)]
+pub(crate) struct Control {
+    shutdown: std::sync::atomic::AtomicBool,
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Control {
+    pub(crate) fn new() -> io::Result<Arc<Control>> {
+        Ok(Arc::new(Control {
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+        }))
+    }
+
+    pub(crate) fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Bookkeeping of the thread backend: open-connection registry (so shutdown
+/// can unblock parked readers) and handler join handles.
 #[derive(Debug)]
 struct ServerState {
-    shutdown: AtomicBool,
     /// Clones of every open connection's stream, so shutdown can unblock
     /// readers; handlers deregister themselves on exit (keyed by a
     /// connection sequence number).
     connections: Mutex<HashMap<u64, TcpStream>>,
     connection_seq: AtomicU64,
     handlers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// *This server's* open-connection count, the `max_conns` basis — the
+    /// `ServerMetrics` gauge would conflate several servers sharing one
+    /// `Service` (the reactor likewise counts only its own connections).
+    open: AtomicU64,
 }
 
 impl ServerState {
     fn new() -> Self {
         ServerState {
-            shutdown: AtomicBool::new(false),
             connections: Mutex::new(HashMap::new()),
             connection_seq: AtomicU64::new(0),
             handlers: Mutex::new(Vec::new()),
+            open: AtomicU64::new(0),
         }
     }
 }
@@ -67,11 +190,15 @@ pub struct Server {
     listener: TcpListener,
     service: Arc<Service>,
     max_inflight: usize,
+    max_conns: usize,
+    backend: Backend,
 }
 
 impl Server {
     /// Binds the listener. The pipelined in-flight window defaults to
-    /// [`DEFAULT_MAX_INFLIGHT`]; see [`Server::max_inflight`].
+    /// [`DEFAULT_MAX_INFLIGHT`], the connection count is unbounded
+    /// ([`Server::max_conns`]) and the backend defaults to
+    /// [`Backend::from_env_or_platform`].
     ///
     /// # Errors
     ///
@@ -81,16 +208,35 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             service,
             max_inflight: DEFAULT_MAX_INFLIGHT,
+            max_conns: usize::MAX,
+            backend: Backend::from_env_or_platform(),
         })
     }
 
     /// Sets the per-connection in-flight window: how many requests one
     /// connection may have dispatched (queued or computing on the pool, or
-    /// awaiting their turn at the writer) before its reader stops pulling
-    /// frames. Clamped to at least 1; `1` degenerates to lock-step
-    /// dispatch. Applies to connections accepted after the call.
+    /// awaiting their turn at the writer) before its reads stop. Clamped to
+    /// at least 1; `1` degenerates to lock-step dispatch. Applies to
+    /// connections accepted after the call.
     pub fn max_inflight(mut self, window: usize) -> Server {
         self.max_inflight = window.max(1);
+        self
+    }
+
+    /// Caps how many connections are served simultaneously: a connection
+    /// accepted past the cap is closed immediately (reject-with-close) and
+    /// counted under `server.connections.rejected` in the `stats` reply.
+    /// This bounds the server's fd usage — and, on the thread backend, its
+    /// thread usage — under connection floods. Clamped to at least 1.
+    pub fn max_conns(mut self, cap: usize) -> Server {
+        self.max_conns = cap.max(1);
+        self
+    }
+
+    /// Selects the connection backend. [`Backend::Reactor`] on a platform
+    /// without epoll falls back to [`Backend::Threads`] at start.
+    pub fn backend(mut self, backend: Backend) -> Server {
+        self.backend = backend;
         self
     }
 
@@ -103,38 +249,101 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Spawns the accept loop on a background thread and returns the handle
-    /// used for graceful shutdown.
+    /// Spawns the serving loop (reactor, or thread-backend accept loop) on a
+    /// background thread and returns the handle used for graceful shutdown.
     ///
     /// # Errors
     ///
-    /// Propagates thread-spawn and socket-name failures.
+    /// Propagates thread-spawn, socket-name and (reactor) epoll/eventfd
+    /// setup failures.
     pub fn start(self) -> io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
+        let control = Control::new()?;
+        #[cfg(target_os = "linux")]
+        if self.backend.resolve() == Backend::Reactor {
+            let reactor = Reactor::new(
+                self.listener,
+                self.service,
+                Arc::clone(&control),
+                self.max_inflight,
+                self.max_conns,
+            )?;
+            let main = thread::Builder::new()
+                .name("lcl-server-reactor".into())
+                .spawn(move || {
+                    // A mid-service epoll failure is fatal and cannot be
+                    // surfaced through the handle; at least say so.
+                    if let Err(e) = reactor.run() {
+                        eprintln!("lcl-server: reactor event loop failed: {e}");
+                    }
+                })?;
+            return Ok(ServerHandle {
+                addr,
+                control,
+                main: Some(main),
+                thread_state: None,
+            });
+        }
+        // Nonblocking accepts + an explicit wait let shutdown interrupt the
+        // loop without the old trick of dialing the listen address. Done
+        // here so a failure surfaces to the caller instead of producing a
+        // server that looks started but serves nothing.
+        self.listener.set_nonblocking(true)?;
         let state = Arc::new(ServerState::new());
         let accept_state = Arc::clone(&state);
+        let accept_control = Arc::clone(&control);
         let max_inflight = self.max_inflight;
-        let accept = thread::Builder::new()
+        let max_conns = self.max_conns;
+        let main = thread::Builder::new()
             .name("lcl-server-accept".into())
-            .spawn(move || accept_loop(self.listener, self.service, accept_state, max_inflight))?;
+            .spawn(move || {
+                accept_loop(
+                    self.listener,
+                    self.service,
+                    accept_state,
+                    accept_control,
+                    max_inflight,
+                    max_conns,
+                )
+            })?;
         Ok(ServerHandle {
             addr,
-            state,
-            accept: Some(accept),
+            control,
+            main: Some(main),
+            thread_state: Some(state),
         })
     }
 
-    /// Runs the accept loop on the calling thread; returns only once the
-    /// process-external side closes the listener (never, in practice — this
-    /// is the foreground `lcl-serve --addr` mode, ended by killing the
-    /// process).
-    pub fn run(self) {
+    /// Runs the serving loop on the calling thread; returns only on a fatal
+    /// setup error (this is the foreground `lcl-serve --addr` mode, ended by
+    /// killing the process).
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener-setup and (reactor) epoll/eventfd failures.
+    pub fn run(self) -> io::Result<()> {
+        let control = Control::new()?;
+        #[cfg(target_os = "linux")]
+        if self.backend.resolve() == Backend::Reactor {
+            return Reactor::new(
+                self.listener,
+                self.service,
+                control,
+                self.max_inflight,
+                self.max_conns,
+            )?
+            .run();
+        }
+        self.listener.set_nonblocking(true)?;
         accept_loop(
             self.listener,
             self.service,
             Arc::new(ServerState::new()),
+            control,
             self.max_inflight,
+            self.max_conns,
         );
+        Ok(())
     }
 }
 
@@ -144,8 +353,10 @@ impl Server {
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
-    state: Arc<ServerState>,
-    accept: Option<thread::JoinHandle<()>>,
+    control: Arc<Control>,
+    main: Option<thread::JoinHandle<()>>,
+    /// Thread backend only: the open-connection registry to unblock.
+    thread_state: Option<Arc<ServerState>>,
 }
 
 impl ServerHandle {
@@ -155,29 +366,26 @@ impl ServerHandle {
     }
 
     /// Gracefully shuts the server down: stops accepting, unblocks and joins
-    /// every connection handler, joins the accept thread.
+    /// every connection handler, joins the serving thread.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
 
     fn shutdown_impl(&mut self) {
-        let Some(accept) = self.accept.take() else {
+        let Some(main) = self.main.take() else {
             return;
         };
-        self.state.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        // Unblock handlers parked in read().
-        for (_, stream) in self
-            .state
-            .connections
-            .lock()
-            .expect("connections lock")
-            .drain()
-        {
-            let _ = stream.shutdown(Shutdown::Both);
+        // Sets the flag and wakes the loop through the eventfd (Linux) or
+        // the accept poll interval (elsewhere) — never by connecting to the
+        // listen address.
+        self.control.trigger_shutdown();
+        // Thread backend: unblock handlers parked in read().
+        if let Some(state) = &self.thread_state {
+            for (_, stream) in state.connections.lock().expect("connections lock").drain() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
         }
-        let _ = accept.join();
+        let _ = main.join();
     }
 }
 
@@ -187,22 +395,85 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Parks the thread-backend accept loop until the listener is ready (or a
+/// shutdown wakeup arrives). On Linux this is an epoll wait on the listener
+/// and the control eventfd; elsewhere it degrades to a short sleep, which
+/// bounds both accept latency and shutdown latency at the poll interval.
+#[cfg(target_os = "linux")]
+struct AcceptWaiter {
+    epoll: Option<crate::reactor::AcceptPoll>,
+}
+
+#[cfg(target_os = "linux")]
+impl AcceptWaiter {
+    fn new(listener: &TcpListener, control: &Control) -> AcceptWaiter {
+        AcceptWaiter {
+            epoll: crate::reactor::AcceptPoll::new(listener, control).ok(),
+        }
+    }
+
+    fn wait(&mut self) {
+        match &mut self.epoll {
+            Some(poll) => poll.wait(),
+            None => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+struct AcceptWaiter;
+
+#[cfg(not(target_os = "linux"))]
+impl AcceptWaiter {
+    fn new(_listener: &TcpListener, _control: &Control) -> AcceptWaiter {
+        AcceptWaiter
+    }
+
+    fn wait(&mut self) {
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     service: Arc<Service>,
     state: Arc<ServerState>,
+    control: Arc<Control>,
     max_inflight: usize,
+    max_conns: usize,
 ) {
-    for incoming in listener.incoming() {
-        if state.shutdown.load(Ordering::SeqCst) {
+    // The caller already flipped the listener nonblocking; accepts plus an
+    // explicit wait let shutdown interrupt the loop without the old trick
+    // of dialing the listen address.
+    let mut waiter = AcceptWaiter::new(&listener, &control);
+    loop {
+        if control.shutdown_requested() {
             break;
         }
-        let Ok(stream) = incoming else {
-            // Transient accept failures (fd exhaustion, aborted handshakes)
-            // must not busy-spin the loop at 100% CPU.
-            thread::sleep(std::time::Duration::from_millis(10));
-            continue;
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                waiter.wait();
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Transient accept failures (fd exhaustion, aborted
+                // handshakes) must not busy-spin the loop at 100% CPU.
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
         };
+        if state.open.load(Ordering::Relaxed) >= max_conns as u64 {
+            service.metrics().connection_rejected();
+            drop(stream); // reject-with-close
+            continue;
+        }
+        // The accepted socket must block again: the reader/writer threads
+        // park on it by design.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
         // One small response frame per request: Nagle would stall every
         // round-trip against delayed ACKs.
         let _ = stream.set_nodelay(true);
@@ -219,7 +490,7 @@ fn accept_loop(
         // yet. Re-checking after registering closes that window: if the flag
         // is set now, the drain either already closed our entry or never
         // will, so close the socket ourselves and stop.
-        if state.shutdown.load(Ordering::SeqCst) {
+        if control.shutdown_requested() {
             if let Some(conn) = state
                 .connections
                 .lock()
@@ -231,12 +502,14 @@ fn accept_loop(
             let _ = stream.shutdown(Shutdown::Both);
             break;
         }
-        let service = Arc::clone(&service);
+        service.metrics().connection_opened();
+        state.open.fetch_add(1, Ordering::Relaxed);
+        let conn_service = Arc::clone(&service);
         let conn_state = Arc::clone(&state);
         let spawned = thread::Builder::new()
             .name(format!("lcl-server-conn-{id}"))
             .spawn(move || {
-                handle_connection(stream, &service, id, max_inflight);
+                handle_connection(stream, &conn_service, id, max_inflight);
                 // Deregister so the registry does not grow (and hold fds)
                 // for the server's whole lifetime.
                 conn_state
@@ -244,10 +517,16 @@ fn accept_loop(
                     .lock()
                     .expect("connections lock")
                     .remove(&id);
+                conn_state.open.fetch_sub(1, Ordering::Relaxed);
+                conn_service.metrics().connection_closed();
             });
         let mut handlers = state.handlers.lock().expect("handlers lock");
-        if let Ok(handle) = spawned {
-            handlers.push(handle);
+        match spawned {
+            Ok(handle) => handlers.push(handle),
+            Err(_) => {
+                state.open.fetch_sub(1, Ordering::Relaxed);
+                service.metrics().connection_closed();
+            }
         }
         // Reap finished handlers so the list stays bounded by the number of
         // concurrently open connections.
@@ -273,9 +552,11 @@ fn accept_loop(
 }
 
 /// One entry in a connection's in-order reply queue: the reply itself, or
-/// the handle it will arrive on once its pool job finishes.
-enum PendingReply {
-    /// Produced on the reader thread (only oversized-frame rejections).
+/// the handle it will arrive on once its pool job finishes. Shared by both
+/// backends — the thread backend moves these through a channel to the
+/// writer thread, the reactor keeps them in the connection's state machine.
+pub(crate) enum PendingReply {
+    /// Produced without a pool job (only oversized-frame rejections).
     Ready(String),
     /// Parsing/computing on the worker pool.
     Deferred(PendingResponse),
@@ -459,4 +740,23 @@ fn write_loop(
     // of waiting for slots that will never free.
     let _ = writer.flush();
     window.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip_and_platform_default_is_available() {
+        for backend in [Backend::Reactor, Backend::Threads] {
+            assert_eq!(Backend::from_name(backend.name()), Some(backend));
+            assert_eq!(backend.to_string(), backend.name());
+        }
+        assert_eq!(Backend::from_name("neither"), None);
+        assert!(Backend::platform_default().available());
+        assert!(Backend::Threads.resolve().available());
+        assert!(Backend::Reactor.resolve().available());
+        #[cfg(target_os = "linux")]
+        assert_eq!(Backend::platform_default(), Backend::Reactor);
+    }
 }

@@ -1,0 +1,257 @@
+//! Many-connection soak tests for both connection backends: ≥128
+//! simultaneously open pipelined clients, byte-identical verdicts across
+//! backends, per-id echo, connection-gauge consistency, the `--max-conns`
+//! accept cap, and shutdown that no longer dials its own listen address.
+
+use lcl_paths::problem::json::JsonValue;
+use lcl_paths::problem::{RequestEnvelope, ResponseEnvelope};
+use lcl_paths::{problems, Engine};
+use lcl_server::{Backend, Client, Server, ServerHandle, Service};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Concurrently open pipelined clients per backend in the soak.
+const CLIENTS: usize = 128;
+/// Classify frames each client pipelines (distinct problems, so the cache
+/// serves most of them after the first wave).
+const FRAMES_PER_CLIENT: usize = 3;
+
+fn backends() -> Vec<Backend> {
+    [Backend::Reactor, Backend::Threads]
+        .into_iter()
+        .filter(|b| b.available())
+        .collect()
+}
+
+fn start_server(backend: Backend) -> (ServerHandle, Arc<Service>) {
+    let service = Arc::new(Service::new(Engine::builder().parallelism(2).build()));
+    let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0")
+        .expect("bind loopback")
+        .backend(backend)
+        .start()
+        .expect("start server");
+    (handle, service)
+}
+
+/// Polls `condition` until it holds (or panics after `secs` seconds).
+fn wait_until(what: &str, secs: u64, condition: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while !condition() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The problem each (client, frame) slot classifies; varied so the batch
+/// covers several cache entries.
+fn spec_for(frame: usize) -> lcl_paths::problem::ProblemSpec {
+    problems::coloring(2 + frame % 3).to_spec()
+}
+
+fn request_id(client: usize, frame: usize) -> i64 {
+    (client as i64) * 1000 + frame as i64
+}
+
+/// Runs the ≥128-client soak against one backend and returns every raw
+/// reply line, sorted, for cross-backend comparison.
+fn soak_backend(backend: Backend) -> Vec<String> {
+    let (handle, service) = start_server(backend);
+    let addr = handle.addr();
+
+    // Open every client before any work starts, so all CLIENTS connections
+    // are provably simultaneous.
+    let clients: Vec<Client> = (0..CLIENTS)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("[{backend}] connect {i}: {e}")))
+        .collect();
+    wait_until(
+        &format!("[{backend}] all {CLIENTS} connections open"),
+        30,
+        || service.metrics().open_connections() >= CLIENTS as u64,
+    );
+    assert!(
+        service.metrics().peak_connections() >= CLIENTS as u64,
+        "[{backend}] peak gauge must see the soak"
+    );
+
+    // The connection gauges are live on the wire too, not just in-process.
+    let mut probe = Client::connect(addr).expect("connect stats probe");
+    let stats = probe.stats().expect("stats over the wire");
+    let connections = stats
+        .require("server")
+        .and_then(|s| s.require("connections"))
+        .expect("server.connections in stats");
+    assert!(
+        connections.require("peak").unwrap().as_int().unwrap() >= CLIENTS as i64,
+        "[{backend}] wire-visible peak"
+    );
+    assert!(
+        connections.require("accepted").unwrap().as_int().unwrap() > CLIENTS as i64,
+        "[{backend}] accepted counts the probe too"
+    );
+    drop(probe);
+
+    // Every client floods its whole burst, then reads the replies: ids must
+    // echo in request order and verdicts must be byte-identical to the
+    // in-process engine.
+    let reference = Engine::new();
+    let expected: Vec<String> = (0..FRAMES_PER_CLIENT)
+        .map(|frame| {
+            reference
+                .verdict(&spec_for(frame).to_problem().expect("corpus problem"))
+                .expect("in-process verdict")
+                .to_json_string()
+        })
+        .collect();
+    let workers: Vec<std::thread::JoinHandle<Vec<String>>> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut client)| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                for frame in 0..FRAMES_PER_CLIENT {
+                    let payload = JsonValue::object([("problem", spec_for(frame).to_json())]);
+                    let line = RequestEnvelope::new(request_id(i, frame), "classify", payload)
+                        .to_json_string();
+                    client.send_frame(&line).expect("send frame");
+                }
+                let mut replies = Vec::with_capacity(FRAMES_PER_CLIENT);
+                for (frame, expected) in expected.iter().enumerate() {
+                    let raw = client.recv_frame().expect("reply arrives");
+                    let reply = ResponseEnvelope::from_json_str(&raw).expect("reply parses");
+                    assert_eq!(
+                        reply.id,
+                        Some(request_id(i, frame)),
+                        "client {i}: replies echo ids in request order"
+                    );
+                    let verdict = reply
+                        .result
+                        .expect("classification succeeds")
+                        .require("verdict")
+                        .expect("verdict field")
+                        .to_json_string();
+                    assert_eq!(
+                        &verdict, expected,
+                        "client {i} frame {frame}: wire verdict must be byte-identical"
+                    );
+                    replies.push(raw);
+                }
+                replies
+            })
+        })
+        .collect();
+    let mut all_replies: Vec<String> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("soak client thread"))
+        .collect();
+
+    // Every client has disconnected: the open gauge must settle back to 0
+    // (connection teardown is asynchronous on both backends).
+    wait_until(
+        &format!("[{backend}] open connections back to 0"),
+        30,
+        || service.metrics().open_connections() == 0,
+    );
+    assert!(
+        service.metrics().total_accepted() >= (CLIENTS + 1) as u64,
+        "[{backend}] accepted all soak clients"
+    );
+    handle.shutdown();
+
+    all_replies.sort();
+    all_replies
+}
+
+/// The soak itself: ≥128 simultaneous pipelined clients against every
+/// available backend, asserting byte-identical verdicts (in-process and
+/// across backends), per-id echo and gauge consistency.
+#[test]
+fn soak_128_concurrent_pipelined_clients_per_backend() {
+    let mut per_backend: Vec<(Backend, Vec<String>)> = Vec::new();
+    for backend in backends() {
+        per_backend.push((backend, soak_backend(backend)));
+    }
+    // The ids are deterministic per (client, frame) slot, so the full reply
+    // frames — not just the verdict payloads — must agree byte-for-byte
+    // between backends.
+    if let [(first, first_replies), rest @ ..] = per_backend.as_slice() {
+        for (other, other_replies) in rest {
+            assert_eq!(
+                first_replies, other_replies,
+                "backends {first} and {other} must produce byte-identical reply sets"
+            );
+        }
+    }
+}
+
+/// `--max-conns`: connections past the cap are closed at accept
+/// (reject-with-close), the gauge counts them, and capacity freed by a
+/// closing client is reusable.
+#[test]
+fn max_conns_rejects_excess_connections_on_every_backend() {
+    for backend in backends() {
+        let service = Arc::new(Service::new(Engine::builder().parallelism(1).build()));
+        let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0")
+            .expect("bind loopback")
+            .backend(backend)
+            .max_conns(2)
+            .start()
+            .expect("start server");
+        let addr = handle.addr();
+
+        let mut first = Client::connect(addr).expect("first connect");
+        let mut second = Client::connect(addr).expect("second connect");
+        first
+            .health()
+            .unwrap_or_else(|e| panic!("[{backend}] first: {e}"));
+        second
+            .health()
+            .unwrap_or_else(|e| panic!("[{backend}] second: {e}"));
+
+        // The third connect succeeds at TCP level (listen backlog) but the
+        // server closes it instead of serving: the first call must fail.
+        let mut third = Client::connect(addr).expect("third connect");
+        assert!(
+            third.health().is_err(),
+            "[{backend}] connection past --max-conns must be closed unserved"
+        );
+        wait_until(&format!("[{backend}] rejection counted"), 10, || {
+            service.metrics().total_rejected() >= 1
+        });
+        assert_eq!(
+            service.metrics().open_connections(),
+            2,
+            "[{backend}] rejected connection must not occupy a slot"
+        );
+
+        // Freeing a slot makes room again.
+        drop(second);
+        wait_until(&format!("[{backend}] slot freed"), 10, || {
+            service.metrics().open_connections() == 1
+        });
+        let mut fourth = Client::connect(addr).expect("fourth connect");
+        fourth
+            .health()
+            .unwrap_or_else(|e| panic!("[{backend}] freed capacity must serve: {e}"));
+
+        drop(first);
+        drop(third);
+        drop(fourth);
+        handle.shutdown();
+    }
+}
+
+/// Shutdown is driven by the eventfd/poll wakeup, not by the old hack of
+/// connecting to the listen address: after an immediate shutdown the accept
+/// counter has never moved.
+#[test]
+fn shutdown_never_dials_its_own_listener() {
+    for backend in backends() {
+        let (handle, service) = start_server(backend);
+        handle.shutdown();
+        assert_eq!(
+            service.metrics().total_accepted(),
+            0,
+            "[{backend}] shutdown must not fabricate a connection to wake accept"
+        );
+    }
+}
