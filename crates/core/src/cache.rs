@@ -1,0 +1,646 @@
+//! The sharded, O(1)-per-operation memo cache behind [`Engine`](crate::Engine).
+//!
+//! [`ShardedLruCache`] replaces the engine's original single-lock cache, whose
+//! LRU eviction scanned every entry for its victim on insert (O(entries)) and
+//! whose one `RwLock` serialized all writers. Here the key space is split
+//! across N **shards** (N a power of two; keys are hash-routed), each shard an
+//! independent [`Mutex`] guarding
+//!
+//! * a `HashMap` from key to slot index, and
+//! * a slab of nodes threaded onto an **intrusive doubly-linked LRU list**
+//!   (`prev`/`next` are slot indices into the slab — no pointers, no
+//!   `unsafe`), most-recent at the head, eviction victim at the tail.
+//!
+//! Hit-touch (unlink + relink at head), insert, and evict (pop the tail) are
+//! all O(1), and operations on different shards never contend. A single-shard
+//! cache is exactly the old global LRU: same victims, in the same order.
+//!
+//! **Counter discipline.** Every shard keeps its own counters
+//! (hits/misses/inserts/evictions plus the entry high-water mark) *inside* the
+//! mutex, updated in the same critical section as the mutation they describe.
+//! A [`ShardStats`] snapshot is therefore internally consistent at any
+//! instant — in particular `entries + evictions == inserts` holds for every
+//! snapshot, even one taken mid-stampede — and [`ShardedLruCache::stats`]
+//! aggregates those per-shard snapshots into the engine-level [`CacheStats`].
+//!
+//! **Miss discipline.** [`ShardedLruCache::get`] counts a hit on success and
+//! *nothing* on a miss; misses are recorded explicitly via
+//! [`ShardedLruCache::record_miss`]. This keeps the engine's long-standing
+//! accounting: a peek miss ([`Engine::cached`](crate::Engine::cached)) costs
+//! nothing, while every actual computation counts exactly one miss.
+
+use std::collections::hash_map::{self, DefaultHasher};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hasher;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The null slot index terminating the intrusive list. Slot indices are
+/// `u32` deliberately: a slab node is `key + value + 8` bytes, so the cold
+/// cache lines an eviction must touch stay few (and 4 billion slots per
+/// shard is far beyond any realistic capacity).
+const NIL: u32 = u32::MAX;
+
+/// Aggregated cache-effectiveness counters of an [`Engine`](crate::Engine):
+/// the sum of one internally consistent [`ShardStats`] snapshot per shard
+/// (see the [module docs](self) for the consistency guarantee).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to be computed (recorded at computation time, so
+    /// concurrent threads stampeding a cold key may each count one).
+    pub misses: u64,
+    /// Distinct problems currently cached.
+    pub entries: usize,
+    /// Entries removed: LRU capacity victims plus entries dropped by
+    /// [`Engine::clear_cache`](crate::Engine::clear_cache). Counting both
+    /// keeps `entries + evictions == inserts` true at every snapshot.
+    pub evictions: u64,
+    /// Entries ever inserted (a raced re-insert of a present key keeps the
+    /// first entry and does not count).
+    pub inserts: u64,
+    /// Sum of the per-shard entry high-water marks — an upper bound on how
+    /// many entries were ever resident at once.
+    pub peak_entries: usize,
+    /// Number of independent shards the key space is split across.
+    pub shards: usize,
+}
+
+impl CacheStats {
+    /// The fraction of lookups served from the cache, in `[0, 1]`
+    /// (`0.0` before any lookup happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache: {} hits / {} misses ({:.1}% hit ratio), {} entries (peak {}), \
+             {} evictions / {} inserts, {} shards",
+            self.hits,
+            self.misses,
+            self.hit_ratio() * 100.0,
+            self.entries,
+            self.peak_entries,
+            self.evictions,
+            self.inserts,
+            self.shards
+        )
+    }
+}
+
+/// One shard's counters, snapshotted atomically under the shard's mutex.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ShardStats {
+    /// Lookups this shard served from its map.
+    pub hits: u64,
+    /// Misses recorded against this shard via
+    /// [`ShardedLruCache::record_miss`].
+    pub misses: u64,
+    /// Entries currently resident in this shard.
+    pub entries: usize,
+    /// Entries this shard removed (capacity victims and clears).
+    pub evictions: u64,
+    /// Entries ever inserted into this shard.
+    pub inserts: u64,
+    /// High-water mark of `entries`.
+    pub peak_entries: usize,
+}
+
+impl ShardStats {
+    /// The bookkeeping invariant every snapshot satisfies: each inserted
+    /// entry is either still resident or was evicted.
+    pub fn is_consistent(&self) -> bool {
+        self.entries as u64 + self.evictions == self.inserts
+    }
+}
+
+/// The outcome of [`ShardedLruCache::insert`].
+#[derive(Clone, Debug)]
+pub struct Inserted<V> {
+    /// The winning value for the key: the caller's value if it was inserted,
+    /// or the already-present value if another thread raced the insert
+    /// (keep-first semantics, so every caller shares one allocation).
+    pub value: V,
+    /// Whether the caller's value was actually inserted (`false` on a raced
+    /// re-insert of a present key, which only refreshes recency).
+    pub fresh: bool,
+    /// The key evicted to make room, if the shard was at capacity (the
+    /// cache's own reference, handed over rather than copied — eviction
+    /// allocates nothing).
+    pub evicted: Option<Arc<[u8]>>,
+}
+
+/// One slab node: a key/value pair threaded onto the shard's intrusive LRU
+/// list by slot index.
+#[derive(Debug)]
+struct Node<V> {
+    /// Shared with the map's key (one allocation, refcounted): the hash
+    /// probe and the recency-list touch read the same key bytes, instead of
+    /// two copies occupying two cache lines.
+    key: Arc<[u8]>,
+    value: V,
+    /// Slot index of the next-more-recent node (`NIL` at the head).
+    prev: u32,
+    /// Slot index of the next-less-recent node (`NIL` at the tail).
+    next: u32,
+}
+
+/// One independent shard: map + slab + intrusive list + counters, all under
+/// the owning mutex.
+#[derive(Debug)]
+struct Shard<V> {
+    capacity: usize,
+    map: HashMap<Arc<[u8]>, u32>,
+    /// Slot-indexed node storage; `None` marks a free slot awaiting reuse.
+    slab: Vec<Option<Node<V>>>,
+    /// Free slot indices (filled by evictions, drained by inserts).
+    free: Vec<u32>,
+    /// Most recently used slot (`NIL` when empty).
+    head: u32,
+    /// Least recently used slot — the eviction victim (`NIL` when empty).
+    tail: u32,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    evictions: u64,
+    peak_entries: usize,
+}
+
+impl<V: Clone> Shard<V> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            capacity,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            inserts: 0,
+            evictions: 0,
+            peak_entries: 0,
+        }
+    }
+
+    fn node(&self, i: u32) -> &Node<V> {
+        self.slab[i as usize].as_ref().expect("linked slot is live")
+    }
+
+    fn node_mut(&mut self, i: u32) -> &mut Node<V> {
+        self.slab[i as usize].as_mut().expect("linked slot is live")
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn detach(&mut self, i: u32) {
+        let (prev, next) = {
+            let n = self.node(i);
+            (n.prev, n.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.node_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.node_mut(n).prev = prev,
+        }
+    }
+
+    /// Links slot `i` in as the most recently used node.
+    fn push_front(&mut self, i: u32) {
+        let old_head = self.head;
+        {
+            let n = self.node_mut(i);
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = i,
+            h => self.node_mut(h).prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Moves slot `i` to the head of the recency list.
+    fn touch(&mut self, i: u32) {
+        if self.head != i {
+            self.detach(i);
+            self.push_front(i);
+        }
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<V> {
+        let i = *self.map.get(key)?;
+        self.touch(i);
+        self.hits += 1;
+        Some(self.node(i).value.clone())
+    }
+
+    /// Removes the LRU victim and returns its key; the slot goes on the free
+    /// list with its value dropped eagerly. Allocation-free: the node's own
+    /// key reference is handed back.
+    fn evict_tail(&mut self) -> Arc<[u8]> {
+        let i = self.tail;
+        debug_assert_ne!(i, NIL, "evict on an empty shard");
+        self.detach(i);
+        let node = self.slab[i as usize].take().expect("tail slot is live");
+        self.map.remove(&*node.key);
+        self.free.push(i);
+        self.evictions += 1;
+        node.key
+    }
+
+    fn insert(&mut self, key: Vec<u8>, value: V) -> Inserted<V> {
+        // The clones are the only operations here that could conceivably
+        // panic; they run before any mutation so a poisoned shard can never
+        // hold a half-linked list.
+        let stored = value.clone();
+        let key: Arc<[u8]> = key.into();
+        let node_key = Arc::clone(&key);
+        // One hash probe decides present-vs-fresh AND claims the map slot
+        // (`entry` instead of `get` + `insert`): on the eviction path this
+        // is one of only two probes per insert, which is what keeps the
+        // measured cost flat as the map outgrows the CPU caches.
+        let claimed = match self.map.entry(key) {
+            hash_map::Entry::Occupied(e) => Err(*e.get()),
+            hash_map::Entry::Vacant(e) => {
+                let node = Node {
+                    key: node_key,
+                    value: stored,
+                    prev: NIL,
+                    next: NIL,
+                };
+                let i = match self.free.pop() {
+                    Some(i) => {
+                        self.slab[i as usize] = Some(node);
+                        i
+                    }
+                    None => {
+                        self.slab.push(Some(node));
+                        (self.slab.len() - 1) as u32
+                    }
+                };
+                e.insert(i);
+                Ok(i)
+            }
+        };
+        match claimed {
+            // Keep-first: another thread won the race to this key; refresh
+            // its recency and hand back the shared value.
+            Err(i) => {
+                self.touch(i);
+                Inserted {
+                    value: self.node(i).value.clone(),
+                    fresh: false,
+                    evicted: None,
+                }
+            }
+            Ok(i) => {
+                self.push_front(i);
+                // Evict after linking: the fresh node is the head, so with
+                // capacity >= 1 the tail victim is never the node just
+                // inserted. The over-capacity instant is invisible outside
+                // this critical section.
+                let evicted = if self.map.len() > self.capacity {
+                    Some(self.evict_tail())
+                } else {
+                    None
+                };
+                self.inserts += 1;
+                self.peak_entries = self.peak_entries.max(self.map.len());
+                Inserted {
+                    value,
+                    fresh: true,
+                    evicted,
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.evictions += self.map.len() as u64;
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.map.len(),
+            evictions: self.evictions,
+            inserts: self.inserts,
+            peak_entries: self.peak_entries,
+        }
+    }
+}
+
+/// A bounded, sharded LRU map from byte keys to cloneable values, with O(1)
+/// hit-touch, insert and evict. See the [module docs](self) for the design.
+///
+/// The total `capacity` is partitioned across the shards (every shard gets at
+/// least one slot; the shard count is rounded to a power of two and clamped
+/// so it never exceeds the capacity), so the cache as a whole never holds
+/// more than `capacity` entries. Keys are routed to shards by hash, which
+/// makes per-shard LRU an approximation of global LRU — exact when
+/// `shards == 1`.
+#[derive(Debug)]
+pub struct ShardedLruCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    /// `shards.len() - 1`; the shard count is a power of two so routing is a
+    /// single mask of the key hash.
+    mask: u64,
+    capacity: usize,
+}
+
+impl<V: Clone> ShardedLruCache<V> {
+    /// Creates a cache holding at most `capacity` entries (at least 1) split
+    /// across `shards` shards. The shard count is rounded **up** to a power
+    /// of two, then clamped **down** (in powers of two) so every shard owns
+    /// at least one slot; [`ShardedLruCache::shards`] reports the effective
+    /// count.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = Self::effective_shards(capacity, shards);
+        let base = capacity / shards;
+        let extra = capacity % shards;
+        // The first `extra` shards absorb the remainder, so per-shard
+        // capacities sum to exactly `capacity`.
+        let shards: Vec<Mutex<Shard<V>>> = (0..shards)
+            .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
+            .collect();
+        ShardedLruCache {
+            mask: (shards.len() - 1) as u64,
+            shards,
+            capacity,
+        }
+    }
+
+    /// The shard count actually used for `capacity` when `requested` shards
+    /// are asked for: `next_pow2(requested)`, clamped down to the largest
+    /// power of two that still gives every shard at least one slot.
+    fn effective_shards(capacity: usize, requested: usize) -> usize {
+        let requested = requested.max(1).next_power_of_two();
+        let cap_pow2 = if capacity.is_power_of_two() {
+            capacity
+        } else {
+            capacity.next_power_of_two() >> 1
+        };
+        requested.min(cap_pow2)
+    }
+
+    /// The shard index `key` routes to. Stable for the lifetime of the cache
+    /// (and across processes: the routing hash is deterministic), exposed so
+    /// tests and diagnostics can reason per shard.
+    pub fn shard_of(&self, key: &[u8]) -> usize {
+        let mut hasher = DefaultHasher::new();
+        hasher.write(key);
+        (hasher.finish() & self.mask) as usize
+    }
+
+    /// Locks shard `index`. The critical sections never leave the list
+    /// mid-mutation (see `Shard::insert` on panic safety), so a poisoned
+    /// lock is safe to see through — matching the engine's long-standing
+    /// behavior of surviving panicking jobs.
+    fn shard(&self, index: usize) -> MutexGuard<'_, Shard<V>> {
+        self.shards[index]
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Looks `key` up, refreshing its LRU recency and counting a hit on
+    /// success. A miss counts **nothing** (see [`ShardedLruCache::record_miss`]).
+    pub fn get(&self, key: &[u8]) -> Option<V> {
+        self.shard(self.shard_of(key)).get(key)
+    }
+
+    /// Counts one miss against `key`'s shard. Callers invoke this when they
+    /// commit to computing the value, so `hits + misses` equals the number
+    /// of computing lookups while pure peeks stay free.
+    pub fn record_miss(&self, key: &[u8]) {
+        self.shard(self.shard_of(key)).misses += 1;
+    }
+
+    /// Inserts `key → value`, evicting the shard's LRU entry if the shard is
+    /// at capacity. If the key is already present the existing entry wins
+    /// (its recency is refreshed, nothing is replaced); the returned
+    /// [`Inserted::value`] is the value all callers should share.
+    pub fn insert(&self, key: Vec<u8>, value: V) -> Inserted<V> {
+        self.shard(self.shard_of(&key)).insert(key, value)
+    }
+
+    /// Drops every entry in every shard. Counters are kept; the dropped
+    /// entries count as evictions so `entries + evictions == inserts` keeps
+    /// holding.
+    pub fn clear(&self) {
+        for i in 0..self.shards.len() {
+            self.shard(i).clear();
+        }
+    }
+
+    /// Aggregated counters: the sum of one consistent per-shard snapshot
+    /// each (shards are locked one at a time, so each shard's numbers are
+    /// internally consistent even while other threads keep mutating other
+    /// shards).
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+            evictions: 0,
+            inserts: 0,
+            peak_entries: 0,
+            shards: self.shards.len(),
+        };
+        for stats in self.shard_stats() {
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.entries += stats.entries;
+            total.evictions += stats.evictions;
+            total.inserts += stats.inserts;
+            total.peak_entries += stats.peak_entries;
+        }
+        total
+    }
+
+    /// One consistent [`ShardStats`] snapshot per shard, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).stats())
+            .collect()
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.shard(i).map.len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The total capacity bound across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The effective (power-of-two) shard count.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> Vec<u8> {
+        i.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn get_insert_evict_are_wired() {
+        let cache = ShardedLruCache::new(2, 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key(1)), None);
+        assert!(cache.insert(key(1), 10u32).fresh);
+        assert!(cache.insert(key(2), 20).fresh);
+        assert_eq!(cache.get(&key(1)), Some(10));
+        // Full: inserting a third evicts the LRU (key 2, since 1 was touched).
+        let outcome = cache.insert(key(3), 30);
+        assert_eq!(outcome.evicted.as_deref(), Some(&key(2)[..]));
+        assert_eq!(cache.get(&key(2)), None);
+        assert_eq!(cache.len(), 2);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.evictions, stats.inserts), (1, 1, 3));
+        assert_eq!(stats.peak_entries, 2);
+        assert!(stats.entries as u64 + stats.evictions == stats.inserts);
+    }
+
+    /// A 1-shard cache must reproduce the old engine's *global* LRU victim
+    /// order exactly: the scripted trace mirrors the engine regression test
+    /// `lru_eviction_prefers_least_recently_used` key for key.
+    #[test]
+    fn one_shard_reproduces_global_lru_victim_order() {
+        let cache = ShardedLruCache::new(2, 1);
+        assert_eq!(cache.shards(), 1);
+        let (a, b, c) = (key(100), key(200), key(300));
+        assert_eq!(cache.insert(a.clone(), 'a').evicted, None); // [a]
+        assert_eq!(cache.insert(b.clone(), 'b').evicted, None); // [a, b]
+        assert_eq!(cache.get(&a), Some('a')); // a becomes most recent
+                                              // Full → the victim must be b (LRU), not a (FIFO order).
+        assert_eq!(
+            cache.insert(c.clone(), 'c').evicted.as_deref(),
+            Some(&b[..])
+        );
+        assert_eq!(cache.get(&a), Some('a'), "a survived");
+        // Re-inserting b now evicts c, the new LRU (a was just touched).
+        assert_eq!(cache.insert(b, 'B').evicted.as_deref(), Some(&c[..]));
+        assert_eq!(cache.get(&a), Some('a'), "a outlived both evictions");
+    }
+
+    #[test]
+    fn reinserting_a_present_key_keeps_the_first_value() {
+        let cache = ShardedLruCache::new(4, 1);
+        assert!(cache.insert(key(7), 1u32).fresh);
+        let raced = cache.insert(key(7), 2);
+        assert!(!raced.fresh);
+        assert_eq!(raced.value, 1, "keep-first: the existing entry wins");
+        assert_eq!(raced.evicted, None);
+        assert_eq!(
+            cache.stats().inserts,
+            1,
+            "a raced re-insert is not an insert"
+        );
+    }
+
+    #[test]
+    fn shard_count_is_pow2_and_clamped_to_capacity() {
+        assert_eq!(ShardedLruCache::<u8>::new(64, 3).shards(), 4);
+        assert_eq!(ShardedLruCache::<u8>::new(64, 4).shards(), 4);
+        // Capacity 1 forces a single shard, whatever was requested.
+        assert_eq!(ShardedLruCache::<u8>::new(1, 8).shards(), 1);
+        // Capacity 3 supports at most 2 shards (largest power of two ≤ 3).
+        assert_eq!(ShardedLruCache::<u8>::new(3, 8).shards(), 2);
+        assert_eq!(ShardedLruCache::<u8>::new(8, 0).shards(), 1);
+    }
+
+    #[test]
+    fn capacity_is_partitioned_exactly_across_shards() {
+        // Capacity 5 over 2 shards: 3 + 2 slots. Fill far past capacity and
+        // the cache as a whole must never exceed 5 resident entries.
+        let cache = ShardedLruCache::new(5, 2);
+        for i in 0..100u64 {
+            cache.insert(key(i), i);
+            assert!(cache.len() <= 5, "resident entries exceeded capacity");
+        }
+        assert_eq!(cache.len(), 5);
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 100);
+        assert_eq!(stats.evictions, 95);
+    }
+
+    #[test]
+    fn clear_counts_evictions_and_keeps_the_invariant() {
+        let cache = ShardedLruCache::new(8, 2);
+        for i in 0..6u64 {
+            cache.insert(key(i), ());
+        }
+        cache.clear();
+        assert!(cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 6);
+        for shard in cache.shard_stats() {
+            assert!(shard.is_consistent(), "{shard:?}");
+        }
+        // The cache stays usable after a clear.
+        cache.insert(key(42), ());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn record_miss_is_per_shard() {
+        let cache = ShardedLruCache::<u8>::new(16, 4);
+        let k = key(9);
+        let shard = cache.shard_of(&k);
+        cache.record_miss(&k);
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard[shard].misses, 1);
+        let elsewhere: u64 = per_shard
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != shard)
+            .map(|(_, s)| s.misses)
+            .sum();
+        assert_eq!(elsewhere, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn stats_display_mentions_the_new_fields() {
+        let cache = ShardedLruCache::new(4, 2);
+        cache.insert(key(1), 1u8);
+        cache.get(&key(1));
+        let shown = cache.stats().to_string();
+        assert!(shown.contains("1 hits"), "{shown}");
+        assert!(shown.contains("2 shards"), "{shown}");
+        assert!(shown.contains("1 inserts"), "{shown}");
+    }
+}

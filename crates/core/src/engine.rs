@@ -11,10 +11,12 @@
 //!   repeated for that structure. Threads that miss a *cold* cache
 //!   concurrently may duplicate the computation (one result wins; each such
 //!   computation counts as a miss) — [`Engine::classify_many`] avoids this by
-//!   deduplicating its batch up front. The cache is bounded
-//!   ([`EngineBuilder::cache_capacity`], LRU eviction with touch-on-hit
-//!   recency), and [`Engine::cache_stats`] exposes hit/miss/eviction
-//!   counters;
+//!   deduplicating its batch up front. The cache is a bounded
+//!   [`ShardedLruCache`]
+//!   ([`EngineBuilder::cache_capacity`] entries split across
+//!   [`EngineBuilder::cache_shards`] independently locked shards, O(1)
+//!   touch-on-hit LRU eviction per shard), and [`Engine::cache_stats`]
+//!   aggregates the per-shard hit/miss/insert/eviction counters;
 //! * **owns a persistent worker pool**: [`EngineBuilder::build`] spawns
 //!   [`Engine::parallelism`] long-lived worker threads once; batch
 //!   classification and server request dispatch inject jobs into the pool's
@@ -66,6 +68,7 @@
 //! # }
 //! ```
 
+use crate::cache::{CacheStats, ShardStats, ShardedLruCache};
 use crate::classify::{classify_with_options, ClassifierOptions};
 use crate::pool::{PoolStats, WorkerPool};
 use crate::verdict::{Classification, Complexity, Verdict};
@@ -73,9 +76,7 @@ use crate::Result;
 use lcl_local_sim::{LocalAlgorithm, Network, SyncSimulator};
 use lcl_problem::{Instance, Labeling, NormalizedLcl};
 use std::collections::HashMap;
-use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, OnceLock, RwLock};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::thread;
 
 /// Builder for [`Engine`].
@@ -110,6 +111,7 @@ pub struct EngineBuilder {
     options: ClassifierOptions,
     parallelism: Option<usize>,
     cache_capacity: Option<usize>,
+    cache_shards: Option<usize>,
 }
 
 /// Default bound on the number of cached classifications per engine.
@@ -160,81 +162,35 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the number of independently locked memo-cache shards. Rounded up
+    /// to a power of two and clamped so every shard owns at least one cache
+    /// slot (see [`ShardedLruCache::new`](crate::cache::ShardedLruCache::new)).
+    /// Defaults to the next power of two of the worker-pool width, so there
+    /// are at least as many shard locks as pool workers (keys hash-route, so
+    /// workers whose keys land on the same shard still contend — just
+    /// rarely).
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = Some(shards.max(1));
+        self
+    }
+
     /// Builds the engine, spawning its persistent worker pool.
     pub fn build(self) -> Engine {
         let parallelism = self
             .parallelism
             .unwrap_or_else(|| thread::available_parallelism().map_or(1, |p| p.get()));
+        let capacity = self.cache_capacity.unwrap_or(DEFAULT_CACHE_CAPACITY);
+        let shards = self
+            .cache_shards
+            .unwrap_or_else(|| parallelism.next_power_of_two());
         let core = Arc::new(EngineCore {
             options: self.options,
-            cache_capacity: self.cache_capacity.unwrap_or(DEFAULT_CACHE_CAPACITY),
-            cache: RwLock::new(Cache::default()),
-            clock: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            cache: ShardedLruCache::new(capacity, shards),
         });
         Engine {
             core,
             pool: WorkerPool::new(parallelism),
         }
-    }
-}
-
-/// One memoized classification, stamped with its last-use tick for LRU
-/// eviction. The stamp is atomic so cache hits can refresh recency under the
-/// shared read lock.
-#[derive(Debug)]
-struct CacheEntry {
-    value: Arc<Classification>,
-    last_used: AtomicU64,
-}
-
-/// The memo store: classifications keyed by the problem's exact
-/// [`structural key`](NormalizedLcl::structural_key) (collision-free, unlike
-/// the 64-bit canonical hash).
-#[derive(Debug, Default)]
-struct Cache {
-    map: HashMap<Vec<u8>, CacheEntry>,
-}
-
-/// Cache-effectiveness counters of an [`Engine`].
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub struct CacheStats {
-    /// Classifications served from the memo cache.
-    pub hits: u64,
-    /// Classifications that had to be computed.
-    pub misses: u64,
-    /// Distinct problems currently cached.
-    pub entries: usize,
-    /// Entries evicted to stay within the capacity bound.
-    pub evictions: u64,
-}
-
-impl CacheStats {
-    /// The fraction of lookups served from the cache, in `[0, 1]`
-    /// (`0.0` before any lookup happened).
-    pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
-
-impl fmt::Display for CacheStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "cache: {} hits / {} misses ({:.1}% hit ratio), {} entries, {} evictions",
-            self.hits,
-            self.misses,
-            self.hit_ratio() * 100.0,
-            self.entries,
-            self.evictions
-        )
     }
 }
 
@@ -277,47 +233,19 @@ impl Solution {
 #[derive(Debug)]
 struct EngineCore {
     options: ClassifierOptions,
-    cache_capacity: usize,
-    cache: RwLock<Cache>,
-    /// Monotonic LRU clock; every cache touch takes a fresh tick.
-    clock: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    /// The memo store: classifications keyed by the problem's exact
+    /// [`structural key`](NormalizedLcl::structural_key) (collision-free,
+    /// unlike the 64-bit canonical hash), sharded for uncontended access
+    /// from the worker pool.
+    cache: ShardedLruCache<Arc<Classification>>,
 }
 
 impl EngineCore {
-    /// Stamps the entry with a fresh recency tick.
-    fn touch(&self, entry: &CacheEntry) {
-        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        entry.last_used.store(tick, Ordering::Relaxed);
-    }
-
-    /// Read access to the cache. The map is never left mid-mutation (all
-    /// writes go through `write_cache` holders that only insert/remove whole
-    /// entries), so a panic-poisoned lock is safe to see through.
-    fn read_cache(&self) -> std::sync::RwLockReadGuard<'_, Cache> {
-        self.cache
-            .read()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
-
-    /// Write access to the cache (see `read_cache` on poisoning).
-    fn write_cache(&self) -> std::sync::RwLockWriteGuard<'_, Cache> {
-        self.cache
-            .write()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
-
     /// Probes the cache, refreshing recency and counting a hit on success.
     /// A miss is *not* counted here — only actual computations count as
     /// misses (see `classify`).
     fn lookup(&self, key: &[u8]) -> Option<Arc<Classification>> {
-        let cache = self.read_cache();
-        let entry = cache.map.get(key)?;
-        self.touch(entry);
-        self.hits.fetch_add(1, Ordering::Relaxed);
-        Some(Arc::clone(&entry.value))
+        self.cache.get(key)
     }
 
     /// Memoized classification on the calling thread.
@@ -326,43 +254,13 @@ impl EngineCore {
         if let Some(cached) = self.lookup(&key) {
             return Ok(cached);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        // The miss is counted when we commit to computing, not at lookup
+        // time, so peeks stay free and every computation costs exactly one.
+        self.cache.record_miss(&key);
         let computed = Arc::new(classify_with_options(problem, &self.options)?);
-        let mut cache = self.write_cache();
-        // Another thread may have raced us to the same problem; keep the
-        // first entry so every caller shares one allocation.
-        if let Some(existing) = cache.map.get(&key) {
-            self.touch(existing);
-            return Ok(Arc::clone(&existing.value));
-        }
-        while cache.map.len() >= self.cache_capacity {
-            // LRU victim: the smallest recency stamp. The scan is linear but
-            // only runs on insertion into a full cache, never on hits.
-            let victim = cache
-                .map
-                .iter()
-                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
-                .map(|(k, _)| k.clone());
-            let Some(victim) = victim else { break };
-            cache.map.remove(&victim);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-        }
-        let entry = CacheEntry {
-            value: Arc::clone(&computed),
-            last_used: AtomicU64::new(0),
-        };
-        self.touch(&entry);
-        cache.map.insert(key, entry);
-        Ok(computed)
-    }
-
-    fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.read_cache().map.len(),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
+        // Another thread may have raced us to the same problem; the cache
+        // keeps the first entry so every caller shares one allocation.
+        Ok(self.cache.insert(key, computed).value)
     }
 
     /// The error reported when a pool job died (panicked) before sending its
@@ -379,8 +277,9 @@ impl EngineCore {
 ///
 /// See the [module documentation](self) for the design and an example. An
 /// engine is cheap to share: all methods take `&self`, and the memo cache is
-/// guarded by a reader–writer lock, so concurrent classifications of cached
-/// problems do not contend. Construction spawns the persistent worker pool;
+/// sharded ([`EngineBuilder::cache_shards`]), so concurrent classifications
+/// only contend when their keys land on the same shard — and each shard
+/// operation is O(1). Construction spawns the persistent worker pool;
 /// dropping the engine closes the pool's queue and joins every worker.
 #[derive(Debug)]
 pub struct Engine {
@@ -668,9 +567,23 @@ impl Engine {
         Ok(Verdict::new(problem, &classification))
     }
 
-    /// Current cache counters.
+    /// Current cache counters: one internally consistent snapshot per shard
+    /// (each shard's numbers are read in a single critical section, so
+    /// `entries + evictions == inserts` holds for every snapshot),
+    /// aggregated.
     pub fn cache_stats(&self) -> CacheStats {
-        self.core.stats()
+        self.core.cache.stats()
+    }
+
+    /// Per-shard cache counters, in shard order; each entry is an
+    /// internally consistent snapshot (see [`Engine::cache_stats`]).
+    pub fn cache_shard_stats(&self) -> Vec<ShardStats> {
+        self.core.cache.shard_stats()
+    }
+
+    /// The effective (power-of-two) number of memo-cache shards.
+    pub fn cache_shards(&self) -> usize {
+        self.core.cache.shards()
     }
 
     /// Current worker-pool counters.
@@ -678,9 +591,10 @@ impl Engine {
         self.pool.stats()
     }
 
-    /// Drops every cached classification (counters are kept).
+    /// Drops every cached classification (counters are kept; the dropped
+    /// entries count as evictions, keeping `entries + evictions == inserts`).
     pub fn clear_cache(&self) {
-        self.core.write_cache().map.clear();
+        self.core.cache.clear();
     }
 }
 
@@ -731,13 +645,23 @@ mod tests {
                 misses: 1,
                 entries: 1,
                 evictions: 0,
+                inserts: 1,
+                peak_entries: 1,
+                shards: engine.cache_shards(),
             }
         );
         let second = engine.classify(&three_coloring()).unwrap();
         assert!(Arc::ptr_eq(&first, &second), "served from cache");
         assert_eq!(engine.cache_stats().hits, 1);
         engine.clear_cache();
-        assert_eq!(engine.cache_stats().entries, 0);
+        let cleared = engine.cache_stats();
+        assert_eq!(cleared.entries, 0);
+        assert_eq!(cleared.evictions, 1, "clear accounts dropped entries");
+        assert_eq!(
+            cleared.entries as u64 + cleared.evictions,
+            cleared.inserts,
+            "snapshot invariant survives a clear"
+        );
     }
 
     #[test]
@@ -897,16 +821,32 @@ mod tests {
             .search_budget(10)
             .pattern_length_cap(2)
             .parallelism(3)
+            .cache_shards(2)
             .build();
         assert_eq!(engine.options().type_budget, 1);
         assert_eq!(engine.options().search_budget, 10);
         assert_eq!(engine.options().pattern_length_cap, 2);
         assert_eq!(engine.parallelism(), 3);
+        assert_eq!(engine.cache_shards(), 2);
         // A budget of one type is too small for any real problem.
         assert!(engine.classify(&three_coloring()).is_err());
         // Errors are not cached.
         assert_eq!(engine.cache_stats().entries, 0);
         assert_eq!(engine.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn cache_shards_default_to_pool_width() {
+        // next_pow2(workers), so at default settings no two pool workers
+        // must contend on one shard lock.
+        let engine = Engine::builder().parallelism(3).build();
+        assert_eq!(engine.cache_shards(), 4);
+        assert_eq!(engine.cache_stats().shards, 4);
+        // A tiny capacity clamps the shard count: every shard keeps >= 1 slot.
+        let tiny = Engine::builder().parallelism(8).cache_capacity(2).build();
+        assert_eq!(tiny.cache_shards(), 2);
+        // Per-shard snapshots are exposed in shard order.
+        assert_eq!(engine.cache_shard_stats().len(), 4);
     }
 
     #[test]
@@ -953,9 +893,16 @@ mod tests {
 
     #[test]
     fn lru_eviction_prefers_least_recently_used() {
-        // Regression test for the FIFO → LRU upgrade: a hit must refresh an
-        // entry's recency, so insertion order alone no longer picks victims.
-        let engine = Engine::builder().cache_capacity(2).parallelism(1).build();
+        // Regression test for the FIFO → LRU upgrade, ported to the sharded
+        // cache: pinned to one shard, where per-shard LRU *is* the exact
+        // global LRU the old single-lock cache implemented (the raw-cache
+        // twin asserting the victim keys lives in cache.rs:
+        // `one_shard_reproduces_global_lru_victim_order`).
+        let engine = Engine::builder()
+            .cache_capacity(2)
+            .cache_shards(1)
+            .parallelism(1)
+            .build();
         let a = three_coloring();
         let b = two_coloring();
         let c = coloring(4);
@@ -986,16 +933,23 @@ mod tests {
             misses: 1,
             entries: 1,
             evictions: 0,
+            inserts: 1,
+            peak_entries: 1,
+            shards: 2,
         };
         assert!((stats.hit_ratio() - 0.75).abs() < 1e-12);
         let shown = stats.to_string();
         assert!(shown.contains("3 hits"), "{shown}");
         assert!(shown.contains("75.0%"), "{shown}");
+        assert!(shown.contains("2 shards"), "{shown}");
         let empty = CacheStats {
             hits: 0,
             misses: 0,
             entries: 0,
             evictions: 0,
+            inserts: 0,
+            peak_entries: 0,
+            shards: 1,
         };
         assert_eq!(empty.hit_ratio(), 0.0);
     }

@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod classify;
 pub mod engine;
 mod error;
@@ -68,10 +69,9 @@ pub mod synthesis;
 mod types_info;
 mod verdict;
 
+pub use cache::{CacheStats, Inserted, ShardStats, ShardedLruCache};
 pub use classify::{classify, classify_with_options, ClassifierOptions};
-pub use engine::{
-    default_engine, CacheStats, Engine, EngineBuilder, Solution, DEFAULT_CACHE_CAPACITY,
-};
+pub use engine::{default_engine, Engine, EngineBuilder, Solution, DEFAULT_CACHE_CAPACITY};
 pub use error::ClassifierError;
 pub use feasibility::{FeasibleStructure, PatternLabeling};
 pub use pool::PoolStats;

@@ -25,6 +25,11 @@ USAGE:
 OPTIONS:
     --workers N           persistent pool workers (default: available cores)
     --cache-capacity N    memo cache bound (default: 4096)
+    --cache-shards N      memo cache shard count, rounded up to a power of
+                          two and capped so every shard owns at least one
+                          slot (default: next power of two of the worker
+                          count, so concurrent workers rarely share a
+                          shard lock)
     --max-inflight N      per-connection pipelined request window for TCP
                           connections (default: 32; 1 = lock-step)
     --max-conns N         cap on simultaneously served TCP connections;
@@ -44,6 +49,7 @@ struct Options {
     smoke: bool,
     workers: Option<usize>,
     cache_capacity: Option<usize>,
+    cache_shards: Option<usize>,
     max_inflight: Option<usize>,
     max_conns: Option<usize>,
     backend: Option<Backend>,
@@ -76,6 +82,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("invalid --cache-capacity value `{value}`"))?;
                 options.cache_capacity = Some(parsed);
+            }
+            "--cache-shards" => {
+                let value = iter.next().ok_or("--cache-shards requires a count")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid --cache-shards value `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--cache-shards must be at least 1".to_string());
+                }
+                options.cache_shards = Some(parsed);
             }
             "--max-inflight" => {
                 let value = iter.next().ok_or("--max-inflight requires a count")?;
@@ -131,6 +147,9 @@ fn build_service(options: &Options) -> Arc<Service> {
     }
     if let Some(capacity) = options.cache_capacity {
         builder = builder.cache_capacity(capacity);
+    }
+    if let Some(shards) = options.cache_shards {
+        builder = builder.cache_shards(shards);
     }
     Arc::new(Service::new(builder.build()))
 }

@@ -511,6 +511,9 @@ impl Service {
                     ("misses", JsonValue::Int(cache.misses as i64)),
                     ("entries", JsonValue::Int(cache.entries as i64)),
                     ("evictions", JsonValue::Int(cache.evictions as i64)),
+                    ("inserts", JsonValue::Int(cache.inserts as i64)),
+                    ("peak_entries", JsonValue::Int(cache.peak_entries as i64)),
+                    ("shards", JsonValue::Int(cache.shards as i64)),
                     (
                         "hit_ratio",
                         JsonValue::Str(format!("{:.4}", cache.hit_ratio())),
@@ -697,6 +700,18 @@ mod tests {
         let cache = payload.require("cache").unwrap();
         assert_eq!(cache.require("hits").unwrap().as_int().unwrap(), 1);
         assert_eq!(cache.require("misses").unwrap().as_int().unwrap(), 1);
+        assert_eq!(cache.require("inserts").unwrap().as_int().unwrap(), 1);
+        assert_eq!(cache.require("peak_entries").unwrap().as_int().unwrap(), 1);
+        assert_eq!(
+            cache.require("shards").unwrap().as_int().unwrap(),
+            service.engine().cache_shards() as i64
+        );
+        // The snapshot invariant the consistent per-shard read guarantees.
+        assert_eq!(
+            cache.require("entries").unwrap().as_int().unwrap()
+                + cache.require("evictions").unwrap().as_int().unwrap(),
+            cache.require("inserts").unwrap().as_int().unwrap()
+        );
         let summary = cache.require("summary").unwrap().as_str().unwrap();
         assert!(summary.contains("1 hits"), "{summary}");
         let pool = payload.require("pool").unwrap();

@@ -98,7 +98,9 @@ pub mod error;
 pub use error::{Error, Result};
 pub use lcl_algorithms as algorithms;
 pub use lcl_classifier as classifier;
-pub use lcl_classifier::{CacheStats, Engine, EngineBuilder, Solution};
+pub use lcl_classifier::{
+    CacheStats, Engine, EngineBuilder, ShardStats, ShardedLruCache, Solution,
+};
 pub use lcl_hardness as hardness;
 pub use lcl_lba as lba;
 pub use lcl_local_sim as sim;

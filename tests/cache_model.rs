@@ -1,0 +1,234 @@
+//! Model-based correctness suite for the sharded O(1)-LRU memo cache.
+//!
+//! The same random op trace (peeks, classify-style get→miss→insert cycles,
+//! blind inserts, occasional clears — at tiny capacities, so evictions are
+//! constant) is driven through [`ShardedLruCache`] and a naive single-map
+//! reference model whose per-shard recency is a plain `Vec` with linear
+//! scans: obviously-correct LRU semantics, none of the slab/intrusive-list
+//! machinery under test. Every op must agree exactly — returned values,
+//! keep-first winners, *which key* was evicted — and the final per-shard and
+//! aggregate counters must be identical. With one shard the reference model
+//! *is* the old engine's global LRU, so that configuration doubles as the
+//! old-victim-order regression at property-test scale.
+//!
+//! Per house style (see tests/properties.rs) the generators are seeded
+//! `StdRng`s, so every failure reproduces exactly from its case index.
+
+use lcl_paths::classifier::cache::{ShardStats, ShardedLruCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 24;
+const OPS: usize = 500;
+
+/// One shard of the reference model: a recency-ordered vector (front = most
+/// recently used) plus the same counters the real shard keeps.
+struct ModelShard {
+    capacity: usize,
+    /// Front = most recently used; the eviction victim is the back.
+    entries: Vec<(Vec<u8>, u64)>,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    evictions: u64,
+    peak_entries: usize,
+}
+
+impl ModelShard {
+    fn new(capacity: usize) -> Self {
+        ModelShard {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+            inserts: 0,
+            evictions: 0,
+            peak_entries: 0,
+        }
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<u64> {
+        let at = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(at);
+        let value = entry.1;
+        self.entries.insert(0, entry);
+        self.hits += 1;
+        Some(value)
+    }
+
+    /// Returns `(winning value, fresh, evicted key)` with the same keep-first
+    /// semantics as the real cache.
+    fn insert(&mut self, key: Vec<u8>, value: u64) -> (u64, bool, Option<Vec<u8>>) {
+        if let Some(at) = self.entries.iter().position(|(k, _)| *k == key) {
+            let entry = self.entries.remove(at);
+            let winner = entry.1;
+            self.entries.insert(0, entry);
+            return (winner, false, None);
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            let (victim, _) = self.entries.pop().expect("full shard is non-empty");
+            self.evictions += 1;
+            Some(victim)
+        } else {
+            None
+        };
+        self.entries.insert(0, (key, value));
+        self.inserts += 1;
+        self.peak_entries = self.peak_entries.max(self.entries.len());
+        (value, true, evicted)
+    }
+
+    fn clear(&mut self) {
+        self.evictions += self.entries.len() as u64;
+        self.entries.clear();
+    }
+
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len(),
+            evictions: self.evictions,
+            inserts: self.inserts,
+            peak_entries: self.peak_entries,
+        }
+    }
+}
+
+/// The reference model: one naive shard per real shard, with the routing
+/// delegated to the real cache's public `shard_of` (the placement function is
+/// shared; the LRU/counter semantics are what differ and what we compare).
+struct Model {
+    shards: Vec<ModelShard>,
+}
+
+impl Model {
+    fn new(cache: &ShardedLruCache<u64>, capacity: usize) -> Self {
+        let n = cache.shards();
+        let base = capacity / n;
+        let extra = capacity % n;
+        Model {
+            shards: (0..n)
+                .map(|i| ModelShard::new(base + usize::from(i < extra)))
+                .collect(),
+        }
+    }
+}
+
+fn key(i: u64) -> Vec<u8> {
+    i.to_le_bytes().to_vec()
+}
+
+/// Drives one seeded trace through both implementations, asserting agreement
+/// op by op and counter by counter.
+fn run_trace(case: u64, capacity: usize, shards: usize) {
+    let mut rng = StdRng::seed_from_u64(0xCAC4E + case);
+    let cache = ShardedLruCache::new(capacity, shards);
+    let mut model = Model::new(&cache, capacity);
+    // Keys overlap heavily: a universe of ~3x capacity keeps both hits and
+    // evictions frequent at these tiny capacities.
+    let universe = (capacity as u64) * 3;
+    let mut next_value = 0u64;
+
+    for op in 0..OPS {
+        let k = key(rng.gen_range(0..universe));
+        let shard = cache.shard_of(&k);
+        let ctx = format!("case {case}, op {op}, capacity {capacity}, shards {shards}");
+        match rng.gen_range(0..100u32) {
+            // Peek (Engine::cached): a hit touches and counts, a miss is free.
+            0..=24 => {
+                assert_eq!(cache.get(&k), model.shards[shard].get(&k), "{ctx}");
+            }
+            // Classify-shaped cycle: get, and on a miss record the miss and
+            // insert the freshly "computed" value.
+            25..=74 => {
+                let got = cache.get(&k);
+                assert_eq!(got, model.shards[shard].get(&k), "{ctx}");
+                if got.is_none() {
+                    cache.record_miss(&k);
+                    model.shards[shard].misses += 1;
+                    next_value += 1;
+                    let real = cache.insert(k.clone(), next_value);
+                    let (value, fresh, evicted) = model.shards[shard].insert(k, next_value);
+                    assert_eq!(real.value, value, "{ctx}");
+                    assert_eq!(real.fresh, fresh, "{ctx}");
+                    assert_eq!(
+                        real.evicted.as_deref(),
+                        evicted.as_deref(),
+                        "{ctx}: wrong eviction victim"
+                    );
+                }
+            }
+            // Blind insert, possibly racing a present key (keep-first).
+            75..=97 => {
+                next_value += 1;
+                let real = cache.insert(k.clone(), next_value);
+                let (value, fresh, evicted) = model.shards[shard].insert(k, next_value);
+                assert_eq!(real.value, value, "{ctx}");
+                assert_eq!(real.fresh, fresh, "{ctx}");
+                assert_eq!(
+                    real.evicted.as_deref(),
+                    evicted.as_deref(),
+                    "{ctx}: wrong eviction victim"
+                );
+            }
+            // Rare clear: counters survive, dropped entries count as evicted.
+            _ => {
+                cache.clear();
+                for shard in &mut model.shards {
+                    shard.clear();
+                }
+            }
+        }
+    }
+
+    // Identical outcomes imply identical counters — per shard and aggregate.
+    let real = cache.shard_stats();
+    let reference: Vec<ShardStats> = model.shards.iter().map(ModelShard::stats).collect();
+    assert_eq!(real, reference, "case {case}: per-shard stats diverged");
+    let total = cache.stats();
+    assert_eq!(total.shards, cache.shards(), "case {case}");
+    assert_eq!(
+        (total.hits, total.misses, total.entries, total.evictions),
+        (
+            reference.iter().map(|s| s.hits).sum::<u64>(),
+            reference.iter().map(|s| s.misses).sum::<u64>(),
+            reference.iter().map(|s| s.entries).sum::<usize>(),
+            reference.iter().map(|s| s.evictions).sum::<u64>(),
+        ),
+        "case {case}: aggregate stats diverged"
+    );
+    for (i, shard) in real.iter().enumerate() {
+        assert!(
+            shard.is_consistent(),
+            "case {case}, shard {i}: entries + evictions != inserts: {shard:?}"
+        );
+    }
+    assert!(total.entries <= capacity, "case {case}: capacity exceeded");
+}
+
+/// The acceptance matrix: shard counts 1, 2 and 8 at several tiny
+/// capacities, each driven through `CASES` independently seeded traces.
+#[test]
+fn sharded_cache_agrees_with_naive_reference_model() {
+    for &(capacity, shards) in &[(4, 1), (7, 1), (5, 2), (8, 2), (8, 8), (13, 8), (32, 8)] {
+        for case in 0..CASES {
+            run_trace(case, capacity, shards);
+        }
+    }
+}
+
+/// A requested shard count the capacity cannot sustain is clamped, and the
+/// clamped cache still matches the model built on the effective count.
+#[test]
+fn clamped_shard_counts_still_match_the_model() {
+    let cache = ShardedLruCache::<u64>::new(3, 8);
+    assert_eq!(
+        cache.shards(),
+        2,
+        "largest power of two with >= 1 slot each"
+    );
+    for case in 0..CASES {
+        run_trace(case, 3, 8);
+    }
+}

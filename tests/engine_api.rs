@@ -202,6 +202,160 @@ fn verdicts_roundtrip_over_the_corpus() {
     }
 }
 
+/// Concurrency stress for the sharded memo cache: 8 threads hammer
+/// `classify` over an overlapping keyspace with the cache squeezed to 8
+/// entries (one slot per shard), so hit-touch, miss-stampede, insert-race
+/// and eviction all interleave constantly. While they run, an observer
+/// samples `cache_stats()` and checks the live invariants; afterwards the
+/// quiescent counters must balance exactly.
+#[test]
+fn concurrent_classify_stress_keeps_cache_invariants() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const THREADS: usize = 8;
+    const PASSES: usize = 2;
+    const CAPACITY: usize = 8;
+
+    let problems: Vec<NormalizedLcl> = corpus().into_iter().map(|e| e.problem).collect();
+    // Ground truth: every verdict a stressed engine returns must be
+    // byte-identical to a cold engine's recompute.
+    let reference = Engine::builder().parallelism(1).build();
+    let expected: Vec<String> = problems
+        .iter()
+        .map(|p| {
+            reference
+                .verdict(p)
+                .expect("reference verdict")
+                .to_json_string()
+        })
+        .collect();
+
+    let engine = Engine::builder()
+        .parallelism(2)
+        .cache_capacity(CAPACITY)
+        .cache_shards(CAPACITY)
+        .build();
+    assert_eq!(engine.cache_shards(), CAPACITY);
+
+    // Counted via a drop guard so a panicking worker still counts down —
+    // otherwise the observer loop below would spin forever and turn a test
+    // failure into a CI hang (the scope join propagates the panic after).
+    struct Done<'a>(&'a AtomicUsize);
+    impl Drop for Done<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    let finished = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let engine = &engine;
+            let problems = &problems;
+            let expected = &expected;
+            let finished = &finished;
+            scope.spawn(move || {
+                let _done = Done(finished);
+                for pass in 0..PASSES {
+                    // Every thread sweeps the same overlapping keyspace in a
+                    // different rotation, so the same keys are concurrently
+                    // hit, missed, inserted and evicted.
+                    for i in 0..problems.len() {
+                        let at = (i + t * 3 + pass) % problems.len();
+                        let classification =
+                            engine.classify(&problems[at]).expect("stressed classify");
+                        let verdict = Verdict::new(&problems[at], &classification);
+                        assert_eq!(
+                            verdict.to_json_string(),
+                            expected[at],
+                            "thread {t}: verdict diverged under stress for {}",
+                            problems[at].name()
+                        );
+                    }
+                }
+            });
+        }
+        // Observer: every sample, even mid-stampede, must respect the
+        // capacity bound and the per-shard snapshot consistency that the
+        // single-critical-section counter updates guarantee.
+        while finished.load(Ordering::Acquire) < THREADS {
+            let stats = engine.cache_stats();
+            assert!(
+                stats.entries <= CAPACITY,
+                "live entries {} exceeded capacity {CAPACITY}",
+                stats.entries
+            );
+            for (i, shard) in engine.cache_shard_stats().iter().enumerate() {
+                assert!(
+                    shard.is_consistent(),
+                    "shard {i} snapshot inconsistent mid-run: {shard:?}"
+                );
+            }
+            std::thread::yield_now();
+        }
+    });
+
+    // Quiescent: every lookup was exactly one hit or one miss, nothing was
+    // lost to a poisoned lock, and the books balance.
+    let stats = engine.cache_stats();
+    let lookups = (THREADS * PASSES * problems.len()) as u64;
+    assert_eq!(
+        stats.hits + stats.misses,
+        lookups,
+        "every classify counts exactly one hit or miss: {stats}"
+    );
+    assert!(stats.entries <= CAPACITY);
+    assert_eq!(
+        stats.entries as u64 + stats.evictions,
+        stats.inserts,
+        "quiescent snapshot must balance: {stats}"
+    );
+    assert!(stats.peak_entries <= CAPACITY);
+    // The engine (and its locks) survived: a fresh problem still classifies.
+    assert!(engine.classify(&problems[0]).is_ok());
+}
+
+/// The `cache_stats()` consistency fix: the old implementation sampled the
+/// entry count and the eviction counters from different synchronization
+/// domains, so `entries + evictions` could disagree with `inserts` even at
+/// rest. The per-shard snapshot must balance exactly after a quiescent run —
+/// and stay balanced across an explicit `clear_cache`.
+#[test]
+fn cache_stats_snapshot_balances_after_quiescence() {
+    let problems: Vec<NormalizedLcl> = corpus().into_iter().map(|e| e.problem).collect();
+    let engine = Engine::builder()
+        .parallelism(4)
+        .cache_capacity(4)
+        .cache_shards(2)
+        .build();
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let engine = &engine;
+            let problems = &problems;
+            scope.spawn(move || {
+                for i in 0..problems.len() {
+                    engine
+                        .classify(&problems[(i + t) % problems.len()])
+                        .expect("classify");
+                }
+            });
+        }
+    });
+    let stats = engine.cache_stats();
+    assert_eq!(
+        stats.entries as u64 + stats.evictions,
+        stats.inserts,
+        "{stats}"
+    );
+    for shard in engine.cache_shard_stats() {
+        assert!(shard.is_consistent(), "{shard:?}");
+    }
+    engine.clear_cache();
+    let cleared = engine.cache_stats();
+    assert_eq!(cleared.entries, 0);
+    assert_eq!(cleared.evictions, cleared.inserts, "clear keeps the books");
+}
+
 /// The unified error type accepts errors from any subsystem through `?`.
 #[test]
 fn unified_error_spans_subsystems() {
