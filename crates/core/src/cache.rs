@@ -28,6 +28,16 @@
 //! [`ShardedLruCache::record_miss`]. This keeps the engine's long-standing
 //! accounting: a peek miss ([`Engine::cached`](crate::Engine::cached)) costs
 //! nothing, while every actual computation counts exactly one miss.
+//!
+//! **Weighing.** [`ShardedLruCache::new`] bounds the cache by entry *count*
+//! — every entry weighs 1. [`ShardedLruCache::with_weigher`] bounds it by
+//! total *weight* instead: a caller-supplied weigher prices each value (for
+//! example in approximate bytes) at insert time, and an insert evicts LRU
+//! victims until the shard's resident weight fits its budget again — so one
+//! insert can evict several light entries, and a single entry heavier than
+//! the whole budget stays resident alone (a cache that cannot hold its
+//! current working item at all would thrash forever). The two modes share
+//! every code path: count mode is weight mode with the unit weigher.
 
 use std::collections::hash_map::{self, DefaultHasher};
 use std::collections::HashMap;
@@ -63,6 +73,12 @@ pub struct CacheStats {
     /// Sum of the per-shard entry high-water marks — an upper bound on how
     /// many entries were ever resident at once.
     pub peak_entries: usize,
+    /// Total weight of the resident entries, as priced by the cache's
+    /// weigher (equal to `entries` under the default unit weigher).
+    pub weight: u64,
+    /// Sum of the per-shard weight high-water marks — an upper bound on the
+    /// resident weight ever held at once.
+    pub peak_weight: u64,
     /// Number of independent shards the key space is split across.
     pub shards: usize,
 }
@@ -85,12 +101,14 @@ impl fmt::Display for CacheStats {
         write!(
             f,
             "cache: {} hits / {} misses ({:.1}% hit ratio), {} entries (peak {}), \
-             {} evictions / {} inserts, {} shards",
+             weight {} (peak {}), {} evictions / {} inserts, {} shards",
             self.hits,
             self.misses,
             self.hit_ratio() * 100.0,
             self.entries,
             self.peak_entries,
+            self.weight,
+            self.peak_weight,
             self.evictions,
             self.inserts,
             self.shards
@@ -114,6 +132,10 @@ pub struct ShardStats {
     pub inserts: u64,
     /// High-water mark of `entries`.
     pub peak_entries: usize,
+    /// Total weight of this shard's resident entries.
+    pub weight: u64,
+    /// High-water mark of `weight`.
+    pub peak_weight: u64,
 }
 
 impl ShardStats {
@@ -134,10 +156,11 @@ pub struct Inserted<V> {
     /// Whether the caller's value was actually inserted (`false` on a raced
     /// re-insert of a present key, which only refreshes recency).
     pub fresh: bool,
-    /// The key evicted to make room, if the shard was at capacity (the
-    /// cache's own reference, handed over rather than copied — eviction
-    /// allocates nothing).
-    pub evicted: Option<Arc<[u8]>>,
+    /// The keys evicted to make room, oldest victim first (the cache's own
+    /// references, handed over rather than copied — eviction allocates
+    /// nothing beyond this vector). At most one entry under the count bound;
+    /// a weighted insert may evict several light entries at once.
+    pub evicted: Vec<Arc<[u8]>>,
 }
 
 /// One slab node: a key/value pair threaded onto the shard's intrusive LRU
@@ -149,6 +172,9 @@ struct Node<V> {
     /// two copies occupying two cache lines.
     key: Arc<[u8]>,
     value: V,
+    /// The value's weight as priced at insert time (1 under the unit
+    /// weigher); remembered so eviction never re-prices a value.
+    weight: u64,
     /// Slot index of the next-more-recent node (`NIL` at the head).
     prev: u32,
     /// Slot index of the next-less-recent node (`NIL` at the tail).
@@ -159,7 +185,12 @@ struct Node<V> {
 /// the owning mutex.
 #[derive(Debug)]
 struct Shard<V> {
+    /// Entry-count bound (`usize::MAX` in weighted mode).
     capacity: usize,
+    /// Resident-weight bound (`u64::MAX` in count mode).
+    weight_capacity: u64,
+    /// Prices a value at insert time; `|_| 1` in count mode.
+    weigher: fn(&V) -> u64,
     map: HashMap<Arc<[u8]>, u32>,
     /// Slot-indexed node storage; `None` marks a free slot awaiting reuse.
     slab: Vec<Option<Node<V>>>,
@@ -174,12 +205,17 @@ struct Shard<V> {
     inserts: u64,
     evictions: u64,
     peak_entries: usize,
+    /// Total weight of the resident entries (== `map.len()` in count mode).
+    weight: u64,
+    peak_weight: u64,
 }
 
 impl<V: Clone> Shard<V> {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, weight_capacity: u64, weigher: fn(&V) -> u64) -> Self {
         Shard {
             capacity,
+            weight_capacity,
+            weigher,
             map: HashMap::new(),
             slab: Vec::new(),
             free: Vec::new(),
@@ -190,6 +226,8 @@ impl<V: Clone> Shard<V> {
             inserts: 0,
             evictions: 0,
             peak_entries: 0,
+            weight: 0,
+            peak_weight: 0,
         }
     }
 
@@ -258,14 +296,23 @@ impl<V: Clone> Shard<V> {
         self.map.remove(&*node.key);
         self.free.push(i);
         self.evictions += 1;
+        self.weight -= node.weight;
         node.key
     }
 
+    /// Whether the shard currently exceeds either of its bounds. The
+    /// `len() > 1` guard keeps a single entry heavier than the whole weight
+    /// budget resident rather than thrashing (see the module docs).
+    fn over_budget(&self) -> bool {
+        (self.map.len() > self.capacity || self.weight > self.weight_capacity) && self.map.len() > 1
+    }
+
     fn insert(&mut self, key: Vec<u8>, value: V) -> Inserted<V> {
-        // The clones are the only operations here that could conceivably
-        // panic; they run before any mutation so a poisoned shard can never
-        // hold a half-linked list.
+        // The clone and the weigher are the only operations here that could
+        // conceivably panic; they run before any mutation so a poisoned
+        // shard can never hold a half-linked list.
         let stored = value.clone();
+        let weight = (self.weigher)(&value);
         let key: Arc<[u8]> = key.into();
         let node_key = Arc::clone(&key);
         // One hash probe decides present-vs-fresh AND claims the map slot
@@ -278,6 +325,7 @@ impl<V: Clone> Shard<V> {
                 let node = Node {
                     key: node_key,
                     value: stored,
+                    weight,
                     prev: NIL,
                     next: NIL,
                 };
@@ -303,22 +351,24 @@ impl<V: Clone> Shard<V> {
                 Inserted {
                     value: self.node(i).value.clone(),
                     fresh: false,
-                    evicted: None,
+                    evicted: Vec::new(),
                 }
             }
             Ok(i) => {
                 self.push_front(i);
-                // Evict after linking: the fresh node is the head, so with
-                // capacity >= 1 the tail victim is never the node just
-                // inserted. The over-capacity instant is invisible outside
-                // this critical section.
-                let evicted = if self.map.len() > self.capacity {
-                    Some(self.evict_tail())
-                } else {
-                    None
-                };
+                self.weight += weight;
+                // Evict after linking: the fresh node is the head, so the
+                // tail victims are never the node just inserted (the
+                // `over_budget` guard keeps at least one entry). The
+                // over-budget instant is invisible outside this critical
+                // section.
+                let mut evicted = Vec::new();
+                while self.over_budget() {
+                    evicted.push(self.evict_tail());
+                }
                 self.inserts += 1;
                 self.peak_entries = self.peak_entries.max(self.map.len());
+                self.peak_weight = self.peak_weight.max(self.weight);
                 Inserted {
                     value,
                     fresh: true,
@@ -335,6 +385,7 @@ impl<V: Clone> Shard<V> {
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.weight = 0;
     }
 
     fn stats(&self) -> ShardStats {
@@ -345,6 +396,8 @@ impl<V: Clone> Shard<V> {
             evictions: self.evictions,
             inserts: self.inserts,
             peak_entries: self.peak_entries,
+            weight: self.weight,
+            peak_weight: self.peak_weight,
         }
     }
 }
@@ -365,6 +418,7 @@ pub struct ShardedLruCache<V> {
     /// single mask of the key hash.
     mask: u64,
     capacity: usize,
+    weight_capacity: u64,
 }
 
 impl<V: Clone> ShardedLruCache<V> {
@@ -372,21 +426,51 @@ impl<V: Clone> ShardedLruCache<V> {
     /// across `shards` shards. The shard count is rounded **up** to a power
     /// of two, then clamped **down** (in powers of two) so every shard owns
     /// at least one slot; [`ShardedLruCache::shards`] reports the effective
-    /// count.
+    /// count. Every entry weighs 1; see [`ShardedLruCache::with_weigher`]
+    /// for a byte-cost bound instead.
     pub fn new(capacity: usize, shards: usize) -> Self {
-        let capacity = capacity.max(1);
-        let shards = Self::effective_shards(capacity, shards);
+        Self::build(capacity.max(1), u64::MAX, shards, |_| 1)
+    }
+
+    /// Creates a cache bounded by total resident **weight** instead of entry
+    /// count: `weigher` prices each value at insert time (typically in
+    /// approximate bytes) and inserts evict LRU victims until at most
+    /// `total_weight` (at least 1) is resident. One insert may evict several
+    /// light entries; a single entry heavier than the whole budget stays
+    /// resident alone. The shard count is rounded and clamped as in
+    /// [`ShardedLruCache::new`], with the weight budget split across shards
+    /// the same way capacity is.
+    pub fn with_weigher(total_weight: u64, shards: usize, weigher: fn(&V) -> u64) -> Self {
+        Self::build(usize::MAX, total_weight.max(1), shards, weigher)
+    }
+
+    fn build(capacity: usize, total_weight: u64, shards: usize, weigher: fn(&V) -> u64) -> Self {
+        // Clamp the shard count so every shard owns at least one entry slot
+        // *and* one unit of weight budget (whichever bound is active; the
+        // inactive one is MAX). The u32 cap keeps `next_power_of_two` from
+        // overflowing on a MAX-valued bound.
+        let clamp = capacity.min(total_weight.min(u64::from(u32::MAX)) as usize);
+        let shards = Self::effective_shards(clamp, shards);
         let base = capacity / shards;
         let extra = capacity % shards;
+        let base_w = total_weight / shards as u64;
+        let extra_w = total_weight % shards as u64;
         // The first `extra` shards absorb the remainder, so per-shard
-        // capacities sum to exactly `capacity`.
+        // budgets sum to exactly the requested totals.
         let shards: Vec<Mutex<Shard<V>>> = (0..shards)
-            .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
+            .map(|i| {
+                Mutex::new(Shard::new(
+                    base + usize::from(i < extra),
+                    base_w + u64::from((i as u64) < extra_w),
+                    weigher,
+                ))
+            })
             .collect();
         ShardedLruCache {
             mask: (shards.len() - 1) as u64,
             shards,
             capacity,
+            weight_capacity: total_weight,
         }
     }
 
@@ -464,6 +548,8 @@ impl<V: Clone> ShardedLruCache<V> {
             evictions: 0,
             inserts: 0,
             peak_entries: 0,
+            weight: 0,
+            peak_weight: 0,
             shards: self.shards.len(),
         };
         for stats in self.shard_stats() {
@@ -473,6 +559,8 @@ impl<V: Clone> ShardedLruCache<V> {
             total.evictions += stats.evictions;
             total.inserts += stats.inserts;
             total.peak_entries += stats.peak_entries;
+            total.weight += stats.weight;
+            total.peak_weight += stats.peak_weight;
         }
         total
     }
@@ -496,9 +584,16 @@ impl<V: Clone> ShardedLruCache<V> {
         self.len() == 0
     }
 
-    /// The total capacity bound across all shards.
+    /// The total entry-count bound across all shards (`usize::MAX` for a
+    /// weight-bounded cache).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The total resident-weight bound across all shards (`u64::MAX` for a
+    /// count-bounded cache).
+    pub fn weight_capacity(&self) -> u64 {
+        self.weight_capacity
     }
 
     /// The effective (power-of-two) shard count.
@@ -525,7 +620,8 @@ mod tests {
         assert_eq!(cache.get(&key(1)), Some(10));
         // Full: inserting a third evicts the LRU (key 2, since 1 was touched).
         let outcome = cache.insert(key(3), 30);
-        assert_eq!(outcome.evicted.as_deref(), Some(&key(2)[..]));
+        assert_eq!(outcome.evicted.len(), 1);
+        assert_eq!(&*outcome.evicted[0], &key(2)[..]);
         assert_eq!(cache.get(&key(2)), None);
         assert_eq!(cache.len(), 2);
         let stats = cache.stats();
@@ -542,17 +638,24 @@ mod tests {
         let cache = ShardedLruCache::new(2, 1);
         assert_eq!(cache.shards(), 1);
         let (a, b, c) = (key(100), key(200), key(300));
-        assert_eq!(cache.insert(a.clone(), 'a').evicted, None); // [a]
-        assert_eq!(cache.insert(b.clone(), 'b').evicted, None); // [a, b]
+        assert!(cache.insert(a.clone(), 'a').evicted.is_empty()); // [a]
+        assert!(cache.insert(b.clone(), 'b').evicted.is_empty()); // [a, b]
         assert_eq!(cache.get(&a), Some('a')); // a becomes most recent
                                               // Full → the victim must be b (LRU), not a (FIFO order).
         assert_eq!(
-            cache.insert(c.clone(), 'c').evicted.as_deref(),
-            Some(&b[..])
+            cache
+                .insert(c.clone(), 'c')
+                .evicted
+                .first()
+                .map(|k| k.to_vec()),
+            Some(b.clone())
         );
         assert_eq!(cache.get(&a), Some('a'), "a survived");
         // Re-inserting b now evicts c, the new LRU (a was just touched).
-        assert_eq!(cache.insert(b, 'B').evicted.as_deref(), Some(&c[..]));
+        assert_eq!(
+            cache.insert(b, 'B').evicted.first().map(|k| k.to_vec()),
+            Some(c)
+        );
         assert_eq!(cache.get(&a), Some('a'), "a outlived both evictions");
     }
 
@@ -563,7 +666,7 @@ mod tests {
         let raced = cache.insert(key(7), 2);
         assert!(!raced.fresh);
         assert_eq!(raced.value, 1, "keep-first: the existing entry wins");
-        assert_eq!(raced.evicted, None);
+        assert!(raced.evicted.is_empty());
         assert_eq!(
             cache.stats().inserts,
             1,
@@ -642,5 +745,93 @@ mod tests {
         assert!(shown.contains("1 hits"), "{shown}");
         assert!(shown.contains("2 shards"), "{shown}");
         assert!(shown.contains("1 inserts"), "{shown}");
+        assert!(shown.contains("weight 1"), "{shown}");
+    }
+
+    #[test]
+    fn unit_weigher_weight_tracks_entry_count() {
+        let cache = ShardedLruCache::new(3, 1);
+        for i in 0..5u64 {
+            cache.insert(key(i), i);
+            let stats = cache.stats();
+            assert_eq!(stats.weight, stats.entries as u64);
+            assert_eq!(stats.peak_weight, stats.peak_entries as u64);
+        }
+        assert_eq!(cache.weight_capacity(), u64::MAX);
+    }
+
+    #[test]
+    fn weighted_insert_evicts_until_the_budget_fits() {
+        // Budget 10, values weigh their own magnitude.
+        let cache = ShardedLruCache::with_weigher(10, 1, |v: &u64| *v);
+        assert_eq!(cache.capacity(), usize::MAX);
+        assert_eq!(cache.weight_capacity(), 10);
+        cache.insert(key(1), 3);
+        cache.insert(key(2), 3);
+        cache.insert(key(3), 3); // resident weight 9
+        assert_eq!(cache.stats().weight, 9);
+        // Inserting weight 7 must evict the two oldest light entries
+        // (3 + 3) to get 9 + 7 = 16 back under 10.
+        let outcome = cache.insert(key(4), 7);
+        assert_eq!(outcome.evicted.len(), 2);
+        assert_eq!(&*outcome.evicted[0], &key(1)[..], "oldest victim first");
+        assert_eq!(&*outcome.evicted[1], &key(2)[..]);
+        let stats = cache.stats();
+        assert_eq!(stats.weight, 10);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 2);
+        assert!(stats.peak_weight <= 10, "peak is measured post-eviction");
+    }
+
+    #[test]
+    fn over_heavy_entry_stays_resident_alone() {
+        let cache = ShardedLruCache::with_weigher(10, 1, |v: &u64| *v);
+        cache.insert(key(1), 4);
+        // Weight 25 exceeds the whole budget: everything else is evicted,
+        // but the entry itself stays (a cache that cannot hold its current
+        // working item would thrash forever).
+        let outcome = cache.insert(key(2), 25);
+        assert_eq!(outcome.evicted.len(), 1);
+        assert_eq!(cache.get(&key(2)), Some(25));
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().weight, 25);
+        // The next light insert displaces it again.
+        let outcome = cache.insert(key(3), 1);
+        assert_eq!(outcome.evicted.len(), 1);
+        assert_eq!(&*outcome.evicted[0], &key(2)[..]);
+        assert_eq!(cache.stats().weight, 1);
+    }
+
+    #[test]
+    fn weighted_clear_resets_weight_and_keeps_the_invariant() {
+        let cache = ShardedLruCache::with_weigher(100, 2, |v: &u64| *v + 1);
+        for i in 0..6u64 {
+            cache.insert(key(i), i);
+        }
+        let before = cache.stats();
+        assert!(before.weight > 0);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.weight, 0);
+        assert_eq!(stats.entries, 0);
+        for shard in cache.shard_stats() {
+            assert!(shard.is_consistent(), "{shard:?}");
+        }
+        assert!(stats.peak_weight >= before.weight);
+    }
+
+    #[test]
+    fn weighted_shard_count_is_clamped_by_the_budget() {
+        // Budget 3 supports at most 2 shards (largest power of two <= 3).
+        assert_eq!(ShardedLruCache::with_weigher(3, 8, |_: &u8| 1).shards(), 2);
+        assert_eq!(ShardedLruCache::with_weigher(64, 4, |_: &u8| 1).shards(), 4);
+        // The budget partitions across shards like capacity does: 5 over 2
+        // shards is 3 + 2, so unit-weight entries behave like capacity 5.
+        let cache = ShardedLruCache::with_weigher(5, 2, |_: &u64| 1);
+        for i in 0..100u64 {
+            cache.insert(key(i), i);
+            assert!(cache.stats().weight <= 5);
+        }
+        assert_eq!(cache.len(), 5);
     }
 }

@@ -112,6 +112,7 @@ pub struct EngineBuilder {
     parallelism: Option<usize>,
     cache_capacity: Option<usize>,
     cache_shards: Option<usize>,
+    cache_weight_capacity: Option<u64>,
 }
 
 /// Default bound on the number of cached classifications per engine.
@@ -174,6 +175,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Bounds the memo cache by approximate resident **bytes** instead of
+    /// entry count: each cached classification is priced by
+    /// [`approximate_classification_weight`] and inserts evict
+    /// least-recently-used entries until at most `bytes` remain resident.
+    /// Overrides [`EngineBuilder::cache_capacity`]; the default remains the
+    /// count bound, which treats a tiny 2-type classification and one
+    /// carrying a long unsolvability witness as equally expensive.
+    pub fn cache_weight_capacity(mut self, bytes: u64) -> Self {
+        self.cache_weight_capacity = Some(bytes.max(1));
+        self
+    }
+
     /// Builds the engine, spawning its persistent worker pool.
     pub fn build(self) -> Engine {
         let parallelism = self
@@ -183,9 +196,15 @@ impl EngineBuilder {
         let shards = self
             .cache_shards
             .unwrap_or_else(|| parallelism.next_power_of_two());
+        let cache = match self.cache_weight_capacity {
+            Some(bytes) => {
+                ShardedLruCache::with_weigher(bytes, shards, approximate_classification_weight)
+            }
+            None => ShardedLruCache::new(capacity, shards),
+        };
         let core = Arc::new(EngineCore {
             options: self.options,
-            cache: ShardedLruCache::new(capacity, shards),
+            cache,
         });
         Engine {
             core,
@@ -598,6 +617,21 @@ impl Engine {
     }
 }
 
+/// Prices a cached classification in approximate resident bytes, for
+/// [`EngineBuilder::cache_weight_capacity`]: a fixed overhead for the entry
+/// itself (key, slab node, map slot, synthesized algorithm core), plus the
+/// per-type tables and the unsolvability witness, the two components that
+/// actually grow with the problem. Deliberately coarse — the bound exists to
+/// keep cache memory proportional to what is cached, not to audit the
+/// allocator.
+pub fn approximate_classification_weight(classification: &Arc<Classification>) -> u64 {
+    let types = classification.num_types() as u64;
+    let witness = classification
+        .unsolvability_witness()
+        .map_or(0, |w| w.len() as u64);
+    256 + 64 * types + 2 * witness
+}
+
 /// The process-wide engine backing the legacy free functions
 /// ([`crate::classify`]). Built on first use with default options.
 pub fn default_engine() -> &'static Engine {
@@ -647,6 +681,8 @@ mod tests {
                 evictions: 0,
                 inserts: 1,
                 peak_entries: 1,
+                weight: 1,
+                peak_weight: 1,
                 shards: engine.cache_shards(),
             }
         );
@@ -935,6 +971,8 @@ mod tests {
             evictions: 0,
             inserts: 1,
             peak_entries: 1,
+            weight: 1,
+            peak_weight: 1,
             shards: 2,
         };
         assert!((stats.hit_ratio() - 0.75).abs() < 1e-12);
@@ -949,9 +987,34 @@ mod tests {
             evictions: 0,
             inserts: 0,
             peak_entries: 0,
+            weight: 0,
+            peak_weight: 0,
             shards: 1,
         };
         assert_eq!(empty.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn weight_bounded_cache_evicts_by_classification_size() {
+        // Price one classification, then budget the cache to hold exactly
+        // one of them: a second distinct problem must displace the first.
+        let probe = Engine::builder().parallelism(1).build();
+        let priced = probe.classify(&three_coloring()).unwrap();
+        let weight = approximate_classification_weight(&priced);
+        assert!(weight >= 256, "fixed overhead is priced in");
+        let engine = Engine::builder()
+            .parallelism(1)
+            .cache_shards(1)
+            .cache_weight_capacity(weight)
+            .build();
+        engine.classify(&three_coloring()).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.entries, stats.weight), (1, weight));
+        engine.classify(&two_coloring()).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 1, "budget holds one classification");
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries as u64 + stats.evictions, stats.inserts);
     }
 
     #[test]

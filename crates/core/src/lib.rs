@@ -65,16 +65,21 @@ pub mod engine;
 mod error;
 pub mod feasibility;
 mod pool;
+mod stream;
 pub mod synthesis;
 mod types_info;
 mod verdict;
 
 pub use cache::{CacheStats, Inserted, ShardStats, ShardedLruCache};
 pub use classify::{classify, classify_with_options, ClassifierOptions};
-pub use engine::{default_engine, Engine, EngineBuilder, Solution, DEFAULT_CACHE_CAPACITY};
+pub use engine::{
+    approximate_classification_weight, default_engine, Engine, EngineBuilder, Solution,
+    DEFAULT_CACHE_CAPACITY,
+};
 pub use error::ClassifierError;
 pub use feasibility::{FeasibleStructure, PatternLabeling};
 pub use pool::PoolStats;
+pub use stream::{StreamSolution, STREAM_RADIUS_CAP};
 pub use synthesis::{ConstantAlgorithm, LogStarAlgorithm, SynthesizedAlgorithm};
 pub use types_info::GapTypes;
 pub use verdict::{Classification, Complexity, Verdict};

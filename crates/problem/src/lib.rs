@@ -55,6 +55,7 @@ mod instance;
 pub mod json;
 mod normalized;
 mod spec;
+mod stream;
 mod transform;
 mod verify;
 mod window;
@@ -65,6 +66,7 @@ pub use error::ProblemError;
 pub use instance::{Instance, Labeling, Topology};
 pub use normalized::{NormalizedLcl, NormalizedLclBuilder};
 pub use spec::{ProblemSpec, PROBLEM_SPEC_VERSION};
+pub use stream::{StreamInputs, StreamInstanceSpec, MAX_STREAM_NODES};
 pub use transform::{
     lift_path_instance, lift_path_to_cycle, product_output_with_input, project_lifted_labeling,
     relabel_outputs, restrict_inputs, reverse_direction, ENDPOINT_LABEL_NAME, ENDPOINT_OUTPUT_NAME,

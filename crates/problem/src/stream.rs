@@ -1,0 +1,419 @@
+//! Streamed instance descriptions: `(topology, length, input rule)` instead
+//! of a materialized node list.
+//!
+//! A [`StreamInstanceSpec`] describes a path or cycle of up to
+//! [`MAX_STREAM_NODES`] nodes without storing the nodes. The input labeling is
+//! given by a compact rule ([`StreamInputs`]) that can be evaluated at any
+//! position in O(1), so a consumer can walk an instance of millions of nodes
+//! with O(window) memory. This is the wire-level counterpart of the server's
+//! `solve_stream` request kind.
+
+use crate::alphabet::InLabel;
+use crate::error::ProblemError;
+use crate::instance::{Instance, Topology};
+use crate::json::JsonValue;
+use crate::Result;
+
+/// Upper bound on the number of nodes a streamed instance may describe.
+///
+/// The limit exists so a hostile request cannot ask a server to stream an
+/// effectively unbounded reply; 2^32 nodes is far beyond what any client can
+/// consume in one request while still fitting comfortably in `u64` position
+/// arithmetic.
+pub const MAX_STREAM_NODES: u64 = 1 << 32;
+
+/// The input-labeling rule of a streamed instance.
+///
+/// Each variant defines the input label of every node as a pure function of
+/// the node's position, evaluable in O(1) via
+/// [`StreamInstanceSpec::input_at`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StreamInputs {
+    /// Every node carries the same input label.
+    Uniform {
+        /// The input-label index given to every node.
+        label: u16,
+    },
+    /// Node `i` carries `pattern[i % pattern.len()]`; the pattern must be
+    /// non-empty.
+    Pattern {
+        /// The repeating block of input-label indices.
+        pattern: Vec<u16>,
+    },
+    /// Node `i` carries `splitmix64(seed ^ i) % alphabet_len`: a deterministic
+    /// pseudo-random labeling reproducible from the seed alone.
+    Seeded {
+        /// The stream seed; equal seeds produce identical labelings.
+        seed: u64,
+    },
+}
+
+/// A path/cycle instance described by shape instead of by node list.
+///
+/// Unlike [`Instance`], which stores one label per node, this spec is O(1) in
+/// the instance length: the topology, the node count, and an input rule.
+/// [`Self::input_at`] reconstructs any node's input on demand.
+///
+/// ```
+/// use lcl_problem::{StreamInstanceSpec, StreamInputs, Topology};
+///
+/// let spec = StreamInstanceSpec {
+///     topology: Topology::Cycle,
+///     length: 1_000_000,
+///     inputs: StreamInputs::Pattern { pattern: vec![0, 1] },
+/// };
+/// spec.validate(2).unwrap();
+/// assert_eq!(spec.input_at(999_999, 2).index(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StreamInstanceSpec {
+    /// Whether the instance is a directed path or a directed cycle.
+    pub topology: Topology,
+    /// Number of nodes; must be in `1..=MAX_STREAM_NODES`.
+    pub length: u64,
+    /// The rule assigning each position its input label.
+    pub inputs: StreamInputs,
+}
+
+/// The splitmix64 output mixer (Steele–Lea–Flood); used by
+/// [`StreamInputs::Seeded`] so seeded streams are reproducible everywhere
+/// without a PRNG dependency.
+fn splitmix64(index: u64) -> u64 {
+    let mut z = index.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl StreamInstanceSpec {
+    /// The input label of node `index`, evaluated in O(1).
+    ///
+    /// `alphabet_len` is the problem's input-alphabet size; it only matters
+    /// for [`StreamInputs::Seeded`], where the mixed position is reduced
+    /// modulo the alphabet. Positions are `0..length`; out-of-range positions
+    /// are not checked here (the caller drives iteration).
+    pub fn input_at(&self, index: u64, alphabet_len: usize) -> InLabel {
+        let raw = match &self.inputs {
+            StreamInputs::Uniform { label } => *label,
+            StreamInputs::Pattern { pattern } => pattern[(index % pattern.len() as u64) as usize],
+            StreamInputs::Seeded { seed } => {
+                (splitmix64(*seed ^ index) % alphabet_len.max(1) as u64) as u16
+            }
+        };
+        InLabel(raw)
+    }
+
+    /// Checks the spec against a problem's input-alphabet size.
+    ///
+    /// # Errors
+    ///
+    /// * `length` outside `1..=MAX_STREAM_NODES`;
+    /// * a `Uniform` label or `Pattern` entry outside the alphabet;
+    /// * an empty `Pattern`.
+    pub fn validate(&self, alphabet_len: usize) -> Result<()> {
+        if self.length == 0 {
+            return Err(ProblemError::unsupported("stream instance of length 0"));
+        }
+        if self.length > MAX_STREAM_NODES {
+            return Err(ProblemError::unsupported(format!(
+                "stream instance of {} nodes exceeds the {MAX_STREAM_NODES}-node cap",
+                self.length
+            )));
+        }
+        let check = |label: u16| {
+            if usize::from(label) >= alphabet_len {
+                Err(ProblemError::LabelOutOfRange {
+                    what: "input",
+                    index: usize::from(label),
+                    alphabet_len,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match &self.inputs {
+            StreamInputs::Uniform { label } => check(*label)?,
+            StreamInputs::Pattern { pattern } => {
+                if pattern.is_empty() {
+                    return Err(ProblemError::unsupported("empty input pattern"));
+                }
+                for &label in pattern {
+                    check(label)?;
+                }
+            }
+            StreamInputs::Seeded { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Materializes the spec into a concrete [`Instance`].
+    ///
+    /// Intended for tests and small instances — this allocates one label per
+    /// node, which is exactly what streaming avoids. Callers must
+    /// [`validate`](Self::validate) first if the spec is untrusted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` does not fit in `usize`.
+    pub fn materialize(&self, alphabet_len: usize) -> Instance {
+        let n = usize::try_from(self.length).expect("stream length exceeds usize");
+        let inputs: Vec<InLabel> = (0..n as u64)
+            .map(|i| self.input_at(i, alphabet_len))
+            .collect();
+        match self.topology {
+            Topology::Path => Instance::path(inputs),
+            Topology::Cycle => Instance::cycle(inputs),
+        }
+    }
+
+    /// Serializes to the canonical JSON wire form:
+    /// `{"topology":"path","length":N,"inputs":{"mode":…}}`.
+    pub fn to_json(&self) -> JsonValue {
+        let inputs = match &self.inputs {
+            StreamInputs::Uniform { label } => JsonValue::object([
+                ("mode", JsonValue::Str("uniform".to_string())),
+                ("label", JsonValue::Int(i64::from(*label))),
+            ]),
+            StreamInputs::Pattern { pattern } => JsonValue::object([
+                ("mode", JsonValue::Str("pattern".to_string())),
+                (
+                    "pattern",
+                    JsonValue::int_array(pattern.iter().map(|&l| i64::from(l))),
+                ),
+            ]),
+            StreamInputs::Seeded { seed } => JsonValue::object([
+                ("mode", JsonValue::Str("seeded".to_string())),
+                ("seed", JsonValue::Int(*seed as i64)),
+            ]),
+        };
+        JsonValue::object([
+            ("topology", JsonValue::Str(self.topology.to_string())),
+            ("length", JsonValue::Int(self.length as i64)),
+            ("inputs", inputs),
+        ])
+    }
+
+    /// Serializes the spec to its JSON wire form.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_json_string()
+    }
+
+    /// Reads a spec back from a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire error on a missing/mistyped field, an unknown topology
+    /// or input mode, or a negative length/seed. Range checks beyond basic
+    /// integer fit live in [`Self::validate`].
+    pub fn from_json(value: &JsonValue) -> Result<Self> {
+        let topology = match value.require("topology")?.as_str()? {
+            "path" => Topology::Path,
+            "cycle" => Topology::Cycle,
+            other => {
+                return Err(ProblemError::Wire {
+                    what: format!("unknown topology `{other}`"),
+                })
+            }
+        };
+        let length = value.require("length")?.as_int()?;
+        let length = u64::try_from(length).map_err(|_| ProblemError::Wire {
+            what: format!("stream length {length} is negative"),
+        })?;
+        let rule = value.require("inputs")?;
+        let inputs = match rule.require("mode")?.as_str()? {
+            "uniform" => StreamInputs::Uniform {
+                label: wire_u16(rule.require("label")?.as_int()?)?,
+            },
+            "pattern" => {
+                let mut pattern = Vec::new();
+                for v in rule.require("pattern")?.as_array()? {
+                    pattern.push(wire_u16(v.as_int()?)?);
+                }
+                StreamInputs::Pattern { pattern }
+            }
+            "seeded" => {
+                let seed = rule.require("seed")?.as_int()?;
+                let seed = u64::try_from(seed).map_err(|_| ProblemError::Wire {
+                    what: format!("stream seed {seed} is negative"),
+                })?;
+                StreamInputs::Seeded { seed }
+            }
+            other => {
+                return Err(ProblemError::Wire {
+                    what: format!(
+                        "unknown input mode `{other}` (expected uniform, pattern or seeded)"
+                    ),
+                })
+            }
+        };
+        Ok(StreamInstanceSpec {
+            topology,
+            length,
+            inputs,
+        })
+    }
+
+    /// Parses a spec from its JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::from_json`]; additionally reports JSON syntax errors.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        Self::from_json(&JsonValue::parse(text)?)
+    }
+}
+
+fn wire_u16(v: i64) -> Result<u16> {
+    u16::try_from(v).map_err(|_| ProblemError::Wire {
+        what: format!("label index {v} does not fit in u16"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded(n: u64) -> StreamInstanceSpec {
+        StreamInstanceSpec {
+            topology: Topology::Path,
+            length: n,
+            inputs: StreamInputs::Seeded { seed: 7 },
+        }
+    }
+
+    #[test]
+    fn input_rules_are_deterministic_and_in_range() {
+        let uniform = StreamInstanceSpec {
+            topology: Topology::Cycle,
+            length: 10,
+            inputs: StreamInputs::Uniform { label: 1 },
+        };
+        assert!((0..10).all(|i| uniform.input_at(i, 3).index() == 1));
+
+        let pattern = StreamInstanceSpec {
+            topology: Topology::Cycle,
+            length: 10,
+            inputs: StreamInputs::Pattern {
+                pattern: vec![2, 0, 1],
+            },
+        };
+        let got: Vec<usize> = (0..7).map(|i| pattern.input_at(i, 3).index()).collect();
+        assert_eq!(got, [2, 0, 1, 2, 0, 1, 2]);
+
+        let a = seeded(1 << 20);
+        let b = seeded(1 << 20);
+        for i in [0u64, 1, 2, 1_000_000, (1 << 32) - 1] {
+            assert_eq!(a.input_at(i, 3), b.input_at(i, 3));
+            assert!(a.input_at(i, 3).index() < 3);
+        }
+        // Different seeds disagree somewhere in a short prefix.
+        let c = StreamInstanceSpec {
+            inputs: StreamInputs::Seeded { seed: 8 },
+            ..seeded(1 << 20)
+        };
+        assert!((0..64).any(|i| a.input_at(i, 3) != c.input_at(i, 3)));
+    }
+
+    #[test]
+    fn seeded_inputs_hit_every_label() {
+        let spec = seeded(1 << 12);
+        let mut seen = [false; 5];
+        for i in 0..(1 << 12) {
+            seen[spec.input_at(i, 5).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        assert!(seeded(0).validate(2).is_err());
+        assert!(seeded(MAX_STREAM_NODES).validate(2).is_ok());
+        assert!(seeded(MAX_STREAM_NODES + 1).validate(2).is_err());
+
+        let bad_uniform = StreamInstanceSpec {
+            inputs: StreamInputs::Uniform { label: 2 },
+            ..seeded(4)
+        };
+        assert!(matches!(
+            bad_uniform.validate(2),
+            Err(ProblemError::LabelOutOfRange { .. })
+        ));
+
+        let empty = StreamInstanceSpec {
+            inputs: StreamInputs::Pattern { pattern: vec![] },
+            ..seeded(4)
+        };
+        assert!(empty.validate(2).is_err());
+        let bad_pattern = StreamInstanceSpec {
+            inputs: StreamInputs::Pattern {
+                pattern: vec![0, 9],
+            },
+            ..seeded(4)
+        };
+        assert!(bad_pattern.validate(2).is_err());
+    }
+
+    #[test]
+    fn json_roundtrips_canonically() {
+        let specs = [
+            StreamInstanceSpec {
+                topology: Topology::Path,
+                length: 5,
+                inputs: StreamInputs::Uniform { label: 0 },
+            },
+            StreamInstanceSpec {
+                topology: Topology::Cycle,
+                length: 1 << 31,
+                inputs: StreamInputs::Pattern {
+                    pattern: vec![0, 1, 1],
+                },
+            },
+            seeded(1_000_000),
+        ];
+        for spec in specs {
+            let text = spec.to_json_string();
+            let back = StreamInstanceSpec::from_json_str(&text).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.to_json_string(), text);
+        }
+        assert_eq!(
+            seeded(3).to_json_string(),
+            r#"{"inputs":{"mode":"seeded","seed":7},"length":3,"topology":"path"}"#
+        );
+    }
+
+    #[test]
+    fn json_rejects_malformed_specs() {
+        for text in [
+            r#"{}"#,
+            r#"{"topology":"tree","length":3,"inputs":{"mode":"seeded","seed":7}}"#,
+            r#"{"topology":"path","length":-1,"inputs":{"mode":"seeded","seed":7}}"#,
+            r#"{"topology":"path","length":3,"inputs":{"mode":"seeded","seed":-7}}"#,
+            r#"{"topology":"path","length":3,"inputs":{"mode":"magic"}}"#,
+            r#"{"topology":"path","length":3,"inputs":{"mode":"uniform"}}"#,
+            r#"{"topology":"path","length":3,"inputs":{"mode":"pattern","pattern":[70000]}}"#,
+        ] {
+            assert!(
+                StreamInstanceSpec::from_json_str(text).is_err(),
+                "accepted: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn materialize_matches_input_at() {
+        let spec = StreamInstanceSpec {
+            topology: Topology::Cycle,
+            length: 9,
+            inputs: StreamInputs::Pattern {
+                pattern: vec![1, 0],
+            },
+        };
+        let instance = spec.materialize(2);
+        assert_eq!(instance.len(), 9);
+        assert_eq!(instance.topology(), Topology::Cycle);
+        for i in 0..9usize {
+            assert_eq!(instance.input(i), spec.input_at(i as u64, 2));
+        }
+    }
+}

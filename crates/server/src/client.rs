@@ -11,9 +11,11 @@
 //! `server_throughput` bench and small tools, not as a production SDK.
 
 use lcl_paths::classifier::{Complexity, Verdict};
+use lcl_paths::gen::GenConfig;
 use lcl_paths::problem::json::JsonValue;
 use lcl_paths::problem::{
     ErrorReply, Instance, Labeling, ProblemSpec, RequestEnvelope, ResponseEnvelope,
+    StreamInstanceSpec,
 };
 use std::error::Error as StdError;
 use std::fmt;
@@ -67,6 +69,20 @@ pub struct SolveReply {
     pub rounds: usize,
     /// The produced (verified) labeling.
     pub labeling: Labeling,
+}
+
+/// The terminal summary of a `solve_stream` request: what was labeled and
+/// how it was delivered.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StreamSummary {
+    /// The problem's complexity class.
+    pub complexity: Complexity,
+    /// LOCAL rounds the synthesized algorithm used per node.
+    pub rounds: usize,
+    /// Nodes labeled — the streamed instance's full length.
+    pub nodes: u64,
+    /// Chunk frames that preceded this summary.
+    pub chunks: u64,
 }
 
 /// Default number of requests [`Client::classify_many_pipelined`] keeps in
@@ -355,6 +371,127 @@ impl Client {
             rounds,
             labeling: Labeling::from_indices(&outputs),
         })
+    }
+
+    /// Asks the server to deterministically generate a seeded LCL problem,
+    /// returning the spec (ready for [`Client::classify`] /
+    /// [`Client::solve`]) and the server-computed canonical hash as a
+    /// 16-digit hex string.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn generate(&mut self, config: &GenConfig) -> Result<(ProblemSpec, String), ClientError> {
+        let reply = self.call("generate", config.to_json())?;
+        let spec = ProblemSpec::from_json(require(&reply, "problem")?)
+            .map_err(|e| ClientError::Protocol(format!("bad problem in reply: {e}")))?;
+        let hash = require(&reply, "canonical_hash")?
+            .as_str()
+            .map_err(|e| ClientError::Protocol(e.to_string()))?
+            .to_string();
+        Ok((spec, hash))
+    }
+
+    /// Labels a streamed instance: sends one `solve_stream` request and
+    /// consumes its reply stream, invoking `on_chunk(offset, outputs)` for
+    /// every chunk frame in order and returning the terminal summary.
+    ///
+    /// The client verifies the stream's protocol guarantees as it reads:
+    /// every frame echoes the request id, `seq` increments from 0, chunk
+    /// `offset`s are contiguous, and the summary's node count equals the
+    /// labels delivered.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, any violated ordering guarantee
+    /// ([`ClientError::Protocol`]), or a structured server error — which
+    /// may arrive mid-stream, terminating it.
+    pub fn solve_stream(
+        &mut self,
+        spec: &ProblemSpec,
+        instance: &StreamInstanceSpec,
+        mut on_chunk: impl FnMut(u64, &[u16]),
+    ) -> Result<StreamSummary, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let payload = JsonValue::object([
+            ("problem", spec.to_json()),
+            ("instance", instance.to_json()),
+        ]);
+        self.send_frame(&RequestEnvelope::new(id, "solve_stream", payload).into_json_string())?;
+        let protocol = |what: String| ClientError::Protocol(what);
+        let int_field = |payload: &JsonValue, field: &str| -> Result<i64, ClientError> {
+            require(payload, field)?
+                .as_int()
+                .map_err(|e| ClientError::Protocol(e.to_string()))
+        };
+        let mut next_seq = 0i64;
+        let mut delivered = 0i64;
+        loop {
+            let line = self.recv_frame()?;
+            let response = ResponseEnvelope::from_json_str(&line)
+                .map_err(|e| protocol(format!("bad response envelope: {e}")))?;
+            if response.id != Some(id) {
+                return Err(protocol(format!(
+                    "response id {:?} does not echo request id {id}",
+                    response.id
+                )));
+            }
+            let payload = response.result.map_err(ClientError::Remote)?;
+            let seq = int_field(&payload, "seq")?;
+            if payload.get("done").is_some() {
+                if seq != next_seq {
+                    return Err(protocol(format!(
+                        "summary seq {seq} after {next_seq} chunk frames"
+                    )));
+                }
+                let nodes = int_field(&payload, "nodes")?;
+                if nodes != delivered {
+                    return Err(protocol(format!(
+                        "summary says {nodes} nodes but {delivered} labels arrived"
+                    )));
+                }
+                let complexity_name = require(&payload, "complexity")?
+                    .as_str()
+                    .map_err(|e| protocol(e.to_string()))?;
+                let complexity = Complexity::from_wire_name(complexity_name)
+                    .ok_or_else(|| protocol(format!("unknown complexity `{complexity_name}`")))?;
+                let rounds = int_field(&payload, "rounds")?;
+                return Ok(StreamSummary {
+                    complexity,
+                    rounds: usize::try_from(rounds)
+                        .map_err(|_| protocol("invalid round count".to_string()))?,
+                    nodes: nodes as u64,
+                    chunks: next_seq as u64,
+                });
+            }
+            if seq != next_seq {
+                return Err(protocol(format!(
+                    "chunk seq {seq} arrived out of order (expected {next_seq})"
+                )));
+            }
+            let offset = int_field(&payload, "offset")?;
+            if offset != delivered {
+                return Err(protocol(format!(
+                    "chunk offset {offset} is not contiguous (expected {delivered})"
+                )));
+            }
+            let mut outputs = Vec::new();
+            for value in require(&payload, "outputs")?
+                .as_array()
+                .map_err(|e| protocol(e.to_string()))?
+            {
+                let index = value
+                    .as_int()
+                    .ok()
+                    .and_then(|v| u16::try_from(v).ok())
+                    .ok_or_else(|| protocol("invalid output label".to_string()))?;
+                outputs.push(index);
+            }
+            delivered += outputs.len() as i64;
+            next_seq += 1;
+            on_chunk(offset as u64, &outputs);
+        }
     }
 
     /// Fetches the server's cache/pool/latency statistics payload.

@@ -9,9 +9,15 @@
 //! (`{"v":1,"id":7,"kind":"classify","payload":{…}}`), responses are
 //! [`ResponseEnvelope`](lcl_paths::problem::ResponseEnvelope)s echoing the
 //! request id and carrying either a payload or a structured error reply
-//! derived from [`lcl_paths::Error`]. Five request kinds are served:
-//! `classify`, `classify_many`, `solve`, `stats` and `health` (see
-//! `docs/PROTOCOL.md` at the repository root for the full specification).
+//! derived from [`lcl_paths::Error`]. Seven request kinds are served:
+//! `classify`, `classify_many`, `solve`, `solve_stream`, `generate`,
+//! `stats` and `health` (see `docs/PROTOCOL.md` at the repository root for
+//! the full specification). `solve_stream` labels paths and cycles of
+//! millions of nodes without ever materializing them: the reply is a
+//! sequence of ordered chunk frames ([`StreamFrame`]) bounded by
+//! [`Service::max_chunk_bytes`], produced under end-to-end backpressure on
+//! both backends; `generate` draws seeded problems from the
+//! [`lcl_paths::gen`] workload families.
 //!
 //! The same [`Service`] dispatch runs over two framings:
 //!
@@ -76,9 +82,11 @@ mod service;
 mod stdio;
 mod tcp;
 
-pub use client::{Client, ClientError, SolveReply, DEFAULT_PIPELINE_WINDOW};
+pub use client::{Client, ClientError, SolveReply, StreamSummary, DEFAULT_PIPELINE_WINDOW};
 pub use frame::MAX_FRAME_BYTES;
 pub use metrics::{KindStats, ServerMetrics};
-pub use service::{error_reply, PendingResponse, RequestKind, Service};
+pub use service::{
+    error_reply, PendingResponse, RequestKind, Service, StreamFrame, DEFAULT_MAX_CHUNK_BYTES,
+};
 pub use stdio::serve_stdio;
 pub use tcp::{Backend, Server, ServerHandle, BACKEND_ENV_VAR, DEFAULT_MAX_INFLIGHT};

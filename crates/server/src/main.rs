@@ -30,6 +30,14 @@ OPTIONS:
                           slot (default: next power of two of the worker
                           count, so concurrent workers rarely share a
                           shard lock)
+    --cache-weight-bytes N
+                          approximate byte budget for resident memo-cache
+                          entries, priced per entry by result size; the
+                          entry-count bound still applies (default:
+                          unbounded — count-bound only)
+    --max-chunk-bytes N   ceiling on one serialized solve_stream chunk
+                          frame; clamped to 1024..=1048576
+                          (default: 262144)
     --max-inflight N      per-connection pipelined request window for TCP
                           connections (default: 32; 1 = lock-step)
     --max-conns N         cap on simultaneously served TCP connections;
@@ -50,6 +58,8 @@ struct Options {
     workers: Option<usize>,
     cache_capacity: Option<usize>,
     cache_shards: Option<usize>,
+    cache_weight_bytes: Option<u64>,
+    max_chunk_bytes: Option<usize>,
     max_inflight: Option<usize>,
     max_conns: Option<usize>,
     backend: Option<Backend>,
@@ -92,6 +102,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     return Err("--cache-shards must be at least 1".to_string());
                 }
                 options.cache_shards = Some(parsed);
+            }
+            "--cache-weight-bytes" => {
+                let value = iter
+                    .next()
+                    .ok_or("--cache-weight-bytes requires a byte count")?;
+                let parsed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --cache-weight-bytes value `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--cache-weight-bytes must be at least 1".to_string());
+                }
+                options.cache_weight_bytes = Some(parsed);
+            }
+            "--max-chunk-bytes" => {
+                let value = iter
+                    .next()
+                    .ok_or("--max-chunk-bytes requires a byte count")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid --max-chunk-bytes value `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--max-chunk-bytes must be at least 1".to_string());
+                }
+                options.max_chunk_bytes = Some(parsed);
             }
             "--max-inflight" => {
                 let value = iter.next().ok_or("--max-inflight requires a count")?;
@@ -151,7 +185,14 @@ fn build_service(options: &Options) -> Arc<Service> {
     if let Some(shards) = options.cache_shards {
         builder = builder.cache_shards(shards);
     }
-    Arc::new(Service::new(builder.build()))
+    if let Some(weight) = options.cache_weight_bytes {
+        builder = builder.cache_weight_capacity(weight);
+    }
+    let mut service = Service::new(builder.build());
+    if let Some(bytes) = options.max_chunk_bytes {
+        service = service.with_max_chunk_bytes(bytes);
+    }
+    Arc::new(service)
 }
 
 fn main() -> ExitCode {
@@ -276,6 +317,43 @@ fn smoke_backend(service: Arc<Service>, options: &Options, backend: Backend) -> 
             .map_err(|e| format!("[{backend}] pipelined burst: {e}"))?;
         if outcomes.len() != specs.len() || outcomes.iter().any(Result::is_err) {
             return Err(format!("[{backend}] pipelined burst returned {outcomes:?}"));
+        }
+        // The generator round-trip: the served spec must hash identically
+        // to a local regeneration from the same seed.
+        let config = lcl_paths::gen::GenConfig::new(11).family(lcl_paths::gen::Family::Solvable);
+        let (generated, hash) = client
+            .generate(&config)
+            .map_err(|e| format!("[{backend}] generate round-trip: {e}"))?;
+        let local = lcl_paths::gen::generate(&config)
+            .map_err(|e| format!("[{backend}] local generation: {e}"))?;
+        if hash != format!("{:016x}", local.canonical_hash()) {
+            return Err(format!("[{backend}] generate hash mismatch: served {hash}"));
+        }
+        let _ = generated;
+        // A streamed solve: chunked labeling of a cycle, verified by the
+        // client's ordering checks plus a local color-validity scan. The
+        // LogStar algorithm costs ~0.5 ms/node, so the smoke stays short;
+        // the solve_stream bench covers the million-node case.
+        let instance = lcl_paths::problem::StreamInstanceSpec {
+            topology: lcl_paths::problem::Topology::Cycle,
+            length: 2_000,
+            inputs: lcl_paths::problem::StreamInputs::Uniform { label: 0 },
+        };
+        let mut labels: Vec<u16> = Vec::new();
+        let summary = client
+            .solve_stream(&problem.to_spec(), &instance, |_, outputs| {
+                labels.extend_from_slice(outputs);
+            })
+            .map_err(|e| format!("[{backend}] solve_stream round-trip: {e}"))?;
+        if summary.nodes != instance.length || labels.len() as u64 != instance.length {
+            return Err(format!(
+                "[{backend}] solve_stream delivered {} of {} labels",
+                labels.len(),
+                instance.length
+            ));
+        }
+        if (0..labels.len()).any(|i| labels[i] == labels[(i + 1) % labels.len()]) {
+            return Err(format!("[{backend}] solve_stream labeling is invalid"));
         }
         let health = client
             .health()

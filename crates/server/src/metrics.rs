@@ -70,6 +70,8 @@ pub struct ServerMetrics {
     classify: KindCounters,
     classify_many: KindCounters,
     solve: KindCounters,
+    solve_stream: KindCounters,
+    generate: KindCounters,
     stats: KindCounters,
     health: KindCounters,
     /// Frames that never resolved to a known request kind.
@@ -100,6 +102,8 @@ impl ServerMetrics {
             Some(RequestKind::Classify) => &self.classify,
             Some(RequestKind::ClassifyMany) => &self.classify_many,
             Some(RequestKind::Solve) => &self.solve,
+            Some(RequestKind::SolveStream) => &self.solve_stream,
+            Some(RequestKind::Generate) => &self.generate,
             Some(RequestKind::Stats) => &self.stats,
             Some(RequestKind::Health) => &self.health,
             None => &self.invalid,
@@ -267,6 +271,14 @@ impl ServerMetrics {
                         kind_json(self.snapshot(Some(RequestKind::ClassifyMany))),
                     ),
                     ("solve", kind_json(self.snapshot(Some(RequestKind::Solve)))),
+                    (
+                        "solve_stream",
+                        kind_json(self.snapshot(Some(RequestKind::SolveStream))),
+                    ),
+                    (
+                        "generate",
+                        kind_json(self.snapshot(Some(RequestKind::Generate))),
+                    ),
                     ("stats", kind_json(self.snapshot(Some(RequestKind::Stats)))),
                     (
                         "health",

@@ -41,7 +41,7 @@ mod sys;
 pub(crate) use poll::EventFd;
 
 use crate::frame::{into_string, MAX_FRAME_BYTES};
-use crate::service::Service;
+use crate::service::{Service, StreamFrame};
 use crate::tcp::PendingReply;
 use poll::{Epoll, EpollEvent, EPOLLIN, EPOLLOUT, EVENT_BATCH};
 use std::collections::{HashMap, VecDeque};
@@ -430,7 +430,7 @@ impl Conn {
         loop {
             let mut progressed = self.fill();
             progressed |= self.parse(service, control);
-            progressed |= self.resolve();
+            progressed |= self.resolve(service);
             progressed |= self.flush();
             if !progressed || self.dead {
                 break;
@@ -611,20 +611,42 @@ impl Conn {
     /// Moves completed replies — strictly from the queue head, which is the
     /// in-order guarantee — into the output buffer. Stops at the first
     /// still-computing job; its completion hook will pump us again.
-    fn resolve(&mut self) -> bool {
+    ///
+    /// A deferred head may be a *stream*: it yields chunk frames before its
+    /// terminal envelope. Chunks are appended without marking a reply end —
+    /// the window slot stays taken until the terminal frame — and the drain
+    /// is bounded by the output backlog: once two chunk ceilings' worth of
+    /// bytes sit unwritten, no further frames are pulled until the socket
+    /// drains (EPOLLOUT re-pumps). The producer then blocks on its bounded
+    /// frame channel; that chain — socket full → backlog capped → channel
+    /// full → worker parked — is how a slow peer backpressures a
+    /// million-node stream instead of it buffering here.
+    fn resolve(&mut self, service: &Arc<Service>) -> bool {
+        let backlog_cap = 2 * service.max_chunk_bytes();
         let mut progressed = false;
         while let Some(front) = self.pending.front_mut() {
-            let line = match front {
-                PendingReply::Ready(line) => std::mem::take(line),
-                PendingReply::Deferred(pending) => match pending.try_wait() {
-                    Some(line) => line,
-                    None => break,
-                },
+            let frame = match front {
+                PendingReply::Ready(line) => StreamFrame::Final(std::mem::take(line)),
+                PendingReply::Deferred(pending) => {
+                    if self.out.len() - self.out_written > backlog_cap {
+                        break; // let the socket drain before pulling more
+                    }
+                    match pending.try_frame() {
+                        Some(frame) => frame,
+                        None => break,
+                    }
+                }
             };
-            self.pending.pop_front();
+            let (line, terminal) = match &frame {
+                StreamFrame::Chunk(line) => (line, false),
+                StreamFrame::Final(line) => (line, true),
+            };
             self.out.extend_from_slice(line.as_bytes());
             self.out.push(b'\n');
-            self.reply_ends.push_back(self.out.len());
+            if terminal {
+                self.pending.pop_front();
+                self.reply_ends.push_back(self.out.len());
+            }
             progressed = true;
         }
         progressed

@@ -23,15 +23,25 @@
 //!   [`Engine::solve_inline`]) — a worker parked on *another* pool job
 //!   could deadlock a narrow pool.
 //!
+//! Most kinds produce exactly one reply frame. `solve_stream` additionally
+//! *streams*: zero or more already-serialized chunk frames precede the
+//! terminal envelope, delivered through the `emit` sink in lock-step mode
+//! ([`Service::handle_line_emitting`]) or as [`StreamFrame::Chunk`]s on the
+//! [`PendingResponse`] when pipelined. The per-request frame channel is a
+//! small bounded queue, so a streaming job can only run a couple of frames
+//! ahead of the connection writer — backpressure reaches the producing
+//! worker instead of buffering a million-node labeling in memory.
+//!
 //! Neither shape ever spawns a thread on the request path.
 
 use crate::frame::MAX_FRAME_BYTES;
 use crate::metrics::ServerMetrics;
-use lcl_paths::classifier::Verdict;
+use lcl_paths::classifier::{ClassifierError, Verdict};
+use lcl_paths::gen::GenConfig;
 use lcl_paths::problem::json::JsonValue;
 use lcl_paths::problem::{
     ErrorReply, Instance, ProblemError, ProblemSpec, RequestEnvelope, ResponseEnvelope,
-    PROTOCOL_VERSION,
+    StreamInstanceSpec, PROTOCOL_VERSION,
 };
 use lcl_paths::{Engine, Error};
 use std::fmt;
@@ -47,6 +57,11 @@ pub enum RequestKind {
     ClassifyMany,
     /// Classify, synthesize and run on a concrete instance.
     Solve,
+    /// Classify, synthesize and run on a *streamed* instance: the labeling
+    /// goes back as ordered chunk frames, memory stays O(chunk + radius).
+    SolveStream,
+    /// Deterministically generate a seeded LCL problem ([`lcl_paths::gen`]).
+    Generate,
     /// Cache / pool / per-kind latency counters.
     Stats,
     /// Liveness probe.
@@ -55,10 +70,12 @@ pub enum RequestKind {
 
 impl RequestKind {
     /// All request kinds, in protocol order.
-    pub const ALL: [RequestKind; 5] = [
+    pub const ALL: [RequestKind; 7] = [
         RequestKind::Classify,
         RequestKind::ClassifyMany,
         RequestKind::Solve,
+        RequestKind::SolveStream,
+        RequestKind::Generate,
         RequestKind::Stats,
         RequestKind::Health,
     ];
@@ -69,6 +86,8 @@ impl RequestKind {
             RequestKind::Classify => "classify",
             RequestKind::ClassifyMany => "classify_many",
             RequestKind::Solve => "solve",
+            RequestKind::SolveStream => "solve_stream",
+            RequestKind::Generate => "generate",
             RequestKind::Stats => "stats",
             RequestKind::Health => "health",
         }
@@ -95,6 +114,7 @@ pub fn error_reply(error: &Error) -> ErrorReply {
         Error::Sim(_) => "simulator",
         Error::Lba(_) => "lba",
         Error::Classifier(_) => "classifier",
+        Error::Gen(_) => "gen",
         _ => "internal",
     };
     ErrorReply::new(category, error.to_string())
@@ -117,11 +137,35 @@ enum ExecContext {
     PoolWorker,
 }
 
+/// One frame of a pipelined reply stream, as delivered by
+/// [`PendingResponse::try_frame`] / [`PendingResponse::wait_frame`].
+///
+/// Every kind terminates with exactly one [`StreamFrame::Final`]; only
+/// `solve_stream` precedes it with [`StreamFrame::Chunk`]s. Both carry the
+/// frame already serialized (without its newline terminator), in strict
+/// protocol order.
+#[derive(Debug)]
+pub enum StreamFrame {
+    /// An intermediate chunk frame — zero or more per request, always
+    /// before the terminal envelope.
+    Chunk(String),
+    /// The terminal reply envelope — exactly one per request, always last.
+    Final(String),
+}
+
+/// Producer-side depth of the per-request frame channel: a streaming job
+/// can run at most this many serialized frames ahead of the connection
+/// writer before its `emit` blocks. This is the in-process half of
+/// `solve_stream` backpressure — the socket's flow control is the other —
+/// and what keeps a million-node labeling from ever being resident at once.
+const STREAM_CHANNEL_DEPTH: usize = 2;
+
 /// The in-flight result of [`Service::dispatch_line`]: a handle on one
 /// request whose parse + execution + serialization is running as a
 /// worker-pool job. The connection writer resolves these **in request
-/// order** ([`PendingResponse::wait`]), which is what turns out-of-order
-/// pool completion into the protocol's in-order reply guarantee.
+/// order** ([`PendingResponse::wait_frame`]), which is what turns
+/// out-of-order pool completion into the protocol's in-order reply
+/// guarantee.
 #[derive(Debug)]
 pub struct PendingResponse {
     /// Best-effort salvaged request id, used only for the synthesized reply
@@ -130,35 +174,51 @@ pub struct PendingResponse {
     /// Best-effort salvaged request kind (`invalid` when unrecognizable),
     /// for the same synthesized reply.
     kind: String,
-    /// Delivers the serialized reply frame.
-    rx: mpsc::Receiver<String>,
+    /// Delivers the serialized reply frames, terminal last.
+    rx: mpsc::Receiver<StreamFrame>,
 }
 
 impl PendingResponse {
-    /// Blocks until the reply frame is available and returns it (without
-    /// its newline terminator).
+    /// Blocks until the next frame is available and returns it.
     ///
     /// A job that died (panicked) on its worker dropped the sending half;
     /// that is observed here and answered with a synthesized structured
-    /// `internal` error, so every dispatched frame still yields exactly one
-    /// reply.
-    pub fn wait(self) -> String {
+    /// `internal` error as the terminal frame, so every dispatched frame
+    /// still yields exactly one terminal reply. Callers stop consuming at
+    /// [`StreamFrame::Final`].
+    pub fn wait_frame(&mut self) -> StreamFrame {
         match self.rx.recv() {
-            Ok(line) => line,
-            Err(_) => self.synthesize_dropped(),
+            Ok(frame) => frame,
+            Err(_) => StreamFrame::Final(self.synthesize_dropped()),
         }
     }
 
-    /// Non-blocking probe: the reply frame if it is already available (or
-    /// the job already died — then the synthesized error), `None` while the
-    /// job is still running. A connection writer checks this before parking
-    /// in [`PendingResponse::wait`], so replies it has already buffered can
-    /// be flushed to the peer instead of stalling behind a slow job.
-    pub fn try_wait(&mut self) -> Option<String> {
+    /// Non-blocking probe: the next frame if one is already available (or
+    /// the job already died — then the synthesized terminal error), `None`
+    /// while the job is still running. A connection writer checks this
+    /// before parking in [`PendingResponse::wait_frame`], so replies it has
+    /// already buffered can be flushed to the peer instead of stalling
+    /// behind a slow job.
+    pub fn try_frame(&mut self) -> Option<StreamFrame> {
         match self.rx.try_recv() {
-            Ok(line) => Some(line),
-            Err(mpsc::TryRecvError::Disconnected) => Some(self.synthesize_dropped()),
+            Ok(frame) => Some(frame),
+            Err(mpsc::TryRecvError::Disconnected) => {
+                Some(StreamFrame::Final(self.synthesize_dropped()))
+            }
             Err(mpsc::TryRecvError::Empty) => None,
+        }
+    }
+
+    /// Blocks until the **terminal** reply frame and returns it, discarding
+    /// any intermediate chunk frames. Convenience for embedders and tests
+    /// that only care about the final envelope; connection writers must use
+    /// [`PendingResponse::wait_frame`] / [`PendingResponse::try_frame`] so
+    /// chunks reach the peer.
+    pub fn wait(mut self) -> String {
+        loop {
+            if let StreamFrame::Final(line) = self.wait_frame() {
+                return line;
+            }
         }
     }
 
@@ -208,6 +268,11 @@ impl Drop for PipelineGuard<'_> {
     }
 }
 
+/// Default ceiling on a serialized `solve_stream` chunk frame
+/// (`--max-chunk-bytes`): 256 KiB keeps roughly 32k labels per frame while
+/// staying well under [`MAX_FRAME_BYTES`].
+pub const DEFAULT_MAX_CHUNK_BYTES: usize = 256 * 1024;
+
 /// The framing-independent request handler: an [`Engine`] plus metrics.
 ///
 /// Shared across connection threads behind an `Arc`; all methods take
@@ -217,6 +282,7 @@ pub struct Service {
     engine: Engine,
     metrics: ServerMetrics,
     started: Instant,
+    max_chunk_bytes: usize,
 }
 
 impl Service {
@@ -226,7 +292,29 @@ impl Service {
             engine,
             metrics: ServerMetrics::default(),
             started: Instant::now(),
+            max_chunk_bytes: DEFAULT_MAX_CHUNK_BYTES,
         }
+    }
+
+    /// Sets the ceiling on one serialized `solve_stream` chunk frame.
+    /// Clamped to `1024 ..= MAX_FRAME_BYTES` so a chunk always fits a
+    /// protocol frame and always carries at least one label.
+    pub fn with_max_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.max_chunk_bytes = bytes.clamp(1024, MAX_FRAME_BYTES);
+        self
+    }
+
+    /// The ceiling on one serialized `solve_stream` chunk frame.
+    pub fn max_chunk_bytes(&self) -> usize {
+        self.max_chunk_bytes
+    }
+
+    /// How many labels fit one chunk under [`Self::max_chunk_bytes`]: a
+    /// label costs at most 6 wire bytes (`u16` digits plus comma), budgeted
+    /// at 8 after reserving envelope overhead, so the serialized frame
+    /// stays under the configured ceiling.
+    fn chunk_nodes(&self) -> usize {
+        (self.max_chunk_bytes.saturating_sub(128) / 8).max(1)
     }
 
     /// The engine behind this service.
@@ -241,14 +329,34 @@ impl Service {
 
     /// Handles one request frame in lock-step, returning exactly one
     /// response envelope. Never panics on wire input.
+    ///
+    /// Intermediate `solve_stream` chunk frames have nowhere to go in this
+    /// shape and are discarded; the terminal summary is still computed and
+    /// returned. Front-ends that can forward chunks use
+    /// [`Service::handle_line_emitting`].
     pub fn handle_line(&self, line: &str) -> ResponseEnvelope {
+        self.handle_line_emitting(line, &mut |_| true)
+    }
+
+    /// [`Service::handle_line`] with a chunk sink: `emit` receives each
+    /// serialized intermediate frame (in order, all before the terminal
+    /// envelope is returned) and reports whether the peer is still there —
+    /// returning `false` aborts the stream with a structured error. This is
+    /// how the stdio front-end serves `solve_stream`.
+    pub fn handle_line_emitting(
+        &self,
+        line: &str,
+        emit: &mut dyn FnMut(String) -> bool,
+    ) -> ResponseEnvelope {
         let started = Instant::now();
         match self.parse(line) {
             Err(response) => {
                 self.metrics.record(None, started.elapsed(), false);
                 response
             }
-            Ok((kind, envelope)) => self.finish(kind, &envelope, started, ExecContext::Caller),
+            Ok((kind, envelope)) => {
+                self.finish(kind, &envelope, started, ExecContext::Caller, emit)
+            }
         }
     }
 
@@ -266,36 +374,58 @@ impl Service {
         self.dispatch_line_notify(line, || {})
     }
 
-    /// [`Service::dispatch_line`] with a completion hook: `notify` runs on
-    /// the worker once the reply is observable on the returned handle — the
-    /// frame was answered, or the job died and [`PendingResponse::try_wait`]
-    /// will synthesize its error. This is the reactor backend's wakeup path:
-    /// instead of a writer thread parked per connection, `notify` signals the
-    /// reactor's eventfd ([`Engine::dispatch_notify`]).
+    /// [`Service::dispatch_line`] with a frame hook: `notify` runs on the
+    /// worker every time a new frame is observable on the returned handle —
+    /// a chunk was emitted, the frame was answered, or the job died and
+    /// [`PendingResponse::try_frame`] will synthesize its error. This is the
+    /// reactor backend's wakeup path: instead of a writer thread parked per
+    /// connection, `notify` signals the reactor's eventfd
+    /// ([`Engine::dispatch_notify`]).
+    ///
+    /// Frames travel over a bounded channel (depth 2): a
+    /// streaming job whose consumer stops draining parks its pool worker
+    /// until the writer catches up or the connection is dropped (the drop
+    /// closes the channel, which aborts the stream). The per-connection
+    /// in-flight window bounds how many workers one slow peer can park.
     pub fn dispatch_line_notify<N>(self: &Arc<Self>, line: String, notify: N) -> PendingResponse
     where
-        N: FnOnce() + Send + 'static,
+        N: Fn() + Send + Sync + 'static,
     {
         let started = Instant::now();
         let id = salvage_id(&line);
         let kind = salvage_kind(&line);
         let service = Arc::clone(self);
         self.metrics.pipeline_enter();
-        let rx = self.engine.dispatch_notify(
+        let (tx, rx) = mpsc::sync_channel::<StreamFrame>(STREAM_CHANNEL_DEPTH);
+        let notify = Arc::new(notify);
+        let dropped_notify = Arc::clone(&notify);
+        // The reply travels frame by frame through `tx`, not through the
+        // engine's own result channel (dropped here; the pool tolerates
+        // that). The engine-side hook still fires after the job ends — even
+        // by panic — which is what makes the synthesized error observable.
+        let _ = self.engine.dispatch_notify(
             move || {
-                let _guard = PipelineGuard(service.metrics());
+                let guard = PipelineGuard(service.metrics());
                 let response = match service.parse(&line) {
                     Err(response) => {
                         service.metrics.record(None, started.elapsed(), false);
                         response
                     }
                     Ok((kind, envelope)) => {
-                        service.finish(kind, &envelope, started, ExecContext::PoolWorker)
+                        let mut emit = |frame: String| {
+                            let delivered = tx.send(StreamFrame::Chunk(frame)).is_ok();
+                            notify();
+                            delivered
+                        };
+                        service.finish(kind, &envelope, started, ExecContext::PoolWorker, &mut emit)
                     }
                 };
-                response.into_json_string()
+                // The gauge must read as drained before the terminal frame
+                // is observable (a panic unwinds the guard instead).
+                drop(guard);
+                let _ = tx.send(StreamFrame::Final(response.into_json_string()));
             },
-            notify,
+            move || dropped_notify(),
         );
         PendingResponse { id, kind, rx }
     }
@@ -309,8 +439,9 @@ impl Service {
         envelope: &RequestEnvelope,
         started: Instant,
         ctx: ExecContext,
+        emit: &mut dyn FnMut(String) -> bool,
     ) -> ResponseEnvelope {
-        let result = self.run(kind, &envelope.payload, ctx);
+        let result = self.run(kind, envelope, ctx, emit);
         self.respond(kind, envelope.id, started, result)
     }
 
@@ -368,7 +499,7 @@ impl Service {
                     "protocol",
                     format!(
                         "unknown request kind `{}` (expected classify, classify_many, \
-                         solve, stats or health)",
+                         solve, solve_stream, generate, stats or health)",
                         envelope.kind
                     ),
                 ),
@@ -380,13 +511,17 @@ impl Service {
     fn run(
         &self,
         kind: RequestKind,
-        payload: &JsonValue,
+        envelope: &RequestEnvelope,
         ctx: ExecContext,
+        emit: &mut dyn FnMut(String) -> bool,
     ) -> Result<JsonValue, Error> {
+        let payload = &envelope.payload;
         match kind {
             RequestKind::Classify => self.classify(payload, ctx),
             RequestKind::ClassifyMany => self.classify_many(payload, ctx),
             RequestKind::Solve => self.solve(payload, ctx),
+            RequestKind::SolveStream => self.solve_stream(envelope.id, payload, ctx, emit),
+            RequestKind::Generate => self.generate(payload),
             RequestKind::Stats => self.stats(),
             RequestKind::Health => self.health(),
         }
@@ -500,6 +635,88 @@ impl Service {
         ]))
     }
 
+    /// Labels a streamed instance chunk by chunk: each slice of outputs
+    /// goes out through `emit` as its own already-serialized `solve_stream`
+    /// frame (`{"offset", "outputs", "seq"}`), and the returned payload is
+    /// the terminal summary (`{"complexity", "done", "nodes", "rounds",
+    /// "seq"}`). The instance is never materialized — memory stays
+    /// O(chunk + radius) whatever `length` says ([`StreamSolution`]).
+    ///
+    /// [`StreamSolution`]: lcl_paths::classifier::StreamSolution
+    fn solve_stream(
+        &self,
+        id: i64,
+        payload: &JsonValue,
+        ctx: ExecContext,
+        emit: &mut dyn FnMut(String) -> bool,
+    ) -> Result<JsonValue, Error> {
+        let problem = Self::parse_problem(payload)?;
+        let spec = StreamInstanceSpec::from_json(
+            payload.require("instance").map_err(ProblemError::from)?,
+        )?;
+        let mut solution = match ctx {
+            ExecContext::Caller => self.engine.solve_stream(&problem, &spec)?,
+            ExecContext::PoolWorker => self.engine.solve_stream_inline(&problem, &spec)?,
+        };
+        let chunk_nodes = self.chunk_nodes();
+        let mut seq = 0i64;
+        let mut offset = 0i64;
+        while let Some(chunk) = solution.next_chunk(chunk_nodes) {
+            let outputs = chunk?;
+            let frame = ResponseEnvelope::ok(
+                id,
+                RequestKind::SolveStream.wire_name(),
+                JsonValue::object([
+                    ("offset", JsonValue::Int(offset)),
+                    (
+                        "outputs",
+                        JsonValue::int_array(outputs.iter().map(|l| i64::from(l.0))),
+                    ),
+                    ("seq", JsonValue::Int(seq)),
+                ]),
+            )
+            .into_json_string();
+            offset += outputs.len() as i64;
+            seq += 1;
+            if !emit(frame) {
+                return Err(Error::Classifier(ClassifierError::Internal {
+                    what: "solve_stream peer went away mid-stream; labeling aborted".to_string(),
+                }));
+            }
+        }
+        Ok(JsonValue::object([
+            (
+                "complexity",
+                JsonValue::Str(solution.complexity().wire_name().to_string()),
+            ),
+            ("done", JsonValue::Bool(true)),
+            ("nodes", JsonValue::Int(solution.nodes() as i64)),
+            ("rounds", JsonValue::Int(solution.rounds() as i64)),
+            ("seq", JsonValue::Int(seq)),
+        ]))
+    }
+
+    /// Deterministically generates an LCL problem from a seeded config: the
+    /// reply carries the full problem spec — ready to feed straight back
+    /// into `classify` or `solve` — plus its canonical hash, so both ends
+    /// of a differential harness can cheaply agree on what was produced.
+    fn generate(&self, payload: &JsonValue) -> Result<JsonValue, Error> {
+        let config = GenConfig::from_json(payload)?;
+        let problem = lcl_paths::gen::generate(&config)?;
+        Ok(JsonValue::object([
+            (
+                "canonical_hash",
+                JsonValue::Str(format!("{:016x}", problem.canonical_hash())),
+            ),
+            (
+                "family",
+                JsonValue::Str(config.family.wire_name().to_string()),
+            ),
+            ("problem", problem.to_spec().to_json()),
+            ("seed", JsonValue::Int(config.seed as i64)),
+        ]))
+    }
+
     fn stats(&self) -> Result<JsonValue, Error> {
         let cache = self.engine.cache_stats();
         let pool = self.engine.pool_stats();
@@ -513,6 +730,8 @@ impl Service {
                     ("evictions", JsonValue::Int(cache.evictions as i64)),
                     ("inserts", JsonValue::Int(cache.inserts as i64)),
                     ("peak_entries", JsonValue::Int(cache.peak_entries as i64)),
+                    ("weight", JsonValue::Int(cache.weight as i64)),
+                    ("peak_weight", JsonValue::Int(cache.peak_weight as i64)),
                     ("shards", JsonValue::Int(cache.shards as i64)),
                     (
                         "hit_ratio",
@@ -609,7 +828,7 @@ mod tests {
     fn pending_response_synthesizes_an_error_when_the_job_dies() {
         // Build the handle by hand with a dropped sender: exactly what the
         // writer observes after a job panic.
-        let (tx, rx) = mpsc::channel::<String>();
+        let (tx, rx) = mpsc::sync_channel::<StreamFrame>(STREAM_CHANNEL_DEPTH);
         drop(tx);
         let pending = PendingResponse {
             id: Some(77),
@@ -743,6 +962,161 @@ mod tests {
             .require("outputs")
             .unwrap();
         assert_eq!(outputs.as_array().unwrap().len(), 24);
+    }
+
+    fn stream_line(id: i64, length: u64) -> String {
+        let payload = JsonValue::object([
+            ("problem", problems::coloring(3).to_spec().to_json()),
+            (
+                "instance",
+                lcl_paths::problem::StreamInstanceSpec {
+                    topology: lcl_paths::problem::Topology::Cycle,
+                    length,
+                    inputs: lcl_paths::problem::StreamInputs::Uniform { label: 0 },
+                }
+                .to_json(),
+            ),
+        ]);
+        RequestEnvelope::new(id, "solve_stream", payload).to_json_string()
+    }
+
+    #[test]
+    fn solve_stream_chunks_concatenate_to_the_full_labeling() {
+        let service = service().with_max_chunk_bytes(1024); // 112 labels/chunk
+        let mut chunks = Vec::new();
+        let response = service.handle_line_emitting(&stream_line(21, 300), &mut |frame| {
+            chunks.push(frame);
+            true
+        });
+        assert_eq!(response.id, Some(21));
+        let summary = response.result.expect("stream succeeds");
+        assert!(summary.require("done").unwrap().as_bool().unwrap());
+        assert_eq!(summary.require("nodes").unwrap().as_int().unwrap(), 300);
+        assert_eq!(
+            summary.require("seq").unwrap().as_int().unwrap(),
+            chunks.len() as i64
+        );
+        assert!(chunks.len() >= 2, "300 nodes at 1 KiB must need 2+ chunks");
+
+        // Chunks are well-formed envelopes in seq order with contiguous
+        // offsets, and their labels concatenate to one valid 3-coloring.
+        let mut outputs = Vec::new();
+        for (i, frame) in chunks.iter().enumerate() {
+            assert!(frame.len() <= 1024, "chunk frame over the ceiling");
+            let envelope = ResponseEnvelope::from_json_str(frame).expect("chunk parses");
+            assert_eq!(envelope.id, Some(21));
+            assert_eq!(envelope.kind, "solve_stream");
+            let payload = envelope.result.expect("chunk is ok");
+            assert_eq!(payload.require("seq").unwrap().as_int().unwrap(), i as i64);
+            assert_eq!(
+                payload.require("offset").unwrap().as_int().unwrap(),
+                outputs.len() as i64
+            );
+            for v in payload.require("outputs").unwrap().as_array().unwrap() {
+                outputs.push(v.as_int().unwrap());
+            }
+        }
+        assert_eq!(outputs.len(), 300);
+        for at in 0..outputs.len() {
+            assert_ne!(
+                outputs[at],
+                outputs[(at + 1) % outputs.len()],
+                "adjacent cycle nodes share a color at {at}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_stream_pipelined_delivers_ordered_frames() {
+        let service = Arc::new(service().with_max_chunk_bytes(1024));
+        let mut pending = service.dispatch_line(stream_line(22, 250));
+        let mut frames = Vec::new();
+        let terminal = loop {
+            match pending.wait_frame() {
+                StreamFrame::Chunk(frame) => frames.push(frame),
+                StreamFrame::Final(line) => break line,
+            }
+        };
+        let terminal = ResponseEnvelope::from_json_str(&terminal).expect("reply parses");
+        assert!(terminal.is_ok());
+        let summary = terminal.result.unwrap();
+        assert_eq!(
+            summary.require("seq").unwrap().as_int().unwrap(),
+            frames.len() as i64
+        );
+        assert!(!frames.is_empty());
+        for (i, frame) in frames.iter().enumerate() {
+            let payload = ResponseEnvelope::from_json_str(frame)
+                .expect("chunk parses")
+                .result
+                .expect("chunk is ok");
+            assert_eq!(payload.require("seq").unwrap().as_int().unwrap(), i as i64);
+        }
+    }
+
+    #[test]
+    fn solve_stream_aborts_when_the_emit_sink_reports_the_peer_gone() {
+        let service = service().with_max_chunk_bytes(1024);
+        let mut emitted = 0;
+        let response = service.handle_line_emitting(&stream_line(23, 300), &mut |_| {
+            emitted += 1;
+            false
+        });
+        assert_eq!(emitted, 1, "stream must stop at the first refusal");
+        let error = response.result.unwrap_err();
+        assert_eq!(error.category, "classifier");
+        assert!(
+            error.message.contains("peer went away"),
+            "{}",
+            error.message
+        );
+    }
+
+    #[test]
+    fn generate_replies_with_a_classifiable_problem_spec() {
+        let service = service();
+        let payload = JsonValue::object([
+            ("seed", JsonValue::Int(7)),
+            ("family", JsonValue::Str("solvable".to_string())),
+        ]);
+        let line = RequestEnvelope::new(31, "generate", payload).to_json_string();
+        let response = service.handle_line(&line);
+        assert_eq!(response.kind, "generate");
+        let payload = response.result.expect("generation succeeds");
+        assert_eq!(payload.require("seed").unwrap().as_int().unwrap(), 7);
+        assert_eq!(
+            payload.require("family").unwrap().as_str().unwrap(),
+            "solvable"
+        );
+
+        // The echoed hash matches a local regeneration, and the spec feeds
+        // straight back into classify.
+        let config = GenConfig::new(7).family(lcl_paths::gen::Family::Solvable);
+        let local = lcl_paths::gen::generate(&config).unwrap();
+        assert_eq!(
+            payload.require("canonical_hash").unwrap().as_str().unwrap(),
+            format!("{:016x}", local.canonical_hash())
+        );
+        let classify = RequestEnvelope::new(
+            32,
+            "classify",
+            JsonValue::object([("problem", payload.require("problem").unwrap().clone())]),
+        )
+        .to_json_string();
+        assert!(service.handle_line(&classify).is_ok());
+
+        // Config errors come back under the dedicated `gen` category.
+        let bad = RequestEnvelope::new(
+            33,
+            "generate",
+            JsonValue::object([
+                ("seed", JsonValue::Int(1)),
+                ("out_degree", JsonValue::Int(0)),
+            ]),
+        )
+        .to_json_string();
+        let error = service.handle_line(&bad).result.unwrap_err();
+        assert_eq!(error.category, "gen");
     }
 
     #[test]

@@ -8,9 +8,11 @@ use crate::frame::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};
 use crate::service::Service;
 use std::io::{self, BufRead, Write};
 
-/// Serves frames from `input` until EOF, writing one response line per
-/// frame to `output`. Oversized and malformed frames get structured error
-/// replies; only I/O errors abort the loop.
+/// Serves frames from `input` until EOF, writing one terminal response line
+/// per frame to `output` — preceded by its intermediate chunk frames for
+/// `solve_stream`, each flushed as it is produced, so a pipe consumer sees
+/// labeling progress with O(chunk) buffering. Oversized and malformed
+/// frames get structured error replies; only I/O errors abort the loop.
 ///
 /// # Errors
 ///
@@ -28,7 +30,26 @@ pub fn serve_stdio(
                 if line.trim().is_empty() {
                     continue;
                 }
-                service.handle_line_string(&line)
+                // Chunk frames are written through the sink in order; the
+                // first write failure stops the stream and is reported once
+                // the terminal envelope comes back.
+                let mut chunk_error: Option<io::Error> = None;
+                let mut emit = |frame: String| match write_frame(&mut output, &frame)
+                    .and_then(|()| output.flush())
+                {
+                    Ok(()) => true,
+                    Err(e) => {
+                        chunk_error = Some(e);
+                        false
+                    }
+                };
+                let reply = service
+                    .handle_line_emitting(&line, &mut emit)
+                    .into_json_string();
+                if let Some(e) = chunk_error {
+                    return Err(e);
+                }
+                reply
             }
         };
         write_frame(&mut output, &reply)?;

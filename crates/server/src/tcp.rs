@@ -25,7 +25,7 @@
 //! every open connection and joins all threads before returning.
 
 use crate::frame::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};
-use crate::service::{PendingResponse, Service};
+use crate::service::{PendingResponse, Service, StreamFrame};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -690,6 +690,12 @@ fn handle_connection(stream: TcpStream, service: &Arc<Service>, id: u64, max_inf
 /// slot. Flushes when no further reply is instantly available — so bursts
 /// of ready replies coalesce into few syscalls, but an already-written
 /// reply is never held back while the next request is still computing.
+///
+/// A deferred reply may be a *stream*: its handle yields zero or more chunk
+/// frames before the terminal envelope. Chunks are written and flushed as
+/// they arrive — the peer sees labeling progress while the job is still
+/// producing — and the window slot is released only at the terminal frame,
+/// so a streaming request occupies exactly one in-flight slot end to end.
 fn write_loop(
     stream: TcpStream,
     ordered_rx: mpsc::Receiver<PendingReply>,
@@ -697,7 +703,7 @@ fn write_loop(
 ) {
     let mut writer = BufWriter::new(stream);
     let mut lookahead: Option<PendingReply> = None;
-    loop {
+    'conn: loop {
         let pending = match lookahead.take() {
             Some(pending) => pending,
             None => match ordered_rx.recv() {
@@ -707,15 +713,27 @@ fn write_loop(
         };
         let line = match pending {
             PendingReply::Ready(line) => line,
-            PendingReply::Deferred(mut pending) => match pending.try_wait() {
-                Some(line) => line,
-                None => {
-                    // The head-of-line job is still computing: everything
-                    // written so far must reach the peer before we park.
-                    if writer.flush().is_err() {
-                        break;
+            PendingReply::Deferred(mut pending) => loop {
+                let frame = match pending.try_frame() {
+                    Some(frame) => frame,
+                    None => {
+                        // The head-of-line job is still computing: everything
+                        // written so far must reach the peer before we park.
+                        if writer.flush().is_err() {
+                            break 'conn;
+                        }
+                        pending.wait_frame()
                     }
-                    pending.wait()
+                };
+                match frame {
+                    StreamFrame::Final(line) => break line,
+                    StreamFrame::Chunk(line) => {
+                        // A write failure drops the handle, which closes the
+                        // frame channel and aborts the producing job.
+                        if write_frame(&mut writer, &line).is_err() || writer.flush().is_err() {
+                            break 'conn;
+                        }
+                    }
                 }
             },
         };

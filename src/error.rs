@@ -21,6 +21,8 @@ pub enum Error {
     Lba(crate::lba::LbaError),
     /// Classifier or engine error (`lcl-classifier`).
     Classifier(crate::classifier::ClassifierError),
+    /// Workload-generator error (`lcl-gen`).
+    Gen(crate::gen::GenError),
 }
 
 impl fmt::Display for Error {
@@ -31,6 +33,7 @@ impl fmt::Display for Error {
             Error::Sim(e) => write!(f, "simulator: {e}"),
             Error::Lba(e) => write!(f, "lba: {e}"),
             Error::Classifier(e) => write!(f, "classifier: {e}"),
+            Error::Gen(e) => write!(f, "gen: {e}"),
         }
     }
 }
@@ -43,6 +46,7 @@ impl StdError for Error {
             Error::Sim(e) => Some(e),
             Error::Lba(e) => Some(e),
             Error::Classifier(e) => Some(e),
+            Error::Gen(e) => Some(e),
         }
     }
 }
@@ -74,6 +78,12 @@ impl From<crate::lba::LbaError> for Error {
 impl From<crate::classifier::ClassifierError> for Error {
     fn from(e: crate::classifier::ClassifierError) -> Self {
         Error::Classifier(e)
+    }
+}
+
+impl From<crate::gen::GenError> for Error {
+    fn from(e: crate::gen::GenError) -> Self {
+        Error::Gen(e)
     }
 }
 

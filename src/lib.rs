@@ -17,6 +17,7 @@
 //! | [`lba`] | `lcl-lba` | linear bounded automata |
 //! | [`hardness`] | `lcl-hardness` | the `Π_{M_B}` construction and §3 machinery |
 //! | [`classifier`] | `lcl-classifier` | the decision procedure, synthesis (§4), and the [`Engine`] service API |
+//! | [`gen`] | `lcl-gen` | seeded random LCL-problem generator (workload generation) |
 //! | [`problems`] | `lcl-problems` | the problem corpus with ground truths |
 //! | [`error`] | — | the unified [`Error`] type with `From` conversions from every subsystem |
 //!
@@ -101,6 +102,7 @@ pub use lcl_classifier as classifier;
 pub use lcl_classifier::{
     CacheStats, Engine, EngineBuilder, ShardStats, ShardedLruCache, Solution,
 };
+pub use lcl_gen as gen;
 pub use lcl_hardness as hardness;
 pub use lcl_lba as lba;
 pub use lcl_local_sim as sim;

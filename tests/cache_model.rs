@@ -6,10 +6,17 @@
 //! reference model whose per-shard recency is a plain `Vec` with linear
 //! scans: obviously-correct LRU semantics, none of the slab/intrusive-list
 //! machinery under test. Every op must agree exactly — returned values,
-//! keep-first winners, *which key* was evicted — and the final per-shard and
-//! aggregate counters must be identical. With one shard the reference model
-//! *is* the old engine's global LRU, so that configuration doubles as the
-//! old-victim-order regression at property-test scale.
+//! keep-first winners, *which keys* were evicted — and the final per-shard
+//! and aggregate counters must be identical. With one shard the reference
+//! model *is* the old engine's global LRU, so that configuration doubles as
+//! the old-victim-order regression at property-test scale.
+//!
+//! The suite runs the matrix twice: once **count-bounded** (the unit-weigher
+//! default, where an insert evicts at most one victim) and once
+//! **weight-bounded** (`ShardedLruCache::with_weigher` with a deterministic
+//! non-unit weigher, where one heavy insert may evict several light entries
+//! and an over-heavy entry parks alone). The model mirrors both with the
+//! same evict-from-the-back loop.
 //!
 //! Per house style (see tests/properties.rs) the generators are seeded
 //! `StdRng`s, so every failure reproduces exactly from its case index.
@@ -21,34 +28,58 @@ use rand::{Rng, SeedableRng};
 const CASES: u64 = 24;
 const OPS: usize = 500;
 
+/// How the cache under test is bounded.
+#[derive(Copy, Clone, Debug)]
+enum Bound {
+    /// `ShardedLruCache::new(capacity, _)`: every entry weighs 1.
+    Count(usize),
+    /// `ShardedLruCache::with_weigher(total_weight, _, weigh)`.
+    Weight(u64),
+}
+
+/// The deterministic non-unit weigher both the real cache and the model use
+/// in weighted traces: weights 1..=7 derived from the value.
+fn weigh(value: &u64) -> u64 {
+    *value % 7 + 1
+}
+
 /// One shard of the reference model: a recency-ordered vector (front = most
-/// recently used) plus the same counters the real shard keeps.
+/// recently used) plus the same counters and budgets the real shard keeps.
 struct ModelShard {
     capacity: usize,
-    /// Front = most recently used; the eviction victim is the back.
-    entries: Vec<(Vec<u8>, u64)>,
+    weight_capacity: u64,
+    weigher: fn(&u64) -> u64,
+    /// Front = most recently used; eviction victims pop off the back.
+    /// Each entry remembers the weight it was priced at insert time.
+    entries: Vec<(Vec<u8>, u64, u64)>,
     hits: u64,
     misses: u64,
     inserts: u64,
     evictions: u64,
     peak_entries: usize,
+    weight: u64,
+    peak_weight: u64,
 }
 
 impl ModelShard {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, weight_capacity: u64, weigher: fn(&u64) -> u64) -> Self {
         ModelShard {
             capacity,
+            weight_capacity,
+            weigher,
             entries: Vec::new(),
             hits: 0,
             misses: 0,
             inserts: 0,
             evictions: 0,
             peak_entries: 0,
+            weight: 0,
+            peak_weight: 0,
         }
     }
 
     fn get(&mut self, key: &[u8]) -> Option<u64> {
-        let at = self.entries.iter().position(|(k, _)| k == key)?;
+        let at = self.entries.iter().position(|(k, _, _)| k == key)?;
         let entry = self.entries.remove(at);
         let value = entry.1;
         self.entries.insert(0, entry);
@@ -56,31 +87,37 @@ impl ModelShard {
         Some(value)
     }
 
-    /// Returns `(winning value, fresh, evicted key)` with the same keep-first
-    /// semantics as the real cache.
-    fn insert(&mut self, key: Vec<u8>, value: u64) -> (u64, bool, Option<Vec<u8>>) {
-        if let Some(at) = self.entries.iter().position(|(k, _)| *k == key) {
+    /// Returns `(winning value, fresh, evicted keys)` with the same
+    /// keep-first and evict-until-it-fits semantics as the real cache.
+    fn insert(&mut self, key: Vec<u8>, value: u64) -> (u64, bool, Vec<Vec<u8>>) {
+        if let Some(at) = self.entries.iter().position(|(k, _, _)| *k == key) {
             let entry = self.entries.remove(at);
             let winner = entry.1;
             self.entries.insert(0, entry);
-            return (winner, false, None);
+            return (winner, false, Vec::new());
         }
-        let evicted = if self.entries.len() >= self.capacity {
-            let (victim, _) = self.entries.pop().expect("full shard is non-empty");
+        let weight = (self.weigher)(&value);
+        self.entries.insert(0, (key, value, weight));
+        self.weight += weight;
+        let mut evicted = Vec::new();
+        while (self.entries.len() > self.capacity || self.weight > self.weight_capacity)
+            && self.entries.len() > 1
+        {
+            let (victim, _, victim_weight) = self.entries.pop().expect("guarded non-empty");
+            self.weight -= victim_weight;
             self.evictions += 1;
-            Some(victim)
-        } else {
-            None
-        };
-        self.entries.insert(0, (key, value));
+            evicted.push(victim);
+        }
         self.inserts += 1;
         self.peak_entries = self.peak_entries.max(self.entries.len());
+        self.peak_weight = self.peak_weight.max(self.weight);
         (value, true, evicted)
     }
 
     fn clear(&mut self) {
         self.evictions += self.entries.len() as u64;
         self.entries.clear();
+        self.weight = 0;
     }
 
     fn stats(&self) -> ShardStats {
@@ -91,6 +128,8 @@ impl ModelShard {
             evictions: self.evictions,
             inserts: self.inserts,
             peak_entries: self.peak_entries,
+            weight: self.weight,
+            peak_weight: self.peak_weight,
         }
     }
 }
@@ -98,20 +137,30 @@ impl ModelShard {
 /// The reference model: one naive shard per real shard, with the routing
 /// delegated to the real cache's public `shard_of` (the placement function is
 /// shared; the LRU/counter semantics are what differ and what we compare).
+/// Budgets are partitioned across shards exactly as the real cache does it:
+/// base share plus one unit of remainder for the first shards.
 struct Model {
     shards: Vec<ModelShard>,
 }
 
 impl Model {
-    fn new(cache: &ShardedLruCache<u64>, capacity: usize) -> Self {
+    fn new(cache: &ShardedLruCache<u64>, bound: Bound) -> Self {
         let n = cache.shards();
-        let base = capacity / n;
-        let extra = capacity % n;
-        Model {
-            shards: (0..n)
-                .map(|i| ModelShard::new(base + usize::from(i < extra)))
-                .collect(),
-        }
+        let shards = (0..n)
+            .map(|i| match bound {
+                Bound::Count(capacity) => {
+                    let base = capacity / n;
+                    let extra = capacity % n;
+                    ModelShard::new(base + usize::from(i < extra), u64::MAX, |_| 1)
+                }
+                Bound::Weight(total) => {
+                    let base = total / n as u64;
+                    let extra = total % n as u64;
+                    ModelShard::new(usize::MAX, base + u64::from((i as u64) < extra), weigh)
+                }
+            })
+            .collect();
+        Model { shards }
     }
 }
 
@@ -121,19 +170,26 @@ fn key(i: u64) -> Vec<u8> {
 
 /// Drives one seeded trace through both implementations, asserting agreement
 /// op by op and counter by counter.
-fn run_trace(case: u64, capacity: usize, shards: usize) {
+fn run_trace(case: u64, bound: Bound, shards: usize) {
     let mut rng = StdRng::seed_from_u64(0xCAC4E + case);
-    let cache = ShardedLruCache::new(capacity, shards);
-    let mut model = Model::new(&cache, capacity);
-    // Keys overlap heavily: a universe of ~3x capacity keeps both hits and
-    // evictions frequent at these tiny capacities.
-    let universe = (capacity as u64) * 3;
+    let cache = match bound {
+        Bound::Count(capacity) => ShardedLruCache::new(capacity, shards),
+        Bound::Weight(total) => ShardedLruCache::with_weigher(total, shards, weigh),
+    };
+    let mut model = Model::new(&cache, bound);
+    // Keys overlap heavily: a universe of ~3x the expected resident entry
+    // count keeps both hits and evictions frequent at these tiny budgets
+    // (weighted entries average weight 4, so ~total/4 fit).
+    let universe = match bound {
+        Bound::Count(capacity) => (capacity as u64) * 3,
+        Bound::Weight(total) => (total * 3 / 4).max(4),
+    };
     let mut next_value = 0u64;
 
     for op in 0..OPS {
         let k = key(rng.gen_range(0..universe));
         let shard = cache.shard_of(&k);
-        let ctx = format!("case {case}, op {op}, capacity {capacity}, shards {shards}");
+        let ctx = format!("case {case}, op {op}, {bound:?}, shards {shards}");
         match rng.gen_range(0..100u32) {
             // Peek (Engine::cached): a hit touches and counts, a miss is free.
             0..=24 => {
@@ -152,11 +208,9 @@ fn run_trace(case: u64, capacity: usize, shards: usize) {
                     let (value, fresh, evicted) = model.shards[shard].insert(k, next_value);
                     assert_eq!(real.value, value, "{ctx}");
                     assert_eq!(real.fresh, fresh, "{ctx}");
-                    assert_eq!(
-                        real.evicted.as_deref(),
-                        evicted.as_deref(),
-                        "{ctx}: wrong eviction victim"
-                    );
+                    let real_evicted: Vec<Vec<u8>> =
+                        real.evicted.iter().map(|k| k.to_vec()).collect();
+                    assert_eq!(real_evicted, evicted, "{ctx}: wrong eviction victims");
                 }
             }
             // Blind insert, possibly racing a present key (keep-first).
@@ -166,11 +220,8 @@ fn run_trace(case: u64, capacity: usize, shards: usize) {
                 let (value, fresh, evicted) = model.shards[shard].insert(k, next_value);
                 assert_eq!(real.value, value, "{ctx}");
                 assert_eq!(real.fresh, fresh, "{ctx}");
-                assert_eq!(
-                    real.evicted.as_deref(),
-                    evicted.as_deref(),
-                    "{ctx}: wrong eviction victim"
-                );
+                let real_evicted: Vec<Vec<u8>> = real.evicted.iter().map(|k| k.to_vec()).collect();
+                assert_eq!(real_evicted, evicted, "{ctx}: wrong eviction victims");
             }
             // Rare clear: counters survive, dropped entries count as evicted.
             _ => {
@@ -189,12 +240,19 @@ fn run_trace(case: u64, capacity: usize, shards: usize) {
     let total = cache.stats();
     assert_eq!(total.shards, cache.shards(), "case {case}");
     assert_eq!(
-        (total.hits, total.misses, total.entries, total.evictions),
+        (
+            total.hits,
+            total.misses,
+            total.entries,
+            total.evictions,
+            total.weight
+        ),
         (
             reference.iter().map(|s| s.hits).sum::<u64>(),
             reference.iter().map(|s| s.misses).sum::<u64>(),
             reference.iter().map(|s| s.entries).sum::<usize>(),
             reference.iter().map(|s| s.evictions).sum::<u64>(),
+            reference.iter().map(|s| s.weight).sum::<u64>(),
         ),
         "case {case}: aggregate stats diverged"
     );
@@ -204,16 +262,46 @@ fn run_trace(case: u64, capacity: usize, shards: usize) {
             "case {case}, shard {i}: entries + evictions != inserts: {shard:?}"
         );
     }
-    assert!(total.entries <= capacity, "case {case}: capacity exceeded");
+    match bound {
+        Bound::Count(capacity) => {
+            assert!(total.entries <= capacity, "case {case}: capacity exceeded");
+            assert_eq!(
+                total.weight, total.entries as u64,
+                "case {case}: unit weigher must price every entry at 1"
+            );
+        }
+        Bound::Weight(_) => {
+            // Each shard respects its weight budget, except for the
+            // documented single-over-heavy-entry allowance.
+            for (i, (shard, reference)) in real.iter().zip(&model.shards).enumerate() {
+                assert!(
+                    shard.weight <= reference.weight_capacity || shard.entries == 1,
+                    "case {case}, shard {i}: over budget with multiple entries: {shard:?}"
+                );
+            }
+        }
+    }
 }
 
-/// The acceptance matrix: shard counts 1, 2 and 8 at several tiny
-/// capacities, each driven through `CASES` independently seeded traces.
+/// The count-bounded acceptance matrix: shard counts 1, 2 and 8 at several
+/// tiny capacities, each driven through `CASES` independently seeded traces.
 #[test]
 fn sharded_cache_agrees_with_naive_reference_model() {
     for &(capacity, shards) in &[(4, 1), (7, 1), (5, 2), (8, 2), (8, 8), (13, 8), (32, 8)] {
         for case in 0..CASES {
-            run_trace(case, capacity, shards);
+            run_trace(case, Bound::Count(capacity), shards);
+        }
+    }
+}
+
+/// The weight-bounded matrix: the same trace shapes against tiny weight
+/// budgets, where single inserts evict several victims and over-heavy
+/// entries park alone.
+#[test]
+fn weighted_cache_agrees_with_weighted_reference_model() {
+    for &(total_weight, shards) in &[(6, 1), (11, 1), (16, 2), (29, 2), (40, 8), (64, 8)] {
+        for case in 0..CASES {
+            run_trace(case, Bound::Weight(total_weight), shards);
         }
     }
 }
@@ -229,6 +317,12 @@ fn clamped_shard_counts_still_match_the_model() {
         "largest power of two with >= 1 slot each"
     );
     for case in 0..CASES {
-        run_trace(case, 3, 8);
+        run_trace(case, Bound::Count(3), 8);
+    }
+    // Same clamp under a weight bound: budget 3 sustains at most 2 shards.
+    let weighted = ShardedLruCache::<u64>::with_weigher(3, 8, weigh);
+    assert_eq!(weighted.shards(), 2);
+    for case in 0..CASES {
+        run_trace(case, Bound::Weight(3), 8);
     }
 }
