@@ -269,9 +269,15 @@ impl EngineCore {
 
     /// Memoized classification on the calling thread.
     fn classify(&self, problem: &NormalizedLcl) -> Result<Arc<Classification>> {
+        self.classify_observed(problem).map(|(c, _)| c)
+    }
+
+    /// [`EngineCore::classify`] that also reports whether the memo cache
+    /// served the result (`true` = hit), for callers that attribute latency.
+    fn classify_observed(&self, problem: &NormalizedLcl) -> Result<(Arc<Classification>, bool)> {
         let key = problem.structural_key();
         if let Some(cached) = self.lookup(&key) {
-            return Ok(cached);
+            return Ok((cached, true));
         }
         // The miss is counted when we commit to computing, not at lookup
         // time, so peeks stay free and every computation costs exactly one.
@@ -279,7 +285,7 @@ impl EngineCore {
         let computed = Arc::new(classify_with_options(problem, &self.options)?);
         // Another thread may have raced us to the same problem; the cache
         // keeps the first entry so every caller shares one allocation.
-        Ok(self.cache.insert(key, computed).value)
+        Ok((self.cache.insert(key, computed).value, false))
     }
 
     /// The error reported when a pool job died (panicked) before sending its
@@ -355,6 +361,21 @@ impl Engine {
     /// with the same engine recomputes.
     pub fn classify(&self, problem: &NormalizedLcl) -> Result<Arc<Classification>> {
         self.core.classify(problem)
+    }
+
+    /// [`Engine::classify`] that also reports whether the memo cache served
+    /// the result (`true` = hit, `false` = computed now). This is what
+    /// request tracing uses to attribute a request's latency to cache or
+    /// compute without an extra (stats-perturbing) cache probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::classify`].
+    pub fn classify_observed(
+        &self,
+        problem: &NormalizedLcl,
+    ) -> Result<(Arc<Classification>, bool)> {
+        self.core.classify_observed(problem)
     }
 
     /// Classifies a problem on the worker pool: cache hits are served

@@ -64,6 +64,7 @@ mod classify;
 pub mod engine;
 mod error;
 pub mod feasibility;
+pub mod obs;
 mod pool;
 mod stream;
 pub mod synthesis;
@@ -78,6 +79,7 @@ pub use engine::{
 };
 pub use error::ClassifierError;
 pub use feasibility::{FeasibleStructure, PatternLabeling};
+pub use obs::{HistogramSnapshot, LatencyHistogram, TraceRecord, TraceRing};
 pub use pool::PoolStats;
 pub use stream::{StreamSolution, STREAM_RADIUS_CAP};
 pub use synthesis::{ConstantAlgorithm, LogStarAlgorithm, SynthesizedAlgorithm};

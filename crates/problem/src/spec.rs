@@ -271,8 +271,22 @@ impl NormalizedLcl {
         let beta = self.num_outputs();
         let table_bits = alpha * beta + beta * beta;
         let mut key = Vec::with_capacity(16 + table_bits.div_ceil(8));
-        key.extend_from_slice(&(alpha as u64).to_le_bytes());
-        key.extend_from_slice(&(beta as u64).to_le_bytes());
+        self.structural_bytes(|byte| key.push(byte));
+        key
+    }
+
+    /// Feeds the bytes of [`Self::structural_key`] to `sink` in order,
+    /// without materializing them — the hot classify path hashes these bytes
+    /// per request, so the digest must not cost an allocation.
+    fn structural_bytes(&self, mut sink: impl FnMut(u8)) {
+        let alpha = self.num_inputs();
+        let beta = self.num_outputs();
+        for byte in (alpha as u64).to_le_bytes() {
+            sink(byte);
+        }
+        for byte in (beta as u64).to_le_bytes() {
+            sink(byte);
+        }
         // Pack the boolean tables into bits so the key is layout-independent.
         let mut acc: u8 = 0;
         let mut bits = 0u32;
@@ -283,7 +297,7 @@ impl NormalizedLcl {
             acc = (acc << 1) | u8::from(self.node_ok(i, o));
             bits += 1;
             if bits == 8 {
-                key.push(acc);
+                sink(acc);
                 acc = 0;
                 bits = 0;
             }
@@ -295,19 +309,18 @@ impl NormalizedLcl {
             acc = (acc << 1) | u8::from(self.edge_ok(p, q));
             bits += 1;
             if bits == 8 {
-                key.push(acc);
+                sink(acc);
                 acc = 0;
                 bits = 0;
             }
         }
         if bits > 0 {
-            key.push(acc << (8 - bits));
+            sink(acc << (8 - bits));
         }
-        key
     }
 
     /// A 64-bit structural fingerprint of the problem: FNV-1a over
-    /// [`Self::structural_key`].
+    /// [`Self::structural_key`] (computed without materializing the key).
     ///
     /// The name and label names do not participate (see `structural_key`).
     /// Being a 64-bit digest this can collide; use `structural_key` where an
@@ -316,10 +329,10 @@ impl NormalizedLcl {
         const FNV_OFFSET: u64 = 0xcbf29ce484222325;
         const FNV_PRIME: u64 = 0x100000001b3;
         let mut hash = FNV_OFFSET;
-        for byte in self.structural_key() {
+        self.structural_bytes(|byte| {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(FNV_PRIME);
-        }
+        });
         hash
     }
 }

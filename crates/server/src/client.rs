@@ -511,6 +511,21 @@ impl Client {
     pub fn health(&mut self) -> Result<JsonValue, ClientError> {
         self.call("health", JsonValue::Null)
     }
+
+    /// Fetches the plaintext metrics exposition over the protocol (the
+    /// `metrics` request kind) — the same document `--metrics-addr` serves
+    /// over HTTP.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let reply = self.call("metrics", JsonValue::Null)?;
+        Ok(require(&reply, "exposition")?
+            .as_str()
+            .map_err(|e| ClientError::Protocol(e.to_string()))?
+            .to_string())
+    }
 }
 
 fn require<'a>(value: &'a JsonValue, field: &str) -> Result<&'a JsonValue, ClientError> {

@@ -10,6 +10,7 @@
 //! replies per flush, while the stdio loop flushes after every frame.
 
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 /// Hard bound on the length of one NDJSON frame (request line), in bytes.
 /// Frames beyond this are rejected with a `protocol` error reply but do not
@@ -28,6 +29,13 @@ pub(crate) enum Frame {
         /// How many bytes the peer sent in the rejected frame (lower bound
         /// if the stream ended mid-frame).
         discarded: usize,
+        /// When the overflow was detected — draining the rest of a multi-MB
+        /// frame can take real time, and accounting it from this instant
+        /// (rather than from after the drain) keeps the `invalid` latency
+        /// histogram honest ([`Service::reject_oversized_at`]).
+        ///
+        /// [`Service::reject_oversized_at`]: crate::Service::reject_oversized_at
+        started: Instant,
     },
     /// Clean end of stream.
     Eof,
@@ -39,7 +47,7 @@ pub(crate) enum Frame {
 /// omit the trailing newline). I/O errors abort the read.
 pub(crate) fn read_frame(reader: &mut impl BufRead, max: usize) -> io::Result<Frame> {
     let mut buf: Vec<u8> = Vec::new();
-    let mut overflowed = false;
+    let mut overflowed: Option<Instant> = None;
     let mut discarded = 0usize;
     loop {
         let (done, used, eof) = {
@@ -47,20 +55,20 @@ pub(crate) fn read_frame(reader: &mut impl BufRead, max: usize) -> io::Result<Fr
             if available.is_empty() {
                 (true, 0, true)
             } else if let Some(pos) = available.iter().position(|&b| b == b'\n') {
-                if overflowed {
+                if overflowed.is_some() {
                     discarded += pos;
                 } else if buf.len() + pos > max {
-                    overflowed = true;
+                    overflowed = Some(Instant::now());
                     discarded = buf.len() + pos;
                 } else {
                     buf.extend_from_slice(&available[..pos]);
                 }
                 (true, pos + 1, false)
             } else {
-                if overflowed {
+                if overflowed.is_some() {
                     discarded += available.len();
                 } else if buf.len() + available.len() > max {
-                    overflowed = true;
+                    overflowed = Some(Instant::now());
                     discarded = buf.len() + available.len();
                     buf.clear();
                 } else {
@@ -71,8 +79,8 @@ pub(crate) fn read_frame(reader: &mut impl BufRead, max: usize) -> io::Result<Fr
         };
         reader.consume(used);
         if done {
-            return Ok(if overflowed {
-                Frame::Oversized { discarded }
+            return Ok(if let Some(started) = overflowed {
+                Frame::Oversized { discarded, started }
             } else if eof && buf.is_empty() {
                 Frame::Eof
             } else {
@@ -140,20 +148,23 @@ mod tests {
         input.push(b'\n');
         input.extend_from_slice(b"ok\n");
         let got = frames(&input, 10);
-        assert_eq!(
-            got,
-            vec![
-                Frame::Oversized { discarded: 50 },
-                Frame::Line("ok".into()),
-                Frame::Eof
-            ]
+        assert!(
+            matches!(got[0], Frame::Oversized { discarded: 50, .. }),
+            "{:?}",
+            got[0]
         );
+        assert_eq!(got[1], Frame::Line("ok".into()));
+        assert_eq!(got[2], Frame::Eof);
     }
 
     #[test]
     fn oversized_line_at_eof_is_reported() {
         let got = frames(&[b'x'; 40], 10);
-        assert_eq!(got[0], Frame::Oversized { discarded: 40 });
+        assert!(
+            matches!(got[0], Frame::Oversized { discarded: 40, .. }),
+            "{:?}",
+            got[0]
+        );
         assert_eq!(got[1], Frame::Eof);
     }
 

@@ -9,10 +9,10 @@
 //! (`{"v":1,"id":7,"kind":"classify","payload":{…}}`), responses are
 //! [`ResponseEnvelope`](lcl_paths::problem::ResponseEnvelope)s echoing the
 //! request id and carrying either a payload or a structured error reply
-//! derived from [`lcl_paths::Error`]. Seven request kinds are served:
+//! derived from [`lcl_paths::Error`]. Eight request kinds are served:
 //! `classify`, `classify_many`, `solve`, `solve_stream`, `generate`,
-//! `stats` and `health` (see `docs/PROTOCOL.md` at the repository root for
-//! the full specification). `solve_stream` labels paths and cycles of
+//! `stats`, `health` and `metrics` (see `docs/PROTOCOL.md` at the
+//! repository root for the full specification). `solve_stream` labels paths and cycles of
 //! millions of nodes without ever materializing them: the reply is a
 //! sequence of ordered chunk frames ([`StreamFrame`]) bounded by
 //! [`Service::max_chunk_bytes`], produced under end-to-end backpressure on
@@ -74,19 +74,25 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod expo;
 mod frame;
 mod metrics;
 #[cfg(target_os = "linux")]
 mod reactor;
+mod scrape;
 mod service;
 mod stdio;
 mod tcp;
+mod trace;
 
 pub use client::{Client, ClientError, SolveReply, StreamSummary, DEFAULT_PIPELINE_WINDOW};
+pub use expo::{render_exposition, validate_exposition};
 pub use frame::MAX_FRAME_BYTES;
 pub use metrics::{KindStats, ServerMetrics};
+pub use scrape::MetricsListener;
 pub use service::{
     error_reply, PendingResponse, RequestKind, Service, StreamFrame, DEFAULT_MAX_CHUNK_BYTES,
 };
 pub use stdio::serve_stdio;
 pub use tcp::{Backend, Server, ServerHandle, BACKEND_ENV_VAR, DEFAULT_MAX_INFLIGHT};
+pub use trace::{slow_trace_line, TraceSink, DEFAULT_TRACE_RING_CAPACITY};

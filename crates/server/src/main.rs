@@ -7,8 +7,10 @@
 //! ```
 
 use lcl_paths::{problems, Engine};
-use lcl_server::{serve_stdio, Backend, Client, Server, Service};
-use std::io::{stdin, stdout};
+use lcl_server::{
+    serve_stdio, validate_exposition, Backend, Client, MetricsListener, Server, Service,
+};
+use std::io::{stdin, stdout, Read, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -47,6 +49,17 @@ OPTIONS:
                           there) or `threads` (reader+writer thread pair per
                           connection; portable). The LCL_SERVER_BACKEND
                           environment variable sets the default.
+    --metrics-addr HOST:PORT
+                          also serve a pull-style plaintext metrics
+                          exposition over HTTP at /metrics (Prometheus text
+                          format; port 0 picks an ephemeral port). The same
+                          document is always available in-protocol via the
+                          `metrics` request kind.
+    --trace-slow-micros N
+                          emit one structured NDJSON line to stderr for
+                          every request whose end-to-end latency reaches N
+                          microseconds (per-stage breakdown, cache hit/miss,
+                          problem hash; default: disabled)
     --help                print this help
 ";
 
@@ -63,6 +76,8 @@ struct Options {
     max_inflight: Option<usize>,
     max_conns: Option<usize>,
     backend: Option<Backend>,
+    metrics_addr: Option<String>,
+    trace_slow_micros: Option<u64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -161,6 +176,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
                 options.backend = Some(backend);
             }
+            "--metrics-addr" => {
+                let value = iter.next().ok_or("--metrics-addr requires HOST:PORT")?;
+                options.metrics_addr = Some(value.clone());
+            }
+            "--trace-slow-micros" => {
+                let value = iter
+                    .next()
+                    .ok_or("--trace-slow-micros requires a microsecond count")?;
+                let parsed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --trace-slow-micros value `{value}`"))?;
+                if parsed == 0 {
+                    return Err("--trace-slow-micros must be at least 1".to_string());
+                }
+                options.trace_slow_micros = Some(parsed);
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -192,7 +223,27 @@ fn build_service(options: &Options) -> Arc<Service> {
     if let Some(bytes) = options.max_chunk_bytes {
         service = service.with_max_chunk_bytes(bytes);
     }
+    service
+        .trace_sink()
+        .set_slow_micros(options.trace_slow_micros);
     Arc::new(service)
+}
+
+/// Binds the `--metrics-addr` HTTP scrape endpoint when requested; the
+/// returned listener serves until dropped.
+fn bind_metrics(
+    service: &Arc<Service>,
+    options: &Options,
+) -> Result<Option<MetricsListener>, String> {
+    match &options.metrics_addr {
+        None => Ok(None),
+        Some(addr) => {
+            let listener = MetricsListener::bind(Arc::clone(service), addr)
+                .map_err(|e| format!("bind metrics {addr}: {e}"))?;
+            eprintln!("lcl-serve metrics on http://{}/metrics", listener.addr());
+            Ok(Some(listener))
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -213,7 +264,7 @@ fn main() -> ExitCode {
     let outcome = if options.smoke {
         run_smoke(service, &options)
     } else if options.stdio {
-        run_stdio(&service)
+        run_stdio(&service, &options)
     } else {
         run_tcp(
             service,
@@ -246,6 +297,7 @@ fn configure(mut server: Server, options: &Options) -> Server {
 }
 
 fn run_tcp(service: Arc<Service>, addr: &str, options: &Options) -> Result<(), String> {
+    let _metrics = bind_metrics(&service, options)?;
     let server = Server::bind(service, addr).map_err(|e| format!("bind {addr}: {e}"))?;
     let server = configure(server, options);
     let bound = server.local_addr().map_err(|e| e.to_string())?;
@@ -256,7 +308,8 @@ fn run_tcp(service: Arc<Service>, addr: &str, options: &Options) -> Result<(), S
     server.run().map_err(|e| format!("serve {bound}: {e}"))
 }
 
-fn run_stdio(service: &Service) -> Result<(), String> {
+fn run_stdio(service: &Arc<Service>, options: &Options) -> Result<(), String> {
+    let _metrics = bind_metrics(service, options)?;
     serve_stdio(service, stdin().lock(), stdout().lock()).map_err(|e| e.to_string())?;
     // One summary line on exit; CacheStats and PoolStats do the formatting.
     eprintln!(
@@ -288,6 +341,7 @@ fn run_smoke(service: Arc<Service>, options: &Options) -> Result<(), String> {
 }
 
 fn smoke_backend(service: Arc<Service>, options: &Options, backend: Backend) -> Result<(), String> {
+    let scrape_service = Arc::clone(&service);
     let server = Server::bind(service, "127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
     // configure() applies any --backend too, but the smoke loop iterates
     // explicitly: pin this round's backend last.
@@ -365,9 +419,58 @@ fn smoke_backend(service: Arc<Service>, options: &Options, backend: Backend) -> 
         if status != "ok" {
             return Err(format!("[{backend}] unexpected health status `{status}`"));
         }
+        // The observability surface, both ways in: the in-protocol
+        // `metrics` kind and an HTTP scrape of an ephemeral listener must
+        // each produce a well-formed exposition that reflects this run.
+        let exposition = client
+            .metrics()
+            .map_err(|e| format!("[{backend}] metrics round-trip: {e}"))?;
+        validate_exposition(&exposition)
+            .map_err(|e| format!("[{backend}] malformed protocol exposition: {e}"))?;
+        if !exposition.contains("lcl_requests_total{kind=\"classify\"}") {
+            return Err(format!(
+                "[{backend}] exposition is missing the classify counter"
+            ));
+        }
+        let scraped = {
+            let mut listener = MetricsListener::bind(Arc::clone(&scrape_service), "127.0.0.1:0")
+                .map_err(|e| format!("[{backend}] bind scrape listener: {e}"))?;
+            let body = http_get(listener.addr(), "/metrics")
+                .map_err(|e| format!("[{backend}] HTTP scrape: {e}"))?;
+            listener.shutdown();
+            body
+        };
+        validate_exposition(&scraped)
+            .map_err(|e| format!("[{backend}] malformed scraped exposition: {e}"))?;
         println!("smoke ok @ {addr} ({backend} backend): {verdict}");
         Ok(())
     })();
     handle.shutdown();
     result
+}
+
+/// A one-shot `GET` against the scrape endpoint, returning the body. The
+/// smoke check uses a raw socket deliberately — it validates the listener's
+/// actual HTTP framing, not a client library's tolerance of it.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> Result<String, String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: lcl\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read response: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("response has no header/body separator")?;
+    if !head.starts_with("HTTP/1.1 200") {
+        return Err(format!(
+            "expected 200, got: {}",
+            head.lines().next().unwrap_or("")
+        ));
+    }
+    Ok(body.to_string())
 }

@@ -1,17 +1,33 @@
 //! Per-kind request counters and latency metrics of a running [`Service`].
 //!
 //! Every dispatched frame — including unparseable ones, which are accounted
-//! under the `invalid` pseudo-kind — bumps one [`KindStats`] bucket: request
-//! count, error count, cumulative and maximum latency. The `stats` request
-//! kind surfaces a snapshot of these counters next to the engine's cache and
-//! pool statistics.
+//! under the `invalid` pseudo-kind — bumps one [`KindStats`] bucket (request
+//! count, error count, cumulative and maximum latency) **and** one
+//! [`LatencyHistogram`], so the `stats` reply and the `metrics` exposition
+//! can report p50/p90/p99/p99.9 per kind, not just mean/max. Accounted
+//! latencies are clamped to ≥ 1 µs: a frame that was handled was not free,
+//! and the `invalid` histogram in particular must never hide rejected
+//! frames behind zero-duration samples.
+//!
+//! Histogram recording (not the plain counters) is gated by the *detailed*
+//! flag ([`ServerMetrics::set_detailed`]): the no-op-recorder mode the
+//! throughput bench compares against to bound observability overhead.
 //!
 //! [`Service`]: crate::Service
 
 use crate::service::RequestKind;
+use lcl_paths::classifier::obs::{HistogramSnapshot, LatencyHistogram};
 use lcl_paths::problem::json::JsonValue;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::time::Duration;
+
+/// Clamps an accounted latency to at least one microsecond: every handled
+/// frame must leave a nonzero trail in its histogram.
+fn accounted_micros(elapsed: Duration) -> u64 {
+    u64::try_from(elapsed.as_micros())
+        .unwrap_or(u64::MAX)
+        .max(1)
+}
 
 /// Lock-free counters for one request kind.
 #[derive(Debug, Default)]
@@ -20,17 +36,21 @@ struct KindCounters {
     errors: AtomicU64,
     total_micros: AtomicU64,
     max_micros: AtomicU64,
+    histogram: LatencyHistogram,
 }
 
 impl KindCounters {
-    fn record(&self, elapsed: Duration, ok: bool) {
+    fn record(&self, elapsed: Duration, ok: bool, detailed: bool) {
         self.count.fetch_add(1, Ordering::Relaxed);
         if !ok {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let micros = accounted_micros(elapsed);
         self.total_micros.fetch_add(micros, Ordering::Relaxed);
         self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        if detailed {
+            self.histogram.record(micros);
+        }
     }
 
     fn snapshot(&self) -> KindStats {
@@ -65,7 +85,7 @@ impl KindStats {
 
 /// Per-kind request counters of a running service. All methods are lock-free
 /// and safe to call from any connection thread.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerMetrics {
     classify: KindCounters,
     classify_many: KindCounters,
@@ -74,8 +94,21 @@ pub struct ServerMetrics {
     generate: KindCounters,
     stats: KindCounters,
     health: KindCounters,
+    metrics: KindCounters,
     /// Frames that never resolved to a known request kind.
     invalid: KindCounters,
+    /// `solve_stream` time-to-first-chunk: request read to the first chunk
+    /// frame handed to the writer. The per-kind `solve_stream` histogram is
+    /// the full drain; splitting the two is what keeps streaming latency
+    /// from hiding behind drain time.
+    stream_first_chunk: LatencyHistogram,
+    /// Whether histogram recording is on (the plain counters always are).
+    detailed: AtomicBool,
+    /// The serving front-end, for the `stats` reply and the exposition's
+    /// `build_info`: 0 = none yet, 1 = reactor, 2 = threads, 3 = stdio.
+    /// Last-started front-end wins when several share one service (the
+    /// `--smoke` harness does this deliberately).
+    backend: AtomicU8,
     /// Requests currently dispatched to the worker pool by pipelined
     /// connections and not yet answered (a gauge, not a counter).
     pipelined_inflight: AtomicU64,
@@ -96,6 +129,33 @@ pub struct ServerMetrics {
     reactor_completions: AtomicU64,
 }
 
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics {
+            classify: KindCounters::default(),
+            classify_many: KindCounters::default(),
+            solve: KindCounters::default(),
+            solve_stream: KindCounters::default(),
+            generate: KindCounters::default(),
+            stats: KindCounters::default(),
+            health: KindCounters::default(),
+            metrics: KindCounters::default(),
+            invalid: KindCounters::default(),
+            stream_first_chunk: LatencyHistogram::new(),
+            detailed: AtomicBool::new(true),
+            backend: AtomicU8::new(0),
+            pipelined_inflight: AtomicU64::new(0),
+            pipelined_peak: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            peak_connections: AtomicU64::new(0),
+            total_accepted: AtomicU64::new(0),
+            total_rejected: AtomicU64::new(0),
+            reactor_wakeups: AtomicU64::new(0),
+            reactor_completions: AtomicU64::new(0),
+        }
+    }
+}
+
 impl ServerMetrics {
     fn counters(&self, kind: Option<RequestKind>) -> &KindCounters {
         match kind {
@@ -106,6 +166,7 @@ impl ServerMetrics {
             Some(RequestKind::Generate) => &self.generate,
             Some(RequestKind::Stats) => &self.stats,
             Some(RequestKind::Health) => &self.health,
+            Some(RequestKind::Metrics) => &self.metrics,
             None => &self.invalid,
         }
     }
@@ -117,7 +178,50 @@ impl ServerMetrics {
     /// the time the job spent queued behind the worker pool — the latency a
     /// pipelined client observes, not just the compute time.
     pub(crate) fn record(&self, kind: Option<RequestKind>, elapsed: Duration, ok: bool) {
-        self.counters(kind).record(elapsed, ok);
+        self.counters(kind).record(elapsed, ok, self.detailed());
+    }
+
+    /// Records a `solve_stream` request's time-to-first-chunk (request read
+    /// to the first chunk frame leaving the handler).
+    pub(crate) fn record_stream_first_chunk(&self, elapsed: Duration) {
+        if self.detailed() {
+            self.stream_first_chunk.record(accounted_micros(elapsed));
+        }
+    }
+
+    /// Turns histogram recording on or off. Off is the no-op-recorder mode
+    /// the throughput bench compares against; the plain count/error/mean/max
+    /// counters keep working either way. On by default.
+    pub fn set_detailed(&self, detailed: bool) {
+        self.detailed.store(detailed, Ordering::Relaxed);
+    }
+
+    /// Whether histogram recording (and per-request tracing) is on.
+    pub fn detailed(&self) -> bool {
+        self.detailed.load(Ordering::Relaxed)
+    }
+
+    /// Registers the serving front-end by name (`reactor`, `threads`,
+    /// `stdio`); the last started front-end wins when several share one
+    /// service.
+    pub fn set_backend(&self, name: &str) {
+        let code = match name {
+            "reactor" => 1,
+            "threads" => 2,
+            "stdio" => 3,
+            _ => 0,
+        };
+        self.backend.store(code, Ordering::Relaxed);
+    }
+
+    /// The registered serving front-end (`none` before any registered).
+    pub fn backend_name(&self) -> &'static str {
+        match self.backend.load(Ordering::Relaxed) {
+            1 => "reactor",
+            2 => "threads",
+            3 => "stdio",
+            _ => "none",
+        }
     }
 
     /// Accounts one request entering the pipelined in-flight window,
@@ -196,9 +300,33 @@ impl ServerMetrics {
         self.pipelined_peak.load(Ordering::Relaxed)
     }
 
+    /// Times the reactor's event loop woke from `epoll_wait` (0 on other
+    /// backends).
+    pub fn reactor_wakeups(&self) -> u64 {
+        self.reactor_wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Completed worker-pool jobs whose eventfd notification the reactor
+    /// consumed (0 on other backends).
+    pub fn reactor_completion_count(&self) -> u64 {
+        self.reactor_completions.load(Ordering::Relaxed)
+    }
+
     /// Snapshot of one kind's counters (`None` = the `invalid` pseudo-kind).
     pub fn snapshot(&self, kind: Option<RequestKind>) -> KindStats {
         self.counters(kind).snapshot()
+    }
+
+    /// Snapshot of one kind's latency histogram (`None` = the `invalid`
+    /// pseudo-kind). Empty while detailed metrics are off.
+    pub fn histogram(&self, kind: Option<RequestKind>) -> HistogramSnapshot {
+        self.counters(kind).histogram.snapshot()
+    }
+
+    /// Snapshot of the `solve_stream` time-to-first-chunk histogram (the
+    /// per-kind `solve_stream` histogram is the full drain).
+    pub fn stream_first_chunk_histogram(&self) -> HistogramSnapshot {
+        self.stream_first_chunk.snapshot()
     }
 
     /// Total number of frames handled, across all kinds (including invalid
@@ -211,17 +339,39 @@ impl ServerMetrics {
             + self.snapshot(None).count
     }
 
-    /// Serializes all counters for the `stats` response payload.
+    /// Serializes all counters for the `stats` response payload. Per-kind
+    /// quantiles come from the latency histograms and are upper-bound
+    /// estimates with ≤ 12.5% relative error (0 while detailed metrics are
+    /// off).
     pub fn to_json(&self) -> JsonValue {
-        let kind_json = |stats: KindStats| {
+        let kind_json = |kind: Option<RequestKind>| {
+            let stats = self.snapshot(kind);
+            let histogram = self.histogram(kind);
             JsonValue::object([
                 ("count", JsonValue::Int(stats.count as i64)),
                 ("errors", JsonValue::Int(stats.errors as i64)),
                 ("total_micros", JsonValue::Int(stats.total_micros as i64)),
                 ("max_micros", JsonValue::Int(stats.max_micros as i64)),
                 ("mean_micros", JsonValue::Int(stats.mean_micros() as i64)),
+                (
+                    "p50_micros",
+                    JsonValue::Int(histogram.quantile(0.50) as i64),
+                ),
+                (
+                    "p90_micros",
+                    JsonValue::Int(histogram.quantile(0.90) as i64),
+                ),
+                (
+                    "p99_micros",
+                    JsonValue::Int(histogram.quantile(0.99) as i64),
+                ),
+                (
+                    "p999_micros",
+                    JsonValue::Int(histogram.quantile(0.999) as i64),
+                ),
             ])
         };
+        let first_chunk = self.stream_first_chunk_histogram();
         JsonValue::object([
             (
                 "requests_served",
@@ -249,42 +399,41 @@ impl ServerMetrics {
             (
                 "reactor",
                 JsonValue::object([
-                    (
-                        "wakeups",
-                        JsonValue::Int(self.reactor_wakeups.load(Ordering::Relaxed) as i64),
-                    ),
+                    ("wakeups", JsonValue::Int(self.reactor_wakeups() as i64)),
                     (
                         "completions",
-                        JsonValue::Int(self.reactor_completions.load(Ordering::Relaxed) as i64),
+                        JsonValue::Int(self.reactor_completion_count() as i64),
+                    ),
+                ]),
+            ),
+            (
+                "stream_first_chunk",
+                JsonValue::object([
+                    ("count", JsonValue::Int(first_chunk.count as i64)),
+                    ("mean_micros", JsonValue::Int(first_chunk.mean() as i64)),
+                    ("max_micros", JsonValue::Int(first_chunk.max as i64)),
+                    (
+                        "p50_micros",
+                        JsonValue::Int(first_chunk.quantile(0.50) as i64),
+                    ),
+                    (
+                        "p99_micros",
+                        JsonValue::Int(first_chunk.quantile(0.99) as i64),
                     ),
                 ]),
             ),
             (
                 "kinds",
                 JsonValue::object([
-                    (
-                        "classify",
-                        kind_json(self.snapshot(Some(RequestKind::Classify))),
-                    ),
-                    (
-                        "classify_many",
-                        kind_json(self.snapshot(Some(RequestKind::ClassifyMany))),
-                    ),
-                    ("solve", kind_json(self.snapshot(Some(RequestKind::Solve)))),
-                    (
-                        "solve_stream",
-                        kind_json(self.snapshot(Some(RequestKind::SolveStream))),
-                    ),
-                    (
-                        "generate",
-                        kind_json(self.snapshot(Some(RequestKind::Generate))),
-                    ),
-                    ("stats", kind_json(self.snapshot(Some(RequestKind::Stats)))),
-                    (
-                        "health",
-                        kind_json(self.snapshot(Some(RequestKind::Health))),
-                    ),
-                    ("invalid", kind_json(self.snapshot(None))),
+                    ("classify", kind_json(Some(RequestKind::Classify))),
+                    ("classify_many", kind_json(Some(RequestKind::ClassifyMany))),
+                    ("solve", kind_json(Some(RequestKind::Solve))),
+                    ("solve_stream", kind_json(Some(RequestKind::SolveStream))),
+                    ("generate", kind_json(Some(RequestKind::Generate))),
+                    ("stats", kind_json(Some(RequestKind::Stats))),
+                    ("health", kind_json(Some(RequestKind::Health))),
+                    ("metrics", kind_json(Some(RequestKind::Metrics))),
+                    ("invalid", kind_json(None)),
                 ]),
             ),
         ])
@@ -320,6 +469,69 @@ mod tests {
         let json = metrics.to_json().to_json_string();
         assert!(json.contains("\"requests_served\":3"), "{json}");
         assert!(json.contains("\"invalid\""), "{json}");
+        assert!(json.contains("\"metrics\""), "{json}");
+        assert!(json.contains("\"p99_micros\""), "{json}");
+    }
+
+    #[test]
+    fn histograms_mirror_the_counters_and_report_quantiles() {
+        let metrics = ServerMetrics::default();
+        for micros in [10u64, 20, 30, 40, 1000] {
+            metrics.record(
+                Some(RequestKind::Solve),
+                Duration::from_micros(micros),
+                true,
+            );
+        }
+        let stats = metrics.snapshot(Some(RequestKind::Solve));
+        let histogram = metrics.histogram(Some(RequestKind::Solve));
+        assert_eq!(histogram.count, stats.count);
+        assert_eq!(histogram.sum, stats.total_micros);
+        assert_eq!(histogram.max, stats.max_micros);
+        assert!(histogram.quantile(0.5) >= 20 && histogram.quantile(0.5) <= 40);
+        assert_eq!(histogram.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn accounted_latency_is_never_zero() {
+        let metrics = ServerMetrics::default();
+        metrics.record(None, Duration::ZERO, false);
+        let invalid = metrics.snapshot(None);
+        assert_eq!(invalid.count, 1);
+        assert_eq!(invalid.total_micros, 1, "zero elapsed clamps to 1µs");
+        assert_eq!(invalid.max_micros, 1);
+        let histogram = metrics.histogram(None);
+        assert_eq!(histogram.count, 1);
+        assert_eq!(histogram.sum, 1);
+    }
+
+    #[test]
+    fn detailed_off_skips_histograms_but_keeps_counters() {
+        let metrics = ServerMetrics::default();
+        assert!(metrics.detailed(), "detailed is the default");
+        metrics.set_detailed(false);
+        metrics.record(Some(RequestKind::Classify), Duration::from_micros(50), true);
+        metrics.record_stream_first_chunk(Duration::from_micros(5));
+        assert_eq!(metrics.snapshot(Some(RequestKind::Classify)).count, 1);
+        assert_eq!(metrics.histogram(Some(RequestKind::Classify)).count, 0);
+        assert_eq!(metrics.stream_first_chunk_histogram().count, 0);
+        metrics.set_detailed(true);
+        metrics.record_stream_first_chunk(Duration::from_micros(5));
+        assert_eq!(metrics.stream_first_chunk_histogram().count, 1);
+    }
+
+    #[test]
+    fn backend_registration_is_last_wins() {
+        let metrics = ServerMetrics::default();
+        assert_eq!(metrics.backend_name(), "none");
+        metrics.set_backend("reactor");
+        assert_eq!(metrics.backend_name(), "reactor");
+        metrics.set_backend("threads");
+        assert_eq!(metrics.backend_name(), "threads");
+        metrics.set_backend("stdio");
+        assert_eq!(metrics.backend_name(), "stdio");
+        metrics.set_backend("bogus");
+        assert_eq!(metrics.backend_name(), "none");
     }
 
     #[test]
@@ -345,6 +557,8 @@ mod tests {
 
         metrics.reactor_wakeup();
         metrics.reactor_completions(5);
+        assert_eq!(metrics.reactor_wakeups(), 1);
+        assert_eq!(metrics.reactor_completion_count(), 5);
 
         let json = metrics.to_json().to_json_string();
         assert!(json.contains("\"connections\""), "{json}");

@@ -43,6 +43,7 @@ pub(crate) use poll::EventFd;
 use crate::frame::{into_string, MAX_FRAME_BYTES};
 use crate::service::{Service, StreamFrame};
 use crate::tcp::PendingReply;
+use crate::trace::Trace;
 use poll::{Epoll, EpollEvent, EPOLLIN, EPOLLOUT, EVENT_BATCH};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -50,6 +51,7 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Epoll token of the listening socket.
 const TOKEN_LISTENER: u64 = 0;
@@ -376,6 +378,10 @@ struct Conn {
     scanned: usize,
     /// Mid-discard of an oversized frame (no newline seen yet).
     overflowed: bool,
+    /// When the in-progress overflow was detected, so the rejection
+    /// accounts the full discard drain into the `invalid` histogram
+    /// (mirrors `frame::read_frame`'s `Frame::Oversized::started`).
+    overflow_started: Option<Instant>,
     /// Bytes discarded so far from the oversized frame.
     discarded: usize,
     /// Peer half-closed its write side; drain the window, then finish.
@@ -392,8 +398,9 @@ struct Conn {
     /// Prefix of `out` already written to the socket.
     out_written: usize,
     /// End offset in `out` of each queued reply, in order; crossing one
-    /// while writing releases a window slot.
-    reply_ends: VecDeque<usize>,
+    /// while writing releases a window slot and stamps that reply's trace
+    /// write stage (the bytes actually entered the socket).
+    reply_ends: VecDeque<(usize, Option<Arc<Trace>>)>,
     /// Interest mask currently registered with the epoll instance.
     interest: u32,
     /// Whether the fd is currently in the epoll set at all.
@@ -410,6 +417,7 @@ impl Conn {
             consumed: 0,
             scanned: 0,
             overflowed: false,
+            overflow_started: None,
             discarded: 0,
             eof: false,
             dead: false,
@@ -538,6 +546,7 @@ impl Conn {
                 Some(pos) if pos - self.consumed > MAX_FRAME_BYTES => {
                     // The whole line arrived before the limit check could
                     // interrupt it; reject it exactly like a streamed one.
+                    self.overflow_started = Some(Instant::now());
                     self.discarded = pos - self.consumed;
                     self.consume_to(pos + 1);
                     self.finish_overflow(service);
@@ -553,6 +562,7 @@ impl Conn {
                 }
                 None if self.read_buf.len() - self.consumed > MAX_FRAME_BYTES => {
                     self.overflowed = true;
+                    self.overflow_started = Some(Instant::now());
                     self.discarded = self.read_buf.len() - self.consumed;
                     self.consume_to(self.read_buf.len());
                     progressed = true;
@@ -601,7 +611,10 @@ impl Conn {
     /// Enqueues the structured rejection for a discarded oversized frame
     /// (this too occupies a window slot until written, like any reply).
     fn finish_overflow(&mut self, service: &Arc<Service>) {
-        let reply = service.reject_oversized(self.discarded).into_json_string();
+        let started = self.overflow_started.take().unwrap_or_else(Instant::now);
+        let reply = service
+            .reject_oversized_at(self.discarded, started)
+            .into_json_string();
         self.overflowed = false;
         self.discarded = 0;
         self.pending.push_back(PendingReply::Ready(reply));
@@ -644,8 +657,11 @@ impl Conn {
             self.out.extend_from_slice(line.as_bytes());
             self.out.push(b'\n');
             if terminal {
-                self.pending.pop_front();
-                self.reply_ends.push_back(self.out.len());
+                let trace = match self.pending.pop_front() {
+                    Some(PendingReply::Deferred(mut pending)) => pending.take_trace(),
+                    _ => None,
+                };
+                self.reply_ends.push_back((self.out.len(), trace));
             }
             progressed = true;
         }
@@ -668,11 +684,15 @@ impl Conn {
                 Err(_) => self.dead = true,
             }
         }
-        while let Some(&end) = self.reply_ends.front() {
-            if end > self.out_written {
-                break;
+        while self
+            .reply_ends
+            .front()
+            .is_some_and(|&(end, _)| end <= self.out_written)
+        {
+            let (_, trace) = self.reply_ends.pop_front().expect("checked front");
+            if let Some(trace) = trace {
+                trace.finish_written();
             }
-            self.reply_ends.pop_front();
             self.inflight -= 1;
             progressed = true; // a freed slot can unblock parsing
         }

@@ -36,6 +36,7 @@
 
 use crate::frame::MAX_FRAME_BYTES;
 use crate::metrics::ServerMetrics;
+use crate::trace::{Trace, TraceSink};
 use lcl_paths::classifier::{ClassifierError, Verdict};
 use lcl_paths::gen::GenConfig;
 use lcl_paths::problem::json::JsonValue;
@@ -66,11 +67,14 @@ pub enum RequestKind {
     Stats,
     /// Liveness probe.
     Health,
+    /// The same counters as plaintext metrics exposition (the scrape
+    /// format), for pull-style collectors.
+    Metrics,
 }
 
 impl RequestKind {
     /// All request kinds, in protocol order.
-    pub const ALL: [RequestKind; 7] = [
+    pub const ALL: [RequestKind; 8] = [
         RequestKind::Classify,
         RequestKind::ClassifyMany,
         RequestKind::Solve,
@@ -78,6 +82,7 @@ impl RequestKind {
         RequestKind::Generate,
         RequestKind::Stats,
         RequestKind::Health,
+        RequestKind::Metrics,
     ];
 
     /// The stable ASCII identifier used on the wire.
@@ -90,6 +95,7 @@ impl RequestKind {
             RequestKind::Generate => "generate",
             RequestKind::Stats => "stats",
             RequestKind::Health => "health",
+            RequestKind::Metrics => "metrics",
         }
     }
 
@@ -176,6 +182,11 @@ pub struct PendingResponse {
     kind: String,
     /// Delivers the serialized reply frames, terminal last.
     rx: mpsc::Receiver<StreamFrame>,
+    /// The request's stage trace (when detailed metrics are on). The
+    /// connection writer takes it to stamp the write stage after the
+    /// terminal frame reaches the socket; an untaken trace finalizes on
+    /// drop, so a dying connection still records its partial stages.
+    trace: Option<Arc<Trace>>,
 }
 
 impl PendingResponse {
@@ -220,6 +231,13 @@ impl PendingResponse {
                 return line;
             }
         }
+    }
+
+    /// Takes the request's stage trace, transferring the duty (and the
+    /// right) to stamp the write stage to the caller. `None` when detailed
+    /// metrics are off or the trace was already taken.
+    pub(crate) fn take_trace(&mut self) -> Option<Arc<Trace>> {
+        self.trace.take()
     }
 
     /// The reply for a job whose sender disconnected without a value.
@@ -281,6 +299,7 @@ pub const DEFAULT_MAX_CHUNK_BYTES: usize = 256 * 1024;
 pub struct Service {
     engine: Engine,
     metrics: ServerMetrics,
+    trace: Arc<TraceSink>,
     started: Instant,
     max_chunk_bytes: usize,
 }
@@ -291,9 +310,17 @@ impl Service {
         Service {
             engine,
             metrics: ServerMetrics::default(),
+            trace: Arc::new(TraceSink::default()),
             started: Instant::now(),
             max_chunk_bytes: DEFAULT_MAX_CHUNK_BYTES,
         }
+    }
+
+    /// Replaces the trace sink (ring capacity, slow-line emitter). Intended
+    /// for construction time — traces already in flight keep the old sink.
+    pub fn with_trace_sink(mut self, sink: Arc<TraceSink>) -> Self {
+        self.trace = sink;
+        self
     }
 
     /// Sets the ceiling on one serialized `solve_stream` chunk frame.
@@ -327,6 +354,26 @@ impl Service {
         &self.metrics
     }
 
+    /// The sink finished request traces land in (the recent-trace ring and
+    /// the `--trace-slow-micros` log threshold live here).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Wall-clock time since the service was constructed.
+    pub fn uptime(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// A stage trace for one request clocked from `started`, or `None` when
+    /// detailed metrics are off (tracing shares the histogram gate: both
+    /// are the observability work the no-op recorder mode elides).
+    fn new_trace(&self, started: Instant, id: Option<i64>) -> Option<Arc<Trace>> {
+        self.metrics
+            .detailed()
+            .then(|| Arc::new(Trace::new(Arc::clone(&self.trace), started, id)))
+    }
+
     /// Handles one request frame in lock-step, returning exactly one
     /// response envelope. Never panics on wire input.
     ///
@@ -348,16 +395,48 @@ impl Service {
         line: &str,
         emit: &mut dyn FnMut(String) -> bool,
     ) -> ResponseEnvelope {
+        // The trace drops here untaken: lock-step embedders that cannot
+        // observe the write use the compute-side stages only.
+        self.handle_line_traced(line, emit).0
+    }
+
+    /// [`Service::handle_line_emitting`] that also hands back the request's
+    /// stage trace, so a lock-step front-end (stdio) can stamp the
+    /// serialize and write stages it alone observes. The trace finalizes
+    /// into the sink when dropped, stamped or not.
+    pub(crate) fn handle_line_traced(
+        &self,
+        line: &str,
+        emit: &mut dyn FnMut(String) -> bool,
+    ) -> (ResponseEnvelope, Option<Arc<Trace>>) {
         let started = Instant::now();
-        match self.parse(line) {
+        let trace = self.new_trace(started, None);
+        let response = match self.parse(line) {
             Err(response) => {
+                if let Some(trace) = &trace {
+                    trace.mark_parsed(None, None);
+                }
                 self.metrics.record(None, started.elapsed(), false);
                 response
             }
             Ok((kind, envelope)) => {
-                self.finish(kind, &envelope, started, ExecContext::Caller, emit)
+                if let Some(trace) = &trace {
+                    trace.mark_parsed(Some(kind), Some(envelope.id));
+                }
+                self.finish(
+                    kind,
+                    &envelope,
+                    started,
+                    ExecContext::Caller,
+                    emit,
+                    trace.as_deref(),
+                )
             }
+        };
+        if let Some(trace) = &trace {
+            trace.mark_computed(response.is_ok());
         }
+        (response, trace)
     }
 
     /// Handles one request frame for a *pipelined* connection: the whole
@@ -395,6 +474,11 @@ impl Service {
         let id = salvage_id(&line);
         let kind = salvage_kind(&line);
         let service = Arc::clone(self);
+        // The trace is shared three ways: the job stamps queue → serialize,
+        // the connection writer (via the PendingResponse) stamps the write,
+        // and whichever Arc drops last finalizes it if nobody did.
+        let trace = self.new_trace(started, id);
+        let job_trace = trace.clone();
         self.metrics.pipeline_enter();
         let (tx, rx) = mpsc::sync_channel::<StreamFrame>(STREAM_CHANNEL_DEPTH);
         let notify = Arc::new(notify);
@@ -406,28 +490,56 @@ impl Service {
         let _ = self.engine.dispatch_notify(
             move || {
                 let guard = PipelineGuard(service.metrics());
+                if let Some(trace) = &job_trace {
+                    trace.mark_queue();
+                }
                 let response = match service.parse(&line) {
                     Err(response) => {
+                        if let Some(trace) = &job_trace {
+                            trace.mark_parsed(None, None);
+                        }
                         service.metrics.record(None, started.elapsed(), false);
                         response
                     }
                     Ok((kind, envelope)) => {
+                        if let Some(trace) = &job_trace {
+                            trace.mark_parsed(Some(kind), Some(envelope.id));
+                        }
                         let mut emit = |frame: String| {
                             let delivered = tx.send(StreamFrame::Chunk(frame)).is_ok();
                             notify();
                             delivered
                         };
-                        service.finish(kind, &envelope, started, ExecContext::PoolWorker, &mut emit)
+                        service.finish(
+                            kind,
+                            &envelope,
+                            started,
+                            ExecContext::PoolWorker,
+                            &mut emit,
+                            job_trace.as_deref(),
+                        )
                     }
                 };
+                if let Some(trace) = &job_trace {
+                    trace.mark_computed(response.is_ok());
+                }
+                let line = response.into_json_string();
+                if let Some(trace) = &job_trace {
+                    trace.mark_serialized();
+                }
                 // The gauge must read as drained before the terminal frame
                 // is observable (a panic unwinds the guard instead).
                 drop(guard);
-                let _ = tx.send(StreamFrame::Final(response.into_json_string()));
+                let _ = tx.send(StreamFrame::Final(line));
             },
             move || dropped_notify(),
         );
-        PendingResponse { id, kind, rx }
+        PendingResponse {
+            id,
+            kind,
+            rx,
+            trace,
+        }
     }
 
     /// Executes a parsed request and wraps the outcome in its response
@@ -440,8 +552,9 @@ impl Service {
         started: Instant,
         ctx: ExecContext,
         emit: &mut dyn FnMut(String) -> bool,
+        trace: Option<&Trace>,
     ) -> ResponseEnvelope {
-        let result = self.run(kind, envelope, ctx, emit);
+        let result = self.run(kind, envelope, started, ctx, emit, trace);
         self.respond(kind, envelope.id, started, result)
     }
 
@@ -471,8 +584,20 @@ impl Service {
 
     /// Builds (and accounts) the structured reply for a frame that exceeded
     /// [`MAX_FRAME_BYTES`]; the framing layer has already discarded the line.
+    ///
+    /// Front-ends that know when the oversized frame *started* arriving
+    /// should use [`Service::reject_oversized_at`] so the accounted latency
+    /// covers the discard work; this form accounts the (clamped-to-1µs)
+    /// reply construction only.
     pub fn reject_oversized(&self, discarded: usize) -> ResponseEnvelope {
-        let started = Instant::now();
+        self.reject_oversized_at(discarded, Instant::now())
+    }
+
+    /// [`Service::reject_oversized`] clocked from `started` — the instant
+    /// the frame began arriving — so draining and discarding a multi-MB
+    /// frame lands in the `invalid` histogram as the real elapsed time
+    /// instead of a near-zero reply-construction blip.
+    pub fn reject_oversized_at(&self, discarded: usize, started: Instant) -> ResponseEnvelope {
         let response = protocol_error(
             None,
             format!("frame exceeds {MAX_FRAME_BYTES} bytes ({discarded} bytes discarded)"),
@@ -499,7 +624,7 @@ impl Service {
                     "protocol",
                     format!(
                         "unknown request kind `{}` (expected classify, classify_many, \
-                         solve, solve_stream, generate, stats or health)",
+                         solve, solve_stream, generate, stats, health or metrics)",
                         envelope.kind
                     ),
                 ),
@@ -512,18 +637,23 @@ impl Service {
         &self,
         kind: RequestKind,
         envelope: &RequestEnvelope,
+        started: Instant,
         ctx: ExecContext,
         emit: &mut dyn FnMut(String) -> bool,
+        trace: Option<&Trace>,
     ) -> Result<JsonValue, Error> {
         let payload = &envelope.payload;
         match kind {
-            RequestKind::Classify => self.classify(payload, ctx),
+            RequestKind::Classify => self.classify(payload, ctx, trace),
             RequestKind::ClassifyMany => self.classify_many(payload, ctx),
-            RequestKind::Solve => self.solve(payload, ctx),
-            RequestKind::SolveStream => self.solve_stream(envelope.id, payload, ctx, emit),
+            RequestKind::Solve => self.solve(payload, ctx, trace),
+            RequestKind::SolveStream => {
+                self.solve_stream(envelope.id, payload, started, ctx, emit, trace)
+            }
             RequestKind::Generate => self.generate(payload),
             RequestKind::Stats => self.stats(),
             RequestKind::Health => self.health(),
+            RequestKind::Metrics => self.metrics_exposition(),
         }
     }
 
@@ -540,12 +670,28 @@ impl Service {
         JsonValue::object([("verdict", Verdict::new(problem, classification).to_json())])
     }
 
-    fn classify(&self, payload: &JsonValue, ctx: ExecContext) -> Result<JsonValue, Error> {
+    fn classify(
+        &self,
+        payload: &JsonValue,
+        ctx: ExecContext,
+        trace: Option<&Trace>,
+    ) -> Result<JsonValue, Error> {
         let problem = Self::parse_problem(payload)?;
-        let classification = match ctx {
-            ExecContext::Caller => self.engine.classify_pooled(&problem)?,
-            ExecContext::PoolWorker => self.engine.classify(&problem)?,
+        // The hit flag comes from the classify call itself
+        // ([`Engine::classify_observed`]) — probing the cache separately
+        // would count a phantom hit and refresh the LRU. The pooled path
+        // cannot observe where its classification came from, so the trace's
+        // cache attribution stays unknown there.
+        let (classification, cache_hit) = match ctx {
+            ExecContext::Caller => (self.engine.classify_pooled(&problem)?, None),
+            ExecContext::PoolWorker => {
+                let (classification, hit) = self.engine.classify_observed(&problem)?;
+                (classification, Some(hit))
+            }
         };
+        if let Some(trace) = trace {
+            trace.set_problem(problem.canonical_hash(), cache_hit);
+        }
         Ok(Self::verdict_payload(&problem, &classification))
     }
 
@@ -609,8 +755,16 @@ impl Service {
         ]))
     }
 
-    fn solve(&self, payload: &JsonValue, ctx: ExecContext) -> Result<JsonValue, Error> {
+    fn solve(
+        &self,
+        payload: &JsonValue,
+        ctx: ExecContext,
+        trace: Option<&Trace>,
+    ) -> Result<JsonValue, Error> {
         let problem = Self::parse_problem(payload)?;
+        if let Some(trace) = trace {
+            trace.set_problem(problem.canonical_hash(), None);
+        }
         let instance =
             Instance::from_json(payload.require("instance").map_err(ProblemError::from)?)?;
         let solution = match ctx {
@@ -647,10 +801,15 @@ impl Service {
         &self,
         id: i64,
         payload: &JsonValue,
+        started: Instant,
         ctx: ExecContext,
         emit: &mut dyn FnMut(String) -> bool,
+        trace: Option<&Trace>,
     ) -> Result<JsonValue, Error> {
         let problem = Self::parse_problem(payload)?;
+        if let Some(trace) = trace {
+            trace.set_problem(problem.canonical_hash(), None);
+        }
         let spec = StreamInstanceSpec::from_json(
             payload.require("instance").map_err(ProblemError::from)?,
         )?;
@@ -677,6 +836,13 @@ impl Service {
             )
             .into_json_string();
             offset += outputs.len() as i64;
+            if seq == 0 {
+                // Time-to-first-chunk — from frame read (pool queue wait
+                // included) to the first chunk leaving the handler. The
+                // per-kind solve_stream histogram records the full drain,
+                // which for a big instance is dominated by backpressure.
+                self.metrics.record_stream_first_chunk(started.elapsed());
+            }
             seq += 1;
             if !emit(frame) {
                 return Err(Error::Classifier(ClassifierError::Internal {
@@ -717,9 +883,50 @@ impl Service {
         ]))
     }
 
+    /// The `metrics` kind: the same counters the `stats` JSON reports, as
+    /// one plaintext metrics exposition document ([`crate::expo`]) inside
+    /// the reply payload. This is the transport-independent scrape path —
+    /// the `--metrics-addr` HTTP listener serves the identical document.
+    fn metrics_exposition(&self) -> Result<JsonValue, Error> {
+        Ok(JsonValue::object([(
+            "exposition",
+            JsonValue::Str(crate::expo::render_exposition(self)),
+        )]))
+    }
+
+    /// Server identity and configuration for the `stats` reply's `server`
+    /// block (and the exposition's `build_info`).
+    fn server_info(&self) -> [(&'static str, JsonValue); 5] {
+        [
+            (
+                "backend",
+                JsonValue::Str(self.metrics.backend_name().to_string()),
+            ),
+            (
+                "cache_shards",
+                JsonValue::Int(self.engine.cache_shards() as i64),
+            ),
+            (
+                "uptime_seconds",
+                JsonValue::Int(i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX)),
+            ),
+            (
+                "version",
+                JsonValue::Str(env!("CARGO_PKG_VERSION").to_string()),
+            ),
+            ("workers", JsonValue::Int(self.engine.parallelism() as i64)),
+        ]
+    }
+
     fn stats(&self) -> Result<JsonValue, Error> {
         let cache = self.engine.cache_stats();
         let pool = self.engine.pool_stats();
+        let mut server = self.metrics.to_json();
+        if let JsonValue::Object(fields) = &mut server {
+            for (key, value) in self.server_info() {
+                fields.insert(key.to_string(), value);
+            }
+        }
         Ok(JsonValue::object([
             (
                 "cache",
@@ -751,7 +958,7 @@ impl Service {
                     ("summary", JsonValue::Str(pool.to_string())),
                 ]),
             ),
-            ("server", self.metrics.to_json()),
+            ("server", server),
             (
                 "uptime_ms",
                 JsonValue::Int(
@@ -834,6 +1041,7 @@ mod tests {
             id: Some(77),
             kind: "classify".to_string(),
             rx,
+            trace: None,
         };
         let reply = ResponseEnvelope::from_json_str(&pending.wait()).expect("reply parses");
         assert_eq!(

@@ -22,10 +22,16 @@ pub fn serve_stdio(
     mut input: impl BufRead,
     mut output: impl Write,
 ) -> io::Result<()> {
+    service.metrics().set_backend("stdio");
     loop {
-        let reply = match read_frame(&mut input, MAX_FRAME_BYTES)? {
+        let (reply, trace) = match read_frame(&mut input, MAX_FRAME_BYTES)? {
             Frame::Eof => return Ok(()),
-            Frame::Oversized { discarded } => service.reject_oversized(discarded).to_json_string(),
+            Frame::Oversized { discarded, started } => (
+                service
+                    .reject_oversized_at(discarded, started)
+                    .to_json_string(),
+                None,
+            ),
             Frame::Line(line) => {
                 if line.trim().is_empty() {
                     continue;
@@ -43,17 +49,22 @@ pub fn serve_stdio(
                         false
                     }
                 };
-                let reply = service
-                    .handle_line_emitting(&line, &mut emit)
-                    .into_json_string();
+                let (envelope, trace) = service.handle_line_traced(&line, &mut emit);
+                let reply = envelope.into_json_string();
+                if let Some(trace) = &trace {
+                    trace.mark_serialized();
+                }
                 if let Some(e) = chunk_error {
                     return Err(e);
                 }
-                reply
+                (reply, trace)
             }
         };
         write_frame(&mut output, &reply)?;
         output.flush()?;
+        if let Some(trace) = trace {
+            trace.finish_written();
+        }
     }
 }
 

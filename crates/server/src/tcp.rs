@@ -258,6 +258,9 @@ impl Server {
     /// setup failures.
     pub fn start(self) -> io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
+        self.service
+            .metrics()
+            .set_backend(self.backend.resolve().name());
         let control = Control::new()?;
         #[cfg(target_os = "linux")]
         if self.backend.resolve() == Backend::Reactor {
@@ -322,6 +325,9 @@ impl Server {
     ///
     /// Propagates listener-setup and (reactor) epoll/eventfd failures.
     pub fn run(self) -> io::Result<()> {
+        self.service
+            .metrics()
+            .set_backend(self.backend.resolve().name());
         let control = Control::new()?;
         #[cfg(target_os = "linux")]
         if self.backend.resolve() == Backend::Reactor {
@@ -667,9 +673,11 @@ fn handle_connection(stream: TcpStream, service: &Arc<Service>, id: u64, max_inf
             break;
         }
         let pending = match frame {
-            Frame::Oversized { discarded } => {
-                PendingReply::Ready(service.reject_oversized(discarded).into_json_string())
-            }
+            Frame::Oversized { discarded, started } => PendingReply::Ready(
+                service
+                    .reject_oversized_at(discarded, started)
+                    .into_json_string(),
+            ),
             Frame::Line(line) => PendingReply::Deferred(service.dispatch_line(line)),
             Frame::Eof => unreachable!("handled above"),
         };
@@ -711,8 +719,8 @@ fn write_loop(
                 Err(_) => break, // reader closed the queue and nothing is left
             },
         };
-        let line = match pending {
-            PendingReply::Ready(line) => line,
+        let (line, trace) = match pending {
+            PendingReply::Ready(line) => (line, None),
             PendingReply::Deferred(mut pending) => loop {
                 let frame = match pending.try_frame() {
                     Some(frame) => frame,
@@ -726,7 +734,7 @@ fn write_loop(
                     }
                 };
                 match frame {
-                    StreamFrame::Final(line) => break line,
+                    StreamFrame::Final(line) => break (line, pending.take_trace()),
                     StreamFrame::Chunk(line) => {
                         // A write failure drops the handle, which closes the
                         // frame channel and aborts the producing job.
@@ -739,6 +747,12 @@ fn write_loop(
         };
         if write_frame(&mut writer, &line).is_err() {
             break;
+        }
+        // The write stage ends when the terminal frame enters the socket
+        // buffer; the coalescing flush below is batching policy, not part
+        // of this request's latency.
+        if let Some(trace) = trace {
+            trace.finish_written();
         }
         window.release();
         match ordered_rx.try_recv() {

@@ -1,0 +1,509 @@
+//! Per-request stage tracing: where one request's latency actually went.
+//!
+//! Every dispatched frame (when detailed metrics are on) carries an
+//! [`Trace`] handle from frame read to reply write. Each pipeline stage
+//! stamps a monotonic offset on it — queue wait, parse, compute, serialize,
+//! write — and when the last stage finishes (or the handle is dropped
+//! because the connection died), the trace collapses into a
+//! [`TraceRecord`] and lands in the [`TraceSink`]:
+//!
+//! * a fixed-size lock-free ring of the most recent records
+//!   ([`TraceSink::recent`]), always on, for post-hoc "what just
+//!   happened" inspection;
+//! * optionally (`--trace-slow-micros`), one structured NDJSON line on
+//!   stderr per request whose end-to-end latency crossed the threshold —
+//!   the line carries the request id, kind, problem hash, cache hit/miss
+//!   and per-stage microseconds, so a slow request is attributable from
+//!   the log alone.
+//!
+//! All stamping is relaxed atomics on a shared `Arc`; the hot path never
+//! locks, never allocates beyond the one `Arc` per request, and a stage
+//! that never runs (an invalid frame has no compute) simply reports 0.
+
+use crate::service::RequestKind;
+use lcl_paths::classifier::obs::{TraceKind, TraceRecord, TraceRing};
+use lcl_paths::problem::json::JsonValue;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many finished request traces the sink's ring retains.
+pub const DEFAULT_TRACE_RING_CAPACITY: usize = 256;
+
+/// The stable index of a request kind inside a [`TraceRecord`]
+/// (`TraceRecord::kind`): its position in [`RequestKind::ALL`], with
+/// [`TraceRecord::KIND_INVALID`] for frames that never resolved to a kind.
+pub fn kind_index(kind: Option<RequestKind>) -> TraceKind {
+    match kind {
+        Some(kind) => RequestKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .map(|at| at as TraceKind)
+            .unwrap_or(TraceRecord::KIND_INVALID),
+        None => TraceRecord::KIND_INVALID,
+    }
+}
+
+/// The wire name of a [`TraceRecord::kind`] index (`invalid` for
+/// [`TraceRecord::KIND_INVALID`] and anything out of range).
+pub fn kind_wire_name(index: TraceKind) -> &'static str {
+    RequestKind::ALL
+        .get(index as usize)
+        .map(|k| k.wire_name())
+        .unwrap_or("invalid")
+}
+
+/// Serializes one finished trace as the slow-request NDJSON log line:
+/// a single-line JSON object with sorted keys, `"trace":"slow"` as the
+/// discriminator, and one `*_micros` field per stage. `id`,
+/// `problem_hash` (16 hex digits, same encoding as verdicts) and
+/// `cache_hit` appear only when known.
+pub fn slow_trace_line(record: &TraceRecord) -> String {
+    let mut fields = vec![
+        ("trace", JsonValue::Str("slow".to_string())),
+        (
+            "kind",
+            JsonValue::Str(kind_wire_name(record.kind).to_string()),
+        ),
+        ("ok", JsonValue::Bool(record.ok)),
+        ("queue_micros", JsonValue::Int(record.queue_micros as i64)),
+        ("parse_micros", JsonValue::Int(record.parse_micros as i64)),
+        (
+            "compute_micros",
+            JsonValue::Int(record.compute_micros as i64),
+        ),
+        (
+            "serialize_micros",
+            JsonValue::Int(record.serialize_micros as i64),
+        ),
+        ("write_micros", JsonValue::Int(record.write_micros as i64)),
+        ("total_micros", JsonValue::Int(record.total_micros as i64)),
+    ];
+    if let Some(id) = record.id {
+        fields.push(("id", JsonValue::Int(id)));
+    }
+    if let Some(hash) = record.problem_hash {
+        fields.push(("problem_hash", JsonValue::Str(format!("{hash:016x}"))));
+    }
+    if let Some(hit) = record.cache_hit {
+        fields.push(("cache_hit", JsonValue::Bool(hit)));
+    }
+    JsonValue::object(fields).to_json_string()
+}
+
+/// Where finished request traces go: the recent-trace ring, plus the
+/// optional slow-request log line. One sink per [`Service`], shared by
+/// every in-flight request's stage trace.
+///
+/// [`Service`]: crate::Service
+pub struct TraceSink {
+    ring: TraceRing,
+    /// End-to-end latency threshold for the slow-request log line;
+    /// 0 = disabled.
+    slow_micros: AtomicU64,
+    /// Receives each slow-request NDJSON line; stderr by default,
+    /// swappable for tests.
+    emit: Box<dyn Fn(&str) + Send + Sync>,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("capacity", &self.ring.capacity())
+            .field("pushed", &self.ring.pushed())
+            .field("slow_micros", &self.slow_micros.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new(DEFAULT_TRACE_RING_CAPACITY)
+    }
+}
+
+impl TraceSink {
+    /// A sink retaining the `capacity` most recent traces, with the slow
+    /// log disabled and stderr as its line emitter.
+    pub fn new(capacity: usize) -> TraceSink {
+        TraceSink::with_emitter(capacity, |line| eprintln!("{line}"))
+    }
+
+    /// [`TraceSink::new`] with a custom slow-line emitter (tests capture
+    /// lines instead of printing them).
+    pub fn with_emitter(capacity: usize, emit: impl Fn(&str) + Send + Sync + 'static) -> TraceSink {
+        TraceSink {
+            ring: TraceRing::new(capacity),
+            slow_micros: AtomicU64::new(0),
+            emit: Box::new(emit),
+        }
+    }
+
+    /// Sets the slow-request threshold: a finished request whose end-to-end
+    /// latency is at least `micros` microseconds emits one NDJSON line
+    /// ([`slow_trace_line`]). `None` (or 0) disables the log; the ring is
+    /// unaffected either way.
+    pub fn set_slow_micros(&self, micros: Option<u64>) {
+        self.slow_micros
+            .store(micros.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// The current slow-request threshold (`None` = log disabled).
+    pub fn slow_micros(&self) -> Option<u64> {
+        match self.slow_micros.load(Ordering::Relaxed) {
+            0 => None,
+            micros => Some(micros),
+        }
+    }
+
+    /// The retained finished traces, oldest first.
+    pub fn recent(&self) -> Vec<TraceRecord> {
+        self.ring.recent()
+    }
+
+    /// Traces finished since the sink was created (≥ retained ones).
+    pub fn finished(&self) -> u64 {
+        self.ring.pushed()
+    }
+
+    /// Accepts one finished trace: into the ring, and onto the slow log
+    /// when over the threshold.
+    fn accept(&self, record: &TraceRecord) {
+        self.ring.push(record);
+        let slow = self.slow_micros.load(Ordering::Relaxed);
+        if slow > 0 && record.total_micros >= slow {
+            (self.emit)(&slow_trace_line(record));
+        }
+    }
+}
+
+/// Stage-offset atomics use 0 for "never stamped"; a stamped offset is
+/// stored `+1` so a genuinely zero-microsecond offset stays distinguishable.
+fn stamp(slot: &AtomicU64, started: Instant) {
+    let offset = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX - 1);
+    slot.store(offset.saturating_add(1), Ordering::Relaxed);
+}
+
+/// The live trace of one in-flight request, shared (as an `Arc`) between
+/// the dispatching thread, the pool worker executing the request and the
+/// connection writer. Every mutator is a relaxed atomic store, so the
+/// stages can stamp from different threads without coordination.
+///
+/// The trace finishes — collapses into a [`TraceRecord`] and reaches its
+/// sink — exactly once: at [`Trace::finish`] (the write stage, normally),
+/// or on drop if no stage ever finished it (the connection died before
+/// the reply was written; the partial stages still land in the ring).
+#[derive(Debug)]
+pub(crate) struct Trace {
+    sink: Arc<TraceSink>,
+    started: Instant,
+    id: AtomicI64,
+    has_id: AtomicBool,
+    kind: AtomicU8,
+    ok: AtomicBool,
+    problem_hash: AtomicU64,
+    has_hash: AtomicBool,
+    /// 0 = unknown, 1 = miss, 2 = hit.
+    cache_hit: AtomicU8,
+    /// Offsets (micros since `started`, stored `+1`; 0 = never stamped) at
+    /// which each stage *ended*.
+    queue: AtomicU64,
+    parse: AtomicU64,
+    compute: AtomicU64,
+    serialize: AtomicU64,
+    write: AtomicU64,
+    done: AtomicBool,
+}
+
+impl Trace {
+    /// A fresh trace clocked from `started` (the instant the frame was
+    /// read), with the kind pre-set to invalid until parse resolves it.
+    pub(crate) fn new(sink: Arc<TraceSink>, started: Instant, id: Option<i64>) -> Trace {
+        Trace {
+            sink,
+            started,
+            id: AtomicI64::new(id.unwrap_or(0)),
+            has_id: AtomicBool::new(id.is_some()),
+            kind: AtomicU8::new(TraceRecord::KIND_INVALID),
+            ok: AtomicBool::new(false),
+            problem_hash: AtomicU64::new(0),
+            has_hash: AtomicBool::new(false),
+            cache_hit: AtomicU8::new(0),
+            queue: AtomicU64::new(0),
+            parse: AtomicU64::new(0),
+            compute: AtomicU64::new(0),
+            serialize: AtomicU64::new(0),
+            write: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Stamps the end of the queue stage (a pool worker picked the job up).
+    pub(crate) fn mark_queue(&self) {
+        stamp(&self.queue, self.started);
+    }
+
+    /// Stamps the end of the parse stage and the now-known identity.
+    pub(crate) fn mark_parsed(&self, kind: Option<RequestKind>, id: Option<i64>) {
+        self.kind.store(kind_index(kind), Ordering::Relaxed);
+        if let Some(id) = id {
+            self.id.store(id, Ordering::Relaxed);
+            self.has_id.store(true, Ordering::Relaxed);
+        }
+        stamp(&self.parse, self.started);
+    }
+
+    /// Stamps the end of the compute stage and the outcome.
+    pub(crate) fn mark_computed(&self, ok: bool) {
+        self.ok.store(ok, Ordering::Relaxed);
+        stamp(&self.compute, self.started);
+    }
+
+    /// Stamps the end of the serialize stage (the reply bytes exist).
+    pub(crate) fn mark_serialized(&self) {
+        stamp(&self.serialize, self.started);
+    }
+
+    /// Records which problem the request touched and (when known) whether
+    /// the memo cache served its classification.
+    pub(crate) fn set_problem(&self, canonical_hash: u64, cache_hit: Option<bool>) {
+        self.problem_hash.store(canonical_hash, Ordering::Relaxed);
+        self.has_hash.store(true, Ordering::Relaxed);
+        if let Some(hit) = cache_hit {
+            self.cache_hit
+                .store(if hit { 2 } else { 1 }, Ordering::Relaxed);
+        }
+    }
+
+    /// Stamps the end of the write stage (the reply's bytes left for the
+    /// socket) and finishes the trace into its sink. Idempotent.
+    pub(crate) fn finish_written(&self) {
+        // One clock read serves both the write stamp and the total: the
+        // write stage ends at the same instant the trace finishes.
+        let total = u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX - 1);
+        self.write.store(total.saturating_add(1), Ordering::Relaxed);
+        self.finish_at(total);
+    }
+
+    /// Finishes the trace into its sink without a write stamp (front-ends
+    /// that cannot observe the write, e.g. lock-step embedding). Idempotent.
+    pub(crate) fn finish(&self) {
+        self.finish_at(u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// [`Trace::finish`] with the end-to-end total already measured.
+    fn finish_at(&self, total_micros: u64) {
+        if self.done.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.sink.accept(&self.record(total_micros));
+    }
+
+    /// Collapses the stamped offsets into disjoint per-stage durations: an
+    /// unstamped stage inherits its predecessor's offset (duration 0), and
+    /// the total is the wall clock from frame read to the finish call.
+    fn record(&self, total_micros: u64) -> TraceRecord {
+        let offsets = [
+            self.queue.load(Ordering::Relaxed),
+            self.parse.load(Ordering::Relaxed),
+            self.compute.load(Ordering::Relaxed),
+            self.serialize.load(Ordering::Relaxed),
+            self.write.load(Ordering::Relaxed),
+        ];
+        let mut durations = [0u64; 5];
+        let mut previous = 0u64;
+        for (duration, &raw) in durations.iter_mut().zip(offsets.iter()) {
+            if raw > 0 {
+                let offset = raw - 1;
+                *duration = offset.saturating_sub(previous);
+                previous = offset;
+            }
+        }
+        TraceRecord {
+            id: self
+                .has_id
+                .load(Ordering::Relaxed)
+                .then(|| self.id.load(Ordering::Relaxed)),
+            kind: self.kind.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            problem_hash: self
+                .has_hash
+                .load(Ordering::Relaxed)
+                .then(|| self.problem_hash.load(Ordering::Relaxed)),
+            cache_hit: match self.cache_hit.load(Ordering::Relaxed) {
+                1 => Some(false),
+                2 => Some(true),
+                _ => None,
+            },
+            queue_micros: durations[0],
+            parse_micros: durations[1],
+            compute_micros: durations[2],
+            serialize_micros: durations[3],
+            write_micros: durations[4],
+            total_micros,
+        }
+    }
+}
+
+impl Drop for Trace {
+    /// A trace abandoned mid-flight (connection died before its reply was
+    /// written) still reaches the ring with whatever stages it stamped.
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    fn capturing_sink() -> (Arc<TraceSink>, Arc<Mutex<Vec<String>>>) {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let captured = Arc::clone(&lines);
+        let sink = Arc::new(TraceSink::with_emitter(8, move |line| {
+            captured.lock().unwrap().push(line.to_string());
+        }));
+        (sink, lines)
+    }
+
+    #[test]
+    fn kind_indices_round_trip_through_wire_names() {
+        for &kind in &RequestKind::ALL {
+            assert_eq!(kind_wire_name(kind_index(Some(kind))), kind.wire_name());
+        }
+        assert_eq!(kind_wire_name(kind_index(None)), "invalid");
+        assert_eq!(kind_wire_name(TraceRecord::KIND_INVALID), "invalid");
+    }
+
+    #[test]
+    fn stages_collapse_into_disjoint_durations() {
+        let (sink, _) = capturing_sink();
+        let started = Instant::now();
+        let trace = Trace::new(Arc::clone(&sink), started, None);
+        trace.mark_queue();
+        trace.mark_parsed(Some(RequestKind::Classify), Some(9));
+        trace.set_problem(0xabcd, Some(true));
+        trace.mark_computed(true);
+        trace.mark_serialized();
+        trace.finish_written();
+        let records = sink.recent();
+        assert_eq!(records.len(), 1);
+        let record = &records[0];
+        assert_eq!(record.id, Some(9));
+        assert_eq!(kind_wire_name(record.kind), "classify");
+        assert!(record.ok);
+        assert_eq!(record.problem_hash, Some(0xabcd));
+        assert_eq!(record.cache_hit, Some(true));
+        let stage_sum = record.queue_micros
+            + record.parse_micros
+            + record.compute_micros
+            + record.serialize_micros
+            + record.write_micros;
+        assert!(
+            stage_sum <= record.total_micros + 1,
+            "disjoint stages cannot exceed the total: {stage_sum} vs {}",
+            record.total_micros
+        );
+    }
+
+    #[test]
+    fn dropping_an_unfinished_trace_still_records_it() {
+        let (sink, _) = capturing_sink();
+        let trace = Trace::new(Arc::clone(&sink), Instant::now(), Some(3));
+        trace.mark_queue();
+        drop(trace);
+        let records = sink.recent();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, Some(3));
+        assert_eq!(records[0].kind, TraceRecord::KIND_INVALID);
+        assert_eq!(records[0].write_micros, 0, "write never happened");
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let (sink, _) = capturing_sink();
+        let trace = Trace::new(Arc::clone(&sink), Instant::now(), None);
+        trace.finish_written();
+        trace.finish();
+        drop(trace);
+        assert_eq!(sink.finished(), 1, "one record despite three finishes");
+    }
+
+    #[test]
+    fn slow_traces_emit_one_parseable_ndjson_line() {
+        let (sink, lines) = capturing_sink();
+        sink.set_slow_micros(Some(100));
+        assert_eq!(sink.slow_micros(), Some(100));
+        let fast = TraceRecord {
+            total_micros: 99,
+            ..TraceRecord::default()
+        };
+        sink.accept(&fast);
+        assert!(lines.lock().unwrap().is_empty(), "under threshold: no line");
+        let slow = TraceRecord {
+            id: Some(41),
+            kind: kind_index(Some(RequestKind::Solve)),
+            ok: true,
+            problem_hash: Some(0xfeed),
+            cache_hit: Some(false),
+            queue_micros: 10,
+            parse_micros: 20,
+            compute_micros: 200,
+            serialize_micros: 5,
+            write_micros: 15,
+            total_micros: 250,
+        };
+        sink.accept(&slow);
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 1);
+        let parsed = JsonValue::parse(&lines[0]).expect("slow line is valid JSON");
+        assert_eq!(parsed.require("trace").unwrap().as_str().unwrap(), "slow");
+        assert_eq!(parsed.require("kind").unwrap().as_str().unwrap(), "solve");
+        assert_eq!(parsed.require("id").unwrap().as_int().unwrap(), 41);
+        assert_eq!(
+            parsed.require("problem_hash").unwrap().as_str().unwrap(),
+            format!("{:016x}", 0xfeedu64)
+        );
+        assert!(!parsed.require("cache_hit").unwrap().as_bool().unwrap());
+        for (field, expected) in [
+            ("queue_micros", 10),
+            ("parse_micros", 20),
+            ("compute_micros", 200),
+            ("serialize_micros", 5),
+            ("write_micros", 15),
+            ("total_micros", 250),
+        ] {
+            assert_eq!(
+                parsed.require(field).unwrap().as_int().unwrap(),
+                expected,
+                "{field}"
+            );
+        }
+        // Optional fields are really optional.
+        let bare = slow_trace_line(&TraceRecord::default());
+        let parsed = JsonValue::parse(&bare).unwrap();
+        assert!(parsed.get("id").is_none());
+        assert!(parsed.get("problem_hash").is_none());
+        assert!(parsed.get("cache_hit").is_none());
+        assert_eq!(parsed.require("kind").unwrap().as_str().unwrap(), "invalid");
+    }
+
+    #[test]
+    fn disabling_the_slow_log_stops_lines() {
+        let (sink, lines) = capturing_sink();
+        sink.set_slow_micros(Some(1));
+        sink.accept(&TraceRecord {
+            total_micros: 10,
+            ..TraceRecord::default()
+        });
+        sink.set_slow_micros(None);
+        assert_eq!(sink.slow_micros(), None);
+        sink.accept(&TraceRecord {
+            total_micros: 10,
+            ..TraceRecord::default()
+        });
+        assert_eq!(lines.lock().unwrap().len(), 1);
+        assert_eq!(sink.finished(), 2, "the ring keeps recording");
+    }
+}
