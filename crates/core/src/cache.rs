@@ -3,31 +3,91 @@
 //! [`ShardedLruCache`] replaces the engine's original single-lock cache, whose
 //! LRU eviction scanned every entry for its victim on insert (O(entries)) and
 //! whose one `RwLock` serialized all writers. Here the key space is split
-//! across N **shards** (N a power of two; keys are hash-routed), each shard an
-//! independent [`Mutex`] guarding
+//! across N **shards** (N a power of two; keys are hash-routed). Each shard is
+//! built from three synchronization domains:
 //!
-//! * a `HashMap` from key to slot index, and
-//! * a slab of nodes threaded onto an **intrusive doubly-linked LRU list**
-//!   (`prev`/`next` are slot indices into the slab — no pointers, no
-//!   `unsafe`), most-recent at the head, eviction victim at the tail.
+//! * a read-mostly **index** (`RwLock<HashMap>`) from key to the cached value
+//!   plus its LRU slot — the only lock a hit needs, and a *read* lock at that,
+//!   so concurrent hits on one hot key proceed in parallel;
+//! * the **LRU state** (`Mutex`): a slab of nodes threaded onto an intrusive
+//!   doubly-linked recency list (`prev`/`next` are slot indices into the slab
+//!   — no pointers, no `unsafe`), most-recent at the head, eviction victim at
+//!   the tail, together with the bookkeeping counters;
+//! * the **flight table** (`Mutex<HashMap>`): one condvar slot per key whose
+//!   value is currently being computed, implementing per-key single-flight
+//!   (see below).
 //!
 //! Hit-touch (unlink + relink at head), insert, and evict (pop the tail) are
 //! all O(1), and operations on different shards never contend. A single-shard
 //! cache is exactly the old global LRU: same victims, in the same order.
 //!
-//! **Counter discipline.** Every shard keeps its own counters
-//! (hits/misses/inserts/evictions plus the entry high-water mark) *inside* the
-//! mutex, updated in the same critical section as the mutation they describe.
-//! A [`ShardStats`] snapshot is therefore internally consistent at any
-//! instant — in particular `entries + evictions == inserts` holds for every
-//! snapshot, even one taken mid-stampede — and [`ShardedLruCache::stats`]
-//! aggregates those per-shard snapshots into the engine-level [`CacheStats`].
+//! # The hot-key read fast lane
+//!
+//! [`ShardedLruCache::get`] takes the index **read** lock, clones the `Arc`'d
+//! value, and then refreshes LRU recency only *opportunistically*: a
+//! `try_lock` on the LRU mutex. If the mutex is free (always true
+//! single-threaded) the entry is touched exactly as before and the hit counts
+//! as a **locked hit**; if another thread holds it, the touch is skipped —
+//! sampled touch-on-hit — and the hit counts as a **fast hit**. Under
+//! contention hits therefore never serialize on the shard mutex (the PR 5
+//! regression): they share the read lock, and recency degrades gracefully to
+//! a sampled approximation instead of becoming a bottleneck. Uncontended
+//! traces keep byte-exact LRU semantics, which is what lets the single-
+//! threaded model suite keep asserting exact victim orders.
+//!
+//! Memory ordering: the value is read under the index read lock (so it
+//! happens-after the write-locked insert that published it — no torn reads
+//! are possible), and the fast/locked counters are plain `Relaxed` atomics
+//! (they order nothing; they are tallies).
+//!
+//! # Per-key single-flight
+//!
+//! [`ShardedLruCache::get_or_compute`] is the stampede-proof miss path. A
+//! miss installs an in-flight marker (a [`Condvar`] slot keyed by the exact
+//! byte key) in the shard's flight table; the installing thread — the
+//! **leader** — runs the compute closure *on its own thread* and commits the
+//! result with [`ShardedLruCache::insert`]. Concurrent requesters for the
+//! same key find the marker and park on the condvar; when the leader commits
+//! they receive the committed value directly (a **join**). N threads asking
+//! for one cold key therefore perform exactly one computation.
+//!
+//! Recovery: the leader holds a drop guard, so a leader that dies — panics,
+//! or returns an error (errors are never cached) — dissolves its flight and
+//! wakes every waiter *before* the panic propagates. Woken waiters re-probe
+//! and elect a new leader among themselves; nothing deadlocks and no lock
+//! stays poisoned (every guard is acquired poison-tolerantly). Each
+//! generation of a key — from insert to eviction — has at most one
+//! successful leader: a second leader for the same key can only be elected
+//! after the first one's flight dissolved, and a *successful* dissolve
+//! happens-after the value is resident, so the re-probe under the flight
+//! lock finds it.
+//!
+//! Deadlock rule: waiting happens only on the *leader's in-place
+//! computation*, never on queued pool work — the leader needs no pool
+//! capacity to finish, so a pool worker may safely park as a waiter. (The
+//! engine's rule that pool workers must not park on *pool jobs* is
+//! unaffected; see `Engine::dispatch`.)
+//!
+//! # Counter discipline
+//!
+//! The counters the balance invariant depends on — `entries`, `inserts`,
+//! `evictions`, the peaks and the resident weight — live *inside* the LRU
+//! mutex, updated in the same critical section as the mutation they
+//! describe, so `entries + evictions == inserts` holds for every
+//! [`ShardStats`] snapshot, even one taken mid-stampede. The hit/miss/flight
+//! tallies (`fast_hits`, `locked_hits`, `flight_joins`, `flight_leaders`,
+//! `misses`) are relaxed atomics — they participate in no structural
+//! invariant, but each snapshot still loads every tally exactly once, so
+//! `hits == fast_hits + locked_hits + flight_joins` holds by construction in
+//! every snapshot too.
 //!
 //! **Miss discipline.** [`ShardedLruCache::get`] counts a hit on success and
-//! *nothing* on a miss; misses are recorded explicitly via
-//! [`ShardedLruCache::record_miss`]. This keeps the engine's long-standing
-//! accounting: a peek miss ([`Engine::cached`](crate::Engine::cached)) costs
-//! nothing, while every actual computation counts exactly one miss.
+//! *nothing* on a miss; misses are recorded when a computation is committed
+//! to — by the single-flight leader, or explicitly via
+//! [`ShardedLruCache::record_miss`] for callers driving the raw
+//! get/insert cycle. This keeps the engine's long-standing accounting: a
+//! peek miss ([`Engine::cached`](crate::Engine::cached)) costs nothing,
+//! while every actual computation counts exactly one miss.
 //!
 //! **Weighing.** [`ShardedLruCache::new`] bounds the cache by entry *count*
 //! — every entry weighs 1. [`ShardedLruCache::with_weigher`] bounds it by
@@ -43,23 +103,46 @@ use std::collections::hash_map::{self, DefaultHasher};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hasher;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{
+    Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError,
+};
 
 /// The null slot index terminating the intrusive list. Slot indices are
-/// `u32` deliberately: a slab node is `key + value + 8` bytes, so the cold
-/// cache lines an eviction must touch stay few (and 4 billion slots per
-/// shard is far beyond any realistic capacity).
+/// `u32` deliberately: a slab node is `key + 8` bytes, so the cold cache
+/// lines an eviction must touch stay few (and 4 billion slots per shard is
+/// far beyond any realistic capacity).
 const NIL: u32 = u32::MAX;
+
+/// Locks a mutex, seeing through poison: every critical section in this
+/// module leaves the structure consistent before any operation that could
+/// panic (see the module docs), so a poisoned lock carries no torn state.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Read-locks an `RwLock`, seeing through poison (same argument as [`lock`]).
+fn read<T>(rw: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    rw.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Write-locks an `RwLock`, seeing through poison (same argument as [`lock`]).
+fn write<T>(rw: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    rw.write().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Aggregated cache-effectiveness counters of an [`Engine`](crate::Engine):
 /// the sum of one internally consistent [`ShardStats`] snapshot per shard
 /// (see the [module docs](self) for the consistency guarantee).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct CacheStats {
-    /// Lookups served from the cache.
+    /// Lookups served without computing: `fast_hits + locked_hits +
+    /// flight_joins`.
     pub hits: u64,
-    /// Lookups that had to be computed (recorded at computation time, so
-    /// concurrent threads stampeding a cold key may each count one).
+    /// Lookups that had to be computed: single-flight leaders (successful or
+    /// not) plus explicit [`ShardedLruCache::record_miss`] calls.
     pub misses: u64,
     /// Distinct problems currently cached.
     pub entries: usize,
@@ -79,6 +162,19 @@ pub struct CacheStats {
     /// Sum of the per-shard weight high-water marks — an upper bound on the
     /// resident weight ever held at once.
     pub peak_weight: u64,
+    /// Hits served on the read fast lane whose LRU recency touch was
+    /// *skipped* because the LRU mutex was busy (sampled touch-on-hit).
+    pub fast_hits: u64,
+    /// Hits that also refreshed LRU recency (the `try_lock` succeeded —
+    /// always the case without contention).
+    pub locked_hits: u64,
+    /// Single-flight leaders elected: cold-key computations started
+    /// (successful or not). Under pure `get_or_compute` traffic this equals
+    /// `misses`.
+    pub flight_leaders: u64,
+    /// Requesters that parked on another thread's in-flight computation and
+    /// received the leader's committed value without computing.
+    pub flight_joins: u64,
     /// Number of independent shards the key space is split across.
     pub shards: usize,
 }
@@ -100,11 +196,16 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cache: {} hits / {} misses ({:.1}% hit ratio), {} entries (peak {}), \
+            "cache: {} hits ({} fast / {} locked / {} joined) / {} misses \
+             ({:.1}% hit ratio), {} flight leaders, {} entries (peak {}), \
              weight {} (peak {}), {} evictions / {} inserts, {} shards",
             self.hits,
+            self.fast_hits,
+            self.locked_hits,
+            self.flight_joins,
             self.misses,
             self.hit_ratio() * 100.0,
+            self.flight_leaders,
             self.entries,
             self.peak_entries,
             self.weight,
@@ -116,13 +217,15 @@ impl fmt::Display for CacheStats {
     }
 }
 
-/// One shard's counters, snapshotted atomically under the shard's mutex.
+/// One shard's counters, snapshotted under the shard's LRU mutex (each tally
+/// atomic is loaded exactly once into the snapshot).
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct ShardStats {
-    /// Lookups this shard served from its map.
+    /// Lookups this shard served without computing:
+    /// `fast_hits + locked_hits + flight_joins`.
     pub hits: u64,
-    /// Misses recorded against this shard via
-    /// [`ShardedLruCache::record_miss`].
+    /// Computations committed to against this shard (single-flight leaders
+    /// plus explicit [`ShardedLruCache::record_miss`] calls).
     pub misses: u64,
     /// Entries currently resident in this shard.
     pub entries: usize,
@@ -136,13 +239,24 @@ pub struct ShardStats {
     pub weight: u64,
     /// High-water mark of `weight`.
     pub peak_weight: u64,
+    /// Hits whose recency touch was skipped (LRU mutex busy): the fast lane
+    /// under contention.
+    pub fast_hits: u64,
+    /// Hits that refreshed recency under the LRU mutex.
+    pub locked_hits: u64,
+    /// Single-flight leaders elected on this shard.
+    pub flight_leaders: u64,
+    /// Requesters served by parking on a leader's in-flight computation.
+    pub flight_joins: u64,
 }
 
 impl ShardStats {
-    /// The bookkeeping invariant every snapshot satisfies: each inserted
-    /// entry is either still resident or was evicted.
+    /// The bookkeeping invariants every snapshot satisfies: each inserted
+    /// entry is either still resident or was evicted, and every hit is
+    /// exactly one of fast, locked, or joined.
     pub fn is_consistent(&self) -> bool {
         self.entries as u64 + self.evictions == self.inserts
+            && self.hits == self.fast_hits + self.locked_hits + self.flight_joins
     }
 }
 
@@ -163,15 +277,49 @@ pub struct Inserted<V> {
     pub evicted: Vec<Arc<[u8]>>,
 }
 
-/// One slab node: a key/value pair threaded onto the shard's intrusive LRU
-/// list by slot index.
+/// How a [`ShardedLruCache::get_or_compute`] call was served.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FlightOutcome {
+    /// Served on the read fast lane; the recency touch was skipped because
+    /// the LRU mutex was busy.
+    FastHit,
+    /// Served from the cache with the recency touch taken (the LRU mutex was
+    /// free).
+    LockedHit,
+    /// Parked on another thread's in-flight computation and received the
+    /// leader's committed value.
+    Joined,
+    /// This call was the single-flight leader: it ran the compute closure
+    /// and committed the value.
+    Led,
+}
+
+impl FlightOutcome {
+    /// Whether the value came from the cache subsystem (a hit or a join)
+    /// rather than this caller's own computation.
+    pub fn served_from_cache(self) -> bool {
+        !matches!(self, FlightOutcome::Led)
+    }
+}
+
+/// The result of [`ShardedLruCache::get_or_compute`]: the winning value and
+/// how this particular call obtained it.
+#[derive(Clone, Debug)]
+pub struct Computed<V> {
+    /// The committed value for the key, shared by the leader and every
+    /// joiner of the same flight.
+    pub value: V,
+    /// How this call was served.
+    pub outcome: FlightOutcome,
+}
+
+/// One slab node: a key threaded onto the shard's intrusive LRU list by slot
+/// index. Values live in the read-mostly index, not here — eviction and
+/// recency bookkeeping never clone or drop a value under the LRU mutex.
 #[derive(Debug)]
-struct Node<V> {
-    /// Shared with the map's key (one allocation, refcounted): the hash
-    /// probe and the recency-list touch read the same key bytes, instead of
-    /// two copies occupying two cache lines.
+struct Node {
+    /// Shared with the index's key (one allocation, refcounted).
     key: Arc<[u8]>,
-    value: V,
     /// The value's weight as priced at insert time (1 under the unit
     /// weigher); remembered so eviction never re-prices a value.
     weight: u64,
@@ -181,48 +329,53 @@ struct Node<V> {
     next: u32,
 }
 
-/// One independent shard: map + slab + intrusive list + counters, all under
-/// the owning mutex.
+/// One index entry: the cached value and the LRU slot its recency node
+/// occupies. Readable under the index *read* lock; every mutation holds the
+/// LRU mutex *and* the index write lock, so a reader holding the read lock
+/// that wins a `try_lock` on the LRU mutex sees map and slab in agreement.
 #[derive(Debug)]
-struct Shard<V> {
+struct IndexEntry<V> {
+    value: V,
+    slot: u32,
+}
+
+/// The recency machinery plus the consistency-critical counters, all inside
+/// one mutex (see "Counter discipline" in the module docs).
+#[derive(Debug)]
+struct LruState {
     /// Entry-count bound (`usize::MAX` in weighted mode).
     capacity: usize,
     /// Resident-weight bound (`u64::MAX` in count mode).
     weight_capacity: u64,
-    /// Prices a value at insert time; `|_| 1` in count mode.
-    weigher: fn(&V) -> u64,
-    map: HashMap<Arc<[u8]>, u32>,
     /// Slot-indexed node storage; `None` marks a free slot awaiting reuse.
-    slab: Vec<Option<Node<V>>>,
+    slab: Vec<Option<Node>>,
     /// Free slot indices (filled by evictions, drained by inserts).
     free: Vec<u32>,
     /// Most recently used slot (`NIL` when empty).
     head: u32,
     /// Least recently used slot — the eviction victim (`NIL` when empty).
     tail: u32,
-    hits: u64,
-    misses: u64,
+    /// Resident entries; mirrors the index map's length, updated in the same
+    /// critical section as `inserts`/`evictions` so snapshots balance.
+    entries: usize,
     inserts: u64,
     evictions: u64,
     peak_entries: usize,
-    /// Total weight of the resident entries (== `map.len()` in count mode).
+    /// Total weight of the resident entries (== `entries` in count mode).
     weight: u64,
     peak_weight: u64,
 }
 
-impl<V: Clone> Shard<V> {
-    fn new(capacity: usize, weight_capacity: u64, weigher: fn(&V) -> u64) -> Self {
-        Shard {
+impl LruState {
+    fn new(capacity: usize, weight_capacity: u64) -> Self {
+        LruState {
             capacity,
             weight_capacity,
-            weigher,
-            map: HashMap::new(),
             slab: Vec::new(),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
-            hits: 0,
-            misses: 0,
+            entries: 0,
             inserts: 0,
             evictions: 0,
             peak_entries: 0,
@@ -231,11 +384,11 @@ impl<V: Clone> Shard<V> {
         }
     }
 
-    fn node(&self, i: u32) -> &Node<V> {
+    fn node(&self, i: u32) -> &Node {
         self.slab[i as usize].as_ref().expect("linked slot is live")
     }
 
-    fn node_mut(&mut self, i: u32) -> &mut Node<V> {
+    fn node_mut(&mut self, i: u32) -> &mut Node {
         self.slab[i as usize].as_mut().expect("linked slot is live")
     }
 
@@ -278,97 +431,233 @@ impl<V: Clone> Shard<V> {
         }
     }
 
-    fn get(&mut self, key: &[u8]) -> Option<V> {
-        let i = *self.map.get(key)?;
-        self.touch(i);
-        self.hits += 1;
-        Some(self.node(i).value.clone())
+    /// Allocates a slot for a fresh entry and links it in as most recent,
+    /// charging its weight. Returns the slot index for the index entry.
+    fn link_front(&mut self, key: Arc<[u8]>, weight: u64) -> u32 {
+        let node = Node {
+            key,
+            weight,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(node);
+                i
+            }
+            None => {
+                self.slab.push(Some(node));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.push_front(i);
+        self.entries += 1;
+        self.weight += weight;
+        i
     }
 
     /// Removes the LRU victim and returns its key; the slot goes on the free
-    /// list with its value dropped eagerly. Allocation-free: the node's own
-    /// key reference is handed back.
+    /// list. Allocation-free: the node's own key reference is handed back.
+    /// The caller must remove the same key from the index map.
     fn evict_tail(&mut self) -> Arc<[u8]> {
         let i = self.tail;
         debug_assert_ne!(i, NIL, "evict on an empty shard");
         self.detach(i);
         let node = self.slab[i as usize].take().expect("tail slot is live");
-        self.map.remove(&*node.key);
         self.free.push(i);
         self.evictions += 1;
+        self.entries -= 1;
         self.weight -= node.weight;
         node.key
     }
 
     /// Whether the shard currently exceeds either of its bounds. The
-    /// `len() > 1` guard keeps a single entry heavier than the whole weight
-    /// budget resident rather than thrashing (see the module docs).
+    /// `entries > 1` guard keeps a single entry heavier than the whole
+    /// weight budget resident rather than thrashing (see the module docs).
     fn over_budget(&self) -> bool {
-        (self.map.len() > self.capacity || self.weight > self.weight_capacity) && self.map.len() > 1
+        (self.entries > self.capacity || self.weight > self.weight_capacity) && self.entries > 1
+    }
+}
+
+/// The progress of one in-flight computation.
+#[derive(Debug)]
+enum FlightState<V> {
+    /// The leader is still computing.
+    Running,
+    /// The leader committed this value; joiners clone it.
+    Resolved(V),
+    /// The leader died (panicked or returned an error) without committing;
+    /// waiters must re-probe and elect a new leader.
+    Abandoned,
+}
+
+/// One in-flight computation: the parked-waiter slot installed in the flight
+/// table while a leader computes a cold key.
+#[derive(Debug)]
+struct FlightSlot<V> {
+    state: Mutex<FlightState<V>>,
+    arrived: Condvar,
+    /// Threads currently inside [`FlightSlot::join`] — a diagnostic for
+    /// [`ShardedLruCache::flight_waiters`] (and deterministic tests).
+    waiters: AtomicUsize,
+}
+
+impl<V: Clone> FlightSlot<V> {
+    fn new() -> Self {
+        FlightSlot {
+            state: Mutex::new(FlightState::Running),
+            arrived: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+        }
     }
 
-    fn insert(&mut self, key: Vec<u8>, value: V) -> Inserted<V> {
+    /// Parks until the leader resolves or abandons the flight. `Some` is the
+    /// leader's committed value; `None` means the leader died and the caller
+    /// must retry (possibly leading itself).
+    fn join(&self) -> Option<V> {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut state = lock(&self.state);
+        let outcome = loop {
+            match &*state {
+                FlightState::Running => {
+                    state = self
+                        .arrived
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                }
+                FlightState::Resolved(value) => break Some(value.clone()),
+                FlightState::Abandoned => break None,
+            }
+        };
+        drop(state);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        outcome
+    }
+
+    fn resolve(&self, value: V) {
+        *lock(&self.state) = FlightState::Resolved(value);
+        self.arrived.notify_all();
+    }
+
+    fn abandon(&self) {
+        *lock(&self.state) = FlightState::Abandoned;
+        self.arrived.notify_all();
+    }
+}
+
+type Index<V> = HashMap<Arc<[u8]>, IndexEntry<V>>;
+type FlightMap<V> = HashMap<Arc<[u8]>, Arc<FlightSlot<V>>>;
+
+/// One independent shard: index + LRU state + flight table + tallies. Lock
+/// order where multiple are held: flight table → LRU mutex → index write
+/// lock; the hit path holds the index *read* lock and only ever `try_lock`s
+/// the LRU mutex (never blocks), so no cycle exists.
+#[derive(Debug)]
+struct CacheShard<V> {
+    index: RwLock<Index<V>>,
+    lru: Mutex<LruState>,
+    flights: Mutex<FlightMap<V>>,
+    fast_hits: AtomicU64,
+    locked_hits: AtomicU64,
+    misses: AtomicU64,
+    flight_leaders: AtomicU64,
+    flight_joins: AtomicU64,
+}
+
+impl<V: Clone> CacheShard<V> {
+    fn new(capacity: usize, weight_capacity: u64) -> Self {
+        CacheShard {
+            index: RwLock::new(HashMap::new()),
+            lru: Mutex::new(LruState::new(capacity, weight_capacity)),
+            flights: Mutex::new(HashMap::new()),
+            fast_hits: AtomicU64::new(0),
+            locked_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            flight_leaders: AtomicU64::new(0),
+            flight_joins: AtomicU64::new(0),
+        }
+    }
+
+    /// The hit fast lane: index read lock, value clone, *sampled* recency
+    /// touch. Returns the value and whether the touch was taken (`true` =
+    /// locked hit, `false` = fast hit); the matching tally is counted here.
+    fn hit(&self, key: &[u8]) -> Option<(V, bool)> {
+        let index = read(&self.index);
+        let entry = index.get(key)?;
+        let value = entry.value.clone();
+        // Holding the read lock pins the map: any mutation needs the index
+        // write lock AND the LRU mutex, so winning this try_lock proves no
+        // mutation is mid-flight and `entry.slot` is live and ours.
+        let touched = match self.lru.try_lock() {
+            Ok(mut lru) => {
+                debug_assert_eq!(&*lru.node(entry.slot).key, key, "slot/key agreement");
+                lru.touch(entry.slot);
+                true
+            }
+            Err(TryLockError::Poisoned(poisoned)) => {
+                let mut lru = poisoned.into_inner();
+                lru.touch(entry.slot);
+                true
+            }
+            Err(TryLockError::WouldBlock) => false,
+        };
+        if touched {
+            self.locked_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.fast_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some((value, touched))
+    }
+
+    fn insert(&self, key: Arc<[u8]>, value: V, weigher: fn(&V) -> u64) -> Inserted<V> {
         // The clone and the weigher are the only operations here that could
-        // conceivably panic; they run before any mutation so a poisoned
+        // conceivably panic; they run before any lock is taken so a poisoned
         // shard can never hold a half-linked list.
         let stored = value.clone();
-        let weight = (self.weigher)(&value);
-        let key: Arc<[u8]> = key.into();
-        let node_key = Arc::clone(&key);
+        let weight = weigher(&value);
+        let mut lru = lock(&self.lru);
+        let mut index = write(&self.index);
         // One hash probe decides present-vs-fresh AND claims the map slot
         // (`entry` instead of `get` + `insert`): on the eviction path this
         // is one of only two probes per insert, which is what keeps the
         // measured cost flat as the map outgrows the CPU caches.
-        let claimed = match self.map.entry(key) {
-            hash_map::Entry::Occupied(e) => Err(*e.get()),
+        let claimed = match index.entry(key) {
+            hash_map::Entry::Occupied(e) => Err((e.get().slot, e.get().value.clone())),
             hash_map::Entry::Vacant(e) => {
-                let node = Node {
-                    key: node_key,
+                let slot = lru.link_front(Arc::clone(e.key()), weight);
+                e.insert(IndexEntry {
                     value: stored,
-                    weight,
-                    prev: NIL,
-                    next: NIL,
-                };
-                let i = match self.free.pop() {
-                    Some(i) => {
-                        self.slab[i as usize] = Some(node);
-                        i
-                    }
-                    None => {
-                        self.slab.push(Some(node));
-                        (self.slab.len() - 1) as u32
-                    }
-                };
-                e.insert(i);
-                Ok(i)
+                    slot,
+                });
+                Ok(())
             }
         };
         match claimed {
             // Keep-first: another thread won the race to this key; refresh
             // its recency and hand back the shared value.
-            Err(i) => {
-                self.touch(i);
+            Err((slot, winner)) => {
+                lru.touch(slot);
                 Inserted {
-                    value: self.node(i).value.clone(),
+                    value: winner,
                     fresh: false,
                     evicted: Vec::new(),
                 }
             }
-            Ok(i) => {
-                self.push_front(i);
-                self.weight += weight;
+            Ok(()) => {
                 // Evict after linking: the fresh node is the head, so the
                 // tail victims are never the node just inserted (the
                 // `over_budget` guard keeps at least one entry). The
                 // over-budget instant is invisible outside this critical
                 // section.
                 let mut evicted = Vec::new();
-                while self.over_budget() {
-                    evicted.push(self.evict_tail());
+                while lru.over_budget() {
+                    let victim = lru.evict_tail();
+                    index.remove(&*victim);
+                    evicted.push(victim);
                 }
-                self.inserts += 1;
-                self.peak_entries = self.peak_entries.max(self.map.len());
-                self.peak_weight = self.peak_weight.max(self.weight);
+                lru.inserts += 1;
+                lru.peak_entries = lru.peak_entries.max(lru.entries);
+                lru.peak_weight = lru.peak_weight.max(lru.weight);
                 Inserted {
                     value,
                     fresh: true,
@@ -378,32 +667,84 @@ impl<V: Clone> Shard<V> {
         }
     }
 
-    fn clear(&mut self) {
-        self.evictions += self.map.len() as u64;
-        self.map.clear();
-        self.slab.clear();
-        self.free.clear();
-        self.head = NIL;
-        self.tail = NIL;
-        self.weight = 0;
+    fn clear(&self) {
+        let mut lru = lock(&self.lru);
+        let mut index = write(&self.index);
+        index.clear();
+        lru.evictions += lru.entries as u64;
+        lru.entries = 0;
+        lru.weight = 0;
+        lru.slab.clear();
+        lru.free.clear();
+        lru.head = NIL;
+        lru.tail = NIL;
     }
 
     fn stats(&self) -> ShardStats {
+        let lru = lock(&self.lru);
+        let fast_hits = self.fast_hits.load(Ordering::Relaxed);
+        let locked_hits = self.locked_hits.load(Ordering::Relaxed);
+        let flight_joins = self.flight_joins.load(Ordering::Relaxed);
         ShardStats {
-            hits: self.hits,
-            misses: self.misses,
-            entries: self.map.len(),
-            evictions: self.evictions,
-            inserts: self.inserts,
-            peak_entries: self.peak_entries,
-            weight: self.weight,
-            peak_weight: self.peak_weight,
+            hits: fast_hits + locked_hits + flight_joins,
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: lru.entries,
+            evictions: lru.evictions,
+            inserts: lru.inserts,
+            peak_entries: lru.peak_entries,
+            weight: lru.weight,
+            peak_weight: lru.peak_weight,
+            fast_hits,
+            locked_hits,
+            flight_leaders: self.flight_leaders.load(Ordering::Relaxed),
+            flight_joins,
+        }
+    }
+}
+
+/// Dissolves a leader's flight exactly once: on [`FlightGuard::commit`] the
+/// waiters receive the committed value; if the guard drops *uncommitted* —
+/// the compute closure panicked or returned an error — the flight is
+/// abandoned and every waiter wakes to re-probe and elect a new leader.
+/// Dissolving before resolving/abandoning means a successor can always
+/// install a fresh flight; waiters already holding the slot's `Arc` are
+/// unaffected by its removal from the table.
+struct FlightGuard<'a, V: Clone> {
+    shard: &'a CacheShard<V>,
+    key: Arc<[u8]>,
+    slot: Arc<FlightSlot<V>>,
+    committed: bool,
+}
+
+impl<V: Clone> FlightGuard<'_, V> {
+    fn dissolve(&self) {
+        let mut flights = lock(&self.shard.flights);
+        let removed = flights.remove(&self.key);
+        debug_assert!(
+            removed.is_none_or(|slot| Arc::ptr_eq(&slot, &self.slot)),
+            "a leader only ever dissolves its own flight"
+        );
+    }
+
+    fn commit(mut self, value: V) {
+        self.dissolve();
+        self.slot.resolve(value);
+        self.committed = true;
+    }
+}
+
+impl<V: Clone> Drop for FlightGuard<'_, V> {
+    fn drop(&mut self) {
+        if !self.committed {
+            self.dissolve();
+            self.slot.abandon();
         }
     }
 }
 
 /// A bounded, sharded LRU map from byte keys to cloneable values, with O(1)
-/// hit-touch, insert and evict. See the [module docs](self) for the design.
+/// hit-touch, insert and evict, a read-locked hot-key hit path and per-key
+/// single-flight misses. See the [module docs](self) for the design.
 ///
 /// The total `capacity` is partitioned across the shards (every shard gets at
 /// least one slot; the shard count is rounded to a power of two and clamped
@@ -411,14 +752,25 @@ impl<V: Clone> Shard<V> {
 /// more than `capacity` entries. Keys are routed to shards by hash, which
 /// makes per-shard LRU an approximation of global LRU — exact when
 /// `shards == 1`.
-#[derive(Debug)]
 pub struct ShardedLruCache<V> {
-    shards: Vec<Mutex<Shard<V>>>,
+    shards: Vec<CacheShard<V>>,
     /// `shards.len() - 1`; the shard count is a power of two so routing is a
     /// single mask of the key hash.
     mask: u64,
     capacity: usize,
     weight_capacity: u64,
+    /// Prices a value at insert time; `|_| 1` in count mode.
+    weigher: fn(&V) -> u64,
+}
+
+impl<V> fmt::Debug for ShardedLruCache<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedLruCache")
+            .field("shards", &self.shards.len())
+            .field("capacity", &self.capacity)
+            .field("weight_capacity", &self.weight_capacity)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<V: Clone> ShardedLruCache<V> {
@@ -457,13 +809,12 @@ impl<V: Clone> ShardedLruCache<V> {
         let extra_w = total_weight % shards as u64;
         // The first `extra` shards absorb the remainder, so per-shard
         // budgets sum to exactly the requested totals.
-        let shards: Vec<Mutex<Shard<V>>> = (0..shards)
+        let shards: Vec<CacheShard<V>> = (0..shards)
             .map(|i| {
-                Mutex::new(Shard::new(
+                CacheShard::new(
                     base + usize::from(i < extra),
                     base_w + u64::from((i as u64) < extra_w),
-                    weigher,
-                ))
+                )
             })
             .collect();
         ShardedLruCache {
@@ -471,6 +822,7 @@ impl<V: Clone> ShardedLruCache<V> {
             shards,
             capacity,
             weight_capacity: total_weight,
+            weigher,
         }
     }
 
@@ -496,27 +848,25 @@ impl<V: Clone> ShardedLruCache<V> {
         (hasher.finish() & self.mask) as usize
     }
 
-    /// Locks shard `index`. The critical sections never leave the list
-    /// mid-mutation (see `Shard::insert` on panic safety), so a poisoned
-    /// lock is safe to see through — matching the engine's long-standing
-    /// behavior of surviving panicking jobs.
-    fn shard(&self, index: usize) -> MutexGuard<'_, Shard<V>> {
-        self.shards[index]
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
-
-    /// Looks `key` up, refreshing its LRU recency and counting a hit on
-    /// success. A miss counts **nothing** (see [`ShardedLruCache::record_miss`]).
+    /// Looks `key` up on the read fast lane, counting a fast or locked hit
+    /// on success (see the module docs); recency is refreshed unless the LRU
+    /// mutex is busy. A miss counts **nothing** (see
+    /// [`ShardedLruCache::record_miss`]).
     pub fn get(&self, key: &[u8]) -> Option<V> {
-        self.shard(self.shard_of(key)).get(key)
+        self.shards[self.shard_of(key)]
+            .hit(key)
+            .map(|(value, _)| value)
     }
 
-    /// Counts one miss against `key`'s shard. Callers invoke this when they
-    /// commit to computing the value, so `hits + misses` equals the number
-    /// of computing lookups while pure peeks stay free.
+    /// Counts one miss against `key`'s shard. Callers driving the raw
+    /// get/insert cycle invoke this when they commit to computing the value,
+    /// so `hits + misses` equals the number of computing lookups while pure
+    /// peeks stay free. ([`ShardedLruCache::get_or_compute`] does this
+    /// automatically for its leader.)
     pub fn record_miss(&self, key: &[u8]) {
-        self.shard(self.shard_of(key)).misses += 1;
+        self.shards[self.shard_of(key)]
+            .misses
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Inserts `key → value`, evicting the shard's LRU entry if the shard is
@@ -524,22 +874,131 @@ impl<V: Clone> ShardedLruCache<V> {
     /// (its recency is refreshed, nothing is replaced); the returned
     /// [`Inserted::value`] is the value all callers should share.
     pub fn insert(&self, key: Vec<u8>, value: V) -> Inserted<V> {
-        self.shard(self.shard_of(&key)).insert(key, value)
+        self.shards[self.shard_of(&key)].insert(key.into(), value, self.weigher)
+    }
+
+    /// Single-flight lookup-or-compute: a hit (fast or locked) returns
+    /// immediately; on a cold key exactly one caller — the leader — runs
+    /// `compute` on its own thread and commits the result, while concurrent
+    /// callers for the same key park and receive the committed value
+    /// ([`FlightOutcome::Joined`]).
+    ///
+    /// Errors are not cached: the leader's error is returned to the leader
+    /// alone, and its waiters wake to re-probe and elect a new leader (as
+    /// they do if the leader panics — the flight is dissolved by a drop
+    /// guard, so waiters never deadlock and the panic propagates on the
+    /// leader's thread only). `compute` is called at most once per
+    /// `get_or_compute` call.
+    ///
+    /// Parking discipline: a waiter blocks only on the leader's in-place
+    /// computation, which needs no pool capacity to finish — so both caller
+    /// threads and pool workers may wait here without violating the
+    /// engine's pool-deadlock rule (workers must never park on queued pool
+    /// *jobs*; see `Engine::dispatch`).
+    pub fn get_or_compute<E>(
+        &self,
+        key: &[u8],
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<Computed<V>, E> {
+        let shard = &self.shards[self.shard_of(key)];
+        let mut compute = Some(compute);
+        loop {
+            if let Some((value, touched)) = shard.hit(key) {
+                return Ok(Computed {
+                    value,
+                    outcome: if touched {
+                        FlightOutcome::LockedHit
+                    } else {
+                        FlightOutcome::FastHit
+                    },
+                });
+            }
+            let mut flights = lock(&shard.flights);
+            // Re-probe under the flight lock: a leader may have committed
+            // and dissolved its flight between the fast probe and the lock
+            // acquisition — without this check we would recompute a value
+            // that is already resident.
+            if let Some((value, touched)) = shard.hit(key) {
+                return Ok(Computed {
+                    value,
+                    outcome: if touched {
+                        FlightOutcome::LockedHit
+                    } else {
+                        FlightOutcome::FastHit
+                    },
+                });
+            }
+            if let Some(slot) = flights.get(key) {
+                let slot = Arc::clone(slot);
+                drop(flights);
+                if let Some(value) = slot.join() {
+                    shard.flight_joins.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Computed {
+                        value,
+                        outcome: FlightOutcome::Joined,
+                    });
+                }
+                // The leader died without committing; retry — this thread
+                // may find the value, join a successor, or lead itself.
+                continue;
+            }
+            // Cold key, no flight: become the leader.
+            let key_arc: Arc<[u8]> = key.to_vec().into();
+            let slot = Arc::new(FlightSlot::new());
+            flights.insert(Arc::clone(&key_arc), Arc::clone(&slot));
+            drop(flights);
+            shard.flight_leaders.fetch_add(1, Ordering::Relaxed);
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            let guard = FlightGuard {
+                shard,
+                key: Arc::clone(&key_arc),
+                slot,
+                committed: false,
+            };
+            // A panic or `Err` here drops `guard` uncommitted, which wakes
+            // every waiter into recomputing. No lock is held across the
+            // computation.
+            let fresh = (compute.take().expect("a call leads at most one flight"))()?;
+            // Commit *before* resolving the flight: a requester that misses
+            // the dissolved flight must find the value resident.
+            let value = shard.insert(key_arc, fresh, self.weigher).value;
+            guard.commit(value.clone());
+            return Ok(Computed {
+                value,
+                outcome: FlightOutcome::Led,
+            });
+        }
+    }
+
+    /// Threads currently parked on in-flight computations, across all
+    /// shards. A diagnostic: tests use it to release a gated leader only
+    /// once every expected waiter is provably parked, and operators can poll
+    /// it to observe stampedes being absorbed.
+    pub fn flight_waiters(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                lock(&shard.flights)
+                    .values()
+                    .map(|slot| slot.waiters.load(Ordering::SeqCst))
+                    .sum::<usize>()
+            })
+            .sum()
     }
 
     /// Drops every entry in every shard. Counters are kept; the dropped
     /// entries count as evictions so `entries + evictions == inserts` keeps
     /// holding.
     pub fn clear(&self) {
-        for i in 0..self.shards.len() {
-            self.shard(i).clear();
+        for shard in &self.shards {
+            shard.clear();
         }
     }
 
     /// Aggregated counters: the sum of one consistent per-shard snapshot
-    /// each (shards are locked one at a time, so each shard's numbers are
-    /// internally consistent even while other threads keep mutating other
-    /// shards).
+    /// each (shards are snapshotted one at a time, so each shard's numbers
+    /// are internally consistent even while other threads keep mutating
+    /// other shards).
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats {
             hits: 0,
@@ -550,6 +1009,10 @@ impl<V: Clone> ShardedLruCache<V> {
             peak_entries: 0,
             weight: 0,
             peak_weight: 0,
+            fast_hits: 0,
+            locked_hits: 0,
+            flight_leaders: 0,
+            flight_joins: 0,
             shards: self.shards.len(),
         };
         for stats in self.shard_stats() {
@@ -561,22 +1024,22 @@ impl<V: Clone> ShardedLruCache<V> {
             total.peak_entries += stats.peak_entries;
             total.weight += stats.weight;
             total.peak_weight += stats.peak_weight;
+            total.fast_hits += stats.fast_hits;
+            total.locked_hits += stats.locked_hits;
+            total.flight_leaders += stats.flight_leaders;
+            total.flight_joins += stats.flight_joins;
         }
         total
     }
 
     /// One consistent [`ShardStats`] snapshot per shard, in shard order.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
-        (0..self.shards.len())
-            .map(|i| self.shard(i).stats())
-            .collect()
+        self.shards.iter().map(CacheShard::stats).collect()
     }
 
     /// Entries currently resident across all shards.
     pub fn len(&self) -> usize {
-        (0..self.shards.len())
-            .map(|i| self.shard(i).map.len())
-            .sum()
+        self.shards.iter().map(|s| lock(&s.lru).entries).sum()
     }
 
     /// Whether the cache currently holds no entries.
@@ -628,6 +1091,8 @@ mod tests {
         assert_eq!((stats.hits, stats.evictions, stats.inserts), (1, 1, 3));
         assert_eq!(stats.peak_entries, 2);
         assert!(stats.entries as u64 + stats.evictions == stats.inserts);
+        // Uncontended, the hit refreshed recency under the LRU mutex.
+        assert_eq!((stats.locked_hits, stats.fast_hits), (1, 0));
     }
 
     /// A 1-shard cache must reproduce the old engine's *global* LRU victim
@@ -746,6 +1211,9 @@ mod tests {
         assert!(shown.contains("2 shards"), "{shown}");
         assert!(shown.contains("1 inserts"), "{shown}");
         assert!(shown.contains("weight 1"), "{shown}");
+        assert!(shown.contains("1 locked"), "{shown}");
+        assert!(shown.contains("0 fast"), "{shown}");
+        assert!(shown.contains("flight leaders"), "{shown}");
     }
 
     #[test]
@@ -833,5 +1301,132 @@ mod tests {
             assert!(cache.stats().weight <= 5);
         }
         assert_eq!(cache.len(), 5);
+    }
+
+    #[test]
+    fn get_or_compute_leads_once_then_hits() {
+        let cache = ShardedLruCache::new(4, 1);
+        let first = cache
+            .get_or_compute::<()>(&key(1), || Ok(11u32))
+            .expect("compute succeeds");
+        assert_eq!(first.value, 11);
+        assert_eq!(first.outcome, FlightOutcome::Led);
+        assert!(first.outcome == FlightOutcome::Led && !first.outcome.served_from_cache());
+        // Warm: served from the cache, recency touched (no contention).
+        let second = cache
+            .get_or_compute::<()>(&key(1), || panic!("must not recompute"))
+            .expect("hit");
+        assert_eq!(second.value, 11);
+        assert_eq!(second.outcome, FlightOutcome::LockedHit);
+        assert!(second.outcome.served_from_cache());
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.flight_leaders), (1, 1));
+        assert_eq!(
+            (stats.hits, stats.locked_hits, stats.flight_joins),
+            (1, 1, 0)
+        );
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(cache.flight_waiters(), 0, "no flight survives its leader");
+    }
+
+    #[test]
+    fn get_or_compute_error_is_not_cached() {
+        let cache = ShardedLruCache::<u32>::new(4, 1);
+        let err = cache
+            .get_or_compute(&key(5), || Err("boom"))
+            .expect_err("compute failed");
+        assert_eq!(err, "boom");
+        let stats = cache.stats();
+        // The failed leader still counted a miss (a computation was
+        // committed to) but inserted nothing.
+        assert_eq!((stats.misses, stats.flight_leaders), (1, 1));
+        assert_eq!((stats.entries, stats.inserts), (0, 0));
+        // A retry recomputes and succeeds; the flight table holds no corpse.
+        let retry = cache
+            .get_or_compute::<()>(&key(5), || Ok(50))
+            .expect("retry succeeds");
+        assert_eq!(retry.outcome, FlightOutcome::Led);
+        assert_eq!(cache.get(&key(5)), Some(50));
+        assert_eq!(cache.flight_waiters(), 0);
+    }
+
+    /// A panicking leader must dissolve its flight (the drop guard) so a
+    /// subsequent requester can lead — and no cache lock stays poisoned.
+    #[test]
+    fn panicking_leader_dissolves_its_flight() {
+        let cache = std::sync::Arc::new(ShardedLruCache::<u32>::new(4, 1));
+        let for_panic = std::sync::Arc::clone(&cache);
+        let k = key(9);
+        let k2 = k.clone();
+        let died = std::thread::spawn(move || {
+            let _ = for_panic.get_or_compute::<()>(&k2, || panic!("leader dies"));
+        })
+        .join();
+        assert!(died.is_err(), "the leader's panic propagates to its thread");
+        // The cache survived: same key computes fine, stats stay consistent.
+        let retry = cache
+            .get_or_compute::<()>(&k, || Ok(90))
+            .expect("new leader succeeds");
+        assert_eq!(retry.outcome, FlightOutcome::Led);
+        assert_eq!(cache.get(&k), Some(90));
+        let stats = cache.stats();
+        assert_eq!(stats.flight_leaders, 2, "both elections counted");
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.inserts, 1, "only the successful leader inserted");
+        for shard in cache.shard_stats() {
+            assert!(shard.is_consistent(), "{shard:?}");
+        }
+    }
+
+    /// Gated leader + provably-parked waiters: every waiter joins and
+    /// receives the leader's value, none recomputes.
+    #[test]
+    fn waiters_join_a_gated_leader() {
+        const WAITERS: usize = 4;
+        let cache = std::sync::Arc::new(ShardedLruCache::<u32>::new(8, 1));
+        let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+        let k = key(3);
+
+        std::thread::scope(|scope| {
+            let leader_cache = std::sync::Arc::clone(&cache);
+            let leader_key = k.clone();
+            scope.spawn(move || {
+                let led = leader_cache
+                    .get_or_compute::<()>(&leader_key, || {
+                        gate_rx.recv().expect("gate opens");
+                        Ok(30)
+                    })
+                    .expect("leader commits");
+                assert_eq!(led.outcome, FlightOutcome::Led);
+            });
+            // Wait for the flight to exist, then launch the joiners.
+            while cache.stats().flight_leaders == 0 {
+                std::thread::yield_now();
+            }
+            for _ in 0..WAITERS {
+                let cache = std::sync::Arc::clone(&cache);
+                let k = k.clone();
+                scope.spawn(move || {
+                    let joined = cache
+                        .get_or_compute::<()>(&k, || panic!("joiner must not compute"))
+                        .expect("joiner served");
+                    assert_eq!(joined.value, 30, "joiner observes the leader's value");
+                    assert_eq!(joined.outcome, FlightOutcome::Joined);
+                });
+            }
+            // Release the gate only once every waiter is provably parked.
+            while cache.flight_waiters() < WAITERS {
+                std::thread::yield_now();
+            }
+            gate_tx.send(()).expect("leader is parked on the gate");
+        });
+
+        let stats = cache.stats();
+        assert_eq!(stats.flight_joins, WAITERS as u64);
+        assert_eq!(
+            (stats.flight_leaders, stats.misses, stats.inserts),
+            (1, 1, 1)
+        );
+        assert_eq!(cache.flight_waiters(), 0);
     }
 }

@@ -8,15 +8,19 @@
 //!   [`structural key`](lcl_problem::NormalizedLcl::structural_key) (name-
 //!   and label-name-insensitive, collision-free), so once a problem is
 //!   cached, the expensive type-semigroup and feasibility work is never
-//!   repeated for that structure. Threads that miss a *cold* cache
-//!   concurrently may duplicate the computation (one result wins; each such
-//!   computation counts as a miss) — [`Engine::classify_many`] avoids this by
-//!   deduplicating its batch up front. The cache is a bounded
-//!   [`ShardedLruCache`]
+//!   repeated for that structure. Misses are **single-flight**: threads that
+//!   miss a *cold* cache concurrently elect one leader that computes while
+//!   the rest park and receive the committed value, so N concurrent requests
+//!   for one cold problem perform exactly one classification (a leader that
+//!   panics or errors wakes its waiters into electing a successor — see
+//!   [`ShardedLruCache::get_or_compute`]). [`Engine::classify_many`]
+//!   additionally deduplicates its batch up front so duplicates never even
+//!   reach the flight table. The cache is a bounded [`ShardedLruCache`]
 //!   ([`EngineBuilder::cache_capacity`] entries split across
 //!   [`EngineBuilder::cache_shards`] independently locked shards, O(1)
-//!   touch-on-hit LRU eviction per shard), and [`Engine::cache_stats`]
-//!   aggregates the per-shard hit/miss/insert/eviction counters;
+//!   touch-on-hit LRU eviction per shard, hits on a read-locked fast lane
+//!   that never blocks on the shard mutex), and [`Engine::cache_stats`]
+//!   aggregates the per-shard hit/miss/insert/eviction/flight counters;
 //! * **owns a persistent worker pool**: [`EngineBuilder::build`] spawns
 //!   [`Engine::parallelism`] long-lived worker threads once; batch
 //!   classification and server request dispatch inject jobs into the pool's
@@ -276,16 +280,15 @@ impl EngineCore {
     /// served the result (`true` = hit), for callers that attribute latency.
     fn classify_observed(&self, problem: &NormalizedLcl) -> Result<(Arc<Classification>, bool)> {
         let key = problem.structural_key();
-        if let Some(cached) = self.lookup(&key) {
-            return Ok((cached, true));
-        }
-        // The miss is counted when we commit to computing, not at lookup
-        // time, so peeks stay free and every computation costs exactly one.
-        self.cache.record_miss(&key);
-        let computed = Arc::new(classify_with_options(problem, &self.options)?);
-        // Another thread may have raced us to the same problem; the cache
-        // keeps the first entry so every caller shares one allocation.
-        Ok((self.cache.insert(key, computed).value, false))
+        // Single-flight: at most one thread per cold key runs the closure
+        // (counting the miss when it commits to computing); concurrent
+        // requesters park on the leader's flight and share its Arc. Waiting
+        // is on the leader's in-place computation, never on pool capacity,
+        // so this is safe from pool workers too (see `Engine::dispatch`).
+        let computed = self.cache.get_or_compute(&key, || {
+            classify_with_options(problem, &self.options).map(Arc::new)
+        })?;
+        Ok((computed.value, computed.outcome.served_from_cache()))
     }
 
     /// The error reported when a pool job died (panicked) before sending its
@@ -704,6 +707,10 @@ mod tests {
                 peak_entries: 1,
                 weight: 1,
                 peak_weight: 1,
+                fast_hits: 0,
+                locked_hits: 0,
+                flight_leaders: 1,
+                flight_joins: 0,
                 shards: engine.cache_shards(),
             }
         );
@@ -994,11 +1001,17 @@ mod tests {
             peak_entries: 1,
             weight: 1,
             peak_weight: 1,
+            fast_hits: 1,
+            locked_hits: 2,
+            flight_leaders: 1,
+            flight_joins: 0,
             shards: 2,
         };
         assert!((stats.hit_ratio() - 0.75).abs() < 1e-12);
         let shown = stats.to_string();
         assert!(shown.contains("3 hits"), "{shown}");
+        assert!(shown.contains("1 fast"), "{shown}");
+        assert!(shown.contains("2 locked"), "{shown}");
         assert!(shown.contains("75.0%"), "{shown}");
         assert!(shown.contains("2 shards"), "{shown}");
         let empty = CacheStats {
@@ -1010,6 +1023,10 @@ mod tests {
             peak_entries: 0,
             weight: 0,
             peak_weight: 0,
+            fast_hits: 0,
+            locked_hits: 0,
+            flight_leaders: 0,
+            flight_joins: 0,
             shards: 1,
         };
         assert_eq!(empty.hit_ratio(), 0.0);
@@ -1036,6 +1053,44 @@ mod tests {
         assert_eq!(stats.entries, 1, "budget holds one classification");
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.entries as u64 + stats.evictions, stats.inserts);
+    }
+
+    #[test]
+    fn concurrent_cold_classify_computes_once() {
+        // Eight threads race the same cold problem through the barrier: the
+        // single-flight cache must elect exactly one leader, and every
+        // thread must share the leader's allocation.
+        const THREADS: usize = 8;
+        let engine = std::sync::Arc::new(Engine::builder().parallelism(2).build());
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(THREADS));
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let engine = std::sync::Arc::clone(&engine);
+            let barrier = std::sync::Arc::clone(&barrier);
+            joins.push(std::thread::spawn(move || {
+                barrier.wait();
+                engine.classify(&three_coloring()).unwrap()
+            }));
+        }
+        let results: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        for other in &results[1..] {
+            assert!(
+                Arc::ptr_eq(&results[0], other),
+                "all threads share the leader's classification"
+            );
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1, "one computation, however many racers");
+        assert_eq!(stats.flight_leaders, 1);
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(
+            stats.hits + stats.misses,
+            THREADS as u64,
+            "every thread is exactly one of hit/join/leader: {stats:?}"
+        );
+        for shard in engine.cache_shard_stats() {
+            assert!(shard.is_consistent(), "{shard:?}");
+        }
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod synthesis;
 mod types_info;
 mod verdict;
 
-pub use cache::{CacheStats, Inserted, ShardStats, ShardedLruCache};
+pub use cache::{CacheStats, Computed, FlightOutcome, Inserted, ShardStats, ShardedLruCache};
 pub use classify::{classify, classify_with_options, ClassifierOptions};
 pub use engine::{
     approximate_classification_weight, default_engine, Engine, EngineBuilder, Solution,

@@ -232,6 +232,32 @@ pub fn render_exposition(service: &Service) -> String {
     );
     expo.sample("cache_hits_total", "", cache.hits);
     expo.header(
+        "cache_fast_hits_total",
+        "counter",
+        "Cache hits served on the read fast lane with the LRU recency touch \
+         skipped (the shard's LRU mutex was busy).",
+    );
+    expo.sample("cache_fast_hits_total", "", cache.fast_hits);
+    expo.header(
+        "cache_locked_hits_total",
+        "counter",
+        "Cache hits that also refreshed LRU recency under the shard mutex.",
+    );
+    expo.sample("cache_locked_hits_total", "", cache.locked_hits);
+    expo.header(
+        "cache_flight_leaders_total",
+        "counter",
+        "Single-flight leaders elected: cold-key classifications started.",
+    );
+    expo.sample("cache_flight_leaders_total", "", cache.flight_leaders);
+    expo.header(
+        "cache_flight_joins_total",
+        "counter",
+        "Requests served by parking on another request's in-flight \
+         classification (stampedes absorbed).",
+    );
+    expo.sample("cache_flight_joins_total", "", cache.flight_joins);
+    expo.header(
         "cache_misses_total",
         "counter",
         "Classification lookups that had to be computed.",
@@ -281,6 +307,54 @@ pub fn render_exposition(service: &Service) -> String {
             "cache_shard_hits_total",
             &format!("{{shard=\"{at}\"}}"),
             shard.hits,
+        );
+    }
+    expo.header(
+        "cache_shard_fast_hits_total",
+        "counter",
+        "Fast-lane hits with the recency touch skipped, by shard.",
+    );
+    for (at, shard) in shards.iter().enumerate() {
+        expo.sample(
+            "cache_shard_fast_hits_total",
+            &format!("{{shard=\"{at}\"}}"),
+            shard.fast_hits,
+        );
+    }
+    expo.header(
+        "cache_shard_locked_hits_total",
+        "counter",
+        "Hits that refreshed LRU recency, by shard.",
+    );
+    for (at, shard) in shards.iter().enumerate() {
+        expo.sample(
+            "cache_shard_locked_hits_total",
+            &format!("{{shard=\"{at}\"}}"),
+            shard.locked_hits,
+        );
+    }
+    expo.header(
+        "cache_shard_flight_leaders_total",
+        "counter",
+        "Single-flight leaders elected, by shard.",
+    );
+    for (at, shard) in shards.iter().enumerate() {
+        expo.sample(
+            "cache_shard_flight_leaders_total",
+            &format!("{{shard=\"{at}\"}}"),
+            shard.flight_leaders,
+        );
+    }
+    expo.header(
+        "cache_shard_flight_joins_total",
+        "counter",
+        "Requests that joined an in-flight computation, by shard.",
+    );
+    for (at, shard) in shards.iter().enumerate() {
+        expo.sample(
+            "cache_shard_flight_joins_total",
+            &format!("{{shard=\"{at}\"}}"),
+            shard.flight_joins,
         );
     }
     expo.header(

@@ -932,6 +932,13 @@ impl Service {
                 "cache",
                 JsonValue::object([
                     ("hits", JsonValue::Int(cache.hits as i64)),
+                    ("fast_hits", JsonValue::Int(cache.fast_hits as i64)),
+                    ("locked_hits", JsonValue::Int(cache.locked_hits as i64)),
+                    (
+                        "flight_leaders",
+                        JsonValue::Int(cache.flight_leaders as i64),
+                    ),
+                    ("flight_joins", JsonValue::Int(cache.flight_joins as i64)),
                     ("misses", JsonValue::Int(cache.misses as i64)),
                     ("entries", JsonValue::Int(cache.entries as i64)),
                     ("evictions", JsonValue::Int(cache.evictions as i64)),
@@ -1128,6 +1135,15 @@ mod tests {
         assert_eq!(cache.require("hits").unwrap().as_int().unwrap(), 1);
         assert_eq!(cache.require("misses").unwrap().as_int().unwrap(), 1);
         assert_eq!(cache.require("inserts").unwrap().as_int().unwrap(), 1);
+        // The single classification elected one single-flight leader; the
+        // uncontended repeat was a locked (recency-refreshing) hit.
+        assert_eq!(
+            cache.require("flight_leaders").unwrap().as_int().unwrap(),
+            1
+        );
+        assert_eq!(cache.require("flight_joins").unwrap().as_int().unwrap(), 0);
+        assert_eq!(cache.require("locked_hits").unwrap().as_int().unwrap(), 1);
+        assert_eq!(cache.require("fast_hits").unwrap().as_int().unwrap(), 0);
         assert_eq!(cache.require("peak_entries").unwrap().as_int().unwrap(), 1);
         assert_eq!(
             cache.require("shards").unwrap().as_int().unwrap(),

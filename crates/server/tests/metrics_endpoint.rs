@@ -233,6 +233,10 @@ fn the_exposition_agrees_with_the_json_stats_when_quiesced() {
         ("misses", "lcl_cache_misses_total"),
         ("entries", "lcl_cache_entries"),
         ("inserts", "lcl_cache_inserts_total"),
+        ("fast_hits", "lcl_cache_fast_hits_total"),
+        ("locked_hits", "lcl_cache_locked_hits_total"),
+        ("flight_leaders", "lcl_cache_flight_leaders_total"),
+        ("flight_joins", "lcl_cache_flight_joins_total"),
     ] {
         assert_eq!(
             cache.require(field).unwrap().as_int().unwrap() as u64,
@@ -240,6 +244,20 @@ fn the_exposition_agrees_with_the_json_stats_when_quiesced() {
             "cache `{field}` disagrees with `{family}`"
         );
     }
+    // Every hit is exactly one of fast, locked, or joined — in the JSON
+    // reply just as in each per-shard snapshot.
+    assert_eq!(
+        cache.require("hits").unwrap().as_int().unwrap(),
+        cache.require("fast_hits").unwrap().as_int().unwrap()
+            + cache.require("locked_hits").unwrap().as_int().unwrap()
+            + cache.require("flight_joins").unwrap().as_int().unwrap(),
+    );
+    // Single-connection workload: every computation was a leader, nothing
+    // had anyone to join.
+    assert_eq!(
+        cache.require("flight_leaders").unwrap().as_int().unwrap() as u64,
+        sample_value(&expo, "lcl_cache_misses_total"),
+    );
 
     // The satellite `server` block carries the identity fields.
     let server = stats.require("server").expect("server block");

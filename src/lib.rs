@@ -100,7 +100,8 @@ pub use error::{Error, Result};
 pub use lcl_algorithms as algorithms;
 pub use lcl_classifier as classifier;
 pub use lcl_classifier::{
-    CacheStats, Engine, EngineBuilder, ShardStats, ShardedLruCache, Solution,
+    CacheStats, Computed, Engine, EngineBuilder, FlightOutcome, ShardStats, ShardedLruCache,
+    Solution,
 };
 pub use lcl_gen as gen;
 pub use lcl_hardness as hardness;

@@ -18,12 +18,25 @@
 //! and an over-heavy entry parks alone). The model mirrors both with the
 //! same evict-from-the-back loop.
 //!
+//! Since the single-flight/fast-lane change, the suite also covers the
+//! **concurrency semantics**: the sequential traces exercise
+//! `get_or_compute` (with failing closures — errors are never cached) and
+//! the reference model mirrors the hit/leader accounting, while the
+//! multi-threaded tests at the bottom assert the single-flight contract
+//! itself — exactly one leader per cold key per generation, every joiner
+//! observing the leader's value, panicking leaders recovered by a successor
+//! — at shard counts 1, 2 and 8. Single-threaded, the `try_lock` recency
+//! touch always succeeds, so every hit is a *locked* hit and the exact-LRU
+//! victim agreement asserted here is untouched by the fast lane.
+//!
 //! Per house style (see tests/properties.rs) the generators are seeded
 //! `StdRng`s, so every failure reproduces exactly from its case index.
 
-use lcl_paths::classifier::cache::{ShardStats, ShardedLruCache};
+use lcl_paths::classifier::cache::{FlightOutcome, ShardStats, ShardedLruCache};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
 
 const CASES: u64 = 24;
 const OPS: usize = 500;
@@ -52,8 +65,11 @@ struct ModelShard {
     /// Front = most recently used; eviction victims pop off the back.
     /// Each entry remembers the weight it was priced at insert time.
     entries: Vec<(Vec<u8>, u64, u64)>,
-    hits: u64,
+    /// Single-threaded, the recency `try_lock` always succeeds, so every
+    /// model hit is a *locked* hit (`fast_hits` and `flight_joins` stay 0).
+    locked_hits: u64,
     misses: u64,
+    flight_leaders: u64,
     inserts: u64,
     evictions: u64,
     peak_entries: usize,
@@ -68,8 +84,9 @@ impl ModelShard {
             weight_capacity,
             weigher,
             entries: Vec::new(),
-            hits: 0,
+            locked_hits: 0,
             misses: 0,
+            flight_leaders: 0,
             inserts: 0,
             evictions: 0,
             peak_entries: 0,
@@ -83,7 +100,7 @@ impl ModelShard {
         let entry = self.entries.remove(at);
         let value = entry.1;
         self.entries.insert(0, entry);
-        self.hits += 1;
+        self.locked_hits += 1;
         Some(value)
     }
 
@@ -122,7 +139,7 @@ impl ModelShard {
 
     fn stats(&self) -> ShardStats {
         ShardStats {
-            hits: self.hits,
+            hits: self.locked_hits,
             misses: self.misses,
             entries: self.entries.len(),
             evictions: self.evictions,
@@ -130,6 +147,10 @@ impl ModelShard {
             peak_entries: self.peak_entries,
             weight: self.weight,
             peak_weight: self.peak_weight,
+            fast_hits: 0,
+            locked_hits: self.locked_hits,
+            flight_leaders: self.flight_leaders,
+            flight_joins: 0,
         }
     }
 }
@@ -195,9 +216,9 @@ fn run_trace(case: u64, bound: Bound, shards: usize) {
             0..=24 => {
                 assert_eq!(cache.get(&k), model.shards[shard].get(&k), "{ctx}");
             }
-            // Classify-shaped cycle: get, and on a miss record the miss and
-            // insert the freshly "computed" value.
-            25..=74 => {
+            // Classify-shaped cycle driven by hand: get, and on a miss
+            // record the miss and insert the freshly "computed" value.
+            25..=54 => {
                 let got = cache.get(&k);
                 assert_eq!(got, model.shards[shard].get(&k), "{ctx}");
                 if got.is_none() {
@@ -211,6 +232,50 @@ fn run_trace(case: u64, bound: Bound, shards: usize) {
                     let real_evicted: Vec<Vec<u8>> =
                         real.evicted.iter().map(|k| k.to_vec()).collect();
                     assert_eq!(real_evicted, evicted, "{ctx}: wrong eviction victims");
+                }
+            }
+            // The same cycle through the single-flight front door, with the
+            // occasional failing computation (errors are never cached).
+            // Single-threaded there is no one to join and the recency
+            // try_lock always succeeds, so the outcome must be LockedHit on
+            // a warm key and Led on a cold one.
+            55..=74 => {
+                let fails = rng.gen_range(0..8u32) == 0;
+                next_value += 1;
+                let candidate = next_value;
+                let expected = model.shards[shard].get(&k);
+                let real = cache.get_or_compute(&k, || {
+                    if fails {
+                        Err("compute failed")
+                    } else {
+                        Ok(candidate)
+                    }
+                });
+                match expected {
+                    Some(value) => {
+                        let computed = real.unwrap_or_else(|e| panic!("{ctx}: hit errored: {e}"));
+                        assert_eq!(computed.value, value, "{ctx}");
+                        assert_eq!(computed.outcome, FlightOutcome::LockedHit, "{ctx}");
+                        assert!(computed.outcome.served_from_cache(), "{ctx}");
+                    }
+                    None if fails => {
+                        // The failed leader counted its miss and election
+                        // but inserted nothing.
+                        assert_eq!(real.unwrap_err(), "compute failed", "{ctx}");
+                        model.shards[shard].misses += 1;
+                        model.shards[shard].flight_leaders += 1;
+                    }
+                    None => {
+                        let computed = real.unwrap_or_else(|e| panic!("{ctx}: led errored: {e}"));
+                        assert_eq!(computed.value, candidate, "{ctx}");
+                        assert_eq!(computed.outcome, FlightOutcome::Led, "{ctx}");
+                        assert!(!computed.outcome.served_from_cache(), "{ctx}");
+                        model.shards[shard].misses += 1;
+                        model.shards[shard].flight_leaders += 1;
+                        let (value, fresh, _evicted) = model.shards[shard].insert(k, candidate);
+                        assert_eq!(value, candidate, "{ctx}");
+                        assert!(fresh, "{ctx}: the key was cold");
+                    }
                 }
             }
             // Blind insert, possibly racing a present key (keep-first).
@@ -256,10 +321,25 @@ fn run_trace(case: u64, bound: Bound, shards: usize) {
         ),
         "case {case}: aggregate stats diverged"
     );
+    assert_eq!(
+        (total.fast_hits, total.locked_hits, total.flight_joins),
+        (0, reference.iter().map(|s| s.locked_hits).sum::<u64>(), 0),
+        "case {case}: single-threaded hits are all locked hits"
+    );
+    assert_eq!(
+        total.hits,
+        total.fast_hits + total.locked_hits + total.flight_joins,
+        "case {case}: hit accounting"
+    );
+    assert_eq!(
+        total.flight_leaders,
+        reference.iter().map(|s| s.flight_leaders).sum::<u64>(),
+        "case {case}: leader elections diverged"
+    );
     for (i, shard) in real.iter().enumerate() {
         assert!(
             shard.is_consistent(),
-            "case {case}, shard {i}: entries + evictions != inserts: {shard:?}"
+            "case {case}, shard {i}: snapshot invariants violated: {shard:?}"
         );
     }
     match bound {
@@ -324,5 +404,172 @@ fn clamped_shard_counts_still_match_the_model() {
     assert_eq!(weighted.shards(), 2);
     for case in 0..CASES {
         run_trace(case, Bound::Weight(3), 8);
+    }
+}
+
+/// The value the one legitimate computation for `key_index` produces; every
+/// joiner must observe exactly this.
+fn committed_value(key_index: u64) -> u64 {
+    key_index * 31 + 7
+}
+
+/// The single-flight contract under real concurrency: 8 threads hammer an
+/// overlapping key set through `get_or_compute` (the capacity is large
+/// enough that nothing is evicted, so each key has exactly one generation),
+/// with a mix of slow and fast compute closures. A per-key atomic counts
+/// *actual* closure executions: exactly one leader per cold key, however
+/// many threads race it, and every thread observes the leader's value.
+#[test]
+fn concurrent_get_or_compute_elects_exactly_one_leader_per_key() {
+    const THREADS: usize = 8;
+    const KEYS: u64 = 16;
+    for &shards in &[1usize, 2, 8] {
+        let cache = Arc::new(ShardedLruCache::<u64>::new(64, shards));
+        let computed: Arc<Vec<AtomicU64>> =
+            Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
+        let barrier = Arc::new(Barrier::new(THREADS));
+
+        std::thread::scope(|scope| {
+            for thread in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                let computed = Arc::clone(&computed);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    // Each thread walks the keys in its own seeded order, so
+                    // different keys are cold for different threads at
+                    // different times.
+                    let mut rng = StdRng::seed_from_u64(0xF11657 + thread as u64);
+                    let mut order: Vec<u64> = (0..KEYS).collect();
+                    use rand::seq::SliceRandom;
+                    order.shuffle(&mut rng);
+                    barrier.wait();
+                    for &i in &order {
+                        let slow = i % 3 == 0;
+                        let result = cache
+                            .get_or_compute::<()>(&key(i), || {
+                                computed[i as usize].fetch_add(1, Ordering::SeqCst);
+                                if slow {
+                                    // A slow leader keeps its flight open long
+                                    // enough for joiners to pile up.
+                                    std::thread::sleep(std::time::Duration::from_millis(1));
+                                }
+                                Ok(committed_value(i))
+                            })
+                            .expect("compute never fails here");
+                        assert_eq!(
+                            result.value,
+                            committed_value(i),
+                            "shards {shards}: every thread observes the leader's value"
+                        );
+                    }
+                });
+            }
+        });
+
+        for (i, count) in computed.iter().enumerate() {
+            assert_eq!(
+                count.load(Ordering::SeqCst),
+                1,
+                "shards {shards}, key {i}: cold key computed more than once"
+            );
+        }
+        let total = cache.stats();
+        assert_eq!(total.flight_leaders, KEYS, "shards {shards}");
+        assert_eq!(total.misses, KEYS, "shards {shards}");
+        assert_eq!(total.inserts, KEYS, "shards {shards}");
+        assert_eq!(total.entries, KEYS as usize, "nothing was evicted");
+        assert_eq!(
+            total.hits + total.misses,
+            (THREADS as u64) * KEYS,
+            "shards {shards}: every call is exactly one of hit/join/lead: {total:?}"
+        );
+        for (i, shard) in cache.shard_stats().iter().enumerate() {
+            assert!(
+                shard.is_consistent(),
+                "shards {shards}, shard {i}: {shard:?}"
+            );
+        }
+        assert_eq!(cache.flight_waiters(), 0, "no flight outlives the trace");
+    }
+}
+
+/// Panic recovery at every shard count: the first computation of every even
+/// key panics its leader. Waiters must wake, elect a successor, and end up
+/// with the committed value; the pool of threads never deadlocks and no
+/// cache lock stays poisoned. The per-key attempt counter proves the
+/// recovery is *minimal*: exactly one extra computation per panicked key.
+#[test]
+fn panicking_leaders_are_replaced_without_extra_computations() {
+    const THREADS: usize = 8;
+    const KEYS: u64 = 8;
+    for &shards in &[1usize, 2, 8] {
+        let cache = Arc::new(ShardedLruCache::<u64>::new(64, shards));
+        let attempts: Arc<Vec<AtomicU64>> =
+            Arc::new((0..KEYS).map(|_| AtomicU64::new(0)).collect());
+        let barrier = Arc::new(Barrier::new(THREADS));
+
+        std::thread::scope(|scope| {
+            for thread in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                let attempts = Arc::clone(&attempts);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xDEAD + thread as u64);
+                    let mut order: Vec<u64> = (0..KEYS).collect();
+                    use rand::seq::SliceRandom;
+                    order.shuffle(&mut rng);
+                    barrier.wait();
+                    for &i in &order {
+                        // Retry until served: a thread that inherits the
+                        // panicking first attempt propagates that panic (as
+                        // the engine would) and must be able to come back.
+                        loop {
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    cache.get_or_compute::<()>(&key(i), || {
+                                        let n = attempts[i as usize].fetch_add(1, Ordering::SeqCst);
+                                        if n == 0 && i % 2 == 0 {
+                                            panic!("first leader of an even key dies");
+                                        }
+                                        Ok(committed_value(i))
+                                    })
+                                }));
+                            if let Ok(Ok(computed)) = outcome {
+                                assert_eq!(computed.value, committed_value(i));
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        for i in 0..KEYS {
+            let expected = if i % 2 == 0 { 2 } else { 1 };
+            assert_eq!(
+                attempts[i as usize].load(Ordering::SeqCst),
+                expected,
+                "shards {shards}, key {i}: recovery must cost exactly one retry"
+            );
+        }
+        let total = cache.stats();
+        let evens = KEYS / 2;
+        assert_eq!(total.flight_leaders, KEYS + evens, "shards {shards}");
+        assert_eq!(total.misses, KEYS + evens, "shards {shards}");
+        assert_eq!(total.inserts, KEYS, "only successful leaders insert");
+        for i in 0..KEYS {
+            assert_eq!(
+                cache.get(&key(i)),
+                Some(committed_value(i)),
+                "shards {shards}: the cache survived its panicking leaders"
+            );
+        }
+        for (at, shard) in cache.shard_stats().iter().enumerate() {
+            assert!(
+                shard.is_consistent(),
+                "shards {shards}, shard {at}: {shard:?}"
+            );
+        }
+        assert_eq!(cache.flight_waiters(), 0);
     }
 }

@@ -183,6 +183,145 @@ fn soak_128_concurrent_pipelined_clients_per_backend() {
     }
 }
 
+/// Connections in the single-cold-key stampede.
+const STAMPEDE_CLIENTS: usize = 64;
+
+/// One stampede attempt: 64 pipelined connections fire the same cold
+/// classify at once. Returns the aggregate flight_joins reported by the
+/// wire `stats` reply; everything that must hold on *every* attempt — one
+/// computation total, byte-identical verdicts, one pool job per frame — is
+/// hard-asserted inside.
+fn stampede_once(backend: Backend) -> i64 {
+    // As many pool workers as connections, so every frame's job can be
+    // in-flight at once and 63 of them can park on the leader's flight
+    // (waiters park on the leader's *inline* computation, never on queued
+    // pool work, so a pool full of waiters cannot deadlock).
+    let service = Arc::new(Service::new(
+        Engine::builder().parallelism(STAMPEDE_CLIENTS).build(),
+    ));
+    let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0")
+        .expect("bind loopback")
+        .backend(backend)
+        .start()
+        .expect("start server");
+    let addr = handle.addr();
+
+    // A problem slow enough (~100ms cold) that every late requester reaches
+    // the flight table while the leader is still computing.
+    let spec = problems::coloring(14).to_spec();
+    let expected = Engine::new()
+        .verdict(&spec.to_problem().expect("corpus problem"))
+        .expect("in-process verdict")
+        .to_json_string();
+
+    // Open all connections first, then release the requests as closely
+    // together as threads allow.
+    let clients: Vec<Client> = (0..STAMPEDE_CLIENTS)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("[{backend}] connect {i}: {e}")))
+        .collect();
+    let barrier = Arc::new(std::sync::Barrier::new(STAMPEDE_CLIENTS));
+    let workers: Vec<std::thread::JoinHandle<()>> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut client)| {
+            let spec = spec.clone();
+            let expected = expected.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let payload = JsonValue::object([("problem", spec.to_json())]);
+                let line = RequestEnvelope::new(i as i64, "classify", payload).to_json_string();
+                barrier.wait();
+                client.send_frame(&line).expect("send classify");
+                let raw = client.recv_frame().expect("reply arrives");
+                let reply = ResponseEnvelope::from_json_str(&raw).expect("reply parses");
+                assert_eq!(reply.id, Some(i as i64));
+                let verdict = reply
+                    .result
+                    .expect("classification succeeds")
+                    .require("verdict")
+                    .expect("verdict field")
+                    .to_json_string();
+                assert_eq!(
+                    verdict, expected,
+                    "[{backend}] client {i}: stampede verdict must be byte-identical"
+                );
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("stampede client thread");
+    }
+
+    // However the 64 threads interleaved, the cache performed exactly one
+    // classification: one flight leader, one miss, one insert.
+    let cache = service.engine().cache_stats();
+    assert_eq!(
+        (cache.misses, cache.flight_leaders, cache.inserts),
+        (1, 1, 1),
+        "[{backend}] 64-way cold miss must compute exactly once: {cache:?}"
+    );
+    assert_eq!(
+        cache.hits + cache.misses,
+        STAMPEDE_CLIENTS as u64,
+        "[{backend}] every request is exactly one of hit/join/lead: {cache:?}"
+    );
+    // One pool job per pipelined frame — the stampede did not fan out 64
+    // classifications onto the pool (the job bookkeeping settles just after
+    // the replies are written).
+    wait_until(&format!("[{backend}] 64 frame jobs complete"), 10, || {
+        service.engine().pool_stats().jobs_completed == STAMPEDE_CLIENTS as u64
+    });
+
+    // The join count is also visible over the wire, in the stats reply.
+    let mut probe = Client::connect(addr).expect("connect stats probe");
+    let stats = probe.stats().expect("stats over the wire");
+    let wire_cache = stats.require("cache").expect("cache block");
+    assert_eq!(
+        wire_cache
+            .require("flight_leaders")
+            .unwrap()
+            .as_int()
+            .unwrap(),
+        1,
+        "[{backend}] wire-visible leader count"
+    );
+    let joins = wire_cache
+        .require("flight_joins")
+        .unwrap()
+        .as_int()
+        .unwrap();
+    drop(probe);
+    handle.shutdown();
+    joins
+}
+
+/// The single-key stampede: 64 pipelined connections issue the same cold
+/// `classify` simultaneously on both backends. Exactly one classification
+/// happens (hard-asserted every attempt); and in at least one attempt per
+/// backend the other 63 requests are absorbed as flight *joins* — parked on
+/// the leader's computation rather than served later from the warm cache.
+/// The join/hit split depends on scheduling (a request that arrives after
+/// the leader commits is a plain hit), so that half retries a few times on
+/// a loaded machine.
+#[test]
+fn stampede_on_one_cold_key_classifies_once_with_63_joiners() {
+    const ATTEMPTS: usize = 6;
+    for backend in backends() {
+        let mut best_joins = 0;
+        for _ in 0..ATTEMPTS {
+            best_joins = best_joins.max(stampede_once(backend));
+            if best_joins >= (STAMPEDE_CLIENTS - 1) as i64 {
+                break;
+            }
+        }
+        assert!(
+            best_joins >= (STAMPEDE_CLIENTS - 1) as i64,
+            "[{backend}] stampede never fully joined: best {best_joins} of {}",
+            STAMPEDE_CLIENTS - 1
+        );
+    }
+}
+
 /// `--max-conns`: connections past the cap are closed at accept
 /// (reject-with-close), the gauge counts them, and capacity freed by a
 /// closing client is reusable.
