@@ -31,13 +31,22 @@
 //!    recorder (`set_detailed(false)`), interleaved on one server and one
 //!    connection so clock drift cannot land on one side. The observability
 //!    layer must cost under 5% of throughput; the run asserts it.
+//! 7. **zero-serialization hit path** — warm corpus sweeps through the
+//!    stdio front-end with the reply-bytes splice lane on vs off
+//!    (`set_reply_splice` is a live toggle), interleaved and fastest-of
+//!    like experiment 6. The off mode is the verdict-cache-only baseline:
+//!    every hit re-serializes its reply; the on mode answers hits by
+//!    splicing the request id into the cached payload bytes. Printed as
+//!    ns/frame; the outputs of the two modes are asserted byte-identical
+//!    and the spliced mode must cut hit-path time at least 2x.
 //!
 //! The acceptance bar is experiment 1/2 (the pool must be no slower than
 //! the scoped-thread baseline), experiment 4 (pipelined must beat
 //! lock-step clearly — the PR targets ≥ 2x on warm sweeps), experiment 5
 //! (the reactor must complete the 512-connection run on its fixed thread
-//! budget with byte-identical replies) and experiment 6 (< 5% observability
-//! overhead).
+//! budget with byte-identical replies), experiment 6 (< 5% observability
+//! overhead) and experiment 7 (≥ 2x on the memoized classify hit path,
+//! byte-identical replies).
 
 use lcl_bench::banner;
 use lcl_classifier::{Classification, Engine};
@@ -253,6 +262,20 @@ fn main() {
         overhead * 100.0
     );
 
+    println!("\n-- zero-serialization hit path: splice on vs off (warm) -------");
+    let (spliced, rendered, frames_per_mode) = splice_compare(&specs);
+    let spliced_ns = spliced.as_nanos() as f64 / frames_per_mode as f64;
+    let rendered_ns = rendered.as_nanos() as f64 / frames_per_mode as f64;
+    let speedup = rendered_ns / spliced_ns.max(1e-12);
+    println!(
+        "splice on {spliced_ns:>8.0} ns/frame   splice off {rendered_ns:>8.0} ns/frame   {speedup:>5.2}x"
+    );
+    assert!(
+        speedup >= 2.0,
+        "the spliced hit path must be at least 2x faster than re-serializing \
+         every memoized reply (measured {speedup:.2}x)"
+    );
+
     println!("\n(no thread is spawned on any per-request path above: all classification runs on the engines' persistent pools)");
 }
 
@@ -295,6 +318,68 @@ fn obs_compare(specs: &[lcl_problem::ProblemSpec]) -> (Duration, Duration) {
     drop(client);
     handle.shutdown();
     (fastest[0], fastest[1])
+}
+
+/// Experiment 7: warm corpus sweeps through the stdio front-end with the
+/// reply-bytes splice lane on vs off, returning `(spliced, rendered,
+/// frames per timed mode)` with the fastest batch per mode.
+///
+/// The stdio front-end isolates the hit path: no sockets, no pipelining —
+/// each frame is parse + memoized lookup + reply emission, which is
+/// exactly the work the splice lane changes. Both modes run on the *same*
+/// service (the cache stays warm and `set_reply_splice` toggles live),
+/// interleaved every round like experiment 6 so noise lands on both sides.
+/// Every reply line of the two modes is asserted byte-identical, and the
+/// counters must show the fast lane actually engaged.
+fn splice_compare(specs: &[lcl_problem::ProblemSpec]) -> (Duration, Duration, usize) {
+    use lcl_problem::json::JsonValue;
+    use lcl_problem::RequestEnvelope;
+    use lcl_server::serve_stdio;
+
+    const SPLICE_SWEEPS: usize = 30;
+    const SPLICE_ROUNDS: usize = 8;
+    let service = Service::new(Engine::builder().parallelism(1).build());
+    let input: String = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let payload = JsonValue::object([("problem", spec.to_json())]);
+            RequestEnvelope::new(i as i64, "classify", payload).to_json_string() + "\n"
+        })
+        .collect();
+    let sweep = |service: &Service| -> Vec<u8> {
+        let mut output = Vec::with_capacity(64 * 1024);
+        serve_stdio(service, input.as_bytes(), &mut output).expect("stdio sweep");
+        output
+    };
+
+    // Warm the verdict cache on the baseline path, then pin each mode's
+    // reply bytes for the identity check.
+    service.set_reply_splice(false);
+    let rendered_replies = sweep(&service);
+    service.set_reply_splice(true);
+    sweep(&service); // attaches the cached reply bytes (bytes misses)
+    let spliced_replies = sweep(&service); // pure bytes hits
+    assert_eq!(
+        spliced_replies, rendered_replies,
+        "spliced replies must be byte-identical to freshly serialized ones"
+    );
+    assert!(service.metrics().spliced_frames() >= 2 * specs.len() as u64);
+    assert!(service.engine().cache_stats().bytes_hits >= specs.len() as u64);
+
+    let mut fastest = [Duration::MAX; 2];
+    for _ in 0..SPLICE_ROUNDS {
+        for (mode, splice) in [(0, true), (1, false)] {
+            service.set_reply_splice(splice);
+            let start = Instant::now();
+            for _ in 0..SPLICE_SWEEPS {
+                let output = sweep(&service);
+                assert_eq!(output.len(), rendered_replies.len());
+            }
+            fastest[mode] = fastest[mode].min(start.elapsed());
+        }
+    }
+    (fastest[0], fastest[1], SPLICE_SWEEPS * specs.len())
 }
 
 /// Experiment 5 configuration: how many simultaneously open connections,

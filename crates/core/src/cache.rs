@@ -175,6 +175,16 @@ pub struct CacheStats {
     /// Requesters that parked on another thread's in-flight computation and
     /// received the leader's committed value without computing.
     pub flight_joins: u64,
+    /// Reply-bytes lane: lookups that found the value's pre-serialized reply
+    /// payload already attached ([`ShardedLruCache::record_bytes_hit`]).
+    /// Tallied by the serving layer, so it participates in no structural
+    /// invariant — under pure byte-splicing traffic `bytes_hits +
+    /// bytes_misses` tracks the cache hits that went on to serialize.
+    pub bytes_hits: u64,
+    /// Reply-bytes lane: cache hits whose reply payload had to be serialized
+    /// (and attached) first ([`ShardedLruCache::record_bytes_miss`] — at
+    /// most one per resident entry per generation).
+    pub bytes_misses: u64,
     /// Number of independent shards the key space is split across.
     pub shards: usize,
 }
@@ -198,7 +208,8 @@ impl fmt::Display for CacheStats {
             f,
             "cache: {} hits ({} fast / {} locked / {} joined) / {} misses \
              ({:.1}% hit ratio), {} flight leaders, {} entries (peak {}), \
-             weight {} (peak {}), {} evictions / {} inserts, {} shards",
+             weight {} (peak {}), {} evictions / {} inserts, \
+             {} bytes hits / {} bytes misses, {} shards",
             self.hits,
             self.fast_hits,
             self.locked_hits,
@@ -212,6 +223,8 @@ impl fmt::Display for CacheStats {
             self.peak_weight,
             self.evictions,
             self.inserts,
+            self.bytes_hits,
+            self.bytes_misses,
             self.shards
         )
     }
@@ -248,6 +261,10 @@ pub struct ShardStats {
     pub flight_leaders: u64,
     /// Requesters served by parking on a leader's in-flight computation.
     pub flight_joins: u64,
+    /// Reply-bytes lane hits recorded against this shard.
+    pub bytes_hits: u64,
+    /// Reply-bytes lane misses recorded against this shard.
+    pub bytes_misses: u64,
 }
 
 impl ShardStats {
@@ -562,6 +579,8 @@ struct CacheShard<V> {
     misses: AtomicU64,
     flight_leaders: AtomicU64,
     flight_joins: AtomicU64,
+    bytes_hits: AtomicU64,
+    bytes_misses: AtomicU64,
 }
 
 impl<V: Clone> CacheShard<V> {
@@ -575,6 +594,8 @@ impl<V: Clone> CacheShard<V> {
             misses: AtomicU64::new(0),
             flight_leaders: AtomicU64::new(0),
             flight_joins: AtomicU64::new(0),
+            bytes_hits: AtomicU64::new(0),
+            bytes_misses: AtomicU64::new(0),
         }
     }
 
@@ -698,6 +719,8 @@ impl<V: Clone> CacheShard<V> {
             locked_hits,
             flight_leaders: self.flight_leaders.load(Ordering::Relaxed),
             flight_joins,
+            bytes_hits: self.bytes_hits.load(Ordering::Relaxed),
+            bytes_misses: self.bytes_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -869,6 +892,27 @@ impl<V: Clone> ShardedLruCache<V> {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one reply-bytes lane hit against `key`'s shard: a lookup whose
+    /// value carried its pre-serialized reply payload, so the serving layer
+    /// answered with an id-splice instead of serializing. A pure tally for
+    /// the serving layer (the cache itself never inspects values), outside
+    /// every structural invariant.
+    pub fn record_bytes_hit(&self, key: &[u8]) {
+        self.shards[self.shard_of(key)]
+            .bytes_hits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one reply-bytes lane miss against `key`'s shard: a cached
+    /// value whose reply payload had to be serialized (and attached) before
+    /// it could be spliced — at most once per resident entry per generation,
+    /// since the payload then lives and dies with the entry.
+    pub fn record_bytes_miss(&self, key: &[u8]) {
+        self.shards[self.shard_of(key)]
+            .bytes_misses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Inserts `key → value`, evicting the shard's LRU entry if the shard is
     /// at capacity. If the key is already present the existing entry wins
     /// (its recency is refreshed, nothing is replaced); the returned
@@ -1013,6 +1057,8 @@ impl<V: Clone> ShardedLruCache<V> {
             locked_hits: 0,
             flight_leaders: 0,
             flight_joins: 0,
+            bytes_hits: 0,
+            bytes_misses: 0,
             shards: self.shards.len(),
         };
         for stats in self.shard_stats() {
@@ -1028,6 +1074,8 @@ impl<V: Clone> ShardedLruCache<V> {
             total.locked_hits += stats.locked_hits;
             total.flight_leaders += stats.flight_leaders;
             total.flight_joins += stats.flight_joins;
+            total.bytes_hits += stats.bytes_hits;
+            total.bytes_misses += stats.bytes_misses;
         }
         total
     }
@@ -1202,6 +1250,30 @@ mod tests {
     }
 
     #[test]
+    fn bytes_lane_tallies_are_per_shard_and_invariant_free() {
+        let cache = ShardedLruCache::<u8>::new(16, 4);
+        let k = key(11);
+        let shard = cache.shard_of(&k);
+        cache.insert(k.clone(), 1);
+        cache.record_bytes_miss(&k);
+        cache.record_bytes_hit(&k);
+        cache.record_bytes_hit(&k);
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard[shard].bytes_hits, 2);
+        assert_eq!(per_shard[shard].bytes_misses, 1);
+        for (i, stats) in per_shard.iter().enumerate() {
+            assert!(stats.is_consistent(), "{stats:?}");
+            if i != shard {
+                assert_eq!((stats.bytes_hits, stats.bytes_misses), (0, 0));
+            }
+        }
+        let total = cache.stats();
+        assert_eq!((total.bytes_hits, total.bytes_misses), (2, 1));
+        // The bytes lane never disturbs the hit/miss accounting.
+        assert_eq!((total.hits, total.misses), (0, 0));
+    }
+
+    #[test]
     fn stats_display_mentions_the_new_fields() {
         let cache = ShardedLruCache::new(4, 2);
         cache.insert(key(1), 1u8);
@@ -1214,6 +1286,8 @@ mod tests {
         assert!(shown.contains("1 locked"), "{shown}");
         assert!(shown.contains("0 fast"), "{shown}");
         assert!(shown.contains("flight leaders"), "{shown}");
+        assert!(shown.contains("bytes hits"), "{shown}");
+        assert!(shown.contains("bytes misses"), "{shown}");
     }
 
     #[test]

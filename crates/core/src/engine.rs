@@ -180,9 +180,10 @@ impl EngineBuilder {
     }
 
     /// Bounds the memo cache by approximate resident **bytes** instead of
-    /// entry count: each cached classification is priced by
-    /// [`approximate_classification_weight`] and inserts evict
-    /// least-recently-used entries until at most `bytes` remain resident.
+    /// entry count: each cached entry is priced by
+    /// [`approximate_entry_weight`] (classification plus the reply-bytes
+    /// reservation) and inserts evict least-recently-used entries until at
+    /// most `bytes` remain resident.
     /// Overrides [`EngineBuilder::cache_capacity`]; the default remains the
     /// count bound, which treats a tiny 2-type classification and one
     /// carrying a long unsolvability witness as equally expensive.
@@ -201,9 +202,7 @@ impl EngineBuilder {
             .cache_shards
             .unwrap_or_else(|| parallelism.next_power_of_two());
         let cache = match self.cache_weight_capacity {
-            Some(bytes) => {
-                ShardedLruCache::with_weigher(bytes, shards, approximate_classification_weight)
-            }
+            Some(bytes) => ShardedLruCache::with_weigher(bytes, shards, entry_weight),
             None => ShardedLruCache::new(capacity, shards),
         };
         let core = Arc::new(EngineCore {
@@ -215,6 +214,69 @@ impl EngineBuilder {
             pool: WorkerPool::new(parallelism),
         }
     }
+}
+
+/// One memo-cache entry: the classification plus the **reply-bytes lane** —
+/// a lazily attached, pre-serialized reply payload (`Arc<[u8]>`) so a
+/// serving layer can answer a hot hit by splicing the request id around
+/// cached bytes instead of re-serializing the verdict per frame.
+///
+/// The payload is attached at most once per entry generation
+/// ([`Engine::cached_reply`]) and lives and dies with the entry: eviction or
+/// [`Engine::clear_cache`] drops entry and payload together, so the lane can
+/// never serve bytes for a classification that is no longer resident.
+///
+/// Because the cache key is the *structural* fingerprint — deliberately
+/// name-insensitive — while a serialized verdict embeds the problem's name,
+/// the payload remembers the name it was rendered for; a structurally
+/// identical problem under a different name is served [`ReplyLane::Render`]
+/// instead of someone else's bytes.
+#[derive(Debug)]
+pub struct CacheEntry {
+    classification: Arc<Classification>,
+    reply: OnceLock<ReplyPayload>,
+}
+
+/// The attached pre-serialized reply payload plus the problem *name* it was
+/// rendered for (see [`CacheEntry`]). The name is the only per-problem field
+/// of a verdict the structural key does not pin: the embedded canonical hash
+/// digests the same name-insensitive structure as the key, so a key match
+/// implies a hash match.
+#[derive(Debug)]
+struct ReplyPayload {
+    name: Box<str>,
+    bytes: Arc<[u8]>,
+}
+
+impl CacheEntry {
+    fn new(classification: Arc<Classification>) -> Self {
+        CacheEntry {
+            classification,
+            reply: OnceLock::new(),
+        }
+    }
+
+    /// The cached classification.
+    pub fn classification(&self) -> &Arc<Classification> {
+        &self.classification
+    }
+
+    /// The attached reply payload bytes, if any request rendered them yet.
+    pub fn reply_bytes(&self) -> Option<&Arc<[u8]>> {
+        self.reply.get().map(|payload| &payload.bytes)
+    }
+}
+
+/// How [`Engine::cached_reply`] served a memo-cache hit.
+#[derive(Clone, Debug)]
+pub enum ReplyLane {
+    /// The pre-serialized reply payload: the caller splices its request id
+    /// around these bytes and writes — no serialization.
+    Bytes(Arc<[u8]>),
+    /// The classification is cached but the attached payload was rendered
+    /// for a structurally identical problem under a *different* name or
+    /// hash; the caller must serialize freshly for this request's identity.
+    Render(Arc<Classification>),
 }
 
 /// The result of [`Engine::solve`]: the classification together with the
@@ -256,18 +318,19 @@ impl Solution {
 #[derive(Debug)]
 struct EngineCore {
     options: ClassifierOptions,
-    /// The memo store: classifications keyed by the problem's exact
+    /// The memo store: [`CacheEntry`]s (classification + lazily attached
+    /// reply bytes) keyed by the problem's exact
     /// [`structural key`](NormalizedLcl::structural_key) (collision-free,
     /// unlike the 64-bit canonical hash), sharded for uncontended access
     /// from the worker pool.
-    cache: ShardedLruCache<Arc<Classification>>,
+    cache: ShardedLruCache<Arc<CacheEntry>>,
 }
 
 impl EngineCore {
     /// Probes the cache, refreshing recency and counting a hit on success.
     /// A miss is *not* counted here — only actual computations count as
     /// misses (see `classify`).
-    fn lookup(&self, key: &[u8]) -> Option<Arc<Classification>> {
+    fn lookup(&self, key: &[u8]) -> Option<Arc<CacheEntry>> {
         self.cache.get(key)
     }
 
@@ -279,6 +342,13 @@ impl EngineCore {
     /// [`EngineCore::classify`] that also reports whether the memo cache
     /// served the result (`true` = hit), for callers that attribute latency.
     fn classify_observed(&self, problem: &NormalizedLcl) -> Result<(Arc<Classification>, bool)> {
+        self.classify_entry(problem)
+            .map(|(entry, hit)| (Arc::clone(&entry.classification), hit))
+    }
+
+    /// The full memoized path: returns the whole cache entry, so callers
+    /// that splice replies can reach the bytes lane without a second probe.
+    fn classify_entry(&self, problem: &NormalizedLcl) -> Result<(Arc<CacheEntry>, bool)> {
         let key = problem.structural_key();
         // Single-flight: at most one thread per cold key runs the closure
         // (counting the miss when it commits to computing); concurrent
@@ -286,7 +356,8 @@ impl EngineCore {
         // is on the leader's in-place computation, never on pool capacity,
         // so this is safe from pool workers too (see `Engine::dispatch`).
         let computed = self.cache.get_or_compute(&key, || {
-            classify_with_options(problem, &self.options).map(Arc::new)
+            classify_with_options(problem, &self.options)
+                .map(|c| Arc::new(CacheEntry::new(Arc::new(c))))
         })?;
         Ok((computed.value, computed.outcome.served_from_cache()))
     }
@@ -352,7 +423,80 @@ impl Engine {
     /// latency-sensitive thread and route only the misses to
     /// [`Engine::dispatch`].
     pub fn cached(&self, problem: &NormalizedLcl) -> Option<Arc<Classification>> {
-        self.core.lookup(&problem.structural_key())
+        self.core
+            .lookup(&problem.structural_key())
+            .map(|entry| Arc::clone(&entry.classification))
+    }
+
+    /// The zero-serialization fast lane: peeks the memo cache and, on a hit,
+    /// returns the entry's pre-serialized reply payload — attaching it first
+    /// (via `render`) if this entry has never been served through the lane.
+    ///
+    /// Accounting: a hit counts one ordinary cache hit (exactly like
+    /// [`Engine::cached`]); serving previously attached bytes additionally
+    /// counts a `bytes_hit` on the entry's shard, and the one-time attach
+    /// counts a `bytes_miss`. A cache miss returns `None` and counts
+    /// nothing — route it to the ordinary compute path.
+    ///
+    /// Because the cache key ignores problem names while the serialized
+    /// verdict embeds them, a hit for a problem whose *name* differs from
+    /// the one the payload was rendered for yields [`ReplyLane::Render`]:
+    /// the caller serializes freshly from the returned classification (no
+    /// bytes tally — the lane neither hit nor changed). Either way the reply
+    /// a client observes is byte-identical to what the envelope serializer
+    /// would produce for *this* request.
+    pub fn cached_reply(
+        &self,
+        problem: &NormalizedLcl,
+        render: impl FnOnce(&Classification) -> Vec<u8>,
+    ) -> Option<ReplyLane> {
+        let key = problem.structural_key();
+        let entry = self.core.lookup(&key)?;
+        let mut fresh = false;
+        let payload = entry.reply.get_or_init(|| {
+            fresh = true;
+            ReplyPayload {
+                name: problem.name().into(),
+                bytes: render(&entry.classification).into(),
+            }
+        });
+        if payload.name.as_ref() == problem.name() {
+            if fresh {
+                self.core.cache.record_bytes_miss(&key);
+            } else {
+                self.core.cache.record_bytes_hit(&key);
+            }
+            Some(ReplyLane::Bytes(Arc::clone(&payload.bytes)))
+        } else {
+            Some(ReplyLane::Render(Arc::clone(&entry.classification)))
+        }
+    }
+
+    /// The re-probe half of the zero-serialization lane: serves the attached
+    /// reply payload for a *remembered* structural key, skipping problem
+    /// parsing and normalization entirely.
+    ///
+    /// A front-end that served a request through [`Engine::cached_reply`]
+    /// may remember the problem's `(structural key, name)` pair alongside
+    /// the raw request text and answer a byte-identical later request with
+    /// this call. The probe behaves exactly like any cache lookup — it
+    /// counts an ordinary hit and refreshes the entry's LRU recency — and
+    /// the payload is returned only when the entry is still resident, has
+    /// bytes attached, and those bytes were rendered for the same problem
+    /// `name` (counting a `bytes_hit` on the entry's shard). Any other
+    /// outcome returns `None` with no bytes tally: the remembered mapping
+    /// went stale (the entry was evicted, or recomputed and not yet
+    /// re-rendered), so the caller should forget it and fall back to the
+    /// parse path — whose own probe then counts separately.
+    pub fn cached_reply_for_key(&self, key: &[u8], name: &str) -> Option<Arc<[u8]>> {
+        let entry = self.core.lookup(key)?;
+        let payload = entry.reply.get()?;
+        if payload.name.as_ref() == name {
+            self.core.cache.record_bytes_hit(key);
+            Some(Arc::clone(&payload.bytes))
+        } else {
+            None
+        }
     }
 
     /// Classifies a problem on the calling thread, serving repeated requests
@@ -397,7 +541,7 @@ impl Engine {
     pub fn classify_pooled(&self, problem: &NormalizedLcl) -> Result<Arc<Classification>> {
         let key = problem.structural_key();
         if let Some(cached) = self.core.lookup(&key) {
-            return Ok(cached);
+            return Ok(Arc::clone(&cached.classification));
         }
         let core = Arc::clone(&self.core);
         let problem = problem.clone();
@@ -656,6 +800,26 @@ pub fn approximate_classification_weight(classification: &Arc<Classification>) -
     256 + 64 * types + 2 * witness
 }
 
+/// Prices a whole [`CacheEntry`] in approximate resident bytes:
+/// [`approximate_classification_weight`] plus a conservative reservation for
+/// the reply-bytes lane. The lane fills *after* insertion (the weigher runs
+/// once, at insert time, and never re-prices), so the serialized payload —
+/// a fixed verdict skeleton plus the JSON-rendered witness, about six bytes
+/// per witness node — must be paid for up front whether or not a reply is
+/// ever attached.
+pub fn approximate_entry_weight(classification: &Arc<Classification>) -> u64 {
+    let witness = classification
+        .unsolvability_witness()
+        .map_or(0, |w| w.len() as u64);
+    approximate_classification_weight(classification) + 256 + 6 * witness
+}
+
+/// The cache weigher: adapts [`approximate_entry_weight`] to the cache's
+/// value type.
+fn entry_weight(entry: &Arc<CacheEntry>) -> u64 {
+    approximate_entry_weight(&entry.classification)
+}
+
 /// The process-wide engine backing the legacy free functions
 /// ([`crate::classify`]). Built on first use with default options.
 pub fn default_engine() -> &'static Engine {
@@ -711,6 +875,8 @@ mod tests {
                 locked_hits: 0,
                 flight_leaders: 1,
                 flight_joins: 0,
+                bytes_hits: 0,
+                bytes_misses: 0,
                 shards: engine.cache_shards(),
             }
         );
@@ -1005,6 +1171,8 @@ mod tests {
             locked_hits: 2,
             flight_leaders: 1,
             flight_joins: 0,
+            bytes_hits: 0,
+            bytes_misses: 0,
             shards: 2,
         };
         assert!((stats.hit_ratio() - 0.75).abs() < 1e-12);
@@ -1027,6 +1195,8 @@ mod tests {
             locked_hits: 0,
             flight_leaders: 0,
             flight_joins: 0,
+            bytes_hits: 0,
+            bytes_misses: 0,
             shards: 1,
         };
         assert_eq!(empty.hit_ratio(), 0.0);
@@ -1038,8 +1208,11 @@ mod tests {
         // one of them: a second distinct problem must displace the first.
         let probe = Engine::builder().parallelism(1).build();
         let priced = probe.classify(&three_coloring()).unwrap();
-        let weight = approximate_classification_weight(&priced);
-        assert!(weight >= 256, "fixed overhead is priced in");
+        let weight = approximate_entry_weight(&priced);
+        assert!(
+            weight >= approximate_classification_weight(&priced) + 256,
+            "the reply-bytes reservation is priced in"
+        );
         let engine = Engine::builder()
             .parallelism(1)
             .cache_shards(1)
@@ -1091,6 +1264,79 @@ mod tests {
         for shard in engine.cache_shard_stats() {
             assert!(shard.is_consistent(), "{shard:?}");
         }
+    }
+
+    #[test]
+    fn cached_reply_attaches_once_and_serves_shared_bytes() {
+        let engine = Engine::new();
+        let problem = three_coloring();
+        // Cold cache: the lane declines without computing or counting.
+        assert!(engine
+            .cached_reply(&problem, |_| unreachable!("no entry to render for"))
+            .is_none());
+        assert_eq!(engine.cache_stats().misses, 0);
+
+        engine.classify(&problem).unwrap();
+        let first = match engine.cached_reply(&problem, |c| {
+            format!("payload for {} types", c.num_types()).into_bytes()
+        }) {
+            Some(ReplyLane::Bytes(bytes)) => bytes,
+            other => panic!("expected attached bytes, got {other:?}"),
+        };
+        let second = match engine.cached_reply(&problem, |_| unreachable!("attached already")) {
+            Some(ReplyLane::Bytes(bytes)) => bytes,
+            other => panic!("expected cached bytes, got {other:?}"),
+        };
+        assert!(Arc::ptr_eq(&first, &second), "one payload allocation");
+        let stats = engine.cache_stats();
+        assert_eq!((stats.bytes_misses, stats.bytes_hits), (1, 1));
+        assert_eq!(stats.hits, 2, "each lane probe is an ordinary hit too");
+
+        // Clearing the cache drops the payload with its entry.
+        engine.clear_cache();
+        assert!(engine.cached_reply(&problem, |_| Vec::new()).is_none());
+    }
+
+    #[test]
+    fn cached_reply_refuses_bytes_rendered_for_another_name() {
+        // Structural twins share a cache entry, but the serialized verdict
+        // embeds the problem name — the lane must hand back the
+        // classification for fresh serialization instead of the twin's bytes.
+        let engine = Engine::new();
+        let original = three_coloring();
+        let renamed = {
+            let mut b = NormalizedLcl::builder("same-structure-other-name");
+            b.input_labels(&["x"]);
+            b.output_labels(&["1", "2", "3"]);
+            b.allow_all_node_pairs();
+            for p in 0..3u16 {
+                for q in 0..3u16 {
+                    if p != q {
+                        b.allow_edge_idx(p, q);
+                    }
+                }
+            }
+            b.build().unwrap()
+        };
+        assert_eq!(original.structural_key(), renamed.structural_key());
+
+        let classified = engine.classify(&original).unwrap();
+        match engine.cached_reply(&original, |_| b"original bytes".to_vec()) {
+            Some(ReplyLane::Bytes(_)) => {}
+            other => panic!("expected attached bytes, got {other:?}"),
+        }
+        match engine.cached_reply(&renamed, |_| unreachable!("must not re-render")) {
+            Some(ReplyLane::Render(classification)) => {
+                assert!(Arc::ptr_eq(&classification, &classified));
+            }
+            other => panic!("expected fresh-render verdict, got {other:?}"),
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(
+            (stats.bytes_misses, stats.bytes_hits),
+            (1, 0),
+            "an alias probe is neither a bytes hit nor a bytes miss"
+        );
     }
 
     #[test]

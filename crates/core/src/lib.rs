@@ -74,8 +74,8 @@ mod verdict;
 pub use cache::{CacheStats, Computed, FlightOutcome, Inserted, ShardStats, ShardedLruCache};
 pub use classify::{classify, classify_with_options, ClassifierOptions};
 pub use engine::{
-    approximate_classification_weight, default_engine, Engine, EngineBuilder, Solution,
-    DEFAULT_CACHE_CAPACITY,
+    approximate_classification_weight, approximate_entry_weight, default_engine, CacheEntry,
+    Engine, EngineBuilder, ReplyLane, Solution, DEFAULT_CACHE_CAPACITY,
 };
 pub use error::ClassifierError;
 pub use feasibility::{FeasibleStructure, PatternLabeling};

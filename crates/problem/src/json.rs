@@ -130,6 +130,14 @@ impl JsonValue {
         out
     }
 
+    /// [`JsonValue::to_json_string`] into a caller-provided buffer: appends
+    /// the serialized document to `out` without allocating a fresh string,
+    /// so per-connection hot loops can reuse one scratch buffer across
+    /// frames instead of paying an allocation per envelope.
+    pub fn write_json_string(&self, out: &mut String) {
+        self.write(out);
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),

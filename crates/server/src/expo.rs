@@ -224,6 +224,21 @@ pub fn render_exposition(service: &Service) -> String {
         metrics.reactor_completion_count(),
     );
 
+    expo.header(
+        "spliced_frames_total",
+        "counter",
+        "classify replies answered by splicing cached payload bytes around \
+         the request id, skipping serialization and the worker pool.",
+    );
+    expo.sample("spliced_frames_total", "", metrics.spliced_frames());
+    expo.header(
+        "writev_batches_total",
+        "counter",
+        "Vectored reply flushes issued by the reactor (one writev per \
+         sample; 0 on other backends).",
+    );
+    expo.sample("writev_batches_total", "", metrics.writev_batches());
+
     let cache = engine.cache_stats();
     expo.header(
         "cache_hits_total",
@@ -263,6 +278,20 @@ pub fn render_exposition(service: &Service) -> String {
         "Classification lookups that had to be computed.",
     );
     expo.sample("cache_misses_total", "", cache.misses);
+    expo.header(
+        "cache_bytes_hits_total",
+        "counter",
+        "Classify hits answered by splicing the cached reply bytes \
+         (no JSON serialization).",
+    );
+    expo.sample("cache_bytes_hits_total", "", cache.bytes_hits);
+    expo.header(
+        "cache_bytes_misses_total",
+        "counter",
+        "Classify hits that had to render and attach the reply bytes \
+         (first hit per entry).",
+    );
+    expo.sample("cache_bytes_misses_total", "", cache.bytes_misses);
     expo.header(
         "cache_inserts_total",
         "counter",
@@ -367,6 +396,30 @@ pub fn render_exposition(service: &Service) -> String {
             "cache_shard_misses_total",
             &format!("{{shard=\"{at}\"}}"),
             shard.misses,
+        );
+    }
+    expo.header(
+        "cache_shard_bytes_hits_total",
+        "counter",
+        "Reply-bytes splices served, by shard.",
+    );
+    for (at, shard) in shards.iter().enumerate() {
+        expo.sample(
+            "cache_shard_bytes_hits_total",
+            &format!("{{shard=\"{at}\"}}"),
+            shard.bytes_hits,
+        );
+    }
+    expo.header(
+        "cache_shard_bytes_misses_total",
+        "counter",
+        "Reply-bytes renders attached, by shard.",
+    );
+    for (at, shard) in shards.iter().enumerate() {
+        expo.sample(
+            "cache_shard_bytes_misses_total",
+            &format!("{{shard=\"{at}\"}}"),
+            shard.bytes_misses,
         );
     }
     expo.header(

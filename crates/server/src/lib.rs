@@ -81,6 +81,7 @@ mod metrics;
 mod reactor;
 mod scrape;
 mod service;
+mod splice;
 mod stdio;
 mod tcp;
 mod trace;
@@ -93,6 +94,7 @@ pub use scrape::MetricsListener;
 pub use service::{
     error_reply, PendingResponse, RequestKind, Service, StreamFrame, DEFAULT_MAX_CHUNK_BYTES,
 };
+pub use splice::SplicedReply;
 pub use stdio::serve_stdio;
 pub use tcp::{Backend, Server, ServerHandle, BACKEND_ENV_VAR, DEFAULT_MAX_INFLIGHT};
 pub use trace::{slow_trace_line, TraceSink, DEFAULT_TRACE_RING_CAPACITY};

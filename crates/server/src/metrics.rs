@@ -127,6 +127,14 @@ pub struct ServerMetrics {
     /// Reactor backend only: completed worker-pool jobs whose eventfd
     /// notification the reactor consumed.
     reactor_completions: AtomicU64,
+    /// `classify` replies answered by the zero-serialization fast lane: the
+    /// cached payload bytes were spliced around the request id instead of
+    /// serializing the verdict ([`crate::SplicedReply`]).
+    spliced_frames: AtomicU64,
+    /// Reactor backend only: successful `writev` calls that flushed
+    /// connection output (each gathers up to a batch of reply segments —
+    /// compare with `reactor_wakeups` for the coalescing ratio).
+    writev_batches: AtomicU64,
 }
 
 impl Default for ServerMetrics {
@@ -152,6 +160,8 @@ impl Default for ServerMetrics {
             total_rejected: AtomicU64::new(0),
             reactor_wakeups: AtomicU64::new(0),
             reactor_completions: AtomicU64::new(0),
+            spliced_frames: AtomicU64::new(0),
+            writev_batches: AtomicU64::new(0),
         }
     }
 }
@@ -266,6 +276,18 @@ impl ServerMetrics {
         self.reactor_completions.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Accounts one `classify` reply answered by the zero-serialization
+    /// fast lane (cached payload bytes spliced around the request id).
+    pub(crate) fn record_spliced_frame(&self) {
+        self.spliced_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accounts one successful vectored write flushing connection output on
+    /// the reactor backend.
+    pub(crate) fn record_writev_batch(&self) {
+        self.writev_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Currently open connections.
     pub fn open_connections(&self) -> u64 {
         self.open_connections.load(Ordering::Relaxed)
@@ -310,6 +332,17 @@ impl ServerMetrics {
     /// consumed (0 on other backends).
     pub fn reactor_completion_count(&self) -> u64 {
         self.reactor_completions.load(Ordering::Relaxed)
+    }
+
+    /// `classify` replies answered by the zero-serialization fast lane.
+    pub fn spliced_frames(&self) -> u64 {
+        self.spliced_frames.load(Ordering::Relaxed)
+    }
+
+    /// Successful vectored writes flushing connection output (0 on
+    /// non-reactor backends).
+    pub fn writev_batches(&self) -> u64 {
+        self.writev_batches.load(Ordering::Relaxed)
     }
 
     /// Snapshot of one kind's counters (`None` = the `invalid` pseudo-kind).
@@ -405,6 +438,14 @@ impl ServerMetrics {
                         JsonValue::Int(self.reactor_completion_count() as i64),
                     ),
                 ]),
+            ),
+            (
+                "spliced_frames",
+                JsonValue::Int(self.spliced_frames() as i64),
+            ),
+            (
+                "writev_batches",
+                JsonValue::Int(self.writev_batches() as i64),
             ),
             (
                 "stream_first_chunk",

@@ -42,16 +42,18 @@ pub(crate) use poll::EventFd;
 
 use crate::frame::{into_string, MAX_FRAME_BYTES};
 use crate::service::{Service, StreamFrame};
+use crate::splice::FRAME_TAIL;
 use crate::tcp::PendingReply;
 use crate::trace::Trace;
 use poll::{Epoll, EpollEvent, EPOLLIN, EPOLLOUT, EVENT_BATCH};
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+use sys::IoVec;
 
 /// Epoll token of the listening socket.
 const TOKEN_LISTENER: u64 = 0;
@@ -62,6 +64,11 @@ const FIRST_CONN_TOKEN: u64 = 2;
 
 /// Bytes read from a ready socket per `read` call.
 const READ_CHUNK: usize = 16 * 1024;
+
+/// Most output segments gathered into one `writev` call: consecutive ready
+/// replies coalesce into a single syscall per flush iteration, and 16
+/// segments comfortably cover a burst of five spliced replies.
+const WRITEV_BATCH: usize = 16;
 
 /// Shared control state between a running backend, its `ServerHandle` and
 /// the worker pool's completion hooks: the shutdown flag, the eventfd that
@@ -363,6 +370,31 @@ impl Reactor {
     }
 }
 
+/// One piece of a connection's pending output. Replies are enqueued as
+/// segments instead of being copied into one flat buffer: an owned segment
+/// *moves* the job's serialized `String` (no copy, no per-frame
+/// reallocation), a shared segment *borrows* the engine's cached reply
+/// payload (a spliced reply never copies its bytes at all), and the flush
+/// gathers up to [`WRITEV_BATCH`] segments into one vectored write.
+enum OutSeg {
+    /// An owned serialized frame (the dispatch job's `String`, moved in).
+    Owned(Vec<u8>),
+    /// Payload bytes shared with the engine's reply-bytes cache.
+    Shared(Arc<[u8]>),
+    /// A constant piece (the spliced frame's `}` + newline tail).
+    Static(&'static [u8]),
+}
+
+impl OutSeg {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            OutSeg::Owned(bytes) => bytes,
+            OutSeg::Shared(bytes) => bytes,
+            OutSeg::Static(bytes) => bytes,
+        }
+    }
+}
+
 /// One connection's complete state: everything the thread backend kept in
 /// two blocked threads' stacks, as data.
 struct Conn {
@@ -393,14 +425,22 @@ struct Conn {
     /// Window slots taken: frames dispatched whose replies are not yet
     /// fully written to the socket. Always `<= window`.
     inflight: usize,
-    /// Serialized replies awaiting (or mid-) write.
-    out: Vec<u8>,
-    /// Prefix of `out` already written to the socket.
-    out_written: usize,
-    /// End offset in `out` of each queued reply, in order; crossing one
+    /// Serialized replies awaiting (or mid-) write, as ordered segments.
+    /// Fully-written segments are popped; the front segment may be
+    /// partially written (`seg_written`).
+    out: VecDeque<OutSeg>,
+    /// Total bytes ever enqueued on `out` (a cumulative stream offset).
+    out_enqueued: u64,
+    /// Total bytes ever written to the socket; `out_enqueued - out_written`
+    /// is the unflushed backlog.
+    out_written: u64,
+    /// Bytes of the front segment already written (mid-segment progress of
+    /// a short write).
+    seg_written: usize,
+    /// Cumulative end offset of each queued reply, in order; crossing one
     /// while writing releases a window slot and stamps that reply's trace
     /// write stage (the bytes actually entered the socket).
-    reply_ends: VecDeque<(usize, Option<Arc<Trace>>)>,
+    reply_ends: VecDeque<(u64, Option<Arc<Trace>>)>,
     /// Interest mask currently registered with the epoll instance.
     interest: u32,
     /// Whether the fd is currently in the epoll set at all.
@@ -423,8 +463,10 @@ impl Conn {
             dead: false,
             pending: VecDeque::new(),
             inflight: 0,
-            out: Vec::new(),
+            out: VecDeque::new(),
+            out_enqueued: 0,
             out_written: 0,
+            seg_written: 0,
             reply_ends: VecDeque::new(),
             interest: EPOLLIN,
             registered: true,
@@ -439,7 +481,7 @@ impl Conn {
             let mut progressed = self.fill();
             progressed |= self.parse(service, control);
             progressed |= self.resolve(service);
-            progressed |= self.flush();
+            progressed |= self.flush(service);
             if !progressed || self.dead {
                 break;
             }
@@ -452,7 +494,7 @@ impl Conn {
         self.dead
             || (self.eof
                 && self.pending.is_empty()
-                && self.out_written == self.out.len()
+                && self.out_written == self.out_enqueued
                 && self.read_buf.is_empty()
                 && !self.overflowed)
     }
@@ -464,7 +506,7 @@ impl Conn {
         if !self.eof && self.inflight < self.window {
             mask |= EPOLLIN;
         }
-        if self.out_written < self.out.len() {
+        if self.out_written < self.out_enqueued {
             mask |= EPOLLOUT;
         }
         mask
@@ -635,13 +677,13 @@ impl Conn {
     /// full → worker parked — is how a slow peer backpressures a
     /// million-node stream instead of it buffering here.
     fn resolve(&mut self, service: &Arc<Service>) -> bool {
-        let backlog_cap = 2 * service.max_chunk_bytes();
+        let backlog_cap = 2 * service.max_chunk_bytes() as u64;
         let mut progressed = false;
         while let Some(front) = self.pending.front_mut() {
             let frame = match front {
                 PendingReply::Ready(line) => StreamFrame::Final(std::mem::take(line)),
                 PendingReply::Deferred(pending) => {
-                    if self.out.len() - self.out_written > backlog_cap {
+                    if self.out_enqueued - self.out_written > backlog_cap {
                         break; // let the socket drain before pulling more
                     }
                     match pending.try_frame() {
@@ -650,38 +692,82 @@ impl Conn {
                     }
                 }
             };
-            let (line, terminal) = match &frame {
-                StreamFrame::Chunk(line) => (line, false),
-                StreamFrame::Final(line) => (line, true),
+            // A serialized frame *moves* into the output queue (the job's
+            // `String` allocation becomes the segment — no copy); a spliced
+            // reply contributes its head, the cache's shared payload bytes
+            // and the constant tail as three segments, copying nothing.
+            let terminal = match frame {
+                StreamFrame::Chunk(line) => {
+                    let mut bytes = line.into_bytes();
+                    bytes.push(b'\n');
+                    self.enqueue(OutSeg::Owned(bytes));
+                    false
+                }
+                StreamFrame::Final(line) => {
+                    let mut bytes = line.into_bytes();
+                    bytes.push(b'\n');
+                    self.enqueue(OutSeg::Owned(bytes));
+                    true
+                }
+                StreamFrame::Spliced(spliced) => {
+                    self.enqueue(OutSeg::Owned(spliced.head_bytes()));
+                    self.enqueue(OutSeg::Shared(Arc::clone(spliced.payload())));
+                    self.enqueue(OutSeg::Static(FRAME_TAIL));
+                    true
+                }
             };
-            self.out.extend_from_slice(line.as_bytes());
-            self.out.push(b'\n');
             if terminal {
                 let trace = match self.pending.pop_front() {
                     Some(PendingReply::Deferred(mut pending)) => pending.take_trace(),
                     _ => None,
                 };
-                self.reply_ends.push_back((self.out.len(), trace));
+                self.reply_ends.push_back((self.out_enqueued, trace));
             }
             progressed = true;
         }
         progressed
     }
 
-    /// Writes buffered output until the socket would block, releasing the
-    /// window slot of every reply whose bytes fully left the buffer.
-    fn flush(&mut self) -> bool {
+    /// Appends one output segment, advancing the cumulative enqueued
+    /// offset.
+    fn enqueue(&mut self, seg: OutSeg) {
+        let len = seg.as_bytes().len();
+        if len == 0 {
+            return; // an empty segment would stall the flush loop
+        }
+        self.out_enqueued += len as u64;
+        self.out.push_back(seg);
+    }
+
+    /// Writes queued output segments until the socket would block, gathering
+    /// up to [`WRITEV_BATCH`] segments into one vectored write per
+    /// iteration — a burst of ready replies (or the three pieces of a
+    /// spliced reply) leaves in a single syscall — and releasing the window
+    /// slot of every reply whose bytes fully left the queue.
+    fn flush(&mut self, service: &Arc<Service>) -> bool {
         let mut progressed = false;
-        while self.out_written < self.out.len() && !self.dead {
-            match self.stream.write(&self.out[self.out_written..]) {
-                Ok(0) => self.dead = true,
-                Ok(n) => {
-                    self.out_written += n;
-                    progressed = true;
+        while self.out_written < self.out_enqueued && !self.dead {
+            let mut iov = [IoVec::empty(); WRITEV_BATCH];
+            let mut segs = 0;
+            for seg in self.out.iter().take(WRITEV_BATCH) {
+                // Only the front segment can be partially written.
+                let skip = if segs == 0 { self.seg_written } else { 0 };
+                iov[segs] = IoVec::from_bytes(&seg.as_bytes()[skip..]);
+                segs += 1;
+            }
+            let wrote = sys::sys_writev(self.stream.as_raw_fd(), &iov[..segs]);
+            if wrote < 0 {
+                match io::Error::last_os_error().kind() {
+                    io::ErrorKind::WouldBlock => break,
+                    io::ErrorKind::Interrupted => continue,
+                    _ => self.dead = true,
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => self.dead = true,
+            } else if wrote == 0 {
+                self.dead = true;
+            } else {
+                service.metrics().record_writev_batch();
+                self.advance_written(wrote as usize);
+                progressed = true;
             }
         }
         while self
@@ -696,11 +782,31 @@ impl Conn {
             self.inflight -= 1;
             progressed = true; // a freed slot can unblock parsing
         }
-        if self.out_written == self.out.len() && self.out_written > 0 {
-            self.out.clear();
-            self.out_written = 0;
-        }
         progressed
+    }
+
+    /// Accounts `n` bytes written: pops fully-written segments (releasing
+    /// owned buffers and shared payload references) and records the front
+    /// segment's partial progress.
+    fn advance_written(&mut self, mut n: usize) {
+        self.out_written += n as u64;
+        while n > 0 {
+            let front_len = self
+                .out
+                .front()
+                .expect("written bytes come from queued segments")
+                .as_bytes()
+                .len();
+            let remaining = front_len - self.seg_written;
+            if n >= remaining {
+                n -= remaining;
+                self.seg_written = 0;
+                self.out.pop_front();
+            } else {
+                self.seg_written += n;
+                n = 0;
+            }
+        }
     }
 }
 

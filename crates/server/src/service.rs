@@ -36,8 +36,9 @@
 
 use crate::frame::MAX_FRAME_BYTES;
 use crate::metrics::ServerMetrics;
+use crate::splice::SplicedReply;
 use crate::trace::{Trace, TraceSink};
-use lcl_paths::classifier::{ClassifierError, Verdict};
+use lcl_paths::classifier::{ClassifierError, ReplyLane, Verdict};
 use lcl_paths::gen::GenConfig;
 use lcl_paths::problem::json::JsonValue;
 use lcl_paths::problem::{
@@ -45,8 +46,10 @@ use lcl_paths::problem::{
     StreamInstanceSpec, PROTOCOL_VERSION,
 };
 use lcl_paths::{Engine, Error};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 /// The request kinds the service dispatches.
@@ -157,6 +160,12 @@ pub enum StreamFrame {
     Chunk(String),
     /// The terminal reply envelope — exactly one per request, always last.
     Final(String),
+    /// A terminal `classify` reply served from the engine's reply-bytes
+    /// cache: the payload bytes are shared with the cache entry and the
+    /// request id is spliced in at write time. Wire-equivalent to a
+    /// [`StreamFrame::Final`] carrying
+    /// [`SplicedReply::to_frame_string`].
+    Spliced(SplicedReply),
 }
 
 /// Producer-side depth of the per-request frame channel: a streaming job
@@ -227,8 +236,10 @@ impl PendingResponse {
     /// chunks reach the peer.
     pub fn wait(mut self) -> String {
         loop {
-            if let StreamFrame::Final(line) = self.wait_frame() {
-                return line;
+            match self.wait_frame() {
+                StreamFrame::Final(line) => return line,
+                StreamFrame::Spliced(spliced) => return spliced.to_frame_string(),
+                StreamFrame::Chunk(_) => {}
             }
         }
     }
@@ -302,6 +313,52 @@ pub struct Service {
     trace: Arc<TraceSink>,
     started: Instant,
     max_chunk_bytes: usize,
+    /// Gates the zero-serialization classify fast lane
+    /// ([`Service::splice_line`]). On by default; the `server_throughput`
+    /// bench toggles it live to measure the lane's effect.
+    reply_splice: AtomicBool,
+    /// Learned canonical classify lines: raw payload text → the structural
+    /// key / name / hash that text parsed to, so a repeated hot line skips
+    /// JSON parsing and problem normalization entirely and goes straight to
+    /// the memo cache ([`Engine::cached_reply_for_key`]). Bounded by
+    /// [`HOT_LINES_CAP`]; stale mappings (evicted entries) are dropped on
+    /// probe.
+    hot_lines: Mutex<HashMap<Box<str>, HotLine>>,
+}
+
+/// One learned canonical classify line: what its payload text parsed to.
+/// The `Arc`s make the memo value cheap to clone out of the lock.
+#[derive(Clone, Debug)]
+struct HotLine {
+    key: Arc<[u8]>,
+    name: Arc<str>,
+    hash: u64,
+}
+
+/// Bound on remembered canonical lines. At capacity the memo is simply
+/// cleared — crude, but hot workloads re-learn a line on its next parse,
+/// and the bound keeps a high-cardinality (cache-busting) workload from
+/// accumulating request text indefinitely.
+const HOT_LINES_CAP: usize = 1024;
+
+/// Splits a *canonical* classify frame — exactly the bytes
+/// [`RequestEnvelope::to_json_string`] produces: sorted keys, no
+/// whitespace, protocol version 1 — into its id and raw payload text.
+/// Anything else (reordered keys, spaces, a non-canonical id spelling like
+/// `007` or `+7` that the strict JSON parser would reject) returns `None`
+/// and takes the parse path; the raw lane must never accept a frame the
+/// parser would refuse.
+fn canonical_classify_parts(line: &str) -> Option<(i64, &str)> {
+    const HEAD: &str = "{\"id\":";
+    const MID: &str = ",\"kind\":\"classify\",\"payload\":";
+    const TAIL: &str = ",\"v\":1}";
+    let rest = line.strip_prefix(HEAD)?;
+    let (id_text, rest) = rest.split_at(rest.find(MID)?);
+    let id: i64 = id_text.parse().ok()?;
+    if id.to_string() != id_text {
+        return None;
+    }
+    Some((id, rest.strip_prefix(MID)?.strip_suffix(TAIL)?))
 }
 
 impl Service {
@@ -313,6 +370,8 @@ impl Service {
             trace: Arc::new(TraceSink::default()),
             started: Instant::now(),
             max_chunk_bytes: DEFAULT_MAX_CHUNK_BYTES,
+            reply_splice: AtomicBool::new(true),
+            hot_lines: Mutex::new(HashMap::new()),
         }
     }
 
@@ -334,6 +393,26 @@ impl Service {
     /// The ceiling on one serialized `solve_stream` chunk frame.
     pub fn max_chunk_bytes(&self) -> usize {
         self.max_chunk_bytes
+    }
+
+    /// Builder form of [`Service::set_reply_splice`].
+    pub fn with_reply_splice(self, enabled: bool) -> Self {
+        self.set_reply_splice(enabled);
+        self
+    }
+
+    /// Enables or disables the zero-serialization classify fast lane at
+    /// runtime. Replies are byte-identical either way — the toggle only
+    /// decides whether a hot hit re-serializes its verdict per frame — so
+    /// flipping it mid-stream is safe; the `server_throughput` bench does
+    /// exactly that to isolate the lane's cost.
+    pub fn set_reply_splice(&self, enabled: bool) {
+        self.reply_splice.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the zero-serialization classify fast lane is on.
+    pub fn reply_splice(&self) -> bool {
+        self.reply_splice.load(Ordering::Relaxed)
     }
 
     /// How many labels fit one chunk under [`Self::max_chunk_bytes`]: a
@@ -471,6 +550,21 @@ impl Service {
         N: Fn() + Send + Sync + 'static,
     {
         let started = Instant::now();
+        // The zero-serialization fast lane: a classify whose verdict is
+        // already cached resolves right here on the calling thread — no
+        // pool job, no pipeline-window slot. The frame is pre-sent on the
+        // channel (depth ≥ 1, so the send cannot block) and therefore
+        // observable before the handle returns — no notify needed.
+        if let Some((id, frame, trace)) = self.splice_line(&line, started) {
+            let (tx, rx) = mpsc::sync_channel::<StreamFrame>(STREAM_CHANNEL_DEPTH);
+            let _ = tx.send(frame);
+            return PendingResponse {
+                id: Some(id),
+                kind: RequestKind::Classify.wire_name().to_string(),
+                rx,
+                trace,
+            };
+        }
         let id = salvage_id(&line);
         let kind = salvage_kind(&line);
         let service = Arc::clone(self);
@@ -668,6 +762,129 @@ impl Service {
         classification: &lcl_paths::classifier::Classification,
     ) -> JsonValue {
         JsonValue::object([("verdict", Verdict::new(problem, classification).to_json())])
+    }
+
+    /// The zero-serialization classify fast lane: answers a `classify`
+    /// frame whose classification is already cached entirely on the calling
+    /// thread — no pool round-trip and, when the reply bytes are attached
+    /// ([`Engine::cached_reply`]), no serialization either, just an
+    /// id-splice ([`StreamFrame::Spliced`]). A *canonical* line whose
+    /// payload text has been served before skips even the request parse:
+    /// the learned structural key ([`HotLine`]) re-probes the memo cache
+    /// directly, making the hot path id-parse + cache probe + memcpy.
+    /// Returns `None` whenever the lane does not apply — the splice toggle
+    /// is off, the frame is not a well-formed `classify`, or the problem is
+    /// not cached — and the caller falls back to the full dispatch path,
+    /// which also owns every error reply (errors are never cached, so they
+    /// are never spliced).
+    ///
+    /// On `Some`, the request is fully accounted (latency metrics, stage
+    /// trace): the returned id, terminal frame and trace are ready for the
+    /// connection's ordered-reply machinery, with the write stage left for
+    /// the caller to stamp.
+    pub(crate) fn splice_line(
+        &self,
+        line: &str,
+        started: Instant,
+    ) -> Option<(i64, StreamFrame, Option<Arc<Trace>>)> {
+        // Cheap scan before the parse: the lane only serves `classify`
+        // (the closing quote keeps `classify_many` out).
+        if !self.reply_splice() || !line.contains("\"kind\":\"classify\"") {
+            return None;
+        }
+        // The raw-text lane inside the fast lane: a canonical line whose
+        // payload text was already served once skips JSON parsing and
+        // problem normalization — the learned structural key re-probes the
+        // memo cache directly, and the hot reply is an id-splice away.
+        let raw_parts = canonical_classify_parts(line);
+        if let Some((id, payload_text)) = raw_parts {
+            let learned = self
+                .hot_lines
+                .lock()
+                .expect("hot-lines lock")
+                .get(payload_text)
+                .cloned();
+            if let Some(hot) = learned {
+                if let Some(payload) = self.engine.cached_reply_for_key(&hot.key, &hot.name) {
+                    let trace = self.new_trace(started, Some(id));
+                    if let Some(trace) = &trace {
+                        trace.mark_parsed(Some(RequestKind::Classify), Some(id));
+                        trace.set_problem(hot.hash, Some(true));
+                        trace.mark_computed(true);
+                        trace.mark_serialized();
+                    }
+                    self.metrics.record_spliced_frame();
+                    self.metrics
+                        .record(Some(RequestKind::Classify), started.elapsed(), true);
+                    return Some((
+                        id,
+                        StreamFrame::Spliced(SplicedReply::new(id, payload)),
+                        trace,
+                    ));
+                }
+                // Stale mapping: the entry was evicted or lost its bytes.
+                // Forget it; the parse path below re-learns on success.
+                self.hot_lines
+                    .lock()
+                    .expect("hot-lines lock")
+                    .remove(payload_text);
+            }
+        }
+        let (kind, envelope) = self.parse(line).ok()?;
+        if kind != RequestKind::Classify {
+            return None;
+        }
+        let problem = Self::parse_problem(&envelope.payload).ok()?;
+        // Only an already-cached classification qualifies: a miss must run
+        // on the pool, and the render closure only fires for a hit whose
+        // reply bytes are not attached yet (then this request pays the one
+        // serialization every later hit reuses).
+        let lane = self.engine.cached_reply(&problem, |classification| {
+            Self::verdict_payload(&problem, classification)
+                .to_json_string()
+                .into_bytes()
+        })?;
+        let trace = self.new_trace(started, Some(envelope.id));
+        if let Some(trace) = &trace {
+            trace.mark_parsed(Some(kind), Some(envelope.id));
+            trace.set_problem(problem.canonical_hash(), Some(true));
+            trace.mark_computed(true);
+        }
+        let frame = match lane {
+            ReplyLane::Bytes(payload) => {
+                // Learn the canonical line so the next identical payload
+                // text skips straight to the raw-text lane above.
+                if let Some((_, payload_text)) = raw_parts {
+                    let mut hot = self.hot_lines.lock().expect("hot-lines lock");
+                    if hot.len() >= HOT_LINES_CAP {
+                        hot.clear();
+                    }
+                    hot.entry(payload_text.into()).or_insert_with(|| HotLine {
+                        key: problem.structural_key().into(),
+                        name: problem.name().into(),
+                        hash: problem.canonical_hash(),
+                    });
+                }
+                self.metrics.record_spliced_frame();
+                StreamFrame::Spliced(SplicedReply::new(envelope.id, payload))
+            }
+            // The cached bytes were rendered for a structural twin under a
+            // different problem name; serve this name a fresh serialization
+            // so the reply stays byte-identical to the slow path.
+            ReplyLane::Render(classification) => StreamFrame::Final(
+                ResponseEnvelope::ok(
+                    envelope.id,
+                    kind.wire_name(),
+                    Self::verdict_payload(&problem, &classification),
+                )
+                .into_json_string(),
+            ),
+        };
+        if let Some(trace) = &trace {
+            trace.mark_serialized();
+        }
+        self.metrics.record(Some(kind), started.elapsed(), true);
+        Some((envelope.id, frame, trace))
     }
 
     fn classify(
@@ -940,6 +1157,8 @@ impl Service {
                     ),
                     ("flight_joins", JsonValue::Int(cache.flight_joins as i64)),
                     ("misses", JsonValue::Int(cache.misses as i64)),
+                    ("bytes_hits", JsonValue::Int(cache.bytes_hits as i64)),
+                    ("bytes_misses", JsonValue::Int(cache.bytes_misses as i64)),
                     ("entries", JsonValue::Int(cache.entries as i64)),
                     ("evictions", JsonValue::Int(cache.evictions as i64)),
                     ("inserts", JsonValue::Int(cache.inserts as i64)),
@@ -1036,6 +1255,77 @@ mod tests {
         // The window gauge drained and recorded its high-water mark.
         assert_eq!(service.metrics().pipelined_inflight(), 0);
         assert!(service.metrics().pipelined_peak() >= 1);
+    }
+
+    #[test]
+    fn dispatch_line_splices_hot_classify_hits_byte_identically() {
+        let service = Arc::new(service());
+
+        // Cold: the miss runs on the pool; nothing to splice yet.
+        let cold = service.dispatch_line(classify_line(1)).wait();
+        assert!(ResponseEnvelope::from_json_str(&cold).unwrap().is_ok());
+        assert_eq!(service.metrics().spliced_frames(), 0);
+
+        // First hot hit: resolved on the calling thread; this request pays
+        // the one render that attaches the reply bytes (a bytes miss), and
+        // its frame is already spliced.
+        let mut pending = service.dispatch_line(classify_line(2));
+        let spliced = match pending.wait_frame() {
+            StreamFrame::Spliced(spliced) => spliced,
+            other => panic!("expected a spliced frame, got {other:?}"),
+        };
+        assert_eq!(
+            spliced.to_frame_string(),
+            service.handle_line_string(&classify_line(2)),
+            "spliced frame must be byte-identical to the canonical serializer"
+        );
+        assert_eq!(service.metrics().spliced_frames(), 1);
+        assert_eq!(service.engine().cache_stats().bytes_misses, 1);
+
+        // Second hot hit reuses the attached bytes: a bytes hit, shared
+        // payload, still byte-identical modulo the spliced id.
+        let again = service.dispatch_line(classify_line(-3)).wait();
+        assert_eq!(again, service.handle_line_string(&classify_line(-3)));
+        assert_eq!(service.metrics().spliced_frames(), 2);
+        assert_eq!(service.engine().cache_stats().bytes_hits, 1);
+
+        // The lane never takes a pipeline-window slot.
+        assert_eq!(service.metrics().pipelined_inflight(), 0);
+
+        // Toggled off, the same hot frame goes through the pool and still
+        // serializes identically — the lane is invisible on the wire.
+        service.set_reply_splice(false);
+        let slow = service.dispatch_line(classify_line(4)).wait();
+        assert_eq!(slow, service.handle_line_string(&classify_line(4)));
+        assert_eq!(service.metrics().spliced_frames(), 2, "lane was off");
+    }
+
+    #[test]
+    fn the_raw_lane_accepts_only_canonical_classify_frames() {
+        let payload = JsonValue::object([("problem", problems::coloring(3).to_spec().to_json())]);
+        let text = payload.to_json_string();
+        for id in [7i64, 0, -1, i64::MAX, i64::MIN] {
+            let line = RequestEnvelope::new(id, "classify", payload.clone()).to_json_string();
+            let (got_id, got_text) =
+                canonical_classify_parts(&line).expect("canonical frame splits");
+            assert_eq!(got_id, id);
+            assert_eq!(got_text, text);
+        }
+        // Id spellings the strict JSON parser would reject, other kinds,
+        // whitespace and reordered keys must all fall to the parse path:
+        // the raw lane may never outrun the parser.
+        for line in [
+            format!("{{\"id\":+7,\"kind\":\"classify\",\"payload\":{text},\"v\":1}}"),
+            format!("{{\"id\":007,\"kind\":\"classify\",\"payload\":{text},\"v\":1}}"),
+            format!("{{\"id\":-0,\"kind\":\"classify\",\"payload\":{text},\"v\":1}}"),
+            format!("{{\"id\":\"7\",\"kind\":\"classify\",\"payload\":{text},\"v\":1}}"),
+            format!("{{\"id\":7,\"kind\":\"classify_many\",\"payload\":{text},\"v\":1}}"),
+            format!("{{\"id\":7, \"kind\":\"classify\",\"payload\":{text},\"v\":1}}"),
+            format!("{{\"v\":1,\"id\":7,\"kind\":\"classify\",\"payload\":{text}}}"),
+            format!("{{\"id\":7,\"kind\":\"classify\",\"payload\":{text},\"v\":2}}"),
+        ] {
+            assert_eq!(canonical_classify_parts(&line), None, "{line}");
+        }
     }
 
     #[test]
@@ -1259,6 +1549,7 @@ mod tests {
             match pending.wait_frame() {
                 StreamFrame::Chunk(frame) => frames.push(frame),
                 StreamFrame::Final(line) => break line,
+                StreamFrame::Spliced(spliced) => break spliced.to_frame_string(),
             }
         };
         let terminal = ResponseEnvelope::from_json_str(&terminal).expect("reply parses");

@@ -5,14 +5,22 @@
 //! harness the protocol-robustness tests drive with `io::Cursor`.
 
 use crate::frame::{read_frame, write_frame, Frame, MAX_FRAME_BYTES};
-use crate::service::Service;
+use crate::service::{Service, StreamFrame};
 use std::io::{self, BufRead, Write};
+use std::time::Instant;
 
 /// Serves frames from `input` until EOF, writing one terminal response line
 /// per frame to `output` — preceded by its intermediate chunk frames for
 /// `solve_stream`, each flushed as it is produced, so a pipe consumer sees
 /// labeling progress with O(chunk) buffering. Oversized and malformed
 /// frames get structured error replies; only I/O errors abort the loop.
+///
+/// Hot `classify` hits take the same zero-serialization fast lane as the
+/// TCP backends (`Service::splice_line`): the cached payload bytes are
+/// spliced around the request id straight into `output`, so the cache
+/// tallies (and the wire bytes) are identical whichever front-end served
+/// the workload. Terminal envelopes off the slow path serialize into one
+/// scratch buffer reused across frames.
 ///
 /// # Errors
 ///
@@ -23,44 +31,60 @@ pub fn serve_stdio(
     mut output: impl Write,
 ) -> io::Result<()> {
     service.metrics().set_backend("stdio");
+    let mut scratch = String::new();
     loop {
-        let (reply, trace) = match read_frame(&mut input, MAX_FRAME_BYTES)? {
+        let line = match read_frame(&mut input, MAX_FRAME_BYTES)? {
             Frame::Eof => return Ok(()),
-            Frame::Oversized { discarded, started } => (
+            Frame::Oversized { discarded, started } => {
+                scratch.clear();
                 service
                     .reject_oversized_at(discarded, started)
-                    .to_json_string(),
-                None,
-            ),
-            Frame::Line(line) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                // Chunk frames are written through the sink in order; the
-                // first write failure stops the stream and is reported once
-                // the terminal envelope comes back.
-                let mut chunk_error: Option<io::Error> = None;
-                let mut emit = |frame: String| match write_frame(&mut output, &frame)
-                    .and_then(|()| output.flush())
-                {
-                    Ok(()) => true,
-                    Err(e) => {
-                        chunk_error = Some(e);
-                        false
-                    }
-                };
-                let (envelope, trace) = service.handle_line_traced(&line, &mut emit);
-                let reply = envelope.into_json_string();
-                if let Some(trace) = &trace {
-                    trace.mark_serialized();
-                }
-                if let Some(e) = chunk_error {
-                    return Err(e);
-                }
-                (reply, trace)
+                    .into_json()
+                    .write_json_string(&mut scratch);
+                write_frame(&mut output, &scratch)?;
+                output.flush()?;
+                continue;
             }
+            Frame::Line(line) => line,
         };
-        write_frame(&mut output, &reply)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        if let Some((_, frame, trace)) = service.splice_line(&line, started) {
+            match frame {
+                StreamFrame::Spliced(spliced) => spliced.write_to(&mut output)?,
+                StreamFrame::Final(reply) => write_frame(&mut output, &reply)?,
+                StreamFrame::Chunk(_) => unreachable!("classify never streams"),
+            }
+            output.flush()?;
+            if let Some(trace) = trace {
+                trace.finish_written();
+            }
+            continue;
+        }
+        // Chunk frames are written through the sink in order; the first
+        // write failure stops the stream and is reported once the terminal
+        // envelope comes back.
+        let mut chunk_error: Option<io::Error> = None;
+        let mut emit =
+            |frame: String| match write_frame(&mut output, &frame).and_then(|()| output.flush()) {
+                Ok(()) => true,
+                Err(e) => {
+                    chunk_error = Some(e);
+                    false
+                }
+            };
+        let (envelope, trace) = service.handle_line_traced(&line, &mut emit);
+        scratch.clear();
+        envelope.into_json().write_json_string(&mut scratch);
+        if let Some(trace) = &trace {
+            trace.mark_serialized();
+        }
+        if let Some(e) = chunk_error {
+            return Err(e);
+        }
+        write_frame(&mut output, &scratch)?;
         output.flush()?;
         if let Some(trace) = trace {
             trace.finish_written();
@@ -96,5 +120,36 @@ mod tests {
         let second = ResponseEnvelope::from_json_str(lines[1]).unwrap();
         assert_eq!(second.id, Some(2));
         assert!(second.is_ok());
+    }
+
+    #[test]
+    fn stdio_spliced_replies_match_fresh_serialization() {
+        let service = Service::new(Engine::builder().parallelism(1).build());
+        let classify = |id: i64| {
+            RequestEnvelope::new(
+                id,
+                "classify",
+                JsonValue::object([("problem", problems::coloring(3).to_spec().to_json())]),
+            )
+            .to_json_string()
+        };
+        // Frame 1 is the cold miss, frame 2 attaches the reply bytes, frame
+        // 3 is a pure bytes hit — all three must print identically modulo
+        // the id.
+        let input = format!("{}\n{}\n{}\n", classify(1), classify(2), classify(3));
+        let mut output = Vec::new();
+        serve_stdio(&service, input.as_bytes(), &mut output).unwrap();
+
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[1].replace("\"id\":2", "\"id\":1"),
+            lines[0],
+            "spliced reply must differ from the fresh one only in the id"
+        );
+        assert_eq!(lines[2].replace("\"id\":3", "\"id\":1"), lines[0]);
+        assert_eq!(service.metrics().spliced_frames(), 2);
+        assert_eq!(service.engine().cache_stats().bytes_hits, 1);
+        assert_eq!(service.engine().cache_stats().bytes_misses, 1);
     }
 }

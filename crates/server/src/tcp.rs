@@ -719,8 +719,8 @@ fn write_loop(
                 Err(_) => break, // reader closed the queue and nothing is left
             },
         };
-        let (line, trace) = match pending {
-            PendingReply::Ready(line) => (line, None),
+        let (terminal, trace) = match pending {
+            PendingReply::Ready(line) => (StreamFrame::Final(line), None),
             PendingReply::Deferred(mut pending) => loop {
                 let frame = match pending.try_frame() {
                     Some(frame) => frame,
@@ -734,7 +734,6 @@ fn write_loop(
                     }
                 };
                 match frame {
-                    StreamFrame::Final(line) => break (line, pending.take_trace()),
                     StreamFrame::Chunk(line) => {
                         // A write failure drops the handle, which closes the
                         // frame channel and aborts the producing job.
@@ -742,10 +741,19 @@ fn write_loop(
                             break 'conn;
                         }
                     }
+                    terminal => break (terminal, pending.take_trace()),
                 }
             },
         };
-        if write_frame(&mut writer, &line).is_err() {
+        // A spliced reply streams its pieces (head, id, cached payload
+        // bytes, tail) straight into the buffered writer — no per-frame
+        // `String` is ever assembled on this thread.
+        let wrote = match &terminal {
+            StreamFrame::Final(line) => write_frame(&mut writer, line),
+            StreamFrame::Spliced(spliced) => spliced.write_to(&mut writer),
+            StreamFrame::Chunk(_) => unreachable!("chunks are written in the resolve loop"),
+        };
+        if wrote.is_err() {
             break;
         }
         // The write stage ends when the terminal frame enters the socket

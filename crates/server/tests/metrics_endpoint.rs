@@ -109,6 +109,12 @@ fn the_metrics_kind_serves_a_valid_exposition_on_every_tcp_backend() {
         // One hit from the repeated classify, one each from solve and
         // solve_stream re-consulting the cache for the same problem.
         assert_eq!(sample_value(&expo, "lcl_cache_hits_total"), 3);
+        // The repeated classify took the zero-serialization lane: its hit
+        // rendered and attached the reply bytes (one bytes miss, no reuse
+        // yet) and went out as a spliced frame.
+        assert_eq!(sample_value(&expo, "lcl_cache_bytes_misses_total"), 1);
+        assert_eq!(sample_value(&expo, "lcl_cache_bytes_hits_total"), 0);
+        assert_eq!(sample_value(&expo, "lcl_spliced_frames_total"), 1);
         assert_eq!(
             format!("{backend}"),
             expo.lines()
@@ -237,6 +243,8 @@ fn the_exposition_agrees_with_the_json_stats_when_quiesced() {
         ("locked_hits", "lcl_cache_locked_hits_total"),
         ("flight_leaders", "lcl_cache_flight_leaders_total"),
         ("flight_joins", "lcl_cache_flight_joins_total"),
+        ("bytes_hits", "lcl_cache_bytes_hits_total"),
+        ("bytes_misses", "lcl_cache_bytes_misses_total"),
     ] {
         assert_eq!(
             cache.require(field).unwrap().as_int().unwrap() as u64,
@@ -261,6 +269,17 @@ fn the_exposition_agrees_with_the_json_stats_when_quiesced() {
 
     // The satellite `server` block carries the identity fields.
     let server = stats.require("server").expect("server block");
+    // The splice counter is quiesced (stats/metrics requests never splice);
+    // the writev counter keeps ticking as replies flush, so it can only
+    // have grown between the two snapshots.
+    assert_eq!(
+        server.require("spliced_frames").unwrap().as_int().unwrap() as u64,
+        sample_value(&expo, "lcl_spliced_frames_total"),
+    );
+    assert!(
+        sample_value(&expo, "lcl_writev_batches_total")
+            >= server.require("writev_batches").unwrap().as_int().unwrap() as u64
+    );
     assert_eq!(
         server.require("version").unwrap().as_str().unwrap(),
         env!("CARGO_PKG_VERSION")

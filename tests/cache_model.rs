@@ -151,6 +151,10 @@ impl ModelShard {
             locked_hits: self.locked_hits,
             flight_leaders: self.flight_leaders,
             flight_joins: 0,
+            // The reply-bytes lane is driven by the engine's reply
+            // attachment, never by raw cache ops, so the model stays at 0.
+            bytes_hits: 0,
+            bytes_misses: 0,
         }
     }
 }
