@@ -1,7 +1,7 @@
 //! E-SERVER: the persistent worker pool against the PR 1 scoped-thread
 //! baseline, and end-to-end NDJSON service throughput over loopback TCP.
 //!
-//! Five experiments, the first four at 1/4/8 pool workers:
+//! Eight experiments, the first four at 1/4/8 pool workers:
 //!
 //! 1. **cold batch** — `classify_many` over the corpus from a cold cache,
 //!    vs the original design (replicated below) that spawned a fresh
@@ -39,14 +39,26 @@
 //!    splicing the request id into the cached payload bytes. Printed as
 //!    ns/frame; the outputs of the two modes are asserted byte-identical
 //!    and the spliced mode must cut hit-path time at least 2x.
+//! 8. **admission + persistence** — the production-posture gates. Three
+//!    measurements: (a) with thresholds far above the workload, warm
+//!    pipelined sweeps must shed exactly zero frames (admission is
+//!    invisible below its limits); (b) with one worker pinned by slow
+//!    solves and queue-depth shedding armed, a probe connection's
+//!    rejections must come back under 1ms at p99 — a shed takes no pool
+//!    slot, so its cost is parse + admission check + a pre-rendered error
+//!    frame; (c) a verdict cache snapshotted to disk and restored into a
+//!    fresh engine must answer the first corpus sweep at a > 0.9 hit
+//!    ratio.
 //!
 //! The acceptance bar is experiment 1/2 (the pool must be no slower than
 //! the scoped-thread baseline), experiment 4 (pipelined must beat
 //! lock-step clearly — the PR targets ≥ 2x on warm sweeps), experiment 5
 //! (the reactor must complete the 512-connection run on its fixed thread
 //! budget with byte-identical replies), experiment 6 (< 5% observability
-//! overhead) and experiment 7 (≥ 2x on the memoized classify hit path,
-//! byte-identical replies).
+//! overhead), experiment 7 (≥ 2x on the memoized classify hit path,
+//! byte-identical replies) and experiment 8 (zero sheds below thresholds,
+//! shed-path reply p99 < 1ms, restored-snapshot first-pass hit ratio
+//! > 0.9).
 
 use lcl_bench::banner;
 use lcl_classifier::{Classification, Engine};
@@ -276,7 +288,218 @@ fn main() {
          every memoized reply (measured {speedup:.2}x)"
     );
 
+    println!("\n-- admission control + snapshot persistence -------------------");
+    let clean_sheds = clean_path_sheds(&specs);
+    println!("below thresholds: {clean_sheds} frames shed across 3 warm pipelined sweeps");
+    assert_eq!(
+        clean_sheds, 0,
+        "admission must be invisible below its thresholds ({clean_sheds} frames shed)"
+    );
+    let (shed_p99, probes) = shed_latency();
+    println!("shed path: {probes} probe rejections against a pinned pool, p99 {shed_p99:?}");
+    assert!(
+        shed_p99 < Duration::from_millis(1),
+        "a shed reply must not cost a pool slot's worth of latency (p99 {shed_p99:?} >= 1ms)"
+    );
+    let (restored_hits, swept) = restored_warmth(&specs);
+    let ratio = restored_hits as f64 / swept as f64;
+    println!(
+        "restored warmth: {restored_hits}/{swept} first-pass cache hits after a snapshot restore ({ratio:.2})"
+    );
+    assert!(
+        ratio > 0.9,
+        "a restored snapshot must answer the first corpus sweep mostly from cache (hit ratio {ratio:.2})"
+    );
+
     println!("\n(no thread is spawned on any per-request path above: all classification runs on the engines' persistent pools)");
+}
+
+/// Experiment 8a: thresholds far above the workload. Warm pipelined corpus
+/// sweeps run with every admission signal armed but generous; afterwards
+/// the per-kind shed counters must all read zero — admission control may
+/// only cost anything when it actually rejects.
+fn clean_path_sheds(specs: &[lcl_problem::ProblemSpec]) -> u64 {
+    use lcl_server::{AdmissionConfig, RequestKind};
+
+    let service = Arc::new(
+        Service::new(Engine::builder().parallelism(4).build()).with_admission(AdmissionConfig {
+            shed_queue_depth: 1_000_000,
+            shed_p99_micros: 60_000_000,
+            quota_rps: 1_000_000,
+            quota_burst: 1_000_000,
+        }),
+    );
+    let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0")
+        .expect("bind loopback")
+        .start()
+        .expect("start server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for _ in 0..3 {
+        let outcomes = client
+            .classify_many_pipelined(specs, 0)
+            .expect("pipelined sweep");
+        assert!(outcomes.iter().all(Result::is_ok));
+    }
+    drop(client);
+    handle.shutdown();
+    RequestKind::ALL
+        .iter()
+        .map(|&kind| service.metrics().snapshot(Some(kind)).shed)
+        .sum()
+}
+
+/// Experiment 8b: shed-path reply latency. A burst of slow solves pins the
+/// single worker and fills the queue to the shed threshold; a separate
+/// probe connection then times rejected classify round-trips. The probe
+/// connection has nothing pending, so each rejection's latency is pure
+/// shed path: parse, admission check, pre-rendered `overloaded` frame.
+fn shed_latency() -> (Duration, usize) {
+    use lcl_problem::json::JsonValue;
+    use lcl_problem::{Instance, RequestEnvelope, ResponseEnvelope, Topology};
+    use lcl_server::AdmissionConfig;
+    use std::io::{BufRead, BufReader, Write};
+
+    const PROBES: usize = 200;
+    let service = Arc::new(
+        Service::new(Engine::builder().parallelism(1).cache_shards(1).build()).with_admission(
+            AdmissionConfig {
+                shed_queue_depth: 2,
+                shed_p99_micros: 0,
+                quota_rps: 0,
+                quota_burst: 0,
+            },
+        ),
+    );
+    // Keep probes on the dispatch path: a cache hit would answer from the
+    // splice lane, which bypasses admission by design.
+    service.set_reply_splice(false);
+    let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0")
+        .expect("bind loopback")
+        .start()
+        .expect("start server");
+
+    // Pin the pool: the solve burst arrives faster than the one worker can
+    // drain it, so the queue settles at the threshold (excess solves shed)
+    // and stays there for the duration of the running solve — hundreds of
+    // milliseconds, plenty for a 200-probe measurement that takes tens.
+    let spec = lcl_problems::coloring(3).to_spec();
+    let instance = Instance::from_indices(Topology::Cycle, &[0; 1200]);
+    let mut flood = std::net::TcpStream::connect(handle.addr()).expect("connect flood");
+    flood.set_nodelay(true).expect("nodelay");
+    for id in 0..8i64 {
+        let mut line = RequestEnvelope::new(
+            id,
+            "solve",
+            JsonValue::object([
+                ("problem", spec.to_json()),
+                ("instance", instance.to_json()),
+            ]),
+        )
+        .to_json_string();
+        line.push('\n');
+        flood.write_all(line.as_bytes()).expect("flood send");
+    }
+    flood.flush().expect("flood flush");
+
+    let probe_stream = std::net::TcpStream::connect(handle.addr()).expect("connect probe");
+    probe_stream.set_nodelay(true).expect("nodelay");
+    let mut probe_writer = probe_stream.try_clone().expect("clone probe stream");
+    let mut probe_reader = BufReader::new(probe_stream);
+    let mut probe_line = RequestEnvelope::new(
+        0,
+        "classify",
+        JsonValue::object([("problem", spec.to_json())]),
+    )
+    .to_json_string();
+    probe_line.push('\n');
+    let mut round_trip = || -> ResponseEnvelope {
+        probe_writer
+            .write_all(probe_line.as_bytes())
+            .expect("probe send");
+        let mut reply = String::new();
+        assert!(
+            probe_reader.read_line(&mut reply).expect("probe reply") > 0,
+            "probe connection closed"
+        );
+        ResponseEnvelope::from_json_str(reply.trim_end()).expect("probe reply parses")
+    };
+
+    // Settle: probe until the first rejection, so the timed loop below
+    // measures sheds only (the solves need a moment to reach the queue).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if round_trip().result.is_err() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "queue shedding never engaged");
+    }
+    let mut latencies = Vec::with_capacity(PROBES);
+    for _ in 0..PROBES {
+        let start = Instant::now();
+        let reply = round_trip();
+        latencies.push(start.elapsed());
+        let error = reply
+            .result
+            .expect_err("probe sheds while the pool is pinned");
+        assert_eq!(error.category, "overloaded", "{}", error.message);
+        assert_eq!(error.retryable, Some(true));
+        assert!(error.retry_after_millis.unwrap_or(0) >= 1);
+    }
+    drop(probe_writer);
+    drop(probe_reader);
+    drop(flood);
+    handle.shutdown();
+    latencies.sort();
+    let p99 = latencies[latencies.len() - 1 - latencies.len() / 100];
+    (p99, PROBES)
+}
+
+/// Experiment 8c: restored warmth. Warm a service over the corpus, write
+/// its verdict cache snapshot, restore the file into a fresh service, and
+/// sweep the corpus once. Returns `(first-pass cache hits, frames swept)`
+/// — the hit ratio must clear 0.9 for the restore to have been worth the
+/// disk round-trip.
+fn restored_warmth(specs: &[lcl_problem::ProblemSpec]) -> (u64, usize) {
+    use lcl_problem::json::JsonValue;
+    use lcl_problem::RequestEnvelope;
+
+    let dir = std::env::temp_dir().join(format!("lcl-bench-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create snapshot dir");
+    let path = dir.join("warm.snapshot");
+    let lines: Vec<String> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let payload = JsonValue::object([("problem", spec.to_json())]);
+            RequestEnvelope::new(i as i64, "classify", payload).to_json_string()
+        })
+        .collect();
+
+    let warm = Service::new(Engine::builder().parallelism(4).build())
+        .with_cache_snapshot_path(path.clone());
+    for line in &lines {
+        assert!(warm.handle_line(line).is_ok(), "warm-up classify succeeds");
+    }
+    warm.write_cache_snapshot()
+        .expect("snapshot path configured")
+        .expect("snapshot writes");
+
+    let restored =
+        Service::new(Engine::builder().parallelism(4).build()).with_cache_snapshot_path(path);
+    restored
+        .restore_cache_snapshot()
+        .expect("snapshot file present")
+        .expect("snapshot restores");
+    let before = restored.engine().cache_stats();
+    for line in &lines {
+        assert!(
+            restored.handle_line(line).is_ok(),
+            "restored classify succeeds"
+        );
+    }
+    let hits = restored.engine().cache_stats().hits - before.hits;
+    let _ = std::fs::remove_dir_all(&dir);
+    (hits, lines.len())
 }
 
 /// Experiment 6: warm pipelined corpus sweeps with the observability layer

@@ -1039,6 +1039,34 @@ impl<V: Clone> ShardedLruCache<V> {
         }
     }
 
+    /// One `(key, value)` pair per resident entry, for persistence: within
+    /// each shard entries are listed **coldest first** (the eviction victim
+    /// leads), shards in shard order. Re-inserting a snapshot in the
+    /// returned order therefore reproduces each shard's relative recency —
+    /// the hottest snapshotted entries end up most recent, so a smaller
+    /// restore target evicts the cold tail first.
+    ///
+    /// Each shard is captured in one critical section (LRU mutex + index
+    /// read lock, the mutators' own order), so every pair was resident
+    /// simultaneously; concurrent mutations of *other* shards proceed
+    /// untouched. A pure read: no counter moves and no recency changes.
+    pub fn snapshot_entries(&self) -> Vec<(Arc<[u8]>, V)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let lru = lock(&shard.lru);
+            let index = read(&shard.index);
+            let mut slot = lru.tail;
+            while slot != NIL {
+                let node = lru.node(slot);
+                if let Some(entry) = index.get(&node.key) {
+                    out.push((Arc::clone(&node.key), entry.value.clone()));
+                }
+                slot = node.prev;
+            }
+        }
+        out
+    }
+
     /// Aggregated counters: the sum of one consistent per-shard snapshot
     /// each (shards are snapshotted one at a time, so each shard's numbers
     /// are internally consistent even while other threads keep mutating
@@ -1502,5 +1530,38 @@ mod tests {
             (1, 1, 1)
         );
         assert_eq!(cache.flight_waiters(), 0);
+    }
+
+    #[test]
+    fn snapshot_entries_lists_coldest_first_and_counts_nothing() {
+        let cache = ShardedLruCache::new(4, 1);
+        for i in 0..4 {
+            cache.insert(key(i), i);
+        }
+        cache.get(&key(0)); // 0 becomes most recent: order is 1, 2, 3, 0
+        let before = cache.stats();
+        let snapshot = cache.snapshot_entries();
+        assert_eq!(cache.stats(), before, "a pure read moves no counter");
+        let values: Vec<u64> = snapshot.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, vec![1, 2, 3, 0], "coldest first, hit moved to back");
+        for (k, v) in &snapshot {
+            assert_eq!(k.as_ref(), key(*v).as_slice(), "keys pair their values");
+        }
+
+        // Re-inserting in snapshot order into a smaller cache keeps the
+        // hottest entries and evicts the cold prefix.
+        let restored = ShardedLruCache::new(2, 1);
+        for (k, v) in snapshot {
+            restored.insert(k.to_vec(), v);
+        }
+        assert_eq!(restored.get(&key(3)), Some(3));
+        assert_eq!(restored.get(&key(0)), Some(0));
+        assert_eq!(restored.get(&key(1)), None, "cold tail evicted first");
+        let stats = restored.stats();
+        assert_eq!(stats.entries as u64 + stats.evictions, stats.inserts);
+
+        assert!(ShardedLruCache::<u64>::new(4, 2)
+            .snapshot_entries()
+            .is_empty());
     }
 }

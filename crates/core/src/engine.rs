@@ -249,7 +249,7 @@ struct ReplyPayload {
 }
 
 impl CacheEntry {
-    fn new(classification: Arc<Classification>) -> Self {
+    pub(crate) fn new(classification: Arc<Classification>) -> Self {
         CacheEntry {
             classification,
             reply: OnceLock::new(),
@@ -782,6 +782,36 @@ impl Engine {
     /// entries count as evictions, keeping `entries + evictions == inserts`).
     pub fn clear_cache(&self) {
         self.core.cache.clear();
+    }
+
+    /// Serializes the memo cache's resident classifications into a versioned,
+    /// checksummed snapshot document (see [`crate::snapshot`]): key bytes
+    /// plus verdict fields, coldest entries first, volatile reply bytes
+    /// excluded. Safe to call under live traffic — each shard is captured in
+    /// one consistent critical section.
+    pub fn snapshot_document(&self) -> String {
+        crate::snapshot::serialize_entries(&self.core.cache.snapshot_entries())
+    }
+
+    /// Restores a snapshot produced by [`Engine::snapshot_document`] into
+    /// this engine's memo cache, re-inserting entries in file order through
+    /// the ordinary insert path (recency reproduced, stats invariants
+    /// preserved, present keys kept). Restored entries serve verdicts
+    /// byte-identically to the originals; their synthesized algorithm is the
+    /// gather-everything stand-in
+    /// ([`crate::synthesis::RestoredAlgorithm`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire-format error when the document's envelope is invalid
+    /// (bad header, version skew, checksum mismatch, truncation); individual
+    /// undecodable entries are skipped and counted in the report instead.
+    /// Callers treating snapshots as best-effort warmth should log the error
+    /// and continue with a cold cache.
+    pub fn restore_snapshot(&self, document: &str) -> Result<crate::snapshot::RestoreReport> {
+        crate::snapshot::restore_entries(document, |key, entry| {
+            self.core.cache.insert(key, Arc::new(entry));
+        })
     }
 }
 

@@ -66,6 +66,7 @@ mod error;
 pub mod feasibility;
 pub mod obs;
 mod pool;
+pub mod snapshot;
 mod stream;
 pub mod synthesis;
 mod types_info;
@@ -81,8 +82,9 @@ pub use error::ClassifierError;
 pub use feasibility::{FeasibleStructure, PatternLabeling};
 pub use obs::{HistogramSnapshot, LatencyHistogram, TraceRecord, TraceRing};
 pub use pool::PoolStats;
+pub use snapshot::{RestoreReport, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};
 pub use stream::{StreamSolution, STREAM_RADIUS_CAP};
-pub use synthesis::{ConstantAlgorithm, LogStarAlgorithm, SynthesizedAlgorithm};
+pub use synthesis::{ConstantAlgorithm, LogStarAlgorithm, RestoredAlgorithm, SynthesizedAlgorithm};
 pub use types_info::GapTypes;
 pub use verdict::{Classification, Complexity, Verdict};
 

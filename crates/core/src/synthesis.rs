@@ -39,6 +39,13 @@ pub enum SynthesizedAlgorithm {
     /// The trivial gather-everything algorithm (`Θ(n)` and unsolvable
     /// problems).
     GatherAll(GatherAndSolve),
+    /// A classification restored from a cache snapshot (see
+    /// [`crate::snapshot`]): the verdict fields are exact, but the
+    /// synthesized feasible structure was not persisted, so the restored
+    /// entry runs the always-correct gather-everything algorithm while
+    /// reporting the original algorithm's name — serialized verdicts stay
+    /// byte-identical across a snapshot/restore cycle.
+    Restored(RestoredAlgorithm),
 }
 
 impl LocalAlgorithm for SynthesizedAlgorithm {
@@ -47,6 +54,7 @@ impl LocalAlgorithm for SynthesizedAlgorithm {
             SynthesizedAlgorithm::Constant(a) => a.radius(n),
             SynthesizedAlgorithm::LogStar(a) => a.radius(n),
             SynthesizedAlgorithm::GatherAll(a) => a.radius(n),
+            SynthesizedAlgorithm::Restored(a) => a.radius(n),
         }
     }
 
@@ -55,6 +63,7 @@ impl LocalAlgorithm for SynthesizedAlgorithm {
             SynthesizedAlgorithm::Constant(a) => a.compute(view),
             SynthesizedAlgorithm::LogStar(a) => a.compute(view),
             SynthesizedAlgorithm::GatherAll(a) => a.compute(view),
+            SynthesizedAlgorithm::Restored(a) => a.compute(view),
         }
     }
 
@@ -63,7 +72,47 @@ impl LocalAlgorithm for SynthesizedAlgorithm {
             SynthesizedAlgorithm::Constant(a) => a.name(),
             SynthesizedAlgorithm::LogStar(a) => a.name(),
             SynthesizedAlgorithm::GatherAll(a) => a.name(),
+            SynthesizedAlgorithm::Restored(a) => a.name(),
         }
+    }
+}
+
+/// The stand-in algorithm attached to snapshot-restored classifications: a
+/// [`GatherAndSolve`] under the snapshotted algorithm's *name*. Restoring
+/// rebuilds the problem from its structural key but not the feasible
+/// structure the fast synthesized algorithms need, so a restored entry
+/// answers `solve` correctly (gathering is valid for every class) while its
+/// verdict — which embeds only the algorithm name — serializes exactly as the
+/// original did. The first post-restore `classify` miss would rebuild the
+/// fast algorithm; verdict-serving traffic never needs to.
+#[derive(Clone, Debug)]
+pub struct RestoredAlgorithm {
+    name: Box<str>,
+    gather: GatherAndSolve,
+}
+
+impl RestoredAlgorithm {
+    /// Builds the stand-in for `problem`, reporting `name` as the algorithm
+    /// name.
+    pub fn new(problem: &NormalizedLcl, name: &str) -> Self {
+        RestoredAlgorithm {
+            name: name.into(),
+            gather: GatherAndSolve::new(problem),
+        }
+    }
+}
+
+impl LocalAlgorithm for RestoredAlgorithm {
+    fn radius(&self, n: usize) -> usize {
+        self.gather.radius(n)
+    }
+
+    fn compute(&self, view: &BallView) -> OutLabel {
+        self.gather.compute(view)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 

@@ -118,14 +118,25 @@ impl RequestEnvelope {
 
 /// A structured error carried by a failed response: a stable machine-readable
 /// `category` (which subsystem produced the error — `problem`, `semigroup`,
-/// `simulator`, `lba`, `classifier` — or `protocol` for malformed frames)
-/// and a human-readable `message`.
+/// `simulator`, `lba`, `classifier` — or `protocol` for malformed frames and
+/// `overloaded` for admission-control rejections) and a human-readable
+/// `message`. Overloaded rejections additionally carry a `retryable` flag
+/// and a `retry_after_millis` backoff hint; both fields are **optional** on
+/// the wire and omitted entirely when absent, so every pre-existing error
+/// reply serializes byte-identically.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ErrorReply {
     /// Stable error category identifier.
     pub category: String,
     /// Human-readable description.
     pub message: String,
+    /// Whether retrying the identical request later may succeed (present on
+    /// `overloaded` rejections; absent — and omitted from the wire — on
+    /// every other error).
+    pub retryable: Option<bool>,
+    /// Suggested client backoff before retrying, in milliseconds (present
+    /// only alongside [`ErrorReply::retryable`]).
+    pub retry_after_millis: Option<u64>,
 }
 
 impl ErrorReply {
@@ -134,26 +145,63 @@ impl ErrorReply {
         ErrorReply {
             category: category.into(),
             message: message.into(),
+            retryable: None,
+            retry_after_millis: None,
         }
     }
 
-    /// Serializes to a JSON document.
+    /// Builds an `overloaded` admission-control rejection: retryable, with a
+    /// suggested backoff of `retry_after_millis`.
+    pub fn overloaded(message: impl Into<String>, retry_after_millis: u64) -> Self {
+        ErrorReply {
+            category: "overloaded".to_string(),
+            message: message.into(),
+            retryable: Some(true),
+            retry_after_millis: Some(retry_after_millis),
+        }
+    }
+
+    /// Serializes to a JSON document. The retry fields are emitted only when
+    /// present, so non-overloaded errors keep their historical byte shape.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::object([
+        let mut fields = vec![
             ("category", JsonValue::Str(self.category.clone())),
             ("message", JsonValue::Str(self.message.clone())),
-        ])
+        ];
+        if let Some(millis) = self.retry_after_millis {
+            fields.push(("retry_after_millis", JsonValue::Int(millis as i64)));
+        }
+        if let Some(retryable) = self.retryable {
+            fields.push(("retryable", JsonValue::Bool(retryable)));
+        }
+        JsonValue::object(fields)
     }
 
     /// Reads an error reply back from a parsed JSON document.
     ///
     /// # Errors
     ///
-    /// Returns a wire-format error on missing or non-string fields.
+    /// Returns a wire-format error on missing or non-string required fields,
+    /// or mistyped optional retry fields.
     pub fn from_json(value: &JsonValue) -> Result<Self> {
+        let retryable = match value.get("retryable") {
+            Some(v) => Some(v.as_bool()?),
+            None => None,
+        };
+        let retry_after_millis = match value.get("retry_after_millis") {
+            Some(v) => {
+                let millis = v.as_int()?;
+                Some(u64::try_from(millis).map_err(|_| ProblemError::Wire {
+                    what: format!("retry_after_millis must be non-negative, got {millis}"),
+                })?)
+            }
+            None => None,
+        };
         Ok(ErrorReply {
             category: value.require("category")?.as_str()?.to_string(),
             message: value.require("message")?.as_str()?.to_string(),
+            retryable,
+            retry_after_millis,
         })
     }
 }
@@ -339,6 +387,31 @@ mod tests {
             back.result.unwrap_err().to_string(),
             "protocol: malformed request frame"
         );
+    }
+
+    #[test]
+    fn overloaded_errors_carry_retry_hints() {
+        let response = ResponseEnvelope::error(
+            Some(9),
+            "classify",
+            ErrorReply::overloaded("load shed: pool queue depth 64 >= 8", 250),
+        );
+        let text = response.to_json_string();
+        assert_eq!(
+            text,
+            r#"{"error":{"category":"overloaded","message":"load shed: pool queue depth 64 >= 8","retry_after_millis":250,"retryable":true},"id":9,"kind":"classify","ok":false}"#
+        );
+        let back = ResponseEnvelope::from_json_str(&text).unwrap();
+        assert_eq!(back, response);
+        let error = back.result.unwrap_err();
+        assert_eq!(error.retryable, Some(true));
+        assert_eq!(error.retry_after_millis, Some(250));
+        // Negative backoffs are wire errors, not silent wraps.
+        assert!(ErrorReply::from_json(
+            &JsonValue::parse(r#"{"category":"overloaded","message":"m","retry_after_millis":-1}"#)
+                .unwrap()
+        )
+        .is_err());
     }
 
     #[test]

@@ -319,6 +319,81 @@ impl NormalizedLcl {
         }
     }
 
+    /// Rebuilds a problem from its [`Self::structural_key`] bytes.
+    ///
+    /// The key deliberately drops display data, so the rebuilt problem
+    /// carries synthetic names (`"restored"`, labels `i0…`/`o0…`) — but its
+    /// structure, and therefore its `structural_key`, `canonical_hash` and
+    /// complexity classification, are exactly those of the problem that
+    /// produced the key; the round trip is re-verified before returning.
+    /// The engine's cache snapshot restore uses this, the key being the only
+    /// problem identity a snapshot persists.
+    ///
+    /// # Errors
+    ///
+    /// Returns a wire-format error on a truncated or padded key, implausible
+    /// alphabet sizes (each bounded at 1024 — far beyond anything the
+    /// classifier can enumerate), a table that fails problem construction,
+    /// or a decoded problem whose re-encoded key differs (corrupt padding
+    /// bits). Never panics on arbitrary input bytes.
+    pub fn from_structural_key(key: &[u8]) -> Result<NormalizedLcl> {
+        const MAX_ALPHABET: u64 = 1024;
+        let wire = |what: String| ProblemError::Wire { what };
+        if key.len() < 16 {
+            return Err(wire(format!(
+                "structural key of {} bytes is shorter than its 16-byte header",
+                key.len()
+            )));
+        }
+        let alpha = u64::from_le_bytes(key[0..8].try_into().expect("sliced 8 bytes"));
+        let beta = u64::from_le_bytes(key[8..16].try_into().expect("sliced 8 bytes"));
+        if alpha == 0 || beta == 0 || alpha > MAX_ALPHABET || beta > MAX_ALPHABET {
+            return Err(wire(format!(
+                "structural key claims alphabet sizes {alpha}x{beta} \
+                 (supported: 1..={MAX_ALPHABET} each)"
+            )));
+        }
+        let (alpha, beta) = (alpha as usize, beta as usize);
+        let table_bits = alpha * beta + beta * beta;
+        let expected = 16 + table_bits.div_ceil(8);
+        if key.len() != expected {
+            return Err(wire(format!(
+                "structural key is {} bytes, expected {expected} for alphabet sizes {alpha}x{beta}",
+                key.len()
+            )));
+        }
+        let bit = |k: usize| (key[16 + k / 8] >> (7 - (k % 8))) & 1 == 1;
+        let mut builder = NormalizedLcl::builder("restored");
+        builder.input_alphabet(Alphabet::new((0..alpha).map(|i| format!("i{i}"))));
+        builder.output_alphabet(Alphabet::new((0..beta).map(|o| format!("o{o}"))));
+        let mut k = 0;
+        for i in 0..alpha {
+            for o in 0..beta {
+                if bit(k) {
+                    builder.allow_node_idx(i as u16, o as u16);
+                }
+                k += 1;
+            }
+        }
+        for p in 0..beta {
+            for q in 0..beta {
+                if bit(k) {
+                    builder.allow_edge_idx(p as u16, q as u16);
+                }
+                k += 1;
+            }
+        }
+        let problem = builder.build()?;
+        if problem.structural_key() != key {
+            return Err(wire(
+                "structural key does not round-trip through decoding \
+                 (corrupt padding bits?)"
+                    .to_string(),
+            ));
+        }
+        Ok(problem)
+    }
+
     /// A 64-bit structural fingerprint of the problem: FNV-1a over
     /// [`Self::structural_key`] (computed without materializing the key).
     ///
@@ -484,6 +559,51 @@ mod tests {
         let p = three_coloring();
         let back = NormalizedLcl::from_json_str(&p.to_json_string()).unwrap();
         assert_eq!(p.canonical_hash(), back.canonical_hash());
+    }
+
+    #[test]
+    fn structural_key_roundtrips_through_decoding() {
+        let p = three_coloring();
+        let key = p.structural_key();
+        let decoded = NormalizedLcl::from_structural_key(&key).unwrap();
+        // Names are synthetic, structure is exact: same key, same hash, same
+        // constraint tables.
+        assert_eq!(decoded.structural_key(), key);
+        assert_eq!(decoded.canonical_hash(), p.canonical_hash());
+        assert_eq!(decoded.name(), "restored");
+        assert_eq!(
+            decoded.allowed_node_pairs().collect::<Vec<_>>(),
+            p.allowed_node_pairs().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            decoded.allowed_edge_pairs().collect::<Vec<_>>(),
+            p.allowed_edge_pairs().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corrupt_structural_keys_are_rejected_without_panicking() {
+        let key = three_coloring().structural_key();
+        // Too short for the header.
+        assert!(NormalizedLcl::from_structural_key(&key[..8]).is_err());
+        // Truncated table.
+        assert!(NormalizedLcl::from_structural_key(&key[..key.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut long = key.clone();
+        long.push(0);
+        assert!(NormalizedLcl::from_structural_key(&long).is_err());
+        // Zero / absurd alphabet sizes.
+        let mut zeroed = key.clone();
+        zeroed[0..8].fill(0);
+        assert!(NormalizedLcl::from_structural_key(&zeroed).is_err());
+        let mut huge = key.clone();
+        huge[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(NormalizedLcl::from_structural_key(&huge).is_err());
+        // A flipped padding bit keeps the length valid but cannot round-trip.
+        let mut padded = key.clone();
+        *padded.last_mut().unwrap() |= 1;
+        assert!(NormalizedLcl::from_structural_key(&padded).is_err());
+        assert!(NormalizedLcl::from_structural_key(&[]).is_err());
     }
 
     #[test]

@@ -148,6 +148,21 @@ pub fn render_exposition(service: &Service) -> String {
     }
 
     expo.header(
+        "shed_total",
+        "counter",
+        "Frames rejected at admission (load shed or quota), by request kind; \
+         every shed frame is also counted in requests_total and \
+         request_errors_total.",
+    );
+    for (kind, label) in kinds() {
+        expo.sample(
+            "shed_total",
+            &format!("{{kind=\"{label}\"}}"),
+            metrics.snapshot(kind).shed,
+        );
+    }
+
+    expo.header(
         "request_latency_micros",
         "histogram",
         "End-to-end request handling latency in microseconds, by kind \

@@ -9,9 +9,9 @@
 //! (`{"v":1,"id":7,"kind":"classify","payload":{…}}`), responses are
 //! [`ResponseEnvelope`](lcl_paths::problem::ResponseEnvelope)s echoing the
 //! request id and carrying either a payload or a structured error reply
-//! derived from [`lcl_paths::Error`]. Eight request kinds are served:
+//! derived from [`lcl_paths::Error`]. Nine request kinds are served:
 //! `classify`, `classify_many`, `solve`, `solve_stream`, `generate`,
-//! `stats`, `health` and `metrics` (see `docs/PROTOCOL.md` at the
+//! `stats`, `health`, `metrics` and `snapshot` (see `docs/PROTOCOL.md` at the
 //! repository root for the full specification). `solve_stream` labels paths and cycles of
 //! millions of nodes without ever materializing them: the reply is a
 //! sequence of ordered chunk frames ([`StreamFrame`]) bounded by
@@ -73,6 +73,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 pub mod client;
 mod expo;
 mod frame;
@@ -86,6 +87,7 @@ mod stdio;
 mod tcp;
 mod trace;
 
+pub use admission::AdmissionConfig;
 pub use client::{Client, ClientError, SolveReply, StreamSummary, DEFAULT_PIPELINE_WINDOW};
 pub use expo::{render_exposition, validate_exposition};
 pub use frame::MAX_FRAME_BYTES;

@@ -34,6 +34,11 @@ fn accounted_micros(elapsed: Duration) -> u64 {
 struct KindCounters {
     count: AtomicU64,
     errors: AtomicU64,
+    /// Frames rejected at admission (load shed or quota). A shed frame is
+    /// also counted in `count`/`errors` and its (sub-millisecond) handling
+    /// latency lands in the histogram like any other reply — admission
+    /// rejections must never be invisible in the latency accounting.
+    shed: AtomicU64,
     total_micros: AtomicU64,
     max_micros: AtomicU64,
     histogram: LatencyHistogram,
@@ -57,6 +62,7 @@ impl KindCounters {
         KindStats {
             count: self.count.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             total_micros: self.total_micros.load(Ordering::Relaxed),
             max_micros: self.max_micros.load(Ordering::Relaxed),
         }
@@ -70,6 +76,9 @@ pub struct KindStats {
     pub count: u64,
     /// Requests of this kind that produced an error reply.
     pub errors: u64,
+    /// Requests of this kind rejected at admission (load shed or quota);
+    /// every shed frame is also counted in `count` and `errors`.
+    pub shed: u64,
     /// Cumulative handling latency, in microseconds.
     pub total_micros: u64,
     /// Largest single-request handling latency, in microseconds.
@@ -95,6 +104,7 @@ pub struct ServerMetrics {
     stats: KindCounters,
     health: KindCounters,
     metrics: KindCounters,
+    snapshot: KindCounters,
     /// Frames that never resolved to a known request kind.
     invalid: KindCounters,
     /// `solve_stream` time-to-first-chunk: request read to the first chunk
@@ -148,6 +158,7 @@ impl Default for ServerMetrics {
             stats: KindCounters::default(),
             health: KindCounters::default(),
             metrics: KindCounters::default(),
+            snapshot: KindCounters::default(),
             invalid: KindCounters::default(),
             stream_first_chunk: LatencyHistogram::new(),
             detailed: AtomicBool::new(true),
@@ -177,6 +188,7 @@ impl ServerMetrics {
             Some(RequestKind::Stats) => &self.stats,
             Some(RequestKind::Health) => &self.health,
             Some(RequestKind::Metrics) => &self.metrics,
+            Some(RequestKind::Snapshot) => &self.snapshot,
             None => &self.invalid,
         }
     }
@@ -189,6 +201,14 @@ impl ServerMetrics {
     /// pipelined client observes, not just the compute time.
     pub(crate) fn record(&self, kind: Option<RequestKind>, elapsed: Duration, ok: bool) {
         self.counters(kind).record(elapsed, ok, self.detailed());
+    }
+
+    /// Records one frame rejected at admission (load shed or quota denial).
+    /// Callers must *also* call [`record`](Self::record) for the frame so
+    /// the count/error/latency accounting stays symmetric with served
+    /// frames; this only bumps the dedicated shed tally.
+    pub(crate) fn record_shed(&self, kind: Option<RequestKind>) {
+        self.counters(kind).shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a `solve_stream` request's time-to-first-chunk (request read
@@ -383,6 +403,7 @@ impl ServerMetrics {
             JsonValue::object([
                 ("count", JsonValue::Int(stats.count as i64)),
                 ("errors", JsonValue::Int(stats.errors as i64)),
+                ("shed", JsonValue::Int(stats.shed as i64)),
                 ("total_micros", JsonValue::Int(stats.total_micros as i64)),
                 ("max_micros", JsonValue::Int(stats.max_micros as i64)),
                 ("mean_micros", JsonValue::Int(stats.mean_micros() as i64)),
@@ -474,6 +495,7 @@ impl ServerMetrics {
                     ("stats", kind_json(Some(RequestKind::Stats))),
                     ("health", kind_json(Some(RequestKind::Health))),
                     ("metrics", kind_json(Some(RequestKind::Metrics))),
+                    ("snapshot", kind_json(Some(RequestKind::Snapshot))),
                     ("invalid", kind_json(None)),
                 ]),
             ),
@@ -512,6 +534,31 @@ mod tests {
         assert!(json.contains("\"invalid\""), "{json}");
         assert!(json.contains("\"metrics\""), "{json}");
         assert!(json.contains("\"p99_micros\""), "{json}");
+    }
+
+    #[test]
+    fn shed_frames_keep_latency_accounting_symmetric() {
+        let metrics = ServerMetrics::default();
+        // A shed frame records through both channels, like the dispatch
+        // path does: the regular record() plus the shed tally.
+        metrics.record(Some(RequestKind::Solve), Duration::from_micros(7), false);
+        metrics.record_shed(Some(RequestKind::Solve));
+        metrics.record(Some(RequestKind::Solve), Duration::from_micros(90), true);
+
+        let solve = metrics.snapshot(Some(RequestKind::Solve));
+        assert_eq!(solve.count, 2);
+        assert_eq!(solve.errors, 1);
+        assert_eq!(solve.shed, 1);
+        let histogram = metrics.histogram(Some(RequestKind::Solve));
+        assert_eq!(
+            histogram.count, solve.count,
+            "shed frames must land in the histogram too"
+        );
+        assert_eq!(metrics.snapshot(Some(RequestKind::Classify)).shed, 0);
+
+        let json = metrics.to_json().to_json_string();
+        assert!(json.contains("\"shed\":1"), "{json}");
+        assert!(json.contains("\"shed\":0"), "{json}");
     }
 
     #[test]

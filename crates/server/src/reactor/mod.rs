@@ -48,7 +48,7 @@ use crate::trace::Trace;
 use poll::{Epoll, EpollEvent, EPOLLIN, EPOLLOUT, EVENT_BATCH};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read};
-use std::net::{TcpListener, TcpStream};
+use std::net::{IpAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -401,6 +401,8 @@ struct Conn {
     stream: TcpStream,
     token: u64,
     window: usize,
+    /// The peer's IP, captured at accept time for per-client quotas.
+    peer: Option<IpAddr>,
     /// Bytes read off the socket, not yet consumed as frames.
     read_buf: Vec<u8>,
     /// Start of the unconsumed region in `read_buf`; frames are consumed by
@@ -449,10 +451,12 @@ struct Conn {
 
 impl Conn {
     fn new(stream: TcpStream, token: u64, window: usize) -> Conn {
+        let peer = stream.peer_addr().ok().map(|addr| addr.ip());
         Conn {
             stream,
             token,
             window,
+            peer,
             read_buf: Vec::new(),
             consumed: 0,
             scanned: 0,
@@ -645,7 +649,8 @@ impl Conn {
     fn dispatch(&mut self, line: String, service: &Arc<Service>, control: &Arc<Control>) {
         let control = Arc::clone(control);
         let token = self.token;
-        let pending = service.dispatch_line_notify(line, move || control.mark_dirty(token));
+        let pending =
+            service.dispatch_line_notify_from(line, self.peer, move || control.mark_dirty(token));
         self.pending.push_back(PendingReply::Deferred(pending));
         self.inflight += 1;
     }

@@ -1,8 +1,10 @@
 //! The `--metrics-addr` pull endpoint: a minimal HTTP/1.1 responder that
 //! serves the metrics exposition ([`crate::expo`]) to scrapers.
 //!
-//! This is deliberately not a web server: one listener thread, blocking
-//! per-request I/O with short timeouts, `Connection: close` on every
+//! This is deliberately not a web server: one accept thread handing each
+//! connection to a short-lived responder thread (so a scraper that hangs
+//! mid-request cannot delay the next scrape), blocking per-request I/O
+//! with short timeouts and a byte cap, `Connection: close` on every
 //! response. `GET /metrics` (or `/`) answers `200` with the plaintext
 //! exposition (`text/plain; version=0.0.4`); any other path answers `404`;
 //! anything unreadable as a request line answers `400`. The listener polls
@@ -26,8 +28,13 @@ use std::time::Duration;
 const ACCEPT_POLL: Duration = Duration::from_millis(25);
 
 /// Per-connection I/O timeout: a scraper that stalls mid-request is cut
-/// off rather than pinning the listener thread.
+/// off rather than pinning its responder thread.
 const SCRAPE_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Cap on the bytes read from one scraper (request line plus headers). A
+/// real scrape request is ~100 bytes; a peer that streams more than this
+/// is answered from what arrived and cut off, instead of growing a buffer.
+const MAX_SCRAPE_REQUEST_BYTES: u64 = 8 * 1024;
 
 /// A running metrics scrape endpoint. Stops serving on
 /// [`MetricsListener::shutdown`] or drop.
@@ -55,9 +62,20 @@ impl MetricsListener {
                 while !observed_stop.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            // A scrape failure (peer vanished, bad request)
-                            // only affects that scraper.
-                            let _ = serve_scrape(&service, stream);
+                            // Each scrape gets its own short-lived thread: a
+                            // scraper that connects and hangs times out on
+                            // *its* thread while the listener keeps
+                            // accepting. Serving inline would let one wedged
+                            // peer delay every later scrape by the full I/O
+                            // timeout. A scrape failure (peer vanished, bad
+                            // request, spawn refused) only affects that
+                            // scraper.
+                            let scraped = Arc::clone(&service);
+                            let _ = thread::Builder::new()
+                                .name("lcl-metrics-scrape-conn".to_string())
+                                .spawn(move || {
+                                    let _ = serve_scrape(&scraped, stream);
+                                });
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                             thread::sleep(ACCEPT_POLL);
@@ -99,7 +117,12 @@ impl Drop for MetricsListener {
 fn serve_scrape(service: &Service, stream: TcpStream) -> io::Result<()> {
     stream.set_read_timeout(Some(SCRAPE_IO_TIMEOUT))?;
     stream.set_write_timeout(Some(SCRAPE_IO_TIMEOUT))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+    // The byte cap bounds the whole request read (line and headers): past
+    // it every read_line returns 0, which ends the drain loop below.
+    let mut reader = io::Read::take(
+        BufReader::new(stream.try_clone()?),
+        MAX_SCRAPE_REQUEST_BYTES,
+    );
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
     let path = request_line
@@ -111,8 +134,9 @@ fn serve_scrape(service: &Service, stream: TcpStream) -> io::Result<()> {
     while reader.read_line(&mut header)? > 2 {
         header.clear();
     }
-    let mut stream = reader.into_inner();
-    match path {
+    let capped = reader.limit() == 0;
+    let mut stream = reader.into_inner().into_inner();
+    let outcome = match path {
         Some("/metrics") | Some("/") => {
             let body = crate::expo::render_exposition(service);
             respond(
@@ -134,7 +158,19 @@ fn serve_scrape(service: &Service, stream: TcpStream) -> io::Result<()> {
             "text/plain; charset=utf-8",
             "expected `GET /metrics HTTP/1.1`\n",
         ),
+    };
+    // When the byte cap cut the request short, discard (bounded) what it
+    // left unread before closing: dropping a socket with pending input
+    // resets it, and the reset can outrun the response bytes on the
+    // peer's side. Normal requests were read to their blank line and skip
+    // this, so their responder thread never waits out the read timeout.
+    if capped {
+        let _ = io::copy(
+            &mut io::Read::take(&stream, 8 * MAX_SCRAPE_REQUEST_BYTES),
+            &mut io::sink(),
+        );
     }
+    outcome
 }
 
 fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
@@ -196,6 +232,45 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
         assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    }
+
+    #[test]
+    fn a_hung_scraper_does_not_wedge_subsequent_scrapes() {
+        let listener = listener();
+        let addr = listener.addr();
+        // Two scrapers connect and send nothing. Served inline, each would
+        // hold the listener for the full per-connection I/O timeout and the
+        // real scrape below would wait out both.
+        let _hung_one = TcpStream::connect(addr).expect("connect");
+        let _hung_two = TcpStream::connect(addr).expect("connect");
+        // Let the accept loop pick both up before the real scrape arrives.
+        thread::sleep(Duration::from_millis(100));
+        let started = std::time::Instant::now();
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        validate_exposition(&body).expect("scrape behind hung peers validates");
+        assert!(
+            started.elapsed() < Duration::from_secs(1),
+            "scrape waited {:?} behind hung peers",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn an_oversized_request_is_answered_from_the_capped_prefix() {
+        let listener = listener();
+        let mut stream = TcpStream::connect(listener.addr()).expect("connect");
+        // A request line far past the byte cap: the responder answers from
+        // the prefix it read (an unknown path → 404) instead of buffering
+        // the rest.
+        let long = "x".repeat(64 * 1024);
+        write!(stream, "GET /{long} HTTP/1.1\r\n\r\n").unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //!
 //! Neither shape ever spawns a thread on the request path.
 
+use crate::admission::{AdmissionConfig, QuotaLimiter, ShedPolicy};
 use crate::frame::MAX_FRAME_BYTES;
 use crate::metrics::ServerMetrics;
 use crate::splice::SplicedReply;
@@ -48,6 +49,9 @@ use lcl_paths::problem::{
 use lcl_paths::{Engine, Error};
 use std::collections::HashMap;
 use std::fmt;
+use std::io;
+use std::net::IpAddr;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
@@ -73,11 +77,15 @@ pub enum RequestKind {
     /// The same counters as plaintext metrics exposition (the scrape
     /// format), for pull-style collectors.
     Metrics,
+    /// Write the warm-cache snapshot to the configured `--cache-snapshot`
+    /// path (an operator checkpoint; the same document is written on
+    /// graceful shutdown and restored at startup).
+    Snapshot,
 }
 
 impl RequestKind {
     /// All request kinds, in protocol order.
-    pub const ALL: [RequestKind; 8] = [
+    pub const ALL: [RequestKind; 9] = [
         RequestKind::Classify,
         RequestKind::ClassifyMany,
         RequestKind::Solve,
@@ -86,6 +94,7 @@ impl RequestKind {
         RequestKind::Stats,
         RequestKind::Health,
         RequestKind::Metrics,
+        RequestKind::Snapshot,
     ];
 
     /// The stable ASCII identifier used on the wire.
@@ -99,12 +108,24 @@ impl RequestKind {
             RequestKind::Stats => "stats",
             RequestKind::Health => "health",
             RequestKind::Metrics => "metrics",
+            RequestKind::Snapshot => "snapshot",
         }
     }
 
     /// Parses a wire identifier produced by [`RequestKind::wire_name`].
     pub fn from_wire_name(name: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|k| k.wire_name() == name)
+    }
+
+    /// Whether this kind does engine compute work and is therefore subject
+    /// to admission control. The control kinds (`stats`, `health`,
+    /// `metrics`, `snapshot`) are always admitted: an operator must be able
+    /// to observe — and checkpoint — an overloaded server.
+    pub fn is_compute(self) -> bool {
+        !matches!(
+            self,
+            RequestKind::Stats | RequestKind::Health | RequestKind::Metrics | RequestKind::Snapshot
+        )
     }
 }
 
@@ -288,6 +309,12 @@ fn salvage_kind(line: &str) -> String {
         .unwrap_or_else(|| "invalid".to_string())
 }
 
+/// What one cache-snapshot write put on disk.
+struct SnapshotWrite {
+    entries: usize,
+    bytes: usize,
+}
+
 /// Decrements the pipelined-in-flight gauge even if the job panics.
 struct PipelineGuard<'a>(&'a ServerMetrics);
 
@@ -324,6 +351,15 @@ pub struct Service {
     /// [`HOT_LINES_CAP`]; stale mappings (evicted entries) are dropped on
     /// probe.
     hot_lines: Mutex<HashMap<Box<str>, HotLine>>,
+    /// Load-shedding thresholds (`--shed-p99-micros` / `--shed-queue-depth`);
+    /// `None` when shedding is disabled.
+    shed: Option<ShedPolicy>,
+    /// Per-peer token buckets (`--quota-rps` / `--quota-burst`); `None`
+    /// when quotas are disabled.
+    quota: Option<QuotaLimiter>,
+    /// Where the warm-cache snapshot is written (`--cache-snapshot`);
+    /// `None` disables the `snapshot` kind and the startup restore.
+    snapshot_path: Option<PathBuf>,
 }
 
 /// One learned canonical classify line: what its payload text parsed to.
@@ -372,7 +408,31 @@ impl Service {
             max_chunk_bytes: DEFAULT_MAX_CHUNK_BYTES,
             reply_splice: AtomicBool::new(true),
             hot_lines: Mutex::new(HashMap::new()),
+            shed: None,
+            quota: None,
+            snapshot_path: None,
         }
+    }
+
+    /// Configures admission control (load shedding and per-client quotas)
+    /// from the CLI thresholds; an all-zero config leaves both disabled.
+    pub fn with_admission(mut self, config: AdmissionConfig) -> Self {
+        self.shed = ShedPolicy::new(&config);
+        self.quota = QuotaLimiter::new(&config);
+        self
+    }
+
+    /// Sets the warm-cache snapshot path: enables the `snapshot` request
+    /// kind, the startup restore ([`Service::restore_cache_snapshot`]) and
+    /// the shutdown write ([`Service::write_cache_snapshot`]).
+    pub fn with_cache_snapshot_path(mut self, path: PathBuf) -> Self {
+        self.snapshot_path = Some(path);
+        self
+    }
+
+    /// The configured warm-cache snapshot path, if any.
+    pub fn cache_snapshot_path(&self) -> Option<&Path> {
+        self.snapshot_path.as_deref()
     }
 
     /// Replaces the trace sink (ring capacity, slow-line emitter). Intended
@@ -453,6 +513,49 @@ impl Service {
             .then(|| Arc::new(Trace::new(Arc::clone(&self.trace), started, id)))
     }
 
+    /// The admission decision for one frame: `Some(reply)` when the frame
+    /// must be rejected (per-peer quota exhausted, or the server is
+    /// shedding load), `None` when it may dispatch. Only compute kinds are
+    /// ever denied; the quota is consulted first so one greedy client is
+    /// rejected individually before the global shed signals even matter.
+    /// `peer` is the client address the quota buckets key on — `None`
+    /// (stdio, embedders) shares one sentinel bucket.
+    fn admission_denial(&self, kind: RequestKind, peer: Option<IpAddr>) -> Option<ErrorReply> {
+        if !kind.is_compute() || (self.shed.is_none() && self.quota.is_none()) {
+            return None;
+        }
+        if let Some(quota) = &self.quota {
+            let peer = peer.unwrap_or_else(QuotaLimiter::sentinel_peer);
+            if let Err(denial) = quota.admit(peer, Instant::now()) {
+                return Some(ErrorReply::overloaded(
+                    denial.message,
+                    denial.retry_after_millis,
+                ));
+            }
+        }
+        if let Some(shed) = &self.shed {
+            let pool = self.engine.pool_stats();
+            // The per-kind p99 comes from the detailed-metrics histogram;
+            // with histograms off it reads 0 and the signal is inert.
+            let p99 = self.metrics.histogram(Some(kind)).quantile(0.99);
+            if let Some(denial) = shed.evaluate(pool.queue_depth, pool.workers, p99) {
+                return Some(ErrorReply::overloaded(
+                    denial.message,
+                    denial.retry_after_millis,
+                ));
+            }
+        }
+        None
+    }
+
+    /// Accounts one admission rejection symmetrically with served frames:
+    /// the regular per-kind count/error/latency record **plus** the shed
+    /// tally, so `shed_total` and the latency histograms always agree.
+    fn record_shed(&self, kind: RequestKind, started: Instant) {
+        self.metrics.record_shed(Some(kind));
+        self.metrics.record(Some(kind), started.elapsed(), false);
+    }
+
     /// Handles one request frame in lock-step, returning exactly one
     /// response envelope. Never panics on wire input.
     ///
@@ -502,14 +605,22 @@ impl Service {
                 if let Some(trace) = &trace {
                     trace.mark_parsed(Some(kind), Some(envelope.id));
                 }
-                self.finish(
-                    kind,
-                    &envelope,
-                    started,
-                    ExecContext::Caller,
-                    emit,
-                    trace.as_deref(),
-                )
+                // Admission runs after the parse here (lock-step framing
+                // has no salvage shortcut) but still before any engine
+                // work; stdio peers share the sentinel quota bucket.
+                if let Some(reply) = self.admission_denial(kind, None) {
+                    self.record_shed(kind, started);
+                    ResponseEnvelope::error(Some(envelope.id), kind.wire_name(), reply)
+                } else {
+                    self.finish(
+                        kind,
+                        &envelope,
+                        started,
+                        ExecContext::Caller,
+                        emit,
+                        trace.as_deref(),
+                    )
+                }
             }
         };
         if let Some(trace) = &trace {
@@ -532,6 +643,17 @@ impl Service {
         self.dispatch_line_notify(line, || {})
     }
 
+    /// [`Service::dispatch_line`] with the client's peer address, which
+    /// keys the per-client quota buckets. This is the thread backend's
+    /// dispatch entry point.
+    pub fn dispatch_line_from(
+        self: &Arc<Self>,
+        line: String,
+        peer: Option<IpAddr>,
+    ) -> PendingResponse {
+        self.dispatch_line_notify_from(line, peer, || {})
+    }
+
     /// [`Service::dispatch_line`] with a frame hook: `notify` runs on the
     /// worker every time a new frame is observable on the returned handle —
     /// a chunk was emitted, the frame was answered, or the job died and
@@ -546,6 +668,20 @@ impl Service {
     /// closes the channel, which aborts the stream). The per-connection
     /// in-flight window bounds how many workers one slow peer can park.
     pub fn dispatch_line_notify<N>(self: &Arc<Self>, line: String, notify: N) -> PendingResponse
+    where
+        N: Fn() + Send + Sync + 'static,
+    {
+        self.dispatch_line_notify_from(line, None, notify)
+    }
+
+    /// [`Service::dispatch_line_notify`] with the client's peer address for
+    /// the per-client quota buckets (the reactor backend's entry point).
+    pub fn dispatch_line_notify_from<N>(
+        self: &Arc<Self>,
+        line: String,
+        peer: Option<IpAddr>,
+        notify: N,
+    ) -> PendingResponse
     where
         N: Fn() + Send + Sync + 'static,
     {
@@ -567,6 +703,27 @@ impl Service {
         }
         let id = salvage_id(&line);
         let kind = salvage_kind(&line);
+        // Admission runs on the salvaged kind, before the frame takes a
+        // pool job or a pipeline-window slot: a shed reply is resolved
+        // right here on the calling thread and only occupies the
+        // connection's ordered-reply slot, so it stays fast — and the
+        // server stays observable — however deep the pool backlog is.
+        // (A frame whose kind cannot be salvaged dispatches normally; its
+        // reply is a parse error, not engine work worth shedding.)
+        if let Some(salvaged) = RequestKind::from_wire_name(&kind) {
+            if let Some(reply) = self.admission_denial(salvaged, peer) {
+                let frame = ResponseEnvelope::error(id, kind.clone(), reply).into_json_string();
+                self.record_shed(salvaged, started);
+                let (tx, rx) = mpsc::sync_channel::<StreamFrame>(STREAM_CHANNEL_DEPTH);
+                let _ = tx.send(StreamFrame::Final(frame));
+                return PendingResponse {
+                    id,
+                    kind,
+                    rx,
+                    trace: None,
+                };
+            }
+        }
         let service = Arc::clone(self);
         // The trace is shared three ways: the job stamps queue → serialize,
         // the connection writer (via the PendingResponse) stamps the write,
@@ -718,7 +875,7 @@ impl Service {
                     "protocol",
                     format!(
                         "unknown request kind `{}` (expected classify, classify_many, \
-                         solve, solve_stream, generate, stats, health or metrics)",
+                         solve, solve_stream, generate, stats, health, metrics or snapshot)",
                         envelope.kind
                     ),
                 ),
@@ -748,6 +905,7 @@ impl Service {
             RequestKind::Stats => self.stats(),
             RequestKind::Health => self.health(),
             RequestKind::Metrics => self.metrics_exposition(),
+            RequestKind::Snapshot => self.snapshot(),
         }
     }
 
@@ -1109,6 +1267,85 @@ impl Service {
             "exposition",
             JsonValue::Str(crate::expo::render_exposition(self)),
         )]))
+    }
+
+    /// The `snapshot` kind: writes the warm-cache snapshot to the
+    /// configured `--cache-snapshot` path and reports what was written.
+    /// Always admitted (a control kind): checkpointing must work exactly
+    /// when the server is overloaded and about to be restarted.
+    fn snapshot(&self) -> Result<JsonValue, Error> {
+        let Some(path) = &self.snapshot_path else {
+            return Err(Error::Classifier(ClassifierError::Internal {
+                what: "no cache snapshot path configured \
+                       (start the server with --cache-snapshot PATH)"
+                    .to_string(),
+            }));
+        };
+        let write = self.write_snapshot_to(path).map_err(|e| {
+            Error::Classifier(ClassifierError::Internal {
+                what: format!("cache snapshot write to {} failed: {e}", path.display()),
+            })
+        })?;
+        Ok(JsonValue::object([
+            ("bytes", JsonValue::Int(write.bytes as i64)),
+            ("entries", JsonValue::Int(write.entries as i64)),
+            ("path", JsonValue::Str(path.display().to_string())),
+        ]))
+    }
+
+    /// Serializes the engine's cache and writes it to `path` via a
+    /// temp-file + rename, so a concurrent reader (or a crash mid-write)
+    /// never observes a torn document.
+    fn write_snapshot_to(&self, path: &Path) -> io::Result<SnapshotWrite> {
+        let document = self.engine.snapshot_document();
+        // Header and checksum trailer aside, one line per entry.
+        let entries = document.lines().count().saturating_sub(2);
+        let bytes = document.len();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, &document)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(SnapshotWrite { entries, bytes })
+    }
+
+    /// Writes the warm-cache snapshot to the configured path, returning a
+    /// loggable summary; `None` when no path is configured. This is the
+    /// graceful-shutdown write of `lcl-serve` (the `snapshot` request kind
+    /// serves the same document on demand).
+    pub fn write_cache_snapshot(&self) -> Option<io::Result<String>> {
+        let path = self.snapshot_path.as_ref()?;
+        Some(self.write_snapshot_to(path).map(|write| {
+            format!(
+                "wrote {} cache entries ({} bytes) to {}",
+                write.entries,
+                write.bytes,
+                path.display()
+            )
+        }))
+    }
+
+    /// Restores the warm cache from the configured snapshot path at
+    /// startup. `None` when no path is configured **or** the file does not
+    /// exist yet (a fresh deployment); `Some(Err(…))` describes a corrupt,
+    /// truncated or version-skewed document — the caller logs it and
+    /// serves on with a cold cache, never fails.
+    pub fn restore_cache_snapshot(&self) -> Option<std::result::Result<String, String>> {
+        let path = self.snapshot_path.as_ref()?;
+        let document = match std::fs::read_to_string(path) {
+            Ok(document) => document,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                return Some(Err(format!(
+                    "could not read cache snapshot {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        Some(match self.engine.restore_snapshot(&document) {
+            Ok(report) => Ok(format!("{report} from {}", path.display())),
+            Err(e) => Err(format!("ignoring cache snapshot {}: {e}", path.display())),
+        })
     }
 
     /// Server identity and configuration for the `stats` reply's `server`
@@ -1682,5 +1919,172 @@ mod tests {
             "problem"
         );
         assert!(items[2].require("ok").unwrap().as_bool().unwrap());
+    }
+
+    #[test]
+    fn quota_denials_reject_with_the_overloaded_category() {
+        let service = Arc::new(service().with_admission(AdmissionConfig {
+            quota_rps: 1,
+            quota_burst: 1,
+            ..AdmissionConfig::default()
+        }));
+        // The splice lane legitimately bypasses admission (cache hits cost
+        // nothing); turn it off so the second frame reaches the quota.
+        service.set_reply_splice(false);
+        let peer = Some("10.0.0.7".parse().unwrap());
+
+        // The burst admits the first frame…
+        let first = service.dispatch_line_from(classify_line(1), peer).wait();
+        assert!(ResponseEnvelope::from_json_str(&first).unwrap().is_ok());
+
+        // …and the second is rejected before taking a pool slot, with the
+        // structured retry hint on the wire.
+        let second = service.dispatch_line_from(classify_line(2), peer).wait();
+        let reply = ResponseEnvelope::from_json_str(&second).unwrap();
+        assert_eq!(reply.id, Some(2), "denials still echo the request id");
+        assert_eq!(reply.kind, "classify");
+        let error = reply.result.unwrap_err();
+        assert_eq!(error.category, "overloaded");
+        assert_eq!(error.retryable, Some(true));
+        assert!(error.retry_after_millis.unwrap_or(0) >= 1);
+
+        // A different peer still has its own untouched bucket.
+        let other = Some("10.0.0.8".parse().unwrap());
+        let third = service.dispatch_line_from(classify_line(3), other).wait();
+        assert!(ResponseEnvelope::from_json_str(&third).unwrap().is_ok());
+
+        // Latency accounting stays symmetric: the shed frame is counted,
+        // errored, shed, and present in the histogram.
+        let stats = service.metrics().snapshot(Some(RequestKind::Classify));
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.count, 3);
+        assert_eq!(
+            service
+                .metrics()
+                .histogram(Some(RequestKind::Classify))
+                .count,
+            3
+        );
+    }
+
+    #[test]
+    fn p99_shed_rejects_compute_frames_but_admits_control_kinds() {
+        let service = Arc::new(service().with_admission(AdmissionConfig {
+            shed_p99_micros: 1_000,
+            ..AdmissionConfig::default()
+        }));
+        // Seed the classify histogram well past the threshold, as a sustained
+        // period of 50ms requests would.
+        for _ in 0..64 {
+            service.metrics().record(
+                Some(RequestKind::Classify),
+                std::time::Duration::from_millis(50),
+                true,
+            );
+        }
+
+        let reply = service.dispatch_line_from(classify_line(9), None).wait();
+        let reply = ResponseEnvelope::from_json_str(&reply).unwrap();
+        let error = reply.result.unwrap_err();
+        assert_eq!(error.category, "overloaded");
+        assert!(error.message.contains("p99"), "{}", error.message);
+        assert_eq!(error.retryable, Some(true));
+        assert_eq!(
+            service.metrics().snapshot(Some(RequestKind::Classify)).shed,
+            1
+        );
+
+        // Control kinds are never shed — operators must be able to observe
+        // an overloaded server.
+        for kind in ["stats", "health", "metrics"] {
+            let line = format!("{{\"v\":1,\"id\":1,\"kind\":\"{kind}\"}}");
+            let reply = service.dispatch_line_from(line, None).wait();
+            assert!(
+                ResponseEnvelope::from_json_str(&reply).unwrap().is_ok(),
+                "{kind} must bypass admission"
+            );
+        }
+
+        // The lock-step (stdio) path sheds identically.
+        let locked = service.handle_line(&classify_line(10));
+        assert_eq!(locked.result.unwrap_err().category, "overloaded");
+    }
+
+    #[test]
+    fn control_kinds_are_admitted_past_an_exhausted_quota() {
+        let service = Arc::new(service().with_admission(AdmissionConfig {
+            quota_rps: 1,
+            quota_burst: 1,
+            ..AdmissionConfig::default()
+        }));
+        service.set_reply_splice(false);
+        let peer = Some("192.168.1.20".parse().unwrap());
+        let first = service.dispatch_line_from(classify_line(1), peer).wait();
+        assert!(ResponseEnvelope::from_json_str(&first).unwrap().is_ok());
+        for kind in ["stats", "health", "metrics"] {
+            let line = format!("{{\"v\":1,\"id\":2,\"kind\":\"{kind}\"}}");
+            let reply = service.dispatch_line_from(line, peer).wait();
+            assert!(
+                ResponseEnvelope::from_json_str(&reply).unwrap().is_ok(),
+                "{kind} must not consume quota"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_kind_writes_the_configured_path_and_restores() {
+        let dir = std::env::temp_dir().join(format!("lcl-snap-service-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("cache.snap");
+        let warm = service().with_cache_snapshot_path(path.clone());
+
+        // Warm the cache, then snapshot over the wire.
+        assert!(warm.handle_line(&classify_line(1)).is_ok());
+        let payload = warm
+            .handle_line(r#"{"v":1,"id":2,"kind":"snapshot"}"#)
+            .result
+            .expect("snapshot succeeds");
+        assert_eq!(payload.require("entries").unwrap().as_int().unwrap(), 1);
+        assert_eq!(
+            payload.require("path").unwrap().as_str().unwrap(),
+            path.display().to_string()
+        );
+        assert!(path.exists());
+
+        // A fresh service restores it at startup and reports the count.
+        let fresh = service().with_cache_snapshot_path(path.clone());
+        let restored = fresh
+            .restore_cache_snapshot()
+            .expect("path configured and file present")
+            .expect("snapshot restores");
+        assert!(restored.contains("restored 1/1"), "{restored}");
+        assert_eq!(fresh.engine().cache_stats().entries, 1);
+
+        // A corrupt snapshot is reported, not fatal.
+        std::fs::write(&path, "not a snapshot\n").expect("overwrite");
+        let corrupt = service().with_cache_snapshot_path(path.clone());
+        let error = corrupt
+            .restore_cache_snapshot()
+            .expect("file present")
+            .expect_err("corrupt snapshot rejected");
+        assert!(error.contains("ignoring cache snapshot"), "{error}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_kind_without_a_path_is_a_classifier_error() {
+        let service = service();
+        let error = service
+            .handle_line(r#"{"v":1,"id":3,"kind":"snapshot"}"#)
+            .result
+            .unwrap_err();
+        assert_eq!(error.category, "classifier");
+        assert!(
+            error.message.contains("--cache-snapshot"),
+            "{}",
+            error.message
+        );
     }
 }

@@ -648,6 +648,7 @@ fn handle_connection(stream: TcpStream, service: &Arc<Service>, id: u64, max_inf
     let Ok(writer_stream) = stream.try_clone() else {
         return;
     };
+    let peer = stream.peer_addr().ok().map(|addr| addr.ip());
     let window = InflightWindow::new(max_inflight);
     let (ordered_tx, ordered_rx) = mpsc::channel::<PendingReply>();
     let writer_window = Arc::clone(&window);
@@ -678,7 +679,7 @@ fn handle_connection(stream: TcpStream, service: &Arc<Service>, id: u64, max_inf
                     .reject_oversized_at(discarded, started)
                     .into_json_string(),
             ),
-            Frame::Line(line) => PendingReply::Deferred(service.dispatch_line(line)),
+            Frame::Line(line) => PendingReply::Deferred(service.dispatch_line_from(line, peer)),
             Frame::Eof => unreachable!("handled above"),
         };
         // The queue itself is unbounded (the window is the bound) and only

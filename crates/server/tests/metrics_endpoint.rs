@@ -9,8 +9,8 @@ use lcl_paths::problem::{
 };
 use lcl_paths::{problems, Engine};
 use lcl_server::{
-    serve_stdio, validate_exposition, Backend, Client, MetricsListener, Server, Service, TraceSink,
-    MAX_FRAME_BYTES,
+    serve_stdio, validate_exposition, AdmissionConfig, Backend, Client, MetricsListener, Server,
+    Service, TraceSink, MAX_FRAME_BYTES,
 };
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -135,6 +135,7 @@ fn the_metrics_kind_serves_a_valid_exposition_on_every_tcp_backend() {
             "stats",
             "health",
             "metrics",
+            "snapshot",
             "invalid",
         ] {
             assert_eq!(
@@ -144,6 +145,13 @@ fn the_metrics_kind_serves_a_valid_exposition_on_every_tcp_backend() {
                 ),
                 sample_value(&expo, &format!("lcl_requests_total{{kind=\"{kind}\"}}")),
                 "[{backend}] histogram/counter mismatch for `{kind}`"
+            );
+            // Admission is not configured here: the shed family renders for
+            // every kind and every sample is zero.
+            assert_eq!(
+                sample_value(&expo, &format!("lcl_shed_total{{kind=\"{kind}\"}}")),
+                0,
+                "[{backend}] nothing sheds below the (disabled) thresholds"
             );
         }
 
@@ -396,6 +404,75 @@ fn oversized_frames_record_nonzero_invalid_latency_on_every_front_end() {
     );
     assert!(sample_value(&expo, "lcl_request_latency_micros_sum{kind=\"invalid\"}") >= 1);
     assert!(expo.contains("lcl_build_info{backend=\"stdio\""));
+}
+
+#[test]
+fn shed_frames_stay_in_the_latency_accounting_on_every_backend() {
+    for backend in backends() {
+        let service = Arc::new(
+            Service::new(Engine::builder().parallelism(2).cache_shards(2).build()).with_admission(
+                AdmissionConfig {
+                    quota_rps: 1,
+                    quota_burst: 2,
+                    ..AdmissionConfig::default()
+                },
+            ),
+        );
+        // The splice lane legitimately bypasses admission; keep every frame
+        // on the quota'd path so the shed count is predictable.
+        service.set_reply_splice(false);
+        let handle = Server::bind(Arc::clone(&service), "127.0.0.1:0")
+            .expect("bind")
+            .backend(backend)
+            .start()
+            .expect("start");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+
+        // Flood eight distinct problems down one pipelined connection: the
+        // burst of two admits the head, the rest shed.
+        let specs: Vec<_> = (2..=9).map(|k| problems::coloring(k).to_spec()).collect();
+        let outcomes = client
+            .classify_many_pipelined(&specs, 0)
+            .expect("pipelined flood");
+        let shed = outcomes.iter().filter(|o| o.is_err()).count();
+        assert!(shed >= 1, "[{backend}] the flood must shed something");
+        for outcome in &outcomes {
+            if let Err(error) = outcome {
+                assert_eq!(error.category, "overloaded", "[{backend}]");
+                assert_eq!(error.retryable, Some(true), "[{backend}]");
+                assert!(
+                    error.retry_after_millis.unwrap_or(0) >= 1,
+                    "[{backend}] sheds carry a retry hint"
+                );
+            }
+        }
+
+        let expo = client.metrics().expect("metrics");
+        validate_exposition(&expo).unwrap_or_else(|e| panic!("[{backend}] invalid: {e}"));
+        // The shed counter, the request counter, the error counter and the
+        // latency histogram must all agree on what happened: a shed frame
+        // is accounted exactly like a served one.
+        assert_eq!(
+            sample_value(&expo, "lcl_shed_total{kind=\"classify\"}"),
+            shed as u64,
+            "[{backend}]"
+        );
+        assert_eq!(
+            sample_value(&expo, "lcl_requests_total{kind=\"classify\"}"),
+            specs.len() as u64,
+            "[{backend}] shed frames stay in requests_total"
+        );
+        assert!(
+            sample_value(&expo, "lcl_request_errors_total{kind=\"classify\"}") >= shed as u64,
+            "[{backend}] shed frames are errors"
+        );
+        assert_eq!(
+            sample_value(&expo, "lcl_request_latency_micros_count{kind=\"classify\"}"),
+            sample_value(&expo, "lcl_requests_total{kind=\"classify\"}"),
+            "[{backend}] shed frames reach the histogram"
+        );
+        handle.shutdown();
+    }
 }
 
 #[test]
